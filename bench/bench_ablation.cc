@@ -1,0 +1,106 @@
+// Ablations of the design choices DESIGN.md calls out:
+//   1. plan-node memoization in the algebra evaluator (safe-translation
+//      plans share the γ-universe subtree heavily);
+//   2. formula simplification before compilation;
+//   3. eager minimization inside the track-automaton pipeline (measured
+//      indirectly: answer-automaton sizes stay small because every op
+//      minimizes — reported as state counts along a compilation).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "eval/algebra_eval.h"
+#include "eval/automata_eval.h"
+#include "logic/parser.h"
+#include "logic/simplify.h"
+#include "safety/safe_translation.h"
+
+namespace strq {
+namespace {
+
+using bench::Header;
+using bench::RandomUnaryDb;
+using bench::Row;
+using bench::TimeSeconds;
+
+FormulaPtr Q(const std::string& text) {
+  Result<FormulaPtr> r = ParseFormula(text);
+  if (!r.ok()) std::exit(1);
+  return *std::move(r);
+}
+
+int Run() {
+  Header("AB", "ablations — memoization, simplification, minimization");
+
+  Database db = RandomUnaryDb(123, 8, 1, 4);
+  std::map<std::string, int> schema = {{"R", 1}};
+
+  // --- 1. Plan memoization --------------------------------------------
+  // An RA(S_left) plan: the left-closure universe is expensive and the
+  // translation references it from several atoms — the memoization target.
+  FormulaPtr query = Q("exists y. R(y) & prepend[1](y) = x & !(x = '')");
+  Result<RaPtr> plan = TranslateToAlgebra(query, StructureId::kSLeft, schema,
+                                          db.alphabet(), 3);
+  if (!plan.ok()) {
+    std::printf("  translation failed: %s\n",
+                plan.status().ToString().c_str());
+    return 1;
+  }
+  AlgebraEvaluator::Options with_memo;
+  with_memo.max_tuples = 30000000;
+  AlgebraEvaluator::Options without_memo = with_memo;
+  without_memo.enable_memo = false;
+  AlgebraEvaluator memo_eval(&db, with_memo);
+  AlgebraEvaluator nomemo_eval(&db, without_memo);
+  double t_memo = TimeSeconds([&] { (void)memo_eval.Evaluate(*plan); }, 3);
+  double t_nomemo =
+      TimeSeconds([&] { (void)nomemo_eval.Evaluate(*plan); }, 3);
+  std::printf(
+      "  [1] plan memoization: with %.4fs, without %.4fs (%.1fx)\n", t_memo,
+      t_nomemo, t_nomemo / t_memo);
+
+  // --- 2. Simplification before compilation ----------------------------
+  // A query with foldable clutter of the kind machine-generated queries
+  // accumulate.
+  FormulaPtr noisy = Q(
+      "exists x. (R(x) & ('0' = '0' | last[1](x))) & "
+      "(true -> (x <= x & !(!(append[1]('0') = '01')))) & "
+      "(exists z. z = lcp('010', '011') & z <= x)");
+  FormulaPtr simplified = Simplify(noisy);
+  AutomataEvaluator engine(&db);
+  double t_noisy =
+      TimeSeconds([&] { (void)engine.EvaluateSentence(noisy); }, 5);
+  double t_simplified =
+      TimeSeconds([&] { (void)engine.EvaluateSentence(simplified); }, 5);
+  std::printf(
+      "  [2] simplification: size %d -> %d; compile+eval %.4fs -> %.4fs\n",
+      FormulaSize(noisy), FormulaSize(simplified), t_noisy, t_simplified);
+  Result<bool> a = engine.EvaluateSentence(noisy);
+  Result<bool> b = engine.EvaluateSentence(simplified);
+  std::printf("      answers agree: %s\n",
+              (a.ok() && b.ok() && *a == *b) ? "yes" : "NO");
+
+  // --- 3. Minimization keeps answer automata small ----------------------
+  // Compile a 3-variable query and report the final automaton size; the
+  // per-operation Moore minimization inside TrackAutomaton is what keeps
+  // this in the tens of states rather than the product of the parts.
+  FormulaPtr wide = Q(
+      "exists y. exists z. R(y) & R(z) & lcp(y, z) = x & "
+      "lexleq(x, y) & leqlen(x, z)");
+  Result<TrackAutomaton> rel = engine.Compile(wide);
+  if (rel.ok()) {
+    std::printf(
+        "  [3] 3-variable query compiles to %d states (per-op minimization"
+        " on)\n",
+        rel->NumStates());
+  }
+  Row("(the minimization OFF variant is structural — every op calls");
+  Row(" Minimized() in TrackAutomaton::Create — so its ablation is the");
+  Row(" state-count evidence above rather than a runtime switch)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace strq
+
+int main() { return strq::Run(); }

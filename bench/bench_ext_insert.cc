@@ -1,0 +1,98 @@
+// EXT — the Conclusion's proposed extension, benchmarked: RC(S_ins) adds
+// insert_a(p, x) (insertion at a prefix position). The bench shows that the
+// extension inherits the tame pipeline: exact evaluation, decidable
+// state-safety, a working γ-family and algebra translation — and reports
+// its costs next to RC(S_left)'s (which it subsumes).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "eval/algebra_eval.h"
+#include "eval/automata_eval.h"
+#include "logic/parser.h"
+#include "safety/range_restriction.h"
+#include "safety/safe_translation.h"
+
+namespace strq {
+namespace {
+
+using bench::Header;
+using bench::RandomUnaryDb;
+using bench::Row;
+using bench::TimeSeconds;
+
+FormulaPtr Q(const std::string& text) {
+  Result<FormulaPtr> r = ParseFormula(text);
+  if (!r.ok()) std::exit(1);
+  return *std::move(r);
+}
+
+int Run() {
+  Header("EXT", "RC(S_ins) — insertion at a prefix (Conclusion)");
+
+  Database db = RandomUnaryDb(321, 8, 1, 4);
+  AutomataEvaluator engine(&db);
+
+  // Defining identities, proved over the full infinite domain.
+  for (const char* law : {
+           "forall x. insert[1]('', x) = prepend[1](x)",
+           "forall x. insert[0](x, x) = append[0](x)",
+           "forall p. forall x. p <= x -> eqlen(insert[1](p, x), "
+           "append[1](x))",
+       }) {
+    Result<bool> v = engine.EvaluateSentence(Q(law));
+    std::printf("  law %-62s %s\n", law,
+                v.ok() && *v ? "PROVED" : "FAILED");
+  }
+
+  // All one-symbol insertions into stored strings: evaluation + safety.
+  FormulaPtr all_insertions =
+      Q("exists x. exists p. R(x) & p <= x & insert[1](p, x) = y");
+  Result<Relation> out = engine.Evaluate(all_insertions);
+  Result<bool> safe = engine.IsSafeOnDatabase(all_insertions);
+  double t_eval =
+      TimeSeconds([&] { (void)engine.Evaluate(all_insertions); }, 3);
+  std::printf(
+      "\n  all insertions of '1' into R: %zu strings, safe=%s, %.4fs\n",
+      out.ok() ? out->size() : 0,
+      safe.ok() && *safe ? "yes" : "no", t_eval);
+
+  // γ-family sizes: the S_ins closure vs the S_left closure at equal reach.
+  std::printf("\n  γ_k candidate-set sizes (reach k):\n");
+  std::printf("  k | RA(S_left) | RA(S_ins)\n");
+  for (int k : {1, 2, 3}) {
+    Result<std::vector<std::string>> left =
+        GammaCandidates(StructureId::kSLeft, k, db, 50000000);
+    Result<std::vector<std::string>> ins =
+        GammaCandidates(StructureId::kSInsert, k, db, 50000000);
+    std::printf("  %d | %10zu | %9zu\n", k, left.ok() ? left->size() : 0,
+                ins.ok() ? ins->size() : 0);
+  }
+  Row("insertion reaches more strings per step than head-only operations,");
+  Row("so its γ-family grows faster — the cost of the richer signature.");
+
+  // Theorem-4-style round trip in RA(S_ins).
+  std::map<std::string, int> schema = {{"R", 1}};
+  FormulaPtr q = Q("exists x. R(x) & insert[1]('', x) = y");
+  Result<RaPtr> plan =
+      TranslateToAlgebra(q, StructureId::kSInsert, schema, db.alphabet(), 2);
+  if (plan.ok()) {
+    AlgebraEvaluator::Options options;
+    options.max_tuples = 30000000;
+    AlgebraEvaluator algebra(&db, options);
+    Result<Relation> via_plan = algebra.Evaluate(*plan);
+    Result<Relation> exact = engine.Evaluate(q);
+    std::printf(
+        "\n  RA(S_ins) translation round trip: %s\n",
+        (via_plan.ok() && exact.ok() && *via_plan == *exact) ? "MATCHES"
+                                                             : "failed");
+  } else {
+    std::printf("\n  translation: %s\n", plan.status().ToString().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace strq
+
+int main() { return strq::Run(); }

@@ -1,0 +1,78 @@
+// Proposition 1 / Corollary 1 — RC_concat is computationally complete, so
+// it has no exact evaluator, no effective safe syntax, and undecidable
+// state-safety. The measurable shadow: bounded-universe evaluation is the
+// only generic device, its cost explodes with the bound, and its answers
+// are never certified (they keep changing as the bound grows), while the
+// tame calculi evaluate exactly and terminate.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "concat/concat_eval.h"
+#include "eval/automata_eval.h"
+#include "logic/parser.h"
+#include "safety/range_restriction.h"
+
+namespace strq {
+namespace {
+
+using bench::Header;
+using bench::Row;
+using bench::TimeSeconds;
+
+int Run() {
+  Header("P1", "Proposition 1 — concatenation breaks everything");
+
+  Database db(Alphabet::Binary());
+  Status s = db.AddRelation("R", 1, {{"0"}, {"01"}, {"110"}});
+  if (!s.ok()) return 1;
+
+  // The square query x = w·w, w ∈ R: needs concatenation.
+  FormulaPtr square = SquareOfRelationQuery("R");
+
+  // 1. The exact engine refuses (concatenation is not automatic).
+  AutomataEvaluator exact(&db);
+  Result<Relation> refused = exact.Evaluate(square);
+  Row(std::string("automata engine on x = w·w: ") +
+      refused.status().ToString());
+
+  // 2. No safe syntax: the Γ family does not exist for concat.
+  Result<std::vector<std::string>> gamma =
+      GammaCandidates(StructureId::kConcat, 2, db);
+  Row(std::string("γ_k family for RC_concat:   ") +
+      gamma.status().ToString());
+
+  // 3. Bounded evaluation: answers and cost as the bound grows.
+  ConcatEvaluator bounded(&db);
+  std::printf("\n  bound |   time (s) | answers (bounded semantics)\n");
+  for (int bound = 2; bound <= 12; bound += 2) {
+    Result<Relation> out = bounded.EvaluateBounded(square, bound);
+    double t = TimeSeconds(
+        [&] { (void)bounded.EvaluateBounded(square, bound); }, 1);
+    std::printf("  %5d | %10.4f | %zu\n", bound, t,
+                out.ok() ? out->size() : 0);
+  }
+  Row("answers stabilize only because R is finite here; for queries with");
+  Row("universal quantifiers bounded verdicts flip with the bound and");
+  Row("certify nothing (Proposition 1 / Corollary 1).");
+
+  // 4. A universally quantified concat sentence: the bounded verdict
+  // depends on the bound, so no finite bound certifies anything.
+  // ∀x ∃w (x = w·w) is vacuously true at bound 0 and false from bound 1 on.
+  Result<FormulaPtr> univ = ParseFormula(
+      "forall x. exists w. concat(w, w) = x");
+  if (univ.ok()) {
+    for (int bound : {0, 1, 2, 3}) {
+      Result<bool> v = bounded.EvaluateSentenceBounded(*univ, bound);
+      std::printf("  '∀x ∃w x = w·w' at bound %d: %s\n", bound,
+                  v.ok() ? (*v ? "true" : "false")
+                         : v.status().ToString().c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace strq
+
+int main() { return strq::Run(); }

@@ -1,0 +1,70 @@
+// Proposition 3 — Boolean RC(S) queries over *unary* databases evaluate in
+// linear time in the database size. Measured: evaluation time of a battery
+// of Boolean prefix-restricted RC(S) queries over unary databases of
+// growing size, with the fitted scaling degree printed per query (≈ 1
+// expected for queries whose restricted evaluation makes a single pass).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "eval/restricted_eval.h"
+#include "logic/parser.h"
+
+namespace strq {
+namespace {
+
+using bench::Header;
+using bench::LogLogSlope;
+using bench::RandomUnaryDb;
+using bench::TimeSeconds;
+
+FormulaPtr Q(const std::string& text) {
+  Result<FormulaPtr> r = ParseFormula(text);
+  if (!r.ok()) std::exit(1);
+  return *std::move(r);
+}
+
+int Run() {
+  Header("P3", "Proposition 3 — linear-time Boolean RC(S) on unary dbs");
+
+  struct QueryCase {
+    const char* name;
+    const char* text;
+    // Queries with one adom-quantifier scale linearly; nested adom
+    // quantifiers are the quadratic comparison baseline.
+    double expected_degree;
+  };
+  const QueryCase queries[] = {
+      {"single-scan", "exists x in adom. last[1](x) & like(x, '0%')", 1.0},
+      {"scan+pattern", "forall x in adom. member(x, '(0|1)*')", 1.0},
+      {"nested(baseline)",
+       "forall x in adom. forall y in adom. lexleq(lcp(x, y), x)", 2.0},
+  };
+
+  for (const QueryCase& q : queries) {
+    std::printf("\n  %-16s n ->", q.name);
+    std::vector<double> ns;
+    std::vector<double> ts;
+    for (int n : {250, 500, 1000, 2000, 4000}) {
+      Database db = RandomUnaryDb(41, n, 1, 16);
+      RestrictedEvaluator engine(&db);
+      FormulaPtr f = Q(q.text);
+      double t = TimeSeconds([&] { (void)engine.EvaluateSentence(f); }, 3);
+      std::printf(" %d:%.4fs", n, t);
+      ns.push_back(n);
+      ts.push_back(t);
+    }
+    std::printf("\n  fitted degree %.2f (expected ≈ %.1f)\n",
+                LogLogSlope(ns, ts), q.expected_degree);
+  }
+  std::printf(
+      "\n  (worst-case existential scans may exit early; the paper's bound\n"
+      "   is on the evaluation strategy, measured here as the degree of the\n"
+      "   full-pass universal queries.)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace strq
+
+int main() { return strq::Run(); }

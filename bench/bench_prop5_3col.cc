@@ -1,0 +1,146 @@
+// Proposition 5 — over width-bounded databases, RC(S_len) expresses all of
+// MSO, including NP-complete problems such as 3-colorability.
+//
+// The encoding (width 1): vertex i is the string 0^i; an MSO set variable
+// becomes a first-order string variable c whose i-th bit marks membership
+// of vertex i — bit i is read with prefixes and equal-length comparison:
+//     bit(c, v) ≡ ∃p (p ≼ c ∧ el(p, v) ∧ L_1(p)).
+// Two set variables give four colors; excluding one leaves three.
+//
+// The bench solves random instances through the RC(S_len) query (exact
+// automata engine) and cross-checks a brute-force 3^n baseline, reporting
+// agreement and times — NP-hardness living inside a "first-order" language.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "eval/automata_eval.h"
+
+namespace strq {
+namespace {
+
+using bench::Header;
+using bench::TimeSeconds;
+
+// bit(c, v): the |v|-th symbol of c is 1.
+FormulaPtr Bit(const std::string& c, const std::string& v) {
+  return FExists(
+      "p", FAndAll({FPred(PredKind::kPrefix, {TVar("p"), TVar(c)}),
+                    FPred(PredKind::kEqLen, {TVar("p"), TVar(v)}),
+                    FLast('1', TVar("p"))}));
+}
+
+FormulaPtr SameColor(const std::string& u, const std::string& v) {
+  return FAnd(FIff(Bit("c1", u), Bit("c1", v)),
+              FIff(Bit("c2", u), Bit("c2", v)));
+}
+
+// ∃c1 ∃c2: no vertex colored (1,1); adjacent vertices differ.
+FormulaPtr ThreeColorable() {
+  FormulaPtr not_fourth = FForall(
+      "v", FImplies(FRelation("V", {TVar("v")}),
+                    FNot(FAnd(Bit("c1", "v"), Bit("c2", "v")))));
+  FormulaPtr proper = FForall(
+      "u", FForall("v", FImplies(FRelation("E", {TVar("u"), TVar("v")}),
+                                 FNot(SameColor("u", "v")))));
+  return FExists("c1", FExists("c2", FAnd(not_fourth, proper)));
+}
+
+// Graph as a width-1 string database: vertex i -> 0^i (i >= 1).
+Database GraphDb(int n, const std::vector<std::pair<int, int>>& edges) {
+  Database db(Alphabet::Binary());
+  std::vector<Tuple> vertices;
+  auto vstr = [](int i) { return std::string(static_cast<size_t>(i), '0'); };
+  for (int i = 1; i <= n; ++i) vertices.push_back({vstr(i)});
+  std::vector<Tuple> edge_tuples;
+  for (const auto& [u, v] : edges) {
+    edge_tuples.push_back({vstr(u), vstr(v)});
+    edge_tuples.push_back({vstr(v), vstr(u)});
+  }
+  Status s1 = db.AddRelation("V", 1, std::move(vertices));
+  Status s2 = db.AddRelation("E", 2, std::move(edge_tuples));
+  (void)s1;
+  (void)s2;
+  return db;
+}
+
+bool BruteForce3Col(int n, const std::vector<std::pair<int, int>>& edges) {
+  std::vector<int> color(n + 1, 0);
+  // Odometer over 3^n colorings.
+  while (true) {
+    bool proper = true;
+    for (const auto& [u, v] : edges) {
+      if (color[u] == color[v]) {
+        proper = false;
+        break;
+      }
+    }
+    if (proper) return true;
+    int i = 1;
+    while (i <= n && ++color[i] == 3) color[i++] = 0;
+    if (i > n) return false;
+  }
+}
+
+std::vector<std::pair<int, int>> RandomGraph(Rng& rng, int n, double p) {
+  std::vector<std::pair<int, int>> edges;
+  for (int u = 1; u <= n; ++u) {
+    for (int v = u + 1; v <= n; ++v) {
+      if (rng.NextBelow(100) < static_cast<uint64_t>(p * 100)) {
+        edges.push_back({u, v});
+      }
+    }
+  }
+  return edges;
+}
+
+int Run() {
+  Header("P5", "Proposition 5 — 3-colorability in RC(S_len) (width-1 dbs)");
+
+  FormulaPtr query = ThreeColorable();
+
+  // Sanity anchors: K3 is 3-colorable, K4 is not.
+  {
+    Database k3 = GraphDb(3, {{1, 2}, {1, 3}, {2, 3}});
+    Database k4 = GraphDb(4, {{1, 2}, {1, 3}, {1, 4}, {2, 3}, {2, 4},
+                              {3, 4}});
+    AutomataEvaluator e3(&k3);
+    AutomataEvaluator e4(&k4);
+    Result<bool> v3 = e3.EvaluateSentence(query);
+    Result<bool> v4 = e4.EvaluateSentence(query);
+    std::printf("  K3 3-colorable: %s (expected yes)\n",
+                v3.ok() ? (*v3 ? "yes" : "no") : v3.status().ToString().c_str());
+    std::printf("  K4 3-colorable: %s (expected no)\n",
+                v4.ok() ? (*v4 ? "yes" : "no") : v4.status().ToString().c_str());
+  }
+
+  std::printf("\n  n | edges | RC(S_len) | brute | agree | t_query (s) | "
+              "t_brute (s)\n");
+  Rng rng(2026);
+  for (int n : {3, 4, 5, 6, 7}) {
+    std::vector<std::pair<int, int>> edges = RandomGraph(rng, n, 0.6);
+    Database db = GraphDb(n, edges);
+    AutomataEvaluator engine(&db);
+    Result<bool> via_query = engine.EvaluateSentence(query);
+    bool via_brute = BruteForce3Col(n, edges);
+    double tq =
+        TimeSeconds([&] { (void)engine.EvaluateSentence(query); });
+    double tb = TimeSeconds([&] { (void)BruteForce3Col(n, edges); });
+    std::printf("  %d | %5zu | %9s | %5s | %5s | %11.4f | %10.6f\n", n,
+                edges.size(),
+                via_query.ok() ? (*via_query ? "yes" : "no") : "ERR",
+                via_brute ? "yes" : "no",
+                via_query.ok() && *via_query == via_brute ? "yes" : "NO",
+                tq, tb);
+  }
+  std::printf(
+      "\n  the RC(S_len) route is far slower — as it must be: the query\n"
+      "  is FIXED and the hardness lives in data complexity (Prop. 5).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace strq
+
+int main() { return strq::Run(); }

@@ -1,0 +1,94 @@
+// Proposition 7 / Corollary 8 — state-safety (is φ(D) finite?) is decidable
+// for all four tame calculi. Measured: decision latency of the
+// answer-automaton finiteness check as the database grows, for a safe and
+// an unsafe query in each calculus; plus the contrast that the same
+// question for RC_concat is refused (undecidable, Corollary 1).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "logic/parser.h"
+#include "safety/query_safety.h"
+
+namespace strq {
+namespace {
+
+using bench::Header;
+using bench::LogLogSlope;
+using bench::RandomUnaryDb;
+using bench::TimeSeconds;
+
+FormulaPtr Q(const std::string& text) {
+  Result<FormulaPtr> r = ParseFormula(text);
+  if (!r.ok()) std::exit(1);
+  return *std::move(r);
+}
+
+struct Case {
+  const char* calculus;
+  const char* query;
+  bool expect_safe;
+};
+
+int Run() {
+  Header("P7", "Proposition 7 — state-safety decision latency");
+
+  const std::vector<Case> battery = {
+      {"S", "exists y. R(y) & x <= y", true},
+      {"S", "exists y. R(y) & y <= x", false},
+      {"S_left", "exists y. R(y) & prepend[1](y) = x", true},
+      {"S_left", "exists y. R(y) & y <= trim[1](x)", false},
+      {"S_reg", "exists y. R(y) & suffixin(x, y, '1*')", true},
+      {"S_reg", "exists y. R(y) & suffixin(y, x, '1*')", false},
+      {"S_len", "exists y. R(y) & eqlen(x, y)", true},
+      {"S_len", "exists y. R(y) & leqlen(y, x)", false},
+  };
+
+  std::printf("  calc   | verdict | expect |       t(s) by db size n\n");
+  for (const Case& c : battery) {
+    FormulaPtr f = Q(c.query);
+    std::printf("  %-6s | ", c.calculus);
+    std::vector<double> ns;
+    std::vector<double> ts;
+    bool verdict = false;
+    bool ok = true;
+    std::string series;
+    for (int n : {20, 40, 80, 160}) {
+      Database db = RandomUnaryDb(81, n, 1, 8);
+      Result<bool> safe = InternalError("unset");
+      double t = TimeSeconds([&] { safe = StateSafe(f, db); });
+      if (!safe.ok()) {
+        ok = false;
+        break;
+      }
+      verdict = *safe;
+      char buf[48];
+      std::snprintf(buf, sizeof buf, " %d:%.4f", n, t);
+      series += buf;
+      ns.push_back(n);
+      ts.push_back(t);
+    }
+    if (!ok) {
+      std::printf("ERROR on %s\n", c.query);
+      continue;
+    }
+    std::printf("%-7s | %-6s |%s  (degree %.2f)\n",
+                verdict ? "safe" : "unsafe", c.expect_safe ? "safe" : "unsafe",
+                series.c_str(), LogLogSlope(ns, ts));
+  }
+
+  // RC_concat contrast.
+  Database db = RandomUnaryDb(83, 10, 1, 4);
+  Result<bool> refused =
+      StateSafe(Q("exists w. R(w) & concat(w, w) = x"), db);
+  std::printf("\n  RC_concat state-safety: %s (Corollary 1: undecidable)\n",
+              refused.status().ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace strq
+
+int main() { return strq::Run(); }

@@ -1,0 +1,166 @@
+// Section 4 — LIKE, SIMILAR, and lexicographic ordering as string-structure
+// operations. google-benchmark microbenches:
+//   * LIKE matching throughput: compiled DFA vs the reference backtracking
+//     matcher (the DFA path is the scalable one the algebra σ uses);
+//   * SIMILAR (regular-expression) compilation and matching;
+//   * the LIKE -> star-free pipeline (compile + aperiodicity certificate);
+//   * lexicographic comparisons through the ≤_lex atom vs direct compare.
+
+#include <benchmark/benchmark.h>
+
+#include "automata/like.h"
+#include "automata/regex.h"
+#include "automata/starfree.h"
+#include "base/rng.h"
+#include "base/string_ops.h"
+#include "mta/atoms.h"
+
+namespace strq {
+namespace {
+
+const char* kPatterns[] = {"a%", "%abc%", "a_b%c", "%a%b%c%", "ab_%_ba"};
+
+std::vector<std::string> Workload(int count, int len) {
+  Rng rng(97);
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (int i = 0; i < count; ++i) out.push_back(rng.NextString("abc", len, len));
+  return out;
+}
+
+void BM_LikeCompiledMatcher(benchmark::State& state) {
+  // The compile-once hot path: raw-character DFA walk, no allocation.
+  Alphabet alphabet = Alphabet::Abc();
+  const char* pattern = kPatterns[state.range(0)];
+  Result<LikeMatcher> matcher = LikeMatcher::Create(pattern, alphabet);
+  if (!matcher.ok()) {
+    state.SkipWithError("compile failed");
+    return;
+  }
+  std::vector<std::string> texts = Workload(256, 32);
+  for (auto _ : state) {
+    int hits = 0;
+    for (const std::string& t : texts) hits += matcher->Matches(t);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * texts.size());
+}
+BENCHMARK(BM_LikeCompiledMatcher)->DenseRange(0, 4);
+
+void BM_LikeDfaWithEncoding(benchmark::State& state) {
+  // Baseline showing the cost of the allocating encode-then-run path.
+  Alphabet alphabet = Alphabet::Abc();
+  const char* pattern = kPatterns[state.range(0)];
+  Result<Dfa> dfa = CompileLike(pattern, alphabet);
+  if (!dfa.ok()) {
+    state.SkipWithError("compile failed");
+    return;
+  }
+  std::vector<std::string> texts = Workload(256, 32);
+  for (auto _ : state) {
+    int hits = 0;
+    for (const std::string& t : texts) {
+      hits += dfa->AcceptsString(alphabet, t);
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * texts.size());
+}
+BENCHMARK(BM_LikeDfaWithEncoding)->DenseRange(0, 4);
+
+void BM_LikeReferenceBacktracker(benchmark::State& state) {
+  const char* pattern = kPatterns[state.range(0)];
+  std::vector<std::string> texts = Workload(256, 32);
+  for (auto _ : state) {
+    int hits = 0;
+    for (const std::string& t : texts) hits += LikeMatch(t, pattern);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * texts.size());
+}
+BENCHMARK(BM_LikeReferenceBacktracker)->DenseRange(0, 4);
+
+void BM_LikeCompileAndCertifyStarFree(benchmark::State& state) {
+  Alphabet alphabet = Alphabet::Abc();
+  const char* pattern = kPatterns[state.range(0)];
+  for (auto _ : state) {
+    Result<Dfa> dfa = CompileLike(pattern, alphabet);
+    if (!dfa.ok()) {
+      state.SkipWithError("compile failed");
+      return;
+    }
+    Result<bool> sf = IsStarFree(*dfa);
+    if (!sf.ok() || !*sf) {
+      state.SkipWithError("LIKE pattern not star-free?!");
+      return;
+    }
+    benchmark::DoNotOptimize(*sf);
+  }
+}
+BENCHMARK(BM_LikeCompileAndCertifyStarFree)->DenseRange(0, 4);
+
+void BM_SimilarCompile(benchmark::State& state) {
+  Alphabet alphabet = Alphabet::Abc();
+  for (auto _ : state) {
+    Result<Dfa> dfa = CompileSimilar("(ab|ba)%c_((a|b)(a|b))%", alphabet);
+    if (!dfa.ok()) {
+      state.SkipWithError("compile failed");
+      return;
+    }
+    benchmark::DoNotOptimize(dfa->num_states());
+  }
+}
+BENCHMARK(BM_SimilarCompile);
+
+void BM_SimilarMatch(benchmark::State& state) {
+  Alphabet alphabet = Alphabet::Abc();
+  Result<Dfa> dfa = CompileSimilar("(ab|ba)%c_((a|b)(a|b))%", alphabet);
+  if (!dfa.ok()) {
+    state.SkipWithError("compile failed");
+    return;
+  }
+  std::vector<std::string> texts = Workload(256, 40);
+  for (auto _ : state) {
+    int hits = 0;
+    for (const std::string& t : texts) hits += dfa->AcceptsString(alphabet, t);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * texts.size());
+}
+BENCHMARK(BM_SimilarMatch);
+
+void BM_LexLeqAtomMembership(benchmark::State& state) {
+  Alphabet alphabet = Alphabet::Abc();
+  Result<TrackAutomaton> atom = LexLeqAtom(alphabet, 0, 1);
+  if (!atom.ok()) {
+    state.SkipWithError("atom failed");
+    return;
+  }
+  std::vector<std::string> texts = Workload(128, 24);
+  for (auto _ : state) {
+    int hits = 0;
+    for (size_t i = 0; i + 1 < texts.size(); ++i) {
+      Result<bool> in = atom->Contains({texts[i], texts[i + 1]});
+      hits += in.ok() && *in;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_LexLeqAtomMembership);
+
+void BM_LexLeqDirect(benchmark::State& state) {
+  std::vector<std::string> texts = Workload(128, 24);
+  for (auto _ : state) {
+    int hits = 0;
+    for (size_t i = 0; i + 1 < texts.size(); ++i) {
+      hits += LexLeq(texts[i], texts[i + 1], "abc");
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_LexLeqDirect);
+
+}  // namespace
+}  // namespace strq
+
+BENCHMARK_MAIN();

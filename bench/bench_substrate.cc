@@ -1,0 +1,171 @@
+// Substrate microbenchmarks: the automata and multi-track machinery that
+// everything else stands on. Determinization, minimization, products,
+// star-free certification, convolution coding, atom construction, and
+// first-order operations on track automata.
+
+#include <benchmark/benchmark.h>
+
+#include "automata/ops.h"
+#include "automata/regex.h"
+#include "automata/starfree.h"
+#include "base/rng.h"
+#include "mta/atoms.h"
+#include "mta/track_automaton.h"
+
+namespace strq {
+namespace {
+
+// (0|1)*1(0|1)^k — the classical exponential-determinization family.
+std::string HardPattern(int k) {
+  std::string p = "(0|1)*1";
+  for (int i = 0; i < k; ++i) p += "(0|1)";
+  return p;
+}
+
+void BM_Determinize(benchmark::State& state) {
+  Alphabet alphabet = Alphabet::Binary();
+  Result<RegexPtr> rx = ParseRegex(HardPattern(static_cast<int>(state.range(0))));
+  Result<Nfa> nfa = RegexToNfa(*rx, alphabet);
+  for (auto _ : state) {
+    Result<Dfa> dfa = Determinize(*nfa);
+    if (!dfa.ok()) {
+      state.SkipWithError("determinize failed");
+      return;
+    }
+    benchmark::DoNotOptimize(dfa->num_states());
+  }
+}
+BENCHMARK(BM_Determinize)->DenseRange(4, 12, 4);
+
+void BM_Minimize(benchmark::State& state) {
+  Alphabet alphabet = Alphabet::Binary();
+  Result<Dfa> dfa =
+      CompileRegex(HardPattern(static_cast<int>(state.range(0))), alphabet);
+  // CompileRegex already minimizes; build an un-minimized one via product.
+  Result<Dfa> big = Intersect(*dfa, Dfa::AllStrings(2));
+  for (auto _ : state) {
+    Dfa min = big->Minimized();
+    benchmark::DoNotOptimize(min.num_states());
+  }
+}
+BENCHMARK(BM_Minimize)->DenseRange(4, 10, 3);
+
+void BM_ProductIntersect(benchmark::State& state) {
+  Alphabet alphabet = Alphabet::Binary();
+  Result<Dfa> a = CompileRegex(HardPattern(6), alphabet);
+  Result<Dfa> b = CompileRegex("(00|11)*(0|1)?", alphabet);
+  for (auto _ : state) {
+    Result<Dfa> product = Intersect(*a, *b);
+    if (!product.ok()) {
+      state.SkipWithError("product failed");
+      return;
+    }
+    benchmark::DoNotOptimize(product->num_states());
+  }
+}
+BENCHMARK(BM_ProductIntersect);
+
+void BM_StarFreeCheck(benchmark::State& state) {
+  Alphabet alphabet = Alphabet::Binary();
+  Result<Dfa> dfa = CompileRegex("(0|1)*11(0|1)*0", alphabet);
+  for (auto _ : state) {
+    Result<bool> sf = IsStarFree(*dfa);
+    if (!sf.ok()) {
+      state.SkipWithError("check failed");
+      return;
+    }
+    benchmark::DoNotOptimize(*sf);
+  }
+}
+BENCHMARK(BM_StarFreeCheck);
+
+void BM_ConvolutionRoundTrip(benchmark::State& state) {
+  Alphabet alphabet = Alphabet::Binary();
+  Result<ConvAlphabet> conv = ConvAlphabet::Create(2, 3);
+  Rng rng(5);
+  std::vector<std::vector<std::string>> tuples;
+  for (int i = 0; i < 64; ++i) {
+    tuples.push_back({rng.NextString("01", 0, 12), rng.NextString("01", 0, 12),
+                      rng.NextString("01", 0, 12)});
+  }
+  for (auto _ : state) {
+    size_t total = 0;
+    for (const auto& t : tuples) {
+      Result<std::vector<Symbol>> w = conv->ConvolveStrings(alphabet, t);
+      total += w->size();
+      benchmark::DoNotOptimize(conv->DeconvolveStrings(alphabet, *w));
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_ConvolutionRoundTrip);
+
+void BM_AtomConstruction(benchmark::State& state) {
+  Alphabet alphabet = Alphabet::Binary();
+  for (auto _ : state) {
+    Result<TrackAutomaton> lex = LexLeqAtom(alphabet, 0, 1);
+    Result<TrackAutomaton> lcp = LcpAtom(alphabet, 0, 1, 2);
+    Result<TrackAutomaton> pre = PrependGraphAtom(alphabet, '1', 0, 1);
+    if (!lex.ok() || !lcp.ok() || !pre.ok()) {
+      state.SkipWithError("atom failed");
+      return;
+    }
+    benchmark::DoNotOptimize(lex->NumStates() + lcp->NumStates() +
+                             pre->NumStates());
+  }
+}
+BENCHMARK(BM_AtomConstruction);
+
+void BM_TrackIntersectProject(benchmark::State& state) {
+  // The inner loop of formula compilation: align, intersect, project.
+  Alphabet alphabet = Alphabet::Binary();
+  Result<TrackAutomaton> p01 = PrefixAtom(alphabet, 0, 1);
+  Result<TrackAutomaton> p12 = PrefixAtom(alphabet, 1, 2);
+  Result<TrackAutomaton> l2 = LastSymbolAtom(alphabet, '1', 2);
+  for (auto _ : state) {
+    Result<TrackAutomaton> conj = TrackAutomaton::Intersect(*p01, *p12);
+    Result<TrackAutomaton> conj2 = TrackAutomaton::Intersect(*conj, *l2);
+    Result<TrackAutomaton> proj = conj2->Project(1);
+    if (!proj.ok()) {
+      state.SkipWithError("pipeline failed");
+      return;
+    }
+    benchmark::DoNotOptimize(proj->NumStates());
+  }
+}
+BENCHMARK(BM_TrackIntersectProject);
+
+void BM_RelationTrie(benchmark::State& state) {
+  Alphabet alphabet = Alphabet::Binary();
+  Rng rng(7);
+  std::vector<std::vector<std::string>> tuples;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    tuples.push_back({rng.NextString("01", 1, 10), rng.NextString("01", 1, 10)});
+  }
+  for (auto _ : state) {
+    Result<TrackAutomaton> rel =
+        TrackAutomaton::FromTuples(alphabet, {0, 1}, tuples);
+    if (!rel.ok()) {
+      state.SkipWithError("trie failed");
+      return;
+    }
+    benchmark::DoNotOptimize(rel->NumStates());
+  }
+}
+BENCHMARK(BM_RelationTrie)->Range(16, 256);
+
+void BM_FinitenessDecision(benchmark::State& state) {
+  // The Proposition 7 primitive: answer-automaton finiteness.
+  Alphabet alphabet = Alphabet::Binary();
+  Result<TrackAutomaton> pre = PrefixAtom(alphabet, 0, 1);
+  Result<TrackAutomaton> projected = pre->Project(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(projected->IsFinite());
+  }
+}
+BENCHMARK(BM_FinitenessDecision);
+
+}  // namespace
+}  // namespace strq
+
+BENCHMARK_MAIN();

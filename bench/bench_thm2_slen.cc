@@ -1,0 +1,97 @@
+// Theorem 2 / Corollary 4 — RC(S_len) is captured by length-restricted
+// quantification, and its data complexity lies in PH (can be exponential in
+// the longest database string for the enumeration strategy).
+//
+// Measured:
+//   * engine agreement (length-restricted enumeration ≡ exact automata
+//     semantics) on an S_len battery — the Theorem 2 collapse;
+//   * the cost wall: enumeration cost grows as |Σ|^maxlen while the
+//     automata engine stays polynomial on the same inputs (its cost moves
+//     with automaton sizes, not candidate counts).
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "eval/automata_eval.h"
+#include "eval/restricted_eval.h"
+#include "logic/parser.h"
+
+namespace strq {
+namespace {
+
+using bench::Header;
+using bench::Row;
+using bench::TimeSeconds;
+
+FormulaPtr Q(const std::string& text) {
+  Result<FormulaPtr> r = ParseFormula(text);
+  if (!r.ok()) std::exit(1);
+  return *std::move(r);
+}
+
+Database ChainDb(int max_len) {
+  // Width-1 database: the chain ε, 0, 00, ..., 0^max_len.
+  Database db(Alphabet::Binary());
+  std::vector<Tuple> tuples;
+  std::string s;
+  for (int i = 0; i <= max_len; ++i) {
+    tuples.push_back({s});
+    s += '0';
+  }
+  Status status = db.AddRelation("R", 1, std::move(tuples));
+  (void)status;
+  return db;
+}
+
+int Run() {
+  Header("T2", "Theorem 2 — length-restricted collapse and the PH wall");
+
+  const std::string battery[] = {
+      "exists x len adom. !adom(x) & last[1](x)",
+      "forall x in adom. exists y len adom. eqlen(x, y) & member(y, '1*')",
+      "exists x len adom. exists y len adom. eqlen(x, y) & !(x = y) & "
+      "last[1](x) & last[1](y)",
+  };
+
+  std::printf("  engine agreement (Theorem 2 collapse):\n");
+  {
+    Database db = ChainDb(6);
+    AutomataEvaluator engine_a(&db);
+    RestrictedEvaluator engine_b(&db);
+    for (const std::string& q : battery) {
+      Result<bool> a = engine_a.EvaluateSentence(Q(q));
+      Result<bool> b = engine_b.EvaluateSentence(Q(q));
+      std::printf("   agree=%s  %s\n",
+                  (a.ok() && b.ok() && *a == *b) ? "yes" : "NO ", q.c_str());
+    }
+  }
+
+  std::printf(
+      "\n  cost vs longest database string (query: two distinct equal-length"
+      "\n  strings ending in 1, outside adom):\n");
+  std::printf("  maxlen | enumeration (s) | automata (s) | candidates\n");
+  FormulaPtr probe = Q(
+      "exists x len adom. exists y len adom. eqlen(x, y) & !(x = y) & "
+      "last[1](x) & last[1](y) & !adom(x) & !adom(y)");
+  for (int len : {4, 8, 12, 16}) {
+    Database db = ChainDb(len);
+    RestrictedEvaluator engine_b(&db);
+    AutomataEvaluator engine_a(&db);
+    double tb = TimeSeconds([&] { (void)engine_b.EvaluateSentence(probe); });
+    double ta = TimeSeconds([&] { (void)engine_a.EvaluateSentence(probe); });
+    double candidates = 1;
+    for (int i = 0; i < len; ++i) candidates = candidates * 2 + 1;
+    std::printf("  %6d | %15.4f | %12.4f | ~2^%d\n", len, tb, ta, len + 1);
+  }
+  Row("enumeration cost doubles with each extra symbol (the Theorem 2");
+  Row("bound is tight in this sense); the automata engine's exactness");
+  Row("does not rescue worst-case complexity — Proposition 5 plants");
+  Row("NP-complete problems inside RC(S_len) (see bench_prop5_3col).");
+  return 0;
+}
+
+}  // namespace
+}  // namespace strq
+
+int main() { return strq::Run(); }

@@ -1,0 +1,91 @@
+// Theorems 4 and 8 — safe RC(M) = RA(M) for all four structures. For each
+// battery query: translate to an algebra plan, validate it against the
+// algebra's own operator/σ-language gates, evaluate, compare with the exact
+// calculus answer, and time both routes.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "eval/algebra_eval.h"
+#include "eval/automata_eval.h"
+#include "logic/parser.h"
+#include "safety/safe_translation.h"
+
+namespace strq {
+namespace {
+
+using bench::Header;
+using bench::RandomUnaryDb;
+using bench::TimeSeconds;
+
+FormulaPtr Q(const std::string& text) {
+  Result<FormulaPtr> r = ParseFormula(text);
+  if (!r.ok()) std::exit(1);
+  return *std::move(r);
+}
+
+struct Case {
+  StructureId structure;
+  const char* query;
+  int reach;
+};
+
+int Run() {
+  Header("T4", "Theorems 4/8 — calculus == algebra on safe queries");
+
+  Database db = RandomUnaryDb(71, 6, 1, 3);
+  std::map<std::string, int> schema = {{"R", 1}};
+
+  const std::vector<Case> battery = {
+      {StructureId::kS, "exists y. R(y) & x <= y", 2},
+      {StructureId::kS, "R(x) & !(exists y. R(y) & y < x)", 2},
+      {StructureId::kS, "exists y. R(y) & step(x, y) & last[1](y)", 2},
+      {StructureId::kS, "exists y in adom. lcp(x, y) = x & R(x)", 2},
+      {StructureId::kS, "R(x) & forall y in adom. lexleq(x, y)", 2},
+      {StructureId::kSLeft, "exists y. R(y) & prepend[1](y) = x", 2},
+      {StructureId::kSLeft, "exists y. R(y) & trim[0](y) = x", 2},
+      {StructureId::kSReg, "exists y. R(y) & suffixin(x, y, '(10)*')", 2},
+      {StructureId::kSReg, "R(x) & member(x, '(0|1)(0|1)*1')", 2},
+      {StructureId::kSLen, "exists y. R(y) & eqlen(x, y) & last[0](x)", 2},
+      {StructureId::kSLen,
+       "exists y in adom. eqlen(x, y) & member(x, '0*')", 2},
+  };
+
+  std::printf(
+      "  struct  | valid-RA | match | t_calc (s) | t_plan (s) | query\n");
+  for (const Case& c : battery) {
+    FormulaPtr f = Q(c.query);
+    AutomataEvaluator engine(&db);
+    Result<Relation> exact = InternalError("unset");
+    double t_calc = TimeSeconds([&] { exact = engine.Evaluate(f); });
+    Result<RaPtr> plan =
+        TranslateToAlgebra(f, c.structure, schema, db.alphabet(), c.reach);
+    if (!exact.ok() || !plan.ok()) {
+      std::printf("  %-7s | translation/eval error on %s\n",
+                  StructureName(c.structure), c.query);
+      continue;
+    }
+    bool valid =
+        ValidateAlgebra(*plan, c.structure, schema, db.alphabet()).ok();
+    AlgebraEvaluator::Options options;
+    options.max_tuples = 30000000;
+    AlgebraEvaluator algebra(&db, options);
+    Result<Relation> out = InternalError("unset");
+    double t_plan = TimeSeconds([&] { out = algebra.Evaluate(*plan); });
+    std::printf("  %-7s | %-8s | %-5s | %10.4f | %10.4f | %s\n",
+                StructureName(c.structure), valid ? "yes" : "NO",
+                out.ok() && *out == *exact ? "yes" : "NO", t_calc, t_plan,
+                c.query);
+  }
+  std::printf(
+      "\n  the plan route pays for materializing the γ-universe; the\n"
+      "  calculus route pays in automaton sizes — same answers (Thm 4/8).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace strq
+
+int main() { return strq::Run(); }

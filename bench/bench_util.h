@@ -1,0 +1,73 @@
+#ifndef STRQ_BENCH_BENCH_UTIL_H_
+#define STRQ_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "relational/database.h"
+
+namespace strq {
+namespace bench {
+
+// Wall-clock seconds of a callable, averaged over `reps` runs.
+inline double TimeSeconds(const std::function<void()>& fn, int reps = 1) {
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < reps; ++i) fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count() / reps;
+}
+
+// Least-squares slope of log(y) against log(x): the empirical polynomial
+// degree of a scaling series. Points with non-positive values are skipped.
+inline double LogLogSlope(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  int n = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i] <= 0 || ys[i] <= 0) continue;
+    double lx = std::log(xs[i]);
+    double ly = std::log(ys[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    ++n;
+  }
+  if (n < 2) return 0.0;
+  return (n * sxy - sx * sy) / (n * sxx - sx * sx);
+}
+
+// A unary database R ⊆ Σ* with `size` distinct random strings of length in
+// [min_len, max_len].
+inline Database RandomUnaryDb(uint64_t seed, int size, int min_len,
+                              int max_len) {
+  Database db(Alphabet::Binary());
+  Rng rng(seed);
+  std::vector<Tuple> tuples;
+  for (const std::string& s :
+       rng.DistinctStrings("01", min_len, max_len, size)) {
+    tuples.push_back({s});
+  }
+  Status status = db.AddRelation("R", 1, std::move(tuples));
+  (void)status;
+  return db;
+}
+
+// Section header in the bench output.
+inline void Header(const char* id, const char* title) {
+  std::printf("\n==== %s: %s ====\n", id, title);
+}
+
+inline void Row(const std::string& text) {
+  std::printf("  %s\n", text.c_str());
+}
+
+}  // namespace bench
+}  // namespace strq
+
+#endif  // STRQ_BENCH_BENCH_UTIL_H_

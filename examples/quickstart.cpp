@@ -1,0 +1,87 @@
+// Quickstart for strq: build a string database, write relational-calculus
+// queries with string operations (the paper's RC(S)), evaluate them with the
+// exact automata engine, and let the library decide safety for you.
+//
+// Run: ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "eval/automata_eval.h"
+#include "logic/parser.h"
+#include "logic/signature.h"
+#include "safety/query_safety.h"
+
+namespace {
+
+using namespace strq;
+
+void PrintRelation(const Relation& r) {
+  for (const Tuple& t : r.tuples()) {
+    std::printf("  (");
+    for (size_t i = 0; i < t.size(); ++i) {
+      std::printf("%s'%s'", i ? ", " : "", t[i].c_str());
+    }
+    std::printf(")\n");
+  }
+}
+
+int Run() {
+  // 1. A database over the alphabet {a, b, c}: one unary relation of
+  //    "words" and one binary relation of (word, tag) pairs.
+  Result<Alphabet> alphabet = Alphabet::Create("abc");
+  if (!alphabet.ok()) return 1;
+  Database db(*alphabet);
+  Status s1 = db.AddRelation(
+      "Words", 1, {{"abba"}, {"cab"}, {"abc"}, {"bca"}, {"a"}});
+  Status s2 = db.AddRelation(
+      "Tagged", 2, {{"abba", "b"}, {"abc", "c"}, {"cab", "b"}});
+  if (!s1.ok() || !s2.ok()) return 1;
+
+  // 2. Parse a query: words that start with 'a' and end with the letter
+  //    their tag names. LIKE handles the prefix; last[·] is the paper's L_a.
+  Result<FormulaPtr> q = ParseFormula(
+      "Words(x) & like(x, 'a%') & exists t. Tagged(x, t) & "
+      "((t = 'b' & last[b](x)) | (t = 'c' & last[c](x)))");
+  if (!q.ok()) {
+    std::printf("parse error: %s\n", q.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. The signature checker tells you which calculus the query lives in.
+  Result<StructureId> structure = MinimalStructure(*q, *alphabet);
+  if (!structure.ok()) return 1;
+  std::printf("query is in RC(%s)\n", StructureName(*structure));
+
+  // 4. Evaluate with natural semantics (quantifiers over all of Σ*).
+  AutomataEvaluator engine(&db);
+  Result<Relation> out = engine.Evaluate(*q);
+  if (!out.ok()) {
+    std::printf("evaluation error: %s\n", out.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("answers (%zu):\n", out->size());
+  PrintRelation(*out);
+
+  // 5. Safety analysis. This query is unsafe — its output is infinite —
+  //    and the engine proves that instead of looping.
+  Result<FormulaPtr> unsafe = ParseFormula("exists w. Words(w) & w <= x");
+  if (!unsafe.ok()) return 1;
+  Result<bool> is_safe = StateSafe(*unsafe, db);
+  if (!is_safe.ok()) return 1;
+  std::printf("\n'all extensions of stored words' safe on this db? %s\n",
+              *is_safe ? "yes" : "no (infinite output, Proposition 7)");
+
+  // 6. Prefixes of stored words are safe, and the engine enumerates them.
+  Result<FormulaPtr> prefixes = ParseFormula(
+      "exists w. Words(w) & x <= w & !(x = '')");
+  if (!prefixes.ok()) return 1;
+  Result<Relation> pre = engine.Evaluate(*prefixes);
+  if (!pre.ok()) return 1;
+  std::printf("non-empty prefixes of stored words: %zu strings\n",
+              pre->size());
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

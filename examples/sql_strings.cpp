@@ -1,0 +1,134 @@
+// SQL string operations through the paper's lens (Sections 1 and 4).
+//
+// SQL restricts how LIKE/SIMILAR mix with relational operators; the paper's
+// calculi make the combination fully compositional. This example models a
+// FACULTY table and shows:
+//   * LIKE / lexicographic ORDER BY / TRIM TRAILING — all RC(S);
+//   * TRIM LEADING — needs RC(S_left);
+//   * SIMILAR TO (full regular expressions) — needs RC(S_reg);
+//   * LEN comparisons — need RC(S_len);
+// and how the signature checker enforces the boundaries of Figure 1.
+//
+// Run: ./build/examples/sql_strings
+
+#include <cstdio>
+
+#include "eval/automata_eval.h"
+#include "logic/parser.h"
+#include "logic/signature.h"
+
+namespace {
+
+using namespace strq;
+
+FormulaPtr Q(const char* text) {
+  Result<FormulaPtr> r = ParseFormula(text);
+  if (!r.ok()) {
+    std::printf("parse error in %s: %s\n", text,
+                r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *std::move(r);
+}
+
+void Show(const char* title, const Result<Relation>& out) {
+  std::printf("%s\n", title);
+  if (!out.ok()) {
+    std::printf("  -> %s\n", out.status().ToString().c_str());
+    return;
+  }
+  for (const Tuple& t : out->tuples()) {
+    std::printf("  ->");
+    for (const std::string& v : t) std::printf(" '%s'", v.c_str());
+    std::printf("\n");
+  }
+}
+
+int Run() {
+  Result<Alphabet> alphabet = Alphabet::Create("nyckler");  // tiny demo Σ
+  if (!alphabet.ok()) return 1;
+  Database db(*alphabet);
+  // FACULTY.NAME, motivated by the paper's "NAME LIKE 'Nyckeln'" example.
+  Status s = db.AddRelation("Faculty", 1, {{"nyckeln"},
+                                           {"nyckel"},
+                                           {"klyn"},
+                                           {"lynn"},
+                                           {"kync"}});
+  if (!s.ok()) {
+    std::printf("%s\n", s.ToString().c_str());
+    return 1;
+  }
+  AutomataEvaluator engine(&db);
+
+  // --- WHERE NAME LIKE 'nyck%' ------------------------------------- RC(S)
+  FormulaPtr like = Q("Faculty(x) & like(x, 'nyck%')");
+  std::printf("[RC(%s)] ",
+              StructureName(*MinimalStructure(like, *alphabet)));
+  Show("SELECT name WHERE name LIKE 'nyck%'", engine.Evaluate(like));
+
+  // --- ORDER BY name LIMIT 1 (lexicographic minimum) ---------------- RC(S)
+  FormulaPtr min = Q("Faculty(x) & forall y. Faculty(y) -> lexleq(x, y)");
+  Show("\nSELECT min(name) (lexicographic order, Section 4)",
+       engine.Evaluate(min));
+
+  // --- TRIM TRAILING 'n' -------------------------------------------- RC(S)
+  // "y is x with all trailing n's removed": y ≼ x, y has no trailing n
+  // beyond... expressible with suffixin over the star-free language n*.
+  FormulaPtr rtrim = Q(
+      "exists x. Faculty(x) & suffixin(y, x, 'n*') & !last[n](y)");
+  Show("\nSELECT TRIM(TRAILING 'n' FROM name)", engine.Evaluate(rtrim));
+
+  // --- TRIM LEADING 'n' ------------------------------------------ RC(S_left)
+  FormulaPtr ltrim = Q("exists x. Faculty(x) & trim[n](x) = y");
+  std::printf("\n[RC(%s)] ",
+              StructureName(*MinimalStructure(ltrim, *alphabet)));
+  Show("SELECT TRIM(LEADING 'n' FROM name)", engine.Evaluate(ltrim));
+
+  // And the checker refuses it as an RC(S) query — this is Figure 1's
+  // S ⊊ S_left separation at work.
+  Status gate = CheckInLanguage(ltrim, StructureId::kS, *alphabet);
+  std::printf("  as RC(S)? %s\n", gate.ToString().c_str());
+
+  // --- SIMILAR TO '(ny|k)%n' ------------------------------------ RC(S_reg)
+  FormulaPtr similar = Q(
+      "Faculty(x) & member(x, '(ny|k)%n', similar)");
+  std::printf("\n[RC(%s)] ",
+              StructureName(*MinimalStructure(similar, *alphabet)));
+  Show("SELECT name WHERE name SIMILAR TO '(ny|k)%n'",
+       engine.Evaluate(similar));
+
+  // A genuinely non-star-free SIMILAR pattern is rejected over S but fine
+  // over S_reg: pairs of repeated letters.
+  FormulaPtr parity = Q("Faculty(x) & member(x, '((n|y|c|k|l|e|r)(n|y|c|k|l|e|r))*')");
+  std::printf("\n  even-length names as RC(S)?    %s\n",
+              CheckInLanguage(parity, StructureId::kS, *alphabet)
+                  .ToString()
+                  .c_str());
+  std::printf("  even-length names as RC(S_reg)? %s\n",
+              CheckInLanguage(parity, StructureId::kSReg, *alphabet)
+                  .ToString()
+                  .c_str());
+  Show("  evaluated over RC(S_reg):", engine.Evaluate(parity));
+
+  // --- LEN(x) = LEN(y) ------------------------------------------- RC(S_len)
+  FormulaPtr samelen = Q(
+      "Faculty(x) & Faculty(y) & eqlen(x, y) & !(x = y) & lexleq(x, y)");
+  std::printf("\n[RC(%s)] ",
+              StructureName(*MinimalStructure(samelen, *alphabet)));
+  Show("SELECT x, y WHERE LEN(x) = LEN(y) AND x < y",
+       engine.Evaluate(samelen));
+
+  // --- The SQL composition the paper fixes -----------------------------
+  // SQL cannot apply LIKE to a *subquery's* derived column; the calculus
+  // composes freely: match a pattern against trimmed names.
+  FormulaPtr composed = Q(
+      "exists x. Faculty(x) & trim[n](x) = y & like(y, '%l%')");
+  Show("\nLIKE over a derived column (not expressible in SQL92's WHERE):",
+       engine.Evaluate(composed));
+
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

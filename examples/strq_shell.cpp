@@ -1,0 +1,280 @@
+// An interactive (and scriptable) shell around the whole library: define
+// relations, load tuples, run queries through the exact engine, and invoke
+// the static analyses. Reads commands from stdin, one per line:
+//
+//   alphabet <chars>            set Σ (resets the database)
+//   rel <name> <arity>          declare an empty relation
+//   add <name> <v1> [v2 ...]    insert a tuple ('' stands for ε)
+//   show                        print the catalog and active domain
+//   query <formula>             evaluate; prints tuples or the error
+//   ask <formula>               evaluate a sentence (true/false)
+//   safe <formula>              state-safety on the current database
+//   cqsafe <formula>            CQ safety over ALL databases
+//   lang <formula>              minimal calculus containing the formula
+//   simplify <formula>          print the simplified formula
+//   plan <formula> <k>          translate to algebra (reach k) and run it
+//   describe <formula>          unary answer set as a regular expression
+//   load <name> <path>          load a relation from a TSV file
+//   save <name> <path>          save a relation to a TSV file
+//   width                       active-domain width; width1 rewrites the db
+//   help / quit
+//
+// Example session: ./build/examples/strq_shell < demo.strq
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "automata/regex_from_dfa.h"
+#include "eval/algebra_eval.h"
+#include "eval/automata_eval.h"
+#include "logic/parser.h"
+#include "logic/signature.h"
+#include "logic/simplify.h"
+#include "relational/tsv.h"
+#include "relational/width.h"
+#include "safety/query_safety.h"
+#include "safety/safe_translation.h"
+
+namespace {
+
+using namespace strq;
+
+class Shell {
+ public:
+  Shell() : db_(Alphabet::Binary()) {}
+
+  void Run() {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!Dispatch(line)) break;
+    }
+  }
+
+ private:
+  static std::string Unescape(const std::string& word) {
+    return word == "''" ? "" : word;
+  }
+
+  FormulaPtr Parse(const std::string& text) {
+    Result<FormulaPtr> f = ParseFormula(text);
+    if (!f.ok()) {
+      std::printf("  parse error: %s\n", f.status().ToString().c_str());
+      return nullptr;
+    }
+    return *std::move(f);
+  }
+
+  bool Dispatch(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd) || cmd[0] == '#') return true;
+    std::string rest;
+    std::getline(in, rest);
+    if (!rest.empty() && rest[0] == ' ') rest.erase(0, 1);
+
+    if (cmd == "quit" || cmd == "exit") return false;
+    if (cmd == "help") {
+      std::printf(
+          "  commands: alphabet rel add load save show query ask safe cqsafe "
+          "lang simplify plan describe width help quit\n");
+      return true;
+    }
+    if (cmd == "alphabet") {
+      Result<Alphabet> a = Alphabet::Create(rest);
+      if (!a.ok()) {
+        std::printf("  %s\n", a.status().ToString().c_str());
+        return true;
+      }
+      db_ = Database(*a);
+      std::printf("  Σ = \"%s\" (database reset)\n", rest.c_str());
+      return true;
+    }
+    if (cmd == "rel") {
+      std::istringstream args(rest);
+      std::string name;
+      int arity;
+      if (!(args >> name >> arity)) {
+        std::printf("  usage: rel <name> <arity>\n");
+        return true;
+      }
+      Status s = db_.AddRelation(name, Relation::Empty(arity));
+      std::printf("  %s\n", s.ok() ? "ok" : s.ToString().c_str());
+      return true;
+    }
+    if (cmd == "add") {
+      std::istringstream args(rest);
+      std::string name;
+      args >> name;
+      const Relation* rel = db_.Find(name);
+      if (rel == nullptr) {
+        std::printf("  unknown relation %s\n", name.c_str());
+        return true;
+      }
+      Tuple t;
+      std::string w;
+      while (args >> w) t.push_back(Unescape(w));
+      std::vector<Tuple> tuples = rel->tuples();
+      tuples.push_back(std::move(t));
+      Status s = db_.AddRelation(name, rel->arity(), std::move(tuples));
+      std::printf("  %s\n", s.ok() ? "ok" : s.ToString().c_str());
+      return true;
+    }
+    if (cmd == "show") {
+      for (const auto& [name, rel] : db_.relations()) {
+        std::printf("  %s/%d: %zu tuples\n", name.c_str(), rel.arity(),
+                    rel.size());
+      }
+      std::printf("  adom:");
+      for (const std::string& s : db_.ActiveDomain()) {
+        std::printf(" '%s'", s.c_str());
+      }
+      std::printf("\n");
+      return true;
+    }
+    if (cmd == "load" || cmd == "save") {
+      std::istringstream args(rest);
+      std::string name;
+      std::string path;
+      if (!(args >> name >> path)) {
+        std::printf("  usage: %s <name> <path>\n", cmd.c_str());
+        return true;
+      }
+      Status s = cmd == "load" ? LoadTsvRelation(db_, name, path)
+                               : SaveTsvRelation(db_, name, path);
+      std::printf("  %s\n", s.ok() ? "ok" : s.ToString().c_str());
+      return true;
+    }
+    if (cmd == "width") {
+      std::printf("  width(adom) = %d\n", AdomWidth(db_));
+      Result<WidthOneResult> w1 = MakeWidthOne(db_);
+      if (w1.ok()) {
+        db_ = std::move(w1->database);
+        std::printf("  rewritten to width-1 (chain of 0^i)\n");
+      } else {
+        std::printf("  width-1 rewrite: %s\n",
+                    w1.status().ToString().c_str());
+      }
+      return true;
+    }
+
+    // `plan` may carry a trailing reach number; strip it before parsing.
+    int plan_reach = 2;
+    if (cmd == "plan") {
+      size_t pos = rest.find_last_of(' ');
+      if (pos != std::string::npos) {
+        const std::string tail = rest.substr(pos + 1);
+        bool numeric = !tail.empty();
+        for (char c : tail) numeric = numeric && c >= '0' && c <= '9';
+        if (numeric) {
+          plan_reach = 0;
+          for (char c : tail) plan_reach = plan_reach * 10 + (c - '0');
+          rest = rest.substr(0, pos);
+        }
+      }
+    }
+
+    FormulaPtr f = Parse(rest);
+    if (f == nullptr) return true;
+    AutomataEvaluator engine(&db_);
+
+    if (cmd == "describe") {
+      // Works for safe AND unsafe unary queries: the answer set as a regex.
+      Result<TrackAutomaton> rel = engine.Compile(f);
+      if (!rel.ok()) {
+        std::printf("  %s\n", rel.status().ToString().c_str());
+        return true;
+      }
+      Result<Dfa> lang = rel->UnaryLanguage();
+      if (!lang.ok()) {
+        std::printf("  %s\n", lang.status().ToString().c_str());
+        return true;
+      }
+      Result<std::string> described = DescribeLanguage(*lang, db_.alphabet());
+      if (!described.ok()) {
+        std::printf("  %s\n", described.status().ToString().c_str());
+        return true;
+      }
+      std::printf("  answers = %s  (%s)\n", described->c_str(),
+                  rel->IsFinite() ? "finite" : "infinite");
+      return true;
+    }
+    if (cmd == "query") {
+      Result<Relation> out = engine.Evaluate(f);
+      if (!out.ok()) {
+        std::printf("  %s\n", out.status().ToString().c_str());
+        return true;
+      }
+      std::printf("  %zu tuple(s) over (", out->size());
+      std::vector<std::string> cols = AutomataEvaluator::FreeVarOrder(f);
+      for (size_t i = 0; i < cols.size(); ++i) {
+        std::printf("%s%s", i ? ", " : "", cols[i].c_str());
+      }
+      std::printf(")\n");
+      for (const Tuple& t : out->tuples()) {
+        std::printf("   ");
+        for (const std::string& v : t) std::printf(" '%s'", v.c_str());
+        std::printf("\n");
+      }
+    } else if (cmd == "ask") {
+      Result<bool> v = engine.EvaluateSentence(f);
+      std::printf("  %s\n", v.ok() ? (*v ? "true" : "false")
+                                   : v.status().ToString().c_str());
+    } else if (cmd == "safe") {
+      Result<bool> v = StateSafe(f, db_);
+      std::printf("  %s\n",
+                  v.ok() ? (*v ? "safe on this database"
+                               : "UNSAFE on this database (infinite output)")
+                         : v.status().ToString().c_str());
+    } else if (cmd == "cqsafe") {
+      Result<bool> v = QuerySafe(f, db_.alphabet());
+      std::printf("  %s\n", v.ok() ? (*v ? "safe on every database"
+                                         : "unsafe on some database")
+                                   : v.status().ToString().c_str());
+    } else if (cmd == "lang") {
+      Result<StructureId> s = MinimalStructure(f, db_.alphabet());
+      std::printf("  RC(%s)\n", s.ok() ? StructureName(*s)
+                                       : s.status().ToString().c_str());
+    } else if (cmd == "simplify") {
+      std::printf("  %s\n", ToString(Simplify(f)).c_str());
+    } else if (cmd == "plan") {
+      int reach = plan_reach;
+      Result<StructureId> s = MinimalStructure(f, db_.alphabet());
+      if (!s.ok()) {
+        std::printf("  %s\n", s.status().ToString().c_str());
+        return true;
+      }
+      std::map<std::string, int> schema;
+      for (const auto& [name, rel] : db_.relations()) {
+        schema[name] = rel.arity();
+      }
+      Result<RaPtr> plan =
+          TranslateToAlgebra(f, *s, schema, db_.alphabet(), reach);
+      if (!plan.ok()) {
+        std::printf("  %s\n", plan.status().ToString().c_str());
+        return true;
+      }
+      AlgebraEvaluator algebra(&db_);
+      Result<Relation> out = algebra.Evaluate(*plan);
+      std::printf("  RA(%s) plan, reach %d: %s (%zu tuples)\n",
+                  StructureName(*s), reach,
+                  out.ok() ? "evaluated" : out.status().ToString().c_str(),
+                  out.ok() ? out->size() : 0);
+    } else {
+      std::printf("  unknown command '%s' (try help)\n", cmd.c_str());
+    }
+    return true;
+  }
+
+  Database db_;
+};
+
+}  // namespace
+
+int main() {
+  Shell shell;
+  shell.Run();
+  return 0;
+}

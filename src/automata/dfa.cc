@@ -1,0 +1,365 @@
+#include "automata/dfa.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <map>
+#include <numeric>
+
+namespace strq {
+
+Result<Dfa> Dfa::Create(int alphabet_size, int start,
+                        std::vector<std::vector<int>> next,
+                        std::vector<bool> accepting) {
+  int n = static_cast<int>(next.size());
+  if (n == 0) return InvalidArgumentError("DFA must have at least one state");
+  if (alphabet_size <= 0) {
+    return InvalidArgumentError("alphabet size must be positive");
+  }
+  if (start < 0 || start >= n) return InvalidArgumentError("bad start state");
+  if (static_cast<int>(accepting.size()) != n) {
+    return InvalidArgumentError("accepting vector size mismatch");
+  }
+  for (const auto& row : next) {
+    if (static_cast<int>(row.size()) != alphabet_size) {
+      return InvalidArgumentError("transition row size mismatch");
+    }
+    for (int t : row) {
+      if (t < 0 || t >= n) return InvalidArgumentError("bad transition target");
+    }
+  }
+  return Dfa(alphabet_size, start, std::move(next), std::move(accepting));
+}
+
+Dfa Dfa::EmptyLanguage(int alphabet_size) {
+  return Dfa(alphabet_size, 0,
+             {std::vector<int>(static_cast<size_t>(alphabet_size), 0)},
+             {false});
+}
+
+Dfa Dfa::AllStrings(int alphabet_size) {
+  return Dfa(alphabet_size, 0,
+             {std::vector<int>(static_cast<size_t>(alphabet_size), 0)},
+             {true});
+}
+
+Dfa Dfa::SingleString(int alphabet_size, const std::vector<Symbol>& w) {
+  // States 0..|w| along the string, plus a sink at |w|+1.
+  int n = static_cast<int>(w.size()) + 2;
+  int sink = n - 1;
+  std::vector<std::vector<int>> next(
+      n, std::vector<int>(static_cast<size_t>(alphabet_size), sink));
+  for (size_t i = 0; i < w.size(); ++i) {
+    next[i][w[i]] = static_cast<int>(i) + 1;
+  }
+  std::vector<bool> accepting(n, false);
+  accepting[w.size()] = true;
+  return Dfa(alphabet_size, 0, std::move(next), std::move(accepting));
+}
+
+bool Dfa::Accepts(const std::vector<Symbol>& w) const {
+  int q = start_;
+  for (Symbol s : w) {
+    assert(s < alphabet_size_);
+    q = next_[q][s];
+  }
+  return accepting_[q];
+}
+
+bool Dfa::AcceptsString(const Alphabet& alphabet, const std::string& w) const {
+  Result<std::vector<Symbol>> enc = alphabet.Encode(w);
+  if (!enc.ok()) return false;
+  return Accepts(*enc);
+}
+
+std::vector<bool> Dfa::ReachableStates() const {
+  std::vector<bool> seen(next_.size(), false);
+  std::deque<int> queue = {start_};
+  seen[start_] = true;
+  while (!queue.empty()) {
+    int q = queue.front();
+    queue.pop_front();
+    for (int t : next_[q]) {
+      if (!seen[t]) {
+        seen[t] = true;
+        queue.push_back(t);
+      }
+    }
+  }
+  return seen;
+}
+
+std::vector<bool> Dfa::CoreachableStates() const {
+  int n = num_states();
+  std::vector<std::vector<int>> rev(n);
+  for (int q = 0; q < n; ++q) {
+    for (int t : next_[q]) rev[t].push_back(q);
+  }
+  std::vector<bool> seen(n, false);
+  std::deque<int> queue;
+  for (int q = 0; q < n; ++q) {
+    if (accepting_[q]) {
+      seen[q] = true;
+      queue.push_back(q);
+    }
+  }
+  while (!queue.empty()) {
+    int q = queue.front();
+    queue.pop_front();
+    for (int p : rev[q]) {
+      if (!seen[p]) {
+        seen[p] = true;
+        queue.push_back(p);
+      }
+    }
+  }
+  return seen;
+}
+
+bool Dfa::IsEmpty() const {
+  std::vector<bool> reach = ReachableStates();
+  for (int q = 0; q < num_states(); ++q) {
+    if (reach[q] && accepting_[q]) return false;
+  }
+  return true;
+}
+
+bool Dfa::IsUniversal() const { return Complemented().IsEmpty(); }
+
+bool Dfa::IsFinite() const {
+  // The language is infinite iff some *useful* state (reachable from start,
+  // able to reach an accepting state) lies on a cycle within useful states.
+  std::vector<bool> reach = ReachableStates();
+  std::vector<bool> coreach = CoreachableStates();
+  int n = num_states();
+  std::vector<bool> useful(n);
+  for (int q = 0; q < n; ++q) useful[q] = reach[q] && coreach[q];
+
+  // Iterative DFS with colors over the useful subgraph.
+  enum Color : uint8_t { kWhite, kGray, kBlack };
+  std::vector<Color> color(n, kWhite);
+  for (int root = 0; root < n; ++root) {
+    if (!useful[root] || color[root] != kWhite) continue;
+    // Stack of (state, next symbol index to explore).
+    std::vector<std::pair<int, int>> stack = {{root, 0}};
+    color[root] = kGray;
+    while (!stack.empty()) {
+      auto& [q, i] = stack.back();
+      if (i >= alphabet_size_) {
+        color[q] = kBlack;
+        stack.pop_back();
+        continue;
+      }
+      int t = next_[q][i++];
+      if (!useful[t]) continue;
+      if (color[t] == kGray) return false;  // cycle among useful states
+      if (color[t] == kWhite) {
+        color[t] = kGray;
+        stack.push_back({t, 0});
+      }
+    }
+  }
+  return true;
+}
+
+namespace {
+
+uint64_t SaturatingAdd(uint64_t a, uint64_t b) {
+  if (a > Dfa::kCountSaturated - b) return Dfa::kCountSaturated;
+  return a + b;
+}
+
+}  // namespace
+
+uint64_t Dfa::CountLength(int n) const {
+  // counts[q] = number of strings of the processed length ending in q.
+  std::vector<uint64_t> counts(next_.size(), 0);
+  counts[start_] = 1;
+  for (int step = 0; step < n; ++step) {
+    std::vector<uint64_t> nxt(next_.size(), 0);
+    for (size_t q = 0; q < next_.size(); ++q) {
+      if (counts[q] == 0) continue;
+      for (int s = 0; s < alphabet_size_; ++s) {
+        int t = next_[q][s];
+        if (counts[q] == kCountSaturated) {
+          nxt[t] = kCountSaturated;
+        } else {
+          nxt[t] = SaturatingAdd(nxt[t], counts[q]);
+        }
+      }
+    }
+    counts = std::move(nxt);
+  }
+  uint64_t total = 0;
+  for (size_t q = 0; q < next_.size(); ++q) {
+    if (accepting_[q]) total = SaturatingAdd(total, counts[q]);
+  }
+  return total;
+}
+
+uint64_t Dfa::CountUpToLength(int n) const {
+  uint64_t total = 0;
+  for (int len = 0; len <= n; ++len) {
+    total = SaturatingAdd(total, CountLength(len));
+  }
+  return total;
+}
+
+std::vector<std::vector<Symbol>> Dfa::Enumerate(int max_len,
+                                                size_t max_count) const {
+  std::vector<std::vector<Symbol>> out;
+  std::vector<bool> coreach = CoreachableStates();
+  if (!coreach[start_]) return out;
+
+  // Shortlex: breadth-first over (state, word) pruned to co-reachable states.
+  std::deque<std::pair<int, std::vector<Symbol>>> queue;
+  queue.push_back({start_, {}});
+  while (!queue.empty() && out.size() < max_count) {
+    auto [q, w] = std::move(queue.front());
+    queue.pop_front();
+    if (accepting_[q]) out.push_back(w);
+    if (static_cast<int>(w.size()) >= max_len) continue;
+    for (int s = 0; s < alphabet_size_; ++s) {
+      int t = next_[q][s];
+      if (!coreach[t]) continue;
+      std::vector<Symbol> w2 = w;
+      w2.push_back(static_cast<Symbol>(s));
+      queue.push_back({t, std::move(w2)});
+    }
+  }
+  return out;
+}
+
+std::optional<std::vector<Symbol>> Dfa::ShortestAccepted() const {
+  // BFS from start recording the first-reached word.
+  std::vector<bool> seen(next_.size(), false);
+  std::deque<std::pair<int, std::vector<Symbol>>> queue;
+  queue.push_back({start_, {}});
+  seen[start_] = true;
+  while (!queue.empty()) {
+    auto [q, w] = std::move(queue.front());
+    queue.pop_front();
+    if (accepting_[q]) return w;
+    for (int s = 0; s < alphabet_size_; ++s) {
+      int t = next_[q][s];
+      if (seen[t]) continue;
+      seen[t] = true;
+      std::vector<Symbol> w2 = w;
+      w2.push_back(static_cast<Symbol>(s));
+      queue.push_back({t, std::move(w2)});
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<int> Dfa::MaxAcceptedLength() const {
+  if (!IsFinite()) return std::nullopt;
+  std::vector<bool> reach = ReachableStates();
+  std::vector<bool> coreach = CoreachableStates();
+  int n = num_states();
+  std::vector<bool> useful(n);
+  bool any = false;
+  for (int q = 0; q < n; ++q) {
+    useful[q] = reach[q] && coreach[q];
+    any = any || useful[q];
+  }
+  if (!any) return -1;
+
+  // The useful subgraph is a DAG (IsFinite). Longest path from start to an
+  // accepting state via memoized DFS; memo[q] = longest suffix-path length
+  // ending at an accepting state from q (-1 if none, which cannot happen for
+  // useful q).
+  std::vector<int> memo(n, -2);  // -2 = unvisited
+  // Iterative post-order.
+  std::vector<std::pair<int, int>> stack = {{start_, 0}};
+  if (!useful[start_]) return -1;
+  while (!stack.empty()) {
+    auto& [q, i] = stack.back();
+    if (i == 0 && memo[q] != -2) {
+      stack.pop_back();
+      continue;
+    }
+    if (i < alphabet_size_) {
+      int t = next_[q][i++];
+      if (useful[t] && memo[t] == -2) stack.push_back({t, 0});
+      continue;
+    }
+    // All children done; compute.
+    int best = accepting_[q] ? 0 : -1;
+    for (int s = 0; s < alphabet_size_; ++s) {
+      int t = next_[q][s];
+      if (useful[t] && memo[t] >= 0) best = std::max(best, memo[t] + 1);
+    }
+    memo[q] = best;
+    stack.pop_back();
+  }
+  return memo[start_];
+}
+
+Dfa Dfa::Complemented() const {
+  std::vector<bool> acc(accepting_.size());
+  for (size_t q = 0; q < accepting_.size(); ++q) acc[q] = !accepting_[q];
+  return Dfa(alphabet_size_, start_, next_, std::move(acc));
+}
+
+Dfa Dfa::Minimized() const {
+  // Restrict to reachable states first.
+  std::vector<bool> reach = ReachableStates();
+  std::vector<int> remap(next_.size(), -1);
+  int m = 0;
+  for (size_t q = 0; q < next_.size(); ++q) {
+    if (reach[q]) remap[q] = m++;
+  }
+  std::vector<std::vector<int>> next(m);
+  std::vector<bool> accepting(m);
+  for (size_t q = 0; q < next_.size(); ++q) {
+    if (!reach[q]) continue;
+    std::vector<int> row(alphabet_size_);
+    for (int s = 0; s < alphabet_size_; ++s) row[s] = remap[next_[q][s]];
+    next[remap[q]] = std::move(row);
+    accepting[remap[q]] = accepting_[q];
+  }
+  int start = remap[start_];
+
+  // Moore partition refinement: O(n^2 * |Σ|) worst case, fine at our scale
+  // (states number in the hundreds). Partition ids per state.
+  std::vector<int> part(m);
+  for (int q = 0; q < m; ++q) part[q] = accepting[q] ? 1 : 0;
+  int num_parts = 2;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Signature of each state: (part, part of successors).
+    std::map<std::vector<int>, int> sig_to_id;
+    std::vector<int> new_part(m);
+    for (int q = 0; q < m; ++q) {
+      std::vector<int> sig;
+      sig.reserve(alphabet_size_ + 1);
+      sig.push_back(part[q]);
+      for (int s = 0; s < alphabet_size_; ++s) sig.push_back(part[next[q][s]]);
+      auto [it, inserted] =
+          sig_to_id.emplace(std::move(sig), static_cast<int>(sig_to_id.size()));
+      new_part[q] = it->second;
+      (void)inserted;
+    }
+    int new_num = static_cast<int>(sig_to_id.size());
+    if (new_num != num_parts) {
+      changed = true;
+      num_parts = new_num;
+    }
+    part = std::move(new_part);
+  }
+
+  std::vector<std::vector<int>> min_next(
+      num_parts, std::vector<int>(static_cast<size_t>(alphabet_size_), 0));
+  std::vector<bool> min_acc(num_parts, false);
+  for (int q = 0; q < m; ++q) {
+    int p = part[q];
+    for (int s = 0; s < alphabet_size_; ++s) min_next[p][s] = part[next[q][s]];
+    if (accepting[q]) min_acc[p] = true;
+  }
+  return Dfa(alphabet_size_, part[start], std::move(min_next),
+             std::move(min_acc));
+}
+
+}  // namespace strq

@@ -1,0 +1,98 @@
+#ifndef STRQ_AUTOMATA_DFA_H_
+#define STRQ_AUTOMATA_DFA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/alphabet.h"
+#include "base/status.h"
+
+namespace strq {
+
+// A complete deterministic finite automaton over symbols {0..alphabet_size-1}.
+// Transition tables are total: every state has a successor on every symbol
+// (constructions add an explicit sink where needed). States are dense ints.
+class Dfa {
+ public:
+  // Creates a DFA; `next[q][s]` is the successor of state q on symbol s.
+  // All rows must have exactly `alphabet_size` entries with valid targets.
+  static Result<Dfa> Create(int alphabet_size, int start,
+                            std::vector<std::vector<int>> next,
+                            std::vector<bool> accepting);
+
+  // The one-state DFA rejecting everything.
+  static Dfa EmptyLanguage(int alphabet_size);
+  // The one-state DFA accepting Σ*.
+  static Dfa AllStrings(int alphabet_size);
+  // Accepts exactly the given string.
+  static Dfa SingleString(int alphabet_size, const std::vector<Symbol>& w);
+
+  int alphabet_size() const { return alphabet_size_; }
+  int num_states() const { return static_cast<int>(next_.size()); }
+  int start() const { return start_; }
+  int Next(int state, Symbol s) const { return next_[state][s]; }
+  bool IsAccepting(int state) const { return accepting_[state]; }
+
+  // Runs the DFA on a symbol string from the start state.
+  bool Accepts(const std::vector<Symbol>& w) const;
+
+  // Convenience: encode `w` over `alphabet` and run. Foreign chars -> false.
+  bool AcceptsString(const Alphabet& alphabet, const std::string& w) const;
+
+  // Language predicates.
+  bool IsEmpty() const;
+  bool IsUniversal() const;
+  // True iff the accepted language is finite.
+  bool IsFinite() const;
+
+  // Number of accepted strings of length exactly n, saturating at
+  // kCountSaturated.
+  static constexpr uint64_t kCountSaturated = ~0ULL;
+  uint64_t CountLength(int n) const;
+
+  // Number of accepted strings of length at most n (saturating).
+  uint64_t CountUpToLength(int n) const;
+
+  // Accepted strings in shortlex order, up to `max_count` strings and length
+  // at most `max_len`. Exact for finite languages when the limits are large
+  // enough.
+  std::vector<std::vector<Symbol>> Enumerate(int max_len,
+                                             size_t max_count) const;
+
+  // A shortest accepted string, if the language is non-empty.
+  std::optional<std::vector<Symbol>> ShortestAccepted() const;
+
+  // Length of the longest accepted string: -1 if the language is empty,
+  // nullopt if it is infinite. Used to enumerate finite languages exactly.
+  std::optional<int> MaxAcceptedLength() const;
+
+  // Language transformations (all return complete DFAs).
+  Dfa Complemented() const;
+
+  // Hopcroft minimization (also removes unreachable states).
+  Dfa Minimized() const;
+
+ private:
+  Dfa(int alphabet_size, int start, std::vector<std::vector<int>> next,
+      std::vector<bool> accepting)
+      : alphabet_size_(alphabet_size),
+        start_(start),
+        next_(std::move(next)),
+        accepting_(std::move(accepting)) {}
+
+  // States reachable from start.
+  std::vector<bool> ReachableStates() const;
+  // States from which an accepting state is reachable.
+  std::vector<bool> CoreachableStates() const;
+
+  int alphabet_size_;
+  int start_;
+  std::vector<std::vector<int>> next_;
+  std::vector<bool> accepting_;
+};
+
+}  // namespace strq
+
+#endif  // STRQ_AUTOMATA_DFA_H_

@@ -1,0 +1,63 @@
+#include "automata/like.h"
+
+#include "automata/ops.h"
+
+namespace strq {
+
+Result<RegexPtr> LikeToRegex(const std::string& pattern, char escape) {
+  RegexPtr out = RxEpsilon();
+  bool any = false;
+  auto append = [&](RegexPtr piece) {
+    out = any ? RxConcat(std::move(out), std::move(piece)) : std::move(piece);
+    any = true;
+  };
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    char c = pattern[i];
+    if (escape != '\0' && c == escape) {
+      if (i + 1 >= pattern.size()) {
+        return InvalidArgumentError("LIKE pattern ends with escape character");
+      }
+      append(RxLiteral(pattern[++i]));
+    } else if (c == '%') {
+      append(RxStar(RxAnyChar()));
+    } else if (c == '_') {
+      append(RxAnyChar());
+    } else {
+      append(RxLiteral(c));
+    }
+  }
+  return out;
+}
+
+Result<Dfa> CompileLike(const std::string& pattern, const Alphabet& alphabet,
+                        char escape) {
+  STRQ_ASSIGN_OR_RETURN(RegexPtr rx, LikeToRegex(pattern, escape));
+  STRQ_ASSIGN_OR_RETURN(Nfa nfa, RegexToNfa(rx, alphabet));
+  STRQ_ASSIGN_OR_RETURN(Dfa dfa, Determinize(nfa));
+  return dfa.Minimized();
+}
+
+Result<LikeMatcher> LikeMatcher::Create(const std::string& pattern,
+                                        const Alphabet& alphabet,
+                                        char escape) {
+  STRQ_ASSIGN_OR_RETURN(Dfa dfa, CompileLike(pattern, alphabet, escape));
+  std::vector<int16_t> symbol_of(256, -1);
+  for (int s = 0; s < alphabet.size(); ++s) {
+    unsigned char c =
+        static_cast<unsigned char>(alphabet.CharOf(static_cast<Symbol>(s)));
+    symbol_of[c] = static_cast<int16_t>(s);
+  }
+  return LikeMatcher(std::move(dfa), std::move(symbol_of));
+}
+
+bool LikeMatcher::Matches(const std::string& text) const {
+  int q = dfa_.start();
+  for (char c : text) {
+    int16_t s = symbol_of_[static_cast<unsigned char>(c)];
+    if (s < 0) return false;
+    q = dfa_.Next(q, static_cast<Symbol>(s));
+  }
+  return dfa_.IsAccepting(q);
+}
+
+}  // namespace strq

@@ -1,0 +1,54 @@
+#ifndef STRQ_AUTOMATA_LIKE_H_
+#define STRQ_AUTOMATA_LIKE_H_
+
+#include <string>
+
+#include "automata/dfa.h"
+#include "automata/regex.h"
+#include "base/alphabet.h"
+#include "base/status.h"
+
+namespace strq {
+
+// SQL LIKE patterns (Section 4): '%' matches zero or more characters, '_'
+// matches exactly one, every other character matches itself. An optional
+// escape character (SQL's ESCAPE clause) makes the following character
+// literal; pass '\0' for no escape.
+//
+// LIKE patterns denote exactly star-free languages, which is why LIKE is
+// expressible over S (Section 4); like_test.cc machine-checks star-freeness
+// of every compiled pattern with IsStarFree().
+
+// Translates a LIKE pattern into a regex AST ('%' -> .*, '_' -> .).
+Result<RegexPtr> LikeToRegex(const std::string& pattern, char escape = '\0');
+
+// Compiles a LIKE pattern into a minimal DFA over `alphabet`.
+Result<Dfa> CompileLike(const std::string& pattern, const Alphabet& alphabet,
+                        char escape = '\0');
+
+// Compile-once, match-many LIKE execution: the DFA walk reads raw
+// characters through a precomputed char→symbol table, with no per-call
+// allocation or encoding — the hot path the algebra's σ_LIKE scans want.
+// bench_sec4_like compares this against the reference backtracker.
+class LikeMatcher {
+ public:
+  static Result<LikeMatcher> Create(const std::string& pattern,
+                                    const Alphabet& alphabet,
+                                    char escape = '\0');
+
+  // False for texts containing characters outside the alphabet.
+  bool Matches(const std::string& text) const;
+
+  const Dfa& dfa() const { return dfa_; }
+
+ private:
+  LikeMatcher(Dfa dfa, std::vector<int16_t> symbol_of)
+      : dfa_(std::move(dfa)), symbol_of_(std::move(symbol_of)) {}
+
+  Dfa dfa_;
+  std::vector<int16_t> symbol_of_;  // 256 entries; -1 = foreign character
+};
+
+}  // namespace strq
+
+#endif  // STRQ_AUTOMATA_LIKE_H_

@@ -1,0 +1,80 @@
+#include "automata/nfa.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace strq {
+
+int Nfa::AddState() {
+  trans_.emplace_back(alphabet_size_);
+  epsilon_.emplace_back();
+  accepting_.push_back(false);
+  return num_states() - 1;
+}
+
+void Nfa::AddTransition(int from, Symbol symbol, int to) {
+  assert(from >= 0 && from < num_states());
+  assert(to >= 0 && to < num_states());
+  assert(symbol < alphabet_size_);
+  trans_[from][symbol].push_back(to);
+}
+
+void Nfa::AddEpsilon(int from, int to) {
+  assert(from >= 0 && from < num_states());
+  assert(to >= 0 && to < num_states());
+  epsilon_[from].push_back(to);
+}
+
+void Nfa::SetAccepting(int state, bool accepting) {
+  assert(state >= 0 && state < num_states());
+  accepting_[state] = accepting;
+}
+
+std::vector<int> Nfa::EpsilonClosure(std::vector<int> states) const {
+  std::vector<bool> seen(num_states(), false);
+  std::deque<int> queue;
+  for (int q : states) {
+    if (!seen[q]) {
+      seen[q] = true;
+      queue.push_back(q);
+    }
+  }
+  while (!queue.empty()) {
+    int q = queue.front();
+    queue.pop_front();
+    for (int t : epsilon_[q]) {
+      if (!seen[t]) {
+        seen[t] = true;
+        queue.push_back(t);
+      }
+    }
+  }
+  std::vector<int> out;
+  for (int q = 0; q < num_states(); ++q) {
+    if (seen[q]) out.push_back(q);
+  }
+  return out;
+}
+
+bool Nfa::Accepts(const std::vector<Symbol>& w) const {
+  if (num_states() == 0) return false;
+  std::vector<int> current = EpsilonClosure({start_});
+  for (Symbol s : w) {
+    std::vector<int> next;
+    for (int q : current) {
+      const std::vector<int>& ts = trans_[q][s];
+      next.insert(next.end(), ts.begin(), ts.end());
+    }
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    current = EpsilonClosure(std::move(next));
+    if (current.empty()) return false;
+  }
+  for (int q : current) {
+    if (accepting_[q]) return true;
+  }
+  return false;
+}
+
+}  // namespace strq

@@ -1,0 +1,57 @@
+#ifndef STRQ_AUTOMATA_NFA_H_
+#define STRQ_AUTOMATA_NFA_H_
+
+#include <vector>
+
+#include "base/alphabet.h"
+#include "base/status.h"
+
+namespace strq {
+
+// A nondeterministic finite automaton with epsilon transitions, used as the
+// intermediate form for Thompson construction and for operations that are
+// naturally nondeterministic (projection in the multi-track engine reuses the
+// same subset-construction machinery via automata/ops.h).
+class Nfa {
+ public:
+  explicit Nfa(int alphabet_size) : alphabet_size_(alphabet_size) {}
+
+  int alphabet_size() const { return alphabet_size_; }
+  int num_states() const { return static_cast<int>(trans_.size()); }
+
+  // Adds a fresh state and returns its id.
+  int AddState();
+
+  void AddTransition(int from, Symbol symbol, int to);
+  void AddEpsilon(int from, int to);
+  void SetStart(int state) { start_ = state; }
+  void SetAccepting(int state, bool accepting = true);
+
+  int start() const { return start_; }
+  bool IsAccepting(int state) const { return accepting_[state]; }
+  // Targets of `from` on `symbol` (no epsilon closure applied).
+  const std::vector<int>& Targets(int from, Symbol symbol) const {
+    return trans_[from][symbol];
+  }
+  const std::vector<int>& EpsilonTargets(int from) const {
+    return epsilon_[from];
+  }
+
+  // Epsilon closure of a set of states (sorted, deduplicated).
+  std::vector<int> EpsilonClosure(std::vector<int> states) const;
+
+  // Direct NFA run (used for differential tests against the DFA path).
+  bool Accepts(const std::vector<Symbol>& w) const;
+
+ private:
+  int alphabet_size_;
+  int start_ = 0;
+  // trans_[state][symbol] -> target list.
+  std::vector<std::vector<std::vector<int>>> trans_;
+  std::vector<std::vector<int>> epsilon_;
+  std::vector<bool> accepting_;
+};
+
+}  // namespace strq
+
+#endif  // STRQ_AUTOMATA_NFA_H_

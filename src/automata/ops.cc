@@ -1,0 +1,203 @@
+#include "automata/ops.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace strq {
+
+Result<Dfa> Determinize(const Nfa& nfa, int max_states) {
+  if (nfa.num_states() == 0) {
+    return Dfa::EmptyLanguage(nfa.alphabet_size());
+  }
+  int k = nfa.alphabet_size();
+  std::map<std::vector<int>, int> ids;
+  std::vector<std::vector<int>> subsets;
+  std::vector<std::vector<int>> next;
+  std::vector<bool> accepting;
+
+  auto intern = [&](std::vector<int> subset) -> int {
+    auto [it, inserted] = ids.emplace(subset, static_cast<int>(subsets.size()));
+    if (inserted) {
+      subsets.push_back(std::move(subset));
+      next.emplace_back(k, -1);
+      accepting.push_back(false);
+    }
+    return it->second;
+  };
+
+  int start = intern(nfa.EpsilonClosure({nfa.start()}));
+  for (size_t i = 0; i < subsets.size(); ++i) {
+    if (static_cast<int>(subsets.size()) > max_states) {
+      return ResourceExhaustedError("determinization exceeded state budget");
+    }
+    // Mark accepting.
+    for (int q : subsets[i]) {
+      if (nfa.IsAccepting(q)) {
+        accepting[i] = true;
+        break;
+      }
+    }
+    for (int s = 0; s < k; ++s) {
+      std::vector<int> moved;
+      for (int q : subsets[i]) {
+        const std::vector<int>& ts = nfa.Targets(q, static_cast<Symbol>(s));
+        moved.insert(moved.end(), ts.begin(), ts.end());
+      }
+      std::sort(moved.begin(), moved.end());
+      moved.erase(std::unique(moved.begin(), moved.end()), moved.end());
+      int target = intern(nfa.EpsilonClosure(std::move(moved)));
+      next[i][s] = target;
+    }
+  }
+  return Dfa::Create(k, start, std::move(next), std::move(accepting));
+}
+
+namespace {
+
+// Generic product DFA with a boolean combiner on acceptance.
+Result<Dfa> Product(const Dfa& a, const Dfa& b, bool (*combine)(bool, bool)) {
+  if (a.alphabet_size() != b.alphabet_size()) {
+    return InvalidArgumentError("product of DFAs over different alphabets");
+  }
+  int k = a.alphabet_size();
+  int nb = b.num_states();
+  auto encode = [nb](int qa, int qb) { return qa * nb + qb; };
+  int n = a.num_states() * nb;
+  std::vector<std::vector<int>> next(n,
+                                     std::vector<int>(static_cast<size_t>(k)));
+  std::vector<bool> accepting(n);
+  for (int qa = 0; qa < a.num_states(); ++qa) {
+    for (int qb = 0; qb < nb; ++qb) {
+      int q = encode(qa, qb);
+      accepting[q] = combine(a.IsAccepting(qa), b.IsAccepting(qb));
+      for (int s = 0; s < k; ++s) {
+        next[q][s] = encode(a.Next(qa, static_cast<Symbol>(s)),
+                            b.Next(qb, static_cast<Symbol>(s)));
+      }
+    }
+  }
+  return Dfa::Create(k, encode(a.start(), b.start()), std::move(next),
+                     std::move(accepting));
+}
+
+}  // namespace
+
+Result<Dfa> Intersect(const Dfa& a, const Dfa& b) {
+  return Product(a, b, [](bool x, bool y) { return x && y; });
+}
+
+Result<Dfa> Union(const Dfa& a, const Dfa& b) {
+  return Product(a, b, [](bool x, bool y) { return x || y; });
+}
+
+Result<Dfa> Difference(const Dfa& a, const Dfa& b) {
+  return Product(a, b, [](bool x, bool y) { return x && !y; });
+}
+
+Result<bool> Equivalent(const Dfa& a, const Dfa& b) {
+  STRQ_ASSIGN_OR_RETURN(
+      Dfa sym, Product(a, b, [](bool x, bool y) { return x != y; }));
+  return sym.IsEmpty();
+}
+
+Result<bool> Subset(const Dfa& a, const Dfa& b) {
+  STRQ_ASSIGN_OR_RETURN(Dfa diff, Difference(a, b));
+  return diff.IsEmpty();
+}
+
+Result<Dfa> Reverse(const Dfa& a, int max_states) {
+  Nfa rev(a.alphabet_size());
+  for (int q = 0; q < a.num_states(); ++q) rev.AddState();
+  int new_start = rev.AddState();
+  rev.SetStart(new_start);
+  for (int q = 0; q < a.num_states(); ++q) {
+    for (int s = 0; s < a.alphabet_size(); ++s) {
+      rev.AddTransition(a.Next(q, static_cast<Symbol>(s)),
+                        static_cast<Symbol>(s), q);
+    }
+    if (a.IsAccepting(q)) rev.AddEpsilon(new_start, q);
+  }
+  rev.SetAccepting(a.start());
+  return Determinize(rev, max_states);
+}
+
+Dfa LeftQuotient(const Dfa& d, Symbol a) {
+  std::vector<std::vector<int>> next;
+  std::vector<bool> accepting;
+  for (int q = 0; q < d.num_states(); ++q) {
+    std::vector<int> row(d.alphabet_size());
+    for (int s = 0; s < d.alphabet_size(); ++s) {
+      row[s] = d.Next(q, static_cast<Symbol>(s));
+    }
+    next.push_back(std::move(row));
+    accepting.push_back(d.IsAccepting(q));
+  }
+  Result<Dfa> out = Dfa::Create(d.alphabet_size(), d.Next(d.start(), a),
+                                std::move(next), std::move(accepting));
+  // Construction cannot fail: inputs come from a valid DFA.
+  return *std::move(out);
+}
+
+Result<Dfa> PrependLetter(const Dfa& d, Symbol a) {
+  Nfa nfa(d.alphabet_size());
+  for (int q = 0; q < d.num_states(); ++q) {
+    nfa.AddState();
+    nfa.SetAccepting(q, d.IsAccepting(q));
+  }
+  for (int q = 0; q < d.num_states(); ++q) {
+    for (int s = 0; s < d.alphabet_size(); ++s) {
+      nfa.AddTransition(q, static_cast<Symbol>(s),
+                        d.Next(q, static_cast<Symbol>(s)));
+    }
+  }
+  int fresh = nfa.AddState();
+  nfa.AddTransition(fresh, a, d.start());
+  nfa.SetStart(fresh);
+  return Determinize(nfa);
+}
+
+Dfa PrefixClosureLang(const Dfa& d) {
+  // A prefix u is in the closure iff from δ(start, u) an accepting state is
+  // reachable. So: mark all co-reachable states accepting. We recompute
+  // co-reachability locally to keep Dfa's internals private.
+  int n = d.num_states();
+  std::vector<std::vector<int>> rev(n);
+  std::vector<std::vector<int>> next(n);
+  std::vector<bool> accepting(n);
+  for (int q = 0; q < n; ++q) {
+    std::vector<int> row(d.alphabet_size());
+    for (int s = 0; s < d.alphabet_size(); ++s) {
+      row[s] = d.Next(q, static_cast<Symbol>(s));
+      rev[row[s]].push_back(q);
+    }
+    next[q] = std::move(row);
+    accepting[q] = d.IsAccepting(q);
+  }
+  std::vector<bool> coreach(n, false);
+  std::vector<int> stack;
+  for (int q = 0; q < n; ++q) {
+    if (accepting[q]) {
+      coreach[q] = true;
+      stack.push_back(q);
+    }
+  }
+  while (!stack.empty()) {
+    int q = stack.back();
+    stack.pop_back();
+    for (int p : rev[q]) {
+      if (!coreach[p]) {
+        coreach[p] = true;
+        stack.push_back(p);
+      }
+    }
+  }
+  for (int q = 0; q < n; ++q) accepting[q] = coreach[q];
+  Result<Dfa> out =
+      Dfa::Create(d.alphabet_size(), d.start(), std::move(next),
+                  std::move(accepting));
+  return *std::move(out);
+}
+
+}  // namespace strq

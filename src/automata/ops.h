@@ -1,0 +1,42 @@
+#ifndef STRQ_AUTOMATA_OPS_H_
+#define STRQ_AUTOMATA_OPS_H_
+
+#include "automata/dfa.h"
+#include "automata/nfa.h"
+#include "base/status.h"
+
+namespace strq {
+
+// Default ceiling on constructed DFA sizes; subset construction can blow up
+// exponentially and callers get a ResourceExhausted error instead of an OOM.
+inline constexpr int kDefaultMaxDfaStates = 1 << 20;
+
+// Subset construction with epsilon closures.
+Result<Dfa> Determinize(const Nfa& nfa, int max_states = kDefaultMaxDfaStates);
+
+// Product constructions on complete DFAs over the same alphabet.
+Result<Dfa> Intersect(const Dfa& a, const Dfa& b);
+Result<Dfa> Union(const Dfa& a, const Dfa& b);
+Result<Dfa> Difference(const Dfa& a, const Dfa& b);
+
+// Symmetric-difference emptiness: do a and b accept the same language?
+Result<bool> Equivalent(const Dfa& a, const Dfa& b);
+
+// Is L(a) a subset of L(b)?
+Result<bool> Subset(const Dfa& a, const Dfa& b);
+
+// The reversal language L(a)^R (via NFA reversal + determinization).
+Result<Dfa> Reverse(const Dfa& a, int max_states = kDefaultMaxDfaStates);
+
+// Left quotient a^{-1}L = {w | a·w ∈ L}: just advances the start state.
+Dfa LeftQuotient(const Dfa& d, Symbol a);
+
+// Concatenation of a single letter in front: {a·w | w ∈ L}.
+Result<Dfa> PrependLetter(const Dfa& d, Symbol a);
+
+// The prefix closure {u | ∃v: u·v ∈ L}.
+Dfa PrefixClosureLang(const Dfa& d);
+
+}  // namespace strq
+
+#endif  // STRQ_AUTOMATA_OPS_H_

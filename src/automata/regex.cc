@@ -1,0 +1,372 @@
+#include "automata/regex.h"
+
+#include <cassert>
+#include <utility>
+
+#include "automata/ops.h"
+
+namespace strq {
+
+namespace {
+
+RegexPtr MakeNode(RegexNode node) {
+  return std::make_shared<const RegexNode>(std::move(node));
+}
+
+}  // namespace
+
+RegexPtr RxEmptySet() { return MakeNode({.kind = RegexKind::kEmptySet}); }
+RegexPtr RxEpsilon() { return MakeNode({.kind = RegexKind::kEpsilon}); }
+RegexPtr RxLiteral(char c) {
+  return MakeNode({.kind = RegexKind::kLiteral, .literal = c});
+}
+RegexPtr RxAnyChar() { return MakeNode({.kind = RegexKind::kAnyChar}); }
+RegexPtr RxCharClass(std::string chars, bool negated) {
+  return MakeNode({.kind = RegexKind::kCharClass,
+                   .char_class = std::move(chars),
+                   .negated = negated});
+}
+RegexPtr RxConcat(RegexPtr a, RegexPtr b) {
+  return MakeNode({.kind = RegexKind::kConcat,
+                   .left = std::move(a),
+                   .right = std::move(b)});
+}
+RegexPtr RxUnion(RegexPtr a, RegexPtr b) {
+  return MakeNode(
+      {.kind = RegexKind::kUnion, .left = std::move(a), .right = std::move(b)});
+}
+RegexPtr RxStar(RegexPtr a) {
+  return MakeNode({.kind = RegexKind::kStar, .left = std::move(a)});
+}
+RegexPtr RxPlus(RegexPtr a) {
+  return MakeNode({.kind = RegexKind::kPlus, .left = std::move(a)});
+}
+RegexPtr RxOptional(RegexPtr a) {
+  return MakeNode({.kind = RegexKind::kOptional, .left = std::move(a)});
+}
+
+RegexPtr RxString(const std::string& s) {
+  RegexPtr out = RxEpsilon();
+  if (s.empty()) return out;
+  out = RxLiteral(s[0]);
+  for (size_t i = 1; i < s.size(); ++i) out = RxConcat(out, RxLiteral(s[i]));
+  return out;
+}
+
+namespace {
+
+bool IsMeta(char c) {
+  switch (c) {
+    case '|':
+    case '*':
+    case '+':
+    case '?':
+    case '(':
+    case ')':
+    case '[':
+    case ']':
+    case '.':
+    case '\\':
+    case '%':
+    case '_':
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string EscapeLiteral(char c) {
+  if (IsMeta(c)) return std::string("\\") + c;
+  return std::string(1, c);
+}
+
+}  // namespace
+
+std::string RegexToString(const RegexPtr& rx) {
+  switch (rx->kind) {
+    case RegexKind::kEmptySet:
+      return "[]";  // an empty class matches nothing
+    case RegexKind::kEpsilon:
+      return "()";
+    case RegexKind::kLiteral:
+      return EscapeLiteral(rx->literal);
+    case RegexKind::kAnyChar:
+      return ".";
+    case RegexKind::kCharClass: {
+      std::string out = "[";
+      if (rx->negated) out += "^";
+      for (char c : rx->char_class) out += EscapeLiteral(c);
+      out += "]";
+      return out;
+    }
+    case RegexKind::kConcat:
+      return RegexToString(rx->left) + RegexToString(rx->right);
+    case RegexKind::kUnion:
+      return "(" + RegexToString(rx->left) + "|" + RegexToString(rx->right) +
+             ")";
+    case RegexKind::kStar:
+      return "(" + RegexToString(rx->left) + ")*";
+    case RegexKind::kPlus:
+      return "(" + RegexToString(rx->left) + ")+";
+    case RegexKind::kOptional:
+      return "(" + RegexToString(rx->left) + ")?";
+  }
+  return "";
+}
+
+namespace {
+
+// Recursive-descent parser shared by classic and SIMILAR syntax. In SIMILAR
+// mode '%' means Σ* and '_' means any single character; in classic mode both
+// are plain literals.
+class RegexParser {
+ public:
+  RegexParser(const std::string& input, bool similar_mode)
+      : input_(input), similar_(similar_mode) {}
+
+  Result<RegexPtr> Parse() {
+    STRQ_ASSIGN_OR_RETURN(RegexPtr rx, ParseUnion());
+    if (pos_ != input_.size()) {
+      return InvalidArgumentError("unexpected '" +
+                                  std::string(1, input_[pos_]) +
+                                  "' at position " + std::to_string(pos_));
+    }
+    return rx;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+
+  Result<RegexPtr> ParseUnion() {
+    STRQ_ASSIGN_OR_RETURN(RegexPtr left, ParseConcat());
+    while (!AtEnd() && Peek() == '|') {
+      ++pos_;
+      STRQ_ASSIGN_OR_RETURN(RegexPtr right, ParseConcat());
+      left = RxUnion(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<RegexPtr> ParseConcat() {
+    RegexPtr out = RxEpsilon();
+    bool any = false;
+    while (!AtEnd() && Peek() != '|' && Peek() != ')') {
+      STRQ_ASSIGN_OR_RETURN(RegexPtr factor, ParsePostfix());
+      out = any ? RxConcat(std::move(out), std::move(factor))
+                : std::move(factor);
+      any = true;
+    }
+    if (!any) return RxEpsilon();
+    return out;
+  }
+
+  Result<RegexPtr> ParsePostfix() {
+    STRQ_ASSIGN_OR_RETURN(RegexPtr atom, ParseAtom());
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == '*') {
+        atom = RxStar(std::move(atom));
+      } else if (c == '+') {
+        atom = RxPlus(std::move(atom));
+      } else if (c == '?') {
+        atom = RxOptional(std::move(atom));
+      } else {
+        break;
+      }
+      ++pos_;
+    }
+    return atom;
+  }
+
+  Result<RegexPtr> ParseAtom() {
+    if (AtEnd()) return InvalidArgumentError("unexpected end of pattern");
+    char c = Peek();
+    if (c == '(') {
+      ++pos_;
+      STRQ_ASSIGN_OR_RETURN(RegexPtr inner, ParseUnion());
+      if (AtEnd() || Peek() != ')') {
+        return InvalidArgumentError("missing ')'");
+      }
+      ++pos_;
+      return inner;
+    }
+    if (c == '[') return ParseCharClass();
+    if (c == ')' || c == '*' || c == '+' || c == '?' || c == '|') {
+      return InvalidArgumentError(std::string("misplaced '") + c + "'");
+    }
+    if (c == '\\') {
+      ++pos_;
+      if (AtEnd()) return InvalidArgumentError("dangling escape");
+      char lit = Peek();
+      ++pos_;
+      return RxLiteral(lit);
+    }
+    ++pos_;
+    if (c == '.') return RxAnyChar();
+    if (similar_ && c == '%') return RxStar(RxAnyChar());
+    if (similar_ && c == '_') return RxAnyChar();
+    return RxLiteral(c);
+  }
+
+  Result<RegexPtr> ParseCharClass() {
+    assert(Peek() == '[');
+    ++pos_;
+    bool negated = false;
+    if (!AtEnd() && Peek() == '^') {
+      negated = true;
+      ++pos_;
+    }
+    std::string chars;
+    while (!AtEnd() && Peek() != ']') {
+      char c = Peek();
+      ++pos_;
+      if (c == '\\') {
+        if (AtEnd()) return InvalidArgumentError("dangling escape in class");
+        c = Peek();
+        ++pos_;
+      } else if (!AtEnd() && Peek() == '-' && pos_ + 1 < input_.size() &&
+                 input_[pos_ + 1] != ']') {
+        // Character range a-z.
+        ++pos_;  // consume '-'
+        char hi = Peek();
+        ++pos_;
+        if (hi < c) return InvalidArgumentError("inverted range in class");
+        for (char r = c; r <= hi; ++r) chars.push_back(r);
+        continue;
+      }
+      chars.push_back(c);
+    }
+    if (AtEnd()) return InvalidArgumentError("missing ']'");
+    ++pos_;  // consume ']'
+    return RxCharClass(std::move(chars), negated);
+  }
+
+  const std::string& input_;
+  bool similar_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<RegexPtr> ParseRegex(const std::string& pattern) {
+  return RegexParser(pattern, /*similar_mode=*/false).Parse();
+}
+
+Result<RegexPtr> ParseSimilar(const std::string& pattern) {
+  return RegexParser(pattern, /*similar_mode=*/true).Parse();
+}
+
+namespace {
+
+// Thompson construction: returns (start, accept) fragment state pair.
+struct Fragment {
+  int start;
+  int accept;
+};
+
+Result<Fragment> Build(const RegexPtr& rx, const Alphabet& alphabet,
+                       Nfa& nfa) {
+  int start = nfa.AddState();
+  int accept = nfa.AddState();
+  switch (rx->kind) {
+    case RegexKind::kEmptySet:
+      break;  // no path start -> accept
+    case RegexKind::kEpsilon:
+      nfa.AddEpsilon(start, accept);
+      break;
+    case RegexKind::kLiteral: {
+      STRQ_ASSIGN_OR_RETURN(Symbol s, alphabet.SymbolOf(rx->literal));
+      nfa.AddTransition(start, s, accept);
+      break;
+    }
+    case RegexKind::kAnyChar:
+      for (int s = 0; s < alphabet.size(); ++s) {
+        nfa.AddTransition(start, static_cast<Symbol>(s), accept);
+      }
+      break;
+    case RegexKind::kCharClass: {
+      std::vector<bool> in_class(alphabet.size(), false);
+      for (char c : rx->char_class) {
+        // Characters outside the alphabet in a class simply never match;
+        // this matches SQL semantics of classes over a wider charset.
+        Result<Symbol> s = alphabet.SymbolOf(c);
+        if (s.ok()) in_class[*s] = true;
+      }
+      for (int s = 0; s < alphabet.size(); ++s) {
+        if (in_class[s] != rx->negated) {
+          nfa.AddTransition(start, static_cast<Symbol>(s), accept);
+        }
+      }
+      break;
+    }
+    case RegexKind::kConcat: {
+      STRQ_ASSIGN_OR_RETURN(Fragment a, Build(rx->left, alphabet, nfa));
+      STRQ_ASSIGN_OR_RETURN(Fragment b, Build(rx->right, alphabet, nfa));
+      nfa.AddEpsilon(start, a.start);
+      nfa.AddEpsilon(a.accept, b.start);
+      nfa.AddEpsilon(b.accept, accept);
+      break;
+    }
+    case RegexKind::kUnion: {
+      STRQ_ASSIGN_OR_RETURN(Fragment a, Build(rx->left, alphabet, nfa));
+      STRQ_ASSIGN_OR_RETURN(Fragment b, Build(rx->right, alphabet, nfa));
+      nfa.AddEpsilon(start, a.start);
+      nfa.AddEpsilon(start, b.start);
+      nfa.AddEpsilon(a.accept, accept);
+      nfa.AddEpsilon(b.accept, accept);
+      break;
+    }
+    case RegexKind::kStar: {
+      STRQ_ASSIGN_OR_RETURN(Fragment a, Build(rx->left, alphabet, nfa));
+      nfa.AddEpsilon(start, accept);
+      nfa.AddEpsilon(start, a.start);
+      nfa.AddEpsilon(a.accept, a.start);
+      nfa.AddEpsilon(a.accept, accept);
+      break;
+    }
+    case RegexKind::kPlus: {
+      STRQ_ASSIGN_OR_RETURN(Fragment a, Build(rx->left, alphabet, nfa));
+      nfa.AddEpsilon(start, a.start);
+      nfa.AddEpsilon(a.accept, a.start);
+      nfa.AddEpsilon(a.accept, accept);
+      break;
+    }
+    case RegexKind::kOptional: {
+      STRQ_ASSIGN_OR_RETURN(Fragment a, Build(rx->left, alphabet, nfa));
+      nfa.AddEpsilon(start, accept);
+      nfa.AddEpsilon(start, a.start);
+      nfa.AddEpsilon(a.accept, accept);
+      break;
+    }
+  }
+  return Fragment{start, accept};
+}
+
+}  // namespace
+
+Result<Nfa> RegexToNfa(const RegexPtr& rx, const Alphabet& alphabet) {
+  Nfa nfa(alphabet.size());
+  STRQ_ASSIGN_OR_RETURN(Fragment frag, Build(rx, alphabet, nfa));
+  nfa.SetStart(frag.start);
+  nfa.SetAccepting(frag.accept);
+  return nfa;
+}
+
+Result<Dfa> CompileRegex(const std::string& pattern,
+                         const Alphabet& alphabet) {
+  STRQ_ASSIGN_OR_RETURN(RegexPtr rx, ParseRegex(pattern));
+  STRQ_ASSIGN_OR_RETURN(Nfa nfa, RegexToNfa(rx, alphabet));
+  STRQ_ASSIGN_OR_RETURN(Dfa dfa, Determinize(nfa));
+  return dfa.Minimized();
+}
+
+Result<Dfa> CompileSimilar(const std::string& pattern,
+                           const Alphabet& alphabet) {
+  STRQ_ASSIGN_OR_RETURN(RegexPtr rx, ParseSimilar(pattern));
+  STRQ_ASSIGN_OR_RETURN(Nfa nfa, RegexToNfa(rx, alphabet));
+  STRQ_ASSIGN_OR_RETURN(Dfa dfa, Determinize(nfa));
+  return dfa.Minimized();
+}
+
+}  // namespace strq

@@ -1,0 +1,78 @@
+#ifndef STRQ_AUTOMATA_REGEX_H_
+#define STRQ_AUTOMATA_REGEX_H_
+
+#include <memory>
+#include <string>
+
+#include "automata/dfa.h"
+#include "automata/nfa.h"
+#include "base/alphabet.h"
+#include "base/status.h"
+
+namespace strq {
+
+enum class RegexKind {
+  kEmptySet,   // ∅
+  kEpsilon,    // ε
+  kLiteral,    // a single character
+  kAnyChar,    // '.', any single alphabet character
+  kCharClass,  // [abc] or [^abc]
+  kConcat,
+  kUnion,
+  kStar,
+  kPlus,
+  kOptional,
+};
+
+struct RegexNode;
+using RegexPtr = std::shared_ptr<const RegexNode>;
+
+// Immutable regular-expression AST. Shared subtrees are fine; nodes are
+// never mutated after construction.
+struct RegexNode {
+  RegexKind kind;
+  char literal = '\0';       // kLiteral
+  std::string char_class;    // kCharClass: the listed characters
+  bool negated = false;      // kCharClass: [^...]
+  RegexPtr left;             // kConcat/kUnion left, unary child otherwise
+  RegexPtr right;            // kConcat/kUnion right
+};
+
+// AST constructors.
+RegexPtr RxEmptySet();
+RegexPtr RxEpsilon();
+RegexPtr RxLiteral(char c);
+RegexPtr RxAnyChar();
+RegexPtr RxCharClass(std::string chars, bool negated);
+RegexPtr RxConcat(RegexPtr a, RegexPtr b);
+RegexPtr RxUnion(RegexPtr a, RegexPtr b);
+RegexPtr RxStar(RegexPtr a);
+RegexPtr RxPlus(RegexPtr a);
+RegexPtr RxOptional(RegexPtr a);
+// Concatenation of the literal characters of `s` (ε for empty s).
+RegexPtr RxString(const std::string& s);
+
+// Renders the AST back to (classic) regex syntax.
+std::string RegexToString(const RegexPtr& rx);
+
+// Parses classic regex syntax: alternation '|', postfix '*' '+' '?',
+// grouping '(...)', '.' wildcard, character classes '[abc]' / '[^abc]',
+// backslash escapes for metacharacters.
+Result<RegexPtr> ParseRegex(const std::string& pattern);
+
+// Parses an SQL3 SIMILAR TO pattern (Section 4 of the paper: "essentially
+// grep"): like classic regex, but '%' matches any string and '_' any single
+// character, as in LIKE.
+Result<RegexPtr> ParseSimilar(const std::string& pattern);
+
+// Thompson construction. All literal/class characters must be in `alphabet`.
+Result<Nfa> RegexToNfa(const RegexPtr& rx, const Alphabet& alphabet);
+
+// Convenience: parse-compile-determinize-minimize pipeline.
+Result<Dfa> CompileRegex(const std::string& pattern, const Alphabet& alphabet);
+Result<Dfa> CompileSimilar(const std::string& pattern,
+                           const Alphabet& alphabet);
+
+}  // namespace strq
+
+#endif  // STRQ_AUTOMATA_REGEX_H_

@@ -1,0 +1,109 @@
+#include "automata/regex_from_dfa.h"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace strq {
+
+namespace {
+
+// Simplifying regex combinators over a nullable representation: nullptr
+// stands for the empty language ∅ (absent GNFA edge).
+using Edge = RegexPtr;  // nullptr = ∅
+
+bool IsEpsilon(const Edge& e) {
+  return e != nullptr && e->kind == RegexKind::kEpsilon;
+}
+
+Edge SUnion(Edge a, Edge b) {
+  if (a == nullptr) return b;
+  if (b == nullptr) return a;
+  // ε | ε collapses; deeper dedup is not worth the comparison cost here.
+  if (IsEpsilon(a) && IsEpsilon(b)) return a;
+  return RxUnion(std::move(a), std::move(b));
+}
+
+Edge SConcat(Edge a, Edge b) {
+  if (a == nullptr || b == nullptr) return nullptr;  // ∅ annihilates
+  if (IsEpsilon(a)) return b;
+  if (IsEpsilon(b)) return a;
+  return RxConcat(std::move(a), std::move(b));
+}
+
+Edge SStar(Edge a) {
+  if (a == nullptr || IsEpsilon(a)) return RxEpsilon();  // ∅* = ε* = ε
+  if (a->kind == RegexKind::kStar) return a;
+  return RxStar(std::move(a));
+}
+
+}  // namespace
+
+Result<RegexPtr> RegexFromDfa(const Dfa& dfa, const Alphabet& alphabet) {
+  if (dfa.alphabet_size() != alphabet.size()) {
+    return InvalidArgumentError("alphabet size mismatch");
+  }
+  int n = dfa.num_states();
+  // GNFA with fresh start (n) and accept (n+1) nodes; edges as regexes.
+  int start = n;
+  int accept = n + 1;
+  std::map<std::pair<int, int>, Edge> edges;
+  auto add = [&](int from, int to, Edge e) {
+    auto [it, inserted] = edges.emplace(std::make_pair(from, to), e);
+    if (!inserted) it->second = SUnion(it->second, std::move(e));
+  };
+  for (int q = 0; q < n; ++q) {
+    for (int s = 0; s < dfa.alphabet_size(); ++s) {
+      add(q, dfa.Next(q, static_cast<Symbol>(s)),
+          RxLiteral(alphabet.CharOf(static_cast<Symbol>(s))));
+    }
+    if (dfa.IsAccepting(q)) add(q, accept, RxEpsilon());
+  }
+  add(start, dfa.start(), RxEpsilon());
+
+  auto get = [&](int from, int to) -> Edge {
+    auto it = edges.find({from, to});
+    return it == edges.end() ? nullptr : it->second;
+  };
+
+  // Eliminate the original states one by one.
+  std::vector<int> alive;
+  for (int q = 0; q < n; ++q) alive.push_back(q);
+  for (int victim = 0; victim < n; ++victim) {
+    Edge self = get(victim, victim);
+    Edge loop = SStar(self);
+    // All predecessors/successors among remaining nodes (incl. start/accept).
+    std::vector<int> nodes;
+    for (int q = victim + 1; q < n; ++q) nodes.push_back(q);
+    nodes.push_back(start);
+    nodes.push_back(accept);
+    for (int p : nodes) {
+      Edge in = get(p, victim);
+      if (in == nullptr) continue;
+      for (int r : nodes) {
+        Edge out = get(victim, r);
+        if (out == nullptr) continue;
+        add(p, r, SConcat(in, SConcat(loop, out)));
+      }
+    }
+    // Remove victim's edges.
+    for (auto it = edges.begin(); it != edges.end();) {
+      if (it->first.first == victim || it->first.second == victim) {
+        it = edges.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  Edge result = get(start, accept);
+  if (result == nullptr) return RxEmptySet();
+  return result;
+}
+
+Result<std::string> DescribeLanguage(const Dfa& dfa,
+                                     const Alphabet& alphabet) {
+  STRQ_ASSIGN_OR_RETURN(RegexPtr rx, RegexFromDfa(dfa.Minimized(), alphabet));
+  return RegexToString(rx);
+}
+
+}  // namespace strq

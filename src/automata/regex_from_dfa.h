@@ -1,0 +1,29 @@
+#ifndef STRQ_AUTOMATA_REGEX_FROM_DFA_H_
+#define STRQ_AUTOMATA_REGEX_FROM_DFA_H_
+
+#include <string>
+
+#include "automata/dfa.h"
+#include "automata/regex.h"
+#include "base/alphabet.h"
+#include "base/status.h"
+
+namespace strq {
+
+// Converts a DFA back into a regular expression by GNFA state elimination,
+// with algebraic simplification (∅/ε absorption, common-prefix factoring of
+// unions is not attempted) to keep outputs readable. The result is
+// language-equivalent to the input — regex_from_dfa_test.cc round-trips it
+// through the compiler and checks DFA equivalence.
+//
+// This closes the loop opened by the answer-automaton engine: a safe query's
+// finite answers are enumerated, and an *unsafe* query's infinite answer set
+// can still be described exactly, as a regular expression over Σ.
+Result<RegexPtr> RegexFromDfa(const Dfa& dfa, const Alphabet& alphabet);
+
+// Convenience: the language of `dfa` rendered in the classic syntax.
+Result<std::string> DescribeLanguage(const Dfa& dfa, const Alphabet& alphabet);
+
+}  // namespace strq
+
+#endif  // STRQ_AUTOMATA_REGEX_FROM_DFA_H_

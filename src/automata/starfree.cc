@@ -1,0 +1,94 @@
+#include "automata/starfree.h"
+
+#include <map>
+#include <vector>
+
+namespace strq {
+
+namespace {
+
+using Transformation = std::vector<int>;  // state -> state
+
+Transformation Compose(const Transformation& f, const Transformation& g) {
+  // (f then g): x -> g[f[x]].
+  Transformation out(f.size());
+  for (size_t i = 0; i < f.size(); ++i) out[i] = g[f[i]];
+  return out;
+}
+
+// Enumerates the transition monoid of `dfa` (all transformations induced by
+// non-empty words, plus identity) via BFS over generator composition.
+Result<std::vector<Transformation>> EnumerateMonoid(const Dfa& dfa,
+                                                    int max_monoid_size) {
+  int n = dfa.num_states();
+  std::vector<Transformation> generators;
+  for (int s = 0; s < dfa.alphabet_size(); ++s) {
+    Transformation t(n);
+    for (int q = 0; q < n; ++q) t[q] = dfa.Next(q, static_cast<Symbol>(s));
+    generators.push_back(std::move(t));
+  }
+
+  std::map<Transformation, int> seen;
+  std::vector<Transformation> elements;
+  auto intern = [&](Transformation t) -> bool {
+    auto [it, inserted] = seen.emplace(t, static_cast<int>(elements.size()));
+    if (inserted) elements.push_back(std::move(t));
+    return inserted;
+  };
+
+  Transformation identity(n);
+  for (int q = 0; q < n; ++q) identity[q] = q;
+  intern(identity);
+  for (const Transformation& g : generators) intern(g);
+
+  for (size_t i = 0; i < elements.size(); ++i) {
+    if (static_cast<int>(elements.size()) > max_monoid_size) {
+      return ResourceExhaustedError("transition monoid exceeded budget");
+    }
+    for (const Transformation& g : generators) {
+      intern(Compose(elements[i], g));
+    }
+  }
+  return elements;
+}
+
+// Does t^k = t^{k+1} hold for some k <= num_states? In a finite monoid the
+// powers of t eventually cycle; t is aperiodic iff that cycle has length 1.
+bool IsAperiodicElement(const Transformation& t) {
+  // Iterate powers until a repeat; the monoid of transformations on n points
+  // guarantees a repeat within n^n steps, but in practice the index is tiny.
+  // We detect the cycle with a map from transformation to first position.
+  std::map<Transformation, int> first_seen;
+  Transformation power = t;
+  int step = 1;
+  while (true) {
+    auto [it, inserted] = first_seen.emplace(power, step);
+    if (!inserted) {
+      int cycle_len = step - it->second;
+      return cycle_len == 1;
+    }
+    power = Compose(power, t);
+    ++step;
+  }
+}
+
+}  // namespace
+
+Result<bool> IsStarFree(const Dfa& dfa, int max_monoid_size) {
+  Dfa min = dfa.Minimized();
+  STRQ_ASSIGN_OR_RETURN(std::vector<Transformation> monoid,
+                        EnumerateMonoid(min, max_monoid_size));
+  for (const Transformation& t : monoid) {
+    if (!IsAperiodicElement(t)) return false;
+  }
+  return true;
+}
+
+Result<int> SyntacticMonoidSize(const Dfa& dfa, int max_monoid_size) {
+  Dfa min = dfa.Minimized();
+  STRQ_ASSIGN_OR_RETURN(std::vector<Transformation> monoid,
+                        EnumerateMonoid(min, max_monoid_size));
+  return static_cast<int>(monoid.size());
+}
+
+}  // namespace strq

@@ -1,0 +1,35 @@
+#ifndef STRQ_AUTOMATA_STARFREE_H_
+#define STRQ_AUTOMATA_STARFREE_H_
+
+#include "automata/dfa.h"
+#include "base/status.h"
+
+namespace strq {
+
+// Star-freeness (aperiodicity) testing.
+//
+// A regular language is star-free iff its syntactic monoid is aperiodic
+// (Schützenberger). This is the dividing line the paper leans on throughout:
+// the subsets of Σ* definable over S and S_left are exactly the star-free
+// languages, while S_reg and S_len define all regular languages (Sections 4
+// and 7). The Figure-1 separation benches call IsStarFree on answer
+// languages to machine-check these characterizations.
+
+// Ceiling on the enumerated transition monoid; the monoid of an n-state DFA
+// has at most n^n elements, so a budget keeps adversarial inputs bounded.
+inline constexpr int kDefaultMaxMonoidSize = 200000;
+
+// Tests whether L(dfa) is star-free, by minimizing and checking that every
+// element t of the transition monoid satisfies t^k = t^{k+1} for some k
+// (aperiodicity). Returns ResourceExhausted if the monoid exceeds the budget.
+Result<bool> IsStarFree(const Dfa& dfa,
+                        int max_monoid_size = kDefaultMaxMonoidSize);
+
+// Size of the transition monoid of the *minimal* DFA for L(dfa) (also the
+// syntactic monoid size). Mostly for diagnostics and benches.
+Result<int> SyntacticMonoidSize(const Dfa& dfa,
+                                int max_monoid_size = kDefaultMaxMonoidSize);
+
+}  // namespace strq
+
+#endif  // STRQ_AUTOMATA_STARFREE_H_

@@ -1,0 +1,58 @@
+#include "base/alphabet.h"
+
+#include <limits>
+
+namespace strq {
+
+Result<Alphabet> Alphabet::Create(const std::string& chars) {
+  if (chars.empty()) {
+    return InvalidArgumentError("alphabet must be non-empty");
+  }
+  if (chars.size() >= std::numeric_limits<Symbol>::max()) {
+    return InvalidArgumentError("alphabet too large");
+  }
+  for (size_t i = 0; i < chars.size(); ++i) {
+    for (size_t j = i + 1; j < chars.size(); ++j) {
+      if (chars[i] == chars[j]) {
+        return InvalidArgumentError(std::string("duplicate character '") +
+                                    chars[i] + "' in alphabet");
+      }
+    }
+  }
+  return Alphabet(chars);
+}
+
+Alphabet Alphabet::Binary() { return Alphabet("01"); }
+
+Alphabet Alphabet::Abc() { return Alphabet("abc"); }
+
+Result<Symbol> Alphabet::SymbolOf(char c) const {
+  for (size_t i = 0; i < chars_.size(); ++i) {
+    if (chars_[i] == c) return static_cast<Symbol>(i);
+  }
+  return InvalidArgumentError(std::string("character '") + c +
+                              "' not in alphabet \"" + chars_ + "\"");
+}
+
+bool Alphabet::Contains(char c) const {
+  return chars_.find(c) != std::string::npos;
+}
+
+Result<std::vector<Symbol>> Alphabet::Encode(const std::string& s) const {
+  std::vector<Symbol> out;
+  out.reserve(s.size());
+  for (char c : s) {
+    STRQ_ASSIGN_OR_RETURN(Symbol sym, SymbolOf(c));
+    out.push_back(sym);
+  }
+  return out;
+}
+
+std::string Alphabet::Decode(const std::vector<Symbol>& s) const {
+  std::string out;
+  out.reserve(s.size());
+  for (Symbol sym : s) out.push_back(CharOf(sym));
+  return out;
+}
+
+}  // namespace strq

@@ -1,0 +1,59 @@
+#ifndef STRQ_BASE_ALPHABET_H_
+#define STRQ_BASE_ALPHABET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace strq {
+
+// A symbol is an index into an Alphabet; strings manipulated by the engines
+// are sequences of Symbols. Automata over convolution alphabets (src/mta)
+// need up to (|Σ|+1)^k letters for arity-k relations, so Symbol is 16 bits.
+using Symbol = uint16_t;
+
+// A finite, ordered alphabet Σ. The order of the characters passed to the
+// constructor defines the symbol order a_1 < a_2 < ... used by the
+// lexicographic ordering of Section 4.
+//
+// Alphabets are small value types; copy freely.
+class Alphabet {
+ public:
+  // Creates an alphabet from distinct printable characters, e.g. "01" or
+  // "abc". Duplicate characters are rejected.
+  static Result<Alphabet> Create(const std::string& chars);
+
+  // Convenience alphabets used pervasively in tests and benches.
+  static Alphabet Binary();  // {0, 1}
+  static Alphabet Abc();     // {a, b, c}
+
+  int size() const { return static_cast<int>(chars_.size()); }
+
+  // Character rendering of a symbol; precondition: s < size().
+  char CharOf(Symbol s) const { return chars_[s]; }
+
+  // Symbol of a character, or InvalidArgument if the character is not in Σ.
+  Result<Symbol> SymbolOf(char c) const;
+  bool Contains(char c) const;
+
+  // Encodes a character string as a symbol string; fails on foreign chars.
+  Result<std::vector<Symbol>> Encode(const std::string& s) const;
+
+  // Decodes a symbol string back to characters.
+  std::string Decode(const std::vector<Symbol>& s) const;
+
+  friend bool operator==(const Alphabet& a, const Alphabet& b) {
+    return a.chars_ == b.chars_;
+  }
+
+ private:
+  explicit Alphabet(std::string chars) : chars_(std::move(chars)) {}
+
+  std::string chars_;
+};
+
+}  // namespace strq
+
+#endif  // STRQ_BASE_ALPHABET_H_

@@ -1,0 +1,49 @@
+#include "base/rng.h"
+
+#include <algorithm>
+#include <set>
+
+namespace strq {
+
+uint64_t Rng::Next() {
+  // splitmix64: fast, tiny, and reproducible everywhere.
+  state_ += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  // Modulo bias is negligible for the small bounds used here.
+  return Next() % bound;
+}
+
+int Rng::NextInt(int lo, int hi) {
+  return lo + static_cast<int>(NextBelow(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+std::string Rng::NextString(const std::string& alphabet, int min_len,
+                            int max_len) {
+  int len = NextInt(min_len, max_len);
+  std::string out;
+  out.reserve(len);
+  for (int i = 0; i < len; ++i) {
+    out.push_back(alphabet[NextBelow(alphabet.size())]);
+  }
+  return out;
+}
+
+std::vector<std::string> Rng::DistinctStrings(const std::string& alphabet,
+                                              int min_len, int max_len,
+                                              int count) {
+  std::set<std::string> seen;
+  // Bounded retry: the string space can be smaller than `count`.
+  int attempts = count * 20 + 100;
+  while (static_cast<int>(seen.size()) < count && attempts-- > 0) {
+    seen.insert(NextString(alphabet, min_len, max_len));
+  }
+  return std::vector<std::string>(seen.begin(), seen.end());
+}
+
+}  // namespace strq

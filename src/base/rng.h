@@ -1,0 +1,41 @@
+#ifndef STRQ_BASE_RNG_H_
+#define STRQ_BASE_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace strq {
+
+// Deterministic pseudo-random generator (splitmix64) used by tests and
+// benches so that workloads are reproducible across runs and platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next();
+
+  // Uniform integer in [0, bound); bound must be positive.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive.
+  int NextInt(int lo, int hi);
+
+  bool NextBool() { return (Next() & 1) != 0; }
+
+  // Random string over `alphabet` with length uniform in [min_len, max_len].
+  std::string NextString(const std::string& alphabet, int min_len,
+                         int max_len);
+
+  // `count` distinct random strings (may return fewer if the space is small).
+  std::vector<std::string> DistinctStrings(const std::string& alphabet,
+                                           int min_len, int max_len,
+                                           int count);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace strq
+
+#endif  // STRQ_BASE_RNG_H_

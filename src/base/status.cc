@@ -1,0 +1,54 @@
+#include "base/status.h"
+
+namespace strq {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotInLanguage:
+      return "NOT_IN_LANGUAGE";
+    case StatusCode::kUnsafe:
+      return "UNSAFE";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnsupported:
+      return "UNSUPPORTED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status InvalidArgumentError(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+Status NotInLanguageError(std::string message) {
+  return Status(StatusCode::kNotInLanguage, std::move(message));
+}
+Status UnsafeError(std::string message) {
+  return Status(StatusCode::kUnsafe, std::move(message));
+}
+Status ResourceExhaustedError(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+Status UnsupportedError(std::string message) {
+  return Status(StatusCode::kUnsupported, std::move(message));
+}
+Status InternalError(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+
+}  // namespace strq

@@ -1,0 +1,124 @@
+#ifndef STRQ_BASE_STATUS_H_
+#define STRQ_BASE_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace strq {
+
+// Error categories used throughout the library. The library never throws
+// exceptions across its public API; all expected failures are reported as a
+// Status (or Result<T>).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed input (bad pattern, unknown symbol, ...)
+  kNotInLanguage,     // a formula/plan uses operations outside its calculus
+  kUnsafe,            // a query was proven to have an infinite output
+  kResourceExhausted, // a construction exceeded its configured budget
+  kUnsupported,       // a feature combination the engine does not implement
+  kInternal,          // invariant violation; indicates a library bug
+};
+
+// Human-readable name of a status code, e.g. "INVALID_ARGUMENT".
+const char* StatusCodeName(StatusCode code);
+
+// A lightweight absl::Status-alike: a code plus a message. Ok statuses carry
+// no message and are cheap to copy.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "INVALID_ARGUMENT: bad pattern".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+Status InvalidArgumentError(std::string message);
+Status NotInLanguageError(std::string message);
+Status UnsafeError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status UnsupportedError(std::string message);
+Status InternalError(std::string message);
+
+// Result<T> holds either a value or a non-ok Status.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit, mirroring absl::StatusOr: allows `return value;`
+  // and `return SomeError(...);` from functions returning Result<T>.
+  Result(T value) : value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates a non-ok Status from an expression of type Status.
+#define STRQ_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::strq::Status strq_status_ = (expr);       \
+    if (!strq_status_.ok()) return strq_status_; \
+  } while (false)
+
+// Evaluates a Result<T> expression, propagating errors and binding the value.
+#define STRQ_ASSIGN_OR_RETURN(lhs, expr)                 \
+  STRQ_ASSIGN_OR_RETURN_IMPL_(                           \
+      STRQ_STATUS_CONCAT_(strq_result_, __LINE__), lhs, expr)
+
+#define STRQ_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define STRQ_STATUS_CONCAT_(a, b) STRQ_STATUS_CONCAT_IMPL_(a, b)
+#define STRQ_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace strq
+
+#endif  // STRQ_BASE_STATUS_H_

@@ -1,0 +1,145 @@
+#include "base/string_ops.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace strq {
+
+bool IsPrefix(const std::string& x, const std::string& y) {
+  return x.size() <= y.size() && y.compare(0, x.size(), x) == 0;
+}
+
+bool IsStrictPrefix(const std::string& x, const std::string& y) {
+  return x.size() < y.size() && IsPrefix(x, y);
+}
+
+bool IsOneStepExtension(const std::string& x, const std::string& y) {
+  return y.size() == x.size() + 1 && IsPrefix(x, y);
+}
+
+bool LastSymbolIs(const std::string& x, char a) {
+  return !x.empty() && x.back() == a;
+}
+
+std::string AppendLast(const std::string& x, char a) { return x + a; }
+
+std::string PrependFirst(const std::string& x, char a) {
+  return std::string(1, a) + x;
+}
+
+std::string RelativeSuffix(const std::string& x, const std::string& y) {
+  if (!IsPrefix(y, x)) return "";
+  return x.substr(y.size());
+}
+
+std::string TrimLeading(const std::string& x, char a) {
+  if (x.empty()) return "";
+  if (x.front() != a) return "";
+  return x.substr(1);
+}
+
+std::string LongestCommonPrefix(const std::string& x, const std::string& y) {
+  size_t n = std::min(x.size(), y.size());
+  size_t i = 0;
+  while (i < n && x[i] == y[i]) ++i;
+  return x.substr(0, i);
+}
+
+std::string InsertAfterPrefix(const std::string& p, const std::string& x,
+                              char a) {
+  if (!IsPrefix(p, x)) return "";
+  return p + a + x.substr(p.size());
+}
+
+bool EqualLength(const std::string& x, const std::string& y) {
+  return x.size() == y.size();
+}
+
+bool LexLeq(const std::string& x, const std::string& y,
+            const std::string& order) {
+  size_t n = std::min(x.size(), y.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (x[i] == y[i]) continue;
+    size_t px = order.find(x[i]);
+    size_t py = order.find(y[i]);
+    assert(px != std::string::npos && py != std::string::npos);
+    return px < py;
+  }
+  return x.size() <= y.size();
+}
+
+namespace {
+
+bool LikeMatchAt(const std::string& text, size_t ti, const std::string& pat,
+                 size_t pi) {
+  // Classic two-pointer with backtracking over '%'. Pattern sizes in queries
+  // are tiny, so the worst-case quadratic behaviour is irrelevant here; the
+  // DFA compiler in automata/like.h is the scalable path.
+  while (pi < pat.size()) {
+    char p = pat[pi];
+    if (p == '%') {
+      // Try to match the rest of the pattern at every remaining position.
+      for (size_t k = ti; k <= text.size(); ++k) {
+        if (LikeMatchAt(text, k, pat, pi + 1)) return true;
+      }
+      return false;
+    }
+    if (ti >= text.size()) return false;
+    if (p != '_' && p != text[ti]) return false;
+    ++ti;
+    ++pi;
+  }
+  return ti == text.size();
+}
+
+}  // namespace
+
+bool LikeMatch(const std::string& text, const std::string& pattern) {
+  return LikeMatchAt(text, 0, pattern, 0);
+}
+
+std::vector<std::string> PrefixClosure(const std::vector<std::string>& c) {
+  std::vector<std::string> out;
+  for (const std::string& s : c) {
+    for (size_t len = 0; len <= s.size(); ++len) {
+      out.push_back(s.substr(0, len));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<std::string> AllStringsOfLength(const std::string& alphabet,
+                                            int n) {
+  std::vector<std::string> cur = {""};
+  for (int i = 0; i < n; ++i) {
+    std::vector<std::string> next;
+    next.reserve(cur.size() * alphabet.size());
+    for (const std::string& s : cur) {
+      for (char a : alphabet) next.push_back(s + a);
+    }
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+std::vector<std::string> AllStringsUpToLength(const std::string& alphabet,
+                                              int n) {
+  std::vector<std::string> out;
+  for (int len = 0; len <= n; ++len) {
+    std::vector<std::string> layer = AllStringsOfLength(alphabet, len);
+    out.insert(out.end(), layer.begin(), layer.end());
+  }
+  return out;
+}
+
+int DistanceToSet(const std::string& s, const std::vector<std::string>& c) {
+  size_t best = 0;
+  for (const std::string& t : c) {
+    best = std::max(best, LongestCommonPrefix(s, t).size());
+  }
+  return static_cast<int>(s.size() - best);
+}
+
+}  // namespace strq

@@ -1,0 +1,78 @@
+#ifndef STRQ_BASE_STRING_OPS_H_
+#define STRQ_BASE_STRING_OPS_H_
+
+#include <string>
+#include <vector>
+
+namespace strq {
+
+// Reference implementations of the string operations of Section 2 of the
+// paper, operating directly on character strings. These are the semantic
+// ground truth the automata-based engines are property-tested against.
+
+// x ≼ y : x is a prefix of y.
+bool IsPrefix(const std::string& x, const std::string& y);
+
+// x ≺ y : x is a strict prefix of y.
+bool IsStrictPrefix(const std::string& x, const std::string& y);
+
+// x < y in one step: y extends x by exactly one symbol.
+bool IsOneStepExtension(const std::string& x, const std::string& y);
+
+// L_a(x): the last symbol of x is a. False for the empty string.
+bool LastSymbolIs(const std::string& x, char a);
+
+// l_a(x) = x · a (append a as the last symbol).
+std::string AppendLast(const std::string& x, char a);
+
+// f_a(x) = a · x (prepend a as the first symbol).
+std::string PrependFirst(const std::string& x, char a);
+
+// x − y: the relative suffix of y in x; if x = y · z then z, else ε.
+std::string RelativeSuffix(const std::string& x, const std::string& y);
+
+// TRIM_a(x) = s' if x = a · s', and ε if the first symbol of x is not a
+// (Section 7). Note TRIM_a(ε) = ε.
+std::string TrimLeading(const std::string& x, char a);
+
+// x ∩ y: the longest common prefix.
+std::string LongestCommonPrefix(const std::string& x, const std::string& y);
+
+// insert_a(p, x): the Conclusion's proposed operation — inserts a right
+// after the prefix p of x: p·a·(x−p) if p ≼ x, and ε otherwise (mirroring
+// TRIM's convention for inapplicable arguments).
+std::string InsertAfterPrefix(const std::string& p, const std::string& x,
+                              char a);
+
+// el(x, y): |x| = |y|.
+bool EqualLength(const std::string& x, const std::string& y);
+
+// x ≤_lex y under the symbol order given by `order` (the alphabet string);
+// this is the prefix-compatible lexicographic order defined in Section 4.
+// Precondition: all characters of x and y occur in `order`.
+bool LexLeq(const std::string& x, const std::string& y,
+            const std::string& order);
+
+// SQL LIKE matching: '%' matches any sequence (including empty), '_' matches
+// exactly one character, all other pattern characters match themselves.
+// This is the reference matcher; automata/like.h compiles patterns to DFAs.
+bool LikeMatch(const std::string& text, const std::string& pattern);
+
+// prefix(C): the prefix closure of a set of strings, sorted and deduplicated.
+std::vector<std::string> PrefixClosure(const std::vector<std::string>& c);
+
+// All strings over `alphabet` of length exactly n, in lexicographic order.
+std::vector<std::string> AllStringsOfLength(const std::string& alphabet,
+                                            int n);
+
+// All strings over `alphabet` of length at most n, shortlex order.
+std::vector<std::string> AllStringsUpToLength(const std::string& alphabet,
+                                              int n);
+
+// d(s, C) = |s| − |s ∩ C| where s ∩ C is the longest of the s ∩ c (Section 6).
+// For empty C this is |s|.
+int DistanceToSet(const std::string& s, const std::vector<std::string>& c);
+
+}  // namespace strq
+
+#endif  // STRQ_BASE_STRING_OPS_H_

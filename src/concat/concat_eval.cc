@@ -1,0 +1,51 @@
+#include "concat/concat_eval.h"
+
+#include "base/string_ops.h"
+#include "eval/restricted_eval.h"
+
+namespace strq {
+
+namespace {
+
+RestrictedEvaluator MakeBounded(const Database* db, int bound) {
+  RestrictedEvaluator::Options options;
+  options.all_quantifier_bound = bound;
+  return RestrictedEvaluator(db, options);
+}
+
+}  // namespace
+
+Result<bool> ConcatEvaluator::EvaluateSentenceBounded(const FormulaPtr& f,
+                                                      int bound) {
+  RestrictedEvaluator eval = MakeBounded(db_, bound);
+  return eval.EvaluateSentence(f);
+}
+
+Result<Relation> ConcatEvaluator::EvaluateBounded(const FormulaPtr& f,
+                                                  int bound) {
+  RestrictedEvaluator eval = MakeBounded(db_, bound);
+  std::string chars;
+  for (int i = 0; i < db_->alphabet().size(); ++i) {
+    chars.push_back(db_->alphabet().CharOf(static_cast<Symbol>(i)));
+  }
+  return eval.EvaluateOnCandidates(f, AllStringsUpToLength(chars, bound));
+}
+
+Result<std::optional<int>> ConcatEvaluator::FindWitnessBound(
+    const FormulaPtr& f, int max_bound) {
+  for (int bound = 0; bound <= max_bound; ++bound) {
+    STRQ_ASSIGN_OR_RETURN(bool value, EvaluateSentenceBounded(f, bound));
+    if (value) return std::optional<int>(bound);
+  }
+  return std::optional<int>();
+}
+
+FormulaPtr SquareOfRelationQuery(const std::string& relation) {
+  // φ(x) ≡ ∃w (R(w) ∧ x = w·w).
+  return FExists("w", FAnd(FRelation(relation, {TVar("w")}),
+                           FPred(PredKind::kEq,
+                                 {TVar("x"),
+                                  TConcat(TVar("w"), TVar("w"))})));
+}
+
+}  // namespace strq

@@ -1,0 +1,52 @@
+#ifndef STRQ_CONCAT_CONCAT_EVAL_H_
+#define STRQ_CONCAT_CONCAT_EVAL_H_
+
+#include <optional>
+
+#include "base/status.h"
+#include "logic/ast.h"
+#include "relational/database.h"
+
+namespace strq {
+
+// RC_concat (Section 3): relational calculus with string concatenation.
+//
+// Proposition 1: over any alphabet with ≥ 2 letters, RC_concat expresses
+// every computable query; Corollary 1: its safe fragment has no effective
+// syntax and state-safety is undecidable. Consequently there is no exact
+// evaluator here — concatenation is not an automatic relation, so the
+// multi-track engine rejects it (kUnsupported), and the best possible
+// general-purpose device is *bounded-universe* evaluation: quantifiers
+// range over Σ^{≤bound}. Existential truth is thereby semi-decided
+// (a witness found at some bound is a witness, period), while universal
+// truth over Σ* is never certified.
+class ConcatEvaluator {
+ public:
+  explicit ConcatEvaluator(const Database* db) : db_(db) {}
+
+  // Truth under the bounded universe Σ^{≤bound}.
+  Result<bool> EvaluateSentenceBounded(const FormulaPtr& f, int bound);
+
+  // Output tuples with components from Σ^{≤bound} (bounded semantics).
+  Result<Relation> EvaluateBounded(const FormulaPtr& f, int bound);
+
+  // Iterative deepening for purely existential prefixes: returns the first
+  // bound at which the sentence becomes true, or nullopt if none up to
+  // max_bound (which proves nothing — Proposition 1's undecidability in
+  // action).
+  Result<std::optional<int>> FindWitnessBound(const FormulaPtr& f,
+                                              int max_bound);
+
+ private:
+  const Database* db_;
+};
+
+// The query family used by the Proposition 1 bench: φ_n(x) ≡ "x = w·w for
+// some w with R(w)" — expressible only with concatenation; the bounded
+// evaluator's cost grows with the bound while the tame engines are not
+// applicable at all.
+FormulaPtr SquareOfRelationQuery(const std::string& relation);
+
+}  // namespace strq
+
+#endif  // STRQ_CONCAT_CONCAT_EVAL_H_

@@ -1,0 +1,244 @@
+#include "eval/algebra_eval.h"
+
+#include <algorithm>
+#include <set>
+
+#include "base/string_ops.h"
+
+namespace strq {
+
+AlgebraEvaluator::AlgebraEvaluator(const Database* db, Options options)
+    : db_(db), options_(options), formula_engine_(db) {}
+
+Status AlgebraEvaluator::CheckBudget(size_t size) const {
+  if (size > options_.max_tuples) {
+    return ResourceExhaustedError("algebra intermediate result over budget");
+  }
+  return Status::Ok();
+}
+
+Result<Relation> AlgebraEvaluator::Evaluate(const RaPtr& expr) {
+  // The memo is per top-level call: raw-pointer keys are only stable while
+  // the caller keeps the plan alive, and plans share subtrees within one
+  // evaluation (notably the universe expression of the safe translation).
+  memo_.clear();
+  return Eval(expr);
+}
+
+namespace {
+
+// Maps each track of the compiled σ-condition automaton to the input column
+// it reads: condition variables are named c<i> (ColumnVar) and the automaton
+// tracks are in sorted-name order.
+Result<std::vector<int>> ConditionColumnMap(const FormulaPtr& condition,
+                                            int arity) {
+  std::vector<int> map;
+  for (const std::string& name :
+       AutomataEvaluator::FreeVarOrder(condition)) {
+    if (name.size() < 2 || name[0] != 'c') {
+      return InvalidArgumentError("selection variable must be c<i>: " + name);
+    }
+    int index = 0;
+    for (size_t i = 1; i < name.size(); ++i) {
+      if (!isdigit(static_cast<unsigned char>(name[i]))) {
+        return InvalidArgumentError("selection variable must be c<i>: " +
+                                    name);
+      }
+      index = index * 10 + (name[i] - '0');
+    }
+    if (index < 0 || index >= arity) {
+      return InvalidArgumentError("selection column out of range: " + name);
+    }
+    map.push_back(index);
+  }
+  return map;
+}
+
+}  // namespace
+
+Result<Relation> AlgebraEvaluator::Eval(const RaPtr& expr) {
+  if (!options_.enable_memo) return EvalUncached(*expr);
+  auto it = memo_.find(expr.get());
+  if (it != memo_.end()) return it->second;
+  Result<Relation> out = EvalUncached(*expr);
+  if (out.ok()) memo_.emplace(expr.get(), *out);
+  return out;
+}
+
+Result<Relation> AlgebraEvaluator::EvalUncached(const RaExpr& node) {
+  // Recursive children are fetched through Eval() for memoization.
+  switch (node.kind) {
+    case RaKind::kScan: {
+      const Relation* rel = db_->Find(node.relation);
+      if (rel == nullptr) {
+        return InvalidArgumentError("unknown relation " + node.relation);
+      }
+      return *rel;
+    }
+    case RaKind::kEpsilon:
+      return Relation::Create(1, {{""}});
+    case RaKind::kSelect: {
+      STRQ_ASSIGN_OR_RETURN(Relation input, Eval(node.left));
+      if (MentionsDatabase(node.condition)) {
+        return InvalidArgumentError(
+            "σ condition must not refer to the database");
+      }
+      STRQ_ASSIGN_OR_RETURN(TrackAutomaton cond,
+                            formula_engine_.Compile(node.condition));
+      STRQ_ASSIGN_OR_RETURN(
+          std::vector<int> cols,
+          ConditionColumnMap(node.condition, input.arity()));
+      std::vector<Tuple> out;
+      for (const Tuple& t : input.tuples()) {
+        std::vector<std::string> point;
+        point.reserve(cols.size());
+        for (int c : cols) point.push_back(t[c]);
+        STRQ_ASSIGN_OR_RETURN(bool keep, cond.Contains(point));
+        if (keep) out.push_back(t);
+      }
+      return Relation::Create(input.arity(), std::move(out));
+    }
+    case RaKind::kProject: {
+      STRQ_ASSIGN_OR_RETURN(Relation input, Eval(node.left));
+      std::vector<Tuple> out;
+      for (const Tuple& t : input.tuples()) {
+        Tuple projected;
+        projected.reserve(node.columns.size());
+        for (int c : node.columns) {
+          if (c < 0 || c >= input.arity()) {
+            return InvalidArgumentError("projection column out of range");
+          }
+          projected.push_back(t[c]);
+        }
+        out.push_back(std::move(projected));
+      }
+      return Relation::Create(static_cast<int>(node.columns.size()),
+                              std::move(out));
+    }
+    case RaKind::kProduct: {
+      STRQ_ASSIGN_OR_RETURN(Relation a, Eval(node.left));
+      STRQ_ASSIGN_OR_RETURN(Relation b, Eval(node.right));
+      STRQ_RETURN_IF_ERROR(CheckBudget(a.size() * b.size()));
+      std::vector<Tuple> out;
+      out.reserve(a.size() * b.size());
+      for (const Tuple& ta : a.tuples()) {
+        for (const Tuple& tb : b.tuples()) {
+          Tuple t = ta;
+          t.insert(t.end(), tb.begin(), tb.end());
+          out.push_back(std::move(t));
+        }
+      }
+      return Relation::Create(a.arity() + b.arity(), std::move(out));
+    }
+    case RaKind::kUnion: {
+      STRQ_ASSIGN_OR_RETURN(Relation a, Eval(node.left));
+      STRQ_ASSIGN_OR_RETURN(Relation b, Eval(node.right));
+      if (a.arity() != b.arity()) {
+        return InvalidArgumentError("union arity mismatch");
+      }
+      std::vector<Tuple> out = a.tuples();
+      out.insert(out.end(), b.tuples().begin(), b.tuples().end());
+      return Relation::Create(a.arity(), std::move(out));
+    }
+    case RaKind::kDifference: {
+      STRQ_ASSIGN_OR_RETURN(Relation a, Eval(node.left));
+      STRQ_ASSIGN_OR_RETURN(Relation b, Eval(node.right));
+      if (a.arity() != b.arity()) {
+        return InvalidArgumentError("difference arity mismatch");
+      }
+      std::vector<Tuple> out;
+      for (const Tuple& t : a.tuples()) {
+        if (!b.Contains(t)) out.push_back(t);
+      }
+      return Relation::Create(a.arity(), std::move(out));
+    }
+    case RaKind::kPrefix: {
+      STRQ_ASSIGN_OR_RETURN(Relation input, Eval(node.left));
+      std::vector<Tuple> out;
+      for (const Tuple& t : input.tuples()) {
+        if (node.column >= input.arity()) {
+          return InvalidArgumentError("prefix column out of range");
+        }
+        const std::string& s = t[node.column];
+        STRQ_RETURN_IF_ERROR(CheckBudget(out.size() + s.size() + 1));
+        for (size_t len = 0; len <= s.size(); ++len) {
+          Tuple extended = t;
+          extended.push_back(s.substr(0, len));
+          out.push_back(std::move(extended));
+        }
+      }
+      return Relation::Create(input.arity() + 1, std::move(out));
+    }
+    case RaKind::kAddRight:
+    case RaKind::kAddLeft:
+    case RaKind::kTrimLeft: {
+      STRQ_ASSIGN_OR_RETURN(Relation input, Eval(node.left));
+      std::vector<Tuple> out;
+      for (const Tuple& t : input.tuples()) {
+        if (node.column >= input.arity()) {
+          return InvalidArgumentError("column out of range");
+        }
+        const std::string& s = t[node.column];
+        std::string value;
+        if (node.kind == RaKind::kAddRight) {
+          value = AppendLast(s, node.letter);
+        } else if (node.kind == RaKind::kAddLeft) {
+          value = PrependFirst(s, node.letter);
+        } else {
+          value = TrimLeading(s, node.letter);
+        }
+        Tuple extended = t;
+        extended.push_back(std::move(value));
+        out.push_back(std::move(extended));
+      }
+      return Relation::Create(input.arity() + 1, std::move(out));
+    }
+    case RaKind::kInsert: {
+      STRQ_ASSIGN_OR_RETURN(Relation input, Eval(node.left));
+      std::vector<Tuple> out;
+      for (const Tuple& t : input.tuples()) {
+        if (node.column >= input.arity() || node.column2 >= input.arity()) {
+          return InvalidArgumentError("insert column out of range");
+        }
+        Tuple extended = t;
+        extended.push_back(
+            InsertAfterPrefix(t[node.column], t[node.column2], node.letter));
+        out.push_back(std::move(extended));
+      }
+      return Relation::Create(input.arity() + 1, std::move(out));
+    }
+    case RaKind::kDown: {
+      STRQ_ASSIGN_OR_RETURN(Relation input, Eval(node.left));
+      std::string chars;
+      for (int i = 0; i < db_->alphabet().size(); ++i) {
+        chars.push_back(db_->alphabet().CharOf(static_cast<Symbol>(i)));
+      }
+      std::vector<Tuple> out;
+      for (const Tuple& t : input.tuples()) {
+        if (node.column >= input.arity()) {
+          return InvalidArgumentError("down column out of range");
+        }
+        // Budget check before the exponential expansion.
+        double count = 1;
+        for (size_t i = 0; i < t[node.column].size(); ++i) {
+          count = count * chars.size() + 1;
+          if (out.size() + count > static_cast<double>(options_.max_tuples)) {
+            return ResourceExhaustedError(
+                "↓ expansion over budget (this exponentiality is inherent "
+                "to RA(S_len), Section 6.2)");
+          }
+        }
+        for (const std::string& s : AllStringsUpToLength(
+                 chars, static_cast<int>(t[node.column].size()))) {
+          Tuple extended = t;
+          extended.push_back(s);
+          out.push_back(std::move(extended));
+        }
+      }
+      return Relation::Create(input.arity() + 1, std::move(out));
+    }
+  }
+  return InternalError("unknown algebra node");
+}
+
+}  // namespace strq

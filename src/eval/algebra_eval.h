@@ -1,0 +1,51 @@
+#ifndef STRQ_EVAL_ALGEBRA_EVAL_H_
+#define STRQ_EVAL_ALGEBRA_EVAL_H_
+
+#include "base/status.h"
+#include "eval/automata_eval.h"
+#include "relational/algebra.h"
+#include "relational/database.h"
+
+namespace strq {
+
+// Evaluator for the extended relational algebras RA(S), RA(S_left),
+// RA(S_reg), RA(S_len) of Sections 6.2 and 7.1. Algebra plans always produce
+// finite relations — the algebra *is* the effective syntax for safe queries
+// (Theorems 4 and 8).
+//
+// σ_α conditions are pure M-formulas (possibly with unrestricted quantifiers
+// over Σ*); they are compiled once per plan node to a multi-track automaton
+// via the automata engine and then tested per tuple.
+class AlgebraEvaluator {
+ public:
+  struct Options {
+    // Overall ceiling on intermediate relation sizes. ↓_i in particular
+    // can produce |Σ|^|s| tuples per input tuple (the paper notes this
+    // exponentiality is unavoidable for RA(S_len), Section 6.2).
+    size_t max_tuples = 2000000;
+    // Per-plan-node memoization (safe-translation plans share the universe
+    // subtree heavily). Off switch exists for the ablation bench.
+    bool enable_memo = true;
+  };
+
+  explicit AlgebraEvaluator(const Database* db) : AlgebraEvaluator(db, Options()) {}
+  AlgebraEvaluator(const Database* db, Options options);
+
+  Result<Relation> Evaluate(const RaPtr& expr);
+
+ private:
+  Result<Relation> Eval(const RaPtr& expr);
+  Result<Relation> EvalUncached(const RaExpr& expr);
+  Status CheckBudget(size_t size) const;
+
+  const Database* db_;
+  Options options_;
+  AutomataEvaluator formula_engine_;
+  // Plans built by the safe-query translation share subtrees (notably the
+  // universe expression); results are memoized per node within a plan.
+  std::map<const RaExpr*, Relation> memo_;
+};
+
+}  // namespace strq
+
+#endif  // STRQ_EVAL_ALGEBRA_EVAL_H_

@@ -1,0 +1,481 @@
+#include "eval/automata_eval.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "automata/like.h"
+#include "automata/regex.h"
+#include "mta/atoms.h"
+
+namespace strq {
+
+namespace {
+
+// Canonical variable block used when caching relation automata; remapped to
+// the actual argument variables per occurrence.
+constexpr VarId kRelationVarBase = 1 << 24;
+
+// The recursive compiler. Variable scoping: free variables of the whole
+// query get ids 0..k-1 in sorted-name order (so answer-relation columns are
+// deterministic); bound and auxiliary variables take fresh ids above that.
+class Compiler {
+ public:
+  Compiler(const Database* db, AutomataEvaluator* evaluator)
+      : db_(db), evaluator_(evaluator) {}
+
+  Result<TrackAutomaton> CompileQuery(const FormulaPtr& f) {
+    std::vector<std::string> free_vars = AutomataEvaluator::FreeVarOrder(f);
+    for (const std::string& name : free_vars) {
+      scope_[name] = next_var_++;
+    }
+    return Compile(f);
+  }
+
+ private:
+  const Alphabet& alphabet() const { return db_->alphabet(); }
+
+  VarId Fresh() { return next_var_++; }
+
+  // ---- Term resolution --------------------------------------------------
+
+  // Resolves `t` to a variable id. Composite terms introduce a fresh
+  // variable plus a defining graph atom appended to `defs`; the fresh ids
+  // are appended to `to_project`.
+  Result<VarId> ResolveTerm(const TermPtr& t,
+                            std::vector<TrackAutomaton>* defs,
+                            std::vector<VarId>* to_project) {
+    switch (t->kind) {
+      case TermKind::kVar: {
+        auto it = scope_.find(t->var);
+        if (it == scope_.end()) {
+          return InternalError("unbound variable " + t->var);
+        }
+        return it->second;
+      }
+      case TermKind::kConst: {
+        VarId v = Fresh();
+        STRQ_ASSIGN_OR_RETURN(TrackAutomaton def,
+                              ConstAtom(alphabet(), t->text, v));
+        defs->push_back(std::move(def));
+        to_project->push_back(v);
+        return v;
+      }
+      case TermKind::kAppend:
+      case TermKind::kPrepend:
+      case TermKind::kTrim: {
+        STRQ_ASSIGN_OR_RETURN(VarId u, ResolveTerm(t->arg0, defs, to_project));
+        VarId v = Fresh();
+        Result<TrackAutomaton> def =
+            t->kind == TermKind::kAppend
+                ? AppendGraphAtom(alphabet(), t->letter, u, v)
+                : t->kind == TermKind::kPrepend
+                      ? PrependGraphAtom(alphabet(), t->letter, u, v)
+                      : TrimLeadingGraphAtom(alphabet(), t->letter, u, v);
+        if (!def.ok()) return def.status();
+        defs->push_back(*std::move(def));
+        to_project->push_back(v);
+        return v;
+      }
+      case TermKind::kInsert: {
+        STRQ_ASSIGN_OR_RETURN(VarId a, ResolveTerm(t->arg0, defs, to_project));
+        STRQ_ASSIGN_OR_RETURN(VarId b, ResolveTerm(t->arg1, defs, to_project));
+        // insert_a(x, x) = x·a: alias the shared variable.
+        if (a == b) {
+          STRQ_ASSIGN_OR_RETURN(b, Alias(a, defs, to_project));
+        }
+        VarId v = Fresh();
+        STRQ_ASSIGN_OR_RETURN(TrackAutomaton def,
+                              InsertGraphAtom(alphabet(), t->letter, a, b, v));
+        defs->push_back(std::move(def));
+        to_project->push_back(v);
+        return v;
+      }
+      case TermKind::kLcp: {
+        STRQ_ASSIGN_OR_RETURN(VarId a, ResolveTerm(t->arg0, defs, to_project));
+        STRQ_ASSIGN_OR_RETURN(VarId b, ResolveTerm(t->arg1, defs, to_project));
+        // LcpAtom needs three distinct variables; lcp(x, x) = x is handled
+        // by aliasing through a fresh equal variable.
+        if (a == b) {
+          STRQ_ASSIGN_OR_RETURN(b, Alias(a, defs, to_project));
+        }
+        VarId v = Fresh();
+        STRQ_ASSIGN_OR_RETURN(TrackAutomaton def, LcpAtom(alphabet(), a, b, v));
+        defs->push_back(std::move(def));
+        to_project->push_back(v);
+        return v;
+      }
+      case TermKind::kConcat:
+        return UnsupportedError(
+            "concatenation is not an automatic relation; RC_concat queries "
+            "cannot be compiled (Proposition 1) — see src/concat for the "
+            "bounded semi-decision evaluator");
+    }
+    return InternalError("unknown term kind");
+  }
+
+  // Fresh variable constrained to equal `v` (for repeated-variable atoms).
+  Result<VarId> Alias(VarId v, std::vector<TrackAutomaton>* defs,
+                      std::vector<VarId>* to_project) {
+    VarId fresh = Fresh();
+    STRQ_ASSIGN_OR_RETURN(TrackAutomaton eq, EqualAtom(alphabet(), v, fresh));
+    defs->push_back(std::move(eq));
+    to_project->push_back(fresh);
+    return fresh;
+  }
+
+  // Resolves all argument terms, making the resulting ids pairwise distinct.
+  Result<std::vector<VarId>> ResolveArgs(const std::vector<TermPtr>& args,
+                                         std::vector<TrackAutomaton>* defs,
+                                         std::vector<VarId>* to_project) {
+    std::vector<VarId> ids;
+    for (const TermPtr& t : args) {
+      STRQ_ASSIGN_OR_RETURN(VarId v, ResolveTerm(t, defs, to_project));
+      if (std::find(ids.begin(), ids.end(), v) != ids.end()) {
+        STRQ_ASSIGN_OR_RETURN(v, Alias(v, defs, to_project));
+      }
+      ids.push_back(v);
+    }
+    return ids;
+  }
+
+  // Conjoins `atom` with its term-definition constraints and projects the
+  // auxiliary variables away.
+  Result<TrackAutomaton> FinishAtom(TrackAutomaton atom,
+                                    std::vector<TrackAutomaton> defs,
+                                    const std::vector<VarId>& to_project) {
+    for (TrackAutomaton& def : defs) {
+      STRQ_ASSIGN_OR_RETURN(atom, TrackAutomaton::Intersect(atom, def));
+    }
+    for (VarId v : to_project) {
+      STRQ_ASSIGN_OR_RETURN(atom, atom.Project(v));
+    }
+    return atom;
+  }
+
+  // ---- Atoms -------------------------------------------------------------
+
+  Result<TrackAutomaton> CompilePred(const Formula& f) {
+    std::vector<TrackAutomaton> defs;
+    std::vector<VarId> aux;
+    STRQ_ASSIGN_OR_RETURN(std::vector<VarId> ids,
+                          ResolveArgs(f.args, &defs, &aux));
+    Result<TrackAutomaton> atom = InternalError("unset");
+    switch (f.pred) {
+      case PredKind::kEq:
+        atom = EqualAtom(alphabet(), ids[0], ids[1]);
+        break;
+      case PredKind::kPrefix:
+        atom = PrefixAtom(alphabet(), ids[0], ids[1]);
+        break;
+      case PredKind::kStrictPrefix:
+        atom = StrictPrefixAtom(alphabet(), ids[0], ids[1]);
+        break;
+      case PredKind::kOneStep:
+        atom = OneStepAtom(alphabet(), ids[0], ids[1]);
+        break;
+      case PredKind::kLast:
+        atom = LastSymbolAtom(alphabet(), f.letter, ids[0]);
+        break;
+      case PredKind::kEqLen:
+        atom = EqLenAtom(alphabet(), ids[0], ids[1]);
+        break;
+      case PredKind::kLeqLen:
+        atom = LeqLenAtom(alphabet(), ids[0], ids[1]);
+        break;
+      case PredKind::kLexLeq:
+        atom = LexLeqAtom(alphabet(), ids[0], ids[1]);
+        break;
+      case PredKind::kAdom:
+        atom = AdomAutomaton(ids[0]);
+        break;
+      case PredKind::kLike:
+      case PredKind::kMember: {
+        STRQ_ASSIGN_OR_RETURN(Dfa lang, evaluator_->CompiledPattern(
+                                            f.pattern, f.syntax));
+        atom = MemberAtom(alphabet(), lang, ids[0]);
+        break;
+      }
+      case PredKind::kSuffixIn: {
+        STRQ_ASSIGN_OR_RETURN(Dfa lang, evaluator_->CompiledPattern(
+                                            f.pattern, f.syntax));
+        atom = SuffixInAtom(alphabet(), lang, ids[0], ids[1]);
+        break;
+      }
+    }
+    if (!atom.ok()) return atom.status();
+    return FinishAtom(*std::move(atom), std::move(defs), aux);
+  }
+
+  Result<TrackAutomaton> CompileRelation(const Formula& f) {
+    const Relation* rel = db_->Find(f.relation);
+    if (rel == nullptr) {
+      return InvalidArgumentError("unknown relation " + f.relation);
+    }
+    if (static_cast<int>(f.args.size()) != rel->arity()) {
+      return InvalidArgumentError("relation " + f.relation +
+                                  " arity mismatch");
+    }
+    std::vector<TrackAutomaton> defs;
+    std::vector<VarId> aux;
+    STRQ_ASSIGN_OR_RETURN(std::vector<VarId> ids,
+                          ResolveArgs(f.args, &defs, &aux));
+    STRQ_ASSIGN_OR_RETURN(TrackAutomaton canonical,
+                          RelationAutomaton(f.relation, *rel));
+    std::map<VarId, VarId> renaming;
+    for (size_t i = 0; i < ids.size(); ++i) {
+      renaming[kRelationVarBase + static_cast<VarId>(i)] = ids[i];
+    }
+    STRQ_ASSIGN_OR_RETURN(TrackAutomaton atom, canonical.Renamed(renaming));
+    return FinishAtom(std::move(atom), std::move(defs), aux);
+  }
+
+  // Relation automata are cached under canonical variable ids.
+  Result<TrackAutomaton> RelationAutomaton(const std::string& name,
+                                           const Relation& rel) {
+    auto it = relation_cache_.find(name);
+    if (it != relation_cache_.end()) return it->second;
+    std::vector<VarId> vars;
+    for (int i = 0; i < rel.arity(); ++i) vars.push_back(kRelationVarBase + i);
+    STRQ_ASSIGN_OR_RETURN(
+        TrackAutomaton atom,
+        TrackAutomaton::FromTuples(alphabet(), vars, rel.tuples()));
+    relation_cache_.emplace(name, atom);
+    return atom;
+  }
+
+  Result<TrackAutomaton> AdomAutomaton(VarId v) {
+    if (!adom_cache_.has_value()) {
+      std::vector<std::vector<std::string>> tuples;
+      for (const std::string& s : db_->ActiveDomain()) tuples.push_back({s});
+      STRQ_ASSIGN_OR_RETURN(
+          TrackAutomaton atom,
+          TrackAutomaton::FromTuples(alphabet(), {kRelationVarBase}, tuples));
+      adom_cache_ = std::move(atom);
+    }
+    return adom_cache_->Renamed({{kRelationVarBase, v}});
+  }
+
+  // ---- Quantifier ranges --------------------------------------------------
+
+  // The range constraint of a restricted quantifier, desugared to automata
+  // (Sections 5.1 and 5.2): the paper's ∃x ∈ dom / ∃x ≼ dom / ∃|x| ≤ adom.
+  Result<TrackAutomaton> RangeConstraint(VarId v, QuantRange range,
+                                         const std::vector<VarId>& params) {
+    switch (range) {
+      case QuantRange::kAll:
+        return InternalError("kAll has no constraint");
+      case QuantRange::kAdom:
+        return AdomAutomaton(v);
+      case QuantRange::kPrefixDom: {
+        // x ≼ some adom string, or x ≼ some parameter.
+        std::vector<std::vector<std::string>> tuples;
+        for (const std::string& s : PrefixClosureOfAdom()) {
+          tuples.push_back({s});
+        }
+        STRQ_ASSIGN_OR_RETURN(
+            TrackAutomaton acc,
+            TrackAutomaton::FromTuples(alphabet(), {v}, tuples));
+        for (VarId z : params) {
+          STRQ_ASSIGN_OR_RETURN(TrackAutomaton pre, PrefixAtom(alphabet(), v, z));
+          STRQ_ASSIGN_OR_RETURN(acc, TrackAutomaton::Union(acc, pre));
+        }
+        return acc;
+      }
+      case QuantRange::kLenDom: {
+        STRQ_ASSIGN_OR_RETURN(
+            TrackAutomaton acc,
+            MaxLenAtom(alphabet(), static_cast<int>(db_->MaxAdomLength()), v));
+        for (VarId z : params) {
+          STRQ_ASSIGN_OR_RETURN(TrackAutomaton leq, LeqLenAtom(alphabet(), v, z));
+          STRQ_ASSIGN_OR_RETURN(acc, TrackAutomaton::Union(acc, leq));
+        }
+        return acc;
+      }
+    }
+    return InternalError("unknown range");
+  }
+
+  std::vector<std::string> PrefixClosureOfAdom() {
+    std::vector<std::string> adom = db_->ActiveDomain();
+    std::vector<std::string> out;
+    for (const std::string& s : adom) {
+      for (size_t len = 0; len <= s.size(); ++len) {
+        out.push_back(s.substr(0, len));
+      }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+
+  // ---- Formulas -----------------------------------------------------------
+
+  Result<TrackAutomaton> CompileQuantifier(const Formula& f) {
+    bool is_forall = f.kind == FormulaKind::kForall;
+    // ∀x∈R φ ≡ ¬∃x∈R ¬φ.
+    FormulaPtr body = is_forall ? FNot(f.left) : f.left;
+
+    // Parameters (free variables of the quantified formula other than x),
+    // resolved in the *outer* scope: they bound the restricted ranges.
+    std::vector<VarId> params;
+    if (f.range == QuantRange::kPrefixDom || f.range == QuantRange::kLenDom) {
+      std::set<std::string> fv = FreeVars(f.left);
+      fv.erase(f.var);
+      for (const std::string& name : fv) {
+        auto it = scope_.find(name);
+        if (it != scope_.end()) params.push_back(it->second);
+      }
+    }
+
+    // Bind the quantified variable to a fresh id (shadowing).
+    auto saved = scope_.find(f.var);
+    std::optional<VarId> shadowed;
+    if (saved != scope_.end()) shadowed = saved->second;
+    VarId v = Fresh();
+    scope_[f.var] = v;
+    Result<TrackAutomaton> body_rel = Compile(body);
+    if (shadowed.has_value()) {
+      scope_[f.var] = *shadowed;
+    } else {
+      scope_.erase(f.var);
+    }
+    if (!body_rel.ok()) return body_rel.status();
+
+    TrackAutomaton rel = *std::move(body_rel);
+    if (f.range != QuantRange::kAll) {
+      STRQ_ASSIGN_OR_RETURN(TrackAutomaton constraint,
+                            RangeConstraint(v, f.range, params));
+      STRQ_ASSIGN_OR_RETURN(rel, TrackAutomaton::Intersect(rel, constraint));
+    }
+    // If the variable does not occur, ∃x φ ≡ φ (the domain is non-empty and
+    // restricted ranges always contain ε).
+    const std::vector<VarId>& vars = rel.vars();
+    if (std::find(vars.begin(), vars.end(), v) != vars.end()) {
+      STRQ_ASSIGN_OR_RETURN(rel, rel.Project(v));
+    }
+    if (is_forall) {
+      STRQ_ASSIGN_OR_RETURN(rel, rel.Complemented());
+    }
+    return rel;
+  }
+
+  Result<TrackAutomaton> Compile(const FormulaPtr& f) {
+    switch (f->kind) {
+      case FormulaKind::kTrue:
+        return TrackAutomaton::Truth(alphabet(), true);
+      case FormulaKind::kFalse:
+        return TrackAutomaton::Truth(alphabet(), false);
+      case FormulaKind::kPred:
+        return CompilePred(*f);
+      case FormulaKind::kRelation:
+        return CompileRelation(*f);
+      case FormulaKind::kNot: {
+        STRQ_ASSIGN_OR_RETURN(TrackAutomaton a, Compile(f->left));
+        return a.Complemented();
+      }
+      case FormulaKind::kAnd: {
+        STRQ_ASSIGN_OR_RETURN(TrackAutomaton a, Compile(f->left));
+        STRQ_ASSIGN_OR_RETURN(TrackAutomaton b, Compile(f->right));
+        return TrackAutomaton::Intersect(a, b);
+      }
+      case FormulaKind::kOr: {
+        STRQ_ASSIGN_OR_RETURN(TrackAutomaton a, Compile(f->left));
+        STRQ_ASSIGN_OR_RETURN(TrackAutomaton b, Compile(f->right));
+        return TrackAutomaton::Union(a, b);
+      }
+      case FormulaKind::kImplies:
+        return Compile(FOr(FNot(f->left), f->right));
+      case FormulaKind::kIff:
+        return Compile(
+            FOr(FAnd(f->left, f->right), FAnd(FNot(f->left), FNot(f->right))));
+      case FormulaKind::kExists:
+      case FormulaKind::kForall:
+        return CompileQuantifier(*f);
+    }
+    return InternalError("unknown formula kind");
+  }
+
+  const Database* db_;
+  AutomataEvaluator* evaluator_;
+  std::map<std::string, VarId> scope_;
+  int next_var_ = 0;
+  std::map<std::string, TrackAutomaton> relation_cache_;
+  std::optional<TrackAutomaton> adom_cache_;
+};
+
+}  // namespace
+
+AutomataEvaluator::AutomataEvaluator(const Database* db) : db_(db) {}
+
+std::vector<std::string> AutomataEvaluator::FreeVarOrder(const FormulaPtr& f) {
+  std::set<std::string> fv = FreeVars(f);
+  return std::vector<std::string>(fv.begin(), fv.end());
+}
+
+Result<TrackAutomaton> AutomataEvaluator::Compile(const FormulaPtr& f) {
+  // Semantic guard: free variables unconstrained by the formula would make
+  // every track valid; that is handled naturally (FullRelation semantics)
+  // because absent tracks are cylindrified on demand by callers. Here the
+  // answer automaton is over exactly the tracks the formula constrains; for
+  // evaluation we cylindrify to all free variables below.
+  Compiler compiler(db_, this);
+  STRQ_ASSIGN_OR_RETURN(TrackAutomaton rel, compiler.CompileQuery(f));
+  // Ensure every free variable has a track (x may not occur in any atom).
+  std::vector<std::string> order = FreeVarOrder(f);
+  std::vector<VarId> want;
+  for (size_t i = 0; i < order.size(); ++i) {
+    want.push_back(static_cast<VarId>(i));
+  }
+  // rel.vars() ⊆ want by construction (aux vars are projected; bound vars
+  // are projected; free vars got ids 0..k-1).
+  if (rel.vars() != want) {
+    STRQ_ASSIGN_OR_RETURN(rel, rel.Cylindrified(want));
+  }
+  return rel;
+}
+
+Result<Relation> AutomataEvaluator::Evaluate(const FormulaPtr& f,
+                                             size_t max_tuples) {
+  STRQ_ASSIGN_OR_RETURN(TrackAutomaton rel, Compile(f));
+  Result<std::vector<std::vector<std::string>>> tuples =
+      rel.AllTuples(max_tuples);
+  if (!tuples.ok()) return tuples.status();
+  return Relation::Create(rel.arity(), *std::move(tuples));
+}
+
+Result<bool> AutomataEvaluator::EvaluateSentence(const FormulaPtr& f) {
+  if (!FreeVars(f).empty()) {
+    return InvalidArgumentError("sentence expected, found free variables");
+  }
+  STRQ_ASSIGN_OR_RETURN(TrackAutomaton rel, Compile(f));
+  return rel.TruthValue();
+}
+
+Result<bool> AutomataEvaluator::IsSafeOnDatabase(const FormulaPtr& f) {
+  STRQ_ASSIGN_OR_RETURN(TrackAutomaton rel, Compile(f));
+  return rel.IsFinite();
+}
+
+Result<Dfa> AutomataEvaluator::CompiledPattern(const std::string& pattern,
+                                               PatternSyntax syntax) {
+  std::pair<std::string, int> key(pattern, static_cast<int>(syntax));
+  auto it = pattern_cache_.find(key);
+  if (it != pattern_cache_.end()) return it->second;
+  Result<Dfa> lang = InternalError("unset");
+  switch (syntax) {
+    case PatternSyntax::kLikePattern:
+      lang = CompileLike(pattern, db_->alphabet());
+      break;
+    case PatternSyntax::kRegex:
+      lang = CompileRegex(pattern, db_->alphabet());
+      break;
+    case PatternSyntax::kSimilar:
+      lang = CompileSimilar(pattern, db_->alphabet());
+      break;
+  }
+  if (!lang.ok()) return lang.status();
+  pattern_cache_.emplace(key, *lang);
+  return *std::move(lang);
+}
+
+}  // namespace strq

@@ -1,0 +1,67 @@
+#ifndef STRQ_EVAL_AUTOMATA_EVAL_H_
+#define STRQ_EVAL_AUTOMATA_EVAL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "automata/dfa.h"
+#include "base/status.h"
+#include "logic/ast.h"
+#include "mta/track_automaton.h"
+#include "relational/database.h"
+
+namespace strq {
+
+// Engine A: exact natural-semantics evaluation of RC(SC, M) queries by
+// compilation to multi-track automata.
+//
+// Every predicate of S, S_left, S_reg and S_len is an automatic relation
+// (src/mta/atoms.h), database relations are finite (hence automatic), and
+// automatic relations are closed under the first-order operations. So any
+// query of the paper's tame calculi compiles to an *answer automaton* whose
+// language is exactly {conv(t̄) : D ⊨ φ(t̄)} — with quantifiers ranging over
+// ALL of Σ*, no active-domain approximation. This single construction yields:
+//   * query evaluation (enumerate the answer automaton),
+//   * state-safety (Proposition 7): answer automaton finiteness,
+//   * the truth of sentences, including the safety sentences of Section 6.
+//
+// Concatenation terms are rejected (kUnsupported): concatenation is not an
+// automatic relation, which is the engine-level shadow of Proposition 1.
+class AutomataEvaluator {
+ public:
+  // The database's alphabet fixes Σ. The database must outlive the
+  // evaluator.
+  explicit AutomataEvaluator(const Database* db);
+
+  // Compiles φ to its answer automaton over free(φ). Track order equals the
+  // lexicographic order of the free-variable names (see FreeVarOrder).
+  Result<TrackAutomaton> Compile(const FormulaPtr& f);
+
+  // The column order used for answer relations: sorted free-variable names.
+  static std::vector<std::string> FreeVarOrder(const FormulaPtr& f);
+
+  // Evaluates an open query: the set of satisfying tuples, or UnsafeError if
+  // it is infinite (columns ordered by FreeVarOrder). `max_tuples` bounds
+  // the materialized result.
+  Result<Relation> Evaluate(const FormulaPtr& f, size_t max_tuples = 1000000);
+
+  // Evaluates a sentence.
+  Result<bool> EvaluateSentence(const FormulaPtr& f);
+
+  // State-safety (Proposition 7): is φ(D) finite?
+  Result<bool> IsSafeOnDatabase(const FormulaPtr& f);
+
+  // Compiles a LIKE/SIMILAR/regex pattern over the database alphabet,
+  // memoized. Exposed for reuse by the algebra evaluator.
+  Result<Dfa> CompiledPattern(const std::string& pattern,
+                              PatternSyntax syntax);
+
+ private:
+  const Database* db_;
+  std::map<std::pair<std::string, int>, Dfa> pattern_cache_;
+};
+
+}  // namespace strq
+
+#endif  // STRQ_EVAL_AUTOMATA_EVAL_H_

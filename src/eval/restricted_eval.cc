@@ -1,0 +1,370 @@
+#include "eval/restricted_eval.h"
+
+#include <algorithm>
+#include <set>
+
+#include "automata/dfa.h"
+#include "automata/like.h"
+#include "automata/regex.h"
+#include "base/string_ops.h"
+
+namespace strq {
+
+namespace {
+
+using Env = std::map<std::string, std::string>;
+
+class Evaluator {
+ public:
+  Evaluator(const Database* db, const RestrictedEvaluator::Options& options)
+      : db_(db), options_(options) {
+    adom_ = db_->ActiveDomain();
+  }
+
+  Result<bool> Eval(const FormulaPtr& f, Env& env) {
+    switch (f->kind) {
+      case FormulaKind::kTrue:
+        return true;
+      case FormulaKind::kFalse:
+        return false;
+      case FormulaKind::kPred:
+        return EvalPred(*f, env);
+      case FormulaKind::kRelation:
+        return EvalRelation(*f, env);
+      case FormulaKind::kNot: {
+        STRQ_ASSIGN_OR_RETURN(bool v, Eval(f->left, env));
+        return !v;
+      }
+      case FormulaKind::kAnd: {
+        STRQ_ASSIGN_OR_RETURN(bool a, Eval(f->left, env));
+        if (!a) return false;
+        return Eval(f->right, env);
+      }
+      case FormulaKind::kOr: {
+        STRQ_ASSIGN_OR_RETURN(bool a, Eval(f->left, env));
+        if (a) return true;
+        return Eval(f->right, env);
+      }
+      case FormulaKind::kImplies: {
+        STRQ_ASSIGN_OR_RETURN(bool a, Eval(f->left, env));
+        if (!a) return true;
+        return Eval(f->right, env);
+      }
+      case FormulaKind::kIff: {
+        STRQ_ASSIGN_OR_RETURN(bool a, Eval(f->left, env));
+        STRQ_ASSIGN_OR_RETURN(bool b, Eval(f->right, env));
+        return a == b;
+      }
+      case FormulaKind::kExists:
+      case FormulaKind::kForall:
+        return EvalQuantifier(*f, env);
+    }
+    return InternalError("unknown formula kind");
+  }
+
+ private:
+  Result<std::string> EvalTerm(const TermPtr& t, const Env& env) {
+    switch (t->kind) {
+      case TermKind::kVar: {
+        auto it = env.find(t->var);
+        if (it == env.end()) {
+          return InternalError("unbound variable " + t->var);
+        }
+        return it->second;
+      }
+      case TermKind::kConst:
+        return t->text;
+      case TermKind::kAppend: {
+        STRQ_ASSIGN_OR_RETURN(std::string v, EvalTerm(t->arg0, env));
+        return AppendLast(v, t->letter);
+      }
+      case TermKind::kPrepend: {
+        STRQ_ASSIGN_OR_RETURN(std::string v, EvalTerm(t->arg0, env));
+        return PrependFirst(v, t->letter);
+      }
+      case TermKind::kTrim: {
+        STRQ_ASSIGN_OR_RETURN(std::string v, EvalTerm(t->arg0, env));
+        return TrimLeading(v, t->letter);
+      }
+      case TermKind::kLcp: {
+        STRQ_ASSIGN_OR_RETURN(std::string a, EvalTerm(t->arg0, env));
+        STRQ_ASSIGN_OR_RETURN(std::string b, EvalTerm(t->arg1, env));
+        return LongestCommonPrefix(a, b);
+      }
+      case TermKind::kInsert: {
+        STRQ_ASSIGN_OR_RETURN(std::string a, EvalTerm(t->arg0, env));
+        STRQ_ASSIGN_OR_RETURN(std::string b, EvalTerm(t->arg1, env));
+        return InsertAfterPrefix(a, b, t->letter);
+      }
+      case TermKind::kConcat: {
+        // Direct term evaluation is well-defined even for concatenation;
+        // only quantification over Σ* is problematic (src/concat).
+        STRQ_ASSIGN_OR_RETURN(std::string a, EvalTerm(t->arg0, env));
+        STRQ_ASSIGN_OR_RETURN(std::string b, EvalTerm(t->arg1, env));
+        return a + b;
+      }
+    }
+    return InternalError("unknown term kind");
+  }
+
+  Result<Dfa> Pattern(const std::string& pattern, PatternSyntax syntax) {
+    std::pair<std::string, int> key(pattern, static_cast<int>(syntax));
+    auto it = pattern_cache_.find(key);
+    if (it != pattern_cache_.end()) return it->second;
+    Result<Dfa> lang = InternalError("unset");
+    switch (syntax) {
+      case PatternSyntax::kLikePattern:
+        lang = CompileLike(pattern, db_->alphabet());
+        break;
+      case PatternSyntax::kRegex:
+        lang = CompileRegex(pattern, db_->alphabet());
+        break;
+      case PatternSyntax::kSimilar:
+        lang = CompileSimilar(pattern, db_->alphabet());
+        break;
+    }
+    if (!lang.ok()) return lang.status();
+    pattern_cache_.emplace(key, *lang);
+    return *std::move(lang);
+  }
+
+  Result<bool> EvalPred(const Formula& f, const Env& env) {
+    std::vector<std::string> args;
+    for (const TermPtr& t : f.args) {
+      STRQ_ASSIGN_OR_RETURN(std::string v, EvalTerm(t, env));
+      args.push_back(std::move(v));
+    }
+    switch (f.pred) {
+      case PredKind::kEq:
+        return args[0] == args[1];
+      case PredKind::kPrefix:
+        return IsPrefix(args[0], args[1]);
+      case PredKind::kStrictPrefix:
+        return IsStrictPrefix(args[0], args[1]);
+      case PredKind::kOneStep:
+        return IsOneStepExtension(args[0], args[1]);
+      case PredKind::kLast:
+        return LastSymbolIs(args[0], f.letter);
+      case PredKind::kEqLen:
+        return EqualLength(args[0], args[1]);
+      case PredKind::kLeqLen:
+        return args[0].size() <= args[1].size();
+      case PredKind::kLexLeq: {
+        // The alphabet order gives the symbol order (Section 4).
+        std::string order;
+        for (int i = 0; i < db_->alphabet().size(); ++i) {
+          order.push_back(db_->alphabet().CharOf(static_cast<Symbol>(i)));
+        }
+        return LexLeq(args[0], args[1], order);
+      }
+      case PredKind::kAdom:
+        return std::binary_search(adom_.begin(), adom_.end(), args[0]);
+      case PredKind::kLike:
+        return LikeMatch(args[0], f.pattern);
+      case PredKind::kMember: {
+        STRQ_ASSIGN_OR_RETURN(Dfa lang, Pattern(f.pattern, f.syntax));
+        return lang.AcceptsString(db_->alphabet(), args[0]);
+      }
+      case PredKind::kSuffixIn: {
+        if (!IsPrefix(args[0], args[1])) return false;
+        STRQ_ASSIGN_OR_RETURN(Dfa lang, Pattern(f.pattern, f.syntax));
+        return lang.AcceptsString(db_->alphabet(),
+                                  RelativeSuffix(args[1], args[0]));
+      }
+    }
+    return InternalError("unknown predicate");
+  }
+
+  Result<bool> EvalRelation(const Formula& f, const Env& env) {
+    const Relation* rel = db_->Find(f.relation);
+    if (rel == nullptr) {
+      return InvalidArgumentError("unknown relation " + f.relation);
+    }
+    if (static_cast<int>(f.args.size()) != rel->arity()) {
+      return InvalidArgumentError("relation " + f.relation +
+                                  " arity mismatch");
+    }
+    Tuple t;
+    for (const TermPtr& arg : f.args) {
+      STRQ_ASSIGN_OR_RETURN(std::string v, EvalTerm(arg, env));
+      t.push_back(std::move(v));
+    }
+    return rel->Contains(t);
+  }
+
+  // Candidate strings for a restricted quantifier, given the parameter
+  // values (free variables of the body in the current environment).
+  Result<std::vector<std::string>> Candidates(const Formula& f,
+                                              const Env& env) {
+    std::set<std::string> params;
+    {
+      std::set<std::string> fv = FreeVars(f.left);
+      fv.erase(f.var);
+      for (const std::string& name : fv) {
+        auto it = env.find(name);
+        if (it != env.end()) params.insert(it->second);
+      }
+    }
+    switch (f.range) {
+      case QuantRange::kAll: {
+        if (!options_.all_quantifier_bound.has_value()) {
+          return UnsupportedError(
+              "plain quantifier in the restricted evaluator; apply the "
+              "collapse (Theorem 1 / Theorem 2) or use the automata engine");
+        }
+        std::string chars;
+        for (int i = 0; i < db_->alphabet().size(); ++i) {
+          chars.push_back(db_->alphabet().CharOf(static_cast<Symbol>(i)));
+        }
+        return AllStringsUpToLength(chars, *options_.all_quantifier_bound);
+      }
+      case QuantRange::kAdom:
+        return adom_;
+      case QuantRange::kPrefixDom: {
+        std::vector<std::string> base = adom_;
+        base.insert(base.end(), params.begin(), params.end());
+        return PrefixClosure(base);
+      }
+      case QuantRange::kLenDom: {
+        size_t max_len = 0;
+        for (const std::string& s : adom_) max_len = std::max(max_len, s.size());
+        for (const std::string& s : params) {
+          max_len = std::max(max_len, s.size());
+        }
+        // |Σ|^(maxlen+1) candidate budget check before enumerating.
+        double count = 1;
+        for (size_t i = 0; i < max_len; ++i) {
+          count *= db_->alphabet().size();
+          count += 1;
+          if (count > static_cast<double>(options_.max_len_candidates)) {
+            return ResourceExhaustedError(
+                "length-restricted quantifier candidate set too large");
+          }
+        }
+        std::string chars;
+        for (int i = 0; i < db_->alphabet().size(); ++i) {
+          chars.push_back(db_->alphabet().CharOf(static_cast<Symbol>(i)));
+        }
+        return AllStringsUpToLength(chars, static_cast<int>(max_len));
+      }
+    }
+    return InternalError("unknown range");
+  }
+
+  Result<bool> EvalQuantifier(const Formula& f, Env& env) {
+    STRQ_ASSIGN_OR_RETURN(std::vector<std::string> candidates,
+                          Candidates(f, env));
+    bool is_forall = f.kind == FormulaKind::kForall;
+    auto saved = env.find(f.var);
+    std::optional<std::string> shadowed;
+    if (saved != env.end()) shadowed = saved->second;
+    bool result = is_forall;
+    for (const std::string& c : candidates) {
+      env[f.var] = c;
+      Result<bool> v = Eval(f.left, env);
+      if (!v.ok()) {
+        RestoreVar(env, f.var, shadowed);
+        return v.status();
+      }
+      if (is_forall && !*v) {
+        result = false;
+        break;
+      }
+      if (!is_forall && *v) {
+        result = true;
+        break;
+      }
+    }
+    RestoreVar(env, f.var, shadowed);
+    return result;
+  }
+
+  static void RestoreVar(Env& env, const std::string& var,
+                         const std::optional<std::string>& shadowed) {
+    if (shadowed.has_value()) {
+      env[var] = *shadowed;
+    } else {
+      env.erase(var);
+    }
+  }
+
+  const Database* db_;
+  RestrictedEvaluator::Options options_;
+  std::vector<std::string> adom_;
+  std::map<std::pair<std::string, int>, Dfa> pattern_cache_;
+};
+
+}  // namespace
+
+RestrictedEvaluator::RestrictedEvaluator(const Database* db, Options options)
+    : db_(db), options_(options) {}
+
+Result<bool> RestrictedEvaluator::Holds(
+    const FormulaPtr& f, const std::map<std::string, std::string>& assignment) {
+  Evaluator eval(db_, options_);
+  Env env = assignment;
+  return eval.Eval(f, env);
+}
+
+Result<bool> RestrictedEvaluator::EvaluateSentence(const FormulaPtr& f) {
+  if (!FreeVars(f).empty()) {
+    return InvalidArgumentError("sentence expected, found free variables");
+  }
+  return Holds(f, {});
+}
+
+Result<Relation> RestrictedEvaluator::EvaluateOnCandidates(
+    const FormulaPtr& f, const std::vector<std::string>& candidates) {
+  std::set<std::string> fv = FreeVars(f);
+  std::vector<std::string> vars(fv.begin(), fv.end());
+  int k = static_cast<int>(vars.size());
+  std::vector<Tuple> out;
+  Evaluator eval(db_, options_);
+
+  // Odometer over candidates^k.
+  std::vector<size_t> index(k, 0);
+  if (candidates.empty() && k > 0) return Relation::Create(k, {});
+  while (true) {
+    Env env;
+    Tuple t;
+    for (int i = 0; i < k; ++i) {
+      env[vars[i]] = candidates[index[i]];
+      t.push_back(candidates[index[i]]);
+    }
+    STRQ_ASSIGN_OR_RETURN(bool holds, eval.Eval(f, env));
+    if (holds) out.push_back(std::move(t));
+    // Advance odometer.
+    int pos = k - 1;
+    while (pos >= 0 && ++index[pos] == candidates.size()) {
+      index[pos] = 0;
+      --pos;
+    }
+    if (pos < 0) break;
+    if (k == 0) break;
+  }
+  return Relation::Create(k, std::move(out));
+}
+
+std::vector<std::string> RestrictedEvaluator::PrefixDomCandidates() const {
+  return PrefixClosure(db_->ActiveDomain());
+}
+
+Result<std::vector<std::string>> RestrictedEvaluator::LenDomCandidates()
+    const {
+  size_t max_len = db_->MaxAdomLength();
+  double count = 1;
+  for (size_t i = 0; i < max_len; ++i) {
+    count *= db_->alphabet().size();
+    count += 1;
+    if (count > static_cast<double>(options_.max_len_candidates)) {
+      return ResourceExhaustedError("↓adom candidate set too large");
+    }
+  }
+  std::string chars;
+  for (int i = 0; i < db_->alphabet().size(); ++i) {
+    chars.push_back(db_->alphabet().CharOf(static_cast<Symbol>(i)));
+  }
+  return AllStringsUpToLength(chars, static_cast<int>(max_len));
+}
+
+}  // namespace strq

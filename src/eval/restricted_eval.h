@@ -1,0 +1,75 @@
+#ifndef STRQ_EVAL_RESTRICTED_EVAL_H_
+#define STRQ_EVAL_RESTRICTED_EVAL_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "logic/ast.h"
+#include "relational/database.h"
+
+namespace strq {
+
+// Engine B: direct evaluation of *restricted-quantifier* formulas by
+// enumeration, with no automata. This is the evaluation strategy behind the
+// paper's collapse results:
+//
+//   * Proposition 2 / Theorem 1: over S (and S_left, S_reg — Theorem 6),
+//     quantifiers can be restricted to prefixes of the active domain and the
+//     parameters (∃x ≼ dom). Enumerating that set gives polynomial data
+//     complexity — the engine-level counterpart of Corollary 2's AC⁰ bound.
+//   * Theorem 2: over S_len, quantifiers can be length-restricted
+//     (∃|x| ≤ adom). The candidate set Σ^{≤maxlen} is exponential in the
+//     longest database string — matching Theorem 2's PH data complexity.
+//
+// Plain ∃x/∀x quantifiers are rejected: collapse the query first (the tests
+// cross-check engine A's natural semantics against this engine on
+// already-restricted formulas, which is exactly the collapse equivalence).
+class RestrictedEvaluator {
+ public:
+  struct Options {
+    // Ceiling on the number of candidate strings a single length-restricted
+    // quantifier may enumerate (|Σ|^maxlen grows fast).
+    size_t max_len_candidates = 2000000;
+    // If set, plain ∃x/∀x quantifiers enumerate Σ^{≤bound} instead of being
+    // rejected. This is bounded-universe *approximate* semantics — the
+    // semi-decision device used for RC_concat (src/concat), where exact
+    // evaluation is impossible (Proposition 1). Leave unset for the tame
+    // calculi and use the automata engine there instead.
+    std::optional<int> all_quantifier_bound;
+  };
+
+  explicit RestrictedEvaluator(const Database* db) : RestrictedEvaluator(db, Options()) {}
+  RestrictedEvaluator(const Database* db, Options options);
+
+  // Truth of a formula under the given assignment of its free variables.
+  Result<bool> Holds(const FormulaPtr& f,
+                     const std::map<std::string, std::string>& assignment);
+
+  // Truth of a sentence.
+  Result<bool> EvaluateSentence(const FormulaPtr& f);
+
+  // Evaluates an open formula over explicit per-variable candidate sets:
+  // the output is {t̄ ∈ candidates : D ⊨ φ(t̄)} with columns in sorted
+  // free-variable name order. This is the range-restricted semantics
+  // (γ(adom) ∩ φ(D)) of Section 6.1.
+  Result<Relation> EvaluateOnCandidates(
+      const FormulaPtr& f, const std::vector<std::string>& candidates);
+
+  // Candidate sets used by the collapse theorems.
+  // prefix(adom(D)): for RC(S)/RC(S_left)/RC(S_reg) queries (Theorem 1/6).
+  std::vector<std::string> PrefixDomCandidates() const;
+  // ↓adom(D) = all strings of length ≤ max adom length: for RC(S_len)
+  // (Theorem 2). Fails with ResourceExhausted when over budget.
+  Result<std::vector<std::string>> LenDomCandidates() const;
+
+ private:
+  const Database* db_;
+  Options options_;
+};
+
+}  // namespace strq
+
+#endif  // STRQ_EVAL_RESTRICTED_EVAL_H_

@@ -1,0 +1,150 @@
+#include "games/ef_game.h"
+
+#include <algorithm>
+
+namespace strq {
+
+Status FiniteStructure::AddRelation(const std::string& name, int arity,
+                                    std::set<std::vector<int>> tuples) {
+  if (arity < 0) return InvalidArgumentError("negative arity");
+  for (const std::vector<int>& t : tuples) {
+    if (static_cast<int>(t.size()) != arity) {
+      return InvalidArgumentError("tuple arity mismatch in " + name);
+    }
+    for (int e : t) {
+      if (e < 0 || e >= universe_size_) {
+        return InvalidArgumentError("element out of range in " + name);
+      }
+    }
+  }
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    relations_.emplace(name, std::make_pair(arity, std::move(tuples)));
+  } else {
+    if (it->second.first != arity) {
+      return InvalidArgumentError("conflicting arity for " + name);
+    }
+    it->second.second.insert(tuples.begin(), tuples.end());
+  }
+  return Status::Ok();
+}
+
+FiniteStructure FiniteStructure::LinearOrder(int n) {
+  FiniteStructure s(n);
+  std::set<std::vector<int>> lt;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) lt.insert({i, j});
+  }
+  Status status = s.AddRelation("<", 2, std::move(lt));
+  (void)status;  // construction is valid by design
+  return s;
+}
+
+namespace {
+
+// Do the pinned tuples (ā, b̄) define a partial isomorphism?
+bool PartialIsomorphism(const FiniteStructure& a, const FiniteStructure& b,
+                        const std::vector<int>& a_elems,
+                        const std::vector<int>& b_elems) {
+  size_t n = a_elems.size();
+  // Equality pattern must match.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if ((a_elems[i] == a_elems[j]) != (b_elems[i] == b_elems[j])) {
+        return false;
+      }
+    }
+  }
+  // Every relation must agree on all tuples over the pinned positions.
+  for (const auto& [name, rel_a] : a.relations()) {
+    auto it = b.relations().find(name);
+    if (it == b.relations().end()) return false;
+    const auto& rel_b = it->second;
+    int arity = rel_a.first;
+    if (rel_b.first != arity) return false;
+    // Enumerate position tuples (n^arity, tiny in our use).
+    std::vector<size_t> index(arity, 0);
+    if (n == 0) {
+      if (arity == 0 && (rel_a.second.count({}) != rel_b.second.count({}))) {
+        return false;
+      }
+      continue;
+    }
+    while (true) {
+      std::vector<int> ta(arity), tb(arity);
+      for (int i = 0; i < arity; ++i) {
+        ta[i] = a_elems[index[i]];
+        tb[i] = b_elems[index[i]];
+      }
+      if (rel_a.second.count(ta) != rel_b.second.count(tb)) return false;
+      int pos = arity - 1;
+      while (pos >= 0 && ++index[pos] == n) {
+        index[pos] = 0;
+        --pos;
+      }
+      if (pos < 0) break;
+    }
+  }
+  return true;
+}
+
+bool Wins(const FiniteStructure& a, const FiniteStructure& b,
+          std::vector<int>& a_elems, std::vector<int>& b_elems, int rounds) {
+  if (!PartialIsomorphism(a, b, a_elems, b_elems)) return false;
+  if (rounds == 0) return true;
+  // Spoiler plays in A: duplicator must answer in B; and vice versa.
+  for (int x = 0; x < a.universe_size(); ++x) {
+    bool answerable = false;
+    a_elems.push_back(x);
+    for (int y = 0; y < b.universe_size() && !answerable; ++y) {
+      b_elems.push_back(y);
+      answerable = Wins(a, b, a_elems, b_elems, rounds - 1);
+      b_elems.pop_back();
+    }
+    a_elems.pop_back();
+    if (!answerable) return false;
+  }
+  for (int y = 0; y < b.universe_size(); ++y) {
+    bool answerable = false;
+    b_elems.push_back(y);
+    for (int x = 0; x < a.universe_size() && !answerable; ++x) {
+      a_elems.push_back(x);
+      answerable = Wins(a, b, a_elems, b_elems, rounds - 1);
+      a_elems.pop_back();
+    }
+    b_elems.pop_back();
+    if (!answerable) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<bool> DuplicatorWinsFrom(const FiniteStructure& a,
+                                const FiniteStructure& b,
+                                const std::vector<int>& a_elems,
+                                const std::vector<int>& b_elems, int rounds) {
+  if (a_elems.size() != b_elems.size()) {
+    return InvalidArgumentError("pinned tuples must have equal length");
+  }
+  if (rounds < 0) return InvalidArgumentError("negative round count");
+  for (const auto& [name, rel] : a.relations()) {
+    auto it = b.relations().find(name);
+    if (it == b.relations().end() || it->second.first != rel.first) {
+      return InvalidArgumentError("structures have different signatures");
+    }
+  }
+  if (b.relations().size() != a.relations().size()) {
+    return InvalidArgumentError("structures have different signatures");
+  }
+  std::vector<int> xs = a_elems;
+  std::vector<int> ys = b_elems;
+  return Wins(a, b, xs, ys, rounds);
+}
+
+Result<bool> DuplicatorWins(const FiniteStructure& a, const FiniteStructure& b,
+                            int rounds) {
+  return DuplicatorWinsFrom(a, b, {}, {}, rounds);
+}
+
+}  // namespace strq

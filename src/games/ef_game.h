@@ -1,0 +1,62 @@
+#ifndef STRQ_GAMES_EF_GAME_H_
+#define STRQ_GAMES_EF_GAME_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace strq {
+
+// Ehrenfeucht–Fraïssé games on finite relational structures.
+//
+// The paper's inexpressibility results (Proposition 2's proof, Proposition 6,
+// Corollaries 2/3's "parity is not expressible") are EF-game arguments. This
+// solver machine-checks such arguments on finite instances: duplicator wins
+// the k-round game on (A, B) iff A and B agree on all FO sentences of
+// quantifier rank ≤ k.
+class FiniteStructure {
+ public:
+  explicit FiniteStructure(int universe_size)
+      : universe_size_(universe_size) {}
+
+  int universe_size() const { return universe_size_; }
+
+  // Adds (or extends) a relation instance; elements must be in range.
+  Status AddRelation(const std::string& name, int arity,
+                     std::set<std::vector<int>> tuples);
+
+  const std::map<std::string, std::pair<int, std::set<std::vector<int>>>>&
+  relations() const {
+    return relations_;
+  }
+
+  // A linear order 0 < 1 < ... < n-1 with binary relation "<".
+  static FiniteStructure LinearOrder(int n);
+
+ private:
+  int universe_size_;
+  std::map<std::string, std::pair<int, std::set<std::vector<int>>>>
+      relations_;
+};
+
+// Does the duplicator have a winning strategy in the `rounds`-round EF game
+// on A and B (starting from empty boards)? Exhaustive memoized game search;
+// cost is O((|A|·|B|)^rounds), fine for the small structures used in the
+// inexpressibility demonstrations. Structures must have identical relation
+// names and arities.
+Result<bool> DuplicatorWins(const FiniteStructure& a, const FiniteStructure& b,
+                            int rounds);
+
+// Variant starting from pinned elements (partial assignments), used to test
+// formulas with free variables.
+Result<bool> DuplicatorWinsFrom(const FiniteStructure& a,
+                                const FiniteStructure& b,
+                                const std::vector<int>& a_elems,
+                                const std::vector<int>& b_elems, int rounds);
+
+}  // namespace strq
+
+#endif  // STRQ_GAMES_EF_GAME_H_

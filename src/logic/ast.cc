@@ -1,0 +1,438 @@
+#include "logic/ast.h"
+
+#include <cassert>
+#include <utility>
+
+namespace strq {
+
+namespace {
+
+TermPtr MakeTerm(Term t) { return std::make_shared<const Term>(std::move(t)); }
+FormulaPtr MakeFormula(Formula f) {
+  return std::make_shared<const Formula>(std::move(f));
+}
+
+}  // namespace
+
+TermPtr TVar(std::string name) {
+  return MakeTerm({.kind = TermKind::kVar, .var = std::move(name)});
+}
+TermPtr TConst(std::string value) {
+  return MakeTerm({.kind = TermKind::kConst, .text = std::move(value)});
+}
+TermPtr TAppend(char letter, TermPtr t) {
+  return MakeTerm(
+      {.kind = TermKind::kAppend, .letter = letter, .arg0 = std::move(t)});
+}
+TermPtr TPrepend(char letter, TermPtr t) {
+  return MakeTerm(
+      {.kind = TermKind::kPrepend, .letter = letter, .arg0 = std::move(t)});
+}
+TermPtr TTrim(char letter, TermPtr t) {
+  return MakeTerm(
+      {.kind = TermKind::kTrim, .letter = letter, .arg0 = std::move(t)});
+}
+TermPtr TLcp(TermPtr a, TermPtr b) {
+  return MakeTerm(
+      {.kind = TermKind::kLcp, .arg0 = std::move(a), .arg1 = std::move(b)});
+}
+TermPtr TInsert(char letter, TermPtr prefix, TermPtr subject) {
+  return MakeTerm({.kind = TermKind::kInsert,
+                   .letter = letter,
+                   .arg0 = std::move(prefix),
+                   .arg1 = std::move(subject)});
+}
+TermPtr TConcat(TermPtr a, TermPtr b) {
+  return MakeTerm(
+      {.kind = TermKind::kConcat, .arg0 = std::move(a), .arg1 = std::move(b)});
+}
+
+FormulaPtr FTrue() { return MakeFormula({.kind = FormulaKind::kTrue}); }
+FormulaPtr FFalse() { return MakeFormula({.kind = FormulaKind::kFalse}); }
+
+FormulaPtr FPred(PredKind pred, std::vector<TermPtr> args) {
+  return MakeFormula(
+      {.kind = FormulaKind::kPred, .args = std::move(args), .pred = pred});
+}
+
+FormulaPtr FLast(char letter, TermPtr t) {
+  return MakeFormula({.kind = FormulaKind::kPred,
+                      .args = {std::move(t)},
+                      .pred = PredKind::kLast,
+                      .letter = letter});
+}
+
+FormulaPtr FMember(TermPtr t, std::string pattern, PatternSyntax syntax) {
+  return MakeFormula({.kind = FormulaKind::kPred,
+                      .args = {std::move(t)},
+                      .pred = PredKind::kMember,
+                      .pattern = std::move(pattern),
+                      .syntax = syntax});
+}
+
+FormulaPtr FSuffixIn(TermPtr t1, TermPtr t2, std::string pattern,
+                     PatternSyntax syntax) {
+  return MakeFormula({.kind = FormulaKind::kPred,
+                      .args = {std::move(t1), std::move(t2)},
+                      .pred = PredKind::kSuffixIn,
+                      .pattern = std::move(pattern),
+                      .syntax = syntax});
+}
+
+FormulaPtr FLike(TermPtr t, std::string pattern) {
+  return MakeFormula({.kind = FormulaKind::kPred,
+                      .args = {std::move(t)},
+                      .pred = PredKind::kLike,
+                      .pattern = std::move(pattern),
+                      .syntax = PatternSyntax::kLikePattern});
+}
+
+FormulaPtr FRelation(std::string name, std::vector<TermPtr> args) {
+  return MakeFormula({.kind = FormulaKind::kRelation,
+                      .args = std::move(args),
+                      .relation = std::move(name)});
+}
+
+FormulaPtr FNot(FormulaPtr f) {
+  return MakeFormula({.kind = FormulaKind::kNot, .left = std::move(f)});
+}
+FormulaPtr FAnd(FormulaPtr a, FormulaPtr b) {
+  return MakeFormula({.kind = FormulaKind::kAnd,
+                      .left = std::move(a),
+                      .right = std::move(b)});
+}
+FormulaPtr FOr(FormulaPtr a, FormulaPtr b) {
+  return MakeFormula(
+      {.kind = FormulaKind::kOr, .left = std::move(a), .right = std::move(b)});
+}
+FormulaPtr FImplies(FormulaPtr a, FormulaPtr b) {
+  return MakeFormula({.kind = FormulaKind::kImplies,
+                      .left = std::move(a),
+                      .right = std::move(b)});
+}
+FormulaPtr FIff(FormulaPtr a, FormulaPtr b) {
+  return MakeFormula({.kind = FormulaKind::kIff,
+                      .left = std::move(a),
+                      .right = std::move(b)});
+}
+FormulaPtr FExists(std::string var, FormulaPtr body, QuantRange range) {
+  return MakeFormula({.kind = FormulaKind::kExists,
+                      .left = std::move(body),
+                      .var = std::move(var),
+                      .range = range});
+}
+FormulaPtr FForall(std::string var, FormulaPtr body, QuantRange range) {
+  return MakeFormula({.kind = FormulaKind::kForall,
+                      .left = std::move(body),
+                      .var = std::move(var),
+                      .range = range});
+}
+
+FormulaPtr FAndAll(const std::vector<FormulaPtr>& fs) {
+  if (fs.empty()) return FTrue();
+  FormulaPtr out = fs[0];
+  for (size_t i = 1; i < fs.size(); ++i) out = FAnd(out, fs[i]);
+  return out;
+}
+
+FormulaPtr FOrAll(const std::vector<FormulaPtr>& fs) {
+  if (fs.empty()) return FFalse();
+  FormulaPtr out = fs[0];
+  for (size_t i = 1; i < fs.size(); ++i) out = FOr(out, fs[i]);
+  return out;
+}
+
+namespace {
+
+void CollectTermVars(const TermPtr& t, std::set<std::string>& out) {
+  if (t == nullptr) return;
+  if (t->kind == TermKind::kVar) out.insert(t->var);
+  CollectTermVars(t->arg0, out);
+  CollectTermVars(t->arg1, out);
+}
+
+void CollectFreeVars(const FormulaPtr& f, std::set<std::string>& out) {
+  switch (f->kind) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      return;
+    case FormulaKind::kPred:
+    case FormulaKind::kRelation:
+      for (const TermPtr& t : f->args) CollectTermVars(t, out);
+      return;
+    case FormulaKind::kNot:
+      CollectFreeVars(f->left, out);
+      return;
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+    case FormulaKind::kImplies:
+    case FormulaKind::kIff:
+      CollectFreeVars(f->left, out);
+      CollectFreeVars(f->right, out);
+      return;
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      std::set<std::string> inner;
+      CollectFreeVars(f->left, inner);
+      inner.erase(f->var);
+      out.insert(inner.begin(), inner.end());
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::set<std::string> TermVars(const TermPtr& t) {
+  std::set<std::string> out;
+  CollectTermVars(t, out);
+  return out;
+}
+
+std::set<std::string> FreeVars(const FormulaPtr& f) {
+  std::set<std::string> out;
+  CollectFreeVars(f, out);
+  return out;
+}
+
+int QuantifierRank(const FormulaPtr& f) {
+  switch (f->kind) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kPred:
+    case FormulaKind::kRelation:
+      return 0;
+    case FormulaKind::kNot:
+      return QuantifierRank(f->left);
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+    case FormulaKind::kImplies:
+    case FormulaKind::kIff:
+      return std::max(QuantifierRank(f->left), QuantifierRank(f->right));
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+      return 1 + QuantifierRank(f->left);
+  }
+  return 0;
+}
+
+namespace {
+
+int TermSize(const TermPtr& t) {
+  if (t == nullptr) return 0;
+  return 1 + TermSize(t->arg0) + TermSize(t->arg1);
+}
+
+}  // namespace
+
+int FormulaSize(const FormulaPtr& f) {
+  int size = 1;
+  for (const TermPtr& t : f->args) size += TermSize(t);
+  if (f->left) size += FormulaSize(f->left);
+  if (f->right) size += FormulaSize(f->right);
+  return size;
+}
+
+bool MentionsDatabase(const FormulaPtr& f) {
+  if (f->kind == FormulaKind::kRelation) return true;
+  if (f->kind == FormulaKind::kPred && f->pred == PredKind::kAdom) return true;
+  if ((f->kind == FormulaKind::kExists || f->kind == FormulaKind::kForall) &&
+      f->range != QuantRange::kAll) {
+    return true;  // restricted ranges refer to the active domain
+  }
+  if (f->left && MentionsDatabase(f->left)) return true;
+  if (f->right && MentionsDatabase(f->right)) return true;
+  return false;
+}
+
+TermPtr SubstituteVars(const TermPtr& t,
+                       const std::map<std::string, TermPtr>& map) {
+  switch (t->kind) {
+    case TermKind::kVar: {
+      auto it = map.find(t->var);
+      return it == map.end() ? t : it->second;
+    }
+    case TermKind::kConst:
+      return t;
+    case TermKind::kAppend:
+      return TAppend(t->letter, SubstituteVars(t->arg0, map));
+    case TermKind::kPrepend:
+      return TPrepend(t->letter, SubstituteVars(t->arg0, map));
+    case TermKind::kTrim:
+      return TTrim(t->letter, SubstituteVars(t->arg0, map));
+    case TermKind::kLcp:
+      return TLcp(SubstituteVars(t->arg0, map), SubstituteVars(t->arg1, map));
+    case TermKind::kInsert:
+      return TInsert(t->letter, SubstituteVars(t->arg0, map),
+                     SubstituteVars(t->arg1, map));
+    case TermKind::kConcat:
+      return TConcat(SubstituteVars(t->arg0, map),
+                     SubstituteVars(t->arg1, map));
+  }
+  return t;
+}
+
+FormulaPtr SubstituteVarsQF(const FormulaPtr& f,
+                            const std::map<std::string, TermPtr>& map) {
+  assert(f->kind != FormulaKind::kExists && f->kind != FormulaKind::kForall &&
+         "SubstituteVarsQF is for quantifier-free formulas");
+  Formula out = *f;
+  for (TermPtr& t : out.args) t = SubstituteVars(t, map);
+  if (out.left) out.left = SubstituteVarsQF(f->left, map);
+  if (out.right) out.right = SubstituteVarsQF(f->right, map);
+  return std::make_shared<const Formula>(std::move(out));
+}
+
+namespace {
+
+std::string QuoteLiteral(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += "'";
+  return out;
+}
+
+const char* RangeSuffix(QuantRange range) {
+  switch (range) {
+    case QuantRange::kAll:
+      return "";
+    case QuantRange::kAdom:
+      return " in adom";
+    case QuantRange::kPrefixDom:
+      return " pre adom";
+    case QuantRange::kLenDom:
+      return " len adom";
+  }
+  return "";
+}
+
+const char* SyntaxName(PatternSyntax syntax) {
+  switch (syntax) {
+    case PatternSyntax::kLikePattern:
+      return "like";
+    case PatternSyntax::kRegex:
+      return "regex";
+    case PatternSyntax::kSimilar:
+      return "similar";
+  }
+  return "regex";
+}
+
+std::string PredToString(const Formula& f) {
+  auto arg = [&](int i) { return ToString(f.args[i]); };
+  switch (f.pred) {
+    case PredKind::kEq:
+      return arg(0) + " = " + arg(1);
+    case PredKind::kPrefix:
+      return arg(0) + " <= " + arg(1);
+    case PredKind::kStrictPrefix:
+      return arg(0) + " < " + arg(1);
+    case PredKind::kOneStep:
+      return "step(" + arg(0) + ", " + arg(1) + ")";
+    case PredKind::kLast:
+      return std::string("last[") + f.letter + "](" + arg(0) + ")";
+    case PredKind::kEqLen:
+      return "eqlen(" + arg(0) + ", " + arg(1) + ")";
+    case PredKind::kLeqLen:
+      return "leqlen(" + arg(0) + ", " + arg(1) + ")";
+    case PredKind::kLexLeq:
+      return "lexleq(" + arg(0) + ", " + arg(1) + ")";
+    case PredKind::kAdom:
+      return "adom(" + arg(0) + ")";
+    case PredKind::kMember:
+      return std::string("member(") + arg(0) + ", " +
+             QuoteLiteral(f.pattern) + ", " + SyntaxName(f.syntax) + ")";
+    case PredKind::kSuffixIn:
+      return std::string("suffixin(") + arg(0) + ", " + arg(1) + ", " +
+             QuoteLiteral(f.pattern) + ", " + SyntaxName(f.syntax) + ")";
+    case PredKind::kLike:
+      return "like(" + arg(0) + ", " + QuoteLiteral(f.pattern) + ")";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string ToString(const TermPtr& t) {
+  switch (t->kind) {
+    case TermKind::kVar:
+      return t->var;
+    case TermKind::kConst:
+      return QuoteLiteral(t->text);
+    case TermKind::kAppend:
+      return std::string("append[") + t->letter + "](" + ToString(t->arg0) +
+             ")";
+    case TermKind::kPrepend:
+      return std::string("prepend[") + t->letter + "](" + ToString(t->arg0) +
+             ")";
+    case TermKind::kTrim:
+      return std::string("trim[") + t->letter + "](" + ToString(t->arg0) + ")";
+    case TermKind::kLcp:
+      return "lcp(" + ToString(t->arg0) + ", " + ToString(t->arg1) + ")";
+    case TermKind::kInsert:
+      return std::string("insert[") + t->letter + "](" + ToString(t->arg0) +
+             ", " + ToString(t->arg1) + ")";
+    case TermKind::kConcat:
+      return "concat(" + ToString(t->arg0) + ", " + ToString(t->arg1) + ")";
+  }
+  return "?";
+}
+
+namespace {
+
+// Quantifiers scope over everything to their right in the concrete syntax,
+// so a quantified formula appearing as the LEFT operand of a binary
+// connective needs explicit parentheses or re-parsing would regroup.
+std::string ToStringAsLeftOperand(const FormulaPtr& f) {
+  if (f->kind == FormulaKind::kExists || f->kind == FormulaKind::kForall) {
+    return "(" + ToString(f) + ")";
+  }
+  return ToString(f);
+}
+
+}  // namespace
+
+std::string ToString(const FormulaPtr& f) {
+  switch (f->kind) {
+    case FormulaKind::kTrue:
+      return "true";
+    case FormulaKind::kFalse:
+      return "false";
+    case FormulaKind::kPred:
+      return PredToString(*f);
+    case FormulaKind::kRelation: {
+      std::string out = f->relation + "(";
+      for (size_t i = 0; i < f->args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += ToString(f->args[i]);
+      }
+      return out + ")";
+    }
+    case FormulaKind::kNot:
+      return "!(" + ToString(f->left) + ")";
+    case FormulaKind::kAnd:
+      return "(" + ToStringAsLeftOperand(f->left) + " & " +
+             ToString(f->right) + ")";
+    case FormulaKind::kOr:
+      return "(" + ToStringAsLeftOperand(f->left) + " | " +
+             ToString(f->right) + ")";
+    case FormulaKind::kImplies:
+      return "(" + ToStringAsLeftOperand(f->left) + " -> " +
+             ToString(f->right) + ")";
+    case FormulaKind::kIff:
+      return "(" + ToStringAsLeftOperand(f->left) + " <-> " +
+             ToString(f->right) + ")";
+    case FormulaKind::kExists:
+      return "exists " + f->var + RangeSuffix(f->range) + ". (" +
+             ToString(f->left) + ")";
+    case FormulaKind::kForall:
+      return "forall " + f->var + RangeSuffix(f->range) + ". (" +
+             ToString(f->left) + ")";
+  }
+  return "?";
+}
+
+}  // namespace strq

@@ -1,0 +1,183 @@
+#ifndef STRQ_LOGIC_AST_H_
+#define STRQ_LOGIC_AST_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace strq {
+
+// -------------------------------------------------------------------------
+// Terms
+// -------------------------------------------------------------------------
+
+// Term formers of the surface language. Composite terms are unnested by the
+// evaluation engines into graph atoms with fresh variables.
+enum class TermKind {
+  kVar,      // a variable
+  kConst,    // a string literal over Σ (ε allowed)
+  kAppend,   // l_a(t) = t·a                     (in S)
+  kPrepend,  // f_a(t) = a·t                     (in S_left, S_len)
+  kTrim,     // t − a = TRIM_a(t)                (in S_left, S_len)
+  kLcp,      // t1 ∩ t2, longest common prefix   (definable in S)
+  kInsert,   // insert_a(t1, t2) = t1·a·(t2−t1) if t1 ≼ t2, else ε
+             //                                  (the Conclusion's extension;
+             //                                   in S_insert)
+  kConcat,   // t1 · t2                          (only in RC_concat)
+};
+
+struct Term;
+using TermPtr = std::shared_ptr<const Term>;
+
+struct Term {
+  TermKind kind;
+  std::string var;    // kVar: variable name
+  std::string text;   // kConst: literal value
+  char letter = '\0'; // kAppend/kPrepend/kTrim: the symbol a
+  TermPtr arg0;       // unary/binary child
+  TermPtr arg1;       // binary second child (kLcp, kConcat)
+};
+
+TermPtr TVar(std::string name);
+TermPtr TConst(std::string value);
+TermPtr TAppend(char letter, TermPtr t);
+TermPtr TPrepend(char letter, TermPtr t);
+TermPtr TTrim(char letter, TermPtr t);
+TermPtr TLcp(TermPtr a, TermPtr b);
+TermPtr TInsert(char letter, TermPtr prefix, TermPtr subject);
+TermPtr TConcat(TermPtr a, TermPtr b);
+
+// -------------------------------------------------------------------------
+// Formulas
+// -------------------------------------------------------------------------
+
+// Built-in predicates (over the interpreted structure; database relations
+// are a separate formula kind).
+enum class PredKind {
+  kEq,            // t1 = t2
+  kPrefix,        // t1 ≼ t2
+  kStrictPrefix,  // t1 ≺ t2
+  kOneStep,       // t1 < t2: t2 extends t1 by exactly one symbol
+  kLast,          // L_a(t): last symbol of t is `letter`
+  kEqLen,         // el(t1, t2): |t1| = |t2|      (S_len)
+  kLeqLen,        // |t1| <= |t2|                 (S_len)
+  kLexLeq,        // t1 ≤_lex t2                  (definable in S, Section 4)
+  kAdom,          // t ∈ adom(D): active-domain membership (RC-level)
+  kMember,        // t ∈ L(pattern)
+  kSuffixIn,      // P_L(t1, t2): t1 ≼ t2 ∧ t2 − t1 ∈ L(pattern)  (S_reg)
+  kLike,          // t LIKE pattern (sugar for kMember with LIKE syntax)
+};
+
+// How a pattern string attached to kMember/kSuffixIn/kLike is interpreted.
+enum class PatternSyntax {
+  kLikePattern,  // SQL LIKE: % and _
+  kRegex,        // classic regular expression
+  kSimilar,      // SQL3 SIMILAR TO (regex + % and _), Section 4
+};
+
+enum class FormulaKind {
+  kTrue,
+  kFalse,
+  kPred,      // built-in predicate applied to terms
+  kRelation,  // schema relation R(t̄)
+  kNot,
+  kAnd,
+  kOr,
+  kImplies,
+  kIff,
+  kExists,
+  kForall,
+};
+
+// Quantifier ranges (Sections 5.1, 5.2). Restricted ranges are definable
+// sugar; the engines either desugar them (automata engine) or use them as
+// the enumeration recipe (restricted evaluator).
+enum class QuantRange {
+  kAll,        // plain ∃x / ∀x over all of Σ*
+  kAdom,       // ∃x ∈ dom: over the active domain
+  kPrefixDom,  // ∃x ≼ dom: over prefixes of adom ∪ free-variable values
+  kLenDom,     // ∃|x| ≤ adom: strings no longer than the longest in
+               // adom ∪ free-variable values (needs S_len)
+};
+
+struct Formula;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+struct Formula {
+  FormulaKind kind;
+
+  // kPred / kRelation arguments.
+  std::vector<TermPtr> args;
+  PredKind pred = PredKind::kEq;   // kPred
+  char letter = '\0';              // kPred kLast
+  std::string pattern;             // kPred kMember/kSuffixIn/kLike
+  PatternSyntax syntax = PatternSyntax::kRegex;
+  std::string relation;            // kRelation: relation name
+
+  // Connectives: kNot uses left only; kAnd/kOr/kImplies/kIff use both.
+  FormulaPtr left;
+  FormulaPtr right;
+
+  // Quantifiers: bound variable + range; body stored in `left`.
+  std::string var;
+  QuantRange range = QuantRange::kAll;
+};
+
+FormulaPtr FTrue();
+FormulaPtr FFalse();
+FormulaPtr FPred(PredKind pred, std::vector<TermPtr> args);
+FormulaPtr FLast(char letter, TermPtr t);
+FormulaPtr FMember(TermPtr t, std::string pattern, PatternSyntax syntax);
+FormulaPtr FSuffixIn(TermPtr t1, TermPtr t2, std::string pattern,
+                     PatternSyntax syntax);
+FormulaPtr FLike(TermPtr t, std::string pattern);
+FormulaPtr FRelation(std::string name, std::vector<TermPtr> args);
+FormulaPtr FNot(FormulaPtr f);
+FormulaPtr FAnd(FormulaPtr a, FormulaPtr b);
+FormulaPtr FOr(FormulaPtr a, FormulaPtr b);
+FormulaPtr FImplies(FormulaPtr a, FormulaPtr b);
+FormulaPtr FIff(FormulaPtr a, FormulaPtr b);
+FormulaPtr FExists(std::string var, FormulaPtr body,
+                   QuantRange range = QuantRange::kAll);
+FormulaPtr FForall(std::string var, FormulaPtr body,
+                   QuantRange range = QuantRange::kAll);
+
+// Convenience n-ary conjunction/disjunction (kTrue/kFalse for empty input).
+FormulaPtr FAndAll(const std::vector<FormulaPtr>& fs);
+FormulaPtr FOrAll(const std::vector<FormulaPtr>& fs);
+
+// -------------------------------------------------------------------------
+// Analyses
+// -------------------------------------------------------------------------
+
+// Free variables of a term / formula, sorted.
+std::set<std::string> TermVars(const TermPtr& t);
+std::set<std::string> FreeVars(const FormulaPtr& f);
+
+// Quantifier rank (nesting depth of quantifiers); drives the effective
+// constants of Lemmas 1 and 2 in the safety module.
+int QuantifierRank(const FormulaPtr& f);
+
+// Total number of nodes; used for budgets and test diagnostics.
+int FormulaSize(const FormulaPtr& f);
+
+// Does the formula mention any database relation (or adom)?
+bool MentionsDatabase(const FormulaPtr& f);
+
+// Replaces free variables by terms in a quantifier-free formula (used by
+// the calculus→algebra translation to rewrite atoms over column variables).
+// Variables without a mapping are kept.
+TermPtr SubstituteVars(const TermPtr& t,
+                       const std::map<std::string, TermPtr>& map);
+FormulaPtr SubstituteVarsQF(const FormulaPtr& f,
+                            const std::map<std::string, TermPtr>& map);
+
+// Renders the formula in the concrete syntax accepted by logic/parser.h.
+std::string ToString(const FormulaPtr& f);
+std::string ToString(const TermPtr& t);
+
+}  // namespace strq
+
+#endif  // STRQ_LOGIC_AST_H_

@@ -1,0 +1,230 @@
+#include "logic/signature.h"
+
+#include "automata/like.h"
+#include "automata/regex.h"
+#include "automata/starfree.h"
+
+namespace strq {
+
+const char* StructureName(StructureId s) {
+  switch (s) {
+    case StructureId::kS:
+      return "S";
+    case StructureId::kSLeft:
+      return "S_left";
+    case StructureId::kSReg:
+      return "S_reg";
+    case StructureId::kSInsert:
+      return "S_ins";
+    case StructureId::kSLen:
+      return "S_len";
+    case StructureId::kConcat:
+      return "S_concat";
+  }
+  return "?";
+}
+
+bool StructureIncludes(StructureId in, StructureId language) {
+  if (in == language) return true;
+  switch (in) {
+    case StructureId::kS:
+      return false;
+    case StructureId::kSLeft:
+    case StructureId::kSReg:
+      return language == StructureId::kS;
+    case StructureId::kSInsert:
+      return language == StructureId::kS || language == StructureId::kSLeft;
+    case StructureId::kSLen:
+      return language != StructureId::kConcat &&
+             language != StructureId::kSInsert;
+    case StructureId::kConcat:
+      return true;
+  }
+  return false;
+}
+
+namespace {
+
+Result<Dfa> CompilePattern(const std::string& pattern, PatternSyntax syntax,
+                           const Alphabet& alphabet) {
+  switch (syntax) {
+    case PatternSyntax::kLikePattern:
+      return CompileLike(pattern, alphabet);
+    case PatternSyntax::kRegex:
+      return CompileRegex(pattern, alphabet);
+    case PatternSyntax::kSimilar:
+      return CompileSimilar(pattern, alphabet);
+  }
+  return InvalidArgumentError("unknown pattern syntax");
+}
+
+class LanguageChecker {
+ public:
+  LanguageChecker(StructureId structure, const Alphabet& alphabet)
+      : structure_(structure), alphabet_(alphabet) {}
+
+  Status Check(const FormulaPtr& f) {
+    switch (f->kind) {
+      case FormulaKind::kTrue:
+      case FormulaKind::kFalse:
+        return Status::Ok();
+      case FormulaKind::kPred:
+        STRQ_RETURN_IF_ERROR(CheckPred(*f));
+        return CheckArgs(*f);
+      case FormulaKind::kRelation:
+        return CheckArgs(*f);
+      case FormulaKind::kNot:
+        return Check(f->left);
+      case FormulaKind::kAnd:
+      case FormulaKind::kOr:
+      case FormulaKind::kImplies:
+      case FormulaKind::kIff:
+        STRQ_RETURN_IF_ERROR(Check(f->left));
+        return Check(f->right);
+      case FormulaKind::kExists:
+      case FormulaKind::kForall:
+        if (f->range == QuantRange::kLenDom &&
+            !StructureIncludes(structure_, StructureId::kSLen)) {
+          return NotInLanguageError(
+              "length-restricted quantifier needs S_len, not " +
+              std::string(StructureName(structure_)));
+        }
+        return Check(f->left);
+    }
+    return InternalError("unknown formula kind");
+  }
+
+ private:
+  Status CheckArgs(const Formula& f) {
+    for (const TermPtr& t : f.args) STRQ_RETURN_IF_ERROR(CheckTerm(t));
+    return Status::Ok();
+  }
+
+  Status CheckTerm(const TermPtr& t) {
+    switch (t->kind) {
+      case TermKind::kVar:
+        return Status::Ok();
+      case TermKind::kConst:
+        for (char c : t->text) {
+          if (!alphabet_.Contains(c)) {
+            return InvalidArgumentError(
+                std::string("constant uses character '") + c +
+                "' outside the alphabet");
+          }
+        }
+        return Status::Ok();
+      case TermKind::kAppend:
+        STRQ_RETURN_IF_ERROR(CheckLetter(t->letter));
+        return CheckTerm(t->arg0);
+      case TermKind::kPrepend:
+      case TermKind::kTrim:
+        if (!StructureIncludes(structure_, StructureId::kSLeft)) {
+          return NotInLanguageError(
+              std::string(t->kind == TermKind::kPrepend ? "prepend"
+                                                        : "trim") +
+              " (f_a) needs S_left or S_len, not " +
+              StructureName(structure_));
+        }
+        STRQ_RETURN_IF_ERROR(CheckLetter(t->letter));
+        return CheckTerm(t->arg0);
+      case TermKind::kLcp:
+        STRQ_RETURN_IF_ERROR(CheckTerm(t->arg0));
+        return CheckTerm(t->arg1);
+      case TermKind::kInsert:
+        if (!StructureIncludes(structure_, StructureId::kSInsert)) {
+          return NotInLanguageError(
+              "insert_a needs S_ins (the Conclusion's extension) or "
+              "RC_concat, not " +
+              std::string(StructureName(structure_)));
+        }
+        STRQ_RETURN_IF_ERROR(CheckLetter(t->letter));
+        STRQ_RETURN_IF_ERROR(CheckTerm(t->arg0));
+        return CheckTerm(t->arg1);
+      case TermKind::kConcat:
+        if (structure_ != StructureId::kConcat) {
+          return NotInLanguageError(
+              "concatenation is only available in RC_concat (and makes the "
+              "calculus computationally complete, Proposition 1)");
+        }
+        STRQ_RETURN_IF_ERROR(CheckTerm(t->arg0));
+        return CheckTerm(t->arg1);
+    }
+    return InternalError("unknown term kind");
+  }
+
+  Status CheckLetter(char c) {
+    if (!alphabet_.Contains(c)) {
+      return InvalidArgumentError(std::string("letter '") + c +
+                                  "' outside the alphabet");
+    }
+    return Status::Ok();
+  }
+
+  Status CheckPred(const Formula& f) {
+    switch (f.pred) {
+      case PredKind::kEq:
+      case PredKind::kPrefix:
+      case PredKind::kStrictPrefix:
+      case PredKind::kOneStep:
+      case PredKind::kLexLeq:
+      case PredKind::kAdom:
+        return Status::Ok();
+      case PredKind::kLast:
+        return CheckLetter(f.letter);
+      case PredKind::kEqLen:
+      case PredKind::kLeqLen:
+        if (!StructureIncludes(structure_, StructureId::kSLen)) {
+          return NotInLanguageError(
+              "length comparison (el) needs S_len, not " +
+              std::string(StructureName(structure_)));
+        }
+        return Status::Ok();
+      case PredKind::kLike:
+        // LIKE languages are star-free, hence in S already (Section 4).
+        return Status::Ok();
+      case PredKind::kMember:
+      case PredKind::kSuffixIn: {
+        if (StructureIncludes(structure_, StructureId::kSReg)) {
+          return Status::Ok();
+        }
+        // Over S and S_left only star-free P_L predicates are available.
+        STRQ_ASSIGN_OR_RETURN(Dfa lang,
+                              CompilePattern(f.pattern, f.syntax, alphabet_));
+        STRQ_ASSIGN_OR_RETURN(bool star_free, IsStarFree(lang));
+        if (!star_free) {
+          return NotInLanguageError(
+              "pattern '" + f.pattern +
+              "' denotes a non-star-free language; P_L for such L needs "
+              "S_reg or S_len, not " +
+              StructureName(structure_));
+        }
+        return Status::Ok();
+      }
+    }
+    return InternalError("unknown predicate");
+  }
+
+  StructureId structure_;
+  const Alphabet& alphabet_;
+};
+
+}  // namespace
+
+Status CheckInLanguage(const FormulaPtr& f, StructureId structure,
+                       const Alphabet& alphabet) {
+  return LanguageChecker(structure, alphabet).Check(f);
+}
+
+Result<StructureId> MinimalStructure(const FormulaPtr& f,
+                                     const Alphabet& alphabet) {
+  for (StructureId s : {StructureId::kS, StructureId::kSLeft,
+                        StructureId::kSReg, StructureId::kSInsert,
+                        StructureId::kSLen, StructureId::kConcat}) {
+    Status status = CheckInLanguage(f, s, alphabet);
+    if (status.ok()) return s;
+    if (status.code() != StatusCode::kNotInLanguage) return status;
+  }
+  return InternalError("formula not even in RC_concat");
+}
+
+}  // namespace strq

@@ -1,0 +1,52 @@
+#ifndef STRQ_LOGIC_SIGNATURE_H_
+#define STRQ_LOGIC_SIGNATURE_H_
+
+#include <string>
+
+#include "base/alphabet.h"
+#include "base/status.h"
+#include "logic/ast.h"
+
+namespace strq {
+
+// The five relational calculi studied in the paper, ordered by Figure 1's
+// inclusion diagram (kConcat on top, kS at the bottom, kSLeft and kSReg
+// incomparable in between, both below kSLen).
+enum class StructureId {
+  kS,       // RC(S):      ⟨Σ*, ≼, (L_a)⟩
+  kSLeft,   // RC(S_left): S + (f_a), TRIM_a
+  kSReg,    // RC(S_reg):  S + (P_L) for all regular L
+  kSInsert, // RC(S_ins):  S + insert_a(p, x) — the Conclusion's proposed
+            //             extension; f_a = insert_a(ε, ·), so S_left ⊆ S_ins.
+            //             Its relationship to S_len is open in the paper;
+            //             the gate is conservative (S_len ⊉ S_ins here).
+  kSLen,    // RC(S_len):  S + el
+  kConcat,  // RC_concat:  S + concatenation (computationally complete, §3)
+};
+
+const char* StructureName(StructureId s);
+
+// Is every predicate/term of `language` also available in `in`? (Figure 1.)
+bool StructureIncludes(StructureId in, StructureId language);
+
+// Checks that `f` is a well-formed RC(SC, M) query for M = `structure`:
+//  * every predicate and term former belongs to the structure's signature
+//    (kMember/kSuffixIn/kLike require a *star-free* language for S and
+//    S_left, which is verified by compiling the pattern over `alphabet` and
+//    running the aperiodicity test);
+//  * all constants and pattern literals use only characters of `alphabet`
+//    (patterns may additionally use their metacharacters);
+//  * length-restricted quantifiers only appear for S_len.
+// Returns NotInLanguage with an explanatory message on failure.
+Status CheckInLanguage(const FormulaPtr& f, StructureId structure,
+                       const Alphabet& alphabet);
+
+// The least structure (by Figure 1) containing the formula, if any: checks
+// kS, kSLeft, kSReg, kSLen, kConcat in order. kSLeft and kSReg are
+// incomparable; when a formula needs both, the answer is kSLen.
+Result<StructureId> MinimalStructure(const FormulaPtr& f,
+                                     const Alphabet& alphabet);
+
+}  // namespace strq
+
+#endif  // STRQ_LOGIC_SIGNATURE_H_

@@ -1,0 +1,290 @@
+#include "logic/simplify.h"
+
+#include <optional>
+
+#include "base/string_ops.h"
+
+namespace strq {
+
+namespace {
+
+// Folds a term whose leaves are all constants to its value; nullopt if any
+// variable occurs (concatenation folds too — it is plain string semantics).
+std::optional<std::string> FoldTerm(const TermPtr& t) {
+  switch (t->kind) {
+    case TermKind::kVar:
+      return std::nullopt;
+    case TermKind::kConst:
+      return t->text;
+    case TermKind::kAppend: {
+      auto v = FoldTerm(t->arg0);
+      if (!v) return std::nullopt;
+      return AppendLast(*v, t->letter);
+    }
+    case TermKind::kPrepend: {
+      auto v = FoldTerm(t->arg0);
+      if (!v) return std::nullopt;
+      return PrependFirst(*v, t->letter);
+    }
+    case TermKind::kTrim: {
+      auto v = FoldTerm(t->arg0);
+      if (!v) return std::nullopt;
+      return TrimLeading(*v, t->letter);
+    }
+    case TermKind::kLcp: {
+      auto a = FoldTerm(t->arg0);
+      auto b = FoldTerm(t->arg1);
+      if (!a || !b) return std::nullopt;
+      return LongestCommonPrefix(*a, *b);
+    }
+    case TermKind::kInsert: {
+      auto a = FoldTerm(t->arg0);
+      auto b = FoldTerm(t->arg1);
+      if (!a || !b) return std::nullopt;
+      return InsertAfterPrefix(*a, *b, t->letter);
+    }
+    case TermKind::kConcat: {
+      auto a = FoldTerm(t->arg0);
+      auto b = FoldTerm(t->arg1);
+      if (!a || !b) return std::nullopt;
+      return *a + *b;
+    }
+  }
+  return std::nullopt;
+}
+
+// Replaces a fully-foldable term by its constant (leaves others intact).
+TermPtr SimplifyTerm(const TermPtr& t) {
+  if (auto v = FoldTerm(t); v.has_value()) {
+    if (t->kind == TermKind::kConst) return t;
+    return TConst(*v);
+  }
+  Term out = *t;
+  if (out.arg0) out.arg0 = SimplifyTerm(out.arg0);
+  if (out.arg1) out.arg1 = SimplifyTerm(out.arg1);
+  return std::make_shared<const Term>(std::move(out));
+}
+
+bool IsTrue(const FormulaPtr& f) { return f->kind == FormulaKind::kTrue; }
+bool IsFalse(const FormulaPtr& f) { return f->kind == FormulaKind::kFalse; }
+
+// Decides a ground atom over database-free predicates; nullopt if any
+// argument has variables or the predicate needs the database / a pattern
+// compiler (kept: patterns need an alphabet).
+std::optional<bool> FoldAtom(const Formula& f) {
+  if (f.pred == PredKind::kAdom || f.pred == PredKind::kMember ||
+      f.pred == PredKind::kSuffixIn || f.pred == PredKind::kLike ||
+      f.pred == PredKind::kLexLeq) {
+    // kLexLeq needs the alphabet order; patterns need compilation.
+    return std::nullopt;
+  }
+  std::vector<std::string> args;
+  for (const TermPtr& t : f.args) {
+    auto v = FoldTerm(t);
+    if (!v) return std::nullopt;
+    args.push_back(*std::move(v));
+  }
+  switch (f.pred) {
+    case PredKind::kEq:
+      return args[0] == args[1];
+    case PredKind::kPrefix:
+      return IsPrefix(args[0], args[1]);
+    case PredKind::kStrictPrefix:
+      return IsStrictPrefix(args[0], args[1]);
+    case PredKind::kOneStep:
+      return IsOneStepExtension(args[0], args[1]);
+    case PredKind::kLast:
+      return LastSymbolIs(args[0], f.letter);
+    case PredKind::kEqLen:
+      return EqualLength(args[0], args[1]);
+    case PredKind::kLeqLen:
+      return args[0].size() <= args[1].size();
+    default:
+      return std::nullopt;
+  }
+}
+
+// Structural equality of formulas (used for idempotence rewrites).
+bool SameTerm(const TermPtr& a, const TermPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind != b->kind || a->var != b->var || a->text != b->text ||
+      a->letter != b->letter) {
+    return false;
+  }
+  return SameTerm(a->arg0, b->arg0) && SameTerm(a->arg1, b->arg1);
+}
+
+bool SameFormula(const FormulaPtr& a, const FormulaPtr& b) {
+  if (a == b) return true;
+  if (a->kind != b->kind || a->pred != b->pred || a->letter != b->letter ||
+      a->pattern != b->pattern || a->syntax != b->syntax ||
+      a->relation != b->relation || a->var != b->var ||
+      a->range != b->range || a->args.size() != b->args.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a->args.size(); ++i) {
+    if (!SameTerm(a->args[i], b->args[i])) return false;
+  }
+  if ((a->left == nullptr) != (b->left == nullptr)) return false;
+  if (a->left && !SameFormula(a->left, b->left)) return false;
+  if ((a->right == nullptr) != (b->right == nullptr)) return false;
+  if (a->right && !SameFormula(a->right, b->right)) return false;
+  return true;
+}
+
+}  // namespace
+
+FormulaPtr Simplify(const FormulaPtr& f) {
+  switch (f->kind) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      return f;
+    case FormulaKind::kPred: {
+      if (auto v = FoldAtom(*f); v.has_value()) {
+        return *v ? FTrue() : FFalse();
+      }
+      Formula out = *f;
+      for (TermPtr& t : out.args) t = SimplifyTerm(t);
+      return std::make_shared<const Formula>(std::move(out));
+    }
+    case FormulaKind::kRelation: {
+      Formula out = *f;
+      for (TermPtr& t : out.args) t = SimplifyTerm(t);
+      return std::make_shared<const Formula>(std::move(out));
+    }
+    case FormulaKind::kNot: {
+      FormulaPtr inner = Simplify(f->left);
+      if (IsTrue(inner)) return FFalse();
+      if (IsFalse(inner)) return FTrue();
+      if (inner->kind == FormulaKind::kNot) return inner->left;
+      return FNot(std::move(inner));
+    }
+    case FormulaKind::kAnd: {
+      FormulaPtr a = Simplify(f->left);
+      FormulaPtr b = Simplify(f->right);
+      if (IsFalse(a) || IsFalse(b)) return FFalse();
+      if (IsTrue(a)) return b;
+      if (IsTrue(b)) return a;
+      if (SameFormula(a, b)) return a;
+      return FAnd(std::move(a), std::move(b));
+    }
+    case FormulaKind::kOr: {
+      FormulaPtr a = Simplify(f->left);
+      FormulaPtr b = Simplify(f->right);
+      if (IsTrue(a) || IsTrue(b)) return FTrue();
+      if (IsFalse(a)) return b;
+      if (IsFalse(b)) return a;
+      if (SameFormula(a, b)) return a;
+      return FOr(std::move(a), std::move(b));
+    }
+    case FormulaKind::kImplies: {
+      FormulaPtr a = Simplify(f->left);
+      FormulaPtr b = Simplify(f->right);
+      if (IsFalse(a) || IsTrue(b)) return FTrue();
+      if (IsTrue(a)) return b;
+      if (IsFalse(b)) return Simplify(FNot(a));
+      if (SameFormula(a, b)) return FTrue();
+      return FImplies(std::move(a), std::move(b));
+    }
+    case FormulaKind::kIff: {
+      FormulaPtr a = Simplify(f->left);
+      FormulaPtr b = Simplify(f->right);
+      if (IsTrue(a)) return b;
+      if (IsTrue(b)) return a;
+      if (IsFalse(a)) return Simplify(FNot(b));
+      if (IsFalse(b)) return Simplify(FNot(a));
+      if (SameFormula(a, b)) return FTrue();
+      return FIff(std::move(a), std::move(b));
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      FormulaPtr body = Simplify(f->left);
+      bool unused = FreeVars(body).count(f->var) == 0;
+      // Σ* is non-empty and the kLenDom range always contains ε; kAdom and
+      // parameterless kPrefixDom ranges can be empty, so those quantifiers
+      // must survive even with constant bodies.
+      bool range_nonempty = f->range == QuantRange::kAll ||
+                            f->range == QuantRange::kLenDom;
+      if (range_nonempty && (IsTrue(body) || IsFalse(body))) return body;
+      if (range_nonempty && unused) return body;
+      if (f->kind == FormulaKind::kExists) {
+        return FExists(f->var, std::move(body), f->range);
+      }
+      return FForall(f->var, std::move(body), f->range);
+    }
+  }
+  return f;
+}
+
+namespace {
+
+FormulaPtr Nnf(const FormulaPtr& f, bool negated) {
+  switch (f->kind) {
+    case FormulaKind::kTrue:
+      return negated ? FFalse() : f;
+    case FormulaKind::kFalse:
+      return negated ? FTrue() : f;
+    case FormulaKind::kPred:
+    case FormulaKind::kRelation:
+      return negated ? FNot(f) : f;
+    case FormulaKind::kNot:
+      return Nnf(f->left, !negated);
+    case FormulaKind::kAnd:
+      return negated ? FOr(Nnf(f->left, true), Nnf(f->right, true))
+                     : FAnd(Nnf(f->left, false), Nnf(f->right, false));
+    case FormulaKind::kOr:
+      return negated ? FAnd(Nnf(f->left, true), Nnf(f->right, true))
+                     : FOr(Nnf(f->left, false), Nnf(f->right, false));
+    case FormulaKind::kImplies:
+      // a -> b ≡ ¬a ∨ b.
+      return negated ? FAnd(Nnf(f->left, false), Nnf(f->right, true))
+                     : FOr(Nnf(f->left, true), Nnf(f->right, false));
+    case FormulaKind::kIff:
+      // a <-> b ≡ (a ∧ b) ∨ (¬a ∧ ¬b); negation swaps one side.
+      if (negated) {
+        return FOr(FAnd(Nnf(f->left, false), Nnf(f->right, true)),
+                   FAnd(Nnf(f->left, true), Nnf(f->right, false)));
+      }
+      return FOr(FAnd(Nnf(f->left, false), Nnf(f->right, false)),
+                 FAnd(Nnf(f->left, true), Nnf(f->right, true)));
+    case FormulaKind::kExists:
+      return negated ? FForall(f->var, Nnf(f->left, true), f->range)
+                     : FExists(f->var, Nnf(f->left, false), f->range);
+    case FormulaKind::kForall:
+      return negated ? FExists(f->var, Nnf(f->left, true), f->range)
+                     : FForall(f->var, Nnf(f->left, false), f->range);
+  }
+  return f;
+}
+
+}  // namespace
+
+FormulaPtr ToNegationNormalForm(const FormulaPtr& f) {
+  return Nnf(f, false);
+}
+
+bool IsNegationNormalForm(const FormulaPtr& f) {
+  switch (f->kind) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kPred:
+    case FormulaKind::kRelation:
+      return true;
+    case FormulaKind::kNot:
+      return f->left->kind == FormulaKind::kPred ||
+             f->left->kind == FormulaKind::kRelation;
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      return IsNegationNormalForm(f->left) && IsNegationNormalForm(f->right);
+    case FormulaKind::kImplies:
+    case FormulaKind::kIff:
+      return false;
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+      return IsNegationNormalForm(f->left);
+  }
+  return false;
+}
+
+}  // namespace strq

@@ -1,0 +1,39 @@
+#ifndef STRQ_LOGIC_SIMPLIFY_H_
+#define STRQ_LOGIC_SIMPLIFY_H_
+
+#include "logic/ast.h"
+
+namespace strq {
+
+// Semantics-preserving formula simplification, applied bottom-up:
+//   * constant folding through every connective and quantifier
+//     (true ∧ φ → φ, false ∧ φ → false, ¬true → false, ∃x true → true for
+//     ranges that are provably non-empty, ...);
+//   * double-negation elimination;
+//   * idempotence on syntactically identical operands (φ ∧ φ → φ);
+//   * ground-term folding in atoms (e.g. 'ab' = 'ab' → true, trim[a] and
+//     friends evaluated on constants);
+//   * unused-variable quantifier elimination for plain ∃/∀ (the domain Σ*
+//     is non-empty, so ∃x φ ≡ φ when x ∉ FV(φ)).
+// Restricted-range quantifiers over possibly-empty ranges (in adom,
+// pre adom) are kept even when the variable is unused: their truth depends
+// on the database.
+//
+// The simplifier shrinks formulas before compilation; both engines accept
+// its output unchanged, and simplify_test.cc cross-checks equivalence on
+// randomly generated formulas.
+FormulaPtr Simplify(const FormulaPtr& f);
+
+// Negation normal form: negations pushed to atoms, implications and
+// biconditionals expanded, double negations removed. Restricted quantifier
+// ranges dualize soundly (∀x∈R φ ≡ ¬∃x∈R ¬φ holds for every range kind).
+// Atoms under an odd number of negations stay wrapped in a single kNot.
+FormulaPtr ToNegationNormalForm(const FormulaPtr& f);
+
+// True iff negations occur only directly on atoms (kPred / kRelation) and
+// no kImplies/kIff nodes remain — the NNF invariant.
+bool IsNegationNormalForm(const FormulaPtr& f);
+
+}  // namespace strq
+
+#endif  // STRQ_LOGIC_SIMPLIFY_H_

@@ -1,0 +1,445 @@
+#include "mta/atoms.h"
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace strq {
+
+namespace {
+
+// Shared skeleton: builds a DFA over the convolution alphabet of `arity`
+// tracks from a per-column step function, wraps it in a TrackAutomaton with
+// canonical temporary variables 0..arity-1, then renames to the caller's
+// variables (Renamed permutes tracks into sorted order).
+//
+// The step function receives (state, digits) with digits[t] in {0..|Σ|}
+// (pad = |Σ|) and returns the successor state. Valid-convolution pruning is
+// applied by TrackAutomaton::Create, so step functions only encode the
+// predicate itself.
+Result<TrackAutomaton> BuildAtom(
+    const Alphabet& alphabet, const std::vector<VarId>& vars, int num_states,
+    int start, const std::vector<bool>& accepting,
+    const std::function<int(int, const std::vector<int>&)>& step) {
+  int arity = static_cast<int>(vars.size());
+  // Reject repeated variables: the track model needs one track per variable.
+  for (size_t i = 0; i < vars.size(); ++i) {
+    for (size_t j = i + 1; j < vars.size(); ++j) {
+      if (vars[i] == vars[j]) {
+        return InvalidArgumentError("atom variables must be distinct");
+      }
+    }
+  }
+  STRQ_ASSIGN_OR_RETURN(ConvAlphabet conv,
+                        ConvAlphabet::Create(alphabet.size(), arity));
+  std::vector<std::vector<int>> next(
+      num_states, std::vector<int>(static_cast<size_t>(conv.num_letters())));
+  for (int letter = 0; letter < conv.num_letters(); ++letter) {
+    std::vector<int> digits = conv.Decode(static_cast<Symbol>(letter));
+    for (int q = 0; q < num_states; ++q) {
+      next[q][letter] = step(q, digits);
+    }
+  }
+  STRQ_ASSIGN_OR_RETURN(Dfa dfa, Dfa::Create(conv.num_letters(), start,
+                                             std::move(next), accepting));
+  std::vector<VarId> canonical(arity);
+  for (int i = 0; i < arity; ++i) canonical[i] = i;
+  STRQ_ASSIGN_OR_RETURN(TrackAutomaton atom,
+                        TrackAutomaton::Create(alphabet, canonical,
+                                               std::move(dfa)));
+  std::map<VarId, VarId> renaming;
+  for (int i = 0; i < arity; ++i) renaming[i] = vars[i];
+  return atom.Renamed(renaming);
+}
+
+}  // namespace
+
+Result<TrackAutomaton> EqualAtom(const Alphabet& alphabet, VarId x, VarId y) {
+  int pad = alphabet.size();
+  // 0 = equal so far (accepting), 1 = dead.
+  return BuildAtom(alphabet, {x, y}, 2, 0, {true, false},
+                   [pad](int q, const std::vector<int>& d) {
+                     if (q != 0) return 1;
+                     return (d[0] == d[1] && d[0] != pad) ? 0 : 1;
+                   });
+}
+
+Result<TrackAutomaton> PrefixAtom(const Alphabet& alphabet, VarId x, VarId y) {
+  int pad = alphabet.size();
+  // 0 = matching (accepting: x = y so far), 1 = x done / y continues
+  // (accepting), 2 = dead.
+  return BuildAtom(alphabet, {x, y}, 3, 0, {true, true, false},
+                   [pad](int q, const std::vector<int>& d) {
+                     switch (q) {
+                       case 0:
+                         if (d[0] == d[1] && d[0] != pad) return 0;
+                         if (d[0] == pad && d[1] != pad) return 1;
+                         return 2;
+                       case 1:
+                         return (d[0] == pad && d[1] != pad) ? 1 : 2;
+                       default:
+                         return 2;
+                     }
+                   });
+}
+
+Result<TrackAutomaton> StrictPrefixAtom(const Alphabet& alphabet, VarId x,
+                                        VarId y) {
+  int pad = alphabet.size();
+  // Same machine as PrefixAtom but only the "x done" phase accepts.
+  return BuildAtom(alphabet, {x, y}, 3, 0, {false, true, false},
+                   [pad](int q, const std::vector<int>& d) {
+                     switch (q) {
+                       case 0:
+                         if (d[0] == d[1] && d[0] != pad) return 0;
+                         if (d[0] == pad && d[1] != pad) return 1;
+                         return 2;
+                       case 1:
+                         return (d[0] == pad && d[1] != pad) ? 1 : 2;
+                       default:
+                         return 2;
+                     }
+                   });
+}
+
+Result<TrackAutomaton> OneStepAtom(const Alphabet& alphabet, VarId x,
+                                   VarId y) {
+  int pad = alphabet.size();
+  // 0 = matching, 1 = y took its single extra symbol (accepting), 2 = dead.
+  return BuildAtom(alphabet, {x, y}, 3, 0, {false, true, false},
+                   [pad](int q, const std::vector<int>& d) {
+                     if (q == 0) {
+                       if (d[0] == d[1] && d[0] != pad) return 0;
+                       if (d[0] == pad && d[1] != pad) return 1;
+                       return 2;
+                     }
+                     return 2;
+                   });
+}
+
+Result<TrackAutomaton> LastSymbolAtom(const Alphabet& alphabet, char a,
+                                      VarId x) {
+  STRQ_ASSIGN_OR_RETURN(Symbol target, alphabet.SymbolOf(a));
+  int pad = alphabet.size();
+  // 0 = ε so far, 1 = last symbol is a (accepting), 2 = last symbol differs,
+  // 3 = dead.
+  return BuildAtom(alphabet, {x}, 4, 0, {false, true, false, false},
+                   [pad, target](int q, const std::vector<int>& d) {
+                     if (q == 3 || d[0] == pad) return 3;
+                     return d[0] == static_cast<int>(target) ? 1 : 2;
+                   });
+}
+
+Result<TrackAutomaton> AppendGraphAtom(const Alphabet& alphabet, char a,
+                                       VarId x, VarId y) {
+  STRQ_ASSIGN_OR_RETURN(Symbol target, alphabet.SymbolOf(a));
+  int pad = alphabet.size();
+  // 0 = matching, 1 = y appended `a` (accepting), 2 = dead.
+  return BuildAtom(alphabet, {x, y}, 3, 0, {false, true, false},
+                   [pad, target](int q, const std::vector<int>& d) {
+                     if (q == 0) {
+                       if (d[0] == d[1] && d[0] != pad) return 0;
+                       if (d[0] == pad && d[1] == static_cast<int>(target)) {
+                         return 1;
+                       }
+                       return 2;
+                     }
+                     return 2;
+                   });
+}
+
+Result<TrackAutomaton> PrependGraphAtom(const Alphabet& alphabet, char a,
+                                        VarId x, VarId y) {
+  STRQ_ASSIGN_OR_RETURN(Symbol first, alphabet.SymbolOf(a));
+  int m = alphabet.size();
+  int pad = m;
+  // y = a·x means y_1 = a and y_{i+1} = x_i: the machine carries the last
+  // seen x-digit, which the next y-digit must reproduce.
+  // States: 0 = start; 1+s = carrying x-digit s; m+1 = done (accepting);
+  // m+2 = dead.
+  int done = m + 1;
+  int dead = m + 2;
+  std::vector<bool> accepting(m + 3, false);
+  accepting[done] = true;
+  return BuildAtom(
+      alphabet, {x, y}, m + 3, 0, accepting,
+      [m, pad, first, done, dead](int q, const std::vector<int>& d) {
+        int dx = d[0];
+        int dy = d[1];
+        if (q == 0) {
+          if (dy != static_cast<int>(first)) return dead;
+          if (dx == pad) return done;  // x = ε, y = a
+          return 1 + dx;
+        }
+        if (q >= 1 && q <= m) {
+          int carried = q - 1;
+          if (dy != carried) return dead;
+          if (dx == pad) return done;
+          return 1 + dx;
+        }
+        return dead;
+      });
+}
+
+Result<TrackAutomaton> TrimLeadingGraphAtom(const Alphabet& alphabet, char a,
+                                            VarId x, VarId y) {
+  STRQ_ASSIGN_OR_RETURN(Symbol lead, alphabet.SymbolOf(a));
+  int m = alphabet.size();
+  int pad = m;
+  // y = x − a: either x = a·y (shift case: carry the last y-digit, which the
+  // next x-digit must reproduce), or x does not start with a and y = ε.
+  // States: 0 = start (accepting: x = y = ε); 1+s = carrying y-digit s;
+  // m+1 = end_ok (accepting, shift case closed); m+2 = xonly (accepting,
+  // y = ε while x continues); m+3 = dead.
+  int end_ok = m + 1;
+  int xonly = m + 2;
+  int dead = m + 3;
+  std::vector<bool> accepting(m + 4, false);
+  accepting[0] = true;
+  accepting[end_ok] = true;
+  accepting[xonly] = true;
+  return BuildAtom(
+      alphabet, {x, y}, m + 4, 0, accepting,
+      [m, pad, lead, end_ok, xonly, dead](int q, const std::vector<int>& d) {
+        int dx = d[0];
+        int dy = d[1];
+        if (q == 0) {
+          if (dx == static_cast<int>(lead)) {
+            // Shift case: x = a·y.
+            if (dy == pad) return end_ok;  // x = "a", y = ε
+            return 1 + dy;
+          }
+          if (dx != pad && dy == pad) return xonly;  // non-a head, y = ε
+          return dead;  // x = ε with non-empty y, or y non-ε in non-a case
+        }
+        if (q >= 1 && q <= m) {
+          int carried = q - 1;
+          if (dx != carried) return dead;
+          if (dy == pad) return end_ok;
+          return 1 + dy;
+        }
+        if (q == xonly) {
+          return (dx != pad && dy == pad) ? xonly : dead;
+        }
+        return dead;
+      });
+}
+
+Result<TrackAutomaton> InsertGraphAtom(const Alphabet& alphabet, char a,
+                                       VarId p, VarId x, VarId y) {
+  STRQ_ASSIGN_OR_RETURN(Symbol ins, alphabet.SymbolOf(a));
+  int m = alphabet.size();
+  int pad = m;
+  // Tracks: d[0] = p, d[1] = x, d[2] = y.
+  // Case p ≼ x: y = p·a·(x−p). Phase 1 all three agree; when p ends, y
+  // emits `a` while x's current symbol is carried; then y replays x with a
+  // one-symbol delay (as in PrependGraphAtom).
+  // Case p ⋠ x: y = ε — the y-track must be pad from the FIRST column, so
+  // the ε-branch (eqB/acceptB) is entered only from the start state, and
+  // the machine then verifies that p and x genuinely diverge.
+  // States: 0 = start; 1 = eq3 (phase 1); 2+s = carrying x-digit s;
+  // m+2 = done (accepting); m+3 = eqB (y = ε, p = x so far);
+  // m+4 = acceptB (accepting, divergence witnessed); m+5 = dead.
+  int eq3 = 1;
+  int done = m + 2;
+  int eq_b = m + 3;
+  int accept_b = m + 4;
+  int dead = m + 5;
+  std::vector<bool> accepting(m + 6, false);
+  accepting[done] = true;
+  accepting[accept_b] = true;
+  return BuildAtom(
+      alphabet, {p, x, y}, m + 6, 0, accepting,
+      [m, pad, ins, eq3, done, eq_b, accept_b, dead](
+          int q, const std::vector<int>& d) {
+        int dp = d[0];
+        int dx = d[1];
+        int dy = d[2];
+        auto phase1_step = [&]() -> int {
+          if (dp == dx && dx == dy && dp != pad) return eq3;  // all agree
+          if (dp == pad && dy == static_cast<int>(ins)) {
+            if (dx == pad) return done;  // x = p: y = p·a
+            return 2 + dx;               // carry x's current symbol
+          }
+          return dead;
+        };
+        auto case_b_step = [&]() -> int {
+          // y has ended; p and x must eventually diverge.
+          if (dy != pad) return dead;
+          if (dp == dx && dp != pad) return eq_b;
+          if (dp != pad && dx == pad) return accept_b;  // p longer than x
+          if (dp != pad && dx != pad && dp != dx) return accept_b;
+          return dead;  // p ≺ x with y = ε is inconsistent
+        };
+        if (q == 0) {
+          if (dy == pad) return case_b_step();
+          return phase1_step();
+        }
+        if (q == eq3) return phase1_step();
+        if (q >= 2 && q <= m + 1) {
+          int carried = q - 2;
+          if (dp != pad || dy != carried) return dead;
+          if (dx == pad) return done;
+          return 2 + dx;
+        }
+        if (q == eq_b) return case_b_step();
+        if (q == accept_b) return dy == pad ? accept_b : dead;
+        return dead;
+      });
+}
+
+Result<TrackAutomaton> ConstAtom(const Alphabet& alphabet,
+                                 const std::string& w, VarId x) {
+  STRQ_ASSIGN_OR_RETURN(std::vector<Symbol> word, alphabet.Encode(w));
+  int n = static_cast<int>(word.size());
+  // States 0..n along the word (n accepting), n+1 dead.
+  std::vector<bool> accepting(n + 2, false);
+  accepting[n] = true;
+  return BuildAtom(alphabet, {x}, n + 2, 0, accepting,
+                   [&word, n](int q, const std::vector<int>& d) {
+                     if (q < n && d[0] == static_cast<int>(word[q])) {
+                       return q + 1;
+                     }
+                     return n + 1;
+                   });
+}
+
+Result<TrackAutomaton> EqLenAtom(const Alphabet& alphabet, VarId x, VarId y) {
+  int pad = alphabet.size();
+  // 0 = both running (accepting), 1 = dead.
+  return BuildAtom(alphabet, {x, y}, 2, 0, {true, false},
+                   [pad](int q, const std::vector<int>& d) {
+                     if (q != 0) return 1;
+                     return (d[0] != pad && d[1] != pad) ? 0 : 1;
+                   });
+}
+
+Result<TrackAutomaton> LeqLenAtom(const Alphabet& alphabet, VarId x, VarId y) {
+  int pad = alphabet.size();
+  // 0 = both running (accepting), 1 = x finished (accepting), 2 = dead.
+  return BuildAtom(alphabet, {x, y}, 3, 0, {true, true, false},
+                   [pad](int q, const std::vector<int>& d) {
+                     if (q == 0) {
+                       if (d[0] != pad && d[1] != pad) return 0;
+                       if (d[0] == pad && d[1] != pad) return 1;
+                       return 2;
+                     }
+                     if (q == 1) return (d[0] == pad && d[1] != pad) ? 1 : 2;
+                     return 2;
+                   });
+}
+
+Result<TrackAutomaton> LexLeqAtom(const Alphabet& alphabet, VarId x, VarId y) {
+  int pad = alphabet.size();
+  // 0 = equal so far (accepting), 1 = x proved smaller at the first
+  // difference (accepting, absorbing), 2 = x ended first (accepting),
+  // 3 = dead. Symbol order = alphabet order (Section 4).
+  return BuildAtom(alphabet, {x, y}, 4, 0, {true, true, true, false},
+                   [pad](int q, const std::vector<int>& d) {
+                     switch (q) {
+                       case 0:
+                         if (d[0] == d[1] && d[0] != pad) return 0;
+                         if (d[0] != pad && d[1] != pad) {
+                           return d[0] < d[1] ? 1 : 3;
+                         }
+                         if (d[0] == pad && d[1] != pad) return 2;
+                         return 3;  // y ended first: y ≺ x, so not x ≤lex y
+                       case 1:
+                         return 1;
+                       case 2:
+                         return (d[0] == pad && d[1] != pad) ? 2 : 3;
+                       default:
+                         return 3;
+                     }
+                   });
+}
+
+Result<TrackAutomaton> LcpAtom(const Alphabet& alphabet, VarId x, VarId y,
+                               VarId z) {
+  int pad = alphabet.size();
+  // 0 = all three agree (accepting: z = x = y so far), 1 = diverged with z
+  // finished (accepting), 2 = dead.
+  return BuildAtom(alphabet, {x, y, z}, 3, 0, {true, true, false},
+                   [pad](int q, const std::vector<int>& d) {
+                     if (q == 0) {
+                       if (d[0] == d[1] && d[1] == d[2] && d[0] != pad) {
+                         return 0;
+                       }
+                       // Divergence column: z ends exactly where x and y
+                       // first differ (difference includes one ending).
+                       if (d[2] == pad && d[0] != d[1]) return 1;
+                       return 2;
+                     }
+                     if (q == 1) return d[2] == pad ? 1 : 2;
+                     return 2;
+                   });
+}
+
+Result<TrackAutomaton> MaxLenAtom(const Alphabet& alphabet, int max_len,
+                                  VarId x) {
+  if (max_len < 0) return InvalidArgumentError("negative length bound");
+  int pad = alphabet.size();
+  // States 0..max_len count symbols (all accepting); max_len+1 is dead.
+  int dead = max_len + 1;
+  std::vector<bool> accepting(max_len + 2, true);
+  accepting[dead] = false;
+  return BuildAtom(alphabet, {x}, max_len + 2, 0, accepting,
+                   [max_len, pad, dead](int q, const std::vector<int>& d) {
+                     if (q >= max_len || d[0] == pad) return dead;
+                     return q + 1;
+                   });
+}
+
+Result<TrackAutomaton> MemberAtom(const Alphabet& alphabet, const Dfa& lang,
+                                  VarId x) {
+  if (lang.alphabet_size() != alphabet.size()) {
+    return InvalidArgumentError("language DFA alphabet mismatch");
+  }
+  int pad = alphabet.size();
+  int n = lang.num_states();
+  int dead = n;
+  std::vector<bool> accepting(n + 1, false);
+  for (int q = 0; q < n; ++q) accepting[q] = lang.IsAccepting(q);
+  return BuildAtom(alphabet, {x}, n + 1, lang.start(), accepting,
+                   [&lang, pad, dead, n](int q, const std::vector<int>& d) {
+                     if (q >= n || d[0] == pad) return dead;
+                     return lang.Next(q, static_cast<Symbol>(d[0]));
+                   });
+}
+
+Result<TrackAutomaton> SuffixInAtom(const Alphabet& alphabet, const Dfa& lang,
+                                    VarId x, VarId y) {
+  if (lang.alphabet_size() != alphabet.size()) {
+    return InvalidArgumentError("language DFA alphabet mismatch");
+  }
+  int pad = alphabet.size();
+  int n = lang.num_states();
+  // States: 0 = equality phase (accepting iff ε ∈ L); 1+q = running L's
+  // state q on y's tail; 1+n = dead.
+  int dead = n + 1;
+  std::vector<bool> accepting(n + 2, false);
+  accepting[0] = lang.IsAccepting(lang.start());
+  for (int q = 0; q < n; ++q) accepting[1 + q] = lang.IsAccepting(q);
+  return BuildAtom(
+      alphabet, {x, y}, n + 2, 0, accepting,
+      [&lang, pad, dead, n](int q, const std::vector<int>& d) {
+        int dx = d[0];
+        int dy = d[1];
+        if (q == 0) {
+          if (dx == dy && dx != pad) return 0;
+          if (dx == pad && dy != pad) {
+            return 1 + lang.Next(lang.start(), static_cast<Symbol>(dy));
+          }
+          return dead;
+        }
+        if (q >= 1 && q <= n) {
+          if (dx == pad && dy != pad) {
+            return 1 + lang.Next(q - 1, static_cast<Symbol>(dy));
+          }
+          return dead;
+        }
+        return dead;
+      });
+}
+
+}  // namespace strq

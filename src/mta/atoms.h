@@ -1,0 +1,98 @@
+#ifndef STRQ_MTA_ATOMS_H_
+#define STRQ_MTA_ATOMS_H_
+
+#include <string>
+
+#include "automata/dfa.h"
+#include "base/alphabet.h"
+#include "base/status.h"
+#include "mta/track_automaton.h"
+
+namespace strq {
+
+// Builders for the atomic predicates of the paper's structures, each as a
+// TrackAutomaton over the given variables. All are "automatic" relations:
+// a constant-size (or |L|-size) synchronous automaton recognizes the padded
+// convolution of satisfying tuples. Binary/ternary builders require the
+// variables to be pairwise distinct — the formula compiler freshens repeated
+// variables before calling in here.
+//
+// Structure membership (Figure 2 of the paper):
+//   S      : Equal, Prefix, StrictPrefix, OneStep, LastSymbol, Append (l_a),
+//            Const, LexLeq, Lcp, plus P_L for star-free L
+//   S_left : S plus Prepend (f_a) and TrimLeading
+//   S_reg  : S plus SuffixIn (P_L) for arbitrary regular L, Member
+//   S_len  : S plus EqLen, LeqLen (and everything above is definable)
+
+// x = y.
+Result<TrackAutomaton> EqualAtom(const Alphabet& alphabet, VarId x, VarId y);
+
+// x ≼ y (x is a prefix of y).
+Result<TrackAutomaton> PrefixAtom(const Alphabet& alphabet, VarId x, VarId y);
+
+// x ≺ y (strict prefix).
+Result<TrackAutomaton> StrictPrefixAtom(const Alphabet& alphabet, VarId x,
+                                        VarId y);
+
+// x < y in one step: y = x·b for some b ∈ Σ.
+Result<TrackAutomaton> OneStepAtom(const Alphabet& alphabet, VarId x, VarId y);
+
+// L_a(x): the last symbol of x is a.
+Result<TrackAutomaton> LastSymbolAtom(const Alphabet& alphabet, char a,
+                                      VarId x);
+
+// y = l_a(x) = x·a.
+Result<TrackAutomaton> AppendGraphAtom(const Alphabet& alphabet, char a,
+                                       VarId x, VarId y);
+
+// y = f_a(x) = a·x (the relation F_a; not definable over S, Section 7).
+Result<TrackAutomaton> PrependGraphAtom(const Alphabet& alphabet, char a,
+                                        VarId x, VarId y);
+
+// y = x − a = TRIM_a(x): x' if x = a·x', else ε (Section 7).
+Result<TrackAutomaton> TrimLeadingGraphAtom(const Alphabet& alphabet, char a,
+                                            VarId x, VarId y);
+
+// The Conclusion's proposed extension: insertion at a position named by a
+// prefix. insert_a(p, x) = p · a · (x − p) when p ≼ x (and ε otherwise, by
+// convention, mirroring TRIM). The relation {(p, x, y) : y = insert_a(p, x)}
+// is automatic: after the shared prefix, y emits `a` while x pauses one
+// column, then y replays x with a one-symbol delay.
+Result<TrackAutomaton> InsertGraphAtom(const Alphabet& alphabet, char a,
+                                       VarId p, VarId x, VarId y);
+
+// x = w for a fixed string w.
+Result<TrackAutomaton> ConstAtom(const Alphabet& alphabet,
+                                 const std::string& w, VarId x);
+
+// el(x, y): |x| = |y| (the predicate that upgrades S to S_len).
+Result<TrackAutomaton> EqLenAtom(const Alphabet& alphabet, VarId x, VarId y);
+
+// |x| <= |y| (definable over S_len; provided directly for efficiency).
+Result<TrackAutomaton> LeqLenAtom(const Alphabet& alphabet, VarId x, VarId y);
+
+// x ≤_lex y: the lexicographic order of Section 4, where the symbol order is
+// the alphabet order.
+Result<TrackAutomaton> LexLeqAtom(const Alphabet& alphabet, VarId x, VarId y);
+
+// z = x ∩ y (longest common prefix).
+Result<TrackAutomaton> LcpAtom(const Alphabet& alphabet, VarId x, VarId y,
+                               VarId z);
+
+// |x| <= max_len: the finite "length window" used to desugar the
+// length-restricted quantifiers of Theorem 2.
+Result<TrackAutomaton> MaxLenAtom(const Alphabet& alphabet, int max_len,
+                                  VarId x);
+
+// x ∈ L for a regular language given as a DFA over `alphabet`.
+Result<TrackAutomaton> MemberAtom(const Alphabet& alphabet, const Dfa& lang,
+                                  VarId x);
+
+// P_L(x, y): x ≼ y and y − x ∈ L (the predicates that define S_reg,
+// Section 7; for star-free L they are already definable over S).
+Result<TrackAutomaton> SuffixInAtom(const Alphabet& alphabet, const Dfa& lang,
+                                    VarId x, VarId y);
+
+}  // namespace strq
+
+#endif  // STRQ_MTA_ATOMS_H_

@@ -1,0 +1,436 @@
+#include "mta/track_automaton.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+#include "automata/nfa.h"
+#include "automata/ops.h"
+
+namespace strq {
+
+namespace {
+
+bool StrictlyIncreasing(const std::vector<VarId>& vars) {
+  for (size_t i = 1; i < vars.size(); ++i) {
+    if (vars[i - 1] >= vars[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<Dfa> TrackAutomaton::ValidConvolutions(const ConvAlphabet& conv) {
+  int k = conv.arity();
+  if (k == 0) {
+    // Only the empty word is a canonical 0-track convolution.
+    return Dfa::Create(conv.num_letters(), 0, {{1}, {1}}, {true, false});
+  }
+  if (k > 20) return ResourceExhaustedError("too many tracks");
+  // States: bitmask of tracks that have started padding, plus a sink.
+  int num_masks = 1 << k;
+  int sink = num_masks;
+  int n = num_masks + 1;
+  std::vector<std::vector<int>> next(
+      n, std::vector<int>(static_cast<size_t>(conv.num_letters()), sink));
+  std::vector<bool> accepting(n, true);
+  accepting[sink] = false;
+  for (int mask = 0; mask < num_masks; ++mask) {
+    for (int letter = 0; letter < conv.num_letters(); ++letter) {
+      std::vector<int> digits = conv.Decode(static_cast<Symbol>(letter));
+      int new_mask = mask;
+      bool ok = true;
+      bool all_pad = true;
+      for (int t = 0; t < k; ++t) {
+        bool is_pad = digits[t] == conv.pad();
+        if (!is_pad) all_pad = false;
+        if (is_pad) {
+          new_mask |= 1 << t;
+        } else if (mask & (1 << t)) {
+          ok = false;  // pad must be a suffix per track
+        }
+      }
+      if (all_pad) ok = false;  // no all-pad columns
+      next[mask][letter] = ok ? new_mask : sink;
+    }
+  }
+  return Dfa::Create(conv.num_letters(), 0, std::move(next),
+                     std::move(accepting));
+}
+
+Result<TrackAutomaton> TrackAutomaton::Create(const Alphabet& alphabet,
+                                              std::vector<VarId> vars,
+                                              Dfa dfa) {
+  if (!StrictlyIncreasing(vars)) {
+    return InvalidArgumentError("track variables must be strictly increasing");
+  }
+  STRQ_ASSIGN_OR_RETURN(
+      ConvAlphabet conv,
+      ConvAlphabet::Create(alphabet.size(), static_cast<int>(vars.size())));
+  if (dfa.alphabet_size() != conv.num_letters()) {
+    return InvalidArgumentError("DFA alphabet does not match convolution");
+  }
+  STRQ_ASSIGN_OR_RETURN(Dfa valid, ValidConvolutions(conv));
+  STRQ_ASSIGN_OR_RETURN(Dfa clean, strq::Intersect(dfa, valid));
+  return TrackAutomaton(alphabet, std::move(vars), conv, clean.Minimized());
+}
+
+Result<TrackAutomaton> TrackAutomaton::FullRelation(const Alphabet& alphabet,
+                                                    std::vector<VarId> vars) {
+  if (!StrictlyIncreasing(vars)) {
+    return InvalidArgumentError("track variables must be strictly increasing");
+  }
+  STRQ_ASSIGN_OR_RETURN(
+      ConvAlphabet conv,
+      ConvAlphabet::Create(alphabet.size(), static_cast<int>(vars.size())));
+  return Create(alphabet, std::move(vars), Dfa::AllStrings(conv.num_letters()));
+}
+
+Result<TrackAutomaton> TrackAutomaton::EmptyRelation(const Alphabet& alphabet,
+                                                     std::vector<VarId> vars) {
+  if (!StrictlyIncreasing(vars)) {
+    return InvalidArgumentError("track variables must be strictly increasing");
+  }
+  STRQ_ASSIGN_OR_RETURN(
+      ConvAlphabet conv,
+      ConvAlphabet::Create(alphabet.size(), static_cast<int>(vars.size())));
+  return Create(alphabet, std::move(vars),
+                Dfa::EmptyLanguage(conv.num_letters()));
+}
+
+Result<TrackAutomaton> TrackAutomaton::Truth(const Alphabet& alphabet,
+                                             bool value) {
+  if (value) return FullRelation(alphabet, {});
+  return EmptyRelation(alphabet, {});
+}
+
+Result<TrackAutomaton> TrackAutomaton::FromTuples(
+    const Alphabet& alphabet, std::vector<VarId> vars,
+    const std::vector<std::vector<std::string>>& tuples) {
+  if (!StrictlyIncreasing(vars)) {
+    return InvalidArgumentError("track variables must be strictly increasing");
+  }
+  STRQ_ASSIGN_OR_RETURN(
+      ConvAlphabet conv,
+      ConvAlphabet::Create(alphabet.size(), static_cast<int>(vars.size())));
+
+  // Deterministic trie over convolution columns; node 0 is the root and the
+  // final slot is the reject sink.
+  struct TrieNode {
+    std::map<Symbol, int> children;
+    bool accepting = false;
+  };
+  std::vector<TrieNode> trie(1);
+  for (const std::vector<std::string>& tuple : tuples) {
+    STRQ_ASSIGN_OR_RETURN(std::vector<Symbol> word,
+                          conv.ConvolveStrings(alphabet, tuple));
+    int node = 0;
+    for (Symbol letter : word) {
+      auto it = trie[node].children.find(letter);
+      if (it == trie[node].children.end()) {
+        trie.push_back(TrieNode{});
+        it = trie[node]
+                 .children.emplace(letter, static_cast<int>(trie.size()) - 1)
+                 .first;
+      }
+      node = it->second;
+    }
+    trie[node].accepting = true;
+  }
+
+  int sink = static_cast<int>(trie.size());
+  int n = sink + 1;
+  std::vector<std::vector<int>> next(
+      n, std::vector<int>(static_cast<size_t>(conv.num_letters()), sink));
+  std::vector<bool> accepting(n, false);
+  for (int q = 0; q < sink; ++q) {
+    for (const auto& [letter, target] : trie[q].children) {
+      next[q][letter] = target;
+    }
+    accepting[q] = trie[q].accepting;
+  }
+  STRQ_ASSIGN_OR_RETURN(Dfa dfa, Dfa::Create(conv.num_letters(), 0,
+                                             std::move(next),
+                                             std::move(accepting)));
+  return Create(alphabet, std::move(vars), std::move(dfa));
+}
+
+Result<bool> TrackAutomaton::Contains(
+    const std::vector<std::string>& tuple) const {
+  STRQ_ASSIGN_OR_RETURN(std::vector<Symbol> word,
+                        conv_.ConvolveStrings(alphabet_, tuple));
+  return dfa_.Accepts(word);
+}
+
+Result<TrackAutomaton> TrackAutomaton::Cylindrified(
+    std::vector<VarId> new_vars) const {
+  if (!StrictlyIncreasing(new_vars)) {
+    return InvalidArgumentError("track variables must be strictly increasing");
+  }
+  // Verify vars() ⊆ new_vars and compute, for each new track, the old track
+  // it carries (-1 for fresh tracks).
+  std::vector<int> old_track_of(new_vars.size(), -1);
+  size_t oi = 0;
+  for (size_t ni = 0; ni < new_vars.size(); ++ni) {
+    if (oi < vars_.size() && vars_[oi] == new_vars[ni]) {
+      old_track_of[ni] = static_cast<int>(oi);
+      ++oi;
+    }
+  }
+  if (oi != vars_.size()) {
+    return InvalidArgumentError("cylindrification target must contain vars");
+  }
+  if (new_vars == vars_) return *this;
+
+  STRQ_ASSIGN_OR_RETURN(ConvAlphabet new_conv,
+                        ConvAlphabet::Create(alphabet_.size(),
+                                             static_cast<int>(new_vars.size())));
+  int letters = new_conv.num_letters();
+  int n = dfa_.num_states();
+  std::vector<std::vector<int>> next(n,
+                                     std::vector<int>(static_cast<size_t>(letters)));
+  std::vector<bool> accepting(n);
+  std::vector<int> old_digits(vars_.size());
+  for (int letter = 0; letter < letters; ++letter) {
+    std::vector<int> digits = new_conv.Decode(static_cast<Symbol>(letter));
+    bool old_all_pad = true;
+    for (size_t ni = 0; ni < new_vars.size(); ++ni) {
+      if (old_track_of[ni] >= 0) {
+        old_digits[old_track_of[ni]] = digits[ni];
+        if (digits[ni] != new_conv.pad()) old_all_pad = false;
+      }
+    }
+    if (arity() == 0) old_all_pad = true;
+    if (old_all_pad) {
+      // The embedded word has ended; the new tracks may continue, so the old
+      // automaton's state is frozen.
+      for (int q = 0; q < n; ++q) next[q][letter] = q;
+    } else {
+      Symbol old_letter = conv_.Encode(old_digits);
+      for (int q = 0; q < n; ++q) next[q][letter] = dfa_.Next(q, old_letter);
+    }
+  }
+  for (int q = 0; q < n; ++q) accepting[q] = dfa_.IsAccepting(q);
+  STRQ_ASSIGN_OR_RETURN(Dfa dfa,
+                        Dfa::Create(letters, dfa_.start(), std::move(next),
+                                    std::move(accepting)));
+  // Create() intersects with Valid, which restores pad canonicity for the
+  // fresh tracks.
+  return Create(alphabet_, std::move(new_vars), std::move(dfa));
+}
+
+namespace {
+
+std::vector<VarId> UnionVars(const std::vector<VarId>& a,
+                             const std::vector<VarId>& b) {
+  std::vector<VarId> out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+Result<TrackAutomaton> TrackAutomaton::Intersect(const TrackAutomaton& a,
+                                                 const TrackAutomaton& b) {
+  if (!(a.alphabet_ == b.alphabet_)) {
+    return InvalidArgumentError("intersect over different alphabets");
+  }
+  std::vector<VarId> vars = UnionVars(a.vars_, b.vars_);
+  STRQ_ASSIGN_OR_RETURN(TrackAutomaton ca, a.Cylindrified(vars));
+  STRQ_ASSIGN_OR_RETURN(TrackAutomaton cb, b.Cylindrified(vars));
+  STRQ_ASSIGN_OR_RETURN(Dfa product, strq::Intersect(ca.dfa_, cb.dfa_));
+  return Create(a.alphabet_, std::move(vars), std::move(product));
+}
+
+Result<TrackAutomaton> TrackAutomaton::Union(const TrackAutomaton& a,
+                                             const TrackAutomaton& b) {
+  if (!(a.alphabet_ == b.alphabet_)) {
+    return InvalidArgumentError("union over different alphabets");
+  }
+  std::vector<VarId> vars = UnionVars(a.vars_, b.vars_);
+  STRQ_ASSIGN_OR_RETURN(TrackAutomaton ca, a.Cylindrified(vars));
+  STRQ_ASSIGN_OR_RETURN(TrackAutomaton cb, b.Cylindrified(vars));
+  STRQ_ASSIGN_OR_RETURN(Dfa product, strq::Union(ca.dfa_, cb.dfa_));
+  return Create(a.alphabet_, std::move(vars), std::move(product));
+}
+
+Result<TrackAutomaton> TrackAutomaton::Complemented() const {
+  // Create() re-intersects with Valid, so this is Valid \ L.
+  return Create(alphabet_, vars_, dfa_.Complemented());
+}
+
+Result<TrackAutomaton> TrackAutomaton::Project(VarId var) const {
+  auto it = std::find(vars_.begin(), vars_.end(), var);
+  if (it == vars_.end()) {
+    return InvalidArgumentError("projected variable not present");
+  }
+  int track = static_cast<int>(it - vars_.begin());
+  std::vector<VarId> new_vars = vars_;
+  new_vars.erase(new_vars.begin() + track);
+  STRQ_ASSIGN_OR_RETURN(ConvAlphabet new_conv,
+                        ConvAlphabet::Create(alphabet_.size(),
+                                             static_cast<int>(new_vars.size())));
+
+  int n = dfa_.num_states();
+
+  // New accepting states: states from which the old automaton can accept by
+  // reading only columns that are pad on every remaining track (the
+  // projected variable's word may outlast all others). Such columns have a
+  // non-pad digit on `track` only.
+  std::vector<bool> can_finish(n, false);
+  {
+    // Reverse edges restricted to tail columns.
+    std::vector<std::vector<int>> rev(n);
+    for (int q = 0; q < n; ++q) {
+      for (int d = 0; d < conv_.base_size(); ++d) {
+        std::vector<int> digits(vars_.size(), conv_.pad());
+        digits[track] = d;
+        int t = dfa_.Next(q, conv_.Encode(digits));
+        rev[t].push_back(q);
+      }
+    }
+    std::deque<int> queue;
+    for (int q = 0; q < n; ++q) {
+      if (dfa_.IsAccepting(q)) {
+        can_finish[q] = true;
+        queue.push_back(q);
+      }
+    }
+    while (!queue.empty()) {
+      int q = queue.front();
+      queue.pop_front();
+      for (int p : rev[q]) {
+        if (!can_finish[p]) {
+          can_finish[p] = true;
+          queue.push_back(p);
+        }
+      }
+    }
+  }
+
+  // NFA over the reduced convolution: guess the projected track's digit.
+  Nfa nfa(new_conv.num_letters());
+  for (int q = 0; q < n; ++q) {
+    nfa.AddState();
+    nfa.SetAccepting(q, can_finish[q]);
+  }
+  nfa.SetStart(dfa_.start());
+  for (int q = 0; q < n; ++q) {
+    for (int letter = 0; letter < conv_.num_letters(); ++letter) {
+      std::vector<int> digits = conv_.Decode(static_cast<Symbol>(letter));
+      // Skip tail columns (handled by can_finish) and all-pad columns.
+      bool rest_all_pad = true;
+      for (size_t t = 0; t < digits.size(); ++t) {
+        if (static_cast<int>(t) != track && digits[t] != conv_.pad()) {
+          rest_all_pad = false;
+          break;
+        }
+      }
+      if (rest_all_pad) continue;
+      digits.erase(digits.begin() + track);
+      Symbol new_letter = new_conv.Encode(digits);
+      nfa.AddTransition(q, new_letter,
+                        dfa_.Next(q, static_cast<Symbol>(letter)));
+    }
+  }
+  STRQ_ASSIGN_OR_RETURN(Dfa det, Determinize(nfa));
+  return Create(alphabet_, std::move(new_vars), std::move(det));
+}
+
+Result<TrackAutomaton> TrackAutomaton::Renamed(
+    const std::map<VarId, VarId>& renaming) const {
+  std::vector<VarId> renamed(vars_.size());
+  for (size_t i = 0; i < vars_.size(); ++i) {
+    auto it = renaming.find(vars_[i]);
+    renamed[i] = it == renaming.end() ? vars_[i] : it->second;
+  }
+  // The renaming must stay injective on our variables.
+  std::vector<VarId> sorted = renamed;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    return InvalidArgumentError("renaming collapses two tracks");
+  }
+  // Track permutation: new track position ni carries old track perm[ni].
+  std::vector<int> perm(vars_.size());
+  for (size_t ni = 0; ni < sorted.size(); ++ni) {
+    auto it = std::find(renamed.begin(), renamed.end(), sorted[ni]);
+    perm[ni] = static_cast<int>(it - renamed.begin());
+  }
+
+  int letters = conv_.num_letters();
+  int n = dfa_.num_states();
+  std::vector<std::vector<int>> next(n,
+                                     std::vector<int>(static_cast<size_t>(letters)));
+  std::vector<bool> accepting(n);
+  std::vector<int> old_digits(vars_.size());
+  for (int letter = 0; letter < letters; ++letter) {
+    std::vector<int> digits = conv_.Decode(static_cast<Symbol>(letter));
+    for (size_t ni = 0; ni < perm.size(); ++ni) {
+      old_digits[perm[ni]] = digits[ni];
+    }
+    Symbol old_letter = conv_.Encode(old_digits);
+    for (int q = 0; q < n; ++q) next[q][letter] = dfa_.Next(q, old_letter);
+  }
+  for (int q = 0; q < n; ++q) accepting[q] = dfa_.IsAccepting(q);
+  STRQ_ASSIGN_OR_RETURN(Dfa dfa,
+                        Dfa::Create(letters, dfa_.start(), std::move(next),
+                                    std::move(accepting)));
+  return Create(alphabet_, std::move(sorted), std::move(dfa));
+}
+
+Result<bool> TrackAutomaton::TruthValue() const {
+  if (arity() != 0) {
+    return InvalidArgumentError("TruthValue on a non-sentence relation");
+  }
+  return dfa_.Accepts({});
+}
+
+std::vector<std::vector<std::string>> TrackAutomaton::EnumerateTuples(
+    int max_len, size_t max_count) const {
+  std::vector<std::vector<std::string>> out;
+  for (const std::vector<Symbol>& word : dfa_.Enumerate(max_len, max_count)) {
+    out.push_back(conv_.DeconvolveStrings(alphabet_, word));
+  }
+  return out;
+}
+
+Result<Dfa> TrackAutomaton::UnaryLanguage() const {
+  if (arity() != 1) {
+    return InvalidArgumentError("UnaryLanguage needs an arity-1 relation");
+  }
+  int m = alphabet_.size();
+  // Convolution letters 0..m-1 are exactly the base symbols; letter m (the
+  // pad) never occurs in canonical unary convolutions, so dropping its
+  // column preserves the language.
+  int n = dfa_.num_states();
+  std::vector<std::vector<int>> next(n, std::vector<int>(m));
+  std::vector<bool> accepting(n);
+  for (int q = 0; q < n; ++q) {
+    for (int s = 0; s < m; ++s) {
+      next[q][s] = dfa_.Next(q, static_cast<Symbol>(s));
+    }
+    accepting[q] = dfa_.IsAccepting(q);
+  }
+  STRQ_ASSIGN_OR_RETURN(
+      Dfa out, Dfa::Create(m, dfa_.start(), std::move(next),
+                           std::move(accepting)));
+  return out.Minimized();
+}
+
+Result<std::vector<std::vector<std::string>>> TrackAutomaton::AllTuples(
+    size_t max_count) const {
+  std::optional<int> max_len = dfa_.MaxAcceptedLength();
+  if (!max_len.has_value()) {
+    return UnsafeError("relation is infinite; cannot enumerate all tuples");
+  }
+  if (*max_len < 0) return std::vector<std::vector<std::string>>{};
+  std::vector<std::vector<std::string>> out =
+      EnumerateTuples(*max_len, max_count + 1);
+  if (out.size() > max_count) {
+    return ResourceExhaustedError("finite relation larger than budget");
+  }
+  return out;
+}
+
+}  // namespace strq

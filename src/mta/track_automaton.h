@@ -1,0 +1,136 @@
+#ifndef STRQ_MTA_TRACK_AUTOMATON_H_
+#define STRQ_MTA_TRACK_AUTOMATON_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "automata/dfa.h"
+#include "base/alphabet.h"
+#include "base/status.h"
+#include "mta/conv.h"
+
+namespace strq {
+
+// Variables are small integer ids assigned by the logic layer.
+using VarId = int;
+
+// A relation over Σ* of arity k, represented by a complete DFA over the
+// padded convolution alphabet (Σ ∪ {⊥})^k. This is the machinery of
+// *automatic structures*: all predicates of the paper's S, S_left, S_reg and
+// S_len are recognizable this way, which is what makes the decidability
+// results of Sections 5-7 effective. Each track is tagged with a VarId; all
+// binary operations align variables automatically (cylindrification), so a
+// TrackAutomaton is exactly "the set of satisfying assignments of a formula
+// over its free variables".
+//
+// Class invariants:
+//  * vars() is strictly increasing;
+//  * the DFA accepts only canonical convolutions (pads form track suffixes,
+//    no all-pad column), i.e. L(dfa) ⊆ Valid(arity);
+//  * the DFA is minimized.
+class TrackAutomaton {
+ public:
+  // Wraps a DFA over the convolution alphabet of |vars| tracks. The language
+  // is intersected with Valid(arity) to establish the invariant.
+  static Result<TrackAutomaton> Create(const Alphabet& alphabet,
+                                       std::vector<VarId> vars, Dfa dfa);
+
+  // The full relation Valid(vars): every tuple of strings.
+  static Result<TrackAutomaton> FullRelation(const Alphabet& alphabet,
+                                             std::vector<VarId> vars);
+  // The empty relation over the given tracks.
+  static Result<TrackAutomaton> EmptyRelation(const Alphabet& alphabet,
+                                              std::vector<VarId> vars);
+  // The "true" 0-ary relation {()} and the "false" one {}.
+  static Result<TrackAutomaton> Truth(const Alphabet& alphabet, bool value);
+
+  // A finite relation given extensionally, e.g. a database table. Built as a
+  // trie over convolution columns, then minimized.
+  static Result<TrackAutomaton> FromTuples(
+      const Alphabet& alphabet, std::vector<VarId> vars,
+      const std::vector<std::vector<std::string>>& tuples);
+
+  // The DFA accepting exactly the canonical convolutions of `arity`-tuples
+  // (helper shared with tests).
+  static Result<Dfa> ValidConvolutions(const ConvAlphabet& conv);
+
+  const Alphabet& alphabet() const { return alphabet_; }
+  const std::vector<VarId>& vars() const { return vars_; }
+  int arity() const { return static_cast<int>(vars_.size()); }
+  const ConvAlphabet& conv() const { return conv_; }
+  const Dfa& dfa() const { return dfa_; }
+
+  // Membership of a tuple, positionally aligned with vars().
+  Result<bool> Contains(const std::vector<std::string>& tuple) const;
+
+  // --- First-order operations -------------------------------------------
+
+  // Extends the relation with unconstrained tracks so that its variable set
+  // becomes `new_vars` (a superset of vars(), strictly increasing).
+  Result<TrackAutomaton> Cylindrified(std::vector<VarId> new_vars) const;
+
+  // Conjunction / disjunction with automatic variable alignment.
+  static Result<TrackAutomaton> Intersect(const TrackAutomaton& a,
+                                          const TrackAutomaton& b);
+  static Result<TrackAutomaton> Union(const TrackAutomaton& a,
+                                      const TrackAutomaton& b);
+
+  // Negation relative to the full relation over vars().
+  Result<TrackAutomaton> Complemented() const;
+
+  // Existential quantification: removes `var` (must be present).
+  Result<TrackAutomaton> Project(VarId var) const;
+
+  // Applies a bijective renaming to the variable tags, permuting tracks so
+  // the result is sorted again. Variables not in the map keep their id.
+  Result<TrackAutomaton> Renamed(const std::map<VarId, VarId>& renaming) const;
+
+  // --- Language queries ---------------------------------------------------
+
+  bool IsEmpty() const { return dfa_.IsEmpty(); }
+  // Finiteness of the relation = state-safety of the defining query
+  // (Proposition 7).
+  bool IsFinite() const { return dfa_.IsFinite(); }
+  // For arity 0: is this the relation {()} (true) or {} (false)?
+  Result<bool> TruthValue() const;
+
+  // Number of tuples whose longest component has length <= n (saturating).
+  uint64_t CountUpToLength(int n) const { return dfa_.CountUpToLength(n); }
+
+  // Tuples in shortlex order of their convolution, bounded by component
+  // length and count.
+  std::vector<std::vector<std::string>> EnumerateTuples(
+      int max_len, size_t max_count) const;
+
+  // All tuples of a finite relation (error if infinite).
+  Result<std::vector<std::vector<std::string>>> AllTuples(
+      size_t max_count = 10000000) const;
+
+  // For arity-1 relations: the answer language as a DFA over the BASE
+  // alphabet Σ (the convolution pad digit never occurs on canonical unary
+  // words, so it is dropped). Combined with RegexFromDfa this lets unsafe
+  // queries' infinite answer sets be described as regular expressions.
+  Result<Dfa> UnaryLanguage() const;
+
+  int NumStates() const { return dfa_.num_states(); }
+
+ private:
+  TrackAutomaton(Alphabet alphabet, std::vector<VarId> vars,
+                 ConvAlphabet conv, Dfa dfa)
+      : alphabet_(std::move(alphabet)),
+        vars_(std::move(vars)),
+        conv_(conv),
+        dfa_(std::move(dfa)) {}
+
+  Alphabet alphabet_;
+  std::vector<VarId> vars_;
+  ConvAlphabet conv_;
+  Dfa dfa_;
+};
+
+}  // namespace strq
+
+#endif  // STRQ_MTA_TRACK_AUTOMATON_H_

@@ -1,0 +1,260 @@
+#include "relational/algebra.h"
+
+#include <utility>
+
+namespace strq {
+
+namespace {
+
+RaPtr MakeRa(RaExpr e) { return std::make_shared<const RaExpr>(std::move(e)); }
+
+}  // namespace
+
+RaPtr RaScan(std::string relation) {
+  return MakeRa({.kind = RaKind::kScan, .relation = std::move(relation)});
+}
+RaPtr RaEpsilon() { return MakeRa({.kind = RaKind::kEpsilon}); }
+RaPtr RaSelect(FormulaPtr condition, RaPtr input) {
+  return MakeRa({.kind = RaKind::kSelect,
+                 .condition = std::move(condition),
+                 .left = std::move(input)});
+}
+RaPtr RaProject(std::vector<int> columns, RaPtr input) {
+  return MakeRa({.kind = RaKind::kProject,
+                 .columns = std::move(columns),
+                 .left = std::move(input)});
+}
+RaPtr RaProduct(RaPtr left, RaPtr right) {
+  return MakeRa({.kind = RaKind::kProduct,
+                 .left = std::move(left),
+                 .right = std::move(right)});
+}
+RaPtr RaUnion(RaPtr left, RaPtr right) {
+  return MakeRa({.kind = RaKind::kUnion,
+                 .left = std::move(left),
+                 .right = std::move(right)});
+}
+RaPtr RaDifference(RaPtr left, RaPtr right) {
+  return MakeRa({.kind = RaKind::kDifference,
+                 .left = std::move(left),
+                 .right = std::move(right)});
+}
+RaPtr RaPrefix(int column, RaPtr input) {
+  return MakeRa(
+      {.kind = RaKind::kPrefix, .column = column, .left = std::move(input)});
+}
+RaPtr RaAddRight(int column, char letter, RaPtr input) {
+  return MakeRa({.kind = RaKind::kAddRight,
+                 .column = column,
+                 .letter = letter,
+                 .left = std::move(input)});
+}
+RaPtr RaAddLeft(int column, char letter, RaPtr input) {
+  return MakeRa({.kind = RaKind::kAddLeft,
+                 .column = column,
+                 .letter = letter,
+                 .left = std::move(input)});
+}
+RaPtr RaTrimLeft(int column, char letter, RaPtr input) {
+  return MakeRa({.kind = RaKind::kTrimLeft,
+                 .column = column,
+                 .letter = letter,
+                 .left = std::move(input)});
+}
+RaPtr RaDown(int column, RaPtr input) {
+  return MakeRa(
+      {.kind = RaKind::kDown, .column = column, .left = std::move(input)});
+}
+RaPtr RaInsert(int prefix_column, int subject_column, char letter,
+               RaPtr input) {
+  return MakeRa({.kind = RaKind::kInsert,
+                 .column = prefix_column,
+                 .column2 = subject_column,
+                 .letter = letter,
+                 .left = std::move(input)});
+}
+
+std::string ColumnVar(int i) { return "c" + std::to_string(i); }
+
+Result<int> RaArity(const RaPtr& expr,
+                    const std::map<std::string, int>& schema) {
+  switch (expr->kind) {
+    case RaKind::kScan: {
+      auto it = schema.find(expr->relation);
+      if (it == schema.end()) {
+        return InvalidArgumentError("unknown relation " + expr->relation);
+      }
+      return it->second;
+    }
+    case RaKind::kEpsilon:
+      return 1;
+    case RaKind::kSelect: {
+      STRQ_ASSIGN_OR_RETURN(int arity, RaArity(expr->left, schema));
+      // σ condition variables must be c0..c(arity-1).
+      for (const std::string& v : FreeVars(expr->condition)) {
+        bool ok = false;
+        for (int i = 0; i < arity; ++i) {
+          if (v == ColumnVar(i)) {
+            ok = true;
+            break;
+          }
+        }
+        if (!ok) {
+          return InvalidArgumentError("selection mentions unknown column " +
+                                      v);
+        }
+      }
+      return arity;
+    }
+    case RaKind::kProject: {
+      STRQ_ASSIGN_OR_RETURN(int arity, RaArity(expr->left, schema));
+      for (int c : expr->columns) {
+        if (c < 0 || c >= arity) {
+          return InvalidArgumentError("projection column out of range");
+        }
+      }
+      return static_cast<int>(expr->columns.size());
+    }
+    case RaKind::kProduct: {
+      STRQ_ASSIGN_OR_RETURN(int l, RaArity(expr->left, schema));
+      STRQ_ASSIGN_OR_RETURN(int r, RaArity(expr->right, schema));
+      return l + r;
+    }
+    case RaKind::kUnion:
+    case RaKind::kDifference: {
+      STRQ_ASSIGN_OR_RETURN(int l, RaArity(expr->left, schema));
+      STRQ_ASSIGN_OR_RETURN(int r, RaArity(expr->right, schema));
+      if (l != r) {
+        return InvalidArgumentError("union/difference arity mismatch");
+      }
+      return l;
+    }
+    case RaKind::kPrefix:
+    case RaKind::kAddRight:
+    case RaKind::kAddLeft:
+    case RaKind::kTrimLeft:
+    case RaKind::kDown: {
+      STRQ_ASSIGN_OR_RETURN(int arity, RaArity(expr->left, schema));
+      if (expr->column < 0 || expr->column >= arity) {
+        return InvalidArgumentError("column index out of range");
+      }
+      return arity + 1;
+    }
+    case RaKind::kInsert: {
+      STRQ_ASSIGN_OR_RETURN(int arity, RaArity(expr->left, schema));
+      if (expr->column < 0 || expr->column >= arity || expr->column2 < 0 ||
+          expr->column2 >= arity) {
+        return InvalidArgumentError("column index out of range");
+      }
+      return arity + 1;
+    }
+  }
+  return InternalError("unknown algebra node");
+}
+
+namespace {
+
+Status ValidateNode(const RaPtr& expr, StructureId structure,
+                    const Alphabet& alphabet) {
+  switch (expr->kind) {
+    case RaKind::kSelect:
+      if (MentionsDatabase(expr->condition)) {
+        return InvalidArgumentError(
+            "σ condition must not refer to the database (Section 6.2)");
+      }
+      return CheckInLanguage(expr->condition, structure, alphabet);
+    case RaKind::kAddLeft:
+    case RaKind::kTrimLeft:
+      if (structure != StructureId::kSLeft &&
+          structure != StructureId::kSLen &&
+          structure != StructureId::kConcat) {
+        return NotInLanguageError(
+            "add-left/trim-left belong to RA(S_left) (Section 7.1)");
+      }
+      return Status::Ok();
+    case RaKind::kDown:
+      if (structure != StructureId::kSLen && structure != StructureId::kConcat) {
+        return NotInLanguageError("↓ belongs to RA(S_len) only (Section 6.2)");
+      }
+      return Status::Ok();
+    case RaKind::kInsert:
+      if (structure != StructureId::kSInsert &&
+          structure != StructureId::kConcat) {
+        return NotInLanguageError(
+            "insert belongs to RA(S_ins), the Conclusion's extension");
+      }
+      return Status::Ok();
+    default:
+      return Status::Ok();
+  }
+}
+
+}  // namespace
+
+Status ValidateAlgebra(const RaPtr& expr, StructureId structure,
+                       const std::map<std::string, int>& schema,
+                       const Alphabet& alphabet) {
+  Result<int> arity = RaArity(expr, schema);
+  if (!arity.ok()) return arity.status();
+  STRQ_RETURN_IF_ERROR(ValidateNode(expr, structure, alphabet));
+  if (expr->left) {
+    STRQ_RETURN_IF_ERROR(ValidateAlgebra(expr->left, structure, schema,
+                                         alphabet));
+  }
+  if (expr->right) {
+    STRQ_RETURN_IF_ERROR(ValidateAlgebra(expr->right, structure, schema,
+                                         alphabet));
+  }
+  return Status::Ok();
+}
+
+std::string RaToString(const RaPtr& expr) {
+  switch (expr->kind) {
+    case RaKind::kScan:
+      return expr->relation;
+    case RaKind::kEpsilon:
+      return "R_eps";
+    case RaKind::kSelect:
+      return "select[" + ToString(expr->condition) + "](" +
+             RaToString(expr->left) + ")";
+    case RaKind::kProject: {
+      std::string cols;
+      for (size_t i = 0; i < expr->columns.size(); ++i) {
+        if (i > 0) cols += ",";
+        cols += std::to_string(expr->columns[i]);
+      }
+      return "project[" + cols + "](" + RaToString(expr->left) + ")";
+    }
+    case RaKind::kProduct:
+      return "(" + RaToString(expr->left) + " x " + RaToString(expr->right) +
+             ")";
+    case RaKind::kUnion:
+      return "(" + RaToString(expr->left) + " U " + RaToString(expr->right) +
+             ")";
+    case RaKind::kDifference:
+      return "(" + RaToString(expr->left) + " \\ " + RaToString(expr->right) +
+             ")";
+    case RaKind::kPrefix:
+      return "prefix[" + std::to_string(expr->column) + "](" +
+             RaToString(expr->left) + ")";
+    case RaKind::kAddRight:
+      return "add[" + std::to_string(expr->column) + "," + expr->letter +
+             "](" + RaToString(expr->left) + ")";
+    case RaKind::kAddLeft:
+      return "addleft[" + std::to_string(expr->column) + "," + expr->letter +
+             "](" + RaToString(expr->left) + ")";
+    case RaKind::kTrimLeft:
+      return "trimleft[" + std::to_string(expr->column) + "," + expr->letter +
+             "](" + RaToString(expr->left) + ")";
+    case RaKind::kDown:
+      return "down[" + std::to_string(expr->column) + "](" +
+             RaToString(expr->left) + ")";
+    case RaKind::kInsert:
+      return "insert[" + std::to_string(expr->column) + "," +
+             std::to_string(expr->column2) + "," + expr->letter + "](" +
+             RaToString(expr->left) + ")";
+  }
+  return "?";
+}
+
+}  // namespace strq

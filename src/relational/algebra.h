@@ -1,0 +1,104 @@
+#ifndef STRQ_RELATIONAL_ALGEBRA_H_
+#define STRQ_RELATIONAL_ALGEBRA_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "logic/ast.h"
+#include "logic/signature.h"
+
+namespace strq {
+
+// The extended relational algebras of Sections 6.2 and 7.1. On top of the
+// classical σ, π, ×, −, ∪ the paper adds:
+//
+//   R_ε           constant unary relation {ε}
+//   σ_α           selection by a pure M-formula α (α must not refer to the
+//                 database); α's free variables c0, c1, ... name columns
+//   prefix_i      append a column ranging over the prefixes of column i
+//   add_i^a       append column s_i · a                      (all algebras)
+//   addleft_i^a   append column a · s_i                      (RA(S_left))
+//   trimleft_i^a  append column s_i − a                      (RA(S_left))
+//   ↓_i (down)    append a column ranging over ALL strings of length ≤ |s_i|
+//                 (RA(S_len) only; exponential — the paper notes this is
+//                 unavoidable because RC(S_len) has NP-hard safe queries)
+//
+// The algebra families:
+//   RA(S):      σ_α with α ∈ FO(S), prefix, add-right
+//   RA(S_left): σ_α with α ∈ FO(S_left), prefix, add-right, add-left, trim
+//   RA(S_reg):  σ_α with α ∈ FO(S_reg), prefix, add-right
+//   RA(S_len):  σ_α with α ∈ FO(S_len), prefix, add-right, down
+// (Theorems 4 and 8: each captures exactly the safe fragment of its RC.)
+
+enum class RaKind {
+  kScan,        // database relation by name
+  kEpsilon,     // R_ε = {(ε)}
+  kSelect,      // σ_α(E)
+  kProject,     // π_{columns}(E) — may reorder/duplicate columns
+  kProduct,     // E1 × E2
+  kUnion,       // E1 ∪ E2
+  kDifference,  // E1 − E2
+  kPrefix,      // prefix_i(E)
+  kAddRight,    // add_i^a(E)
+  kAddLeft,     // addleft_i^a(E)
+  kTrimLeft,    // trimleft_i^a(E)
+  kDown,        // ↓_i(E)
+  kInsert,      // insert_{i,j}^a(E): append insert_a(s_i, s_j) — the
+                // Conclusion-extension operator of RA(S_ins)
+};
+
+struct RaExpr;
+using RaPtr = std::shared_ptr<const RaExpr>;
+
+struct RaExpr {
+  RaKind kind;
+  std::string relation;      // kScan
+  FormulaPtr condition;      // kSelect; free vars c0..c(n-1)
+  std::vector<int> columns;  // kProject
+  int column = 0;            // column ops: the index i (0-based)
+  int column2 = 0;           // kInsert: the subject column j
+  char letter = '\0';        // kAddRight/kAddLeft/kTrimLeft/kInsert
+  RaPtr left;
+  RaPtr right;
+};
+
+RaPtr RaScan(std::string relation);
+RaPtr RaEpsilon();
+RaPtr RaSelect(FormulaPtr condition, RaPtr input);
+RaPtr RaProject(std::vector<int> columns, RaPtr input);
+RaPtr RaProduct(RaPtr left, RaPtr right);
+RaPtr RaUnion(RaPtr left, RaPtr right);
+RaPtr RaDifference(RaPtr left, RaPtr right);
+RaPtr RaPrefix(int column, RaPtr input);
+RaPtr RaAddRight(int column, char letter, RaPtr input);
+RaPtr RaAddLeft(int column, char letter, RaPtr input);
+RaPtr RaTrimLeft(int column, char letter, RaPtr input);
+RaPtr RaDown(int column, RaPtr input);
+// insert_{prefix_column, subject_column}^letter.
+RaPtr RaInsert(int prefix_column, int subject_column, char letter,
+               RaPtr input);
+
+// The column-variable name used by σ_α conditions for column `i`: "c<i>".
+std::string ColumnVar(int i);
+
+// Output arity of the expression under the given schema (relation name ->
+// arity). Validates column indices and σ conditions' variable usage.
+Result<int> RaArity(const RaPtr& expr,
+                    const std::map<std::string, int>& schema);
+
+// Checks that the expression only uses operators and σ-formulas of the
+// algebra RA(structure), per the table above. `alphabet` is needed to check
+// σ conditions' pattern predicates (star-freeness for S/S_left).
+Status ValidateAlgebra(const RaPtr& expr, StructureId structure,
+                       const std::map<std::string, int>& schema,
+                       const Alphabet& alphabet);
+
+// Pretty printer for plans (diagnostics, benches).
+std::string RaToString(const RaPtr& expr);
+
+}  // namespace strq
+
+#endif  // STRQ_RELATIONAL_ALGEBRA_H_

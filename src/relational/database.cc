@@ -1,0 +1,73 @@
+#include "relational/database.h"
+
+#include <algorithm>
+#include <set>
+
+namespace strq {
+
+Result<Relation> Relation::Create(int arity, std::vector<Tuple> tuples) {
+  if (arity < 0) return InvalidArgumentError("negative arity");
+  for (const Tuple& t : tuples) {
+    if (static_cast<int>(t.size()) != arity) {
+      return InvalidArgumentError("tuple arity mismatch");
+    }
+  }
+  std::sort(tuples.begin(), tuples.end());
+  tuples.erase(std::unique(tuples.begin(), tuples.end()), tuples.end());
+  return Relation(arity, std::move(tuples));
+}
+
+Relation Relation::Empty(int arity) { return Relation(arity, {}); }
+
+bool Relation::Contains(const Tuple& t) const {
+  return std::binary_search(tuples_.begin(), tuples_.end(), t);
+}
+
+std::vector<std::string> Relation::ActiveDomain() const {
+  std::set<std::string> domain;
+  for (const Tuple& t : tuples_) domain.insert(t.begin(), t.end());
+  return std::vector<std::string>(domain.begin(), domain.end());
+}
+
+Status Database::AddRelation(const std::string& name, Relation relation) {
+  for (const Tuple& t : relation.tuples()) {
+    for (const std::string& s : t) {
+      for (char c : s) {
+        if (!alphabet_.Contains(c)) {
+          return InvalidArgumentError(
+              std::string("relation ") + name + " contains character '" + c +
+              "' outside the database alphabet");
+        }
+      }
+    }
+  }
+  relations_.insert_or_assign(name, std::move(relation));
+  return Status::Ok();
+}
+
+Status Database::AddRelation(const std::string& name, int arity,
+                             std::vector<Tuple> tuples) {
+  STRQ_ASSIGN_OR_RETURN(Relation r, Relation::Create(arity, std::move(tuples)));
+  return AddRelation(name, std::move(r));
+}
+
+const Relation* Database::Find(const std::string& name) const {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Database::ActiveDomain() const {
+  std::set<std::string> domain;
+  for (const auto& [name, rel] : relations_) {
+    for (const Tuple& t : rel.tuples()) domain.insert(t.begin(), t.end());
+  }
+  return std::vector<std::string>(domain.begin(), domain.end());
+}
+
+size_t Database::MaxAdomLength() const {
+  size_t best = 0;
+  for (const std::string& s : ActiveDomain()) best = std::max(best, s.size());
+  return best;
+}
+
+}  // namespace strq

@@ -1,0 +1,79 @@
+#ifndef STRQ_RELATIONAL_DATABASE_H_
+#define STRQ_RELATIONAL_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/alphabet.h"
+#include "base/status.h"
+
+namespace strq {
+
+// A database tuple: strings over the database's alphabet.
+using Tuple = std::vector<std::string>;
+
+// A finite relation instance: a sorted, duplicate-free set of equal-arity
+// tuples. Arity 0 is allowed (the two 0-ary relations are the classical
+// "true" {()} and "false" {}).
+class Relation {
+ public:
+  static Result<Relation> Create(int arity, std::vector<Tuple> tuples);
+  static Relation Empty(int arity);
+
+  int arity() const { return arity_; }
+  size_t size() const { return tuples_.size(); }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  bool Contains(const Tuple& t) const;
+
+  // All strings appearing in some tuple, sorted and deduplicated.
+  std::vector<std::string> ActiveDomain() const;
+
+  friend bool operator==(const Relation& a, const Relation& b) {
+    return a.arity_ == b.arity_ && a.tuples_ == b.tuples_;
+  }
+
+ private:
+  Relation(int arity, std::vector<Tuple> tuples)
+      : arity_(arity), tuples_(std::move(tuples)) {}
+
+  int arity_;
+  std::vector<Tuple> tuples_;
+};
+
+// A database instance: a fixed alphabet plus named relations (the schema SC
+// is implicit in the relation names and arities).
+class Database {
+ public:
+  explicit Database(Alphabet alphabet) : alphabet_(std::move(alphabet)) {}
+
+  const Alphabet& alphabet() const { return alphabet_; }
+
+  // Adds (or replaces) a relation; every string must be over the alphabet.
+  Status AddRelation(const std::string& name, Relation relation);
+
+  // Convenience: build the relation from raw tuples.
+  Status AddRelation(const std::string& name, int arity,
+                     std::vector<Tuple> tuples);
+
+  // nullptr if absent.
+  const Relation* Find(const std::string& name) const;
+
+  const std::map<std::string, Relation>& relations() const {
+    return relations_;
+  }
+
+  // adom(D): all strings appearing anywhere in the database, sorted.
+  std::vector<std::string> ActiveDomain() const;
+
+  // max length of a string in adom(D); 0 for the empty database.
+  size_t MaxAdomLength() const;
+
+ private:
+  Alphabet alphabet_;
+  std::map<std::string, Relation> relations_;
+};
+
+}  // namespace strq
+
+#endif  // STRQ_RELATIONAL_DATABASE_H_

@@ -1,0 +1,81 @@
+#include "relational/tsv.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace strq {
+
+Result<Relation> ReadTsvRelation(std::istream& in, const Alphabet& alphabet) {
+  std::vector<Tuple> tuples;
+  int arity = -1;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    Tuple t;
+    size_t start = 0;
+    while (true) {
+      size_t tab = line.find('\t', start);
+      t.push_back(line.substr(
+          start, tab == std::string::npos ? std::string::npos : tab - start));
+      if (tab == std::string::npos) break;
+      start = tab + 1;
+    }
+    for (const std::string& field : t) {
+      for (char c : field) {
+        if (!alphabet.Contains(c)) {
+          return InvalidArgumentError(
+              "line " + std::to_string(line_number) + ": character '" +
+              std::string(1, c) + "' outside the alphabet");
+        }
+      }
+    }
+    if (arity < 0) {
+      arity = static_cast<int>(t.size());
+    } else if (static_cast<int>(t.size()) != arity) {
+      return InvalidArgumentError("line " + std::to_string(line_number) +
+                                  ": expected " + std::to_string(arity) +
+                                  " fields, found " +
+                                  std::to_string(t.size()));
+    }
+    tuples.push_back(std::move(t));
+  }
+  if (arity < 0) {
+    return InvalidArgumentError(
+        "no data rows; cannot infer the relation arity");
+  }
+  return Relation::Create(arity, std::move(tuples));
+}
+
+Status LoadTsvRelation(Database& db, const std::string& name,
+                       const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return InvalidArgumentError("cannot open " + path);
+  STRQ_ASSIGN_OR_RETURN(Relation rel, ReadTsvRelation(in, db.alphabet()));
+  return db.AddRelation(name, std::move(rel));
+}
+
+void WriteTsvRelation(const Relation& relation, std::ostream& out) {
+  for (const Tuple& t : relation.tuples()) {
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (i > 0) out << '\t';
+      out << t[i];
+    }
+    out << '\n';
+  }
+}
+
+Status SaveTsvRelation(const Database& db, const std::string& name,
+                       const std::string& path) {
+  const Relation* rel = db.Find(name);
+  if (rel == nullptr) return InvalidArgumentError("unknown relation " + name);
+  std::ofstream out(path);
+  if (!out) return InvalidArgumentError("cannot write " + path);
+  WriteTsvRelation(*rel, out);
+  return Status::Ok();
+}
+
+}  // namespace strq

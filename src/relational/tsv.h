@@ -1,0 +1,37 @@
+#ifndef STRQ_RELATIONAL_TSV_H_
+#define STRQ_RELATIONAL_TSV_H_
+
+#include <istream>
+#include <string>
+
+#include "base/status.h"
+#include "relational/database.h"
+
+namespace strq {
+
+// Tab-separated loading and saving of relation instances.
+//
+// Format: one tuple per line, fields separated by single tabs. An empty
+// field is the empty string ε; there is no quoting (strings over the
+// database alphabets never contain tabs or newlines because alphabets are
+// printable character sets). Blank lines and lines starting with '#' are
+// skipped. All rows must have the same number of fields, which becomes the
+// relation's arity.
+
+// Parses a relation from a stream; every string must be over `alphabet`.
+Result<Relation> ReadTsvRelation(std::istream& in, const Alphabet& alphabet);
+
+// Loads `path` and adds (or replaces) the relation in `db`.
+Status LoadTsvRelation(Database& db, const std::string& name,
+                       const std::string& path);
+
+// Writes the relation to the stream in the same format.
+void WriteTsvRelation(const Relation& relation, std::ostream& out);
+
+// Saves a relation of `db` to `path`.
+Status SaveTsvRelation(const Database& db, const std::string& name,
+                       const std::string& path);
+
+}  // namespace strq
+
+#endif  // STRQ_RELATIONAL_TSV_H_

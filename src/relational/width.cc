@@ -1,0 +1,50 @@
+#include "relational/width.h"
+
+#include <vector>
+
+#include "base/string_ops.h"
+
+namespace strq {
+
+int AdomWidth(const Database& db) {
+  std::vector<std::string> adom = db.ActiveDomain();
+  // Longest chain under ≼ via DP over the sorted order (a prefix of s sorts
+  // before s, so sorted order is a linear extension of ≼).
+  int best = 0;
+  std::vector<int> chain(adom.size(), 1);
+  for (size_t i = 0; i < adom.size(); ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      if (IsPrefix(adom[j], adom[i])) {
+        chain[i] = std::max(chain[i], chain[j] + 1);
+      }
+    }
+    best = std::max(best, chain[i]);
+  }
+  return best;
+}
+
+Result<WidthOneResult> MakeWidthOne(const Database& db) {
+  if (!db.alphabet().Contains('0')) {
+    return InvalidArgumentError(
+        "width-1 transformation needs '0' in the alphabet");
+  }
+  std::vector<std::string> adom = db.ActiveDomain();
+  WidthOneResult out{Database(db.alphabet()), {}};
+  for (size_t i = 0; i < adom.size(); ++i) {
+    out.mapping[adom[i]] = std::string(i + 1, '0');
+  }
+  for (const auto& [name, rel] : db.relations()) {
+    std::vector<Tuple> tuples;
+    for (const Tuple& t : rel.tuples()) {
+      Tuple mapped;
+      mapped.reserve(t.size());
+      for (const std::string& s : t) mapped.push_back(out.mapping.at(s));
+      tuples.push_back(std::move(mapped));
+    }
+    STRQ_RETURN_IF_ERROR(
+        out.database.AddRelation(name, rel.arity(), std::move(tuples)));
+  }
+  return out;
+}
+
+}  // namespace strq

@@ -1,0 +1,35 @@
+#ifndef STRQ_RELATIONAL_WIDTH_H_
+#define STRQ_RELATIONAL_WIDTH_H_
+
+#include <map>
+#include <string>
+
+#include "base/status.h"
+#include "relational/database.h"
+
+namespace strq {
+
+// Active-domain width (Section 5.2). The width of adom(D) is the maximal
+// size of a subset of adom(D) whose elements are pairwise comparable by the
+// prefix relation — i.e. the longest ≼-chain. Proposition 5's MSO encoding
+// works over databases of bounded width, and the paper notes that every
+// database can be transformed into an isomorphic (w.r.t. the SC-predicates)
+// database of width 1.
+
+// The width of adom(D): longest chain in the prefix order. O(n²) over the
+// sorted active domain.
+int AdomWidth(const Database& db);
+
+// The paper's width-1 transformation: relabels every active-domain string
+// to a distinct 0^i (a single ≼-chain), preserving all SC-relations up to
+// isomorphism. Strings are ranked in sorted order, starting from 0^1 so ε
+// is never produced. Also returns the mapping used.
+struct WidthOneResult {
+  Database database;
+  std::map<std::string, std::string> mapping;  // original -> 0^i
+};
+Result<WidthOneResult> MakeWidthOne(const Database& db);
+
+}  // namespace strq
+
+#endif  // STRQ_RELATIONAL_WIDTH_H_

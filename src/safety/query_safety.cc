@@ -1,0 +1,143 @@
+#include "safety/query_safety.h"
+
+#include <set>
+
+#include "eval/automata_eval.h"
+
+namespace strq {
+
+Result<bool> StateSafe(const FormulaPtr& phi, const Database& db) {
+  AutomataEvaluator engine(&db);
+  return engine.IsSafeOnDatabase(phi);
+}
+
+namespace {
+
+void FlattenConjuncts(const FormulaPtr& f, std::vector<FormulaPtr>& out) {
+  if (f->kind == FormulaKind::kAnd) {
+    FlattenConjuncts(f->left, out);
+    FlattenConjuncts(f->right, out);
+  } else {
+    out.push_back(f);
+  }
+}
+
+}  // namespace
+
+Result<ConjunctiveQuery> ExtractConjunctiveQuery(const FormulaPtr& phi) {
+  ConjunctiveQuery cq;
+  FormulaPtr body = phi;
+  std::set<std::string> exist_vars;
+  while (body->kind == FormulaKind::kExists) {
+    if (body->range != QuantRange::kAll) {
+      return UnsupportedError(
+          "conjunctive queries use plain existential quantifiers");
+    }
+    exist_vars.insert(body->var);
+    body = body->left;
+  }
+  std::vector<FormulaPtr> conjuncts;
+  FlattenConjuncts(body, conjuncts);
+  std::vector<FormulaPtr> interpreted;
+  for (const FormulaPtr& c : conjuncts) {
+    if (c->kind == FormulaKind::kRelation) {
+      cq.relation_atoms.push_back(c);
+    } else if (!MentionsDatabase(c)) {
+      interpreted.push_back(c);
+    } else {
+      return UnsupportedError(
+          "conjunct is neither a relation atom nor database-free: " +
+          ToString(c));
+    }
+  }
+  cq.gamma = FAndAll(interpreted);
+  std::set<std::string> head = FreeVars(phi);
+  cq.head_vars.assign(head.begin(), head.end());
+  cq.exist_vars.assign(exist_vars.begin(), exist_vars.end());
+  return cq;
+}
+
+Result<bool> ConjunctiveQuerySafe(const ConjunctiveQuery& cq,
+                                  const Alphabet& alphabet) {
+  if (cq.head_vars.empty()) return true;  // Boolean queries are safe
+  if (MentionsDatabase(cq.gamma)) {
+    return InvalidArgumentError("γ must be database-free");
+  }
+
+  // Unsafety criterion (see header): ∃w̄ ¬∃u ∀x̄ ((∃ȳ γ ∧ ⋀ tⱼ = wⱼ) →
+  // ⋀ᵢ |xᵢ| ≤ |u|), where the wⱼ stand for the database values of the
+  // relation-atom argument terms. Decided over ⟨Σ*⟩ with the automata
+  // engine (Theorem 5: finiteness is definable with parameters in S_len,
+  // whose theory is decidable).
+  std::vector<FormulaPtr> term_equations;
+  std::vector<std::string> w_names;
+  int w_counter = 0;
+  for (const FormulaPtr& atom : cq.relation_atoms) {
+    for (const TermPtr& t : atom->args) {
+      std::string w = "_w" + std::to_string(w_counter++);
+      w_names.push_back(w);
+      term_equations.push_back(FPred(PredKind::kEq, {t, TVar(w)}));
+    }
+  }
+
+  // ∃ȳ (γ ∧ ⋀ tⱼ = wⱼ)
+  FormulaPtr inner = FAnd(cq.gamma, FAndAll(term_equations));
+  for (const std::string& y : cq.exist_vars) inner = FExists(y, inner);
+
+  // ⋀ᵢ |xᵢ| ≤ |u|
+  std::vector<FormulaPtr> bounds;
+  for (const std::string& x : cq.head_vars) {
+    bounds.push_back(FPred(PredKind::kLeqLen, {TVar(x), TVar("_u")}));
+  }
+  FormulaPtr bounded = FExists(
+      "_u", [&] {
+        FormulaPtr all = FImplies(inner, FAndAll(bounds));
+        for (const std::string& x : cq.head_vars) all = FForall(x, all);
+        return all;
+      }());
+
+  FormulaPtr unsafe_sentence = FNot(bounded);
+  for (const std::string& w : w_names) {
+    unsafe_sentence = FExists(w, unsafe_sentence);
+  }
+
+  Database empty(alphabet);
+  AutomataEvaluator engine(&empty);
+  STRQ_ASSIGN_OR_RETURN(bool unsafe, engine.EvaluateSentence(unsafe_sentence));
+  return !unsafe;
+}
+
+Result<bool> UnionOfCQsSafe(const std::vector<ConjunctiveQuery>& cqs,
+                            const Alphabet& alphabet) {
+  for (const ConjunctiveQuery& cq : cqs) {
+    STRQ_ASSIGN_OR_RETURN(bool safe, ConjunctiveQuerySafe(cq, alphabet));
+    if (!safe) return false;
+  }
+  return true;
+}
+
+namespace {
+
+Status CollectDisjuncts(const FormulaPtr& f, std::vector<FormulaPtr>& out) {
+  if (f->kind == FormulaKind::kOr) {
+    STRQ_RETURN_IF_ERROR(CollectDisjuncts(f->left, out));
+    return CollectDisjuncts(f->right, out);
+  }
+  out.push_back(f);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<bool> QuerySafe(const FormulaPtr& phi, const Alphabet& alphabet) {
+  std::vector<FormulaPtr> disjuncts;
+  STRQ_RETURN_IF_ERROR(CollectDisjuncts(phi, disjuncts));
+  std::vector<ConjunctiveQuery> cqs;
+  for (const FormulaPtr& d : disjuncts) {
+    STRQ_ASSIGN_OR_RETURN(ConjunctiveQuery cq, ExtractConjunctiveQuery(d));
+    cqs.push_back(std::move(cq));
+  }
+  return UnionOfCQsSafe(cqs, alphabet);
+}
+
+}  // namespace strq

@@ -1,0 +1,62 @@
+#ifndef STRQ_SAFETY_QUERY_SAFETY_H_
+#define STRQ_SAFETY_QUERY_SAFETY_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "logic/ast.h"
+#include "relational/database.h"
+
+namespace strq {
+
+// Safety decision procedures (Sections 6.1 and 6.3).
+
+// State-safety (Proposition 7): given φ and D, is φ(D) finite? Decided
+// exactly by answer-automaton finiteness. Works for RC(S), RC(S_left),
+// RC(S_reg), RC(S_len) — and is impossible for RC_concat (Corollary 1),
+// which surfaces here as the kUnsupported error from compilation.
+Result<bool> StateSafe(const FormulaPtr& phi, const Database& db);
+
+// A conjunctive query φ(x̄) ≡ ∃ȳ ⋀ᵢ Sᵢ(ūᵢ) ∧ γ(x̄, ȳ) in the sense of
+// Section 6.3 (γ an arbitrary pure M-formula).
+struct ConjunctiveQuery {
+  std::vector<std::string> head_vars;      // x̄, the output tuple
+  std::vector<std::string> exist_vars;     // ȳ
+  std::vector<FormulaPtr> relation_atoms;  // the Sᵢ(ūᵢ), kRelation formulas
+  FormulaPtr gamma;                        // the interpreted part (DB-free)
+};
+
+// Recognizes the CQ shape from a formula: a prefix of existential
+// quantifiers over a conjunction of relation atoms and interpreted
+// conjuncts (the interpreted conjuncts are gathered into γ). Relation-atom
+// arguments may be arbitrary terms.
+Result<ConjunctiveQuery> ExtractConjunctiveQuery(const FormulaPtr& phi);
+
+// Safety of a conjunctive query over ALL databases (Theorem 5 via the
+// decidability of Th(S_len) — realized here by the automata engine deciding
+// the derived sentence over an empty database):
+//
+//   φ is unsafe  iff  there is an assignment to the relation-atom variables
+//   and the non-head existential variables under which infinitely many
+//   values of the "uncovered" head variables satisfy γ.
+//
+// The derived sentence uses S_len's definability of finiteness with
+// parameters: ∃ z̄ ¬∃u ∀x̄ᵤ (γ → ⋀ |xᵢ| ≤ |u|). Requires γ to be DB-free
+// (true by definition of a CQ).
+Result<bool> ConjunctiveQuerySafe(const ConjunctiveQuery& cq,
+                                  const Alphabet& alphabet);
+
+// Safety of a union of conjunctive queries: safe iff every disjunct is.
+Result<bool> UnionOfCQsSafe(const std::vector<ConjunctiveQuery>& cqs,
+                            const Alphabet& alphabet);
+
+// Convenience: extract-and-decide for a formula that is a CQ or a union
+// (∨-tree) of CQs. Returns kUnsupported for other shapes (the paper's full
+// Theorem 5 covers arbitrary Boolean combinations; this implementation
+// covers the positive fragment).
+Result<bool> QuerySafe(const FormulaPtr& phi, const Alphabet& alphabet);
+
+}  // namespace strq
+
+#endif  // STRQ_SAFETY_QUERY_SAFETY_H_

@@ -1,0 +1,217 @@
+#include "safety/range_restriction.h"
+
+#include <algorithm>
+#include <set>
+
+#include "base/string_ops.h"
+#include "eval/automata_eval.h"
+
+namespace strq {
+
+int EffectiveK(const FormulaPtr& phi) {
+  // Formula size dominates quantifier rank, the number of one-symbol-moving
+  // atoms, and the constant lengths (each constant character is a term node).
+  return FormulaSize(phi);
+}
+
+namespace {
+
+std::string AlphabetChars(const Alphabet& alphabet) {
+  std::string chars;
+  for (int i = 0; i < alphabet.size(); ++i) {
+    chars.push_back(alphabet.CharOf(static_cast<Symbol>(i)));
+  }
+  return chars;
+}
+
+// {u·w : u ∈ prefix(base) ∪ {ε}, |w| ≤ k} — exactly the Lemma 1 set
+// {s : d(s, prefix(C)) ≤ k}: the longest common prefix u = s ∩ prefix(C)
+// leaves a residual w of length d(s, prefix(C)).
+Result<std::set<std::string>> PrefixReach(const std::vector<std::string>& base,
+                                          int k, const std::string& chars,
+                                          size_t budget) {
+  std::vector<std::string> prefixes = PrefixClosure(base);
+  if (prefixes.empty()) prefixes.push_back("");
+  std::set<std::string> out;
+  std::vector<std::string> suffixes = AllStringsUpToLength(chars, k);
+  for (const std::string& u : prefixes) {
+    for (const std::string& w : suffixes) {
+      out.insert(u + w);
+      if (out.size() > budget) {
+        return ResourceExhaustedError("γ_k candidate set over budget");
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> GammaCandidates(StructureId structure, int k,
+                                                 const Database& db,
+                                                 size_t budget) {
+  std::string chars = AlphabetChars(db.alphabet());
+  std::vector<std::string> adom = db.ActiveDomain();
+  switch (structure) {
+    case StructureId::kS:
+    case StructureId::kSReg: {
+      STRQ_ASSIGN_OR_RETURN(std::set<std::string> out,
+                            PrefixReach(adom, k, chars, budget));
+      return std::vector<std::string>(out.begin(), out.end());
+    }
+    case StructureId::kSLeft: {
+      STRQ_ASSIGN_OR_RETURN(std::set<std::string> base,
+                            PrefixReach(adom, k, chars, budget));
+      // Close under ≤k leading-symbol removals and additions.
+      std::set<std::string> out = base;
+      std::set<std::string> frontier = base;
+      for (int step = 0; step < k; ++step) {
+        std::set<std::string> next;
+        for (const std::string& s : frontier) {
+          if (!s.empty()) next.insert(s.substr(1));  // head removal
+          for (char a : chars) next.insert(a + s);   // head addition
+          // Check inside the loop: a single closure step can multiply the
+          // set by |Σ|+1, so a post-step check would first materialize it.
+          if (out.size() + next.size() > budget) {
+            return ResourceExhaustedError("γ_k candidate set over budget");
+          }
+        }
+        size_t before = out.size();
+        out.insert(next.begin(), next.end());
+        if (out.size() == before) break;
+        frontier = std::move(next);
+      }
+      return std::vector<std::string>(out.begin(), out.end());
+    }
+    case StructureId::kSInsert: {
+      STRQ_ASSIGN_OR_RETURN(std::set<std::string> base,
+                            PrefixReach(adom, k, chars, budget));
+      // Close under ≤k single-symbol insertions (at any position) and the
+      // S_left head operations (S_left ⊆ S_ins).
+      std::set<std::string> out = base;
+      std::set<std::string> frontier = base;
+      for (int step = 0; step < k; ++step) {
+        std::set<std::string> next;
+        for (const std::string& s : frontier) {
+          if (!s.empty()) next.insert(s.substr(1));
+          for (char a : chars) {
+            for (size_t pos = 0; pos <= s.size(); ++pos) {
+              next.insert(s.substr(0, pos) + a + s.substr(pos));
+              if (next.size() + out.size() > budget) {
+                return ResourceExhaustedError(
+                    "γ_k candidate set over budget");
+              }
+            }
+          }
+        }
+        size_t before = out.size();
+        out.insert(next.begin(), next.end());
+        if (out.size() == before) break;
+        frontier = std::move(next);
+      }
+      return std::vector<std::string>(out.begin(), out.end());
+    }
+    case StructureId::kSLen: {
+      size_t max_len = db.MaxAdomLength() + static_cast<size_t>(k);
+      double count = 1;
+      for (size_t i = 0; i < max_len; ++i) {
+        count = count * chars.size() + 1;
+        if (count > static_cast<double>(budget)) {
+          return ResourceExhaustedError("γ_k candidate set over budget");
+        }
+      }
+      return AllStringsUpToLength(chars, static_cast<int>(max_len));
+    }
+    case StructureId::kConcat:
+      return UnsafeError(
+          "no effective safe syntax exists for RC_concat (Corollary 1)");
+  }
+  return InternalError("unknown structure");
+}
+
+Result<Relation> EvaluateRangeRestricted(const FormulaPtr& phi,
+                                         StructureId structure,
+                                         const Database& db, int k) {
+  STRQ_ASSIGN_OR_RETURN(std::vector<std::string> candidates,
+                        GammaCandidates(structure, k, db));
+  AutomataEvaluator engine(&db);
+  STRQ_ASSIGN_OR_RETURN(TrackAutomaton rel, engine.Compile(phi));
+  int arity = rel.arity();
+  if (arity == 0) {
+    return InvalidArgumentError("range restriction of a sentence");
+  }
+  // Intersect the answer automaton with the candidate set on every track;
+  // the result is finite by construction and enumerated exactly.
+  std::vector<std::vector<std::string>> unary;
+  unary.reserve(candidates.size());
+  for (const std::string& s : candidates) unary.push_back({s});
+  for (VarId v : std::vector<VarId>(rel.vars())) {
+    STRQ_ASSIGN_OR_RETURN(
+        TrackAutomaton gamma,
+        TrackAutomaton::FromTuples(db.alphabet(), {v}, unary));
+    STRQ_ASSIGN_OR_RETURN(rel, TrackAutomaton::Intersect(rel, gamma));
+  }
+  STRQ_ASSIGN_OR_RETURN(std::vector<Tuple> tuples, rel.AllTuples());
+  return Relation::Create(arity, std::move(tuples));
+}
+
+Result<RangeRestrictionCheck> CheckRangeRestriction(const FormulaPtr& phi,
+                                                    StructureId structure,
+                                                    const Database& db,
+                                                    int k) {
+  AutomataEvaluator engine(&db);
+  STRQ_ASSIGN_OR_RETURN(bool safe, engine.IsSafeOnDatabase(phi));
+  STRQ_ASSIGN_OR_RETURN(Relation restricted,
+                        EvaluateRangeRestricted(phi, structure, db, k));
+  RangeRestrictionCheck check;
+  check.phi_safe_on_db = safe;
+  check.restricted_size = restricted.size();
+  if (!safe) {
+    check.coincides = false;
+    check.exact_size = 0;
+    return check;
+  }
+  STRQ_ASSIGN_OR_RETURN(Relation exact, engine.Evaluate(phi));
+  check.exact_size = exact.size();
+  check.coincides = exact == restricted;
+  return check;
+}
+
+FormulaPtr FinitenessSentenceSLen(const std::string& unary_relation) {
+  // ∃y ∀x (U(x) → |x| ≤ |y|): U is finite iff it is length-bounded.
+  return FExists(
+      "y", FForall("x", FImplies(FRelation(unary_relation, {TVar("x")}),
+                                 FPred(PredKind::kLeqLen,
+                                       {TVar("x"), TVar("y")}))));
+}
+
+Database Prop6FiniteDatabase(int max_len) {
+  Database db(Alphabet::Binary());
+  std::vector<Tuple> tuples;
+  for (const std::string& s : AllStringsUpToLength("01", max_len)) {
+    tuples.push_back({s});
+  }
+  Status status = db.AddRelation("U", 1, std::move(tuples));
+  (void)status;  // alphabet is binary by construction
+  return db;
+}
+
+Database Prop6InfiniteFamilyCut(int m, int max_len, int reps) {
+  Database db(Alphabet::Binary());
+  std::string block;
+  for (int i = 0; i < m; ++i) block += '0';
+  for (int i = 0; i < m; ++i) block += '1';
+  std::vector<Tuple> tuples;
+  std::string prefix;
+  for (int j = 0; j <= reps; ++j) {
+    for (const std::string& w : AllStringsUpToLength("01", max_len)) {
+      tuples.push_back({prefix + w});
+    }
+    prefix += block;
+  }
+  Status status = db.AddRelation("U", 1, std::move(tuples));
+  (void)status;
+  return db;
+}
+
+}  // namespace strq

@@ -1,0 +1,79 @@
+#ifndef STRQ_SAFETY_RANGE_RESTRICTION_H_
+#define STRQ_SAFETY_RANGE_RESTRICTION_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "logic/ast.h"
+#include "logic/signature.h"
+#include "relational/database.h"
+
+namespace strq {
+
+// Range-restricted queries (Section 6.1). A range-restricted query is a pair
+// Q = (γ, φ) with γ algebraic; its semantics is Q(D) = γ(adom(D))ⁿ ∩ φ(D),
+// which is finite by construction. Theorems 3 and 7 state that for each of
+// S, S_len, S_left, S_reg there is a recursive family Γ = {γ_k} such that
+// every safe query coincides with (γ_k, φ) for the effectively-computable
+// constant k of Lemma 1/2.
+//
+// This module realizes Γ *semantically*: GammaCandidates(structure, k, D)
+// materializes the finite set γ_k(adom(D)) ⊆ Σ* exactly as in the proofs:
+//   S, S_reg : prefixes of adom-strings extended by at most k symbols
+//              (Lemma 1: a witness with d(s, prefix(D)) > k pumps to
+//              infinitely many)
+//   S_len    : all strings of length ≤ maxlen(adom) + k (Lemma 2)
+//   S_left   : the S-set closed under ≤k leading-symbol additions and
+//              removals (the Theorem 7 bound; the paper defers the long
+//              construction to the full version — this family is validated
+//              empirically against the exact engine in tests and benches)
+
+// The effective constant k for a query, per the remark after Corollary 5:
+// computable for restricted-quantifier queries. We use a conservative
+// syntactic bound (formula size), which dominates the per-atom reach of
+// every operation in the signatures (each atom moves ≤ 1 symbol, constants
+// contribute their length).
+int EffectiveK(const FormulaPtr& phi);
+
+// γ_k(adom(D)) as an explicit sorted string set. Fails with
+// ResourceExhausted if the set would exceed `budget` strings (the S_len
+// family is exponential; the others grow by |Σ|^k).
+Result<std::vector<std::string>> GammaCandidates(StructureId structure, int k,
+                                                 const Database& db,
+                                                 size_t budget = 2000000);
+
+// Evaluates the range-restricted query (γ_k, φ): filters γ_k(adom)ⁿ through
+// φ using the exact automata engine for the membership test. Always finite.
+Result<Relation> EvaluateRangeRestricted(const FormulaPtr& phi,
+                                         StructureId structure,
+                                         const Database& db, int k);
+
+// Theorem 3 / 7 verdict on a specific database: if φ is safe on D, does
+// (γ_k, φ) coincide with φ on D? Returns the pair of sizes for diagnostics.
+struct RangeRestrictionCheck {
+  bool phi_safe_on_db;     // state-safety of φ on D
+  bool coincides;          // (γ_k, φ)(D) == φ(D) (only meaningful if safe)
+  size_t restricted_size;  // |(γ_k, φ)(D)|
+  size_t exact_size;       // |φ(D)| when finite
+};
+Result<RangeRestrictionCheck> CheckRangeRestriction(const FormulaPtr& phi,
+                                                    StructureId structure,
+                                                    const Database& db,
+                                                    int k);
+
+// Section 6.1: finiteness of a unary predicate U is definable in RC(S_len).
+// Returns the sentence Φ^safe with U(·) replaced by membership in the named
+// database relation: ∃y ∀x (U(x) → |x| ≤ |y|).
+FormulaPtr FinitenessSentenceSLen(const std::string& unary_relation);
+
+// Proposition 6's counterexample families: databases on which finiteness
+// cannot be distinguished by rank-k RC(S) sentences. D_fin(K) holds all
+// strings of length ≤ K; D_inf(m, K, reps) holds the finite cut
+// {(0^m 1^m)^j · w : j ≤ reps, |w| ≤ K} of the infinite set (0^m 1^m)*·Σ^≤K.
+Database Prop6FiniteDatabase(int max_len);
+Database Prop6InfiniteFamilyCut(int m, int max_len, int reps);
+
+}  // namespace strq
+
+#endif  // STRQ_SAFETY_RANGE_RESTRICTION_H_

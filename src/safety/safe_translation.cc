@@ -1,0 +1,405 @@
+#include "safety/safe_translation.h"
+
+#include <algorithm>
+#include <set>
+
+#include "safety/range_restriction.h"
+
+namespace strq {
+
+Result<RaPtr> AdomExpr(const std::map<std::string, int>& schema) {
+  RaPtr out;
+  for (const auto& [name, arity] : schema) {
+    for (int i = 0; i < arity; ++i) {
+      RaPtr column = RaProject({i}, RaScan(name));
+      out = out == nullptr ? column : RaUnion(std::move(out), column);
+    }
+  }
+  if (out == nullptr) {
+    // Empty schema: adom is the empty unary relation.
+    out = RaDifference(RaEpsilon(), RaEpsilon());
+  }
+  return out;
+}
+
+namespace {
+
+std::string AlphabetChars(const Alphabet& alphabet) {
+  std::string chars;
+  for (int i = 0; i < alphabet.size(); ++i) {
+    chars.push_back(alphabet.CharOf(static_cast<Symbol>(i)));
+  }
+  return chars;
+}
+
+// X ∪ ⋃_{a∈Σ} π_new(op_a(X)) for a unary X.
+RaPtr CloseOnce(RaPtr x, const std::string& chars,
+                RaPtr (*op)(int, char, RaPtr)) {
+  RaPtr out = x;
+  for (char a : chars) {
+    out = RaUnion(std::move(out), RaProject({1}, op(0, a, x)));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<RaPtr> UniverseExpr(StructureId structure, int k,
+                           const std::map<std::string, int>& schema,
+                           const Alphabet& alphabet) {
+  std::string chars = AlphabetChars(alphabet);
+  STRQ_ASSIGN_OR_RETURN(RaPtr adom, AdomExpr(schema));
+  // Seed with adom ∪ {ε} so the universe is never empty.
+  RaPtr x = RaUnion(adom, RaEpsilon());
+  switch (structure) {
+    case StructureId::kS:
+    case StructureId::kSReg: {
+      // Close under prefixes first, then extend right by ≤ k symbols:
+      // exactly the γ_k family of Theorem 3 ({u·w : u ≼ adom, |w| ≤ k},
+      // the Lemma 1 reach set).
+      x = RaProject({1}, RaPrefix(0, std::move(x)));
+      for (int i = 0; i < k; ++i) x = CloseOnce(x, chars, &RaAddRight);
+      return x;
+    }
+    case StructureId::kSLeft: {
+      x = RaProject({1}, RaPrefix(0, std::move(x)));
+      for (int i = 0; i < k; ++i) x = CloseOnce(x, chars, &RaAddRight);
+      // Close under ≤ k leading-symbol additions and removals (Theorem 7).
+      for (int i = 0; i < k; ++i) {
+        x = CloseOnce(x, chars, &RaAddLeft);
+        x = CloseOnce(x, chars, &RaTrimLeft);
+      }
+      return x;
+    }
+    case StructureId::kSInsert: {
+      x = RaProject({1}, RaPrefix(0, std::move(x)));
+      for (int i = 0; i < k; ++i) x = CloseOnce(x, chars, &RaAddRight);
+      // Close under ≤ k single-symbol insertions at prefix positions, using
+      // the RA(S_ins) insert operator: for every prefix p of s (obtained
+      // with prefix_0) and letter a, add insert_a(p, s).
+      for (int i = 0; i < k; ++i) {
+        RaPtr with_prefixes = RaPrefix(0, x);  // columns (s, p)
+        RaPtr step = x;
+        for (char a : chars) {
+          step = RaUnion(std::move(step),
+                         RaProject({2}, RaInsert(1, 0, a, with_prefixes)));
+        }
+        // Head removals (S_left ⊆ S_ins).
+        step = CloseOnce(std::move(step), chars, &RaTrimLeft);
+        x = std::move(step);
+      }
+      return x;
+    }
+    case StructureId::kSLen: {
+      // Lengthen by k (one chain of add-right suffices for the bound), then
+      // take ↓: all strings of length ≤ maxlen(adom) + k (Lemma 2).
+      for (int i = 0; i < k; ++i) {
+        x = RaUnion(x, RaProject({1}, RaAddRight(0, chars[0], x)));
+      }
+      return RaProject({1}, RaDown(0, std::move(x)));
+    }
+    case StructureId::kConcat:
+      return UnsafeError(
+          "no universe expression exists for RC_concat (Corollary 1)");
+  }
+  return InternalError("unknown structure");
+}
+
+namespace {
+
+// A translated subformula: an algebra expression whose columns are the
+// subformula's free variables in sorted-name order.
+struct Translated {
+  RaPtr expr;
+  std::vector<std::string> cols;
+};
+
+class Translator {
+ public:
+  Translator(StructureId structure, const std::map<std::string, int>& schema,
+             const Alphabet& alphabet, RaPtr universe, RaPtr adom)
+      : structure_(structure),
+        schema_(schema),
+        alphabet_(alphabet),
+        universe_(std::move(universe)),
+        adom_(std::move(adom)),
+        prefix_adom_(RaProject({1}, RaPrefix(0, adom_))) {}
+
+  Result<Translated> Translate(const FormulaPtr& f) {
+    switch (f->kind) {
+      case FormulaKind::kTrue:
+        return Translated{TrueExpr(), {}};
+      case FormulaKind::kFalse:
+        return Translated{RaDifference(TrueExpr(), TrueExpr()), {}};
+      case FormulaKind::kPred:
+        if (f->pred == PredKind::kAdom) {
+          return TranslateDatabaseAtom(adom_, 1, f->args);
+        }
+        return TranslateInterpretedAtom(f);
+      case FormulaKind::kRelation: {
+        auto it = schema_.find(f->relation);
+        if (it == schema_.end()) {
+          return InvalidArgumentError("unknown relation " + f->relation);
+        }
+        if (static_cast<int>(f->args.size()) != it->second) {
+          return InvalidArgumentError("arity mismatch for " + f->relation);
+        }
+        return TranslateDatabaseAtom(RaScan(f->relation), it->second,
+                                     f->args);
+      }
+      case FormulaKind::kNot: {
+        STRQ_ASSIGN_OR_RETURN(Translated t, Translate(f->left));
+        return Translated{
+            RaDifference(UniversePower(t.cols.size()), t.expr), t.cols};
+      }
+      case FormulaKind::kAnd: {
+        STRQ_ASSIGN_OR_RETURN(Translated a, Translate(f->left));
+        STRQ_ASSIGN_OR_RETURN(Translated b, Translate(f->right));
+        return Join(a, b);
+      }
+      case FormulaKind::kOr: {
+        STRQ_ASSIGN_OR_RETURN(Translated a, Translate(f->left));
+        STRQ_ASSIGN_OR_RETURN(Translated b, Translate(f->right));
+        std::vector<std::string> target;
+        std::set_union(a.cols.begin(), a.cols.end(), b.cols.begin(),
+                       b.cols.end(), std::back_inserter(target));
+        STRQ_ASSIGN_OR_RETURN(Translated pa, Pad(a, target));
+        STRQ_ASSIGN_OR_RETURN(Translated pb, Pad(b, target));
+        return Translated{RaUnion(pa.expr, pb.expr), target};
+      }
+      case FormulaKind::kImplies:
+        return Translate(FOr(FNot(f->left), f->right));
+      case FormulaKind::kIff:
+        return Translate(FOr(FAnd(f->left, f->right),
+                             FAnd(FNot(f->left), FNot(f->right))));
+      case FormulaKind::kExists:
+        return TranslateExists(*f);
+      case FormulaKind::kForall:
+        return Translate(FNot(FExists(f->var, FNot(f->left), f->range)));
+    }
+    return InternalError("unknown formula kind");
+  }
+
+ private:
+  static RaPtr TrueExpr() {
+    // The nullary relation {()}.
+    return RaProject({}, RaEpsilon());
+  }
+
+  RaPtr UniversePower(size_t n) {
+    if (n == 0) return TrueExpr();
+    RaPtr out = universe_;
+    for (size_t i = 1; i < n; ++i) out = RaProduct(std::move(out), universe_);
+    return out;
+  }
+
+  // Pads `t` to `target` ⊇ t.cols by crossing with the universe and
+  // reordering columns.
+  Result<Translated> Pad(const Translated& t,
+                         const std::vector<std::string>& target) {
+    if (t.cols == target) return t;
+    std::vector<std::string> missing;
+    std::set_difference(target.begin(), target.end(), t.cols.begin(),
+                        t.cols.end(), std::back_inserter(missing));
+    RaPtr expr = t.expr;
+    std::vector<std::string> layout = t.cols;
+    for (const std::string& m : missing) {
+      expr = RaProduct(std::move(expr), universe_);
+      layout.push_back(m);
+    }
+    // Reorder to target.
+    std::vector<int> projection;
+    for (const std::string& v : target) {
+      auto it = std::find(layout.begin(), layout.end(), v);
+      if (it == layout.end()) return InternalError("pad lost a column");
+      projection.push_back(static_cast<int>(it - layout.begin()));
+    }
+    return Translated{RaProject(std::move(projection), std::move(expr)),
+                      target};
+  }
+
+  // Natural join on shared columns.
+  Result<Translated> Join(const Translated& a, const Translated& b) {
+    std::vector<std::string> target;
+    std::set_union(a.cols.begin(), a.cols.end(), b.cols.begin(), b.cols.end(),
+                   std::back_inserter(target));
+    RaPtr expr = RaProduct(a.expr, b.expr);
+    std::vector<FormulaPtr> eqs;
+    for (size_t j = 0; j < b.cols.size(); ++j) {
+      auto it = std::find(a.cols.begin(), a.cols.end(), b.cols[j]);
+      if (it != a.cols.end()) {
+        int left_col = static_cast<int>(it - a.cols.begin());
+        int right_col = static_cast<int>(a.cols.size() + j);
+        eqs.push_back(FPred(PredKind::kEq,
+                            {TVar(ColumnVar(left_col)),
+                             TVar(ColumnVar(right_col))}));
+      }
+    }
+    if (!eqs.empty()) expr = RaSelect(FAndAll(eqs), std::move(expr));
+    // Project to target order, taking each column's first occurrence.
+    std::vector<std::string> layout = a.cols;
+    layout.insert(layout.end(), b.cols.begin(), b.cols.end());
+    std::vector<int> projection;
+    for (const std::string& v : target) {
+      auto it = std::find(layout.begin(), layout.end(), v);
+      projection.push_back(static_cast<int>(it - layout.begin()));
+    }
+    return Translated{RaProject(std::move(projection), std::move(expr)),
+                      target};
+  }
+
+  // Interpreted atom over variables v̄: σ_{atom[v̄ → columns]}(C^m).
+  Result<Translated> TranslateInterpretedAtom(const FormulaPtr& atom) {
+    std::set<std::string> var_set = FreeVars(atom);
+    std::vector<std::string> vars(var_set.begin(), var_set.end());
+    std::map<std::string, TermPtr> rename;
+    for (size_t i = 0; i < vars.size(); ++i) {
+      rename[vars[i]] = TVar(ColumnVar(static_cast<int>(i)));
+    }
+    FormulaPtr condition = SubstituteVarsQF(atom, rename);
+    return Translated{RaSelect(std::move(condition),
+                               UniversePower(vars.size())),
+                      vars};
+  }
+
+  // Database atom (relation scan or adom) with argument terms t̄:
+  // π_vars(σ_{⋀ c_i = t_i[v̄ → var columns]}(base × C^m)).
+  Result<Translated> TranslateDatabaseAtom(RaPtr base, int base_arity,
+                                           const std::vector<TermPtr>& args) {
+    std::set<std::string> var_set;
+    for (const TermPtr& t : args) {
+      std::set<std::string> tv = TermVars(t);
+      var_set.insert(tv.begin(), tv.end());
+    }
+    std::vector<std::string> vars(var_set.begin(), var_set.end());
+    std::map<std::string, TermPtr> rename;
+    for (size_t i = 0; i < vars.size(); ++i) {
+      rename[vars[i]] =
+          TVar(ColumnVar(base_arity + static_cast<int>(i)));
+    }
+    RaPtr expr = RaProduct(std::move(base), UniversePower(vars.size()));
+    std::vector<FormulaPtr> eqs;
+    for (size_t i = 0; i < args.size(); ++i) {
+      eqs.push_back(FPred(PredKind::kEq,
+                          {TVar(ColumnVar(static_cast<int>(i))),
+                           SubstituteVars(args[i], rename)}));
+    }
+    if (!eqs.empty()) expr = RaSelect(FAndAll(eqs), std::move(expr));
+    std::vector<int> projection;
+    for (size_t i = 0; i < vars.size(); ++i) {
+      projection.push_back(base_arity + static_cast<int>(i));
+    }
+    return Translated{RaProject(std::move(projection), std::move(expr)),
+                      vars};
+  }
+
+  Result<Translated> TranslateExists(const Formula& f) {
+    STRQ_ASSIGN_OR_RETURN(Translated t, Translate(f.left));
+    auto it = std::find(t.cols.begin(), t.cols.end(), f.var);
+    if (it == t.cols.end()) {
+      // The variable does not occur. kAll and kLenDom ranges always contain
+      // ε, so ∃x φ ≡ φ. kAdom is empty on an empty database; kPrefixDom is
+      // empty when there are neither adom strings nor parameters. Guard
+      // those by crossing with the range set and projecting back.
+      if (f.range == QuantRange::kAll || f.range == QuantRange::kLenDom) {
+        return t;
+      }
+      RaPtr guard = f.range == QuantRange::kAdom ? adom_ : prefix_adom_;
+      if (f.range == QuantRange::kPrefixDom && !t.cols.empty()) {
+        // Parameters exist, and ε is a prefix of any parameter.
+        guard = RaUnion(std::move(guard), RaEpsilon());
+      }
+      RaPtr expr = RaProject(Iota(static_cast<int>(t.cols.size())),
+                             RaProduct(t.expr, std::move(guard)));
+      return Translated{std::move(expr), t.cols};
+    }
+    int x_col = static_cast<int>(it - t.cols.begin());
+
+    RaPtr constrained = t.expr;
+    if (f.range != QuantRange::kAll) {
+      STRQ_ASSIGN_OR_RETURN(constrained,
+                            RangeConstrain(t, x_col, f.range));
+    }
+    // Project the variable away.
+    std::vector<int> keep;
+    std::vector<std::string> cols;
+    for (size_t i = 0; i < t.cols.size(); ++i) {
+      if (static_cast<int>(i) == x_col) continue;
+      keep.push_back(static_cast<int>(i));
+      cols.push_back(t.cols[i]);
+    }
+    return Translated{RaProject(std::move(keep), std::move(constrained)),
+                      std::move(cols)};
+  }
+
+  // Restricts column x of `t` to the quantifier range (Sections 5.1/5.2):
+  // membership in the adom-derived set, or domination by a parameter column.
+  Result<RaPtr> RangeConstrain(const Translated& t, int x_col,
+                               QuantRange range) {
+    int arity = static_cast<int>(t.cols.size());
+    // Part 1: x in the adom-derived set — semijoin with the unary range set.
+    RaPtr range_set = range == QuantRange::kAdom ? adom_ : prefix_adom_;
+    if (range == QuantRange::kLenDom) {
+      range_set = adom_;  // compared by length below
+    }
+    RaPtr joined = RaProduct(t.expr, range_set);
+    PredKind cmp = range == QuantRange::kLenDom ? PredKind::kLeqLen
+                                                : PredKind::kEq;
+    RaPtr part1 = RaProject(
+        Iota(arity),
+        RaSelect(FPred(cmp, {TVar(ColumnVar(x_col)), TVar(ColumnVar(arity))}),
+                 std::move(joined)));
+    if (range == QuantRange::kAdom) return part1;
+
+    // Part 2: x dominated by a parameter column (x ≼ z, or |x| ≤ |z|).
+    PredKind param_cmp = range == QuantRange::kLenDom ? PredKind::kLeqLen
+                                                      : PredKind::kPrefix;
+    RaPtr out = part1;
+    if (range == QuantRange::kLenDom) {
+      // ε is always in the length range (the max over an empty set is 0).
+      out = RaUnion(std::move(out),
+                    RaSelect(FPred(PredKind::kEq,
+                                   {TVar(ColumnVar(x_col)), TConst("")}),
+                             t.expr));
+    }
+    for (int z = 0; z < arity; ++z) {
+      if (z == x_col) continue;
+      out = RaUnion(std::move(out),
+                    RaSelect(FPred(param_cmp, {TVar(ColumnVar(x_col)),
+                                               TVar(ColumnVar(z))}),
+                             t.expr));
+    }
+    return out;
+  }
+
+  static std::vector<int> Iota(int n) {
+    std::vector<int> out(n);
+    for (int i = 0; i < n; ++i) out[i] = i;
+    return out;
+  }
+
+  StructureId structure_;
+  const std::map<std::string, int>& schema_;
+  const Alphabet& alphabet_;
+  RaPtr universe_;
+  RaPtr adom_;
+  RaPtr prefix_adom_;
+};
+
+}  // namespace
+
+Result<RaPtr> TranslateToAlgebra(const FormulaPtr& phi, StructureId structure,
+                                 const std::map<std::string, int>& schema,
+                                 const Alphabet& alphabet, int k) {
+  STRQ_RETURN_IF_ERROR(CheckInLanguage(phi, structure, alphabet));
+  if (k < 0) k = EffectiveK(phi);
+  STRQ_ASSIGN_OR_RETURN(RaPtr universe,
+                        UniverseExpr(structure, k, schema, alphabet));
+  STRQ_ASSIGN_OR_RETURN(RaPtr adom, AdomExpr(schema));
+  Translator translator(structure, schema, alphabet, std::move(universe),
+                        std::move(adom));
+  STRQ_ASSIGN_OR_RETURN(Translated t, translator.Translate(phi));
+  return t.expr;
+}
+
+}  // namespace strq

@@ -1,0 +1,44 @@
+#ifndef STRQ_SAFETY_SAFE_TRANSLATION_H_
+#define STRQ_SAFETY_SAFE_TRANSLATION_H_
+
+#include <map>
+#include <string>
+
+#include "base/status.h"
+#include "logic/ast.h"
+#include "logic/signature.h"
+#include "relational/algebra.h"
+
+namespace strq {
+
+// The effective side of Theorems 4 and 8: safe RC(M) = RA(M).
+//
+// TranslateToAlgebra compiles a relational-calculus query into an algebra
+// plan over the operators of RA(M). The plan evaluates every variable over
+// the *universe expression* C — an RA term materializing the γ_k candidate
+// set of Theorems 3/7 (built with exactly the operators the paper adds to
+// the algebra for this purpose: prefix_i and add_i^a for S, ↓_i for S_len,
+// addleft/trimleft for S_left). On every database where the query is safe
+// and has quantifier rank ≤ k, the plan computes the query's exact answer;
+// tests and benches verify this against the exact automata engine.
+//
+// Column convention: the output columns are the query's free variables in
+// sorted-name order (matching AutomataEvaluator::FreeVarOrder).
+
+// adom(D) as a unary algebra expression (union of column projections).
+Result<RaPtr> AdomExpr(const std::map<std::string, int>& schema);
+
+// The universe/candidate expression C for RA(structure) with reach k.
+Result<RaPtr> UniverseExpr(StructureId structure, int k,
+                           const std::map<std::string, int>& schema,
+                           const Alphabet& alphabet);
+
+// Translates φ into an RA(structure) plan. k defaults to EffectiveK(φ)
+// when negative.
+Result<RaPtr> TranslateToAlgebra(const FormulaPtr& phi, StructureId structure,
+                                 const std::map<std::string, int>& schema,
+                                 const Alphabet& alphabet, int k = -1);
+
+}  // namespace strq
+
+#endif  // STRQ_SAFETY_SAFE_TRANSLATION_H_

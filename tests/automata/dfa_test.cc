@@ -1,0 +1,182 @@
+#include "automata/dfa.h"
+
+#include <gtest/gtest.h>
+
+#include "base/string_ops.h"
+
+namespace strq {
+namespace {
+
+// DFA over {0,1} accepting strings with an even number of 1s.
+Dfa EvenOnes() {
+  Result<Dfa> d = Dfa::Create(2, 0, {{0, 1}, {1, 0}}, {true, false});
+  return *std::move(d);
+}
+
+std::vector<Symbol> Enc(const std::string& s) {
+  Result<std::vector<Symbol>> r = Alphabet::Binary().Encode(s);
+  return *std::move(r);
+}
+
+TEST(DfaTest, CreateValidation) {
+  EXPECT_FALSE(Dfa::Create(2, 0, {}, {}).ok());                   // no states
+  EXPECT_FALSE(Dfa::Create(0, 0, {{}}, {true}).ok());             // no symbols
+  EXPECT_FALSE(Dfa::Create(2, 5, {{0, 0}}, {true}).ok());         // bad start
+  EXPECT_FALSE(Dfa::Create(2, 0, {{0}}, {true}).ok());            // short row
+  EXPECT_FALSE(Dfa::Create(2, 0, {{0, 7}}, {true}).ok());         // bad target
+  EXPECT_FALSE(Dfa::Create(2, 0, {{0, 0}}, {true, false}).ok());  // acc size
+  EXPECT_TRUE(Dfa::Create(2, 0, {{0, 0}}, {true}).ok());
+}
+
+TEST(DfaTest, AcceptsRuns) {
+  Dfa d = EvenOnes();
+  EXPECT_TRUE(d.Accepts(Enc("")));
+  EXPECT_TRUE(d.Accepts(Enc("11")));
+  EXPECT_TRUE(d.Accepts(Enc("0110")));
+  EXPECT_FALSE(d.Accepts(Enc("1")));
+  EXPECT_FALSE(d.Accepts(Enc("0111")));
+}
+
+TEST(DfaTest, AcceptsString) {
+  Dfa d = EvenOnes();
+  EXPECT_TRUE(d.AcceptsString(Alphabet::Binary(), "0110"));
+  EXPECT_FALSE(d.AcceptsString(Alphabet::Binary(), "1"));
+  // Foreign characters never match.
+  EXPECT_FALSE(d.AcceptsString(Alphabet::Binary(), "012"));
+}
+
+TEST(DfaTest, EmptyAndUniversal) {
+  EXPECT_TRUE(Dfa::EmptyLanguage(2).IsEmpty());
+  EXPECT_FALSE(Dfa::EmptyLanguage(2).IsUniversal());
+  EXPECT_TRUE(Dfa::AllStrings(2).IsUniversal());
+  EXPECT_FALSE(Dfa::AllStrings(2).IsEmpty());
+  EXPECT_FALSE(EvenOnes().IsEmpty());
+  EXPECT_FALSE(EvenOnes().IsUniversal());
+}
+
+TEST(DfaTest, SingleString) {
+  Dfa d = Dfa::SingleString(2, Enc("101"));
+  EXPECT_TRUE(d.Accepts(Enc("101")));
+  EXPECT_FALSE(d.Accepts(Enc("10")));
+  EXPECT_FALSE(d.Accepts(Enc("1011")));
+  EXPECT_FALSE(d.Accepts(Enc("")));
+  EXPECT_TRUE(d.IsFinite());
+  EXPECT_EQ(d.CountUpToLength(5), 1u);
+}
+
+TEST(DfaTest, SingleEmptyString) {
+  Dfa d = Dfa::SingleString(2, {});
+  EXPECT_TRUE(d.Accepts({}));
+  EXPECT_FALSE(d.Accepts(Enc("0")));
+  EXPECT_TRUE(d.IsFinite());
+}
+
+TEST(DfaTest, Finiteness) {
+  EXPECT_TRUE(Dfa::EmptyLanguage(2).IsFinite());
+  EXPECT_FALSE(Dfa::AllStrings(2).IsFinite());
+  EXPECT_FALSE(EvenOnes().IsFinite());
+}
+
+TEST(DfaTest, FinitenessIgnoresUselessCycles) {
+  // State 1 is a cycle but unreachable-from-start accepting path only via
+  // state 2 (no cycle). Language = {"1"}.
+  // 0 --1--> 2(acc), 0 --0--> 1, 1 --*--> 1 (cycle, not co-reachable),
+  // 2 --*--> 3 sink.
+  Result<Dfa> d = Dfa::Create(
+      2, 0, {{1, 2}, {1, 1}, {3, 3}, {3, 3}}, {false, false, true, false});
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->IsFinite());
+  EXPECT_EQ(d->CountUpToLength(4), 1u);
+}
+
+TEST(DfaTest, CountLength) {
+  Dfa d = EvenOnes();
+  // Strings of length 2 with even # of 1s: 00, 11 -> 2.
+  EXPECT_EQ(d.CountLength(2), 2u);
+  // Length 3: 000, 011, 101, 110 -> 4.
+  EXPECT_EQ(d.CountLength(3), 4u);
+  EXPECT_EQ(d.CountLength(0), 1u);  // ε
+  EXPECT_EQ(Dfa::AllStrings(2).CountUpToLength(3), 1u + 2 + 4 + 8);
+}
+
+TEST(DfaTest, EnumerateShortlex) {
+  Dfa d = EvenOnes();
+  std::vector<std::vector<Symbol>> words = d.Enumerate(2, 100);
+  // Even number of 1s, length <= 2, in shortlex: ε, 0, 00, 11.
+  ASSERT_EQ(words.size(), 4u);
+  EXPECT_EQ(words[0], Enc(""));
+  EXPECT_EQ(words[1], Enc("0"));
+  EXPECT_EQ(words[2], Enc("00"));
+  EXPECT_EQ(words[3], Enc("11"));
+}
+
+TEST(DfaTest, EnumerateRespectsCountLimit) {
+  std::vector<std::vector<Symbol>> words = Dfa::AllStrings(2).Enumerate(10, 5);
+  EXPECT_EQ(words.size(), 5u);
+}
+
+TEST(DfaTest, ShortestAccepted) {
+  Dfa d = Dfa::SingleString(2, Enc("110"));
+  auto w = d.ShortestAccepted();
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(*w, Enc("110"));
+  EXPECT_FALSE(Dfa::EmptyLanguage(2).ShortestAccepted().has_value());
+}
+
+TEST(DfaTest, MaxAcceptedLength) {
+  EXPECT_EQ(Dfa::SingleString(2, Enc("110")).MaxAcceptedLength(),
+            std::optional<int>(3));
+  EXPECT_EQ(Dfa::EmptyLanguage(2).MaxAcceptedLength(), std::optional<int>(-1));
+  EXPECT_FALSE(Dfa::AllStrings(2).MaxAcceptedLength().has_value());
+}
+
+TEST(DfaTest, Complement) {
+  Dfa d = EvenOnes().Complemented();
+  EXPECT_FALSE(d.Accepts(Enc("")));
+  EXPECT_TRUE(d.Accepts(Enc("1")));
+  EXPECT_TRUE(d.Accepts(Enc("100")));
+}
+
+TEST(DfaTest, MinimizePreservesLanguage) {
+  // Build a redundant automaton for "ends with 1": several duplicate states.
+  Result<Dfa> big = Dfa::Create(
+      2, 0,
+      {{1, 2}, {1, 2}, {3, 4}, {1, 2}, {3, 4}},
+      {false, false, true, false, true});
+  ASSERT_TRUE(big.ok());
+  Dfa min = big->Minimized();
+  EXPECT_LE(min.num_states(), 2);
+  for (const std::string& s : AllStringsUpToLength("01", 6)) {
+    EXPECT_EQ(min.AcceptsString(Alphabet::Binary(), s),
+              big->AcceptsString(Alphabet::Binary(), s))
+        << s;
+  }
+}
+
+TEST(DfaTest, MinimizeDropsUnreachable) {
+  // State 2 unreachable.
+  Result<Dfa> d =
+      Dfa::Create(2, 0, {{0, 1}, {1, 0}, {2, 2}}, {true, false, true});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->Minimized().num_states(), 2);
+}
+
+class DfaLengthCountTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DfaLengthCountTest, EvenOnesCountMatchesBruteForce) {
+  int n = GetParam();
+  Dfa d = EvenOnes();
+  uint64_t brute = 0;
+  for (const std::string& s : AllStringsOfLength("01", n)) {
+    size_t ones = 0;
+    for (char c : s) ones += c == '1';
+    if (ones % 2 == 0) ++brute;
+  }
+  EXPECT_EQ(d.CountLength(n), brute);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, DfaLengthCountTest,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace strq

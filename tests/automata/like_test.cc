@@ -1,0 +1,117 @@
+#include "automata/like.h"
+
+#include <gtest/gtest.h>
+
+#include "automata/starfree.h"
+#include "base/rng.h"
+#include "base/string_ops.h"
+
+namespace strq {
+namespace {
+
+const Alphabet kAbc = Alphabet::Abc();
+
+TEST(LikeTest, BasicPatterns) {
+  Result<Dfa> d = CompileLike("a%", kAbc);
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->AcceptsString(kAbc, "a"));
+  EXPECT_TRUE(d->AcceptsString(kAbc, "abc"));
+  EXPECT_FALSE(d->AcceptsString(kAbc, "ba"));
+  EXPECT_FALSE(d->AcceptsString(kAbc, ""));
+}
+
+TEST(LikeTest, UnderscoreIsExactlyOne) {
+  Result<Dfa> d = CompileLike("a_c", kAbc);
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->AcceptsString(kAbc, "abc"));
+  EXPECT_TRUE(d->AcceptsString(kAbc, "aac"));
+  EXPECT_FALSE(d->AcceptsString(kAbc, "ac"));
+  EXPECT_FALSE(d->AcceptsString(kAbc, "abbc"));
+}
+
+TEST(LikeTest, EscapeClause) {
+  // With escape '\\', "\\%" is a literal percent — but '%' is not in the
+  // alphabet, so compilation must fail (proving it went the literal path).
+  EXPECT_FALSE(CompileLike("\\%", kAbc, '\\').ok());
+  // Escaping an ordinary character is the character itself.
+  Result<Dfa> d = CompileLike("\\a%", kAbc, '\\');
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->AcceptsString(kAbc, "abc"));
+  EXPECT_FALSE(d->AcceptsString(kAbc, "bc"));
+}
+
+TEST(LikeTest, DanglingEscapeRejected) {
+  EXPECT_FALSE(CompileLike("a\\", kAbc, '\\').ok());
+  EXPECT_FALSE(LikeToRegex("a\\", '\\').ok());
+}
+
+TEST(LikeTest, EmptyPattern) {
+  Result<Dfa> d = CompileLike("", kAbc);
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->AcceptsString(kAbc, ""));
+  EXPECT_FALSE(d->AcceptsString(kAbc, "a"));
+}
+
+// Property: compiled LIKE DFAs agree with the reference matcher on all
+// strings up to length 5 for a battery of random patterns.
+TEST(LikeTest, AgreesWithReferenceMatcher) {
+  Rng rng(2001);
+  const std::string pattern_chars = "abc%_";
+  std::vector<std::string> texts = AllStringsUpToLength("abc", 5);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string pattern = rng.NextString(pattern_chars, 0, 5);
+    Result<Dfa> d = CompileLike(pattern, kAbc);
+    ASSERT_TRUE(d.ok()) << pattern;
+    for (const std::string& text : texts) {
+      EXPECT_EQ(d->AcceptsString(kAbc, text), LikeMatch(text, pattern))
+          << "pattern " << pattern << " text " << text;
+    }
+  }
+}
+
+// Section 4 of the paper: LIKE patterns define star-free languages only
+// (which is why LIKE is expressible over S). Machine-check on a battery.
+TEST(LikeTest, LikeLanguagesAreStarFree) {
+  Rng rng(2002);
+  const std::string pattern_chars = "abc%_";
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string pattern = rng.NextString(pattern_chars, 0, 6);
+    Result<Dfa> d = CompileLike(pattern, kAbc);
+    ASSERT_TRUE(d.ok()) << pattern;
+    Result<bool> star_free = IsStarFree(*d);
+    ASSERT_TRUE(star_free.ok()) << pattern;
+    EXPECT_TRUE(*star_free) << pattern;
+  }
+}
+
+}  // namespace
+}  // namespace strq
+
+namespace strq {
+namespace {
+
+TEST(LikeMatcherTest, MatchesAgreeWithReference) {
+  Rng rng(4242);
+  const Alphabet alphabet = Alphabet::Abc();
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string pattern = rng.NextString("abc%_", 0, 5);
+    Result<LikeMatcher> matcher = LikeMatcher::Create(pattern, alphabet);
+    ASSERT_TRUE(matcher.ok()) << pattern;
+    for (const std::string& text : AllStringsUpToLength("abc", 4)) {
+      EXPECT_EQ(matcher->Matches(text), LikeMatch(text, pattern))
+          << "pattern " << pattern << " text " << text;
+    }
+  }
+}
+
+TEST(LikeMatcherTest, ForeignCharactersNeverMatch) {
+  Result<LikeMatcher> matcher =
+      LikeMatcher::Create("%", Alphabet::Abc());
+  ASSERT_TRUE(matcher.ok());
+  EXPECT_TRUE(matcher->Matches("abc"));
+  EXPECT_FALSE(matcher->Matches("abz"));
+  EXPECT_FALSE(matcher->Matches("\xff"));
+}
+
+}  // namespace
+}  // namespace strq

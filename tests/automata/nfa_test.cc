@@ -1,0 +1,80 @@
+#include "automata/nfa.h"
+
+#include <gtest/gtest.h>
+
+namespace strq {
+namespace {
+
+std::vector<Symbol> Enc(const std::string& s) {
+  Result<std::vector<Symbol>> r = Alphabet::Binary().Encode(s);
+  return *std::move(r);
+}
+
+// NFA for "contains 11 as a substring".
+Nfa Contains11() {
+  Nfa n(2);
+  int q0 = n.AddState();
+  int q1 = n.AddState();
+  int q2 = n.AddState();
+  n.SetStart(q0);
+  n.SetAccepting(q2);
+  n.AddTransition(q0, 0, q0);
+  n.AddTransition(q0, 1, q0);
+  n.AddTransition(q0, 1, q1);
+  n.AddTransition(q1, 1, q2);
+  n.AddTransition(q2, 0, q2);
+  n.AddTransition(q2, 1, q2);
+  return n;
+}
+
+TEST(NfaTest, BasicAcceptance) {
+  Nfa n = Contains11();
+  EXPECT_TRUE(n.Accepts(Enc("011")));
+  EXPECT_TRUE(n.Accepts(Enc("110")));
+  EXPECT_TRUE(n.Accepts(Enc("0110")));
+  EXPECT_FALSE(n.Accepts(Enc("0101")));
+  EXPECT_FALSE(n.Accepts(Enc("")));
+}
+
+TEST(NfaTest, EpsilonClosure) {
+  Nfa n(2);
+  int a = n.AddState();
+  int b = n.AddState();
+  int c = n.AddState();
+  int d = n.AddState();
+  n.AddEpsilon(a, b);
+  n.AddEpsilon(b, c);
+  // d not linked.
+  std::vector<int> closure = n.EpsilonClosure({a});
+  EXPECT_EQ(closure, (std::vector<int>{a, b, c}));
+  closure = n.EpsilonClosure({d});
+  EXPECT_EQ(closure, (std::vector<int>{d}));
+}
+
+TEST(NfaTest, EpsilonClosureHandlesCycles) {
+  Nfa n(2);
+  int a = n.AddState();
+  int b = n.AddState();
+  n.AddEpsilon(a, b);
+  n.AddEpsilon(b, a);
+  std::vector<int> closure = n.EpsilonClosure({a});
+  EXPECT_EQ(closure, (std::vector<int>{a, b}));
+}
+
+TEST(NfaTest, EpsilonReachAcceptance) {
+  Nfa n(2);
+  int a = n.AddState();
+  int b = n.AddState();
+  n.SetStart(a);
+  n.AddEpsilon(a, b);
+  n.SetAccepting(b);
+  EXPECT_TRUE(n.Accepts({}));
+}
+
+TEST(NfaTest, EmptyNfaRejects) {
+  Nfa n(2);
+  EXPECT_FALSE(n.Accepts({}));
+}
+
+}  // namespace
+}  // namespace strq

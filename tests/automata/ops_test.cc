@@ -1,0 +1,143 @@
+#include "automata/ops.h"
+
+#include <gtest/gtest.h>
+
+#include "automata/regex.h"
+#include "base/string_ops.h"
+
+namespace strq {
+namespace {
+
+Dfa Compile(const std::string& pattern) {
+  Result<Dfa> r = CompileRegex(pattern, Alphabet::Binary());
+  EXPECT_TRUE(r.ok()) << r.status();
+  return *std::move(r);
+}
+
+const Alphabet kBin = Alphabet::Binary();
+
+TEST(OpsTest, DeterminizeMatchesNfa) {
+  Result<RegexPtr> rx = ParseRegex("(0|1)*11(0|1)*");
+  ASSERT_TRUE(rx.ok());
+  Result<Nfa> nfa = RegexToNfa(*rx, kBin);
+  ASSERT_TRUE(nfa.ok());
+  Result<Dfa> dfa = Determinize(*nfa);
+  ASSERT_TRUE(dfa.ok());
+  for (const std::string& s : AllStringsUpToLength("01", 7)) {
+    Result<std::vector<Symbol>> w = kBin.Encode(s);
+    ASSERT_TRUE(w.ok());
+    EXPECT_EQ(nfa->Accepts(*w), dfa->Accepts(*w)) << s;
+  }
+}
+
+TEST(OpsTest, DeterminizeBudget) {
+  // (0|1)*1(0|1){n} needs ~2^n DFA states; a tiny budget must trip.
+  Result<RegexPtr> rx = ParseRegex("(0|1)*1(0|1)(0|1)(0|1)(0|1)(0|1)(0|1)");
+  ASSERT_TRUE(rx.ok());
+  Result<Nfa> nfa = RegexToNfa(*rx, kBin);
+  ASSERT_TRUE(nfa.ok());
+  Result<Dfa> dfa = Determinize(*nfa, /*max_states=*/16);
+  ASSERT_FALSE(dfa.ok());
+  EXPECT_EQ(dfa.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(OpsTest, IntersectUnionDifference) {
+  Dfa starts1 = Compile("1(0|1)*");
+  Dfa ends0 = Compile("(0|1)*0");
+  Result<Dfa> both = Intersect(starts1, ends0);
+  Result<Dfa> either = Union(starts1, ends0);
+  Result<Dfa> only_starts = Difference(starts1, ends0);
+  ASSERT_TRUE(both.ok());
+  ASSERT_TRUE(either.ok());
+  ASSERT_TRUE(only_starts.ok());
+  for (const std::string& s : AllStringsUpToLength("01", 6)) {
+    bool a = starts1.AcceptsString(kBin, s);
+    bool b = ends0.AcceptsString(kBin, s);
+    EXPECT_EQ(both->AcceptsString(kBin, s), a && b) << s;
+    EXPECT_EQ(either->AcceptsString(kBin, s), a || b) << s;
+    EXPECT_EQ(only_starts->AcceptsString(kBin, s), a && !b) << s;
+  }
+}
+
+TEST(OpsTest, ProductRejectsAlphabetMismatch) {
+  EXPECT_FALSE(Intersect(Dfa::AllStrings(2), Dfa::AllStrings(3)).ok());
+}
+
+TEST(OpsTest, Equivalence) {
+  // Two different expressions for "contains 11".
+  Dfa a = Compile("(0|1)*11(0|1)*");
+  Dfa b = Compile("0*(10*)*110*(0|1)*");
+  Result<bool> eq = Equivalent(a, b);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(*eq);
+  Result<bool> differs = Equivalent(a, Compile("(0|1)*"));
+  ASSERT_TRUE(differs.ok());
+  EXPECT_FALSE(*differs);
+}
+
+TEST(OpsTest, SubsetCheck) {
+  Dfa contains11 = Compile("(0|1)*11(0|1)*");
+  Dfa all = Dfa::AllStrings(2);
+  Result<bool> sub = Subset(contains11, all);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_TRUE(*sub);
+  Result<bool> sup = Subset(all, contains11);
+  ASSERT_TRUE(sup.ok());
+  EXPECT_FALSE(*sup);
+}
+
+TEST(OpsTest, ReverseLanguage) {
+  Dfa starts1 = Compile("1(0|1)*");
+  Result<Dfa> rev = Reverse(starts1);
+  ASSERT_TRUE(rev.ok());
+  // Reverse of "starts with 1" is "ends with 1".
+  Dfa ends1 = Compile("(0|1)*1");
+  Result<bool> eq = Equivalent(*rev, ends1);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(*eq);
+}
+
+TEST(OpsTest, LeftQuotient) {
+  Dfa lang = Compile("10(0|1)*");
+  Dfa quot = LeftQuotient(lang, 1);  // 1^{-1}L = 0(0|1)*
+  Dfa expect = Compile("0(0|1)*");
+  Result<bool> eq = Equivalent(quot, expect);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(*eq);
+}
+
+TEST(OpsTest, PrependLetter) {
+  Dfa lang = Compile("0(0|1)*");
+  Result<Dfa> pre = PrependLetter(lang, 1);
+  ASSERT_TRUE(pre.ok());
+  Dfa expect = Compile("10(0|1)*");
+  Result<bool> eq = Equivalent(*pre, expect);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(*eq);
+}
+
+TEST(OpsTest, PrefixClosureLang) {
+  Dfa lang = Compile("110");
+  Dfa closed = PrefixClosureLang(lang);
+  EXPECT_TRUE(closed.AcceptsString(kBin, ""));
+  EXPECT_TRUE(closed.AcceptsString(kBin, "1"));
+  EXPECT_TRUE(closed.AcceptsString(kBin, "11"));
+  EXPECT_TRUE(closed.AcceptsString(kBin, "110"));
+  EXPECT_FALSE(closed.AcceptsString(kBin, "0"));
+  EXPECT_FALSE(closed.AcceptsString(kBin, "1100"));
+}
+
+TEST(OpsTest, DeMorganOnLanguages) {
+  Dfa a = Compile("1(0|1)*");
+  Dfa b = Compile("(0|1)*0");
+  Result<Dfa> lhs = Intersect(a, b);
+  ASSERT_TRUE(lhs.ok());
+  Result<Dfa> rhs_u = Union(a.Complemented(), b.Complemented());
+  ASSERT_TRUE(rhs_u.ok());
+  Result<bool> eq = Equivalent(lhs->Complemented(), *rhs_u);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(*eq);
+}
+
+}  // namespace
+}  // namespace strq

@@ -1,0 +1,129 @@
+#include "automata/regex_from_dfa.h"
+
+#include <gtest/gtest.h>
+
+#include "automata/ops.h"
+#include "base/rng.h"
+#include "base/string_ops.h"
+#include "eval/automata_eval.h"
+#include "logic/parser.h"
+
+namespace strq {
+namespace {
+
+const Alphabet kBin = Alphabet::Binary();
+
+// Round-trip: regex -> DFA -> regex -> DFA must preserve the language.
+void CheckRoundTrip(const std::string& pattern) {
+  Result<Dfa> dfa = CompileRegex(pattern, kBin);
+  ASSERT_TRUE(dfa.ok()) << pattern;
+  Result<RegexPtr> back = RegexFromDfa(*dfa, kBin);
+  ASSERT_TRUE(back.ok()) << pattern;
+  Result<Dfa> dfa2 = CompileRegex(RegexToString(*back), kBin);
+  ASSERT_TRUE(dfa2.ok()) << pattern << " -> " << RegexToString(*back);
+  Result<bool> eq = Equivalent(*dfa, *dfa2);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(*eq) << pattern << " round-tripped to "
+                   << RegexToString(*back);
+}
+
+class RoundTripBattery : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripBattery, PreservesLanguage) { CheckRoundTrip(GetParam()); }
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, RoundTripBattery,
+    ::testing::Values("(0|1)*", "0*1", "(00)*", "1(0|1)*0", "(01|10)+",
+                      "0*(10+)*1?", "()", "0", "(0|1)(0|1)(0|1)",
+                      "1*01*01*"));
+
+TEST(RegexFromDfaTest, EmptyLanguage) {
+  Result<RegexPtr> rx = RegexFromDfa(Dfa::EmptyLanguage(2), kBin);
+  ASSERT_TRUE(rx.ok());
+  EXPECT_EQ((*rx)->kind, RegexKind::kEmptySet);
+}
+
+TEST(RegexFromDfaTest, AllStrings) {
+  Result<std::string> described = DescribeLanguage(Dfa::AllStrings(2), kBin);
+  ASSERT_TRUE(described.ok());
+  Result<Dfa> back = CompileRegex(*described, kBin);
+  ASSERT_TRUE(back.ok()) << *described;
+  EXPECT_TRUE(back->IsUniversal()) << *described;
+}
+
+TEST(RegexFromDfaTest, RandomDfasRoundTrip) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 30; ++trial) {
+    int n = rng.NextInt(1, 5);
+    std::vector<std::vector<int>> next(n, std::vector<int>(2));
+    std::vector<bool> accepting(n);
+    for (int q = 0; q < n; ++q) {
+      next[q][0] = rng.NextInt(0, n - 1);
+      next[q][1] = rng.NextInt(0, n - 1);
+      accepting[q] = rng.NextBool();
+    }
+    Result<Dfa> dfa = Dfa::Create(2, 0, next, accepting);
+    ASSERT_TRUE(dfa.ok());
+    Result<RegexPtr> rx = RegexFromDfa(*dfa, kBin);
+    ASSERT_TRUE(rx.ok());
+    Result<Dfa> back = CompileRegex(RegexToString(*rx), kBin);
+    ASSERT_TRUE(back.ok()) << RegexToString(*rx);
+    Result<bool> eq = Equivalent(*dfa, *back);
+    ASSERT_TRUE(eq.ok());
+    EXPECT_TRUE(*eq) << "trial " << trial << ": " << RegexToString(*rx);
+  }
+}
+
+TEST(RegexFromDfaTest, DescribesInfiniteAnswerSets) {
+  // The headline use: an unsafe query's infinite answers, described exactly.
+  Database db(Alphabet::Binary());
+  ASSERT_TRUE(db.AddRelation("R", 1, {{"01"}}).ok());
+  AutomataEvaluator engine(&db);
+  Result<FormulaPtr> q = ParseFormula("exists y. R(y) & y <= x");
+  ASSERT_TRUE(q.ok());
+  Result<TrackAutomaton> rel = engine.Compile(*q);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_FALSE(rel->IsFinite());
+  Result<Dfa> lang = rel->UnaryLanguage();
+  ASSERT_TRUE(lang.ok());
+  Result<std::string> described = DescribeLanguage(*lang, kBin);
+  ASSERT_TRUE(described.ok());
+  // The answer set is 01(0|1)*; check the description compiles to it.
+  Result<Dfa> expected = CompileRegex("01(0|1)*", kBin);
+  Result<Dfa> actual = CompileRegex(*described, kBin);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_TRUE(actual.ok()) << *described;
+  Result<bool> eq = Equivalent(*expected, *actual);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(*eq) << "described as: " << *described;
+}
+
+TEST(RegexFromDfaTest, UnaryLanguageRequiresArityOne) {
+  Database db(Alphabet::Binary());
+  AutomataEvaluator engine(&db);
+  Result<FormulaPtr> q = ParseFormula("x <= y");
+  ASSERT_TRUE(q.ok());
+  Result<TrackAutomaton> rel = engine.Compile(*q);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_FALSE(rel->UnaryLanguage().ok());
+}
+
+TEST(RegexFromDfaTest, UnaryLanguageMatchesMembership) {
+  Database db(Alphabet::Binary());
+  ASSERT_TRUE(db.AddRelation("R", 1, {{"0"}, {"01"}}).ok());
+  AutomataEvaluator engine(&db);
+  Result<FormulaPtr> q = ParseFormula("exists y. R(y) & x <= y & last[0](x)");
+  ASSERT_TRUE(q.ok());
+  Result<TrackAutomaton> rel = engine.Compile(*q);
+  ASSERT_TRUE(rel.ok());
+  Result<Dfa> lang = rel->UnaryLanguage();
+  ASSERT_TRUE(lang.ok());
+  for (const std::string& s : AllStringsUpToLength("01", 4)) {
+    Result<bool> in = rel->Contains({s});
+    ASSERT_TRUE(in.ok());
+    EXPECT_EQ(lang->AcceptsString(kBin, s), *in) << s;
+  }
+}
+
+}  // namespace
+}  // namespace strq

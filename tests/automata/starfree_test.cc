@@ -1,0 +1,95 @@
+#include "automata/starfree.h"
+
+#include <gtest/gtest.h>
+
+#include "automata/ops.h"
+#include "automata/regex.h"
+
+namespace strq {
+namespace {
+
+const Alphabet kBin = Alphabet::Binary();
+const Alphabet kAbc = Alphabet::Abc();
+
+bool StarFree(const std::string& pattern, const Alphabet& alphabet) {
+  Result<Dfa> d = CompileRegex(pattern, alphabet);
+  EXPECT_TRUE(d.ok()) << pattern << ": " << d.status();
+  Result<bool> r = IsStarFree(*d);
+  EXPECT_TRUE(r.ok()) << pattern << ": " << r.status();
+  return *r;
+}
+
+TEST(StarFreeTest, ClassicStarFreeLanguages) {
+  // Σ* = complement of ∅: star-free despite the Kleene star in its syntax.
+  EXPECT_TRUE(StarFree("(0|1)*", kBin));
+  // "contains 11" and its complement are star-free.
+  EXPECT_TRUE(StarFree("(0|1)*11(0|1)*", kBin));
+  // a*b* over {a,b,c} is star-free.
+  EXPECT_TRUE(StarFree("a*b*", kAbc));
+  // Finite languages are star-free.
+  EXPECT_TRUE(StarFree("011|10", kBin));
+  EXPECT_TRUE(StarFree("", kBin));
+}
+
+TEST(StarFreeTest, ClassicNonStarFreeLanguages) {
+  // (00)* — "even length over a one-letter fragment" — is the canonical
+  // non-star-free language (needs a modular counter).
+  EXPECT_FALSE(StarFree("(00)*", kBin));
+  // Even number of total symbols.
+  EXPECT_FALSE(StarFree("((0|1)(0|1))*", kBin));
+  // (aa)* embedded in a larger alphabet.
+  EXPECT_FALSE(StarFree("(aa)*", kAbc));
+}
+
+TEST(StarFreeTest, ParityOfOnesIsNotStarFree) {
+  // Even number of 1s: aperiodicity fails on the 1-transformation.
+  EXPECT_FALSE(StarFree("0*(10*10*)*", kBin));
+}
+
+TEST(StarFreeTest, EmptyAndUniversalAreStarFree) {
+  Result<bool> empty = IsStarFree(Dfa::EmptyLanguage(2));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(*empty);
+  Result<bool> all = IsStarFree(Dfa::AllStrings(2));
+  ASSERT_TRUE(all.ok());
+  EXPECT_TRUE(*all);
+}
+
+TEST(StarFreeTest, SyntacticMonoidSizes) {
+  // Σ*: the minimal DFA has one state; the monoid is trivial.
+  Result<int> trivial = SyntacticMonoidSize(Dfa::AllStrings(2));
+  ASSERT_TRUE(trivial.ok());
+  EXPECT_EQ(*trivial, 1);
+  // (00)*: minimal DFA has a 2-cycle plus sink; monoid is bigger.
+  Result<Dfa> d = CompileRegex("(00)*", kBin);
+  ASSERT_TRUE(d.ok());
+  Result<int> size = SyntacticMonoidSize(*d);
+  ASSERT_TRUE(size.ok());
+  EXPECT_GT(*size, 1);
+}
+
+TEST(StarFreeTest, BudgetIsEnforced) {
+  // A language whose monoid exceeds a 2-element budget.
+  Result<Dfa> d = CompileRegex("(0|1)*11(0|1)*", kBin);
+  ASSERT_TRUE(d.ok());
+  Result<bool> r = IsStarFree(*d, /*max_monoid_size=*/2);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(StarFreeTest, UnionOfStarFreeIsStarFree) {
+  // Star-free languages are closed under boolean operations; spot-check the
+  // checker's consistency with that closure.
+  Result<Dfa> a = CompileRegex("1(0|1)*", kBin);
+  Result<Dfa> b = CompileRegex("(0|1)*0", kBin);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  Result<Dfa> u = Union(*a, *b);
+  ASSERT_TRUE(u.ok());
+  Result<bool> r = IsStarFree(*u);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+}
+
+}  // namespace
+}  // namespace strq

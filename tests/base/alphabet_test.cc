@@ -1,0 +1,57 @@
+#include "base/alphabet.h"
+
+#include <gtest/gtest.h>
+
+namespace strq {
+namespace {
+
+TEST(AlphabetTest, CreateAndLookup) {
+  Result<Alphabet> r = Alphabet::Create("abc");
+  ASSERT_TRUE(r.ok());
+  const Alphabet& a = *r;
+  EXPECT_EQ(a.size(), 3);
+  EXPECT_EQ(a.CharOf(0), 'a');
+  EXPECT_EQ(a.CharOf(2), 'c');
+  ASSERT_TRUE(a.SymbolOf('b').ok());
+  EXPECT_EQ(*a.SymbolOf('b'), 1);
+  EXPECT_FALSE(a.SymbolOf('z').ok());
+  EXPECT_TRUE(a.Contains('a'));
+  EXPECT_FALSE(a.Contains('z'));
+}
+
+TEST(AlphabetTest, RejectsEmptyAndDuplicates) {
+  EXPECT_FALSE(Alphabet::Create("").ok());
+  EXPECT_FALSE(Alphabet::Create("aa").ok());
+  EXPECT_FALSE(Alphabet::Create("aba").ok());
+}
+
+TEST(AlphabetTest, EncodeDecodeRoundTrip) {
+  Alphabet a = Alphabet::Binary();
+  Result<std::vector<Symbol>> enc = a.Encode("0110");
+  ASSERT_TRUE(enc.ok());
+  EXPECT_EQ(enc->size(), 4u);
+  EXPECT_EQ(a.Decode(*enc), "0110");
+}
+
+TEST(AlphabetTest, EncodeRejectsForeignChars) {
+  Alphabet a = Alphabet::Binary();
+  EXPECT_FALSE(a.Encode("012").ok());
+}
+
+TEST(AlphabetTest, BuiltinAlphabets) {
+  EXPECT_EQ(Alphabet::Binary().size(), 2);
+  EXPECT_EQ(Alphabet::Abc().size(), 3);
+  EXPECT_EQ(Alphabet::Binary(), Alphabet::Binary());
+  EXPECT_FALSE(Alphabet::Binary() == Alphabet::Abc());
+}
+
+TEST(AlphabetTest, EmptyStringEncodes) {
+  Alphabet a = Alphabet::Abc();
+  Result<std::vector<Symbol>> enc = a.Encode("");
+  ASSERT_TRUE(enc.ok());
+  EXPECT_TRUE(enc->empty());
+  EXPECT_EQ(a.Decode({}), "");
+}
+
+}  // namespace
+}  // namespace strq

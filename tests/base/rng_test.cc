@@ -1,0 +1,56 @@
+#include "base/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace strq {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(RngTest, NextIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    int v = rng.NextInt(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, NextStringRespectsAlphabetAndLength) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    std::string s = rng.NextString("ab", 2, 5);
+    EXPECT_GE(s.size(), 2u);
+    EXPECT_LE(s.size(), 5u);
+    for (char c : s) EXPECT_TRUE(c == 'a' || c == 'b');
+  }
+}
+
+TEST(RngTest, DistinctStringsAreDistinct) {
+  Rng rng(13);
+  std::vector<std::string> ss = rng.DistinctStrings("abc", 0, 6, 50);
+  for (size_t i = 0; i < ss.size(); ++i) {
+    for (size_t j = i + 1; j < ss.size(); ++j) EXPECT_NE(ss[i], ss[j]);
+  }
+  EXPECT_GE(ss.size(), 40u);  // plenty of room in the space
+}
+
+TEST(RngTest, DistinctStringsSmallSpace) {
+  Rng rng(17);
+  // Only 3 strings of length <= 1 over "a": ε excluded? No: ε, "a" -> 2.
+  std::vector<std::string> ss = rng.DistinctStrings("a", 0, 1, 10);
+  EXPECT_LE(ss.size(), 2u);
+}
+
+}  // namespace
+}  // namespace strq

@@ -1,0 +1,96 @@
+#include "base/status.h"
+
+#include <gtest/gtest.h>
+
+namespace strq {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgumentError("bad pattern");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad pattern");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad pattern");
+}
+
+TEST(StatusTest, AllErrorConstructorsSetCodes) {
+  EXPECT_EQ(NotInLanguageError("x").code(), StatusCode::kNotInLanguage);
+  EXPECT_EQ(UnsafeError("x").code(), StatusCode::kUnsafe);
+  EXPECT_EQ(ResourceExhaustedError("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(UnsupportedError("x").code(), StatusCode::kUnsupported);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::Ok(), Status());
+  EXPECT_EQ(InvalidArgumentError("a"), InvalidArgumentError("a"));
+  EXPECT_FALSE(InvalidArgumentError("a") == InvalidArgumentError("b"));
+  EXPECT_FALSE(InvalidArgumentError("a") == UnsafeError("a"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = UnsafeError("infinite output");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsafe);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("hello");
+  std::string v = *std::move(r);
+  EXPECT_EQ(v, "hello");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return InvalidArgumentError("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  STRQ_ASSIGN_OR_RETURN(int h, Half(x));
+  STRQ_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  Result<int> ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+
+  Result<int> bad = Quarter(6);  // 6/2 = 3, odd
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+Status NeedsPositive(int x) {
+  if (x <= 0) return InvalidArgumentError("non-positive");
+  return Status::Ok();
+}
+
+Status CheckBoth(int x, int y) {
+  STRQ_RETURN_IF_ERROR(NeedsPositive(x));
+  STRQ_RETURN_IF_ERROR(NeedsPositive(y));
+  return Status::Ok();
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(CheckBoth(1, 2).ok());
+  EXPECT_FALSE(CheckBoth(1, -2).ok());
+  EXPECT_FALSE(CheckBoth(-1, 2).ok());
+}
+
+}  // namespace
+}  // namespace strq

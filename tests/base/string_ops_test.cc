@@ -1,0 +1,147 @@
+#include "base/string_ops.h"
+
+#include <gtest/gtest.h>
+
+namespace strq {
+namespace {
+
+TEST(StringOpsTest, Prefix) {
+  EXPECT_TRUE(IsPrefix("", ""));
+  EXPECT_TRUE(IsPrefix("", "a"));
+  EXPECT_TRUE(IsPrefix("ab", "ab"));
+  EXPECT_TRUE(IsPrefix("ab", "abc"));
+  EXPECT_FALSE(IsPrefix("b", "ab"));
+  EXPECT_FALSE(IsPrefix("abc", "ab"));
+}
+
+TEST(StringOpsTest, StrictPrefix) {
+  EXPECT_FALSE(IsStrictPrefix("", ""));
+  EXPECT_TRUE(IsStrictPrefix("", "a"));
+  EXPECT_FALSE(IsStrictPrefix("ab", "ab"));
+  EXPECT_TRUE(IsStrictPrefix("ab", "abc"));
+}
+
+TEST(StringOpsTest, OneStepExtension) {
+  EXPECT_TRUE(IsOneStepExtension("", "a"));
+  EXPECT_TRUE(IsOneStepExtension("ab", "abc"));
+  EXPECT_FALSE(IsOneStepExtension("ab", "abcd"));
+  EXPECT_FALSE(IsOneStepExtension("ab", "ab"));
+  EXPECT_FALSE(IsOneStepExtension("ab", "ba"));
+}
+
+TEST(StringOpsTest, LastSymbol) {
+  EXPECT_FALSE(LastSymbolIs("", 'a'));
+  EXPECT_TRUE(LastSymbolIs("ba", 'a'));
+  EXPECT_FALSE(LastSymbolIs("ab", 'a'));
+}
+
+TEST(StringOpsTest, AppendPrepend) {
+  EXPECT_EQ(AppendLast("ab", 'c'), "abc");
+  EXPECT_EQ(PrependFirst("ab", 'c'), "cab");
+  EXPECT_EQ(AppendLast("", 'a'), "a");
+  EXPECT_EQ(PrependFirst("", 'a'), "a");
+}
+
+TEST(StringOpsTest, RelativeSuffix) {
+  // x − y: if x = y·z then z else ε (Section 2).
+  EXPECT_EQ(RelativeSuffix("abc", "ab"), "c");
+  EXPECT_EQ(RelativeSuffix("abc", "abc"), "");
+  EXPECT_EQ(RelativeSuffix("abc", "b"), "");
+  EXPECT_EQ(RelativeSuffix("abc", ""), "abc");
+  EXPECT_EQ(RelativeSuffix("", "a"), "");
+}
+
+TEST(StringOpsTest, TrimLeading) {
+  // TRIM_a(s) = s' if s = a·s', else ε (Section 7).
+  EXPECT_EQ(TrimLeading("abc", 'a'), "bc");
+  EXPECT_EQ(TrimLeading("bc", 'a'), "");
+  EXPECT_EQ(TrimLeading("", 'a'), "");
+  EXPECT_EQ(TrimLeading("a", 'a'), "");
+  EXPECT_EQ(TrimLeading("aa", 'a'), "a");
+}
+
+TEST(StringOpsTest, LongestCommonPrefix) {
+  EXPECT_EQ(LongestCommonPrefix("abc", "abd"), "ab");
+  EXPECT_EQ(LongestCommonPrefix("abc", "abc"), "abc");
+  EXPECT_EQ(LongestCommonPrefix("abc", "x"), "");
+  EXPECT_EQ(LongestCommonPrefix("", "abc"), "");
+  EXPECT_EQ(LongestCommonPrefix("ab", "abc"), "ab");
+}
+
+TEST(StringOpsTest, EqualLength) {
+  EXPECT_TRUE(EqualLength("", ""));
+  EXPECT_TRUE(EqualLength("ab", "cd"));
+  EXPECT_FALSE(EqualLength("a", "ab"));
+}
+
+TEST(StringOpsTest, LexLeq) {
+  const std::string order = "ab";
+  EXPECT_TRUE(LexLeq("", "", order));
+  EXPECT_TRUE(LexLeq("", "a", order));
+  EXPECT_TRUE(LexLeq("a", "ab", order));   // prefix
+  EXPECT_TRUE(LexLeq("ab", "b", order));   // a < b at position 0
+  EXPECT_FALSE(LexLeq("b", "ab", order));
+  EXPECT_TRUE(LexLeq("ab", "ab", order));  // reflexive
+  EXPECT_FALSE(LexLeq("ab", "a", order));  // extension is larger
+}
+
+TEST(StringOpsTest, LexLeqRespectsCustomOrder) {
+  // With order "ba", b < a.
+  EXPECT_TRUE(LexLeq("b", "a", "ba"));
+  EXPECT_FALSE(LexLeq("a", "b", "ba"));
+}
+
+TEST(StringOpsTest, LikeMatchBasics) {
+  EXPECT_TRUE(LikeMatch("hello", "hello"));
+  EXPECT_FALSE(LikeMatch("hello", "help"));
+  EXPECT_TRUE(LikeMatch("hello", "h%"));
+  EXPECT_TRUE(LikeMatch("hello", "%o"));
+  EXPECT_TRUE(LikeMatch("hello", "%ell%"));
+  EXPECT_TRUE(LikeMatch("hello", "h_llo"));
+  EXPECT_FALSE(LikeMatch("hello", "h_lo"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("", "_"));
+  EXPECT_TRUE(LikeMatch("abc", "%%%"));
+}
+
+TEST(StringOpsTest, LikeMatchPercentBacktracking) {
+  EXPECT_TRUE(LikeMatch("aXbXc", "%X%X%"));
+  EXPECT_FALSE(LikeMatch("aXbc", "%X%X%"));
+  EXPECT_TRUE(LikeMatch("abab", "%ab"));
+  EXPECT_TRUE(LikeMatch("abab", "a%b"));
+}
+
+TEST(StringOpsTest, PrefixClosure) {
+  std::vector<std::string> cl = PrefixClosure({"ab", "b"});
+  // ε, "a", "ab", "b" — sorted.
+  ASSERT_EQ(cl.size(), 4u);
+  EXPECT_EQ(cl[0], "");
+  EXPECT_EQ(cl[1], "a");
+  EXPECT_EQ(cl[2], "ab");
+  EXPECT_EQ(cl[3], "b");
+}
+
+TEST(StringOpsTest, AllStringsOfLength) {
+  std::vector<std::string> s2 = AllStringsOfLength("01", 2);
+  ASSERT_EQ(s2.size(), 4u);
+  EXPECT_EQ(s2[0], "00");
+  EXPECT_EQ(s2[3], "11");
+  EXPECT_EQ(AllStringsOfLength("01", 0), std::vector<std::string>{""});
+}
+
+TEST(StringOpsTest, AllStringsUpToLength) {
+  // 1 + 2 + 4 = 7 binary strings of length <= 2.
+  EXPECT_EQ(AllStringsUpToLength("01", 2).size(), 7u);
+}
+
+TEST(StringOpsTest, DistanceToSet) {
+  // d(s, C) = |s| − |s ∩ C| (Section 6).
+  EXPECT_EQ(DistanceToSet("abc", {"ab"}), 1);
+  EXPECT_EQ(DistanceToSet("abc", {"abc"}), 0);
+  EXPECT_EQ(DistanceToSet("abc", {"x", "a"}), 2);
+  EXPECT_EQ(DistanceToSet("abc", {}), 3);
+  EXPECT_EQ(DistanceToSet("", {"abc"}), 0);
+}
+
+}  // namespace
+}  // namespace strq

@@ -1,0 +1,131 @@
+#include "concat/concat_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/automata_eval.h"
+#include "logic/parser.h"
+
+namespace strq {
+namespace {
+
+FormulaPtr Q(const std::string& input) {
+  Result<FormulaPtr> r = ParseFormula(input);
+  EXPECT_TRUE(r.ok()) << input << ": " << r.status();
+  return *std::move(r);
+}
+
+Database BinaryDb() {
+  Database db(Alphabet::Binary());
+  EXPECT_TRUE(db.AddRelation("R", 1, {{"0"}, {"01"}}).ok());
+  return db;
+}
+
+TEST(ConcatEvalTest, BoundedSentence) {
+  Database db = BinaryDb();
+  ConcatEvaluator eval(&db);
+  // ∃x: x = '01'·'01' — needs bound >= 4 to find the witness.
+  FormulaPtr f = Q("exists x. concat('01', '01') = x");
+  Result<bool> low = eval.EvaluateSentenceBounded(f, 2);
+  ASSERT_TRUE(low.ok());
+  EXPECT_FALSE(*low);
+  Result<bool> high = eval.EvaluateSentenceBounded(f, 4);
+  ASSERT_TRUE(high.ok());
+  EXPECT_TRUE(*high);
+}
+
+TEST(ConcatEvalTest, FindWitnessBound) {
+  Database db = BinaryDb();
+  ConcatEvaluator eval(&db);
+  FormulaPtr f = Q("exists x. concat('01', '01') = x");
+  Result<std::optional<int>> bound = eval.FindWitnessBound(f, 6);
+  ASSERT_TRUE(bound.ok());
+  ASSERT_TRUE(bound->has_value());
+  EXPECT_EQ(**bound, 4);
+
+  // No witness ever (x = x·0 is unsatisfiable): search exhausts max_bound.
+  FormulaPtr g = Q("exists x. concat(x, '0') = x");
+  Result<std::optional<int>> none = eval.FindWitnessBound(g, 4);
+  ASSERT_TRUE(none.ok());
+  EXPECT_FALSE(none->has_value());
+}
+
+TEST(ConcatEvalTest, SquareQuery) {
+  Database db = BinaryDb();
+  ConcatEvaluator eval(&db);
+  FormulaPtr f = SquareOfRelationQuery("R");
+  // Squares of {0, 01}: {00, 0101}; components bounded by 4.
+  Result<Relation> out = eval.EvaluateBounded(f, 4);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->size(), 2u);
+  EXPECT_TRUE(out->Contains({"00"}));
+  EXPECT_TRUE(out->Contains({"0101"}));
+  // With a too-small bound the answer is silently truncated — the
+  // fundamental deficiency of bounded semantics (Proposition 1).
+  Result<Relation> truncated = eval.EvaluateBounded(f, 2);
+  ASSERT_TRUE(truncated.ok());
+  EXPECT_EQ(truncated->size(), 1u);
+}
+
+TEST(ConcatEvalTest, ExactEngineRefusesConcat) {
+  // The contrast that motivates the paper's program: concatenation breaks
+  // the automatic-structure pipeline.
+  Database db = BinaryDb();
+  AutomataEvaluator exact(&db);
+  Result<Relation> out = exact.Evaluate(SquareOfRelationQuery("R"));
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(ConcatEvalTest, BoundedUniversalIsNotCertification) {
+  Database db = BinaryDb();
+  ConcatEvaluator eval(&db);
+  // ∀x: |x| <= 3 — "true" at bound 3, false at bound 4: bounded universal
+  // answers depend on the bound, illustrating why they certify nothing.
+  FormulaPtr f = Q("forall x. leqlen(x, '111')");
+  Result<bool> low = eval.EvaluateSentenceBounded(f, 3);
+  ASSERT_TRUE(low.ok());
+  EXPECT_TRUE(*low);
+  Result<bool> high = eval.EvaluateSentenceBounded(f, 4);
+  ASSERT_TRUE(high.ok());
+  EXPECT_FALSE(*high);
+}
+
+}  // namespace
+}  // namespace strq
+
+namespace strq {
+namespace {
+
+TEST(ConcatEvalTest, CommutingStringsArePowers) {
+  // x·y = y·x with x,y non-empty and x ≠ y: the classical witnesses are
+  // powers of a common word, e.g. x = 0, y = 00. Bounded search finds them,
+  // demonstrating RC_concat's expressiveness beyond the tame calculi.
+  Database db(Alphabet::Binary());
+  ConcatEvaluator eval(&db);
+  Result<FormulaPtr> f = ParseFormula(
+      "exists x. exists y. concat(x, y) = concat(y, x) & !(x = y) & "
+      "!(x = '') & !(y = '')");
+  ASSERT_TRUE(f.ok());
+  Result<std::optional<int>> bound = eval.FindWitnessBound(*f, 4);
+  ASSERT_TRUE(bound.ok());
+  ASSERT_TRUE(bound->has_value());
+  EXPECT_EQ(**bound, 2);  // x = "0", y = "00"
+}
+
+TEST(ConcatEvalTest, BoundedAnswersGrowMonotonically) {
+  Database db(Alphabet::Binary());
+  ASSERT_TRUE(db.AddRelation("R", 1, {{"0"}, {"1"}}).ok());
+  ConcatEvaluator eval(&db);
+  FormulaPtr f = SquareOfRelationQuery("R");
+  size_t previous = 0;
+  for (int bound = 0; bound <= 3; ++bound) {
+    Result<Relation> out = eval.EvaluateBounded(f, bound);
+    ASSERT_TRUE(out.ok()) << bound;
+    EXPECT_GE(out->size(), previous) << bound;
+    previous = out->size();
+  }
+  EXPECT_EQ(previous, 2u);  // {00, 11}
+}
+
+}  // namespace
+}  // namespace strq

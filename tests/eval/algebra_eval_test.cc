@@ -1,0 +1,210 @@
+#include "eval/algebra_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "logic/parser.h"
+
+namespace strq {
+namespace {
+
+FormulaPtr Q(const std::string& input) {
+  Result<FormulaPtr> r = ParseFormula(input);
+  EXPECT_TRUE(r.ok()) << input << ": " << r.status();
+  return *std::move(r);
+}
+
+Database BinaryDb() {
+  Database db(Alphabet::Binary());
+  EXPECT_TRUE(db.AddRelation("R", 1, {{"0"}, {"01"}, {"110"}}).ok());
+  EXPECT_TRUE(db.AddRelation("S", 2, {{"0", "01"}, {"01", "0"}}).ok());
+  return db;
+}
+
+TEST(AlgebraEvalTest, ScanAndEpsilon) {
+  Database db = BinaryDb();
+  AlgebraEvaluator eval(&db);
+  Result<Relation> r = eval.Evaluate(RaScan("R"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 3u);
+  Result<Relation> eps = eval.Evaluate(RaEpsilon());
+  ASSERT_TRUE(eps.ok());
+  ASSERT_EQ(eps->size(), 1u);
+  EXPECT_EQ(eps->tuples()[0], (Tuple{""}));
+  EXPECT_FALSE(eval.Evaluate(RaScan("Nope")).ok());
+}
+
+TEST(AlgebraEvalTest, SelectWithInterpretedCondition) {
+  Database db = BinaryDb();
+  AlgebraEvaluator eval(&db);
+  // σ_{last[1](c0)}(R) = {"01"}.
+  Result<Relation> r =
+      eval.Evaluate(RaSelect(Q("last[1](c0)"), RaScan("R")));
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ(r->tuples()[0], (Tuple{"01"}));
+}
+
+TEST(AlgebraEvalTest, SelectConditionMayQuantifyOverSigmaStar) {
+  Database db = BinaryDb();
+  AlgebraEvaluator eval(&db);
+  // σ with a natural quantifier in the condition: strings with a strict
+  // extension in 1* ... every string 1^k only. c0 ∈ 1*: via ∃y (c0 ≼ y ∧ y
+  // ∈ 1*) — true iff c0 ∈ 1*.
+  Result<Relation> r = eval.Evaluate(
+      RaSelect(Q("exists y. c0 <= y & member(y, '1*')"), RaScan("R")));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->size(), 0u);  // none of 0, 01, 110 is all-1s
+}
+
+TEST(AlgebraEvalTest, SelectRejectsDatabaseConditions) {
+  Database db = BinaryDb();
+  AlgebraEvaluator eval(&db);
+  EXPECT_FALSE(eval.Evaluate(RaSelect(Q("R(c0)"), RaScan("R"))).ok());
+  EXPECT_FALSE(eval.Evaluate(RaSelect(Q("adom(c0)"), RaScan("R"))).ok());
+}
+
+TEST(AlgebraEvalTest, SelectRejectsBadColumnVars) {
+  Database db = BinaryDb();
+  AlgebraEvaluator eval(&db);
+  EXPECT_FALSE(eval.Evaluate(RaSelect(Q("last[1](x)"), RaScan("R"))).ok());
+  EXPECT_FALSE(eval.Evaluate(RaSelect(Q("last[1](c5)"), RaScan("R"))).ok());
+}
+
+TEST(AlgebraEvalTest, ProjectReorderDuplicate) {
+  Database db = BinaryDb();
+  AlgebraEvaluator eval(&db);
+  Result<Relation> r = eval.Evaluate(RaProject({1, 0, 1}, RaScan("S")));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->arity(), 3);
+  EXPECT_TRUE(r->Contains({"01", "0", "01"}));
+  EXPECT_TRUE(r->Contains({"0", "01", "0"}));
+}
+
+TEST(AlgebraEvalTest, ProductUnionDifference) {
+  Database db = BinaryDb();
+  AlgebraEvaluator eval(&db);
+  Result<Relation> prod = eval.Evaluate(RaProduct(RaScan("R"), RaScan("R")));
+  ASSERT_TRUE(prod.ok());
+  EXPECT_EQ(prod->size(), 9u);
+  Result<Relation> uni = eval.Evaluate(
+      RaUnion(RaScan("R"), RaProject({0}, RaScan("S"))));
+  ASSERT_TRUE(uni.ok());
+  EXPECT_EQ(uni->size(), 3u);  // {0,01,110} ∪ {0,01}
+  Result<Relation> diff = eval.Evaluate(
+      RaDifference(RaScan("R"), RaProject({0}, RaScan("S"))));
+  ASSERT_TRUE(diff.ok());
+  ASSERT_EQ(diff->size(), 1u);
+  EXPECT_EQ(diff->tuples()[0], (Tuple{"110"}));
+}
+
+TEST(AlgebraEvalTest, ArityMismatchRejected) {
+  Database db = BinaryDb();
+  AlgebraEvaluator eval(&db);
+  EXPECT_FALSE(eval.Evaluate(RaUnion(RaScan("R"), RaScan("S"))).ok());
+  EXPECT_FALSE(eval.Evaluate(RaDifference(RaScan("S"), RaScan("R"))).ok());
+}
+
+TEST(AlgebraEvalTest, PrefixOperator) {
+  Database db = BinaryDb();
+  AlgebraEvaluator eval(&db);
+  // prefix_0(R): pairs (s, p) with p ≼ s.
+  Result<Relation> r = eval.Evaluate(RaPrefix(0, RaScan("R")));
+  ASSERT_TRUE(r.ok());
+  // |prefixes|: "0"->2, "01"->3, "110"->4 = 9 pairs.
+  EXPECT_EQ(r->size(), 9u);
+  EXPECT_TRUE(r->Contains({"110", "11"}));
+  EXPECT_TRUE(r->Contains({"0", ""}));
+  EXPECT_FALSE(r->Contains({"0", "1"}));
+}
+
+TEST(AlgebraEvalTest, AddAndTrimOperators) {
+  Database db = BinaryDb();
+  AlgebraEvaluator eval(&db);
+  Result<Relation> add = eval.Evaluate(RaAddRight(0, '1', RaScan("R")));
+  ASSERT_TRUE(add.ok());
+  EXPECT_TRUE(add->Contains({"0", "01"}));
+  EXPECT_TRUE(add->Contains({"110", "1101"}));
+
+  Result<Relation> addl = eval.Evaluate(RaAddLeft(0, '1', RaScan("R")));
+  ASSERT_TRUE(addl.ok());
+  EXPECT_TRUE(addl->Contains({"0", "10"}));
+  EXPECT_TRUE(addl->Contains({"110", "1110"}));
+
+  Result<Relation> trim = eval.Evaluate(RaTrimLeft(0, '1', RaScan("R")));
+  ASSERT_TRUE(trim.ok());
+  EXPECT_TRUE(trim->Contains({"110", "10"}));
+  EXPECT_TRUE(trim->Contains({"0", ""}));  // head is not '1' -> ε
+}
+
+TEST(AlgebraEvalTest, DownOperator) {
+  Database db = BinaryDb();
+  AlgebraEvaluator eval(&db);
+  Result<Relation> down = eval.Evaluate(RaDown(0, RaScan("R")));
+  ASSERT_TRUE(down.ok());
+  // For "0": 3 strings of length <=1; "01": 7; "110": 15 -> 25 tuples.
+  EXPECT_EQ(down->size(), 25u);
+  EXPECT_TRUE(down->Contains({"110", "111"}));
+}
+
+TEST(AlgebraEvalTest, DownBudgetEnforced) {
+  Database db(Alphabet::Binary());
+  ASSERT_TRUE(db.AddRelation("Long", 1, {{"010101010101010101010101"}}).ok());
+  AlgebraEvaluator::Options options;
+  options.max_tuples = 1000;
+  AlgebraEvaluator eval(&db, options);
+  Result<Relation> down = eval.Evaluate(RaDown(0, RaScan("Long")));
+  ASSERT_FALSE(down.ok());
+  EXPECT_EQ(down.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(AlgebraEvalTest, ValidatorStructureGates) {
+  Database db = BinaryDb();
+  std::map<std::string, int> schema = {{"R", 1}, {"S", 2}};
+  const Alphabet& alphabet = db.alphabet();
+  // ↓ only in RA(S_len).
+  RaPtr down = RaDown(0, RaScan("R"));
+  EXPECT_FALSE(ValidateAlgebra(down, StructureId::kS, schema, alphabet).ok());
+  EXPECT_FALSE(
+      ValidateAlgebra(down, StructureId::kSReg, schema, alphabet).ok());
+  EXPECT_TRUE(
+      ValidateAlgebra(down, StructureId::kSLen, schema, alphabet).ok());
+  // add-left only in RA(S_left) and above.
+  RaPtr addl = RaAddLeft(0, '1', RaScan("R"));
+  EXPECT_FALSE(ValidateAlgebra(addl, StructureId::kS, schema, alphabet).ok());
+  EXPECT_TRUE(
+      ValidateAlgebra(addl, StructureId::kSLeft, schema, alphabet).ok());
+  // σ condition language is gated per structure.
+  RaPtr sel = RaSelect(Q("eqlen(c0, c0)"), RaScan("R"));
+  EXPECT_FALSE(ValidateAlgebra(sel, StructureId::kS, schema, alphabet).ok());
+  EXPECT_TRUE(
+      ValidateAlgebra(sel, StructureId::kSLen, schema, alphabet).ok());
+}
+
+TEST(AlgebraEvalTest, ComposedPlan) {
+  Database db = BinaryDb();
+  AlgebraEvaluator eval(&db);
+  // All prefixes of R-strings that end in 1:
+  // π_1(σ_{last[1](c1)}(prefix_0(R))).
+  RaPtr plan = RaProject(
+      {1}, RaSelect(Q("last[1](c1)"), RaPrefix(0, RaScan("R"))));
+  Result<Relation> out = eval.Evaluate(plan);
+  ASSERT_TRUE(out.ok()) << out.status();
+  // Prefixes ending in 1: "01", "1", "11".
+  EXPECT_EQ(out->size(), 3u);
+  EXPECT_TRUE(out->Contains({"1"}));
+  EXPECT_TRUE(out->Contains({"11"}));
+  EXPECT_TRUE(out->Contains({"01"}));
+}
+
+TEST(AlgebraEvalTest, RaToStringSmoke) {
+  RaPtr plan = RaProject(
+      {1}, RaSelect(Q("last[1](c1)"), RaPrefix(0, RaScan("R"))));
+  std::string s = RaToString(plan);
+  EXPECT_NE(s.find("project"), std::string::npos);
+  EXPECT_NE(s.find("select"), std::string::npos);
+  EXPECT_NE(s.find("prefix"), std::string::npos);
+  EXPECT_NE(s.find("R"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace strq

@@ -1,0 +1,166 @@
+// Theory-level laws of the string structures, decided over the FULL
+// infinite domain Σ* by the automata engine — no database, no bounds. Each
+// test is a small theorem of Th(S_len) (or a reduct) that the engine proves
+// or refutes exactly; several correspond to facts the paper uses silently
+// (≼ is a partial order with ∩ as meet, ≤_lex is a total order compatible
+// with ≼, the string functions interact as stated in Section 2).
+
+#include <gtest/gtest.h>
+
+#include "automata/ops.h"
+#include "eval/automata_eval.h"
+#include "logic/parser.h"
+
+namespace strq {
+namespace {
+
+Database EmptyDb() { return Database(Alphabet::Binary()); }
+
+// Decides a sentence over ⟨Σ*⟩ with the exact engine.
+bool Theorem(const std::string& sentence) {
+  Database db = EmptyDb();
+  AutomataEvaluator engine(&db);
+  Result<FormulaPtr> f = ParseFormula(sentence);
+  EXPECT_TRUE(f.ok()) << sentence << ": " << f.status();
+  if (!f.ok()) return false;
+  Result<bool> v = engine.EvaluateSentence(*f);
+  EXPECT_TRUE(v.ok()) << sentence << ": " << v.status();
+  return v.ok() && *v;
+}
+
+TEST(LawsTest, PrefixIsAPartialOrder) {
+  EXPECT_TRUE(Theorem("forall x. x <= x"));
+  EXPECT_TRUE(Theorem("forall x. forall y. x <= y & y <= x -> x = y"));
+  EXPECT_TRUE(
+      Theorem("forall x. forall y. forall z. x <= y & y <= z -> x <= z"));
+  // ... and not total.
+  EXPECT_FALSE(Theorem("forall x. forall y. x <= y | y <= x"));
+  // ε is the least element.
+  EXPECT_TRUE(Theorem("forall x. '' <= x"));
+}
+
+TEST(LawsTest, LcpIsTheMeet) {
+  // z ≼ x ∧ z ≼ y ⟺ z ≼ x∩y: the longest common prefix is the greatest
+  // lower bound in the prefix order.
+  EXPECT_TRUE(Theorem(
+      "forall x. forall y. forall z. "
+      "(z <= x & z <= y) <-> z <= lcp(x, y)"));
+  EXPECT_TRUE(Theorem("forall x. forall y. lcp(x, y) = lcp(y, x)"));
+  EXPECT_TRUE(Theorem("forall x. lcp(x, x) = x"));
+  EXPECT_TRUE(Theorem(
+      "forall x. forall y. forall z. lcp(lcp(x, y), z) = lcp(x, lcp(y, z))"));
+}
+
+TEST(LawsTest, LexLeqIsATotalOrderExtendingPrefix) {
+  EXPECT_TRUE(Theorem("forall x. lexleq(x, x)"));
+  EXPECT_TRUE(Theorem(
+      "forall x. forall y. lexleq(x, y) & lexleq(y, x) -> x = y"));
+  EXPECT_TRUE(Theorem(
+      "forall x. forall y. forall z. "
+      "lexleq(x, y) & lexleq(y, z) -> lexleq(x, z)"));
+  EXPECT_TRUE(Theorem("forall x. forall y. lexleq(x, y) | lexleq(y, x)"));
+  // Compatible with the prefix order (Section 4's definition).
+  EXPECT_TRUE(Theorem("forall x. forall y. x <= y -> lexleq(x, y)"));
+}
+
+TEST(LawsTest, Section2FunctionIdentities) {
+  // trim_a(f_a(x)) = x and f_a never produces ε.
+  EXPECT_TRUE(Theorem("forall x. trim[1](prepend[1](x)) = x"));
+  EXPECT_TRUE(Theorem("forall x. !(prepend[0](x) = '')"));
+  // step relates x to l_a(x).
+  EXPECT_TRUE(Theorem("forall x. step(x, append[0](x))"));
+  EXPECT_TRUE(Theorem("forall x. last[0](append[0](x))"));
+  // l_a and f_a commute (both sides are a·x·b for a ≠ positions).
+  EXPECT_TRUE(Theorem(
+      "forall x. append[1](prepend[0](x)) = prepend[0](append[1](x))"));
+  // trim on a non-matching head yields ε.
+  EXPECT_TRUE(Theorem("forall x. trim[0](prepend[1](x)) = ''"));
+}
+
+TEST(LawsTest, EqualLengthLaws) {
+  EXPECT_TRUE(Theorem("forall x. eqlen(x, x)"));
+  EXPECT_TRUE(Theorem(
+      "forall x. forall y. eqlen(x, y) -> eqlen(append[0](x), append[1](y))"));
+  EXPECT_TRUE(Theorem(
+      "forall x. forall y. eqlen(x, y) & x <= y -> x = y"));
+  EXPECT_TRUE(Theorem("forall x. forall y. leqlen(lcp(x, y), x)"));
+  // Strings of equal length are prefix-comparable only when equal —
+  // the width-1 trick behind Proposition 5's encoding.
+  EXPECT_TRUE(Theorem(
+      "forall x. forall y. eqlen(x, y) -> (x <= y <-> x = y)"));
+}
+
+TEST(LawsTest, InsertLaws) {
+  // The extension operation's defining identities.
+  EXPECT_TRUE(Theorem("forall x. insert[1]('', x) = prepend[1](x)"));
+  EXPECT_TRUE(Theorem("forall x. insert[1](x, x) = append[1](x)"));
+  EXPECT_TRUE(Theorem(
+      "forall p. forall x. p <= x -> p <= insert[0](p, x)"));
+  EXPECT_TRUE(Theorem(
+      "forall p. forall x. p <= x -> !(insert[0](p, x) = x)"));
+  // Inserting never shrinks: |insert| = |x|+1 when applicable.
+  EXPECT_TRUE(Theorem(
+      "forall p. forall x. p <= x -> "
+      "eqlen(insert[1](p, x), append[1](x))"));
+}
+
+TEST(LawsTest, SuffixInLaws) {
+  // P_L chains: P_{1*}(x, y) ∧ P_{1*}(y, z) → P_{1*}(x, z) (1* is closed
+  // under concatenation).
+  EXPECT_TRUE(Theorem(
+      "forall x. forall y. forall z. "
+      "suffixin(x, y, '1*') & suffixin(y, z, '1*') -> suffixin(x, z, '1*')"));
+  // P_{Σ*}(x, y) is exactly x ≼ y.
+  EXPECT_TRUE(Theorem(
+      "forall x. forall y. suffixin(x, y, '(0|1)*') <-> x <= y"));
+  // Membership via P_L(ε, x) — the paper's reduction.
+  EXPECT_TRUE(Theorem(
+      "forall x. suffixin('', x, '0*1') <-> member(x, '0*1')"));
+}
+
+TEST(LawsTest, ClassicalEquivalences) {
+  Database db = EmptyDb();
+  AutomataEvaluator engine(&db);
+  // Pairs of open formulas that must compile to the same answer language.
+  const std::vector<std::pair<std::string, std::string>> pairs = {
+      {"!(x <= y | last[1](x))", "!(x <= y) & !last[1](x)"},   // De Morgan
+      {"forall z. z <= x -> z <= y", "x <= y"},                // ≼ via lower sets
+      {"exists z. step(x, z) & z <= y", "x < y"},              // one-step vs strict...
+      {"x < y", "x <= y & !(x = y)"},
+      {"lexleq(x, y) & lexleq(y, x)", "x = y"},
+  };
+  for (const auto& [lhs, rhs] : pairs) {
+    Result<FormulaPtr> f = ParseFormula(lhs);
+    Result<FormulaPtr> g = ParseFormula(rhs);
+    ASSERT_TRUE(f.ok() && g.ok()) << lhs << " / " << rhs;
+    Result<TrackAutomaton> a = engine.Compile(*f);
+    Result<TrackAutomaton> b = engine.Compile(*g);
+    ASSERT_TRUE(a.ok()) << lhs << ": " << a.status();
+    ASSERT_TRUE(b.ok()) << rhs << ": " << b.status();
+    ASSERT_EQ(a->vars(), b->vars()) << lhs << " / " << rhs;
+    Result<bool> eq = Equivalent(a->dfa(), b->dfa());
+    ASSERT_TRUE(eq.ok());
+    EXPECT_TRUE(*eq) << lhs << "  ≢  " << rhs;
+  }
+}
+
+TEST(LawsTest, QuantifierLaws) {
+  EXPECT_TRUE(Theorem(
+      "(forall x. last[1](append[1](x))) <-> !(exists x. "
+      "!last[1](append[1](x)))"));
+  // Quantifier swap on a symmetric matrix.
+  EXPECT_TRUE(Theorem(
+      "(exists x. exists y. eqlen(x, y) & !(x = y)) <-> "
+      "(exists y. exists x. eqlen(x, y) & !(x = y))"));
+}
+
+TEST(LawsTest, NonTheoremsAreRefuted) {
+  EXPECT_FALSE(Theorem("forall x. last[1](x)"));
+  EXPECT_FALSE(Theorem("forall x. forall y. lcp(x, y) = x"));
+  EXPECT_FALSE(Theorem("forall x. trim[1](x) = x"));
+  EXPECT_FALSE(Theorem("forall p. forall x. p <= insert[0](p, x)"));
+  EXPECT_FALSE(Theorem("exists x. x < x"));
+}
+
+}  // namespace
+}  // namespace strq

@@ -1,0 +1,151 @@
+// The capability that distinguishes engine A from every enumeration-based
+// evaluator: TRUE natural semantics — quantifiers range over all of Σ*, and
+// answers may lie arbitrarily far from the active domain. These tests pin
+// down behaviours no collapse-based engine can check directly.
+
+#include <gtest/gtest.h>
+
+#include "automata/ops.h"
+#include "automata/regex_from_dfa.h"
+#include "eval/automata_eval.h"
+#include "logic/parser.h"
+
+namespace strq {
+namespace {
+
+FormulaPtr Q(const std::string& input) {
+  Result<FormulaPtr> r = ParseFormula(input);
+  EXPECT_TRUE(r.ok()) << input << ": " << r.status();
+  return *std::move(r);
+}
+
+Database SmallDb() {
+  Database db(Alphabet::Binary());
+  EXPECT_TRUE(db.AddRelation("R", 1, {{"0"}, {"01"}}).ok());
+  return db;
+}
+
+TEST(NaturalSemanticsTest, WitnessesFarOutsideAdom) {
+  Database db = SmallDb();
+  AutomataEvaluator engine(&db);
+  // ∃x: x extends '01' by at least 5 symbols and ends in 1 — the witness is
+  // far outside the active domain (max adom length 2).
+  Result<bool> v = engine.EvaluateSentence(Q(
+      "exists a. exists b. exists c. exists d. exists e. exists x. "
+      "'01' < a & a < b & b < c & c < d & d < e & e < x & last[1](x)"));
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_TRUE(*v);
+}
+
+TEST(NaturalSemanticsTest, UniversalOverAllStrings) {
+  Database db = SmallDb();
+  AutomataEvaluator engine(&db);
+  // Every string is lexicographically between ε and its own 1-extension —
+  // a ∀ over Σ* no finite enumeration can verify.
+  Result<bool> v = engine.EvaluateSentence(
+      Q("forall x. lexleq('', x) & lexleq(x, append[1](x))"));
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(*v);
+  // ... and a near-miss is refuted (x ≤lex 0·x fails for x starting with 1).
+  Result<bool> w = engine.EvaluateSentence(
+      Q("forall x. lexleq(x, prepend[0](x))"));
+  ASSERT_TRUE(w.ok());
+  EXPECT_FALSE(*w);
+}
+
+TEST(NaturalSemanticsTest, AnswerSetsBeyondAnyBound) {
+  Database db = SmallDb();
+  AutomataEvaluator engine(&db);
+  // Strings whose every prefix ending in 1 is immediately followed by 0 —
+  // an infinite, adom-independent answer set. Engine A compiles it exactly.
+  Result<TrackAutomaton> rel = engine.Compile(Q(
+      "forall p. forall q. (p <= x & step(p, q) & q <= x & last[1](p)) -> "
+      "last[0](q)"));
+  ASSERT_TRUE(rel.ok()) << rel.status();
+  EXPECT_FALSE(rel->IsFinite());
+  // Spot-check deep members/non-members.
+  Result<bool> in = rel->Contains({"0101010101010101"});
+  Result<bool> out = rel->Contains({"0110"});
+  ASSERT_TRUE(in.ok());
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(*in);
+  EXPECT_FALSE(*out);
+  // The language is "no 11 factor": verify against the classic automaton.
+  Result<Dfa> lang = rel->UnaryLanguage();
+  ASSERT_TRUE(lang.ok());
+  Result<Dfa> no11 = CompileRegex("(0|10)*1?", Alphabet::Binary());
+  ASSERT_TRUE(no11.ok());
+  Result<bool> eq = Equivalent(*lang, *no11);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(*eq);
+}
+
+TEST(NaturalSemanticsTest, MixedAdomAndNaturalQuantifiers) {
+  Database db = SmallDb();
+  AutomataEvaluator engine(&db);
+  // For every stored string there exist infinitely many equal-length-plus-k
+  // extensions; check one mixed-mode sentence with witnesses outside adom.
+  Result<bool> v = engine.EvaluateSentence(Q(
+      "forall r in adom. exists x. r < x & !adom(x) & last[1](x) & "
+      "exists y. x < y & !adom(y) & last[0](y)"));
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(*v);
+}
+
+TEST(NaturalSemanticsTest, EmptyDatabaseStillDecides) {
+  // Pure Th(S_len) decisions with no data at all.
+  Database db(Alphabet::Binary());
+  AutomataEvaluator engine(&db);
+  Result<bool> v = engine.EvaluateSentence(Q(
+      "forall x. exists y. eqlen(x, y) & member(y, '0*')"));
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(*v);
+  Result<bool> w = engine.EvaluateSentence(Q(
+      "exists x. forall y. leqlen(y, x)"));
+  ASSERT_TRUE(w.ok());
+  EXPECT_FALSE(*w);  // no longest string
+  // On the empty database, adom-restricted claims are vacuous/false.
+  Result<bool> adom_empty =
+      engine.EvaluateSentence(Q("exists x in adom. x = x"));
+  ASSERT_TRUE(adom_empty.ok());
+  EXPECT_FALSE(*adom_empty);
+  Result<bool> vacuous =
+      engine.EvaluateSentence(Q("forall x in adom. false"));
+  ASSERT_TRUE(vacuous.ok());
+  EXPECT_TRUE(*vacuous);
+}
+
+TEST(NaturalSemanticsTest, SafetyBoundaryIsExact) {
+  Database db = SmallDb();
+  AutomataEvaluator engine(&db);
+  // Finite: equal length to adom strings plus one.
+  Result<bool> fin = engine.IsSafeOnDatabase(
+      Q("exists r. R(r) & eqlen(x, append[0](r))"));
+  ASSERT_TRUE(fin.ok());
+  EXPECT_TRUE(*fin);
+  // Infinite: at least the length.
+  Result<bool> inf = engine.IsSafeOnDatabase(
+      Q("exists r. R(r) & leqlen(append[0](r), x)"));
+  ASSERT_TRUE(inf.ok());
+  EXPECT_FALSE(*inf);
+}
+
+TEST(NaturalSemanticsTest, DeepCompositionOfFunctionTerms) {
+  Database db = SmallDb();
+  AutomataEvaluator engine(&db);
+  // A 5-deep term pipeline: trim(prepend(insert(append(x)))) chains.
+  Result<Relation> out = engine.Evaluate(Q(
+      "R(x) & trim[1](prepend[1](insert[0](x, append[1](x)))) = y"));
+  ASSERT_TRUE(out.ok()) << out.status();
+  // For x = "0":  append -> "01"; insert_0 at p="0" -> "001";
+  // prepend[1] -> "1001"; trim[1] -> "001".
+  // For x = "01": append -> "011"; insert_0 at p="01" -> "0101"? No:
+  // insert_0("01", "011") = "01" + 0 + "1" = "0101"; prepend -> "10101";
+  // trim[1] -> "0101".
+  EXPECT_TRUE(out->Contains({"0", "001"}));
+  EXPECT_TRUE(out->Contains({"01", "0101"}));
+  EXPECT_EQ(out->size(), 2u);
+}
+
+}  // namespace
+}  // namespace strq

@@ -1,0 +1,206 @@
+// Tests for the Conclusion's proposed extension: insert_a(p, x) — insertion
+// at the position named by a prefix — wired through the whole stack (atom,
+// parser, signature, both engines, safety machinery, algebra operator).
+
+#include <gtest/gtest.h>
+
+#include "base/string_ops.h"
+#include "eval/algebra_eval.h"
+#include "eval/automata_eval.h"
+#include "eval/restricted_eval.h"
+#include "logic/parser.h"
+#include "logic/signature.h"
+#include "mta/atoms.h"
+#include "safety/range_restriction.h"
+#include "safety/safe_translation.h"
+
+namespace strq {
+namespace {
+
+const Alphabet kBin = Alphabet::Binary();
+
+FormulaPtr Q(const std::string& input) {
+  Result<FormulaPtr> r = ParseFormula(input);
+  EXPECT_TRUE(r.ok()) << input << ": " << r.status();
+  return *std::move(r);
+}
+
+Database BinaryDb() {
+  Database db(Alphabet::Binary());
+  EXPECT_TRUE(db.AddRelation("R", 1, {{"0"}, {"01"}, {"110"}}).ok());
+  return db;
+}
+
+TEST(InsertTest, ReferenceSemantics) {
+  EXPECT_EQ(InsertAfterPrefix("0", "01", '1'), "011");
+  EXPECT_EQ(InsertAfterPrefix("", "01", '1'), "101");   // = f_1
+  EXPECT_EQ(InsertAfterPrefix("01", "01", '1'), "011"); // = l_1
+  EXPECT_EQ(InsertAfterPrefix("", "", '0'), "0");
+  EXPECT_EQ(InsertAfterPrefix("1", "01", '0'), "");     // p not a prefix
+  EXPECT_EQ(InsertAfterPrefix("010", "01", '0'), "");   // p longer than x
+}
+
+// Exhaustive atom property check: the InsertGraphAtom relation agrees with
+// the reference on every (p, x, y) triple up to length 3.
+TEST(InsertTest, AtomMatchesReferenceExhaustively) {
+  for (char a : {'0', '1'}) {
+    Result<TrackAutomaton> atom = InsertGraphAtom(kBin, a, 0, 1, 2);
+    ASSERT_TRUE(atom.ok()) << atom.status();
+    std::vector<std::string> strings = AllStringsUpToLength("01", 3);
+    for (const std::string& p : strings) {
+      for (const std::string& x : strings) {
+        for (const std::string& y : strings) {
+          Result<bool> in = atom->Contains({p, x, y});
+          ASSERT_TRUE(in.ok());
+          EXPECT_EQ(*in, y == InsertAfterPrefix(p, x, a))
+              << "insert_" << a << "(" << p << ", " << x << ") vs " << y;
+        }
+      }
+    }
+  }
+}
+
+TEST(InsertTest, ParserRoundTrip) {
+  FormulaPtr f = Q("insert[1](p, x) = y");
+  EXPECT_EQ(f->args[0]->kind, TermKind::kInsert);
+  EXPECT_EQ(f->args[0]->letter, '1');
+  std::string printed = ToString(f);
+  FormulaPtr g = Q(printed);
+  EXPECT_EQ(printed, ToString(g));
+  EXPECT_FALSE(ParseFormula("insert[1](x) = y").ok());  // needs two args
+}
+
+TEST(InsertTest, SignatureGating) {
+  FormulaPtr f = Q("insert[1](p, x) = y");
+  EXPECT_EQ(CheckInLanguage(f, StructureId::kS, kBin).code(),
+            StatusCode::kNotInLanguage);
+  EXPECT_EQ(CheckInLanguage(f, StructureId::kSLeft, kBin).code(),
+            StatusCode::kNotInLanguage);
+  EXPECT_EQ(CheckInLanguage(f, StructureId::kSReg, kBin).code(),
+            StatusCode::kNotInLanguage);
+  EXPECT_TRUE(CheckInLanguage(f, StructureId::kSInsert, kBin).ok());
+  EXPECT_TRUE(CheckInLanguage(f, StructureId::kConcat, kBin).ok());
+  EXPECT_EQ(*MinimalStructure(f, kBin), StructureId::kSInsert);
+  // S_ins extends S_left: prepend/trim stay available.
+  EXPECT_TRUE(CheckInLanguage(Q("prepend[1](x) = y"), StructureId::kSInsert,
+                              kBin)
+                  .ok());
+  // But not el.
+  EXPECT_EQ(CheckInLanguage(Q("eqlen(x, y)"), StructureId::kSInsert, kBin)
+                .code(),
+            StatusCode::kNotInLanguage);
+}
+
+TEST(InsertTest, FaIsInsertAtEpsilon) {
+  // ∀x: insert_a(ε, x) = f_a(x) — the reason S_left ⊆ S_ins.
+  Database db = BinaryDb();
+  AutomataEvaluator engine(&db);
+  Result<bool> v = engine.EvaluateSentence(
+      Q("forall x. insert[1]('', x) = prepend[1](x)"));
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_TRUE(*v);
+}
+
+TEST(InsertTest, LaIsInsertAtSelf) {
+  // ∀x: insert_a(x, x) = l_a(x) = x·a.
+  Database db = BinaryDb();
+  AutomataEvaluator engine(&db);
+  Result<bool> v = engine.EvaluateSentence(
+      Q("forall x. insert[0](x, x) = append[0](x)"));
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_TRUE(*v);
+}
+
+TEST(InsertTest, EnginesAgree) {
+  Database db = BinaryDb();
+  AutomataEvaluator engine_a(&db);
+  RestrictedEvaluator engine_b(&db);
+  for (const char* q : {
+           "exists x in adom. exists p pre adom. p <= x & "
+           "insert[1](p, x) = prepend[1](x)",
+           "forall x in adom. exists p pre adom. !(insert[0](p, x) = '')",
+           "exists x in adom. insert[1]('', x) = '1110'",
+       }) {
+    Result<bool> a = engine_a.EvaluateSentence(Q(q));
+    Result<bool> b = engine_b.EvaluateSentence(Q(q));
+    ASSERT_TRUE(a.ok()) << q << ": " << a.status();
+    ASSERT_TRUE(b.ok()) << q << ": " << b.status();
+    EXPECT_EQ(*a, *b) << q;
+  }
+}
+
+TEST(InsertTest, QueryEvaluation) {
+  // All single-insertions of '1' into stored strings.
+  Database db = BinaryDb();
+  AutomataEvaluator engine(&db);
+  Result<Relation> out = engine.Evaluate(
+      Q("exists x. exists p. R(x) & p <= x & insert[1](p, x) = y"));
+  ASSERT_TRUE(out.ok()) << out.status();
+  // "0" -> {10, 01}; "01" -> {101, 011, 011} = {101, 011};
+  // "110" -> {1110, 1110, 1110, 1101} = {1110, 1101}. Union size 6.
+  EXPECT_EQ(out->size(), 6u);
+  EXPECT_TRUE(out->Contains({"10"}));
+  EXPECT_TRUE(out->Contains({"1101"}));
+}
+
+TEST(InsertTest, StateSafetyStillDecidable) {
+  // The extension keeps the automatic-structure pipeline intact.
+  Database db = BinaryDb();
+  AutomataEvaluator engine(&db);
+  Result<bool> safe = engine.IsSafeOnDatabase(
+      Q("exists x. exists p. R(x) & p <= x & insert[1](p, x) = y"));
+  ASSERT_TRUE(safe.ok());
+  EXPECT_TRUE(*safe);
+  Result<bool> unsafe = engine.IsSafeOnDatabase(
+      Q("exists x. R(x) & insert[1](y, y) = x | x <= insert[0](y, y)"));
+  ASSERT_TRUE(unsafe.ok());
+  // x ≼ insert_0(y,y) = y·0... holds for cofinitely many y? For each y it
+  // holds when x ≼ y0 — y ranges over Σ*, so infinitely many y qualify.
+  EXPECT_FALSE(*unsafe);
+}
+
+TEST(InsertTest, RangeRestrictionCoincides) {
+  Database db = BinaryDb();
+  FormulaPtr f = Q("exists x. R(x) & insert[1]('', x) = y");
+  Result<RangeRestrictionCheck> check = CheckRangeRestriction(
+      f, StructureId::kSInsert, db, /*k=*/3);
+  ASSERT_TRUE(check.ok()) << check.status();
+  EXPECT_TRUE(check->phi_safe_on_db);
+  EXPECT_TRUE(check->coincides);
+}
+
+TEST(InsertTest, AlgebraOperatorAndTranslation) {
+  Database db = BinaryDb();
+  std::map<std::string, int> schema = {{"R", 1}};
+  // Direct operator: insert '1' after prefix (column 1) of subject (col 0).
+  AlgebraEvaluator eval(&db);
+  Result<Relation> out =
+      eval.Evaluate(RaInsert(1, 0, '1', RaPrefix(0, RaScan("R"))));
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_TRUE(out->Contains({"01", "0", "011"}));
+  // Operator is gated to RA(S_ins).
+  RaPtr plan = RaInsert(1, 0, '1', RaPrefix(0, RaScan("R")));
+  EXPECT_FALSE(
+      ValidateAlgebra(plan, StructureId::kSLeft, schema, db.alphabet()).ok());
+  EXPECT_TRUE(
+      ValidateAlgebra(plan, StructureId::kSInsert, schema, db.alphabet())
+          .ok());
+
+  // Full Theorem-4-style round trip in RA(S_ins).
+  FormulaPtr f = Q("exists x. R(x) & insert[1]('', x) = y");
+  AutomataEvaluator engine(&db);
+  Result<Relation> exact = engine.Evaluate(f);
+  ASSERT_TRUE(exact.ok());
+  Result<RaPtr> translated = TranslateToAlgebra(f, StructureId::kSInsert,
+                                                schema, db.alphabet(), 2);
+  ASSERT_TRUE(translated.ok()) << translated.status();
+  AlgebraEvaluator::Options options;
+  options.max_tuples = 30000000;
+  AlgebraEvaluator algebra(&db, options);
+  Result<Relation> via_plan = algebra.Evaluate(*translated);
+  ASSERT_TRUE(via_plan.ok()) << via_plan.status();
+  EXPECT_TRUE(*via_plan == *exact);
+}
+
+}  // namespace
+}  // namespace strq

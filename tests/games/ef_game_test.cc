@@ -1,0 +1,160 @@
+#include "games/ef_game.h"
+
+#include <gtest/gtest.h>
+
+namespace strq {
+namespace {
+
+TEST(EfGameTest, IdenticalStructuresDuplicatorWins) {
+  FiniteStructure a = FiniteStructure::LinearOrder(4);
+  for (int k = 0; k <= 3; ++k) {
+    Result<bool> w = DuplicatorWins(a, a, k);
+    ASSERT_TRUE(w.ok());
+    EXPECT_TRUE(*w) << k;
+  }
+}
+
+TEST(EfGameTest, SignatureMismatchRejected) {
+  FiniteStructure a = FiniteStructure::LinearOrder(2);
+  FiniteStructure b(2);
+  EXPECT_FALSE(DuplicatorWins(a, b, 1).ok());
+}
+
+TEST(EfGameTest, SmallOrdersDistinguishable) {
+  // Orders of size 2 and 3 differ at quantifier rank 2 ("there is an
+  // element strictly between two others" needs 3 points... size: rank-2
+  // distinguishes |A|=2 from |A|=3 via "there are 3 distinct elements"?
+  // That needs rank 3; but with < the middle element is rank-2: ∃x∃y x<y ∧
+  // ∃z (x<z<y)... rank 3. Empirically: rank at which they split.
+  FiniteStructure two = FiniteStructure::LinearOrder(2);
+  FiniteStructure three = FiniteStructure::LinearOrder(3);
+  Result<bool> r1 = DuplicatorWins(two, three, 1);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(*r1);  // rank 1 cannot count to 3
+  Result<bool> r2 = DuplicatorWins(two, three, 2);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(*r2);  // rank 2 separates: ∃x∃y (x<y ∧ ∃-free mid check)
+}
+
+TEST(EfGameTest, ClassicLinearOrderThreshold) {
+  // The classical EF fact: duplicator wins the k-round game on linear
+  // orders of sizes m, n whenever m, n >= 2^k - 1. For k = 2: sizes >= 3.
+  FiniteStructure three = FiniteStructure::LinearOrder(3);
+  FiniteStructure four = FiniteStructure::LinearOrder(4);
+  Result<bool> w = DuplicatorWins(three, four, 2);
+  ASSERT_TRUE(w.ok());
+  EXPECT_TRUE(*w);
+  // But rank 3 separates 3 from 4.
+  Result<bool> l = DuplicatorWins(three, four, 3);
+  ASSERT_TRUE(l.ok());
+  EXPECT_FALSE(*l);
+  // k = 3: sizes >= 7 indistinguishable.
+  FiniteStructure seven = FiniteStructure::LinearOrder(7);
+  FiniteStructure eight = FiniteStructure::LinearOrder(8);
+  Result<bool> big = DuplicatorWins(seven, eight, 3);
+  ASSERT_TRUE(big.ok());
+  EXPECT_TRUE(*big);
+}
+
+// Corollary 2/3 demonstration: parity of a unary predicate is not
+// FO-definable — even/odd sets of the same large size class are
+// indistinguishable at low rank.
+TEST(EfGameTest, ParityNotExpressible) {
+  // Structures: pure sets (equality only) of sizes 4 and 5 — no relations.
+  FiniteStructure four(4);
+  FiniteStructure five(5);
+  // Equality-only structures of size >= k are k-round indistinguishable.
+  Result<bool> w = DuplicatorWins(four, five, 3);
+  ASSERT_TRUE(w.ok());
+  EXPECT_TRUE(*w);
+  // Rank 5 can count to 5.
+  Result<bool> l = DuplicatorWins(four, five, 5);
+  ASSERT_TRUE(l.ok());
+  EXPECT_FALSE(*l);
+}
+
+TEST(EfGameTest, PinnedElementsRespected) {
+  FiniteStructure four = FiniteStructure::LinearOrder(4);
+  // Pin the minimum in A against the maximum in B: distinguishable in one
+  // round (find something below the pinned element).
+  Result<bool> w = DuplicatorWinsFrom(four, four, {0}, {3}, 1);
+  ASSERT_TRUE(w.ok());
+  EXPECT_FALSE(*w);
+  // Pin corresponding elements: duplicator fine.
+  Result<bool> same = DuplicatorWinsFrom(four, four, {1}, {1}, 2);
+  ASSERT_TRUE(same.ok());
+  EXPECT_TRUE(*same);
+}
+
+TEST(EfGameTest, PinnedTupleLengthMismatch) {
+  FiniteStructure a = FiniteStructure::LinearOrder(2);
+  EXPECT_FALSE(DuplicatorWinsFrom(a, a, {0}, {}, 1).ok());
+}
+
+TEST(EfGameTest, UnaryPredicateStructures) {
+  // Two element sets with a unary predicate P of different sizes: P of
+  // size 1 vs size 2 split at rank 2.
+  FiniteStructure a(3);
+  ASSERT_TRUE(a.AddRelation("P", 1, {{0}}).ok());
+  FiniteStructure b(3);
+  ASSERT_TRUE(b.AddRelation("P", 1, {{0}, {1}}).ok());
+  Result<bool> r1 = DuplicatorWins(a, b, 1);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(*r1);
+  Result<bool> r2 = DuplicatorWins(a, b, 2);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(*r2);
+}
+
+}  // namespace
+}  // namespace strq
+
+namespace strq {
+namespace {
+
+TEST(EfGameTest, PrefixStructuresFromStrings) {
+  // The Prop-6-style encoding on tiny string sets: two prefix-closed string
+  // structures that differ only beyond rank-k reach.
+  auto build = [](const std::vector<std::string>& strings) {
+    FiniteStructure s(static_cast<int>(strings.size()));
+    std::set<std::vector<int>> prefix_rel;
+    std::set<std::vector<int>> l1;
+    for (size_t i = 0; i < strings.size(); ++i) {
+      if (!strings[i].empty() && strings[i].back() == '1') {
+        l1.insert({static_cast<int>(i)});
+      }
+      for (size_t j = 0; j < strings.size(); ++j) {
+        if (strings[j].compare(0, strings[i].size(), strings[i]) == 0) {
+          prefix_rel.insert({static_cast<int>(i), static_cast<int>(j)});
+        }
+      }
+    }
+    EXPECT_TRUE(s.AddRelation("prefix", 2, std::move(prefix_rel)).ok());
+    EXPECT_TRUE(s.AddRelation("L1", 1, std::move(l1)).ok());
+    return s;
+  };
+  // Chains ε ≺ 0 ≺ 00 vs ε ≺ 0 ≺ 00 ≺ 000: distinguishable at some rank,
+  // not at rank 1 (both have top/bottom/middle 1-types).
+  FiniteStructure three = build({"", "0", "00"});
+  FiniteStructure four = build({"", "0", "00", "000"});
+  Result<bool> r1 = DuplicatorWins(three, four, 1);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(*r1);
+  Result<bool> r3 = DuplicatorWins(three, four, 3);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_FALSE(*r3);  // rank 3 counts a 4-chain
+}
+
+TEST(EfGameTest, ZeroRoundsIsPartialIso) {
+  FiniteStructure a = FiniteStructure::LinearOrder(3);
+  Result<bool> w = DuplicatorWins(a, a, 0);
+  ASSERT_TRUE(w.ok());
+  EXPECT_TRUE(*w);
+  // Pinned non-isomorphic boards lose at 0 rounds.
+  Result<bool> l = DuplicatorWinsFrom(a, a, {0, 1}, {1, 0}, 0);
+  ASSERT_TRUE(l.ok());
+  EXPECT_FALSE(*l);
+}
+
+}  // namespace
+}  // namespace strq

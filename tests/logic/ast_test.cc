@@ -1,0 +1,100 @@
+#include "logic/ast.h"
+
+#include <gtest/gtest.h>
+
+namespace strq {
+namespace {
+
+TEST(AstTest, FreeVarsOfAtoms) {
+  FormulaPtr f = FPred(PredKind::kPrefix, {TVar("x"), TVar("y")});
+  EXPECT_EQ(FreeVars(f), (std::set<std::string>{"x", "y"}));
+
+  FormulaPtr g = FPred(PredKind::kEq, {TVar("x"), TConst("ab")});
+  EXPECT_EQ(FreeVars(g), (std::set<std::string>{"x"}));
+}
+
+TEST(AstTest, FreeVarsUnderQuantifier) {
+  FormulaPtr f = FExists(
+      "y", FPred(PredKind::kPrefix, {TVar("x"), TVar("y")}));
+  EXPECT_EQ(FreeVars(f), (std::set<std::string>{"x"}));
+}
+
+TEST(AstTest, FreeVarsShadowing) {
+  // exists x. (P(x) & exists x. Q(x)) — no free variables.
+  FormulaPtr inner = FExists("x", FRelation("Q", {TVar("x")}));
+  FormulaPtr f = FExists("x", FAnd(FRelation("P", {TVar("x")}), inner));
+  EXPECT_TRUE(FreeVars(f).empty());
+}
+
+TEST(AstTest, FreeVarsInCompositeTerms) {
+  FormulaPtr f = FPred(PredKind::kEq,
+                       {TAppend('a', TVar("u")), TLcp(TVar("v"), TVar("w"))});
+  EXPECT_EQ(FreeVars(f), (std::set<std::string>{"u", "v", "w"}));
+}
+
+TEST(AstTest, QuantifierRank) {
+  FormulaPtr atom = FPred(PredKind::kEq, {TVar("x"), TVar("y")});
+  EXPECT_EQ(QuantifierRank(atom), 0);
+  FormulaPtr one = FExists("x", atom);
+  EXPECT_EQ(QuantifierRank(one), 1);
+  FormulaPtr nested = FForall("y", one);
+  EXPECT_EQ(QuantifierRank(nested), 2);
+  // Rank of a conjunction is the max of the sides.
+  EXPECT_EQ(QuantifierRank(FAnd(nested, one)), 2);
+}
+
+TEST(AstTest, MentionsDatabase) {
+  EXPECT_TRUE(MentionsDatabase(FRelation("R", {TVar("x")})));
+  EXPECT_TRUE(MentionsDatabase(FPred(PredKind::kAdom, {TVar("x")})));
+  EXPECT_FALSE(
+      MentionsDatabase(FPred(PredKind::kEq, {TVar("x"), TVar("y")})));
+  // Restricted quantifier ranges refer to the active domain.
+  EXPECT_TRUE(MentionsDatabase(
+      FExists("x", FTrue(), QuantRange::kPrefixDom)));
+  EXPECT_FALSE(MentionsDatabase(FExists("x", FTrue())));
+}
+
+TEST(AstTest, AndAllOrAll) {
+  EXPECT_EQ(FAndAll({})->kind, FormulaKind::kTrue);
+  EXPECT_EQ(FOrAll({})->kind, FormulaKind::kFalse);
+  FormulaPtr a = FPred(PredKind::kEq, {TVar("x"), TVar("y")});
+  EXPECT_EQ(FAndAll({a})->kind, FormulaKind::kPred);
+  EXPECT_EQ(FAndAll({a, a})->kind, FormulaKind::kAnd);
+  EXPECT_EQ(FOrAll({a, a, a})->kind, FormulaKind::kOr);
+}
+
+TEST(AstTest, FormulaSizeCountsTerms) {
+  FormulaPtr atom = FPred(PredKind::kEq, {TVar("x"), TVar("y")});
+  EXPECT_EQ(FormulaSize(atom), 3);  // pred + 2 var terms
+  EXPECT_GT(FormulaSize(FExists("x", FAnd(atom, atom))), FormulaSize(atom));
+}
+
+TEST(AstTest, ToStringReadable) {
+  FormulaPtr f = FExists(
+      "y", FAnd(FRelation("R", {TVar("y")}),
+                FPred(PredKind::kPrefix, {TVar("x"), TVar("y")})));
+  std::string s = ToString(f);
+  EXPECT_NE(s.find("exists y"), std::string::npos);
+  EXPECT_NE(s.find("R(y)"), std::string::npos);
+  EXPECT_NE(s.find("x <= y"), std::string::npos);
+}
+
+TEST(AstTest, ToStringEscapesLiterals) {
+  FormulaPtr f = FPred(PredKind::kEq, {TVar("x"), TConst("a'b")});
+  EXPECT_NE(ToString(f).find("\\'"), std::string::npos);
+}
+
+TEST(AstTest, ToStringRestrictedQuantifiers) {
+  EXPECT_NE(ToString(FExists("x", FTrue(), QuantRange::kAdom))
+                .find("exists x in adom"),
+            std::string::npos);
+  EXPECT_NE(ToString(FExists("x", FTrue(), QuantRange::kPrefixDom))
+                .find("exists x pre adom"),
+            std::string::npos);
+  EXPECT_NE(ToString(FForall("x", FTrue(), QuantRange::kLenDom))
+                .find("forall x len adom"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace strq

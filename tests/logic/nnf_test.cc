@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "eval/automata_eval.h"
+#include "logic/parser.h"
+#include "logic/simplify.h"
+
+namespace strq {
+namespace {
+
+FormulaPtr Q(const std::string& input) {
+  Result<FormulaPtr> r = ParseFormula(input);
+  EXPECT_TRUE(r.ok()) << input << ": " << r.status();
+  return *std::move(r);
+}
+
+TEST(NnfTest, PushesNegationsToAtoms) {
+  FormulaPtr f = Q("!(x = y & (x <= z | !step(y, z)))");
+  FormulaPtr nnf = ToNegationNormalForm(f);
+  EXPECT_TRUE(IsNegationNormalForm(nnf)) << ToString(nnf);
+  // De Morgan applied: top is an OR.
+  EXPECT_EQ(nnf->kind, FormulaKind::kOr);
+}
+
+TEST(NnfTest, DualizesQuantifiers) {
+  FormulaPtr f = Q("!(exists x. forall y. x <= y)");
+  FormulaPtr nnf = ToNegationNormalForm(f);
+  EXPECT_TRUE(IsNegationNormalForm(nnf));
+  EXPECT_EQ(nnf->kind, FormulaKind::kForall);
+  EXPECT_EQ(nnf->left->kind, FormulaKind::kExists);
+  EXPECT_EQ(nnf->left->left->kind, FormulaKind::kNot);
+}
+
+TEST(NnfTest, PreservesQuantifierRanges) {
+  FormulaPtr f = Q("!(exists x pre adom. last[1](x))");
+  FormulaPtr nnf = ToNegationNormalForm(f);
+  EXPECT_EQ(nnf->kind, FormulaKind::kForall);
+  EXPECT_EQ(nnf->range, QuantRange::kPrefixDom);
+}
+
+TEST(NnfTest, ExpandsImplicationAndIff) {
+  EXPECT_TRUE(IsNegationNormalForm(
+      ToNegationNormalForm(Q("x = y -> (y = z <-> x = z)"))));
+  EXPECT_FALSE(IsNegationNormalForm(Q("x = y -> y = x")));
+  EXPECT_FALSE(IsNegationNormalForm(Q("x = y <-> y = x")));
+}
+
+TEST(NnfTest, RemovesDoubleNegation) {
+  FormulaPtr nnf = ToNegationNormalForm(Q("!(!(x = y))"));
+  EXPECT_EQ(nnf->kind, FormulaKind::kPred);
+}
+
+TEST(NnfTest, ConstantsNegate) {
+  EXPECT_EQ(ToNegationNormalForm(Q("!true"))->kind, FormulaKind::kFalse);
+  EXPECT_EQ(ToNegationNormalForm(Q("!false"))->kind, FormulaKind::kTrue);
+}
+
+TEST(NnfTest, IsNnfRejectsInnerNegations) {
+  EXPECT_FALSE(IsNegationNormalForm(Q("!(x = y & y = z)")));
+  EXPECT_TRUE(IsNegationNormalForm(Q("!(x = y) | !(y = z)")));
+  EXPECT_FALSE(IsNegationNormalForm(Q("exists x. !(x = x & x = x)")));
+}
+
+// Semantic preservation on curated sentences, via the exact engine.
+TEST(NnfTest, PreservesSemantics) {
+  Database db(Alphabet::Binary());
+  ASSERT_TRUE(db.AddRelation("R", 1, {{"0"}, {"01"}, {"110"}}).ok());
+  AutomataEvaluator engine(&db);
+  const std::vector<std::string> battery = {
+      "!(exists x. R(x) & last[1](x))",
+      "forall x. R(x) -> !(exists y. R(y) & y < x)",
+      "!(forall x in adom. last[0](x) <-> !last[1](x))",
+      "exists x. !(R(x) -> (last[0](x) | last[1](x)))",
+  };
+  for (const std::string& q : battery) {
+    FormulaPtr f = Q(q);
+    FormulaPtr nnf = ToNegationNormalForm(f);
+    EXPECT_TRUE(IsNegationNormalForm(nnf)) << q;
+    Result<bool> a = engine.EvaluateSentence(f);
+    Result<bool> b = engine.EvaluateSentence(nnf);
+    ASSERT_TRUE(a.ok()) << q << ": " << a.status();
+    ASSERT_TRUE(b.ok()) << ToString(nnf) << ": " << b.status();
+    EXPECT_EQ(*a, *b) << q << "  vs NNF  " << ToString(nnf);
+  }
+}
+
+TEST(NnfTest, IdempotentAndComposesWithSimplify) {
+  FormulaPtr f = Q("!(x = y -> (true & !(y = z)))");
+  FormulaPtr once = ToNegationNormalForm(f);
+  EXPECT_EQ(ToString(once), ToString(ToNegationNormalForm(once)));
+  // Simplify after NNF keeps the NNF invariant (it never introduces -> or
+  // nested negation).
+  EXPECT_TRUE(IsNegationNormalForm(Simplify(once)));
+}
+
+}  // namespace
+}  // namespace strq

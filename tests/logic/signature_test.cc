@@ -1,0 +1,149 @@
+#include "logic/signature.h"
+
+#include <gtest/gtest.h>
+
+#include "logic/parser.h"
+
+namespace strq {
+namespace {
+
+const Alphabet kBin = Alphabet::Binary();
+
+FormulaPtr MustParse(const std::string& input) {
+  Result<FormulaPtr> r = ParseFormula(input);
+  EXPECT_TRUE(r.ok()) << input << ": " << r.status();
+  return *std::move(r);
+}
+
+TEST(SignatureTest, InclusionDiagram) {
+  // Figure 1 of the paper.
+  EXPECT_TRUE(StructureIncludes(StructureId::kSLeft, StructureId::kS));
+  EXPECT_TRUE(StructureIncludes(StructureId::kSReg, StructureId::kS));
+  EXPECT_TRUE(StructureIncludes(StructureId::kSLen, StructureId::kSLeft));
+  EXPECT_TRUE(StructureIncludes(StructureId::kSLen, StructureId::kSReg));
+  EXPECT_TRUE(StructureIncludes(StructureId::kConcat, StructureId::kSLen));
+  // S_left and S_reg are incomparable.
+  EXPECT_FALSE(StructureIncludes(StructureId::kSLeft, StructureId::kSReg));
+  EXPECT_FALSE(StructureIncludes(StructureId::kSReg, StructureId::kSLeft));
+  EXPECT_FALSE(StructureIncludes(StructureId::kS, StructureId::kSLen));
+}
+
+TEST(SignatureTest, BasicSFormulas) {
+  FormulaPtr f = MustParse("exists y. x <= y & last[0](y)");
+  EXPECT_TRUE(CheckInLanguage(f, StructureId::kS, kBin).ok());
+  EXPECT_TRUE(CheckInLanguage(f, StructureId::kSLen, kBin).ok());
+}
+
+TEST(SignatureTest, LexLeqAndLcpInS) {
+  // Both are definable over S (Section 4 / quantifier elimination set).
+  EXPECT_TRUE(CheckInLanguage(MustParse("lexleq(x, y)"), StructureId::kS,
+                              kBin)
+                  .ok());
+  EXPECT_TRUE(CheckInLanguage(MustParse("lcp(x, y) = z"), StructureId::kS,
+                              kBin)
+                  .ok());
+}
+
+TEST(SignatureTest, EqLenNeedsSLen) {
+  FormulaPtr f = MustParse("eqlen(x, y)");
+  Status s = CheckInLanguage(f, StructureId::kS, kBin);
+  EXPECT_EQ(s.code(), StatusCode::kNotInLanguage);
+  EXPECT_EQ(CheckInLanguage(f, StructureId::kSReg, kBin).code(),
+            StatusCode::kNotInLanguage);
+  EXPECT_EQ(CheckInLanguage(f, StructureId::kSLeft, kBin).code(),
+            StatusCode::kNotInLanguage);
+  EXPECT_TRUE(CheckInLanguage(f, StructureId::kSLen, kBin).ok());
+}
+
+TEST(SignatureTest, PrependNeedsSLeft) {
+  FormulaPtr f = MustParse("prepend[0](x) = y");
+  EXPECT_EQ(CheckInLanguage(f, StructureId::kS, kBin).code(),
+            StatusCode::kNotInLanguage);
+  EXPECT_EQ(CheckInLanguage(f, StructureId::kSReg, kBin).code(),
+            StatusCode::kNotInLanguage);
+  EXPECT_TRUE(CheckInLanguage(f, StructureId::kSLeft, kBin).ok());
+  EXPECT_TRUE(CheckInLanguage(f, StructureId::kSLen, kBin).ok());
+}
+
+TEST(SignatureTest, TrimNeedsSLeft) {
+  FormulaPtr f = MustParse("trim[1](x) = y");
+  EXPECT_EQ(CheckInLanguage(f, StructureId::kS, kBin).code(),
+            StatusCode::kNotInLanguage);
+  EXPECT_TRUE(CheckInLanguage(f, StructureId::kSLeft, kBin).ok());
+}
+
+TEST(SignatureTest, StarFreePatternsAllowedInS) {
+  // LIKE patterns are star-free, always in S (Section 4).
+  EXPECT_TRUE(CheckInLanguage(MustParse("like(x, '0%1')"), StructureId::kS,
+                              kBin)
+                  .ok());
+  // Star-free regex allowed in S.
+  EXPECT_TRUE(CheckInLanguage(MustParse("member(x, '0*1')"), StructureId::kS,
+                              kBin)
+                  .ok());
+  EXPECT_TRUE(CheckInLanguage(MustParse("suffixin(x, y, '1*')"),
+                              StructureId::kS, kBin)
+                  .ok());
+}
+
+TEST(SignatureTest, NonStarFreePatternsNeedSReg) {
+  // (00)* is the canonical non-star-free language.
+  FormulaPtr f = MustParse("member(x, '(00)*')");
+  EXPECT_EQ(CheckInLanguage(f, StructureId::kS, kBin).code(),
+            StatusCode::kNotInLanguage);
+  EXPECT_EQ(CheckInLanguage(f, StructureId::kSLeft, kBin).code(),
+            StatusCode::kNotInLanguage);
+  EXPECT_TRUE(CheckInLanguage(f, StructureId::kSReg, kBin).ok());
+  EXPECT_TRUE(CheckInLanguage(f, StructureId::kSLen, kBin).ok());
+}
+
+TEST(SignatureTest, ConcatOnlyInConcat) {
+  FormulaPtr f = MustParse("concat(x, y) = z");
+  for (StructureId s : {StructureId::kS, StructureId::kSLeft,
+                        StructureId::kSReg, StructureId::kSLen}) {
+    EXPECT_EQ(CheckInLanguage(f, s, kBin).code(), StatusCode::kNotInLanguage)
+        << StructureName(s);
+  }
+  EXPECT_TRUE(CheckInLanguage(f, StructureId::kConcat, kBin).ok());
+}
+
+TEST(SignatureTest, LenDomQuantifierNeedsSLen) {
+  FormulaPtr f = MustParse("exists x len adom. x = x");
+  EXPECT_EQ(CheckInLanguage(f, StructureId::kS, kBin).code(),
+            StatusCode::kNotInLanguage);
+  EXPECT_TRUE(CheckInLanguage(f, StructureId::kSLen, kBin).ok());
+  // Prefix-restricted quantification is fine everywhere.
+  EXPECT_TRUE(CheckInLanguage(MustParse("exists x pre adom. x = x"),
+                              StructureId::kS, kBin)
+                  .ok());
+}
+
+TEST(SignatureTest, AlphabetMismatchRejected) {
+  EXPECT_FALSE(CheckInLanguage(MustParse("x = 'ab'"), StructureId::kS, kBin)
+                   .ok());
+  EXPECT_FALSE(
+      CheckInLanguage(MustParse("last[z](x)"), StructureId::kS, kBin).ok());
+  EXPECT_FALSE(CheckInLanguage(MustParse("append[q](x) = y"), StructureId::kS,
+                               kBin)
+                   .ok());
+}
+
+TEST(SignatureTest, MinimalStructure) {
+  EXPECT_EQ(*MinimalStructure(MustParse("x <= y"), kBin), StructureId::kS);
+  EXPECT_EQ(*MinimalStructure(MustParse("prepend[0](x) = y"), kBin),
+            StructureId::kSLeft);
+  EXPECT_EQ(*MinimalStructure(MustParse("member(x, '(00)*')"), kBin),
+            StructureId::kSReg);
+  EXPECT_EQ(*MinimalStructure(MustParse("eqlen(x, y)"), kBin),
+            StructureId::kSLen);
+  EXPECT_EQ(*MinimalStructure(MustParse("concat(x, x) = y"), kBin),
+            StructureId::kConcat);
+  // f_a together with a non-star-free pattern needs S_len (Figure 1: S_left
+  // and S_reg are incomparable and their join is below S_len).
+  EXPECT_EQ(*MinimalStructure(
+                MustParse("prepend[0](x) = y & member(x, '(00)*')"), kBin),
+            StructureId::kSLen);
+}
+
+}  // namespace
+}  // namespace strq

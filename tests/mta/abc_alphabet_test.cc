@@ -1,0 +1,134 @@
+// Cross-alphabet coverage: the mta pipeline exercised over the 3-letter
+// alphabet (base ≠ 2 shakes out digit-coding bugs) and at arity 4 (letter
+// space 4^4 = 256, past the 8-bit boundary).
+
+#include <gtest/gtest.h>
+
+#include "base/string_ops.h"
+#include "eval/automata_eval.h"
+#include "logic/parser.h"
+#include "mta/atoms.h"
+
+namespace strq {
+namespace {
+
+const Alphabet kAbc = Alphabet::Abc();
+
+FormulaPtr Q(const std::string& input) {
+  Result<FormulaPtr> r = ParseFormula(input);
+  EXPECT_TRUE(r.ok()) << input << ": " << r.status();
+  return *std::move(r);
+}
+
+TEST(AbcAlphabetTest, AtomsOverThreeLetters) {
+  Result<TrackAutomaton> lex = LexLeqAtom(kAbc, 0, 1);
+  Result<TrackAutomaton> trim = TrimLeadingGraphAtom(kAbc, 'b', 0, 1);
+  Result<TrackAutomaton> ins = InsertGraphAtom(kAbc, 'c', 0, 1, 2);
+  ASSERT_TRUE(lex.ok());
+  ASSERT_TRUE(trim.ok());
+  ASSERT_TRUE(ins.ok());
+  std::vector<std::string> strings = AllStringsUpToLength("abc", 2);
+  for (const std::string& x : strings) {
+    for (const std::string& y : strings) {
+      Result<bool> l = lex->Contains({x, y});
+      ASSERT_TRUE(l.ok());
+      EXPECT_EQ(*l, LexLeq(x, y, "abc")) << x << "," << y;
+      Result<bool> t = trim->Contains({x, y});
+      ASSERT_TRUE(t.ok());
+      EXPECT_EQ(*t, y == TrimLeading(x, 'b')) << x << "," << y;
+      for (const std::string& z : strings) {
+        Result<bool> i = ins->Contains({x, y, z});
+        ASSERT_TRUE(i.ok());
+        EXPECT_EQ(*i, z == InsertAfterPrefix(x, y, 'c'))
+            << x << "," << y << "," << z;
+      }
+    }
+  }
+}
+
+TEST(AbcAlphabetTest, ArityFourPipeline) {
+  // 4 tracks over abc: conv alphabet has 4^4 = 256 letters — beyond the
+  // 8-bit boundary that Symbol = uint16_t exists for.
+  Result<TrackAutomaton> p01 = PrefixAtom(kAbc, 0, 1);
+  Result<TrackAutomaton> p12 = PrefixAtom(kAbc, 1, 2);
+  Result<TrackAutomaton> p23 = PrefixAtom(kAbc, 2, 3);
+  ASSERT_TRUE(p01.ok());
+  ASSERT_TRUE(p12.ok());
+  ASSERT_TRUE(p23.ok());
+  Result<TrackAutomaton> chain = TrackAutomaton::Intersect(*p01, *p12);
+  ASSERT_TRUE(chain.ok());
+  chain = TrackAutomaton::Intersect(*chain, *p23);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(chain->arity(), 4);
+  Result<bool> in = chain->Contains({"a", "ab", "abc", "abca"});
+  ASSERT_TRUE(in.ok());
+  EXPECT_TRUE(*in);
+  Result<bool> out = chain->Contains({"a", "ab", "ba", "bac"});
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(*out);
+  // Project the middle tracks away: x ≼⁺ w (prefix via two hops) — which is
+  // just x ≼ w.
+  Result<TrackAutomaton> proj = chain->Project(1);
+  ASSERT_TRUE(proj.ok());
+  proj = proj->Project(2);
+  ASSERT_TRUE(proj.ok());
+  for (const std::string& x : AllStringsUpToLength("abc", 2)) {
+    for (const std::string& w : AllStringsUpToLength("abc", 3)) {
+      Result<bool> v = proj->Contains({x, w});
+      ASSERT_TRUE(v.ok());
+      EXPECT_EQ(*v, IsPrefix(x, w)) << x << "," << w;
+    }
+  }
+}
+
+TEST(AbcAlphabetTest, EndToEndQueries) {
+  Database db(kAbc);
+  ASSERT_TRUE(db.AddRelation("Words", 1,
+                             {{"abc"}, {"cab"}, {"bca"}, {"aa"}}).ok());
+  AutomataEvaluator engine(&db);
+  // Words whose trim-b... whose 'a'-trimmed remainder ends in 'a'.
+  Result<Relation> out =
+      engine.Evaluate(Q("Words(x) & last[a](trim[a](x))"));
+  ASSERT_TRUE(out.ok()) << out.status();
+  // trim[a]("abc")="bc"; trim[a]("cab")=""; trim[a]("bca")="";
+  // trim[a]("aa")="a" -> last[a] ✓. Only "aa".
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ(out->tuples()[0], (Tuple{"aa"}));
+
+  // Lexicographic maximum via the abc order.
+  Result<Relation> max = engine.Evaluate(
+      Q("Words(x) & forall y. Words(y) -> lexleq(y, x)"));
+  ASSERT_TRUE(max.ok());
+  ASSERT_EQ(max->size(), 1u);
+  EXPECT_EQ(max->tuples()[0], (Tuple{"cab"}));
+
+  // Natural quantification over the 3-letter Σ*.
+  Result<bool> v = engine.EvaluateSentence(
+      Q("forall x. exists y. x < y & last[c](y)"));
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(*v);
+}
+
+TEST(AbcAlphabetTest, CountingConsistency) {
+  // CountUpToLength must agree with enumeration for a nontrivial relation.
+  Result<TrackAutomaton> eq = EqLenAtom(kAbc, 0, 1);
+  ASSERT_TRUE(eq.ok());
+  uint64_t counted = eq->CountUpToLength(2);
+  size_t enumerated = eq->EnumerateTuples(2, 100000).size();
+  EXPECT_EQ(counted, enumerated);
+  // Equal-length pairs with both |x|,|y| <= 2 over 3 letters:
+  // 1 (ε,ε) + 9 + 81 = 91.
+  EXPECT_EQ(counted, 91u);
+}
+
+TEST(AbcAlphabetTest, ArityLimitIsGraceful) {
+  // 4^8 = 65536 letters exceeds the 16-bit Symbol space: clean error.
+  std::vector<VarId> vars;
+  for (int i = 0; i < 8; ++i) vars.push_back(i);
+  Result<TrackAutomaton> r = TrackAutomaton::FullRelation(kAbc, vars);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace strq

@@ -1,0 +1,304 @@
+#include "mta/track_automaton.h"
+
+#include <gtest/gtest.h>
+
+#include "base/string_ops.h"
+#include "mta/atoms.h"
+
+namespace strq {
+namespace {
+
+const Alphabet kBin = Alphabet::Binary();
+
+TEST(TrackAutomatonTest, FullAndEmptyRelations) {
+  Result<TrackAutomaton> full = TrackAutomaton::FullRelation(kBin, {0, 1});
+  ASSERT_TRUE(full.ok());
+  EXPECT_FALSE(full->IsEmpty());
+  EXPECT_FALSE(full->IsFinite());
+  Result<bool> in = full->Contains({"01", "1"});
+  ASSERT_TRUE(in.ok());
+  EXPECT_TRUE(*in);
+
+  Result<TrackAutomaton> empty = TrackAutomaton::EmptyRelation(kBin, {0, 1});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->IsEmpty());
+  EXPECT_TRUE(empty->IsFinite());
+}
+
+TEST(TrackAutomatonTest, TruthRelations) {
+  Result<TrackAutomaton> t = TrackAutomaton::Truth(kBin, true);
+  Result<TrackAutomaton> f = TrackAutomaton::Truth(kBin, false);
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(f.ok());
+  Result<bool> tv = t->TruthValue();
+  Result<bool> fv = f->TruthValue();
+  ASSERT_TRUE(tv.ok());
+  ASSERT_TRUE(fv.ok());
+  EXPECT_TRUE(*tv);
+  EXPECT_FALSE(*fv);
+}
+
+TEST(TrackAutomatonTest, VarsMustBeSorted) {
+  EXPECT_FALSE(TrackAutomaton::FullRelation(kBin, {1, 0}).ok());
+  EXPECT_FALSE(TrackAutomaton::FullRelation(kBin, {0, 0}).ok());
+}
+
+TEST(TrackAutomatonTest, FromTuplesMembership) {
+  std::vector<std::vector<std::string>> tuples = {
+      {"0", "11"}, {"", "1"}, {"01", "01"}};
+  Result<TrackAutomaton> rel = TrackAutomaton::FromTuples(kBin, {3, 7},
+                                                          tuples);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_TRUE(rel->IsFinite());
+  for (const auto& t : tuples) {
+    Result<bool> in = rel->Contains(t);
+    ASSERT_TRUE(in.ok());
+    EXPECT_TRUE(*in);
+  }
+  Result<bool> out = rel->Contains({"0", "1"});
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(*out);
+}
+
+TEST(TrackAutomatonTest, FromTuplesAllTuplesRoundTrip) {
+  std::vector<std::vector<std::string>> tuples = {
+      {"0", "11"}, {"", "1"}, {"01", "01"}, {"1", ""}};
+  Result<TrackAutomaton> rel =
+      TrackAutomaton::FromTuples(kBin, {0, 1}, tuples);
+  ASSERT_TRUE(rel.ok());
+  Result<std::vector<std::vector<std::string>>> all = rel->AllTuples();
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), tuples.size());
+  for (const auto& t : tuples) {
+    EXPECT_NE(std::find(all->begin(), all->end(), t), all->end());
+  }
+}
+
+TEST(TrackAutomatonTest, AllTuplesRejectsInfinite) {
+  Result<TrackAutomaton> full = TrackAutomaton::FullRelation(kBin, {0});
+  ASSERT_TRUE(full.ok());
+  Result<std::vector<std::vector<std::string>>> all = full->AllTuples();
+  ASSERT_FALSE(all.ok());
+  EXPECT_EQ(all.status().code(), StatusCode::kUnsafe);
+}
+
+TEST(TrackAutomatonTest, IntersectAlignsVariables) {
+  // prefix(0,1) ∧ prefix(1,2) ⊨ prefix(0,2) (transitivity, checked on
+  // tuples).
+  Result<TrackAutomaton> p01 = PrefixAtom(kBin, 0, 1);
+  Result<TrackAutomaton> p12 = PrefixAtom(kBin, 1, 2);
+  ASSERT_TRUE(p01.ok());
+  ASSERT_TRUE(p12.ok());
+  Result<TrackAutomaton> both = TrackAutomaton::Intersect(*p01, *p12);
+  ASSERT_TRUE(both.ok());
+  EXPECT_EQ(both->vars(), (std::vector<VarId>{0, 1, 2}));
+  std::vector<std::string> strings = AllStringsUpToLength("01", 3);
+  for (const std::string& x : strings) {
+    for (const std::string& y : strings) {
+      for (const std::string& z : strings) {
+        Result<bool> in = both->Contains({x, y, z});
+        ASSERT_TRUE(in.ok());
+        EXPECT_EQ(*in, IsPrefix(x, y) && IsPrefix(y, z))
+            << x << "," << y << "," << z;
+      }
+    }
+  }
+}
+
+TEST(TrackAutomatonTest, UnionAlignsVariables) {
+  Result<TrackAutomaton> p01 = PrefixAtom(kBin, 0, 1);
+  Result<TrackAutomaton> p10 = PrefixAtom(kBin, 1, 0);
+  ASSERT_TRUE(p01.ok());
+  ASSERT_TRUE(p10.ok());
+  Result<TrackAutomaton> comparable = TrackAutomaton::Union(*p01, *p10);
+  ASSERT_TRUE(comparable.ok());
+  std::vector<std::string> strings = AllStringsUpToLength("01", 4);
+  for (const std::string& x : strings) {
+    for (const std::string& y : strings) {
+      Result<bool> in = comparable->Contains({x, y});
+      ASSERT_TRUE(in.ok());
+      EXPECT_EQ(*in, IsPrefix(x, y) || IsPrefix(y, x)) << x << "," << y;
+    }
+  }
+}
+
+TEST(TrackAutomatonTest, ComplementIsRelativeToAllTuples) {
+  Result<TrackAutomaton> eq = EqualAtom(kBin, 0, 1);
+  ASSERT_TRUE(eq.ok());
+  Result<TrackAutomaton> neq = eq->Complemented();
+  ASSERT_TRUE(neq.ok());
+  std::vector<std::string> strings = AllStringsUpToLength("01", 4);
+  for (const std::string& x : strings) {
+    for (const std::string& y : strings) {
+      Result<bool> in = neq->Contains({x, y});
+      ASSERT_TRUE(in.ok());
+      EXPECT_EQ(*in, x != y) << x << "," << y;
+    }
+  }
+}
+
+TEST(TrackAutomatonTest, DoubleComplementIsIdentity) {
+  Result<TrackAutomaton> p = PrefixAtom(kBin, 0, 1);
+  ASSERT_TRUE(p.ok());
+  Result<TrackAutomaton> c1 = p->Complemented();
+  ASSERT_TRUE(c1.ok());
+  Result<TrackAutomaton> c2 = c1->Complemented();
+  ASSERT_TRUE(c2.ok());
+  std::vector<std::string> strings = AllStringsUpToLength("01", 4);
+  for (const std::string& x : strings) {
+    for (const std::string& y : strings) {
+      Result<bool> a = p->Contains({x, y});
+      Result<bool> b = c2->Contains({x, y});
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      EXPECT_EQ(*a, *b) << x << "," << y;
+    }
+  }
+}
+
+TEST(TrackAutomatonTest, ProjectExistential) {
+  // ∃y (x ≺ y ∧ L_1(y)): true for every x (extend x with 1).
+  Result<TrackAutomaton> sp = StrictPrefixAtom(kBin, 0, 1);
+  Result<TrackAutomaton> l1 = LastSymbolAtom(kBin, '1', 1);
+  ASSERT_TRUE(sp.ok());
+  ASSERT_TRUE(l1.ok());
+  Result<TrackAutomaton> conj = TrackAutomaton::Intersect(*sp, *l1);
+  ASSERT_TRUE(conj.ok());
+  Result<TrackAutomaton> exists = conj->Project(1);
+  ASSERT_TRUE(exists.ok());
+  EXPECT_EQ(exists->vars(), (std::vector<VarId>{0}));
+  for (const std::string& x : AllStringsUpToLength("01", 4)) {
+    Result<bool> in = exists->Contains({x});
+    ASSERT_TRUE(in.ok());
+    EXPECT_TRUE(*in) << x;
+  }
+}
+
+TEST(TrackAutomatonTest, ProjectToSentence) {
+  // ∃x (x = "01"): a true sentence.
+  Result<TrackAutomaton> c = ConstAtom(kBin, "01", 0);
+  ASSERT_TRUE(c.ok());
+  Result<TrackAutomaton> sentence = c->Project(0);
+  ASSERT_TRUE(sentence.ok());
+  EXPECT_EQ(sentence->arity(), 0);
+  Result<bool> v = sentence->TruthValue();
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(*v);
+
+  // ∃x (x = "01" ∧ x = "10"): false.
+  Result<TrackAutomaton> c2 = ConstAtom(kBin, "10", 0);
+  ASSERT_TRUE(c2.ok());
+  Result<TrackAutomaton> conj = TrackAutomaton::Intersect(*c, *c2);
+  ASSERT_TRUE(conj.ok());
+  Result<TrackAutomaton> s2 = conj->Project(0);
+  ASSERT_TRUE(s2.ok());
+  Result<bool> v2 = s2->TruthValue();
+  ASSERT_TRUE(v2.ok());
+  EXPECT_FALSE(*v2);
+}
+
+TEST(TrackAutomatonTest, ProjectLongerTrack) {
+  // ∃y (y = x·1): projecting away a track that is longer than the rest.
+  Result<TrackAutomaton> app = AppendGraphAtom(kBin, '1', 0, 1);
+  ASSERT_TRUE(app.ok());
+  Result<TrackAutomaton> exists = app->Project(1);
+  ASSERT_TRUE(exists.ok());
+  for (const std::string& x : AllStringsUpToLength("01", 4)) {
+    Result<bool> in = exists->Contains({x});
+    ASSERT_TRUE(in.ok());
+    EXPECT_TRUE(*in) << x;  // every x has an extension x·1
+  }
+}
+
+TEST(TrackAutomatonTest, ProjectMissingVarRejected) {
+  Result<TrackAutomaton> p = PrefixAtom(kBin, 0, 1);
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(p->Project(5).ok());
+}
+
+TEST(TrackAutomatonTest, RenameSwapsTracks) {
+  // prefix(x0, x1) renamed {0->1, 1->0} is prefix(x1, x0): "second is a
+  // prefix of first".
+  Result<TrackAutomaton> p = PrefixAtom(kBin, 0, 1);
+  ASSERT_TRUE(p.ok());
+  Result<TrackAutomaton> swapped = p->Renamed({{0, 1}, {1, 0}});
+  ASSERT_TRUE(swapped.ok());
+  EXPECT_EQ(swapped->vars(), (std::vector<VarId>{0, 1}));
+  std::vector<std::string> strings = AllStringsUpToLength("01", 4);
+  for (const std::string& x : strings) {
+    for (const std::string& y : strings) {
+      Result<bool> in = swapped->Contains({x, y});
+      ASSERT_TRUE(in.ok());
+      EXPECT_EQ(*in, IsPrefix(y, x)) << x << "," << y;
+    }
+  }
+}
+
+TEST(TrackAutomatonTest, RenameRejectsCollisions) {
+  Result<TrackAutomaton> p = PrefixAtom(kBin, 0, 1);
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(p->Renamed({{0, 1}}).ok());  // both tracks named 1
+}
+
+TEST(TrackAutomatonTest, CylindrifiedAddsFreeTrack) {
+  Result<TrackAutomaton> eq = EqualAtom(kBin, 0, 2);
+  ASSERT_TRUE(eq.ok());
+  Result<TrackAutomaton> cyl = eq->Cylindrified({0, 1, 2});
+  ASSERT_TRUE(cyl.ok());
+  std::vector<std::string> strings = AllStringsUpToLength("01", 3);
+  for (const std::string& x : strings) {
+    for (const std::string& y : strings) {
+      for (const std::string& z : strings) {
+        Result<bool> in = cyl->Contains({x, y, z});
+        ASSERT_TRUE(in.ok());
+        EXPECT_EQ(*in, x == z) << x << "," << y << "," << z;
+      }
+    }
+  }
+}
+
+TEST(TrackAutomatonTest, CylindrifiedRequiresSuperset) {
+  Result<TrackAutomaton> eq = EqualAtom(kBin, 0, 2);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_FALSE(eq->Cylindrified({0, 1}).ok());
+}
+
+TEST(TrackAutomatonTest, CountUpToLength) {
+  // Equal pairs with |x| <= 2 over {0,1}: ε, 0, 1, 00, 01, 10, 11 -> 7.
+  Result<TrackAutomaton> eq = EqualAtom(kBin, 0, 1);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_EQ(eq->CountUpToLength(2), 7u);
+}
+
+TEST(TrackAutomatonTest, EnumerateTuplesDecodes) {
+  Result<TrackAutomaton> one = OneStepAtom(kBin, 0, 1);
+  ASSERT_TRUE(one.ok());
+  std::vector<std::vector<std::string>> tuples = one->EnumerateTuples(2, 100);
+  // Pairs (x, x·b) with |x·b| <= 2: x ∈ {ε,0,1}, b ∈ {0,1} -> 6 tuples.
+  EXPECT_EQ(tuples.size(), 6u);
+  for (const auto& t : tuples) {
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_TRUE(IsOneStepExtension(t[0], t[1])) << t[0] << "," << t[1];
+  }
+}
+
+TEST(TrackAutomatonTest, ValidConvolutionsRejectJunk) {
+  Result<ConvAlphabet> conv = ConvAlphabet::Create(2, 2);
+  ASSERT_TRUE(conv.ok());
+  Result<Dfa> valid = TrackAutomaton::ValidConvolutions(*conv);
+  ASSERT_TRUE(valid.ok());
+  // Canonical word: (0,1)(2,1) — x="0", y="11".
+  Symbol c01 = conv->Encode({0, 1});
+  Symbol cp1 = conv->Encode({2, 1});
+  Symbol cpp = conv->Encode({2, 2});
+  Symbol c00 = conv->Encode({0, 0});
+  EXPECT_TRUE(valid->Accepts({c01, cp1}));
+  EXPECT_TRUE(valid->Accepts({}));
+  // Pad then non-pad on track 0: invalid.
+  EXPECT_FALSE(valid->Accepts({cp1, c01}));
+  // All-pad column: invalid.
+  EXPECT_FALSE(valid->Accepts({c00, cpp}));
+}
+
+}  // namespace
+}  // namespace strq

@@ -1,0 +1,98 @@
+#include "relational/tsv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace strq {
+namespace {
+
+const Alphabet kBin = Alphabet::Binary();
+
+TEST(TsvTest, ReadBasicRelation) {
+  std::istringstream in("0\t01\n110\t1\n");
+  Result<Relation> rel = ReadTsvRelation(in, kBin);
+  ASSERT_TRUE(rel.ok()) << rel.status();
+  EXPECT_EQ(rel->arity(), 2);
+  EXPECT_EQ(rel->size(), 2u);
+  EXPECT_TRUE(rel->Contains({"0", "01"}));
+  EXPECT_TRUE(rel->Contains({"110", "1"}));
+}
+
+TEST(TsvTest, EmptyFieldsAreEpsilon) {
+  std::istringstream in("\t01\n0\t\n");
+  Result<Relation> rel = ReadTsvRelation(in, kBin);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_TRUE(rel->Contains({"", "01"}));
+  EXPECT_TRUE(rel->Contains({"0", ""}));
+}
+
+TEST(TsvTest, CommentsBlanksAndCrlf) {
+  std::istringstream in("# header comment\n\n01\r\n# mid\n10\n");
+  Result<Relation> rel = ReadTsvRelation(in, kBin);
+  ASSERT_TRUE(rel.ok()) << rel.status();
+  EXPECT_EQ(rel->arity(), 1);
+  EXPECT_EQ(rel->size(), 2u);
+}
+
+TEST(TsvTest, RejectsRaggedRows) {
+  std::istringstream in("0\t1\n0\n");
+  Result<Relation> rel = ReadTsvRelation(in, kBin);
+  ASSERT_FALSE(rel.ok());
+  EXPECT_NE(rel.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(TsvTest, RejectsForeignCharacters) {
+  std::istringstream in("0\n2\n");
+  Result<Relation> rel = ReadTsvRelation(in, kBin);
+  ASSERT_FALSE(rel.ok());
+  EXPECT_NE(rel.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(TsvTest, RejectsEmptyInput) {
+  std::istringstream in("# only comments\n");
+  EXPECT_FALSE(ReadTsvRelation(in, kBin).ok());
+}
+
+TEST(TsvTest, WriteRoundTrip) {
+  Result<Relation> rel =
+      Relation::Create(2, {{"0", ""}, {"01", "110"}, {"", "1"}});
+  ASSERT_TRUE(rel.ok());
+  std::ostringstream out;
+  WriteTsvRelation(*rel, out);
+  std::istringstream in(out.str());
+  Result<Relation> back = ReadTsvRelation(in, kBin);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(*back == *rel);
+}
+
+TEST(TsvTest, FileLoadAndSave) {
+  std::string path = ::testing::TempDir() + "/strq_tsv_test.tsv";
+  {
+    std::ofstream out(path);
+    out << "0\t01\n110\t1\n";
+  }
+  Database db(kBin);
+  ASSERT_TRUE(LoadTsvRelation(db, "S", path).ok());
+  ASSERT_NE(db.Find("S"), nullptr);
+  EXPECT_EQ(db.Find("S")->size(), 2u);
+
+  std::string out_path = ::testing::TempDir() + "/strq_tsv_out.tsv";
+  ASSERT_TRUE(SaveTsvRelation(db, "S", out_path).ok());
+  Database db2(kBin);
+  ASSERT_TRUE(LoadTsvRelation(db2, "S", out_path).ok());
+  EXPECT_TRUE(*db.Find("S") == *db2.Find("S"));
+  std::remove(path.c_str());
+  std::remove(out_path.c_str());
+}
+
+TEST(TsvTest, LoadMissingFile) {
+  Database db(kBin);
+  EXPECT_FALSE(LoadTsvRelation(db, "S", "/nonexistent/nope.tsv").ok());
+  EXPECT_FALSE(SaveTsvRelation(db, "Missing", "/tmp/x.tsv").ok());
+}
+
+}  // namespace
+}  // namespace strq

@@ -1,0 +1,92 @@
+#include "relational/width.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/automata_eval.h"
+#include "logic/parser.h"
+
+namespace strq {
+namespace {
+
+TEST(WidthTest, EmptyDatabaseHasWidthZero) {
+  Database db(Alphabet::Binary());
+  EXPECT_EQ(AdomWidth(db), 0);
+}
+
+TEST(WidthTest, AntichainHasWidthOne) {
+  Database db(Alphabet::Binary());
+  // Pairwise prefix-incomparable strings.
+  ASSERT_TRUE(db.AddRelation("R", 1, {{"00"}, {"01"}, {"10"}}).ok());
+  EXPECT_EQ(AdomWidth(db), 1);
+}
+
+TEST(WidthTest, ChainHasFullWidth) {
+  Database db(Alphabet::Binary());
+  ASSERT_TRUE(db.AddRelation("R", 1, {{"0"}, {"00"}, {"000"}, {"1"}}).ok());
+  // Chain 0 ≺ 00 ≺ 000 has size 3; "1" is incomparable with it.
+  EXPECT_EQ(AdomWidth(db), 3);
+}
+
+TEST(WidthTest, MixedRelations) {
+  Database db(Alphabet::Binary());
+  ASSERT_TRUE(db.AddRelation("R", 1, {{"0"}}).ok());
+  ASSERT_TRUE(db.AddRelation("S", 2, {{"01", "011"}}).ok());
+  // 0 ≺ 01 ≺ 011.
+  EXPECT_EQ(AdomWidth(db), 3);
+}
+
+TEST(WidthTest, MakeWidthOneProducesChain) {
+  Database db(Alphabet::Binary());
+  ASSERT_TRUE(db.AddRelation("R", 1, {{"00"}, {"01"}, {"10"}}).ok());
+  ASSERT_TRUE(db.AddRelation("E", 2, {{"00", "01"}, {"01", "10"}}).ok());
+  Result<WidthOneResult> w1 = MakeWidthOne(db);
+  ASSERT_TRUE(w1.ok());
+  // All strings are now 0^i: a single chain.
+  EXPECT_EQ(AdomWidth(w1->database),
+            static_cast<int>(db.ActiveDomain().size()));
+  // Relation cardinalities preserved (the map is injective).
+  EXPECT_EQ(w1->database.Find("R")->size(), 3u);
+  EXPECT_EQ(w1->database.Find("E")->size(), 2u);
+}
+
+TEST(WidthTest, WidthOnePreservesSCIsomorphism) {
+  // A query using only SC-relations (no string structure) must agree on the
+  // original and the width-1 copy — the paper's isomorphism remark.
+  Database db(Alphabet::Binary());
+  ASSERT_TRUE(db.AddRelation("E", 2, {{"00", "01"}, {"01", "10"}}).ok());
+  Result<WidthOneResult> w1 = MakeWidthOne(db);
+  ASSERT_TRUE(w1.ok());
+  Result<FormulaPtr> q = ParseFormula(
+      "exists x in adom. exists y in adom. exists z in adom. "
+      "E(x, y) & E(y, z)");
+  ASSERT_TRUE(q.ok());
+  AutomataEvaluator original(&db);
+  AutomataEvaluator transformed(&w1->database);
+  Result<bool> a = original.EvaluateSentence(*q);
+  Result<bool> b = transformed.EvaluateSentence(*q);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+  EXPECT_TRUE(*a);
+}
+
+TEST(WidthTest, MappingIsReturned) {
+  Database db(Alphabet::Binary());
+  ASSERT_TRUE(db.AddRelation("R", 1, {{"11"}, {"0"}}).ok());
+  Result<WidthOneResult> w1 = MakeWidthOne(db);
+  ASSERT_TRUE(w1.ok());
+  // Sorted adom: "0", "11" -> 0^1, 0^2.
+  EXPECT_EQ(w1->mapping.at("0"), "0");
+  EXPECT_EQ(w1->mapping.at("11"), "00");
+}
+
+TEST(WidthTest, NeedsZeroInAlphabet) {
+  Result<Alphabet> ab = Alphabet::Create("ab");
+  ASSERT_TRUE(ab.ok());
+  Database db(*ab);
+  ASSERT_TRUE(db.AddRelation("R", 1, {{"a"}}).ok());
+  EXPECT_FALSE(MakeWidthOne(db).ok());
+}
+
+}  // namespace
+}  // namespace strq
