@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cor2_ac0.dir/bench_cor2_ac0.cc.o"
+  "CMakeFiles/bench_cor2_ac0.dir/bench_cor2_ac0.cc.o.d"
+  "bench_cor2_ac0"
+  "bench_cor2_ac0.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cor2_ac0.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

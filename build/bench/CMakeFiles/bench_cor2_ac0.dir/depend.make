@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_cor2_ac0.
+# This may be replaced when dependencies are built.

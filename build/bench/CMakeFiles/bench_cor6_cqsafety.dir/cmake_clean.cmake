@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cor6_cqsafety.dir/bench_cor6_cqsafety.cc.o"
+  "CMakeFiles/bench_cor6_cqsafety.dir/bench_cor6_cqsafety.cc.o.d"
+  "bench_cor6_cqsafety"
+  "bench_cor6_cqsafety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cor6_cqsafety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_insert.dir/bench_ext_insert.cc.o"
+  "CMakeFiles/bench_ext_insert.dir/bench_ext_insert.cc.o.d"
+  "bench_ext_insert"
+  "bench_ext_insert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_insert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

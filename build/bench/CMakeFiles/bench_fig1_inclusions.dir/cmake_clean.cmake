@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_inclusions.dir/bench_fig1_inclusions.cc.o"
+  "CMakeFiles/bench_fig1_inclusions.dir/bench_fig1_inclusions.cc.o.d"
+  "bench_fig1_inclusions"
+  "bench_fig1_inclusions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_inclusions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prop1_concat.dir/bench_prop1_concat.cc.o"
+  "CMakeFiles/bench_prop1_concat.dir/bench_prop1_concat.cc.o.d"
+  "bench_prop1_concat"
+  "bench_prop1_concat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prop1_concat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

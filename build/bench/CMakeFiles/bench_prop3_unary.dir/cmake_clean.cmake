@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prop3_unary.dir/bench_prop3_unary.cc.o"
+  "CMakeFiles/bench_prop3_unary.dir/bench_prop3_unary.cc.o.d"
+  "bench_prop3_unary"
+  "bench_prop3_unary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prop3_unary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prop5_3col.dir/bench_prop5_3col.cc.o"
+  "CMakeFiles/bench_prop5_3col.dir/bench_prop5_3col.cc.o.d"
+  "bench_prop5_3col"
+  "bench_prop5_3col.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prop5_3col.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

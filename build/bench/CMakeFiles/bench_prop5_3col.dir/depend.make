@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_prop5_3col.
+# This may be replaced when dependencies are built.

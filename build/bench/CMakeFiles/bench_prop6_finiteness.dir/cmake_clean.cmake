@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prop6_finiteness.dir/bench_prop6_finiteness.cc.o"
+  "CMakeFiles/bench_prop6_finiteness.dir/bench_prop6_finiteness.cc.o.d"
+  "bench_prop6_finiteness"
+  "bench_prop6_finiteness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prop6_finiteness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

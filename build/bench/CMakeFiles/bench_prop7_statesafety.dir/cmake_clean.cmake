@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prop7_statesafety.dir/bench_prop7_statesafety.cc.o"
+  "CMakeFiles/bench_prop7_statesafety.dir/bench_prop7_statesafety.cc.o.d"
+  "bench_prop7_statesafety"
+  "bench_prop7_statesafety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prop7_statesafety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4_like.dir/bench_sec4_like.cc.o"
+  "CMakeFiles/bench_sec4_like.dir/bench_sec4_like.cc.o.d"
+  "bench_sec4_like"
+  "bench_sec4_like.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_like.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm2_slen.dir/bench_thm2_slen.cc.o"
+  "CMakeFiles/bench_thm2_slen.dir/bench_thm2_slen.cc.o.d"
+  "bench_thm2_slen"
+  "bench_thm2_slen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm2_slen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

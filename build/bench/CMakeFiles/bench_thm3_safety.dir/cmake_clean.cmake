@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm3_safety.dir/bench_thm3_safety.cc.o"
+  "CMakeFiles/bench_thm3_safety.dir/bench_thm3_safety.cc.o.d"
+  "bench_thm3_safety"
+  "bench_thm3_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm3_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

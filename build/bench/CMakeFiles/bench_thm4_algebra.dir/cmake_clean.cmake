@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm4_algebra.dir/bench_thm4_algebra.cc.o"
+  "CMakeFiles/bench_thm4_algebra.dir/bench_thm4_algebra.cc.o.d"
+  "bench_thm4_algebra"
+  "bench_thm4_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm4_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

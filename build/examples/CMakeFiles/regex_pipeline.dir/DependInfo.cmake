@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/regex_pipeline.cpp" "examples/CMakeFiles/regex_pipeline.dir/regex_pipeline.cpp.o" "gcc" "examples/CMakeFiles/regex_pipeline.dir/regex_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/concat/CMakeFiles/strq_concat.dir/DependInfo.cmake"
+  "/root/repo/build/src/safety/CMakeFiles/strq_safety.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/strq_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/games/CMakeFiles/strq_games.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/strq_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/strq_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/mta/CMakeFiles/strq_mta.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/strq_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/strq_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

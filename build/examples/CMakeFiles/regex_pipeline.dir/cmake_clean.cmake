@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regex_pipeline.dir/regex_pipeline.cpp.o"
+  "CMakeFiles/regex_pipeline.dir/regex_pipeline.cpp.o.d"
+  "regex_pipeline"
+  "regex_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regex_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

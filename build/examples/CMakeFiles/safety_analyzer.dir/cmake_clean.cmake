@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safety_analyzer.dir/safety_analyzer.cpp.o"
+  "CMakeFiles/safety_analyzer.dir/safety_analyzer.cpp.o.d"
+  "safety_analyzer"
+  "safety_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safety_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

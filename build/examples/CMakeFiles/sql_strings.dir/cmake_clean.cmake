@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_strings.dir/sql_strings.cpp.o"
+  "CMakeFiles/sql_strings.dir/sql_strings.cpp.o.d"
+  "sql_strings"
+  "sql_strings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_strings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

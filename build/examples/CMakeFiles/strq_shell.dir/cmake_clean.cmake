@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strq_shell.dir/strq_shell.cpp.o"
+  "CMakeFiles/strq_shell.dir/strq_shell.cpp.o.d"
+  "strq_shell"
+  "strq_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strq_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/automata/dfa.cc" "src/automata/CMakeFiles/strq_automata.dir/dfa.cc.o" "gcc" "src/automata/CMakeFiles/strq_automata.dir/dfa.cc.o.d"
+  "/root/repo/src/automata/like.cc" "src/automata/CMakeFiles/strq_automata.dir/like.cc.o" "gcc" "src/automata/CMakeFiles/strq_automata.dir/like.cc.o.d"
+  "/root/repo/src/automata/nfa.cc" "src/automata/CMakeFiles/strq_automata.dir/nfa.cc.o" "gcc" "src/automata/CMakeFiles/strq_automata.dir/nfa.cc.o.d"
+  "/root/repo/src/automata/ops.cc" "src/automata/CMakeFiles/strq_automata.dir/ops.cc.o" "gcc" "src/automata/CMakeFiles/strq_automata.dir/ops.cc.o.d"
+  "/root/repo/src/automata/regex.cc" "src/automata/CMakeFiles/strq_automata.dir/regex.cc.o" "gcc" "src/automata/CMakeFiles/strq_automata.dir/regex.cc.o.d"
+  "/root/repo/src/automata/regex_from_dfa.cc" "src/automata/CMakeFiles/strq_automata.dir/regex_from_dfa.cc.o" "gcc" "src/automata/CMakeFiles/strq_automata.dir/regex_from_dfa.cc.o.d"
+  "/root/repo/src/automata/starfree.cc" "src/automata/CMakeFiles/strq_automata.dir/starfree.cc.o" "gcc" "src/automata/CMakeFiles/strq_automata.dir/starfree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/strq_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

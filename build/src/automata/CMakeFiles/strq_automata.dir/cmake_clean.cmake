@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strq_automata.dir/dfa.cc.o"
+  "CMakeFiles/strq_automata.dir/dfa.cc.o.d"
+  "CMakeFiles/strq_automata.dir/like.cc.o"
+  "CMakeFiles/strq_automata.dir/like.cc.o.d"
+  "CMakeFiles/strq_automata.dir/nfa.cc.o"
+  "CMakeFiles/strq_automata.dir/nfa.cc.o.d"
+  "CMakeFiles/strq_automata.dir/ops.cc.o"
+  "CMakeFiles/strq_automata.dir/ops.cc.o.d"
+  "CMakeFiles/strq_automata.dir/regex.cc.o"
+  "CMakeFiles/strq_automata.dir/regex.cc.o.d"
+  "CMakeFiles/strq_automata.dir/regex_from_dfa.cc.o"
+  "CMakeFiles/strq_automata.dir/regex_from_dfa.cc.o.d"
+  "CMakeFiles/strq_automata.dir/starfree.cc.o"
+  "CMakeFiles/strq_automata.dir/starfree.cc.o.d"
+  "libstrq_automata.a"
+  "libstrq_automata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strq_automata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

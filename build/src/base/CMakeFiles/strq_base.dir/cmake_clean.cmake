@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strq_base.dir/alphabet.cc.o"
+  "CMakeFiles/strq_base.dir/alphabet.cc.o.d"
+  "CMakeFiles/strq_base.dir/rng.cc.o"
+  "CMakeFiles/strq_base.dir/rng.cc.o.d"
+  "CMakeFiles/strq_base.dir/status.cc.o"
+  "CMakeFiles/strq_base.dir/status.cc.o.d"
+  "CMakeFiles/strq_base.dir/string_ops.cc.o"
+  "CMakeFiles/strq_base.dir/string_ops.cc.o.d"
+  "libstrq_base.a"
+  "libstrq_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strq_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

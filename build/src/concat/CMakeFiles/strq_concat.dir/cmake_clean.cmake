@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strq_concat.dir/concat_eval.cc.o"
+  "CMakeFiles/strq_concat.dir/concat_eval.cc.o.d"
+  "libstrq_concat.a"
+  "libstrq_concat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strq_concat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

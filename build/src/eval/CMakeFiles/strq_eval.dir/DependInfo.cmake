@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/algebra_eval.cc" "src/eval/CMakeFiles/strq_eval.dir/algebra_eval.cc.o" "gcc" "src/eval/CMakeFiles/strq_eval.dir/algebra_eval.cc.o.d"
+  "/root/repo/src/eval/automata_eval.cc" "src/eval/CMakeFiles/strq_eval.dir/automata_eval.cc.o" "gcc" "src/eval/CMakeFiles/strq_eval.dir/automata_eval.cc.o.d"
+  "/root/repo/src/eval/restricted_eval.cc" "src/eval/CMakeFiles/strq_eval.dir/restricted_eval.cc.o" "gcc" "src/eval/CMakeFiles/strq_eval.dir/restricted_eval.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relational/CMakeFiles/strq_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/mta/CMakeFiles/strq_mta.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/strq_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/strq_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/strq_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

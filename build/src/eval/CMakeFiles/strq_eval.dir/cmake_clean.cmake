@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strq_eval.dir/algebra_eval.cc.o"
+  "CMakeFiles/strq_eval.dir/algebra_eval.cc.o.d"
+  "CMakeFiles/strq_eval.dir/automata_eval.cc.o"
+  "CMakeFiles/strq_eval.dir/automata_eval.cc.o.d"
+  "CMakeFiles/strq_eval.dir/restricted_eval.cc.o"
+  "CMakeFiles/strq_eval.dir/restricted_eval.cc.o.d"
+  "libstrq_eval.a"
+  "libstrq_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strq_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strq_games.dir/ef_game.cc.o"
+  "CMakeFiles/strq_games.dir/ef_game.cc.o.d"
+  "libstrq_games.a"
+  "libstrq_games.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strq_games.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

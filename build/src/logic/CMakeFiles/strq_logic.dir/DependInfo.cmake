@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/ast.cc" "src/logic/CMakeFiles/strq_logic.dir/ast.cc.o" "gcc" "src/logic/CMakeFiles/strq_logic.dir/ast.cc.o.d"
+  "/root/repo/src/logic/parser.cc" "src/logic/CMakeFiles/strq_logic.dir/parser.cc.o" "gcc" "src/logic/CMakeFiles/strq_logic.dir/parser.cc.o.d"
+  "/root/repo/src/logic/signature.cc" "src/logic/CMakeFiles/strq_logic.dir/signature.cc.o" "gcc" "src/logic/CMakeFiles/strq_logic.dir/signature.cc.o.d"
+  "/root/repo/src/logic/simplify.cc" "src/logic/CMakeFiles/strq_logic.dir/simplify.cc.o" "gcc" "src/logic/CMakeFiles/strq_logic.dir/simplify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/automata/CMakeFiles/strq_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/strq_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strq_logic.dir/ast.cc.o"
+  "CMakeFiles/strq_logic.dir/ast.cc.o.d"
+  "CMakeFiles/strq_logic.dir/parser.cc.o"
+  "CMakeFiles/strq_logic.dir/parser.cc.o.d"
+  "CMakeFiles/strq_logic.dir/signature.cc.o"
+  "CMakeFiles/strq_logic.dir/signature.cc.o.d"
+  "CMakeFiles/strq_logic.dir/simplify.cc.o"
+  "CMakeFiles/strq_logic.dir/simplify.cc.o.d"
+  "libstrq_logic.a"
+  "libstrq_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strq_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mta/atoms.cc" "src/mta/CMakeFiles/strq_mta.dir/atoms.cc.o" "gcc" "src/mta/CMakeFiles/strq_mta.dir/atoms.cc.o.d"
+  "/root/repo/src/mta/conv.cc" "src/mta/CMakeFiles/strq_mta.dir/conv.cc.o" "gcc" "src/mta/CMakeFiles/strq_mta.dir/conv.cc.o.d"
+  "/root/repo/src/mta/track_automaton.cc" "src/mta/CMakeFiles/strq_mta.dir/track_automaton.cc.o" "gcc" "src/mta/CMakeFiles/strq_mta.dir/track_automaton.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/automata/CMakeFiles/strq_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/strq_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strq_mta.dir/atoms.cc.o"
+  "CMakeFiles/strq_mta.dir/atoms.cc.o.d"
+  "CMakeFiles/strq_mta.dir/conv.cc.o"
+  "CMakeFiles/strq_mta.dir/conv.cc.o.d"
+  "CMakeFiles/strq_mta.dir/track_automaton.cc.o"
+  "CMakeFiles/strq_mta.dir/track_automaton.cc.o.d"
+  "libstrq_mta.a"
+  "libstrq_mta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strq_mta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

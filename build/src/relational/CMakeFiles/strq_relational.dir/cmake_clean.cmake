@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strq_relational.dir/algebra.cc.o"
+  "CMakeFiles/strq_relational.dir/algebra.cc.o.d"
+  "CMakeFiles/strq_relational.dir/database.cc.o"
+  "CMakeFiles/strq_relational.dir/database.cc.o.d"
+  "CMakeFiles/strq_relational.dir/tsv.cc.o"
+  "CMakeFiles/strq_relational.dir/tsv.cc.o.d"
+  "CMakeFiles/strq_relational.dir/width.cc.o"
+  "CMakeFiles/strq_relational.dir/width.cc.o.d"
+  "libstrq_relational.a"
+  "libstrq_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strq_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/safety/query_safety.cc" "src/safety/CMakeFiles/strq_safety.dir/query_safety.cc.o" "gcc" "src/safety/CMakeFiles/strq_safety.dir/query_safety.cc.o.d"
+  "/root/repo/src/safety/range_restriction.cc" "src/safety/CMakeFiles/strq_safety.dir/range_restriction.cc.o" "gcc" "src/safety/CMakeFiles/strq_safety.dir/range_restriction.cc.o.d"
+  "/root/repo/src/safety/safe_translation.cc" "src/safety/CMakeFiles/strq_safety.dir/safe_translation.cc.o" "gcc" "src/safety/CMakeFiles/strq_safety.dir/safe_translation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/strq_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/strq_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/strq_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/strq_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/mta/CMakeFiles/strq_mta.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/strq_automata.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

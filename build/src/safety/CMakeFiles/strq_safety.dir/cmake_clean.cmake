@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strq_safety.dir/query_safety.cc.o"
+  "CMakeFiles/strq_safety.dir/query_safety.cc.o.d"
+  "CMakeFiles/strq_safety.dir/range_restriction.cc.o"
+  "CMakeFiles/strq_safety.dir/range_restriction.cc.o.d"
+  "CMakeFiles/strq_safety.dir/safe_translation.cc.o"
+  "CMakeFiles/strq_safety.dir/safe_translation.cc.o.d"
+  "libstrq_safety.a"
+  "libstrq_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strq_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

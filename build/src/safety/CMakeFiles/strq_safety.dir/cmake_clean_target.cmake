@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstrq_safety.a"
+)

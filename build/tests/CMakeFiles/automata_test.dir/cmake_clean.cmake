@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automata_test.dir/automata/dfa_test.cc.o"
+  "CMakeFiles/automata_test.dir/automata/dfa_test.cc.o.d"
+  "CMakeFiles/automata_test.dir/automata/like_test.cc.o"
+  "CMakeFiles/automata_test.dir/automata/like_test.cc.o.d"
+  "CMakeFiles/automata_test.dir/automata/nfa_test.cc.o"
+  "CMakeFiles/automata_test.dir/automata/nfa_test.cc.o.d"
+  "CMakeFiles/automata_test.dir/automata/ops_test.cc.o"
+  "CMakeFiles/automata_test.dir/automata/ops_test.cc.o.d"
+  "CMakeFiles/automata_test.dir/automata/regex_from_dfa_test.cc.o"
+  "CMakeFiles/automata_test.dir/automata/regex_from_dfa_test.cc.o.d"
+  "CMakeFiles/automata_test.dir/automata/regex_test.cc.o"
+  "CMakeFiles/automata_test.dir/automata/regex_test.cc.o.d"
+  "CMakeFiles/automata_test.dir/automata/starfree_test.cc.o"
+  "CMakeFiles/automata_test.dir/automata/starfree_test.cc.o.d"
+  "automata_test"
+  "automata_test.pdb"
+  "automata_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automata_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

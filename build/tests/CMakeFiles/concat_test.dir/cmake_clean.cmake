@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concat_test.dir/concat/concat_eval_test.cc.o"
+  "CMakeFiles/concat_test.dir/concat/concat_eval_test.cc.o.d"
+  "concat_test"
+  "concat_test.pdb"
+  "concat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

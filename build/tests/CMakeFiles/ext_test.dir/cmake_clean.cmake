@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_test.dir/ext/insert_test.cc.o"
+  "CMakeFiles/ext_test.dir/ext/insert_test.cc.o.d"
+  "ext_test"
+  "ext_test.pdb"
+  "ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logic_test.dir/logic/ast_test.cc.o"
+  "CMakeFiles/logic_test.dir/logic/ast_test.cc.o.d"
+  "CMakeFiles/logic_test.dir/logic/nnf_test.cc.o"
+  "CMakeFiles/logic_test.dir/logic/nnf_test.cc.o.d"
+  "CMakeFiles/logic_test.dir/logic/parser_test.cc.o"
+  "CMakeFiles/logic_test.dir/logic/parser_test.cc.o.d"
+  "CMakeFiles/logic_test.dir/logic/signature_test.cc.o"
+  "CMakeFiles/logic_test.dir/logic/signature_test.cc.o.d"
+  "CMakeFiles/logic_test.dir/logic/simplify_test.cc.o"
+  "CMakeFiles/logic_test.dir/logic/simplify_test.cc.o.d"
+  "logic_test"
+  "logic_test.pdb"
+  "logic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mta_test.dir/mta/abc_alphabet_test.cc.o"
+  "CMakeFiles/mta_test.dir/mta/abc_alphabet_test.cc.o.d"
+  "CMakeFiles/mta_test.dir/mta/atoms_test.cc.o"
+  "CMakeFiles/mta_test.dir/mta/atoms_test.cc.o.d"
+  "CMakeFiles/mta_test.dir/mta/conv_test.cc.o"
+  "CMakeFiles/mta_test.dir/mta/conv_test.cc.o.d"
+  "CMakeFiles/mta_test.dir/mta/track_automaton_test.cc.o"
+  "CMakeFiles/mta_test.dir/mta/track_automaton_test.cc.o.d"
+  "mta_test"
+  "mta_test.pdb"
+  "mta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_test.dir/relational/database_test.cc.o"
+  "CMakeFiles/relational_test.dir/relational/database_test.cc.o.d"
+  "CMakeFiles/relational_test.dir/relational/tsv_test.cc.o"
+  "CMakeFiles/relational_test.dir/relational/tsv_test.cc.o.d"
+  "CMakeFiles/relational_test.dir/relational/width_test.cc.o"
+  "CMakeFiles/relational_test.dir/relational/width_test.cc.o.d"
+  "relational_test"
+  "relational_test.pdb"
+  "relational_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
