@@ -16,11 +16,14 @@
 namespace strq {
 namespace {
 
+using bench::BenchReporter;
 using bench::Header;
 using bench::Row;
 using bench::TimeSeconds;
 
-int Run() {
+int Run(int argc, char** argv) {
+  BenchReporter reporter(argc, argv, "P1",
+                         "Proposition 1 — concatenation breaks everything");
   Header("P1", "Proposition 1 — concatenation breaks everything");
 
   Database db(Alphabet::Binary());
@@ -45,13 +48,18 @@ int Run() {
   // 3. Bounded evaluation: answers and cost as the bound grows.
   ConcatEvaluator bounded(&db);
   std::printf("\n  bound |   time (s) | answers (bounded semantics)\n");
-  for (int bound = 2; bound <= 12; bound += 2) {
+  const int max_bound = reporter.smoke() ? 6 : 12;
+  std::vector<double> bounds, times;
+  for (int bound = 2; bound <= max_bound; bound += 2) {
     Result<Relation> out = bounded.EvaluateBounded(square, bound);
     double t = TimeSeconds(
         [&] { (void)bounded.EvaluateBounded(square, bound); }, 1);
     std::printf("  %5d | %10.4f | %zu\n", bound, t,
                 out.ok() ? out->size() : 0);
+    bounds.push_back(bound);
+    times.push_back(t);
   }
+  reporter.AddSeries("bounded_evaluation", bounds, times);
   Row("answers stabilize only because R is finite here; for queries with");
   Row("universal quantifiers bounded verdicts flip with the bound and");
   Row("certify nothing (Proposition 1 / Corollary 1).");
@@ -75,4 +83,4 @@ int Run() {
 }  // namespace
 }  // namespace strq
 
-int main() { return strq::Run(); }
+int main(int argc, char** argv) { return strq::Run(argc, argv); }

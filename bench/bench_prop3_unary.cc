@@ -13,6 +13,7 @@
 namespace strq {
 namespace {
 
+using bench::BenchReporter;
 using bench::Header;
 using bench::LogLogSlope;
 using bench::RandomUnaryDb;
@@ -24,7 +25,10 @@ FormulaPtr Q(const std::string& text) {
   return *std::move(r);
 }
 
-int Run() {
+int Run(int argc, char** argv) {
+  BenchReporter reporter(argc, argv, "P3",
+                         "Proposition 3 — linear-time Boolean RC(S) on "
+                         "unary dbs");
   Header("P3", "Proposition 3 — linear-time Boolean RC(S) on unary dbs");
 
   struct QueryCase {
@@ -41,11 +45,13 @@ int Run() {
        "forall x in adom. forall y in adom. lexleq(lcp(x, y), x)", 2.0},
   };
 
+  std::vector<int> sizes = {250, 500, 1000, 2000, 4000};
+  if (reporter.smoke()) sizes = {100, 200};
   for (const QueryCase& q : queries) {
     std::printf("\n  %-16s n ->", q.name);
     std::vector<double> ns;
     std::vector<double> ts;
-    for (int n : {250, 500, 1000, 2000, 4000}) {
+    for (int n : sizes) {
       Database db = RandomUnaryDb(41, n, 1, 16);
       RestrictedEvaluator engine(&db);
       FormulaPtr f = Q(q.text);
@@ -56,6 +62,9 @@ int Run() {
     }
     std::printf("\n  fitted degree %.2f (expected ≈ %.1f)\n",
                 LogLogSlope(ns, ts), q.expected_degree);
+    reporter.AddSeries(q.name, ns, ts);
+    reporter.AddScalar(std::string(q.name) + ".expected_degree",
+                       q.expected_degree);
   }
   std::printf(
       "\n  (worst-case existential scans may exit early; the paper's bound\n"
@@ -67,4 +76,4 @@ int Run() {
 }  // namespace
 }  // namespace strq
 
-int main() { return strq::Run(); }
+int main(int argc, char** argv) { return strq::Run(argc, argv); }

@@ -10,6 +10,7 @@
 //     with automaton sizes, not candidate counts).
 
 #include <cstdio>
+#include <iterator>
 #include <string>
 
 #include "bench/bench_util.h"
@@ -20,6 +21,7 @@
 namespace strq {
 namespace {
 
+using bench::BenchReporter;
 using bench::Header;
 using bench::Row;
 using bench::TimeSeconds;
@@ -44,7 +46,10 @@ Database ChainDb(int max_len) {
   return db;
 }
 
-int Run() {
+int Run(int argc, char** argv) {
+  BenchReporter reporter(argc, argv, "T2",
+                         "Theorem 2 — length-restricted collapse and the "
+                         "PH wall");
   Header("T2", "Theorem 2 — length-restricted collapse and the PH wall");
 
   const std::string battery[] = {
@@ -59,12 +64,16 @@ int Run() {
     Database db = ChainDb(6);
     AutomataEvaluator engine_a(&db);
     RestrictedEvaluator engine_b(&db);
+    int agreed = 0;
     for (const std::string& q : battery) {
       Result<bool> a = engine_a.EvaluateSentence(Q(q));
       Result<bool> b = engine_b.EvaluateSentence(Q(q));
-      std::printf("   agree=%s  %s\n",
-                  (a.ok() && b.ok() && *a == *b) ? "yes" : "NO ", q.c_str());
+      bool agree = a.ok() && b.ok() && *a == *b;
+      agreed += agree;
+      std::printf("   agree=%s  %s\n", agree ? "yes" : "NO ", q.c_str());
     }
+    reporter.AddScalar("agreement", agreed);
+    reporter.AddScalar("battery_size", std::size(battery));
   }
 
   std::printf(
@@ -74,16 +83,22 @@ int Run() {
   FormulaPtr probe = Q(
       "exists x len adom. exists y len adom. eqlen(x, y) & !(x = y) & "
       "last[1](x) & last[1](y) & !adom(x) & !adom(y)");
-  for (int len : {4, 8, 12, 16}) {
+  std::vector<int> lens = {4, 8, 12, 16};
+  if (reporter.smoke()) lens = {4, 8};
+  std::vector<double> xs, enum_ts, auto_ts;
+  for (int len : lens) {
     Database db = ChainDb(len);
     RestrictedEvaluator engine_b(&db);
     AutomataEvaluator engine_a(&db);
     double tb = TimeSeconds([&] { (void)engine_b.EvaluateSentence(probe); });
     double ta = TimeSeconds([&] { (void)engine_a.EvaluateSentence(probe); });
-    double candidates = 1;
-    for (int i = 0; i < len; ++i) candidates = candidates * 2 + 1;
     std::printf("  %6d | %15.4f | %12.4f | ~2^%d\n", len, tb, ta, len + 1);
+    xs.push_back(len);
+    enum_ts.push_back(tb);
+    auto_ts.push_back(ta);
   }
+  reporter.AddSeries("enumeration", xs, enum_ts);
+  reporter.AddSeries("automata", xs, auto_ts);
   Row("enumeration cost doubles with each extra symbol (the Theorem 2");
   Row("bound is tight in this sense); the automata engine's exactness");
   Row("does not rescue worst-case complexity — Proposition 5 plants");
@@ -94,4 +109,4 @@ int Run() {
 }  // namespace
 }  // namespace strq
 
-int main() { return strq::Run(); }
+int main(int argc, char** argv) { return strq::Run(argc, argv); }

@@ -7,6 +7,7 @@
 //   add <name> <v1> [v2 ...]    insert a tuple ('' stands for ε)
 //   show                        print the catalog and active domain
 //   query <formula>             evaluate; prints tuples or the error
+//   explain <formula>           EXPLAIN ANALYZE: span tree + metrics
 //   ask <formula>               evaluate a sentence (true/false)
 //   safe <formula>              state-safety on the current database
 //   cqsafe <formula>            CQ safety over ALL databases
@@ -30,6 +31,7 @@
 #include "automata/regex_from_dfa.h"
 #include "eval/algebra_eval.h"
 #include "eval/automata_eval.h"
+#include "eval/explain.h"
 #include "logic/parser.h"
 #include "logic/signature.h"
 #include "logic/simplify.h"
@@ -75,11 +77,18 @@ class Shell {
     std::getline(in, rest);
     if (!rest.empty() && rest[0] == ' ') rest.erase(0, 1);
 
+    // \explain is the SQL-flavored spelling; both forms are accepted.
+    if (cmd == "\\explain") cmd = "explain";
+
     if (cmd == "quit" || cmd == "exit") return false;
     if (cmd == "help") {
       std::printf(
-          "  commands: alphabet rel add load save show query ask safe cqsafe "
-          "lang simplify plan describe width help quit\n");
+          "  commands: alphabet rel add load save show query explain ask "
+          "safe cqsafe lang simplify plan describe width help quit\n");
+      std::printf(
+          "  explain (or \\explain) <formula>: compile with tracing on and "
+          "print the span tree,\n"
+          "  automaton sizes and metric counters (docs/OBSERVABILITY.md)\n");
       return true;
     }
     if (cmd == "alphabet") {
@@ -218,6 +227,13 @@ class Shell {
         for (const std::string& v : t) std::printf(" '%s'", v.c_str());
         std::printf("\n");
       }
+    } else if (cmd == "explain") {
+      Result<ExplainAnalyzeResult> out = ExplainAnalyze(&db_, f);
+      if (!out.ok()) {
+        std::printf("  %s\n", out.status().ToString().c_str());
+        return true;
+      }
+      std::printf("%s", out->Pretty().c_str());
     } else if (cmd == "ask") {
       Result<bool> v = engine.EvaluateSentence(f);
       std::printf("  %s\n", v.ok() ? (*v ? "true" : "false")

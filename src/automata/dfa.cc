@@ -6,6 +6,8 @@
 #include <map>
 #include <numeric>
 
+#include "obs/trace.h"
+
 namespace strq {
 
 Result<Dfa> Dfa::Create(int alphabet_size, int start,
@@ -303,6 +305,7 @@ Dfa Dfa::Complemented() const {
 }
 
 Dfa Dfa::Minimized() const {
+  obs::Span span("dfa.minimize");
   // Restrict to reachable states first.
   std::vector<bool> reach = ReachableStates();
   std::vector<int> remap(next_.size(), -1);
@@ -358,6 +361,10 @@ Dfa Dfa::Minimized() const {
     for (int s = 0; s < alphabet_size_; ++s) min_next[p][s] = part[next[q][s]];
     if (accepting[q]) min_acc[p] = true;
   }
+  span.Attr("in_states", num_states());
+  span.Attr("out_states", num_parts);
+  obs::Count(obs::kDfaMinimizations);
+  obs::Count(obs::kDfaStatesBuilt, num_parts);
   return Dfa(alphabet_size_, part[start], std::move(min_next),
              std::move(min_acc));
 }

@@ -31,6 +31,12 @@ class Dfa {
 
   int alphabet_size() const { return alphabet_size_; }
   int num_states() const { return static_cast<int>(next_.size()); }
+  // Total transition-table entries, num_states() * alphabet_size(): the
+  // tables are complete, so this is the memory-relevant size figure that
+  // the observability layer records alongside state counts.
+  int64_t NumTransitions() const {
+    return static_cast<int64_t>(next_.size()) * alphabet_size_;
+  }
   int start() const { return start_; }
   int Next(int state, Symbol s) const { return next_[state][s]; }
   bool IsAccepting(int state) const { return accepting_[state]; }

@@ -5,12 +5,16 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace strq {
 
 Result<Dfa> Determinize(const Nfa& nfa, int max_states) {
   if (nfa.num_states() == 0) {
     return Dfa::EmptyLanguage(nfa.alphabet_size());
   }
+  obs::Span span("dfa.determinize");
+  span.Attr("nfa_states", nfa.num_states());
   int k = nfa.alphabet_size();
   std::map<std::vector<int>, int> ids;
   std::vector<std::vector<int>> subsets;
@@ -51,6 +55,9 @@ Result<Dfa> Determinize(const Nfa& nfa, int max_states) {
       next[i][s] = target;
     }
   }
+  span.Attr("dfa_states", static_cast<int64_t>(subsets.size()));
+  obs::Count(obs::kDfaDeterminizations);
+  obs::Count(obs::kDfaStatesBuilt, static_cast<int64_t>(subsets.size()));
   return Dfa::Create(k, start, std::move(next), std::move(accepting));
 }
 
@@ -61,10 +68,15 @@ Result<Dfa> Product(const Dfa& a, const Dfa& b, bool (*combine)(bool, bool)) {
   if (a.alphabet_size() != b.alphabet_size()) {
     return InvalidArgumentError("product of DFAs over different alphabets");
   }
+  obs::Span span("dfa.product");
+  span.Attr("a_states", a.num_states());
+  span.Attr("b_states", b.num_states());
   int k = a.alphabet_size();
   int nb = b.num_states();
   auto encode = [nb](int qa, int qb) { return qa * nb + qb; };
   int n = a.num_states() * nb;
+  obs::Count(obs::kDfaProducts);
+  obs::Count(obs::kDfaStatesBuilt, n);
   std::vector<std::vector<int>> next(n,
                                      std::vector<int>(static_cast<size_t>(k)));
   std::vector<bool> accepting(n);

@@ -2,6 +2,7 @@
 
 #include "base/string_ops.h"
 #include "eval/restricted_eval.h"
+#include "obs/trace.h"
 
 namespace strq {
 
@@ -17,12 +18,18 @@ RestrictedEvaluator MakeBounded(const Database* db, int bound) {
 
 Result<bool> ConcatEvaluator::EvaluateSentenceBounded(const FormulaPtr& f,
                                                       int bound) {
+  obs::Span span("concat.sentence_bounded");
+  span.Attr("bound", bound);
+  obs::Count(obs::kConcatBoundedRounds);
   RestrictedEvaluator eval = MakeBounded(db_, bound);
   return eval.EvaluateSentence(f);
 }
 
 Result<Relation> ConcatEvaluator::EvaluateBounded(const FormulaPtr& f,
                                                   int bound) {
+  obs::Span span("concat.evaluate_bounded");
+  span.Attr("bound", bound);
+  obs::Count(obs::kConcatBoundedRounds);
   RestrictedEvaluator eval = MakeBounded(db_, bound);
   std::string chars;
   for (int i = 0; i < db_->alphabet().size(); ++i) {

@@ -4,8 +4,32 @@
 #include <set>
 
 #include "base/string_ops.h"
+#include "obs/trace.h"
 
 namespace strq {
+
+namespace {
+
+const char* RaSpanName(RaKind kind) {
+  switch (kind) {
+    case RaKind::kScan: return "ra.scan";
+    case RaKind::kEpsilon: return "ra.epsilon";
+    case RaKind::kSelect: return "ra.select";
+    case RaKind::kProject: return "ra.project";
+    case RaKind::kProduct: return "ra.product";
+    case RaKind::kUnion: return "ra.union";
+    case RaKind::kDifference: return "ra.difference";
+    case RaKind::kPrefix: return "ra.prefix";
+    case RaKind::kAddRight: return "ra.add_right";
+    case RaKind::kAddLeft: return "ra.add_left";
+    case RaKind::kTrimLeft: return "ra.trim_left";
+    case RaKind::kInsert: return "ra.insert";
+    case RaKind::kDown: return "ra.down";
+  }
+  return "ra";
+}
+
+}  // namespace
 
 AlgebraEvaluator::AlgebraEvaluator(const Database* db, Options options)
     : db_(db), options_(options), formula_engine_(db) {}
@@ -59,13 +83,27 @@ Result<std::vector<int>> ConditionColumnMap(const FormulaPtr& condition,
 Result<Relation> AlgebraEvaluator::Eval(const RaPtr& expr) {
   if (!options_.enable_memo) return EvalUncached(*expr);
   auto it = memo_.find(expr.get());
-  if (it != memo_.end()) return it->second;
+  if (it != memo_.end()) {
+    obs::Count(obs::kAlgebraMemoHits);
+    return it->second;
+  }
   Result<Relation> out = EvalUncached(*expr);
   if (out.ok()) memo_.emplace(expr.get(), *out);
   return out;
 }
 
 Result<Relation> AlgebraEvaluator::EvalUncached(const RaExpr& node) {
+  obs::Span span(RaSpanName(node.kind));
+  obs::Count(obs::kAlgebraNodesEvaluated);
+  Result<Relation> out = EvalNode(node);
+  if (span.active() && out.ok()) {
+    span.Attr("tuples", static_cast<int64_t>(out->size()));
+    span.Attr("arity", out->arity());
+  }
+  return out;
+}
+
+Result<Relation> AlgebraEvaluator::EvalNode(const RaExpr& node) {
   // Recursive children are fetched through Eval() for memoization.
   switch (node.kind) {
     case RaKind::kScan: {

@@ -35,7 +35,9 @@ class AlgebraEvaluator {
 
  private:
   Result<Relation> Eval(const RaPtr& expr);
+  // EvalUncached wraps EvalNode with a trace span and per-node metrics.
   Result<Relation> EvalUncached(const RaExpr& expr);
+  Result<Relation> EvalNode(const RaExpr& expr);
   Status CheckBudget(size_t size) const;
 
   const Database* db_;

@@ -6,10 +6,40 @@
 #include "automata/like.h"
 #include "automata/regex.h"
 #include "mta/atoms.h"
+#include "obs/trace.h"
 
 namespace strq {
 
 namespace {
+
+// Span name for the compile-time trace, one per AST node kind.
+const char* CompileSpanName(FormulaKind kind) {
+  switch (kind) {
+    case FormulaKind::kTrue: return "compile.true";
+    case FormulaKind::kFalse: return "compile.false";
+    case FormulaKind::kPred: return "compile.pred";
+    case FormulaKind::kRelation: return "compile.relation";
+    case FormulaKind::kNot: return "compile.not";
+    case FormulaKind::kAnd: return "compile.and";
+    case FormulaKind::kOr: return "compile.or";
+    case FormulaKind::kImplies: return "compile.implies";
+    case FormulaKind::kIff: return "compile.iff";
+    case FormulaKind::kExists: return "compile.exists";
+    case FormulaKind::kForall: return "compile.forall";
+  }
+  return "compile";
+}
+
+// Source rendering of the node, truncated so deep traces stay readable.
+std::string CompileSpanDetail(const FormulaPtr& f) {
+  std::string text = ToString(f);
+  constexpr size_t kMaxDetail = 72;
+  if (text.size() > kMaxDetail) {
+    text.resize(kMaxDetail);
+    text += "...";
+  }
+  return text;
+}
 
 // Canonical variable block used when caching relation automata; remapped to
 // the actual argument variables per occurrence.
@@ -359,7 +389,21 @@ class Compiler {
     return rel;
   }
 
+  // One span per AST node: name by kind, detail = the subformula, attrs =
+  // output automaton size. The nesting mirrors the recursion, so the span
+  // tree IS the compile plan (EXPLAIN ANALYZE over it).
   Result<TrackAutomaton> Compile(const FormulaPtr& f) {
+    obs::Span span(CompileSpanName(f->kind));
+    if (span.active()) span.set_detail(CompileSpanDetail(f));
+    Result<TrackAutomaton> out = CompileNode(f);
+    if (span.active() && out.ok()) {
+      span.Attr("states", out->NumStates());
+      span.Attr("arity", out->arity());
+    }
+    return out;
+  }
+
+  Result<TrackAutomaton> CompileNode(const FormulaPtr& f) {
     switch (f->kind) {
       case FormulaKind::kTrue:
         return TrackAutomaton::Truth(alphabet(), true);
@@ -437,9 +481,14 @@ Result<TrackAutomaton> AutomataEvaluator::Compile(const FormulaPtr& f) {
 Result<Relation> AutomataEvaluator::Evaluate(const FormulaPtr& f,
                                              size_t max_tuples) {
   STRQ_ASSIGN_OR_RETURN(TrackAutomaton rel, Compile(f));
+  obs::Span span("eval.enumerate");
+  span.Attr("answer_states", rel.NumStates());
   Result<std::vector<std::vector<std::string>>> tuples =
       rel.AllTuples(max_tuples);
   if (!tuples.ok()) return tuples.status();
+  span.Attr("tuples", static_cast<int64_t>(tuples->size()));
+  obs::Count(obs::kEvalTuplesEnumerated,
+             static_cast<int64_t>(tuples->size()));
   return Relation::Create(rel.arity(), *std::move(tuples));
 }
 
@@ -460,7 +509,13 @@ Result<Dfa> AutomataEvaluator::CompiledPattern(const std::string& pattern,
                                                PatternSyntax syntax) {
   std::pair<std::string, int> key(pattern, static_cast<int>(syntax));
   auto it = pattern_cache_.find(key);
-  if (it != pattern_cache_.end()) return it->second;
+  if (it != pattern_cache_.end()) {
+    obs::Count(obs::kPatternCacheHits);
+    return it->second;
+  }
+  obs::Count(obs::kPatternCacheMisses);
+  obs::Span span("compile.pattern");
+  if (span.active()) span.set_detail(pattern);
   Result<Dfa> lang = InternalError("unset");
   switch (syntax) {
     case PatternSyntax::kLikePattern:
@@ -474,6 +529,7 @@ Result<Dfa> AutomataEvaluator::CompiledPattern(const std::string& pattern,
       break;
   }
   if (!lang.ok()) return lang.status();
+  span.Attr("states", lang->num_states());
   pattern_cache_.emplace(key, *lang);
   return *std::move(lang);
 }

@@ -1,0 +1,101 @@
+#include "eval/explain.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "eval/automata_eval.h"
+
+namespace strq {
+
+Result<ExplainAnalyzeResult> ExplainAnalyze(const Database* db,
+                                            const FormulaPtr& f,
+                                            size_t max_tuples) {
+  ExplainAnalyzeResult result;
+  result.columns = AutomataEvaluator::FreeVarOrder(f);
+
+  obs::ScopedEnable enable(true);
+  std::map<std::string, int64_t> before =
+      obs::MetricsRegistry::Global().Snapshot();
+  obs::TraceSession session("explain");
+  auto start = std::chrono::steady_clock::now();
+
+  AutomataEvaluator engine(db);
+  STRQ_ASSIGN_OR_RETURN(TrackAutomaton rel, engine.Compile(f));
+  result.answer_states = rel.NumStates();
+  result.answer_transitions = rel.NumTransitions();
+  result.finite = rel.IsFinite();
+  if (result.finite) {
+    obs::Span span("eval.enumerate");
+    span.Attr("answer_states", rel.NumStates());
+    STRQ_ASSIGN_OR_RETURN(std::vector<Tuple> tuples, rel.AllTuples(max_tuples));
+    span.Attr("tuples", static_cast<int64_t>(tuples.size()));
+    obs::Count(obs::kEvalTuplesEnumerated,
+               static_cast<int64_t>(tuples.size()));
+    STRQ_ASSIGN_OR_RETURN(result.answer,
+                          Relation::Create(rel.arity(), std::move(tuples)));
+  } else {
+    result.answer = Relation::Empty(rel.arity());
+  }
+
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  result.trace = session.Take();
+  result.trace->seconds = result.seconds;
+  result.metrics =
+      obs::MetricsDelta(before, obs::MetricsRegistry::Global().Snapshot());
+  return result;
+}
+
+std::string ExplainAnalyzeResult::Pretty() const {
+  std::string out;
+  char buf[160];
+  std::string cols;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) cols += ", ";
+    cols += columns[i];
+  }
+  std::snprintf(buf, sizeof(buf),
+                "EXPLAIN ANALYZE  %.6fs  answer: %s, %d states, ",
+                seconds, finite ? "finite" : "INFINITE", answer_states);
+  out += buf;
+  if (finite) {
+    std::snprintf(buf, sizeof(buf), "%zu tuple(s) over (%s)\n", answer.size(),
+                  cols.c_str());
+  } else {
+    std::snprintf(buf, sizeof(buf), "not enumerated, over (%s)\n",
+                  cols.c_str());
+  }
+  out += buf;
+  if (trace != nullptr) out += PrettyTrace(*trace);
+  if (!metrics.empty()) {
+    out += "metrics:\n";
+    for (const auto& [name, value] : metrics) {
+      std::snprintf(buf, sizeof(buf), "  %-32s %lld\n", name.c_str(),
+                    static_cast<long long>(value));
+      out += buf;
+    }
+  }
+  return out;
+}
+
+obs::JsonValue ExplainAnalyzeResult::ToJson() const {
+  obs::JsonValue out = obs::JsonValue::Object();
+  out.Set("schema", obs::JsonValue::Str("strq.explain.v1"));
+  obs::JsonValue cols = obs::JsonValue::Array();
+  for (const std::string& c : columns) cols.Append(obs::JsonValue::Str(c));
+  out.Set("columns", std::move(cols));
+  obs::JsonValue answer_obj = obs::JsonValue::Object();
+  answer_obj.Set("finite", obs::JsonValue::Bool(finite));
+  answer_obj.Set("states", obs::JsonValue::Int(answer_states));
+  answer_obj.Set("transitions", obs::JsonValue::Int(answer_transitions));
+  answer_obj.Set("tuples", obs::JsonValue::Int(
+                               static_cast<int64_t>(answer.size())));
+  out.Set("answer", std::move(answer_obj));
+  out.Set("seconds", obs::JsonValue::Number(seconds));
+  if (trace != nullptr) out.Set("trace", obs::TraceToJson(*trace));
+  out.Set("metrics", obs::MetricsToJson(metrics));
+  return out;
+}
+
+}  // namespace strq

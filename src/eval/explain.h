@@ -1,0 +1,58 @@
+#ifndef STRQ_EVAL_EXPLAIN_H_
+#define STRQ_EVAL_EXPLAIN_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "logic/ast.h"
+#include "obs/json.h"
+#include "obs/trace.h"
+#include "relational/database.h"
+
+namespace strq {
+
+// The SQL EXPLAIN ANALYZE analogue for the automata engine: compiles φ to
+// its answer automaton with tracing force-enabled, capturing one span per
+// AST node (with output automaton sizes), every underlying automaton
+// operation, and the metric counters the run moved. For state-safe queries
+// the answer relation is enumerated too and matches Evaluate() exactly.
+struct ExplainAnalyzeResult {
+  // Columns of the answer relation, in FreeVarOrder.
+  std::vector<std::string> columns;
+  // The answer, empty when the query is unsafe on this database (finite is
+  // false then — EXPLAIN still reports the compile trace for such queries,
+  // unlike Evaluate which fails outright).
+  Relation answer = Relation::Empty(0);
+  bool finite = true;
+  // Minimized answer-automaton size.
+  int answer_states = 0;
+  int64_t answer_transitions = 0;
+  // Wall time of the whole call.
+  double seconds = 0.0;
+  // The span tree (root node "explain"; children: compilation per AST node,
+  // then enumeration).
+  std::unique_ptr<obs::TraceNode> trace;
+  // Global counters moved by this call (obs::MetricsDelta of the run).
+  std::map<std::string, int64_t> metrics;
+
+  // Indented per-node text rendering, states and wall time per span.
+  std::string Pretty() const;
+  // Machine-readable form, schema "strq.explain.v1" — see
+  // docs/OBSERVABILITY.md.
+  obs::JsonValue ToJson() const;
+};
+
+// Runs the analysis on its own evaluator (fresh caches, so the trace always
+// shows the full cost). Tracing is enabled for the duration of the call and
+// restored afterwards.
+Result<ExplainAnalyzeResult> ExplainAnalyze(const Database* db,
+                                            const FormulaPtr& f,
+                                            size_t max_tuples = 1000000);
+
+}  // namespace strq
+
+#endif  // STRQ_EVAL_EXPLAIN_H_

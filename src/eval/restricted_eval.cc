@@ -7,6 +7,7 @@
 #include "automata/like.h"
 #include "automata/regex.h"
 #include "base/string_ops.h"
+#include "obs/trace.h"
 
 namespace strq {
 
@@ -254,6 +255,8 @@ class Evaluator {
   Result<bool> EvalQuantifier(const Formula& f, Env& env) {
     STRQ_ASSIGN_OR_RETURN(std::vector<std::string> candidates,
                           Candidates(f, env));
+    obs::Count(obs::kRestrictedCandidates,
+               static_cast<int64_t>(candidates.size()));
     bool is_forall = f.kind == FormulaKind::kForall;
     auto saved = env.find(f.var);
     std::optional<std::string> shadowed;
@@ -301,6 +304,7 @@ RestrictedEvaluator::RestrictedEvaluator(const Database* db, Options options)
 
 Result<bool> RestrictedEvaluator::Holds(
     const FormulaPtr& f, const std::map<std::string, std::string>& assignment) {
+  obs::Span span("restricted.holds");
   Evaluator eval(db_, options_);
   Env env = assignment;
   return eval.Eval(f, env);
@@ -315,6 +319,8 @@ Result<bool> RestrictedEvaluator::EvaluateSentence(const FormulaPtr& f) {
 
 Result<Relation> RestrictedEvaluator::EvaluateOnCandidates(
     const FormulaPtr& f, const std::vector<std::string>& candidates) {
+  obs::Span span("restricted.evaluate_on_candidates");
+  span.Attr("candidates", static_cast<int64_t>(candidates.size()));
   std::set<std::string> fv = FreeVars(f);
   std::vector<std::string> vars(fv.begin(), fv.end());
   int k = static_cast<int>(vars.size());

@@ -6,6 +6,7 @@
 
 #include "automata/nfa.h"
 #include "automata/ops.h"
+#include "obs/trace.h"
 
 namespace strq {
 
@@ -72,7 +73,10 @@ Result<TrackAutomaton> TrackAutomaton::Create(const Alphabet& alphabet,
   }
   STRQ_ASSIGN_OR_RETURN(Dfa valid, ValidConvolutions(conv));
   STRQ_ASSIGN_OR_RETURN(Dfa clean, strq::Intersect(dfa, valid));
-  return TrackAutomaton(alphabet, std::move(vars), conv, clean.Minimized());
+  Dfa minimized = clean.Minimized();
+  obs::Count(obs::kMtaStatesBuilt, minimized.num_states());
+  obs::Count(obs::kMtaTransitionsBuilt, minimized.NumTransitions());
+  return TrackAutomaton(alphabet, std::move(vars), conv, std::move(minimized));
 }
 
 Result<TrackAutomaton> TrackAutomaton::FullRelation(const Alphabet& alphabet,
@@ -110,6 +114,8 @@ Result<TrackAutomaton> TrackAutomaton::FromTuples(
   if (!StrictlyIncreasing(vars)) {
     return InvalidArgumentError("track variables must be strictly increasing");
   }
+  obs::Span span("mta.from_tuples");
+  span.Attr("tuples", static_cast<int64_t>(tuples.size()));
   STRQ_ASSIGN_OR_RETURN(
       ConvAlphabet conv,
       ConvAlphabet::Create(alphabet.size(), static_cast<int>(vars.size())));
@@ -152,7 +158,10 @@ Result<TrackAutomaton> TrackAutomaton::FromTuples(
   STRQ_ASSIGN_OR_RETURN(Dfa dfa, Dfa::Create(conv.num_letters(), 0,
                                              std::move(next),
                                              std::move(accepting)));
-  return Create(alphabet, std::move(vars), std::move(dfa));
+  Result<TrackAutomaton> out = Create(alphabet, std::move(vars),
+                                      std::move(dfa));
+  if (out.ok()) span.Attr("out_states", out->NumStates());
+  return out;
 }
 
 Result<bool> TrackAutomaton::Contains(
@@ -167,6 +176,11 @@ Result<TrackAutomaton> TrackAutomaton::Cylindrified(
   if (!StrictlyIncreasing(new_vars)) {
     return InvalidArgumentError("track variables must be strictly increasing");
   }
+  obs::Span span("mta.cylindrify");
+  span.Attr("in_states", NumStates());
+  span.Attr("in_arity", arity());
+  span.Attr("out_arity", static_cast<int64_t>(new_vars.size()));
+  obs::Count(obs::kMtaCylindrifications);
   // Verify vars() ⊆ new_vars and compute, for each new track, the old track
   // it carries (-1 for fresh tracks).
   std::vector<int> old_track_of(new_vars.size(), -1);
@@ -236,11 +250,18 @@ Result<TrackAutomaton> TrackAutomaton::Intersect(const TrackAutomaton& a,
   if (!(a.alphabet_ == b.alphabet_)) {
     return InvalidArgumentError("intersect over different alphabets");
   }
+  obs::Span span("mta.intersect");
+  span.Attr("a_states", a.NumStates());
+  span.Attr("b_states", b.NumStates());
+  obs::Count(obs::kMtaIntersections);
   std::vector<VarId> vars = UnionVars(a.vars_, b.vars_);
   STRQ_ASSIGN_OR_RETURN(TrackAutomaton ca, a.Cylindrified(vars));
   STRQ_ASSIGN_OR_RETURN(TrackAutomaton cb, b.Cylindrified(vars));
   STRQ_ASSIGN_OR_RETURN(Dfa product, strq::Intersect(ca.dfa_, cb.dfa_));
-  return Create(a.alphabet_, std::move(vars), std::move(product));
+  Result<TrackAutomaton> out =
+      Create(a.alphabet_, std::move(vars), std::move(product));
+  if (out.ok()) span.Attr("out_states", out->NumStates());
+  return out;
 }
 
 Result<TrackAutomaton> TrackAutomaton::Union(const TrackAutomaton& a,
@@ -248,16 +269,28 @@ Result<TrackAutomaton> TrackAutomaton::Union(const TrackAutomaton& a,
   if (!(a.alphabet_ == b.alphabet_)) {
     return InvalidArgumentError("union over different alphabets");
   }
+  obs::Span span("mta.union");
+  span.Attr("a_states", a.NumStates());
+  span.Attr("b_states", b.NumStates());
+  obs::Count(obs::kMtaUnions);
   std::vector<VarId> vars = UnionVars(a.vars_, b.vars_);
   STRQ_ASSIGN_OR_RETURN(TrackAutomaton ca, a.Cylindrified(vars));
   STRQ_ASSIGN_OR_RETURN(TrackAutomaton cb, b.Cylindrified(vars));
   STRQ_ASSIGN_OR_RETURN(Dfa product, strq::Union(ca.dfa_, cb.dfa_));
-  return Create(a.alphabet_, std::move(vars), std::move(product));
+  Result<TrackAutomaton> out =
+      Create(a.alphabet_, std::move(vars), std::move(product));
+  if (out.ok()) span.Attr("out_states", out->NumStates());
+  return out;
 }
 
 Result<TrackAutomaton> TrackAutomaton::Complemented() const {
+  obs::Span span("mta.complement");
+  span.Attr("in_states", NumStates());
+  obs::Count(obs::kMtaComplements);
   // Create() re-intersects with Valid, so this is Valid \ L.
-  return Create(alphabet_, vars_, dfa_.Complemented());
+  Result<TrackAutomaton> out = Create(alphabet_, vars_, dfa_.Complemented());
+  if (out.ok()) span.Attr("out_states", out->NumStates());
+  return out;
 }
 
 Result<TrackAutomaton> TrackAutomaton::Project(VarId var) const {
@@ -265,6 +298,9 @@ Result<TrackAutomaton> TrackAutomaton::Project(VarId var) const {
   if (it == vars_.end()) {
     return InvalidArgumentError("projected variable not present");
   }
+  obs::Span span("mta.project");
+  span.Attr("in_states", NumStates());
+  obs::Count(obs::kMtaProjections);
   int track = static_cast<int>(it - vars_.begin());
   std::vector<VarId> new_vars = vars_;
   new_vars.erase(new_vars.begin() + track);
@@ -335,11 +371,17 @@ Result<TrackAutomaton> TrackAutomaton::Project(VarId var) const {
     }
   }
   STRQ_ASSIGN_OR_RETURN(Dfa det, Determinize(nfa));
-  return Create(alphabet_, std::move(new_vars), std::move(det));
+  Result<TrackAutomaton> out =
+      Create(alphabet_, std::move(new_vars), std::move(det));
+  if (out.ok()) span.Attr("out_states", out->NumStates());
+  return out;
 }
 
 Result<TrackAutomaton> TrackAutomaton::Renamed(
     const std::map<VarId, VarId>& renaming) const {
+  obs::Span span("mta.rename");
+  span.Attr("in_states", NumStates());
+  obs::Count(obs::kMtaRenamings);
   std::vector<VarId> renamed(vars_.size());
   for (size_t i = 0; i < vars_.size(); ++i) {
     auto it = renaming.find(vars_[i]);

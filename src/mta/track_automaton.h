@@ -116,6 +116,9 @@ class TrackAutomaton {
   Result<Dfa> UnaryLanguage() const;
 
   int NumStates() const { return dfa_.num_states(); }
+  // Transition-table entries of the underlying convolution DFA (complete
+  // tables: NumStates() * conv().num_letters()).
+  int64_t NumTransitions() const { return dfa_.NumTransitions(); }
 
  private:
   TrackAutomaton(Alphabet alphabet, std::vector<VarId> vars,

@@ -1,0 +1,430 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace strq {
+namespace obs {
+
+JsonValue JsonValue::Bool(bool v) {
+  JsonValue j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = v;
+  return j;
+}
+
+JsonValue JsonValue::Number(double v) {
+  JsonValue j;
+  j.kind_ = Kind::kNumber;
+  j.number_ = v;
+  return j;
+}
+
+JsonValue JsonValue::Int(int64_t v) {
+  return Number(static_cast<double>(v));
+}
+
+JsonValue JsonValue::Str(std::string v) {
+  JsonValue j;
+  j.kind_ = Kind::kString;
+  j.string_ = std::move(v);
+  return j;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+size_t JsonValue::size() const {
+  if (kind_ == Kind::kArray) return items_.size();
+  if (kind_ == Kind::kObject) return members_.size();
+  return 0;
+}
+
+JsonValue& JsonValue::Append(JsonValue v) {
+  items_.push_back(std::move(v));
+  return items_.back();
+}
+
+JsonValue& JsonValue::Set(std::string key, JsonValue v) {
+  for (auto& [k, existing] : members_) {
+    if (k == key) {
+      existing = std::move(v);
+      return existing;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(v));
+  return members_.back().second;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void EscapeInto(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buf);
+        } else {
+          out->push_back(c);  // UTF-8 bytes pass through unchanged
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void NumberInto(double v, std::string* out) {
+  if (!std::isfinite(v)) {
+    // JSON has no Inf/NaN; null is the conventional stand-in.
+    out->append("null");
+    return;
+  }
+  double rounded = std::nearbyint(v);
+  if (rounded == v && std::fabs(v) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(rounded));
+    out->append(buf);
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+}  // namespace
+
+void JsonValue::DumpInto(int indent, int depth, std::string* out) const {
+  const bool pretty = indent >= 0;
+  auto newline_pad = [&](int d) {
+    if (!pretty) return;
+    out->push_back('\n');
+    out->append(static_cast<size_t>(indent * d), ' ');
+  };
+  switch (kind_) {
+    case Kind::kNull:
+      out->append("null");
+      return;
+    case Kind::kBool:
+      out->append(bool_ ? "true" : "false");
+      return;
+    case Kind::kNumber:
+      NumberInto(number_, out);
+      return;
+    case Kind::kString:
+      EscapeInto(string_, out);
+      return;
+    case Kind::kArray: {
+      if (items_.empty()) {
+        out->append("[]");
+        return;
+      }
+      out->push_back('[');
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        newline_pad(depth + 1);
+        items_[i].DumpInto(indent, depth + 1, out);
+      }
+      newline_pad(depth);
+      out->push_back(']');
+      return;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out->append("{}");
+        return;
+      }
+      out->push_back('{');
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        newline_pad(depth + 1);
+        EscapeInto(members_[i].first, out);
+        out->append(pretty ? ": " : ":");
+        members_[i].second.DumpInto(indent, depth + 1, out);
+      }
+      newline_pad(depth);
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpInto(indent, 0, &out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    STRQ_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return InvalidArgumentError("JSON parse error at offset " +
+                                std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      STRQ_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return JsonValue::Str(std::move(s));
+    }
+    if (c == 't' || c == 'f' || c == 'n') return ParseKeyword();
+    if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber();
+    return Error(std::string("unexpected character '") + c + "'");
+  }
+
+  Result<JsonValue> ParseKeyword() {
+    auto match = [&](const char* word) {
+      size_t len = std::string(word).size();
+      if (text_.compare(pos_, len, word) == 0) {
+        pos_ += len;
+        return true;
+      }
+      return false;
+    };
+    if (match("true")) return JsonValue::Bool(true);
+    if (match("false")) return JsonValue::Bool(false);
+    if (match("null")) return JsonValue::Null();
+    return Error("invalid keyword");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() && std::isdigit(
+               static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      return Error("invalid number");
+    }
+    if (Consume('.')) {
+      size_t frac = pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ == frac) return Error("digits expected after decimal point");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      size_t exp = pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ == exp) return Error("digits expected in exponent");
+    }
+    return JsonValue::Number(
+        std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr));
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) return Error("'\"' expected");
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Error("invalid hex digit in \\u escape");
+              }
+            }
+            // UTF-8 encode (surrogate pairs are passed through individually;
+            // the tracer never emits them).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Error("invalid escape character");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<JsonValue> ParseArray() {
+    if (!Consume('[')) return Error("'[' expected");
+    JsonValue out = JsonValue::Array();
+    SkipWhitespace();
+    if (Consume(']')) return out;
+    while (true) {
+      STRQ_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+      out.Append(std::move(v));
+      SkipWhitespace();
+      if (Consume(']')) return out;
+      if (!Consume(',')) return Error("',' or ']' expected");
+    }
+  }
+
+  Result<JsonValue> ParseObject() {
+    if (!Consume('{')) return Error("'{' expected");
+    JsonValue out = JsonValue::Object();
+    SkipWhitespace();
+    if (Consume('}')) return out;
+    while (true) {
+      SkipWhitespace();
+      STRQ_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Error("':' expected");
+      STRQ_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+      out.Set(std::move(key), std::move(v));
+      SkipWhitespace();
+      if (Consume('}')) return out;
+      if (!Consume(',')) return Error("',' or '}' expected");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+JsonValue TraceToJson(const TraceNode& node) {
+  JsonValue out = JsonValue::Object();
+  out.Set("name", JsonValue::Str(node.name));
+  if (!node.detail.empty()) out.Set("detail", JsonValue::Str(node.detail));
+  out.Set("seconds", JsonValue::Number(node.seconds));
+  if (!node.attrs.empty()) {
+    JsonValue attrs = JsonValue::Object();
+    for (const auto& [key, value] : node.attrs) {
+      attrs.Set(key, JsonValue::Int(value));
+    }
+    out.Set("attrs", std::move(attrs));
+  }
+  if (!node.children.empty()) {
+    JsonValue children = JsonValue::Array();
+    for (const auto& child : node.children) {
+      children.Append(TraceToJson(*child));
+    }
+    out.Set("children", std::move(children));
+  }
+  return out;
+}
+
+JsonValue MetricsToJson(const std::map<std::string, int64_t>& metrics) {
+  JsonValue out = JsonValue::Object();
+  for (const auto& [name, value] : metrics) {
+    out.Set(name, JsonValue::Int(value));
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace strq

@@ -1,0 +1,90 @@
+#ifndef STRQ_OBS_JSON_H_
+#define STRQ_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+#include "obs/trace.h"
+
+namespace strq {
+namespace obs {
+
+// A small self-contained JSON document model (no external dependencies):
+// enough for the EXPLAIN ANALYZE serializer, the bench harness, and the
+// smoke validator. Objects preserve insertion order so emitted files diff
+// cleanly across runs.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool v);
+  static JsonValue Number(double v);
+  static JsonValue Int(int64_t v);
+  static JsonValue Str(std::string v);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+
+  // Array/object element count (0 for scalars).
+  size_t size() const;
+
+  // Array access.
+  JsonValue& Append(JsonValue v);  // returns the appended element
+  const JsonValue& At(size_t i) const { return items_[i]; }
+
+  // Object access. Set overwrites an existing key in place.
+  JsonValue& Set(std::string key, JsonValue v);
+  const JsonValue* Find(const std::string& key) const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  // Serialization. indent < 0 renders compact on one line; indent >= 0
+  // pretty-prints with that many spaces per level.
+  std::string Dump(int indent = -1) const;
+
+ private:
+  void DumpInto(int indent, int depth, std::string* out) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members_;  // kObject
+};
+
+// Strict-enough recursive-descent parser (objects, arrays, strings with
+// \uXXXX escapes, numbers, true/false/null). Trailing garbage is an error.
+Result<JsonValue> ParseJson(const std::string& text);
+
+// Serializers for the tracing layer.
+//   {"name": ..., "detail": ..., "seconds": ..., "attrs": {...},
+//    "children": [...]}
+// Empty detail/attrs/children are omitted.
+JsonValue TraceToJson(const TraceNode& node);
+JsonValue MetricsToJson(const std::map<std::string, int64_t>& metrics);
+
+}  // namespace obs
+}  // namespace strq
+
+#endif  // STRQ_OBS_JSON_H_

@@ -1,0 +1,179 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace strq {
+namespace obs {
+
+namespace internal {
+
+int ReadEnvFlagOnce() {
+  const char* v = std::getenv("STRQ_OBS");
+  int on = (v == nullptr || v[0] == '\0' || std::strcmp(v, "0") == 0) ? 0 : 1;
+  g_enabled.store(on, std::memory_order_relaxed);
+  return on;
+}
+
+}  // namespace internal
+
+using internal::t_current;
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+void MetricsRegistry::Add(const std::string& name, int64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+int64_t MetricsRegistry::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::map<std::string, int64_t> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+}
+
+namespace internal {
+
+void CountSlow(const char* name, int64_t delta) {
+  MetricsRegistry::Global().Add(name, delta);
+}
+
+}  // namespace internal
+
+std::map<std::string, int64_t> MetricsDelta(
+    const std::map<std::string, int64_t>& before,
+    const std::map<std::string, int64_t>& after) {
+  std::map<std::string, int64_t> delta;
+  for (const auto& [name, value] : after) {
+    auto it = before.find(name);
+    int64_t d = value - (it == before.end() ? 0 : it->second);
+    if (d != 0) delta[name] = d;
+  }
+  return delta;
+}
+
+// ---------------------------------------------------------------------------
+// TraceNode
+// ---------------------------------------------------------------------------
+
+const int64_t* TraceNode::FindAttr(const std::string& key) const {
+  for (auto it = attrs.rbegin(); it != attrs.rend(); ++it) {
+    if (it->first == key) return &it->second;
+  }
+  return nullptr;
+}
+
+int TraceNode::TreeSize() const {
+  int total = 1;
+  for (const auto& child : children) total += child->TreeSize();
+  return total;
+}
+
+namespace {
+
+void PrettyTraceInto(const TraceNode& node, int depth, std::string* out) {
+  out->append(static_cast<size_t>(2 * depth), ' ');
+  out->append(node.name);
+  if (!node.detail.empty()) {
+    out->push_back(' ');
+    out->append(node.detail);
+  }
+  if (!node.attrs.empty()) {
+    out->append("  [");
+    for (size_t i = 0; i < node.attrs.size(); ++i) {
+      if (i > 0) out->push_back(' ');
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%s=%lld", node.attrs[i].first.c_str(),
+                    static_cast<long long>(node.attrs[i].second));
+      out->append(buf);
+    }
+    out->push_back(']');
+  }
+  char time_buf[48];
+  std::snprintf(time_buf, sizeof(time_buf), "  %.6fs", node.seconds);
+  out->append(time_buf);
+  out->push_back('\n');
+  for (const auto& child : node.children) {
+    PrettyTraceInto(*child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string PrettyTrace(const TraceNode& root) {
+  std::string out;
+  PrettyTraceInto(root, 0, &out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TraceSession / Span
+// ---------------------------------------------------------------------------
+
+TraceSession::TraceSession(std::string root_name)
+    : root_(std::make_unique<TraceNode>()) {
+  root_->name = std::move(root_name);
+  if (t_current == nullptr) {
+    saved_current_ = t_current;
+    t_current = root_.get();
+    installed_ = true;
+  }
+}
+
+TraceSession::~TraceSession() {
+  if (installed_) t_current = saved_current_;
+}
+
+std::unique_ptr<TraceNode> TraceSession::Take() {
+  if (installed_) {
+    t_current = saved_current_;
+    installed_ = false;
+  }
+  return std::move(root_);
+}
+
+void Span::Init(const char* name) {
+  parent_ = t_current;
+  auto node = std::make_unique<TraceNode>();
+  node->name = name;
+  node_ = node.get();
+  parent_->children.push_back(std::move(node));
+  t_current = node_;
+  start_ = std::chrono::steady_clock::now();
+}
+
+void Span::Finish() {
+  node_->seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  t_current = parent_;
+}
+
+void Span::set_detail(std::string detail) {
+  if (node_ != nullptr) node_->detail = std::move(detail);
+}
+
+void Span::Attr(const char* key, int64_t value) {
+  if (node_ != nullptr) node_->attrs.emplace_back(key, value);
+}
+
+}  // namespace obs
+}  // namespace strq

@@ -1,0 +1,201 @@
+#ifndef STRQ_OBS_TRACE_H_
+#define STRQ_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace strq {
+namespace obs {
+
+// ---------------------------------------------------------------------------
+// Runtime switch
+// ---------------------------------------------------------------------------
+//
+// The whole observability layer is gated by one runtime flag so instrumented
+// hot paths cost a single relaxed atomic load when tracing is off. The flag
+// is initialized from the STRQ_OBS environment variable ("" or "0" = off,
+// anything else = on) and can be flipped programmatically, e.g. by
+// ExplainAnalyze or the bench harness.
+//
+// The flag atomic and the thread-local span cursor live in headers (internal
+// namespace) so the disabled path of Span/Count inlines down to a load and a
+// branch at every instrumentation site — no out-of-line call.
+namespace internal {
+// -1 = uninitialized (read STRQ_OBS on first query), 0 = off, 1 = on.
+inline std::atomic<int> g_enabled{-1};
+int ReadEnvFlagOnce();
+}  // namespace internal
+
+inline bool Enabled() {
+  int v = internal::g_enabled.load(std::memory_order_relaxed);
+  if (v < 0) v = internal::ReadEnvFlagOnce();
+  return v != 0;
+}
+
+inline void SetEnabled(bool on) {
+  internal::g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+// RAII save/flip/restore of the flag (used by ExplainAnalyze so a single
+// traced call does not permanently enable tracing for the process).
+class ScopedEnable {
+ public:
+  explicit ScopedEnable(bool on) : saved_(Enabled()) { SetEnabled(on); }
+  ~ScopedEnable() { SetEnabled(saved_); }
+  ScopedEnable(const ScopedEnable&) = delete;
+  ScopedEnable& operator=(const ScopedEnable&) = delete;
+
+ private:
+  bool saved_;
+};
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+// Canonical counter names. Layers increment these through Count(); the full
+// catalogue (and what each one means) is documented in docs/OBSERVABILITY.md.
+inline constexpr char kDfaStatesBuilt[] = "dfa.states_built";
+inline constexpr char kDfaMinimizations[] = "dfa.minimizations";
+inline constexpr char kDfaDeterminizations[] = "dfa.determinizations";
+inline constexpr char kDfaProducts[] = "dfa.products";
+inline constexpr char kMtaIntersections[] = "mta.intersections";
+inline constexpr char kMtaUnions[] = "mta.unions";
+inline constexpr char kMtaComplements[] = "mta.complements";
+inline constexpr char kMtaProjections[] = "mta.projections";
+inline constexpr char kMtaCylindrifications[] = "mta.cylindrifications";
+inline constexpr char kMtaRenamings[] = "mta.renamings";
+inline constexpr char kMtaStatesBuilt[] = "mta.states_built";
+inline constexpr char kMtaTransitionsBuilt[] = "mta.transitions_built";
+inline constexpr char kPatternCacheHits[] = "pattern_cache.hits";
+inline constexpr char kPatternCacheMisses[] = "pattern_cache.misses";
+inline constexpr char kEvalTuplesEnumerated[] = "eval.tuples_enumerated";
+inline constexpr char kAlgebraNodesEvaluated[] = "algebra.nodes_evaluated";
+inline constexpr char kAlgebraMemoHits[] = "algebra.memo_hits";
+inline constexpr char kRestrictedCandidates[] =
+    "restricted.candidates_enumerated";
+inline constexpr char kConcatBoundedRounds[] = "concat.bounded_rounds";
+
+// Process-wide registry of named monotonic counters. Cheap to read, guarded
+// by a mutex on writes; writes only happen while tracing is enabled.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  void Add(const std::string& name, int64_t delta);
+  int64_t Get(const std::string& name) const;
+  std::map<std::string, int64_t> Snapshot() const;
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, int64_t> counters_;
+};
+
+// Increments a global counter iff tracing is enabled. The name should be one
+// of the k* constants above (new names are allowed; they simply appear in
+// snapshots).
+namespace internal {
+void CountSlow(const char* name, int64_t delta);
+}  // namespace internal
+
+inline void Count(const char* name, int64_t delta = 1) {
+  if (Enabled()) internal::CountSlow(name, delta);
+}
+
+// The difference after - before, dropping zero entries: "what did this
+// operation cost". Keys present only in `after` are kept as-is.
+std::map<std::string, int64_t> MetricsDelta(
+    const std::map<std::string, int64_t>& before,
+    const std::map<std::string, int64_t>& after);
+
+// ---------------------------------------------------------------------------
+// Span tree
+// ---------------------------------------------------------------------------
+
+// One node of a trace: a named region with wall time, optional free-form
+// detail (e.g. the formula being compiled), integer attributes (state
+// counts), and children in execution order.
+struct TraceNode {
+  std::string name;
+  std::string detail;
+  double seconds = 0.0;
+  std::vector<std::pair<std::string, int64_t>> attrs;
+  std::vector<std::unique_ptr<TraceNode>> children;
+
+  // Last-set value of an attribute, if present.
+  const int64_t* FindAttr(const std::string& key) const;
+  // Total node count of the subtree (including this node).
+  int TreeSize() const;
+};
+
+// Indented per-node rendering, the EXPLAIN ANALYZE look:
+//   compile ∃y. R(y) ∧ x ≼ y   [states=7 arity=1]   0.0031s
+std::string PrettyTrace(const TraceNode& root);
+
+namespace internal {
+// Attachment point for new spans on this thread; null when no TraceSession
+// is installed. Header-inline so Span's disabled path needs no call.
+inline thread_local TraceNode* t_current = nullptr;
+}  // namespace internal
+
+// Installs a collection root for the current thread. While a session is
+// alive and Enabled() is true, Span objects attach to the tree. Sessions do
+// not nest (the inner one is inert).
+class TraceSession {
+ public:
+  explicit TraceSession(std::string root_name = "trace");
+  ~TraceSession();
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  const TraceNode& root() const { return *root_; }
+  // Detaches the collected tree; the session becomes inert.
+  std::unique_ptr<TraceNode> Take();
+
+ private:
+  std::unique_ptr<TraceNode> root_;
+  TraceNode* saved_current_ = nullptr;
+  bool installed_ = false;
+};
+
+// RAII span. Active only when tracing is enabled AND a TraceSession is
+// installed on this thread; otherwise construction is an inlined pointer
+// check (the common case in production runs).
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (internal::t_current != nullptr && Enabled()) Init(name);
+  }
+  ~Span() {
+    if (node_ != nullptr) Finish();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  bool active() const { return node_ != nullptr; }
+  // All mutators are no-ops on inactive spans. Callers building expensive
+  // detail strings should guard on active() first.
+  void set_detail(std::string detail);
+  void Attr(const char* key, int64_t value);
+
+ private:
+  void Init(const char* name);
+  void Finish();
+
+  TraceNode* node_ = nullptr;
+  TraceNode* parent_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace strq
+
+#endif  // STRQ_OBS_TRACE_H_

@@ -1,0 +1,130 @@
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+namespace strq {
+namespace obs {
+namespace {
+
+TEST(JsonValueTest, ScalarsDump) {
+  EXPECT_EQ(JsonValue::Null().Dump(), "null");
+  EXPECT_EQ(JsonValue::Bool(true).Dump(), "true");
+  EXPECT_EQ(JsonValue::Bool(false).Dump(), "false");
+  EXPECT_EQ(JsonValue::Int(42).Dump(), "42");
+  EXPECT_EQ(JsonValue::Int(-7).Dump(), "-7");
+  EXPECT_EQ(JsonValue::Number(1.5).Dump(), "1.5");
+  // Integral doubles print without a fractional tail.
+  EXPECT_EQ(JsonValue::Number(3.0).Dump(), "3");
+  EXPECT_EQ(JsonValue::Str("hi").Dump(), "\"hi\"");
+}
+
+TEST(JsonValueTest, StringEscaping) {
+  EXPECT_EQ(JsonValue::Str("a\"b\\c").Dump(), "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(JsonValue::Str("line\nbreak\ttab").Dump(),
+            "\"line\\nbreak\\ttab\"");
+  EXPECT_EQ(JsonValue::Str(std::string("nul\x01")).Dump(), "\"nul\\u0001\"");
+}
+
+TEST(JsonValueTest, ObjectPreservesInsertionOrderAndSetOverwrites) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("z", JsonValue::Int(1));
+  obj.Set("a", JsonValue::Int(2));
+  obj.Set("z", JsonValue::Int(3));
+  EXPECT_EQ(obj.Dump(), "{\"z\":3,\"a\":2}");
+  ASSERT_NE(obj.Find("a"), nullptr);
+  EXPECT_EQ(obj.Find("a")->AsNumber(), 2);
+  EXPECT_EQ(obj.Find("nope"), nullptr);
+}
+
+TEST(JsonValueTest, PrettyDumpIndents) {
+  JsonValue obj = JsonValue::Object();
+  JsonValue xs = JsonValue::Array();
+  xs.Append(JsonValue::Int(1));
+  xs.Append(JsonValue::Int(2));
+  obj.Set("xs", std::move(xs));
+  EXPECT_EQ(obj.Dump(2), "{\n  \"xs\": [\n    1,\n    2\n  ]\n}");
+}
+
+TEST(JsonParseTest, RoundTripsTheBenchSchema) {
+  JsonValue out = JsonValue::Object();
+  out.Set("schema", JsonValue::Str("strq.bench.v1"));
+  out.Set("smoke", JsonValue::Bool(true));
+  JsonValue series = JsonValue::Array();
+  JsonValue one = JsonValue::Object();
+  one.Set("name", JsonValue::Str("single-scan"));
+  JsonValue ys = JsonValue::Array();
+  ys.Append(JsonValue::Number(0.0012));
+  ys.Append(JsonValue::Number(0.0031));
+  one.Set("ys", std::move(ys));
+  series.Append(std::move(one));
+  out.Set("series", std::move(series));
+
+  for (int indent : {-1, 2}) {
+    Result<JsonValue> back = ParseJson(out.Dump(indent));
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back->Dump(), out.Dump());
+  }
+}
+
+TEST(JsonParseTest, ParsesEscapesAndUnicode) {
+  Result<JsonValue> v = ParseJson("\"a\\n\\\"\\u0041\\u00e9\"");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "a\n\"A\xc3\xa9");
+}
+
+TEST(JsonParseTest, ParsesNumbers) {
+  Result<JsonValue> v = ParseJson("[-0.5, 1e3, 2.5E-2, 10]");
+  ASSERT_TRUE(v.ok());
+  ASSERT_EQ(v->size(), 4u);
+  EXPECT_DOUBLE_EQ(v->At(0).AsNumber(), -0.5);
+  EXPECT_DOUBLE_EQ(v->At(1).AsNumber(), 1000.0);
+  EXPECT_DOUBLE_EQ(v->At(2).AsNumber(), 0.025);
+  EXPECT_DOUBLE_EQ(v->At(3).AsNumber(), 10.0);
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(ParseJson("tru").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("1 2").ok());  // trailing garbage
+}
+
+TEST(TraceToJsonTest, SerializesTheTreeShape) {
+  TraceNode root;
+  root.name = "explain";
+  root.seconds = 0.5;
+  auto child = std::make_unique<TraceNode>();
+  child->name = "compile.exists";
+  child->detail = "∃y. R(y)";
+  child->attrs.emplace_back("states", 7);
+  root.children.push_back(std::move(child));
+
+  JsonValue json = TraceToJson(root);
+  EXPECT_EQ(json.Find("name")->AsString(), "explain");
+  // Empty detail/attrs are omitted at the root...
+  EXPECT_EQ(json.Find("detail"), nullptr);
+  EXPECT_EQ(json.Find("attrs"), nullptr);
+  // ...and present on the child that has them.
+  ASSERT_NE(json.Find("children"), nullptr);
+  const JsonValue& c = json.Find("children")->At(0);
+  EXPECT_EQ(c.Find("detail")->AsString(), "∃y. R(y)");
+  EXPECT_EQ(c.Find("attrs")->Find("states")->AsNumber(), 7);
+  // The serialized form survives its own parser.
+  Result<JsonValue> back = ParseJson(json.Dump(2));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->Dump(), json.Dump());
+}
+
+TEST(MetricsToJsonTest, KeepsAllEntries) {
+  JsonValue json =
+      MetricsToJson({{"dfa.minimizations", 4}, {"mta.intersections", 2}});
+  EXPECT_EQ(json.size(), 2u);
+  EXPECT_EQ(json.Find("dfa.minimizations")->AsNumber(), 4);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace strq

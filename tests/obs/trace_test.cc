@@ -1,0 +1,166 @@
+#include "obs/trace.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace strq {
+namespace obs {
+namespace {
+
+// Every test restores the tracing flag so the suite is order-independent.
+class TraceTest : public ::testing::Test {
+ protected:
+  TraceTest() : restore_(Enabled()) { SetEnabled(true); }
+  ~TraceTest() override { SetEnabled(restore_); }
+
+ private:
+  bool restore_;
+};
+
+TEST_F(TraceTest, SpansNestInExecutionOrder) {
+  TraceSession session("root");
+  {
+    Span outer("outer");
+    ASSERT_TRUE(outer.active());
+    {
+      Span a("a");
+      ASSERT_TRUE(a.active());
+    }
+    { Span b("b"); }
+  }
+  { Span sibling("sibling"); }
+
+  const TraceNode& root = session.root();
+  EXPECT_EQ(root.name, "root");
+  ASSERT_EQ(root.children.size(), 2u);
+  const TraceNode& outer = *root.children[0];
+  EXPECT_EQ(outer.name, "outer");
+  ASSERT_EQ(outer.children.size(), 2u);
+  EXPECT_EQ(outer.children[0]->name, "a");
+  EXPECT_EQ(outer.children[1]->name, "b");
+  EXPECT_EQ(root.children[1]->name, "sibling");
+  EXPECT_EQ(root.TreeSize(), 5);
+}
+
+TEST_F(TraceTest, SpanRecordsTimeDetailAndAttrs) {
+  TraceSession session;
+  {
+    Span span("work");
+    span.set_detail("the query");
+    span.Attr("states", 7);
+    span.Attr("states", 9);  // last write wins in FindAttr
+    span.Attr("arity", 2);
+  }
+  const TraceNode& node = *session.root().children[0];
+  EXPECT_EQ(node.detail, "the query");
+  EXPECT_GE(node.seconds, 0.0);
+  ASSERT_EQ(node.attrs.size(), 3u);
+  const int64_t* states = node.FindAttr("states");
+  ASSERT_NE(states, nullptr);
+  EXPECT_EQ(*states, 9);
+  EXPECT_EQ(node.FindAttr("missing"), nullptr);
+}
+
+TEST_F(TraceTest, SpanIsInertWithoutSession) {
+  Span span("orphan");
+  EXPECT_FALSE(span.active());
+  span.Attr("ignored", 1);  // must not crash
+}
+
+TEST_F(TraceTest, SpanIsInertWhenDisabled) {
+  SetEnabled(false);
+  TraceSession session;
+  {
+    Span span("off");
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_TRUE(session.root().children.empty());
+}
+
+TEST_F(TraceTest, SessionsDoNotNest) {
+  TraceSession outer("outer");
+  {
+    TraceSession inner("inner");
+    Span span("child");
+    EXPECT_TRUE(span.active());
+  }
+  // The span attached to the outer session; the inner one collected nothing.
+  ASSERT_EQ(outer.root().children.size(), 1u);
+  EXPECT_EQ(outer.root().children[0]->name, "child");
+}
+
+TEST_F(TraceTest, TakeDetachesTheTree) {
+  TraceSession session("detach");
+  { Span span("before"); }
+  std::unique_ptr<TraceNode> tree = session.Take();
+  ASSERT_NE(tree, nullptr);
+  EXPECT_EQ(tree->children.size(), 1u);
+  // After Take the session is inert: no crash, nothing collected.
+  { Span span("after"); }
+}
+
+TEST_F(TraceTest, SessionsAreThreadLocal) {
+  TraceSession session("main-thread");
+  bool other_thread_active = true;
+  std::thread t([&] {
+    Span span("elsewhere");
+    other_thread_active = span.active();
+  });
+  t.join();
+  EXPECT_FALSE(other_thread_active);
+  EXPECT_TRUE(session.root().children.empty());
+}
+
+TEST_F(TraceTest, ScopedEnableRestores) {
+  SetEnabled(false);
+  {
+    ScopedEnable enable(true);
+    EXPECT_TRUE(Enabled());
+  }
+  EXPECT_FALSE(Enabled());
+}
+
+TEST_F(TraceTest, CountersMoveOnlyWhenEnabled) {
+  MetricsRegistry::Global().Reset();
+  Count("test.counter", 2);
+  Count("test.counter");
+  EXPECT_EQ(MetricsRegistry::Global().Get("test.counter"), 3);
+
+  SetEnabled(false);
+  Count("test.counter", 100);
+  EXPECT_EQ(MetricsRegistry::Global().Get("test.counter"), 3);
+}
+
+TEST_F(TraceTest, MetricsDeltaDropsZeroEntries) {
+  std::map<std::string, int64_t> before = {{"a", 1}, {"b", 5}};
+  std::map<std::string, int64_t> after = {{"a", 4}, {"b", 5}, {"c", 2}};
+  std::map<std::string, int64_t> delta = MetricsDelta(before, after);
+  EXPECT_EQ(delta.size(), 2u);
+  EXPECT_EQ(delta["a"], 3);
+  EXPECT_EQ(delta["c"], 2);
+  EXPECT_EQ(delta.count("b"), 0u);
+}
+
+TEST_F(TraceTest, PrettyTraceShowsNamesAttrsAndIndentation) {
+  TraceSession session("root");
+  {
+    Span outer("compile.and");
+    outer.Attr("states", 12);
+    { Span inner("mta.intersect"); }
+  }
+  std::string text = PrettyTrace(session.root());
+  EXPECT_NE(text.find("compile.and"), std::string::npos);
+  EXPECT_NE(text.find("states=12"), std::string::npos);
+  EXPECT_NE(text.find("mta.intersect"), std::string::npos);
+  // The child is indented strictly deeper than its parent.
+  size_t outer_col = text.find("compile.and");
+  size_t inner_line = text.rfind('\n', text.find("mta.intersect"));
+  size_t inner_col = text.find("mta.intersect") - (inner_line + 1);
+  size_t outer_line = text.rfind('\n', outer_col);
+  EXPECT_GT(inner_col, outer_col - (outer_line + 1));
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace strq
