@@ -4,20 +4,27 @@
 //   2. formula simplification before compilation;
 //   3. eager minimization inside the track-automaton pipeline (measured
 //      indirectly: answer-automaton sizes stay small because every op
-//      minimizes — reported as state counts along a compilation).
+//      minimizes — reported as state counts along a compilation);
+//   4. the hash-consed AutomatonStore + shared AtomCache: the same query
+//      battery evaluated with the substrate fully on (one warm cache) vs
+//      fully off (non-caching store, fresh cache per evaluation).
 
 #include <cstdio>
+#include <memory>
 
+#include "automata/store.h"
 #include "bench/bench_util.h"
 #include "eval/algebra_eval.h"
 #include "eval/automata_eval.h"
 #include "logic/parser.h"
 #include "logic/simplify.h"
+#include "mta/atom_cache.h"
 #include "safety/safe_translation.h"
 
 namespace strq {
 namespace {
 
+using bench::BenchReporter;
 using bench::Header;
 using bench::RandomUnaryDb;
 using bench::Row;
@@ -29,8 +36,11 @@ FormulaPtr Q(const std::string& text) {
   return *std::move(r);
 }
 
-int Run() {
-  Header("AB", "ablations — memoization, simplification, minimization");
+int Run(int argc, char** argv) {
+  BenchReporter reporter(argc, argv, "AB",
+                         "ablations — memoization, simplification, "
+                         "minimization, automaton store");
+  Header("AB", "ablations — memoization, simplification, minimization, store");
 
   Database db = RandomUnaryDb(123, 8, 1, 4);
   std::map<std::string, int> schema = {{"R", 1}};
@@ -97,10 +107,95 @@ int Run() {
   Row("(the minimization OFF variant is structural — every op calls");
   Row(" Minimized() in TrackAutomaton::Create — so its ablation is the");
   Row(" state-count evidence above rather than a runtime switch)");
+  if (rel.ok()) {
+    reporter.AddScalar("minimization.final_states",
+                       static_cast<double>(rel->NumStates()));
+  }
+  reporter.AddScalar("memo.with_seconds", t_memo);
+  reporter.AddScalar("memo.without_seconds", t_nomemo);
+  reporter.AddScalar("simplify.noisy_seconds", t_noisy);
+  reporter.AddScalar("simplify.simplified_seconds", t_simplified);
+
+  // --- 4. Hash-consed store on/off --------------------------------------
+  // Store ON: one AutomatonStore + AtomCache shared across every
+  // evaluation, so atoms/patterns/tries compile once and the computed
+  // table absorbs repeated products. Store OFF: a disabled store and a
+  // fresh cache per evaluation — the pre-substrate behavior, everything
+  // rebuilt from scratch each time.
+  {
+    Database sdb = RandomUnaryDb(77, 16, 1, 6);
+    const FormulaPtr battery[] = {
+        Q("exists x in adom. last[1](x) & like(x, '0%')"),
+        Q("forall x in adom. member(x, '(0|1)*')"),
+        Q("forall x in adom. forall y in adom. lexleq(lcp(x, y), x)"),
+        Q("exists x in adom. R(x) & like(x, '%1')"),
+    };
+    int reps = reporter.smoke() ? 2 : 5;
+    AutomatonStore store_on(true);
+    auto cache_on = std::make_shared<AtomCache>(sdb.alphabet(), &store_on);
+    std::vector<int> on_answers;
+    std::vector<int> off_answers;
+    double t_on = TimeSeconds(
+        [&] {
+          AutomataEvaluator engine(&sdb, cache_on);
+          on_answers.clear();
+          for (const FormulaPtr& f : battery) {
+            Result<bool> v = engine.EvaluateSentence(f);
+            on_answers.push_back(v.ok() ? static_cast<int>(*v) : -1);
+          }
+        },
+        reps);
+    double t_off = TimeSeconds(
+        [&] {
+          AutomatonStore store_off(false);
+          auto cache_off =
+              std::make_shared<AtomCache>(sdb.alphabet(), &store_off);
+          AutomataEvaluator engine(&sdb, cache_off);
+          off_answers.clear();
+          for (const FormulaPtr& f : battery) {
+            Result<bool> v = engine.EvaluateSentence(f);
+            off_answers.push_back(v.ok() ? static_cast<int>(*v) : -1);
+          }
+        },
+        reps);
+    AutomatonStore::Stats st = store_on.stats();
+    double unique_total =
+        static_cast<double>(st.unique_hits + st.unique_misses);
+    double op_total = static_cast<double>(st.op_hits + st.op_misses);
+    std::printf(
+        "  [4] automaton store: on %.4fs, off %.4fs (%.1fx); answers agree: "
+        "%s\n",
+        t_on, t_off, t_off / t_on, on_answers == off_answers ? "yes" : "NO");
+    std::printf(
+        "      store: unique %lld/%lld hits (%.0f%%), ops %lld/%lld hits "
+        "(%.0f%%)\n",
+        static_cast<long long>(st.unique_hits),
+        static_cast<long long>(st.unique_hits + st.unique_misses),
+        unique_total > 0 ? 100.0 * st.unique_hits / unique_total : 0.0,
+        static_cast<long long>(st.op_hits),
+        static_cast<long long>(st.op_hits + st.op_misses),
+        op_total > 0 ? 100.0 * st.op_hits / op_total : 0.0);
+    reporter.AddScalar("store.on_seconds", t_on);
+    reporter.AddScalar("store.off_seconds", t_off);
+    reporter.AddScalar("store.speedup", t_on > 0 ? t_off / t_on : 0.0);
+    reporter.AddScalar("store.unique_hits",
+                       static_cast<double>(st.unique_hits));
+    reporter.AddScalar("store.unique_misses",
+                       static_cast<double>(st.unique_misses));
+    reporter.AddScalar("store.op_hits", static_cast<double>(st.op_hits));
+    reporter.AddScalar("store.op_misses", static_cast<double>(st.op_misses));
+    reporter.AddScalar(
+        "store.unique_hit_rate",
+        unique_total > 0 ? st.unique_hits / unique_total : 0.0);
+    reporter.AddScalar("store.op_hit_rate",
+                       op_total > 0 ? st.op_hits / op_total : 0.0);
+    reporter.AddScalar("store.answers_agree",
+                       on_answers == off_answers ? 1.0 : 0.0);
+  }
   return 0;
 }
 
 }  // namespace
 }  // namespace strq
 
-int main() { return strq::Run(); }
+int main(int argc, char** argv) { return strq::Run(argc, argv); }

@@ -1,19 +1,34 @@
 // Substrate microbenchmarks: the automata and multi-track machinery that
 // everything else stands on. Determinization, minimization, products,
-// star-free certification, convolution coding, atom construction, and
-// first-order operations on track automata.
+// star-free certification, atom construction, relation tries — and the
+// hash-consed AutomatonStore that now sits under all of it: interned DFAs,
+// memoized operations, and the shared AtomCache the evaluators draw from.
+// With --json the emitted strq.bench.v1 file carries the store.* counters
+// the run moved, so the unique/computed-table hit rate is recorded next to
+// the timings it explains.
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
 
 #include "automata/ops.h"
 #include "automata/regex.h"
 #include "automata/starfree.h"
+#include "automata/store.h"
 #include "base/rng.h"
+#include "bench/bench_util.h"
+#include "eval/automata_eval.h"
+#include "logic/parser.h"
+#include "mta/atom_cache.h"
 #include "mta/atoms.h"
 #include "mta/track_automaton.h"
 
 namespace strq {
 namespace {
+
+using bench::BenchReporter;
+using bench::Header;
+using bench::RandomUnaryDb;
+using bench::Row;
+using bench::TimeSeconds;
 
 // (0|1)*1(0|1)^k — the classical exponential-determinization family.
 std::string HardPattern(int k) {
@@ -22,150 +37,191 @@ std::string HardPattern(int k) {
   return p;
 }
 
-void BM_Determinize(benchmark::State& state) {
+FormulaPtr Q(const std::string& text) {
+  Result<FormulaPtr> r = ParseFormula(text);
+  if (!r.ok()) std::exit(1);
+  return *std::move(r);
+}
+
+int Run(int argc, char** argv) {
+  BenchReporter reporter(argc, argv, "SUB",
+                         "substrate — determinize/minimize/product and the "
+                         "hash-consed store");
+  Header("SUB", "automaton substrate");
   Alphabet alphabet = Alphabet::Binary();
-  Result<RegexPtr> rx = ParseRegex(HardPattern(static_cast<int>(state.range(0))));
-  Result<Nfa> nfa = RegexToNfa(*rx, alphabet);
-  for (auto _ : state) {
-    Result<Dfa> dfa = Determinize(*nfa);
-    if (!dfa.ok()) {
-      state.SkipWithError("determinize failed");
-      return;
+
+  // --- 1. Determinization scaling --------------------------------------
+  {
+    std::vector<int> ks = {4, 6, 8, 10, 12};
+    if (reporter.smoke()) ks = {4, 6};
+    std::vector<double> xs;
+    std::vector<double> ts;
+    std::printf("\n  determinize (0|1)*1(0|1)^k   k ->");
+    for (int k : ks) {
+      Result<RegexPtr> rx = ParseRegex(HardPattern(k));
+      Result<Nfa> nfa = RegexToNfa(*rx, alphabet);
+      double t = TimeSeconds([&] { (void)Determinize(*nfa); }, 3);
+      std::printf(" %d:%.4fs", k, t);
+      xs.push_back(k);
+      ts.push_back(t);
     }
-    benchmark::DoNotOptimize(dfa->num_states());
+    std::printf("\n");
+    reporter.AddSeries("determinize", xs, ts);
   }
-}
-BENCHMARK(BM_Determinize)->DenseRange(4, 12, 4);
 
-void BM_Minimize(benchmark::State& state) {
-  Alphabet alphabet = Alphabet::Binary();
-  Result<Dfa> dfa =
-      CompileRegex(HardPattern(static_cast<int>(state.range(0))), alphabet);
-  // CompileRegex already minimizes; build an un-minimized one via product.
-  Result<Dfa> big = Intersect(*dfa, Dfa::AllStrings(2));
-  for (auto _ : state) {
-    Dfa min = big->Minimized();
-    benchmark::DoNotOptimize(min.num_states());
-  }
-}
-BENCHMARK(BM_Minimize)->DenseRange(4, 10, 3);
-
-void BM_ProductIntersect(benchmark::State& state) {
-  Alphabet alphabet = Alphabet::Binary();
-  Result<Dfa> a = CompileRegex(HardPattern(6), alphabet);
-  Result<Dfa> b = CompileRegex("(00|11)*(0|1)?", alphabet);
-  for (auto _ : state) {
-    Result<Dfa> product = Intersect(*a, *b);
-    if (!product.ok()) {
-      state.SkipWithError("product failed");
-      return;
+  // --- 2. Minimization (Hopcroft) --------------------------------------
+  {
+    std::vector<int> ks = {4, 7, 10};
+    if (reporter.smoke()) ks = {4, 6};
+    std::vector<double> xs;
+    std::vector<double> ts;
+    std::printf("  minimize via product blow-up  k ->");
+    for (int k : ks) {
+      Result<Dfa> dfa = CompileRegex(HardPattern(k), alphabet);
+      // CompileRegex already minimizes; build an un-minimized one via
+      // product so Minimized() has real work to do.
+      Result<Dfa> big = Intersect(*dfa, Dfa::AllStrings(2));
+      double t = TimeSeconds([&] { (void)big->Minimized(); }, 3);
+      std::printf(" %d:%.4fs", k, t);
+      xs.push_back(k);
+      ts.push_back(t);
     }
-    benchmark::DoNotOptimize(product->num_states());
+    std::printf("\n");
+    reporter.AddSeries("minimize", xs, ts);
   }
-}
-BENCHMARK(BM_ProductIntersect);
 
-void BM_StarFreeCheck(benchmark::State& state) {
-  Alphabet alphabet = Alphabet::Binary();
-  Result<Dfa> dfa = CompileRegex("(0|1)*11(0|1)*0", alphabet);
-  for (auto _ : state) {
-    Result<bool> sf = IsStarFree(*dfa);
-    if (!sf.ok()) {
-      state.SkipWithError("check failed");
-      return;
+  // --- 3. Products: raw ops vs the store's computed table ---------------
+  {
+    AutomatonStore store;
+    Result<Dfa> a = CompileRegex(HardPattern(6), alphabet);
+    Result<Dfa> b = CompileRegex("(00|11)*(0|1)?", alphabet);
+    DfaRef ra = store.Intern(*a);
+    DfaRef rb = store.Intern(*b);
+    int reps = reporter.smoke() ? 50 : 400;
+    double t_raw = TimeSeconds([&] {
+      for (int i = 0; i < reps; ++i) (void)Intersect(*a, *b);
+    });
+    double t_store = TimeSeconds([&] {
+      for (int i = 0; i < reps; ++i) (void)store.Intersect(ra, rb);
+    });
+    std::printf("  product x%d: raw %.4fs, memoized %.4fs (%.0fx)\n", reps,
+                t_raw, t_store, t_raw / t_store);
+    reporter.AddScalar("product.raw_seconds", t_raw);
+    reporter.AddScalar("product.memoized_seconds", t_store);
+  }
+
+  // --- 4. Star-free certification ---------------------------------------
+  {
+    Result<Dfa> dfa = CompileRegex("(0|1)*11(0|1)*0", alphabet);
+    double t = TimeSeconds([&] { (void)IsStarFree(*dfa); },
+                           reporter.smoke() ? 3 : 10);
+    std::printf("  star-free check: %.5fs\n", t);
+    reporter.AddScalar("starfree.seconds", t);
+  }
+
+  // --- 5. Atom construction: direct builders vs shared cache ------------
+  {
+    AtomCache cache(alphabet);
+    int reps = reporter.smoke() ? 20 : 200;
+    double t_direct = TimeSeconds([&] {
+      for (int i = 0; i < reps; ++i) {
+        (void)LexLeqAtom(alphabet, 0, 1);
+        (void)LcpAtom(alphabet, 0, 1, 2);
+        (void)PrependGraphAtom(alphabet, '1', 0, 1);
+      }
+    });
+    double t_cached = TimeSeconds([&] {
+      for (int i = 0; i < reps; ++i) {
+        (void)cache.LexLeq(0, 1);
+        (void)cache.Lcp(0, 1, 2);
+        (void)cache.PrependGraph('1', 0, 1);
+      }
+    });
+    std::printf("  atoms x%d: direct %.4fs, cached %.4fs (%.0fx)\n", reps,
+                t_direct, t_cached, t_direct / t_cached);
+    reporter.AddScalar("atoms.direct_seconds", t_direct);
+    reporter.AddScalar("atoms.cached_seconds", t_cached);
+  }
+
+  // --- 6. Relation tries ------------------------------------------------
+  {
+    Rng rng(7);
+    std::vector<std::vector<std::string>> tuples;
+    int n = reporter.smoke() ? 32 : 256;
+    for (int i = 0; i < n; ++i) {
+      tuples.push_back(
+          {rng.NextString("01", 1, 10), rng.NextString("01", 1, 10)});
     }
-    benchmark::DoNotOptimize(*sf);
+    double t = TimeSeconds(
+        [&] { (void)TrackAutomaton::FromTuples(alphabet, {0, 1}, tuples); },
+        3);
+    std::printf("  relation trie (%d tuples): %.4fs\n", n, t);
+    reporter.AddScalar("trie.seconds", t);
   }
-}
-BENCHMARK(BM_StarFreeCheck);
 
-void BM_ConvolutionRoundTrip(benchmark::State& state) {
-  Alphabet alphabet = Alphabet::Binary();
-  Result<ConvAlphabet> conv = ConvAlphabet::Create(2, 3);
-  Rng rng(5);
-  std::vector<std::vector<std::string>> tuples;
-  for (int i = 0; i < 64; ++i) {
-    tuples.push_back({rng.NextString("01", 0, 12), rng.NextString("01", 0, 12),
-                      rng.NextString("01", 0, 12)});
-  }
-  for (auto _ : state) {
-    size_t total = 0;
-    for (const auto& t : tuples) {
-      Result<std::vector<Symbol>> w = conv->ConvolveStrings(alphabet, t);
-      total += w->size();
-      benchmark::DoNotOptimize(conv->DeconvolveStrings(alphabet, *w));
+  // --- 7. Repeated-query workload through the shared substrate ----------
+  // The store's reason to exist: a battery of queries that keep asking for
+  // the same atoms, patterns and table tries. Pass 1 populates the caches;
+  // later passes ride them. The store.* counters land in the JSON metrics.
+  {
+    Database db = RandomUnaryDb(41, reporter.smoke() ? 40 : 200, 1, 10);
+    const FormulaPtr battery[] = {
+        Q("exists x in adom. last[1](x) & like(x, '0%')"),
+        Q("forall x in adom. member(x, '(0|1)*')"),
+        Q("exists x in adom. exists y in adom. x <= y & lexleq(x, y)"),
+        Q("forall x in adom. forall y in adom. lexleq(lcp(x, y), x)"),
+        Q("exists x in adom. R(x) & like(x, '%1')"),
+    };
+    AutomatonStore store;
+    auto cache = std::make_shared<AtomCache>(db.alphabet(), &store);
+    int passes = reporter.smoke() ? 3 : 10;
+    double t_cold = -1;
+    double t_warm = -1;
+    for (int p = 0; p < passes; ++p) {
+      double t = TimeSeconds([&] {
+        AutomataEvaluator engine(&db, cache);
+        for (const FormulaPtr& f : battery) (void)engine.EvaluateSentence(f);
+      });
+      if (p == 0) t_cold = t;
+      t_warm = t;
     }
-    benchmark::DoNotOptimize(total);
+    AutomatonStore::Stats st = store.stats();
+    double unique_total =
+        static_cast<double>(st.unique_hits + st.unique_misses);
+    double op_total = static_cast<double>(st.op_hits + st.op_misses);
+    std::printf(
+        "  repeated queries (%d passes): cold %.4fs, warm %.4fs (%.1fx)\n",
+        passes, t_cold, t_warm, t_cold / t_warm);
+    std::printf(
+        "    store: unique %lld/%lld hits (%.0f%%), ops %lld/%lld hits "
+        "(%.0f%%)\n",
+        static_cast<long long>(st.unique_hits),
+        static_cast<long long>(st.unique_hits + st.unique_misses),
+        unique_total > 0 ? 100.0 * st.unique_hits / unique_total : 0.0,
+        static_cast<long long>(st.op_hits),
+        static_cast<long long>(st.op_hits + st.op_misses),
+        op_total > 0 ? 100.0 * st.op_hits / op_total : 0.0);
+    reporter.AddScalar("workload.cold_seconds", t_cold);
+    reporter.AddScalar("workload.warm_seconds", t_warm);
+    reporter.AddScalar("store.unique_hits",
+                       static_cast<double>(st.unique_hits));
+    reporter.AddScalar("store.unique_misses",
+                       static_cast<double>(st.unique_misses));
+    reporter.AddScalar("store.op_hits", static_cast<double>(st.op_hits));
+    reporter.AddScalar("store.op_misses", static_cast<double>(st.op_misses));
+    reporter.AddScalar(
+        "store.unique_hit_rate",
+        unique_total > 0 ? st.unique_hits / unique_total : 0.0);
+    reporter.AddScalar("store.op_hit_rate",
+                       op_total > 0 ? st.op_hits / op_total : 0.0);
   }
-}
-BENCHMARK(BM_ConvolutionRoundTrip);
 
-void BM_AtomConstruction(benchmark::State& state) {
-  Alphabet alphabet = Alphabet::Binary();
-  for (auto _ : state) {
-    Result<TrackAutomaton> lex = LexLeqAtom(alphabet, 0, 1);
-    Result<TrackAutomaton> lcp = LcpAtom(alphabet, 0, 1, 2);
-    Result<TrackAutomaton> pre = PrependGraphAtom(alphabet, '1', 0, 1);
-    if (!lex.ok() || !lcp.ok() || !pre.ok()) {
-      state.SkipWithError("atom failed");
-      return;
-    }
-    benchmark::DoNotOptimize(lex->NumStates() + lcp->NumStates() +
-                             pre->NumStates());
-  }
+  Row("(with --json the metrics block also carries the process-wide");
+  Row(" store.* / atom_cache.* counter deltas for this run)");
+  return 0;
 }
-BENCHMARK(BM_AtomConstruction);
-
-void BM_TrackIntersectProject(benchmark::State& state) {
-  // The inner loop of formula compilation: align, intersect, project.
-  Alphabet alphabet = Alphabet::Binary();
-  Result<TrackAutomaton> p01 = PrefixAtom(alphabet, 0, 1);
-  Result<TrackAutomaton> p12 = PrefixAtom(alphabet, 1, 2);
-  Result<TrackAutomaton> l2 = LastSymbolAtom(alphabet, '1', 2);
-  for (auto _ : state) {
-    Result<TrackAutomaton> conj = TrackAutomaton::Intersect(*p01, *p12);
-    Result<TrackAutomaton> conj2 = TrackAutomaton::Intersect(*conj, *l2);
-    Result<TrackAutomaton> proj = conj2->Project(1);
-    if (!proj.ok()) {
-      state.SkipWithError("pipeline failed");
-      return;
-    }
-    benchmark::DoNotOptimize(proj->NumStates());
-  }
-}
-BENCHMARK(BM_TrackIntersectProject);
-
-void BM_RelationTrie(benchmark::State& state) {
-  Alphabet alphabet = Alphabet::Binary();
-  Rng rng(7);
-  std::vector<std::vector<std::string>> tuples;
-  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
-    tuples.push_back({rng.NextString("01", 1, 10), rng.NextString("01", 1, 10)});
-  }
-  for (auto _ : state) {
-    Result<TrackAutomaton> rel =
-        TrackAutomaton::FromTuples(alphabet, {0, 1}, tuples);
-    if (!rel.ok()) {
-      state.SkipWithError("trie failed");
-      return;
-    }
-    benchmark::DoNotOptimize(rel->NumStates());
-  }
-}
-BENCHMARK(BM_RelationTrie)->Range(16, 256);
-
-void BM_FinitenessDecision(benchmark::State& state) {
-  // The Proposition 7 primitive: answer-automaton finiteness.
-  Alphabet alphabet = Alphabet::Binary();
-  Result<TrackAutomaton> pre = PrefixAtom(alphabet, 0, 1);
-  Result<TrackAutomaton> projected = pre->Project(0);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(projected->IsFinite());
-  }
-}
-BENCHMARK(BM_FinitenessDecision);
 
 }  // namespace
 }  // namespace strq
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return strq::Run(argc, argv); }

@@ -24,6 +24,7 @@
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -46,7 +47,9 @@ using namespace strq;
 
 class Shell {
  public:
-  Shell() : db_(Alphabet::Binary()) {}
+  Shell()
+      : db_(Alphabet::Binary()),
+        cache_(std::make_shared<AtomCache>(db_.alphabet())) {}
 
   void Run() {
     std::string line;
@@ -98,6 +101,8 @@ class Shell {
         return true;
       }
       db_ = Database(*a);
+      // Atoms are alphabet-specific; start a fresh cache for the new Σ.
+      cache_ = std::make_shared<AtomCache>(db_.alphabet());
       std::printf("  Σ = \"%s\" (database reset)\n", rest.c_str());
       return true;
     }
@@ -187,7 +192,9 @@ class Shell {
 
     FormulaPtr f = Parse(rest);
     if (f == nullptr) return true;
-    AutomataEvaluator engine(&db_);
+    // Every command shares one AtomCache (and its AutomatonStore), so atoms,
+    // patterns and table tries compiled by one query warm all later ones.
+    AutomataEvaluator engine(&db_, cache_);
 
     if (cmd == "describe") {
       // Works for safe AND unsafe unary queries: the answer set as a regex.
@@ -228,7 +235,8 @@ class Shell {
         std::printf("\n");
       }
     } else if (cmd == "explain") {
-      Result<ExplainAnalyzeResult> out = ExplainAnalyze(&db_, f);
+      Result<ExplainAnalyzeResult> out =
+          ExplainAnalyze(&db_, f, /*max_tuples=*/1000000, cache_);
       if (!out.ok()) {
         std::printf("  %s\n", out.status().ToString().c_str());
         return true;
@@ -239,13 +247,13 @@ class Shell {
       std::printf("  %s\n", v.ok() ? (*v ? "true" : "false")
                                    : v.status().ToString().c_str());
     } else if (cmd == "safe") {
-      Result<bool> v = StateSafe(f, db_);
+      Result<bool> v = StateSafe(f, db_, cache_);
       std::printf("  %s\n",
                   v.ok() ? (*v ? "safe on this database"
                                : "UNSAFE on this database (infinite output)")
                          : v.status().ToString().c_str());
     } else if (cmd == "cqsafe") {
-      Result<bool> v = QuerySafe(f, db_.alphabet());
+      Result<bool> v = QuerySafe(f, db_.alphabet(), cache_);
       std::printf("  %s\n", v.ok() ? (*v ? "safe on every database"
                                          : "unsafe on some database")
                                    : v.status().ToString().c_str());
@@ -272,7 +280,7 @@ class Shell {
         std::printf("  %s\n", plan.status().ToString().c_str());
         return true;
       }
-      AlgebraEvaluator algebra(&db_);
+      AlgebraEvaluator algebra(&db_, AlgebraEvaluator::Options(), cache_);
       Result<Relation> out = algebra.Evaluate(*plan);
       std::printf("  RA(%s) plan, reach %d: %s (%zu tuples)\n",
                   StructureName(*s), reach,
@@ -285,6 +293,7 @@ class Shell {
   }
 
   Database db_;
+  std::shared_ptr<AtomCache> cache_;
 };
 
 }  // namespace

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Full local gate: tier-1 (RelWithDebInfo build + ctest) followed by the
+# same suite under ASan/UBSan (`cmake --preset asan`), then a smoke run of
+# the two substrate benches so the strq.bench.v1 JSON contract and the
+# store.* counters stay exercised. Run from anywhere; exits nonzero on the
+# first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "==== tier-1: RelWithDebInfo ===="
+cmake --preset default
+cmake --build --preset default -j"${JOBS}"
+ctest --preset default -j"${JOBS}"
+
+echo "==== tier-2: ASan/UBSan ===="
+cmake --preset asan
+cmake --build --preset asan -j"${JOBS}"
+ctest --preset asan -j"${JOBS}"
+
+echo "==== bench smoke: substrate + ablation JSON ===="
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "${tmpdir}"' EXIT
+./build/bench/bench_substrate --smoke --json="${tmpdir}/BENCH_SUB.json"
+./build/bench/bench_ablation --smoke --json="${tmpdir}/BENCH_AB.json"
+python3 - "${tmpdir}/BENCH_SUB.json" "${tmpdir}/BENCH_AB.json" <<'EOF'
+import json, sys
+for path in sys.argv[1:]:
+    doc = json.load(open(path))
+    assert doc["schema"] == "strq.bench.v1", path
+    hits = doc["scalars"].get("store.op_hits", 0)
+    assert hits > 0, f"{path}: store.op_hits == 0 (substrate not warming)"
+    print(f"  {path}: ok (store.op_hits={hits:.0f})")
+EOF
+
+echo "ALL CHECKS PASSED"

@@ -5,65 +5,127 @@
 #include <deque>
 #include <map>
 #include <numeric>
+#include <utility>
 
 #include "obs/trace.h"
 
 namespace strq {
 
+namespace {
+
+// FNV-1a over the structural content. Cheap, stable across platforms, and
+// good enough for the unique table (which compares structurally on hash
+// collisions anyway).
+uint64_t HashStructure(int alphabet_size, int num_states, int start,
+                       const std::vector<int>& next,
+                       const std::vector<bool>& accepting) {
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  mix(static_cast<uint64_t>(alphabet_size));
+  mix(static_cast<uint64_t>(num_states));
+  mix(static_cast<uint64_t>(start));
+  for (int t : next) mix(static_cast<uint64_t>(t) + 0x9e3779b97f4a7c15ULL);
+  for (size_t q = 0; q < accepting.size(); ++q) {
+    if (accepting[q]) mix(q * 2 + 1);
+  }
+  return h;
+}
+
+}  // namespace
+
+Dfa::Dfa(int alphabet_size, int num_states, int start, std::vector<int> next,
+         std::vector<bool> accepting)
+    : alphabet_size_(alphabet_size),
+      num_states_(num_states),
+      start_(start),
+      next_(std::move(next)),
+      accepting_(std::move(accepting)),
+      hash_(HashStructure(alphabet_size_, num_states_, start_, next_,
+                          accepting_)) {}
+
+bool Dfa::StructurallyEqual(const Dfa& other) const {
+  return hash_ == other.hash_ && alphabet_size_ == other.alphabet_size_ &&
+         num_states_ == other.num_states_ && start_ == other.start_ &&
+         next_ == other.next_ && accepting_ == other.accepting_;
+}
+
 Result<Dfa> Dfa::Create(int alphabet_size, int start,
                         std::vector<std::vector<int>> next,
                         std::vector<bool> accepting) {
   int n = static_cast<int>(next.size());
-  if (n == 0) return InvalidArgumentError("DFA must have at least one state");
   if (alphabet_size <= 0) {
     return InvalidArgumentError("alphabet size must be positive");
   }
-  if (start < 0 || start >= n) return InvalidArgumentError("bad start state");
-  if (static_cast<int>(accepting.size()) != n) {
-    return InvalidArgumentError("accepting vector size mismatch");
-  }
+  std::vector<int> flat;
+  flat.reserve(static_cast<size_t>(n) * alphabet_size);
   for (const auto& row : next) {
     if (static_cast<int>(row.size()) != alphabet_size) {
       return InvalidArgumentError("transition row size mismatch");
     }
-    for (int t : row) {
-      if (t < 0 || t >= n) return InvalidArgumentError("bad transition target");
+    flat.insert(flat.end(), row.begin(), row.end());
+  }
+  return CreateFlat(alphabet_size, n, start, std::move(flat),
+                    std::move(accepting));
+}
+
+Result<Dfa> Dfa::CreateFlat(int alphabet_size, int num_states, int start,
+                            std::vector<int> next,
+                            std::vector<bool> accepting) {
+  if (num_states <= 0) {
+    return InvalidArgumentError("DFA must have at least one state");
+  }
+  if (alphabet_size <= 0) {
+    return InvalidArgumentError("alphabet size must be positive");
+  }
+  if (start < 0 || start >= num_states) {
+    return InvalidArgumentError("bad start state");
+  }
+  if (static_cast<int>(accepting.size()) != num_states) {
+    return InvalidArgumentError("accepting vector size mismatch");
+  }
+  if (next.size() != static_cast<size_t>(num_states) * alphabet_size) {
+    return InvalidArgumentError("transition table size mismatch");
+  }
+  for (int t : next) {
+    if (t < 0 || t >= num_states) {
+      return InvalidArgumentError("bad transition target");
     }
   }
-  return Dfa(alphabet_size, start, std::move(next), std::move(accepting));
+  return Dfa(alphabet_size, num_states, start, std::move(next),
+             std::move(accepting));
 }
 
 Dfa Dfa::EmptyLanguage(int alphabet_size) {
-  return Dfa(alphabet_size, 0,
-             {std::vector<int>(static_cast<size_t>(alphabet_size), 0)},
-             {false});
+  return Dfa(alphabet_size, 1, 0,
+             std::vector<int>(static_cast<size_t>(alphabet_size), 0), {false});
 }
 
 Dfa Dfa::AllStrings(int alphabet_size) {
-  return Dfa(alphabet_size, 0,
-             {std::vector<int>(static_cast<size_t>(alphabet_size), 0)},
-             {true});
+  return Dfa(alphabet_size, 1, 0,
+             std::vector<int>(static_cast<size_t>(alphabet_size), 0), {true});
 }
 
 Dfa Dfa::SingleString(int alphabet_size, const std::vector<Symbol>& w) {
   // States 0..|w| along the string, plus a sink at |w|+1.
   int n = static_cast<int>(w.size()) + 2;
   int sink = n - 1;
-  std::vector<std::vector<int>> next(
-      n, std::vector<int>(static_cast<size_t>(alphabet_size), sink));
+  std::vector<int> next(static_cast<size_t>(n) * alphabet_size, sink);
   for (size_t i = 0; i < w.size(); ++i) {
-    next[i][w[i]] = static_cast<int>(i) + 1;
+    next[i * alphabet_size + w[i]] = static_cast<int>(i) + 1;
   }
   std::vector<bool> accepting(n, false);
   accepting[w.size()] = true;
-  return Dfa(alphabet_size, 0, std::move(next), std::move(accepting));
+  return Dfa(alphabet_size, n, 0, std::move(next), std::move(accepting));
 }
 
 bool Dfa::Accepts(const std::vector<Symbol>& w) const {
   int q = start_;
   for (Symbol s : w) {
     assert(s < alphabet_size_);
-    q = next_[q][s];
+    q = Next(q, s);
   }
   return accepting_[q];
 }
@@ -75,13 +137,14 @@ bool Dfa::AcceptsString(const Alphabet& alphabet, const std::string& w) const {
 }
 
 std::vector<bool> Dfa::ReachableStates() const {
-  std::vector<bool> seen(next_.size(), false);
+  std::vector<bool> seen(num_states_, false);
   std::deque<int> queue = {start_};
   seen[start_] = true;
   while (!queue.empty()) {
     int q = queue.front();
     queue.pop_front();
-    for (int t : next_[q]) {
+    for (int s = 0; s < alphabet_size_; ++s) {
+      int t = Next(q, s);
       if (!seen[t]) {
         seen[t] = true;
         queue.push_back(t);
@@ -92,10 +155,10 @@ std::vector<bool> Dfa::ReachableStates() const {
 }
 
 std::vector<bool> Dfa::CoreachableStates() const {
-  int n = num_states();
+  int n = num_states_;
   std::vector<std::vector<int>> rev(n);
   for (int q = 0; q < n; ++q) {
-    for (int t : next_[q]) rev[t].push_back(q);
+    for (int s = 0; s < alphabet_size_; ++s) rev[Next(q, s)].push_back(q);
   }
   std::vector<bool> seen(n, false);
   std::deque<int> queue;
@@ -120,7 +183,7 @@ std::vector<bool> Dfa::CoreachableStates() const {
 
 bool Dfa::IsEmpty() const {
   std::vector<bool> reach = ReachableStates();
-  for (int q = 0; q < num_states(); ++q) {
+  for (int q = 0; q < num_states_; ++q) {
     if (reach[q] && accepting_[q]) return false;
   }
   return true;
@@ -133,7 +196,7 @@ bool Dfa::IsFinite() const {
   // able to reach an accepting state) lies on a cycle within useful states.
   std::vector<bool> reach = ReachableStates();
   std::vector<bool> coreach = CoreachableStates();
-  int n = num_states();
+  int n = num_states_;
   std::vector<bool> useful(n);
   for (int q = 0; q < n; ++q) useful[q] = reach[q] && coreach[q];
 
@@ -152,7 +215,7 @@ bool Dfa::IsFinite() const {
         stack.pop_back();
         continue;
       }
-      int t = next_[q][i++];
+      int t = Next(q, i++);
       if (!useful[t]) continue;
       if (color[t] == kGray) return false;  // cycle among useful states
       if (color[t] == kWhite) {
@@ -175,14 +238,14 @@ uint64_t SaturatingAdd(uint64_t a, uint64_t b) {
 
 uint64_t Dfa::CountLength(int n) const {
   // counts[q] = number of strings of the processed length ending in q.
-  std::vector<uint64_t> counts(next_.size(), 0);
+  std::vector<uint64_t> counts(num_states_, 0);
   counts[start_] = 1;
   for (int step = 0; step < n; ++step) {
-    std::vector<uint64_t> nxt(next_.size(), 0);
-    for (size_t q = 0; q < next_.size(); ++q) {
+    std::vector<uint64_t> nxt(num_states_, 0);
+    for (int q = 0; q < num_states_; ++q) {
       if (counts[q] == 0) continue;
       for (int s = 0; s < alphabet_size_; ++s) {
-        int t = next_[q][s];
+        int t = Next(q, s);
         if (counts[q] == kCountSaturated) {
           nxt[t] = kCountSaturated;
         } else {
@@ -193,7 +256,7 @@ uint64_t Dfa::CountLength(int n) const {
     counts = std::move(nxt);
   }
   uint64_t total = 0;
-  for (size_t q = 0; q < next_.size(); ++q) {
+  for (int q = 0; q < num_states_; ++q) {
     if (accepting_[q]) total = SaturatingAdd(total, counts[q]);
   }
   return total;
@@ -222,7 +285,7 @@ std::vector<std::vector<Symbol>> Dfa::Enumerate(int max_len,
     if (accepting_[q]) out.push_back(w);
     if (static_cast<int>(w.size()) >= max_len) continue;
     for (int s = 0; s < alphabet_size_; ++s) {
-      int t = next_[q][s];
+      int t = Next(q, s);
       if (!coreach[t]) continue;
       std::vector<Symbol> w2 = w;
       w2.push_back(static_cast<Symbol>(s));
@@ -234,7 +297,7 @@ std::vector<std::vector<Symbol>> Dfa::Enumerate(int max_len,
 
 std::optional<std::vector<Symbol>> Dfa::ShortestAccepted() const {
   // BFS from start recording the first-reached word.
-  std::vector<bool> seen(next_.size(), false);
+  std::vector<bool> seen(num_states_, false);
   std::deque<std::pair<int, std::vector<Symbol>>> queue;
   queue.push_back({start_, {}});
   seen[start_] = true;
@@ -243,7 +306,7 @@ std::optional<std::vector<Symbol>> Dfa::ShortestAccepted() const {
     queue.pop_front();
     if (accepting_[q]) return w;
     for (int s = 0; s < alphabet_size_; ++s) {
-      int t = next_[q][s];
+      int t = Next(q, s);
       if (seen[t]) continue;
       seen[t] = true;
       std::vector<Symbol> w2 = w;
@@ -258,7 +321,7 @@ std::optional<int> Dfa::MaxAcceptedLength() const {
   if (!IsFinite()) return std::nullopt;
   std::vector<bool> reach = ReachableStates();
   std::vector<bool> coreach = CoreachableStates();
-  int n = num_states();
+  int n = num_states_;
   std::vector<bool> useful(n);
   bool any = false;
   for (int q = 0; q < n; ++q) {
@@ -282,14 +345,14 @@ std::optional<int> Dfa::MaxAcceptedLength() const {
       continue;
     }
     if (i < alphabet_size_) {
-      int t = next_[q][i++];
+      int t = Next(q, i++);
       if (useful[t] && memo[t] == -2) stack.push_back({t, 0});
       continue;
     }
     // All children done; compute.
     int best = accepting_[q] ? 0 : -1;
     for (int s = 0; s < alphabet_size_; ++s) {
-      int t = next_[q][s];
+      int t = Next(q, s);
       if (useful[t] && memo[t] >= 0) best = std::max(best, memo[t] + 1);
     }
     memo[q] = best;
@@ -301,31 +364,210 @@ std::optional<int> Dfa::MaxAcceptedLength() const {
 Dfa Dfa::Complemented() const {
   std::vector<bool> acc(accepting_.size());
   for (size_t q = 0; q < accepting_.size(); ++q) acc[q] = !accepting_[q];
-  return Dfa(alphabet_size_, start_, next_, std::move(acc));
+  return Dfa(alphabet_size_, num_states_, start_, next_, std::move(acc));
+}
+
+int Dfa::ReachableRestriction(std::vector<int>* next, std::vector<bool>* acc,
+                              int* num_states) const {
+  std::vector<bool> reach = ReachableStates();
+  std::vector<int> remap(num_states_, -1);
+  int m = 0;
+  for (int q = 0; q < num_states_; ++q) {
+    if (reach[q]) remap[q] = m++;
+  }
+  next->assign(static_cast<size_t>(m) * alphabet_size_, 0);
+  acc->assign(m, false);
+  for (int q = 0; q < num_states_; ++q) {
+    if (!reach[q]) continue;
+    for (int s = 0; s < alphabet_size_; ++s) {
+      (*next)[static_cast<size_t>(remap[q]) * alphabet_size_ + s] =
+          remap[Next(q, s)];
+    }
+    (*acc)[remap[q]] = accepting_[q];
+  }
+  *num_states = m;
+  return remap[start_];
+}
+
+Dfa Dfa::CanonicalQuotient(int alphabet_size, int num_states, int start,
+                           const std::vector<int>& next,
+                           const std::vector<bool>& accepting,
+                           const std::vector<int>& part, int num_parts) {
+  // Quotient transition function via one representative per block.
+  std::vector<int> rep(num_parts, -1);
+  for (int q = 0; q < num_states; ++q) {
+    if (rep[part[q]] < 0) rep[part[q]] = q;
+  }
+  // Canonical renumbering: BFS over blocks from the start block, exploring
+  // symbols in increasing order. Every block contains a reachable state, so
+  // the BFS covers all blocks; the resulting numbering depends only on the
+  // quotient automaton, making equivalent inputs structurally identical.
+  std::vector<int> order(num_parts, -1);
+  int assigned = 0;
+  std::deque<int> queue;
+  order[part[start]] = assigned++;
+  queue.push_back(part[start]);
+  while (!queue.empty()) {
+    int b = queue.front();
+    queue.pop_front();
+    int q = rep[b];
+    for (int s = 0; s < alphabet_size; ++s) {
+      int tb = part[next[static_cast<size_t>(q) * alphabet_size + s]];
+      if (order[tb] < 0) {
+        order[tb] = assigned++;
+        queue.push_back(tb);
+      }
+    }
+  }
+  assert(assigned == num_parts);
+
+  std::vector<int> min_next(static_cast<size_t>(num_parts) * alphabet_size, 0);
+  std::vector<bool> min_acc(num_parts, false);
+  for (int b = 0; b < num_parts; ++b) {
+    int q = rep[b];
+    for (int s = 0; s < alphabet_size; ++s) {
+      min_next[static_cast<size_t>(order[b]) * alphabet_size + s] =
+          order[part[next[static_cast<size_t>(q) * alphabet_size + s]]];
+    }
+    min_acc[order[b]] = accepting[q];
+  }
+  return Dfa(alphabet_size, num_parts, order[part[start]],
+             std::move(min_next), std::move(min_acc));
 }
 
 Dfa Dfa::Minimized() const {
   obs::Span span("dfa.minimize");
-  // Restrict to reachable states first.
-  std::vector<bool> reach = ReachableStates();
-  std::vector<int> remap(next_.size(), -1);
+  std::vector<int> next;
+  std::vector<bool> accepting;
   int m = 0;
-  for (size_t q = 0; q < next_.size(); ++q) {
-    if (reach[q]) remap[q] = m++;
-  }
-  std::vector<std::vector<int>> next(m);
-  std::vector<bool> accepting(m);
-  for (size_t q = 0; q < next_.size(); ++q) {
-    if (!reach[q]) continue;
-    std::vector<int> row(alphabet_size_);
-    for (int s = 0; s < alphabet_size_; ++s) row[s] = remap[next_[q][s]];
-    next[remap[q]] = std::move(row);
-    accepting[remap[q]] = accepting_[q];
-  }
-  int start = remap[start_];
+  int start = ReachableRestriction(&next, &accepting, &m);
+  const int k = alphabet_size_;
 
-  // Moore partition refinement: O(n^2 * |Σ|) worst case, fine at our scale
-  // (states number in the hundreds). Partition ids per state.
+  // Hopcroft partition refinement over the reachable restriction.
+  //
+  // Inverse transitions in CSR form per symbol: the sources of t under s are
+  // rev[rev_off[s * (m+1) + t] .. rev_off[s * (m+1) + t + 1]).
+  std::vector<int> rev_off(static_cast<size_t>(k) * (m + 1) + 1, 0);
+  {
+    for (int q = 0; q < m; ++q) {
+      for (int s = 0; s < k; ++s) {
+        int t = next[static_cast<size_t>(q) * k + s];
+        ++rev_off[static_cast<size_t>(s) * (m + 1) + t + 1];
+      }
+    }
+    for (size_t i = 1; i < rev_off.size(); ++i) rev_off[i] += rev_off[i - 1];
+  }
+  std::vector<int> rev(static_cast<size_t>(m) * k);
+  {
+    std::vector<int> cursor(rev_off.begin(), rev_off.end() - 1);
+    for (int q = 0; q < m; ++q) {
+      for (int s = 0; s < k; ++s) {
+        int t = next[static_cast<size_t>(q) * k + s];
+        rev[cursor[static_cast<size_t>(s) * (m + 1) + t]++] = q;
+      }
+    }
+  }
+
+  // Initial partition: accepting vs rejecting (skip an empty side).
+  std::vector<int> block_of(m, 0);
+  std::vector<std::vector<int>> blocks;
+  {
+    std::vector<int> acc_states, rej_states;
+    for (int q = 0; q < m; ++q) {
+      (accepting[q] ? acc_states : rej_states).push_back(q);
+    }
+    if (!acc_states.empty()) {
+      for (int q : acc_states) block_of[q] = static_cast<int>(blocks.size());
+      blocks.push_back(std::move(acc_states));
+    }
+    if (!rej_states.empty()) {
+      for (int q : rej_states) block_of[q] = static_cast<int>(blocks.size());
+      blocks.push_back(std::move(rej_states));
+    }
+  }
+
+  // Worklist of (block, symbol) splitters. Seeding with every pair is
+  // correct; the smaller-half rule below keeps the refinement O(n·k·log n).
+  std::deque<std::pair<int, int>> worklist;
+  std::vector<std::vector<bool>> in_worklist;
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    in_worklist.emplace_back(k, true);
+    for (int s = 0; s < k; ++s) worklist.emplace_back(static_cast<int>(b), s);
+  }
+
+  std::vector<bool> marked(m, false);
+  std::vector<int> marked_states;
+  while (!worklist.empty()) {
+    auto [a, s] = worklist.front();
+    worklist.pop_front();
+    in_worklist[a][s] = false;
+
+    // X = preimage of block a under symbol s.
+    marked_states.clear();
+    for (int t : blocks[a]) {
+      int lo = rev_off[static_cast<size_t>(s) * (m + 1) + t];
+      int hi = rev_off[static_cast<size_t>(s) * (m + 1) + t + 1];
+      for (int i = lo; i < hi; ++i) {
+        int q = rev[i];
+        if (!marked[q]) {
+          marked[q] = true;
+          marked_states.push_back(q);
+        }
+      }
+    }
+    if (marked_states.empty()) continue;
+
+    // Group the marked states by their current block.
+    std::map<int, std::vector<int>> by_block;
+    for (int q : marked_states) by_block[block_of[q]].push_back(q);
+
+    for (auto& [b, hit] : by_block) {
+      if (hit.size() == blocks[b].size()) continue;  // whole block marked
+      // Split: unmarked states keep block id b, marked move to a new block.
+      std::vector<int> rest;
+      rest.reserve(blocks[b].size() - hit.size());
+      for (int q : blocks[b]) {
+        if (!marked[q]) rest.push_back(q);
+      }
+      int nb = static_cast<int>(blocks.size());
+      blocks[b] = std::move(rest);
+      for (int q : hit) block_of[q] = nb;
+      blocks.push_back(std::move(hit));
+      in_worklist.emplace_back(k, false);
+      for (int c = 0; c < k; ++c) {
+        if (in_worklist[b][c]) {
+          // (b, c) is still pending; both halves must be processed.
+          in_worklist[nb][c] = true;
+          worklist.emplace_back(nb, c);
+        } else {
+          // Hopcroft's rule: it suffices to add the smaller half.
+          int smaller = blocks[b].size() <= blocks[nb].size() ? b : nb;
+          in_worklist[smaller][c] = true;
+          worklist.emplace_back(smaller, c);
+        }
+      }
+    }
+    for (int q : marked_states) marked[q] = false;
+  }
+
+  int num_parts = static_cast<int>(blocks.size());
+  span.Attr("in_states", num_states());
+  span.Attr("out_states", num_parts);
+  obs::Count(obs::kDfaMinimizations);
+  obs::Count(obs::kDfaStatesBuilt, num_parts);
+  return CanonicalQuotient(k, m, start, next, accepting, block_of, num_parts);
+}
+
+Dfa Dfa::MinimizedMoore() const {
+  obs::Span span("dfa.minimize");
+  std::vector<int> next;
+  std::vector<bool> accepting;
+  int m = 0;
+  int start = ReachableRestriction(&next, &accepting, &m);
+
+  // Moore partition refinement: O(n^2 * |Σ|) worst case. Kept as the
+  // reference implementation that Minimized() is differential-tested
+  // against.
   std::vector<int> part(m);
   for (int q = 0; q < m; ++q) part[q] = accepting[q] ? 1 : 0;
   int num_parts = 2;
@@ -339,7 +581,9 @@ Dfa Dfa::Minimized() const {
       std::vector<int> sig;
       sig.reserve(alphabet_size_ + 1);
       sig.push_back(part[q]);
-      for (int s = 0; s < alphabet_size_; ++s) sig.push_back(part[next[q][s]]);
+      for (int s = 0; s < alphabet_size_; ++s) {
+        sig.push_back(part[next[static_cast<size_t>(q) * alphabet_size_ + s]]);
+      }
       auto [it, inserted] =
           sig_to_id.emplace(std::move(sig), static_cast<int>(sig_to_id.size()));
       new_part[q] = it->second;
@@ -353,20 +597,12 @@ Dfa Dfa::Minimized() const {
     part = std::move(new_part);
   }
 
-  std::vector<std::vector<int>> min_next(
-      num_parts, std::vector<int>(static_cast<size_t>(alphabet_size_), 0));
-  std::vector<bool> min_acc(num_parts, false);
-  for (int q = 0; q < m; ++q) {
-    int p = part[q];
-    for (int s = 0; s < alphabet_size_; ++s) min_next[p][s] = part[next[q][s]];
-    if (accepting[q]) min_acc[p] = true;
-  }
   span.Attr("in_states", num_states());
   span.Attr("out_states", num_parts);
   obs::Count(obs::kDfaMinimizations);
   obs::Count(obs::kDfaStatesBuilt, num_parts);
-  return Dfa(alphabet_size_, part[start], std::move(min_next),
-             std::move(min_acc));
+  return CanonicalQuotient(alphabet_size_, m, start, next, accepting, part,
+                           num_parts);
 }
 
 }  // namespace strq

@@ -14,6 +14,13 @@ namespace strq {
 // A complete deterministic finite automaton over symbols {0..alphabet_size-1}.
 // Transition tables are total: every state has a successor on every symbol
 // (constructions add an explicit sink where needed). States are dense ints.
+//
+// The transition table is a single flat allocation in row-major order
+// (next_[q * alphabet_size + s]), and every Dfa carries a structural hash
+// computed once at construction. Together with the canonical state numbering
+// produced by Minimized() this makes hash-consing possible: two minimized
+// DFAs denote the same language iff they are structurally equal, which the
+// AutomatonStore checks with one hash probe plus a memcmp-style compare.
 class Dfa {
  public:
   // Creates a DFA; `next[q][s]` is the successor of state q on symbol s.
@@ -21,6 +28,12 @@ class Dfa {
   static Result<Dfa> Create(int alphabet_size, int start,
                             std::vector<std::vector<int>> next,
                             std::vector<bool> accepting);
+
+  // Same, from an already-flat row-major table with `num_states` rows.
+  // Avoids the per-row allocations of the nested form on hot paths.
+  static Result<Dfa> CreateFlat(int alphabet_size, int num_states, int start,
+                                std::vector<int> next,
+                                std::vector<bool> accepting);
 
   // The one-state DFA rejecting everything.
   static Dfa EmptyLanguage(int alphabet_size);
@@ -30,16 +43,26 @@ class Dfa {
   static Dfa SingleString(int alphabet_size, const std::vector<Symbol>& w);
 
   int alphabet_size() const { return alphabet_size_; }
-  int num_states() const { return static_cast<int>(next_.size()); }
+  int num_states() const { return num_states_; }
   // Total transition-table entries, num_states() * alphabet_size(): the
   // tables are complete, so this is the memory-relevant size figure that
   // the observability layer records alongside state counts.
   int64_t NumTransitions() const {
-    return static_cast<int64_t>(next_.size()) * alphabet_size_;
+    return static_cast<int64_t>(next_.size());
   }
   int start() const { return start_; }
-  int Next(int state, Symbol s) const { return next_[state][s]; }
+  int Next(int state, Symbol s) const {
+    return next_[static_cast<size_t>(state) * alphabet_size_ + s];
+  }
   bool IsAccepting(int state) const { return accepting_[state]; }
+
+  // Structural identity. The hash covers alphabet size, start state, the
+  // full transition table and the accepting set; it is computed eagerly at
+  // construction so reads are free. Equal structure implies equal language;
+  // for canonically-minimized DFAs (the output of Minimized()) the converse
+  // holds too, which is what the unique table relies on.
+  uint64_t StructuralHash() const { return hash_; }
+  bool StructurallyEqual(const Dfa& other) const;
 
   // Runs the DFA on a symbol string from the start state.
   bool Accepts(const std::vector<Symbol>& w) const;
@@ -77,16 +100,29 @@ class Dfa {
   // Language transformations (all return complete DFAs).
   Dfa Complemented() const;
 
-  // Hopcroft minimization (also removes unreachable states).
+  // Hopcroft minimization, O(n·|Σ|·log n). Removes unreachable states and
+  // renumbers the result canonically (BFS from the start state in symbol
+  // order), so equivalent DFAs minimize to structurally identical automata.
   Dfa Minimized() const;
 
+  // Reference Moore partition refinement (O(n²·|Σ|)), kept for differential
+  // testing of Minimized(). Produces the same canonical numbering.
+  Dfa MinimizedMoore() const;
+
  private:
-  Dfa(int alphabet_size, int start, std::vector<std::vector<int>> next,
-      std::vector<bool> accepting)
-      : alphabet_size_(alphabet_size),
-        start_(start),
-        next_(std::move(next)),
-        accepting_(std::move(accepting)) {}
+  Dfa(int alphabet_size, int num_states, int start, std::vector<int> next,
+      std::vector<bool> accepting);
+
+  // Restrict to states reachable from start; fills the flat table/accepting
+  // vector of the restriction and returns its start state.
+  int ReachableRestriction(std::vector<int>* next, std::vector<bool>* acc,
+                           int* num_states) const;
+  // Quotient by a partition (part[q] = block id of q, blocks dense 0..k-1),
+  // then renumber canonically by BFS from the start block in symbol order.
+  static Dfa CanonicalQuotient(int alphabet_size, int num_states, int start,
+                               const std::vector<int>& next,
+                               const std::vector<bool>& accepting,
+                               const std::vector<int>& part, int num_parts);
 
   // States reachable from start.
   std::vector<bool> ReachableStates() const;
@@ -94,9 +130,12 @@ class Dfa {
   std::vector<bool> CoreachableStates() const;
 
   int alphabet_size_;
+  int num_states_;
   int start_;
-  std::vector<std::vector<int>> next_;
+  // Row-major: next_[q * alphabet_size_ + s].
+  std::vector<int> next_;
   std::vector<bool> accepting_;
+  uint64_t hash_;
 };
 
 }  // namespace strq

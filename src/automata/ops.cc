@@ -77,21 +77,21 @@ Result<Dfa> Product(const Dfa& a, const Dfa& b, bool (*combine)(bool, bool)) {
   int n = a.num_states() * nb;
   obs::Count(obs::kDfaProducts);
   obs::Count(obs::kDfaStatesBuilt, n);
-  std::vector<std::vector<int>> next(n,
-                                     std::vector<int>(static_cast<size_t>(k)));
+  std::vector<int> next(static_cast<size_t>(n) * k);
   std::vector<bool> accepting(n);
   for (int qa = 0; qa < a.num_states(); ++qa) {
     for (int qb = 0; qb < nb; ++qb) {
       int q = encode(qa, qb);
       accepting[q] = combine(a.IsAccepting(qa), b.IsAccepting(qb));
       for (int s = 0; s < k; ++s) {
-        next[q][s] = encode(a.Next(qa, static_cast<Symbol>(s)),
-                            b.Next(qb, static_cast<Symbol>(s)));
+        next[static_cast<size_t>(q) * k + s] =
+            encode(a.Next(qa, static_cast<Symbol>(s)),
+                   b.Next(qb, static_cast<Symbol>(s)));
       }
     }
   }
-  return Dfa::Create(k, encode(a.start(), b.start()), std::move(next),
-                     std::move(accepting));
+  return Dfa::CreateFlat(k, n, encode(a.start(), b.start()), std::move(next),
+                         std::move(accepting));
 }
 
 }  // namespace

@@ -1,0 +1,154 @@
+#include "automata/store.h"
+
+#include <atomic>
+
+#include "automata/ops.h"
+#include "obs/trace.h"
+
+namespace strq {
+
+namespace {
+
+// Intern ids are drawn from one process-global counter so that ids issued
+// by different stores (or by the same store across Clear()) never collide.
+uint64_t NextInternId() {
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+const AutomatonStore& AutomatonStore::Default() {
+  static AutomatonStore* store = new AutomatonStore(true);
+  return *store;
+}
+
+DfaRef AutomatonStore::InternCanonical(Dfa canonical) const {
+  if (!caching_enabled_) {
+    obs::Count(obs::kStoreUniqueMisses);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.unique_misses;
+    return DfaRef(std::make_shared<const Dfa>(std::move(canonical)),
+                  NextInternId());
+  }
+  uint64_t hash = canonical.StructuralHash();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [lo, hi] = unique_.equal_range(hash);
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second.second->StructurallyEqual(canonical)) {
+        ++stats_.unique_hits;
+        obs::Count(obs::kStoreUniqueHits);
+        return DfaRef(it->second.second, it->second.first);
+      }
+    }
+    uint64_t id = NextInternId();
+    auto dfa = std::make_shared<const Dfa>(std::move(canonical));
+    unique_.emplace(hash, std::make_pair(id, dfa));
+    ++stats_.unique_misses;
+    obs::Count(obs::kStoreUniqueMisses);
+    return DfaRef(std::move(dfa), id);
+  }
+}
+
+DfaRef AutomatonStore::Intern(const Dfa& dfa) const {
+  return InternCanonical(dfa.Minimized());
+}
+
+std::optional<DfaRef> AutomatonStore::Lookup(const OpKey& key) const {
+  if (caching_enabled_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = computed_.find(key);
+    if (it != computed_.end()) {
+      ++stats_.op_hits;
+      obs::Count(obs::kStoreOpHits);
+      return it->second;
+    }
+    ++stats_.op_misses;
+  } else {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.op_misses;
+  }
+  obs::Count(obs::kStoreOpMisses);
+  return std::nullopt;
+}
+
+void AutomatonStore::Memoize(const OpKey& key, const DfaRef& value) const {
+  if (!caching_enabled_ || !value) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  computed_.emplace(key, value);
+}
+
+Result<DfaRef> AutomatonStore::BinaryOp(int op, const DfaRef& a,
+                                        const DfaRef& b) const {
+  if (!a || !b) return InvalidArgumentError("null DfaRef operand");
+  // Commutative ops: normalize the operand order so (a,b) and (b,a) share
+  // one computed-table entry.
+  uint64_t ia = a.id();
+  uint64_t ib = b.id();
+  const Dfa* da = &*a;
+  const Dfa* db = &*b;
+  if ((op == kOpIntersect || op == kOpUnion) && ia > ib) {
+    std::swap(ia, ib);
+    std::swap(da, db);
+  }
+  OpKey key{op, ia, ib, {}};
+  if (std::optional<DfaRef> hit = Lookup(key)) return *hit;
+
+  Result<Dfa> raw = op == kOpIntersect  ? strq::Intersect(*da, *db)
+                    : op == kOpUnion    ? strq::Union(*da, *db)
+                                        : strq::Difference(*da, *db);
+  STRQ_RETURN_IF_ERROR(raw.status());
+  DfaRef out = Intern(*raw);
+  Memoize(key, out);
+  return out;
+}
+
+Result<DfaRef> AutomatonStore::Intersect(const DfaRef& a,
+                                         const DfaRef& b) const {
+  return BinaryOp(kOpIntersect, a, b);
+}
+
+Result<DfaRef> AutomatonStore::Union(const DfaRef& a, const DfaRef& b) const {
+  return BinaryOp(kOpUnion, a, b);
+}
+
+Result<DfaRef> AutomatonStore::Difference(const DfaRef& a,
+                                          const DfaRef& b) const {
+  return BinaryOp(kOpDifference, a, b);
+}
+
+DfaRef AutomatonStore::Complemented(const DfaRef& a) const {
+  if (!a) return DfaRef();
+  OpKey key{kOpComplement, a.id(), 0, {}};
+  if (std::optional<DfaRef> hit = Lookup(key)) return *hit;
+  DfaRef out = Intern(a->Complemented());
+  Memoize(key, out);
+  // The complement of a minimal DFA is minimal, so complementation is an
+  // involution on interned handles; prime the reverse entry too.
+  Memoize(OpKey{kOpComplement, out.id(), 0, {}}, a);
+  return out;
+}
+
+AutomatonStore::Stats AutomatonStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t AutomatonStore::unique_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return unique_.size();
+}
+
+size_t AutomatonStore::computed_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return computed_.size();
+}
+
+void AutomatonStore::Clear() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  unique_.clear();
+  computed_.clear();
+}
+
+}  // namespace strq

@@ -1,0 +1,178 @@
+#ifndef STRQ_AUTOMATA_STORE_H_
+#define STRQ_AUTOMATA_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "automata/dfa.h"
+#include "base/status.h"
+
+namespace strq {
+
+// A handle to an interned, canonically-minimized, immutable DFA. Copying a
+// DfaRef is a shared_ptr bump; the payload automaton is never mutated after
+// interning, so handles can be cached and shared freely across evaluators
+// and threads. Two refs produced by the same AutomatonStore have equal id()
+// iff their automata accept the same language (canonical minimal DFAs are
+// unique per language).
+class DfaRef {
+ public:
+  DfaRef() = default;
+
+  const Dfa& operator*() const { return *dfa_; }
+  const Dfa* operator->() const { return dfa_.get(); }
+  const std::shared_ptr<const Dfa>& shared() const { return dfa_; }
+
+  // Intern identity: 0 for a default-constructed (null) ref, otherwise a
+  // process-unique id that is never reused — not even across stores or
+  // Clear() — so computed-table keys built from ids can never alias.
+  uint64_t id() const { return id_; }
+  explicit operator bool() const { return dfa_ != nullptr; }
+
+ private:
+  friend class AutomatonStore;
+  DfaRef(std::shared_ptr<const Dfa> dfa, uint64_t id)
+      : dfa_(std::move(dfa)), id_(id) {}
+
+  std::shared_ptr<const Dfa> dfa_;
+  uint64_t id_ = 0;
+};
+
+// Computed-table key: an operation tag, the intern ids of the operands, and
+// op-specific scalar parameters (alphabet sizes, track indices, permutations).
+// Callers above the automata layer (mta/) use this to memoize their own
+// DFA-valued operations in the same store.
+struct OpKey {
+  int op = 0;
+  uint64_t a = 0;
+  uint64_t b = 0;
+  std::vector<int64_t> params;
+
+  bool operator==(const OpKey& other) const {
+    return op == other.op && a == other.a && b == other.b &&
+           params == other.params;
+  }
+};
+
+struct OpKeyHash {
+  size_t operator()(const OpKey& key) const {
+    uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ULL;
+    };
+    mix(static_cast<uint64_t>(key.op));
+    mix(key.a);
+    mix(key.b);
+    for (int64_t p : key.params) mix(static_cast<uint64_t>(p));
+    return static_cast<size_t>(h);
+  }
+};
+
+// Hash-consing store for DFAs, in the style of a BDD package's unique and
+// computed tables:
+//
+//  * The unique table interns canonically-minimized DFAs by structural hash,
+//    so every regular language appearing in a computation is represented by
+//    exactly one immutable Dfa object, addressed by a cheap DfaRef handle.
+//  * The computed table memoizes DFA-valued operations keyed on the intern
+//    ids of their operands: Intersect/Union/Difference/Complemented here,
+//    and the mta/ track operations (cylindrify, project, permute,
+//    ValidConvolutions) through the generic Lookup/Memoize interface.
+//
+// Because interned DFAs are immutable and ids are never reused, memoized
+// results can never be invalidated — the computed table needs no epochs.
+//
+// All methods are const and thread-safe (one mutex; automata are built
+// outside the lock). A store constructed with enable_caching=false performs
+// the same canonicalization but remembers nothing — it is used to measure
+// the ablation and by the store-on/off differential tests.
+//
+// Hit/miss counts are kept in always-on internal stats and also forwarded
+// to the obs metrics (store.unique_{hits,misses}, store.op_{hits,misses})
+// when tracing is enabled, so they surface in EXPLAIN ANALYZE and bench
+// JSON.
+class AutomatonStore {
+ public:
+  // Operation tags for computed-table keys. The automata-level binary ops
+  // are used internally; the mta/ tags are claimed here so all users of one
+  // store draw from a single namespace.
+  enum OpTag : int {
+    kOpIntersect = 1,
+    kOpUnion = 2,
+    kOpDifference = 3,
+    kOpComplement = 4,
+    kOpValidConvolutions = 5,
+    kOpCylindrify = 6,
+    kOpProject = 7,
+    kOpPermute = 8,
+  };
+
+  struct Stats {
+    int64_t unique_hits = 0;
+    int64_t unique_misses = 0;
+    int64_t op_hits = 0;
+    int64_t op_misses = 0;
+  };
+
+  explicit AutomatonStore(bool enable_caching = true)
+      : caching_enabled_(enable_caching) {}
+  AutomatonStore(const AutomatonStore&) = delete;
+  AutomatonStore& operator=(const AutomatonStore&) = delete;
+
+  // The process-wide default store, shared by everything that does not
+  // explicitly thread its own (evaluators, safety deciders, the shell).
+  static const AutomatonStore& Default();
+
+  bool caching_enabled() const { return caching_enabled_; }
+
+  // Minimizes (canonically) and interns. The returned handle's id is stable
+  // for the lifetime of the store: interning a DFA for the same language
+  // returns the same id and the same underlying object.
+  DfaRef Intern(const Dfa& dfa) const;
+
+  // Memoized language operations. Operands may come from a different store;
+  // they are re-interned here first (cheap when already canonical).
+  Result<DfaRef> Intersect(const DfaRef& a, const DfaRef& b) const;
+  Result<DfaRef> Union(const DfaRef& a, const DfaRef& b) const;
+  Result<DfaRef> Difference(const DfaRef& a, const DfaRef& b) const;
+  DfaRef Complemented(const DfaRef& a) const;
+
+  // Generic computed-table access for callers with their own DFA-valued
+  // operations (the mta layer). Lookup counts a hit or a miss; Memoize is a
+  // no-op when caching is disabled.
+  std::optional<DfaRef> Lookup(const OpKey& key) const;
+  void Memoize(const OpKey& key, const DfaRef& value) const;
+
+  Stats stats() const;
+  size_t unique_size() const;
+  size_t computed_size() const;
+
+  // Drops both tables (handed-out refs stay valid; ids are not reused).
+  void Clear() const;
+
+ private:
+  // Interns an already canonically-minimized DFA.
+  DfaRef InternCanonical(Dfa canonical) const;
+  Result<DfaRef> BinaryOp(int op, const DfaRef& a, const DfaRef& b) const;
+
+  bool caching_enabled_;
+  mutable std::mutex mu_;
+  // Structural hash -> interned entries with that hash (collisions resolved
+  // by full structural comparison).
+  mutable std::unordered_multimap<uint64_t,
+                                  std::pair<uint64_t,
+                                            std::shared_ptr<const Dfa>>>
+      unique_;
+  mutable std::unordered_map<OpKey, DfaRef, OpKeyHash> computed_;
+  mutable Stats stats_;
+};
+
+}  // namespace strq
+
+#endif  // STRQ_AUTOMATA_STORE_H_

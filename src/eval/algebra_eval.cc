@@ -34,6 +34,10 @@ const char* RaSpanName(RaKind kind) {
 AlgebraEvaluator::AlgebraEvaluator(const Database* db, Options options)
     : db_(db), options_(options), formula_engine_(db) {}
 
+AlgebraEvaluator::AlgebraEvaluator(const Database* db, Options options,
+                                   std::shared_ptr<AtomCache> cache)
+    : db_(db), options_(options), formula_engine_(db, std::move(cache)) {}
+
 Status AlgebraEvaluator::CheckBudget(size_t size) const {
   if (size > options_.max_tuples) {
     return ResourceExhaustedError("algebra intermediate result over budget");

@@ -30,6 +30,15 @@ class AlgebraEvaluator {
 
   explicit AlgebraEvaluator(const Database* db) : AlgebraEvaluator(db, Options()) {}
   AlgebraEvaluator(const Database* db, Options options);
+  // Shares `cache` with the embedded formula engine (σ_α conditions compile
+  // into it) and hence with any other engine holding the same cache.
+  AlgebraEvaluator(const Database* db, Options options,
+                   std::shared_ptr<AtomCache> cache);
+
+  // The shared atom cache of the embedded formula engine; never null.
+  const std::shared_ptr<AtomCache>& atom_cache() const {
+    return formula_engine_.atom_cache();
+  }
 
   Result<Relation> Evaluate(const RaPtr& expr);
 

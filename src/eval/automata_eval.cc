@@ -3,9 +3,6 @@
 #include <algorithm>
 #include <utility>
 
-#include "automata/like.h"
-#include "automata/regex.h"
-#include "mta/atoms.h"
 #include "obs/trace.h"
 
 namespace strq {
@@ -41,17 +38,16 @@ std::string CompileSpanDetail(const FormulaPtr& f) {
   return text;
 }
 
-// Canonical variable block used when caching relation automata; remapped to
-// the actual argument variables per occurrence.
-constexpr VarId kRelationVarBase = 1 << 24;
-
 // The recursive compiler. Variable scoping: free variables of the whole
 // query get ids 0..k-1 in sorted-name order (so answer-relation columns are
 // deterministic); bound and auxiliary variables take fresh ids above that.
+//
+// Every automaton is obtained through the shared AtomCache: atoms and table
+// tries come out interned against the cache's AutomatonStore, and all
+// first-order operations below memoize in that store's computed table.
 class Compiler {
  public:
-  Compiler(const Database* db, AutomataEvaluator* evaluator)
-      : db_(db), evaluator_(evaluator) {}
+  Compiler(const Database* db, AtomCache* cache) : db_(db), cache_(cache) {}
 
   Result<TrackAutomaton> CompileQuery(const FormulaPtr& f) {
     std::vector<std::string> free_vars = AutomataEvaluator::FreeVarOrder(f);
@@ -65,6 +61,8 @@ class Compiler {
   const Alphabet& alphabet() const { return db_->alphabet(); }
 
   VarId Fresh() { return next_var_++; }
+
+  std::string Rev() const { return std::to_string(db_->revision()); }
 
   // ---- Term resolution --------------------------------------------------
 
@@ -84,8 +82,7 @@ class Compiler {
       }
       case TermKind::kConst: {
         VarId v = Fresh();
-        STRQ_ASSIGN_OR_RETURN(TrackAutomaton def,
-                              ConstAtom(alphabet(), t->text, v));
+        STRQ_ASSIGN_OR_RETURN(TrackAutomaton def, cache_->Const(t->text, v));
         defs->push_back(std::move(def));
         to_project->push_back(v);
         return v;
@@ -97,10 +94,10 @@ class Compiler {
         VarId v = Fresh();
         Result<TrackAutomaton> def =
             t->kind == TermKind::kAppend
-                ? AppendGraphAtom(alphabet(), t->letter, u, v)
+                ? cache_->AppendGraph(t->letter, u, v)
                 : t->kind == TermKind::kPrepend
-                      ? PrependGraphAtom(alphabet(), t->letter, u, v)
-                      : TrimLeadingGraphAtom(alphabet(), t->letter, u, v);
+                      ? cache_->PrependGraph(t->letter, u, v)
+                      : cache_->TrimLeadingGraph(t->letter, u, v);
         if (!def.ok()) return def.status();
         defs->push_back(*std::move(def));
         to_project->push_back(v);
@@ -115,7 +112,7 @@ class Compiler {
         }
         VarId v = Fresh();
         STRQ_ASSIGN_OR_RETURN(TrackAutomaton def,
-                              InsertGraphAtom(alphabet(), t->letter, a, b, v));
+                              cache_->InsertGraph(t->letter, a, b, v));
         defs->push_back(std::move(def));
         to_project->push_back(v);
         return v;
@@ -129,7 +126,7 @@ class Compiler {
           STRQ_ASSIGN_OR_RETURN(b, Alias(a, defs, to_project));
         }
         VarId v = Fresh();
-        STRQ_ASSIGN_OR_RETURN(TrackAutomaton def, LcpAtom(alphabet(), a, b, v));
+        STRQ_ASSIGN_OR_RETURN(TrackAutomaton def, cache_->Lcp(a, b, v));
         defs->push_back(std::move(def));
         to_project->push_back(v);
         return v;
@@ -147,7 +144,7 @@ class Compiler {
   Result<VarId> Alias(VarId v, std::vector<TrackAutomaton>* defs,
                       std::vector<VarId>* to_project) {
     VarId fresh = Fresh();
-    STRQ_ASSIGN_OR_RETURN(TrackAutomaton eq, EqualAtom(alphabet(), v, fresh));
+    STRQ_ASSIGN_OR_RETURN(TrackAutomaton eq, cache_->Equal(v, fresh));
     defs->push_back(std::move(eq));
     to_project->push_back(fresh);
     return fresh;
@@ -192,43 +189,43 @@ class Compiler {
     Result<TrackAutomaton> atom = InternalError("unset");
     switch (f.pred) {
       case PredKind::kEq:
-        atom = EqualAtom(alphabet(), ids[0], ids[1]);
+        atom = cache_->Equal(ids[0], ids[1]);
         break;
       case PredKind::kPrefix:
-        atom = PrefixAtom(alphabet(), ids[0], ids[1]);
+        atom = cache_->Prefix(ids[0], ids[1]);
         break;
       case PredKind::kStrictPrefix:
-        atom = StrictPrefixAtom(alphabet(), ids[0], ids[1]);
+        atom = cache_->StrictPrefix(ids[0], ids[1]);
         break;
       case PredKind::kOneStep:
-        atom = OneStepAtom(alphabet(), ids[0], ids[1]);
+        atom = cache_->OneStep(ids[0], ids[1]);
         break;
       case PredKind::kLast:
-        atom = LastSymbolAtom(alphabet(), f.letter, ids[0]);
+        atom = cache_->LastSymbol(f.letter, ids[0]);
         break;
       case PredKind::kEqLen:
-        atom = EqLenAtom(alphabet(), ids[0], ids[1]);
+        atom = cache_->EqLen(ids[0], ids[1]);
         break;
       case PredKind::kLeqLen:
-        atom = LeqLenAtom(alphabet(), ids[0], ids[1]);
+        atom = cache_->LeqLen(ids[0], ids[1]);
         break;
       case PredKind::kLexLeq:
-        atom = LexLeqAtom(alphabet(), ids[0], ids[1]);
+        atom = cache_->LexLeq(ids[0], ids[1]);
         break;
       case PredKind::kAdom:
         atom = AdomAutomaton(ids[0]);
         break;
       case PredKind::kLike:
       case PredKind::kMember: {
-        STRQ_ASSIGN_OR_RETURN(Dfa lang, evaluator_->CompiledPattern(
-                                            f.pattern, f.syntax));
-        atom = MemberAtom(alphabet(), lang, ids[0]);
+        STRQ_ASSIGN_OR_RETURN(DfaRef lang,
+                              cache_->CompiledPattern(f.pattern, f.syntax));
+        atom = cache_->Member(lang, ids[0]);
         break;
       }
       case PredKind::kSuffixIn: {
-        STRQ_ASSIGN_OR_RETURN(Dfa lang, evaluator_->CompiledPattern(
-                                            f.pattern, f.syntax));
-        atom = SuffixInAtom(alphabet(), lang, ids[0], ids[1]);
+        STRQ_ASSIGN_OR_RETURN(DfaRef lang,
+                              cache_->CompiledPattern(f.pattern, f.syntax));
+        atom = cache_->SuffixIn(lang, ids[0], ids[1]);
         break;
       }
     }
@@ -249,40 +246,22 @@ class Compiler {
     std::vector<VarId> aux;
     STRQ_ASSIGN_OR_RETURN(std::vector<VarId> ids,
                           ResolveArgs(f.args, &defs, &aux));
-    STRQ_ASSIGN_OR_RETURN(TrackAutomaton canonical,
-                          RelationAutomaton(f.relation, *rel));
-    std::map<VarId, VarId> renaming;
-    for (size_t i = 0; i < ids.size(); ++i) {
-      renaming[kRelationVarBase + static_cast<VarId>(i)] = ids[i];
-    }
-    STRQ_ASSIGN_OR_RETURN(TrackAutomaton atom, canonical.Renamed(renaming));
+    // The trie is cached per (relation, database revision); the supplier
+    // only runs on the first compilation of this relation's contents.
+    STRQ_ASSIGN_OR_RETURN(
+        TrackAutomaton atom,
+        cache_->TableTrie("rel:" + f.relation + ":" + Rev(), ids,
+                          [rel] { return rel->tuples(); }));
     return FinishAtom(std::move(atom), std::move(defs), aux);
   }
 
-  // Relation automata are cached under canonical variable ids.
-  Result<TrackAutomaton> RelationAutomaton(const std::string& name,
-                                           const Relation& rel) {
-    auto it = relation_cache_.find(name);
-    if (it != relation_cache_.end()) return it->second;
-    std::vector<VarId> vars;
-    for (int i = 0; i < rel.arity(); ++i) vars.push_back(kRelationVarBase + i);
-    STRQ_ASSIGN_OR_RETURN(
-        TrackAutomaton atom,
-        TrackAutomaton::FromTuples(alphabet(), vars, rel.tuples()));
-    relation_cache_.emplace(name, atom);
-    return atom;
-  }
-
   Result<TrackAutomaton> AdomAutomaton(VarId v) {
-    if (!adom_cache_.has_value()) {
+    const Database* db = db_;
+    return cache_->TableTrie("adom:" + Rev(), {v}, [db] {
       std::vector<std::vector<std::string>> tuples;
-      for (const std::string& s : db_->ActiveDomain()) tuples.push_back({s});
-      STRQ_ASSIGN_OR_RETURN(
-          TrackAutomaton atom,
-          TrackAutomaton::FromTuples(alphabet(), {kRelationVarBase}, tuples));
-      adom_cache_ = std::move(atom);
-    }
-    return adom_cache_->Renamed({{kRelationVarBase, v}});
+      for (const std::string& s : db->ActiveDomain()) tuples.push_back({s});
+      return tuples;
+    });
   }
 
   // ---- Quantifier ranges --------------------------------------------------
@@ -298,15 +277,18 @@ class Compiler {
         return AdomAutomaton(v);
       case QuantRange::kPrefixDom: {
         // x ≼ some adom string, or x ≼ some parameter.
-        std::vector<std::vector<std::string>> tuples;
-        for (const std::string& s : PrefixClosureOfAdom()) {
-          tuples.push_back({s});
-        }
+        const Database* db = db_;
         STRQ_ASSIGN_OR_RETURN(
             TrackAutomaton acc,
-            TrackAutomaton::FromTuples(alphabet(), {v}, tuples));
+            cache_->TableTrie("prefixdom:" + Rev(), {v}, [db] {
+              std::vector<std::vector<std::string>> tuples;
+              for (const std::string& s : PrefixClosureOfAdom(db)) {
+                tuples.push_back({s});
+              }
+              return tuples;
+            }));
         for (VarId z : params) {
-          STRQ_ASSIGN_OR_RETURN(TrackAutomaton pre, PrefixAtom(alphabet(), v, z));
+          STRQ_ASSIGN_OR_RETURN(TrackAutomaton pre, cache_->Prefix(v, z));
           STRQ_ASSIGN_OR_RETURN(acc, TrackAutomaton::Union(acc, pre));
         }
         return acc;
@@ -314,9 +296,9 @@ class Compiler {
       case QuantRange::kLenDom: {
         STRQ_ASSIGN_OR_RETURN(
             TrackAutomaton acc,
-            MaxLenAtom(alphabet(), static_cast<int>(db_->MaxAdomLength()), v));
+            cache_->MaxLen(static_cast<int>(db_->MaxAdomLength()), v));
         for (VarId z : params) {
-          STRQ_ASSIGN_OR_RETURN(TrackAutomaton leq, LeqLenAtom(alphabet(), v, z));
+          STRQ_ASSIGN_OR_RETURN(TrackAutomaton leq, cache_->LeqLen(v, z));
           STRQ_ASSIGN_OR_RETURN(acc, TrackAutomaton::Union(acc, leq));
         }
         return acc;
@@ -325,8 +307,8 @@ class Compiler {
     return InternalError("unknown range");
   }
 
-  std::vector<std::string> PrefixClosureOfAdom() {
-    std::vector<std::string> adom = db_->ActiveDomain();
+  static std::vector<std::string> PrefixClosureOfAdom(const Database* db) {
+    std::vector<std::string> adom = db->ActiveDomain();
     std::vector<std::string> out;
     for (const std::string& s : adom) {
       for (size_t len = 0; len <= s.size(); ++len) {
@@ -406,9 +388,9 @@ class Compiler {
   Result<TrackAutomaton> CompileNode(const FormulaPtr& f) {
     switch (f->kind) {
       case FormulaKind::kTrue:
-        return TrackAutomaton::Truth(alphabet(), true);
+        return TrackAutomaton::Truth(cache_->store(), alphabet(), true);
       case FormulaKind::kFalse:
-        return TrackAutomaton::Truth(alphabet(), false);
+        return TrackAutomaton::Truth(cache_->store(), alphabet(), false);
       case FormulaKind::kPred:
         return CompilePred(*f);
       case FormulaKind::kRelation:
@@ -440,16 +422,23 @@ class Compiler {
   }
 
   const Database* db_;
-  AutomataEvaluator* evaluator_;
+  AtomCache* cache_;
   std::map<std::string, VarId> scope_;
   int next_var_ = 0;
-  std::map<std::string, TrackAutomaton> relation_cache_;
-  std::optional<TrackAutomaton> adom_cache_;
 };
 
 }  // namespace
 
-AutomataEvaluator::AutomataEvaluator(const Database* db) : db_(db) {}
+AutomataEvaluator::AutomataEvaluator(const Database* db)
+    : AutomataEvaluator(db, nullptr) {}
+
+AutomataEvaluator::AutomataEvaluator(const Database* db,
+                                     std::shared_ptr<AtomCache> cache)
+    : db_(db), cache_(std::move(cache)) {
+  if (cache_ == nullptr || !(cache_->alphabet() == db_->alphabet())) {
+    cache_ = std::make_shared<AtomCache>(db_->alphabet());
+  }
+}
 
 std::vector<std::string> AutomataEvaluator::FreeVarOrder(const FormulaPtr& f) {
   std::set<std::string> fv = FreeVars(f);
@@ -462,7 +451,7 @@ Result<TrackAutomaton> AutomataEvaluator::Compile(const FormulaPtr& f) {
   // because absent tracks are cylindrified on demand by callers. Here the
   // answer automaton is over exactly the tracks the formula constrains; for
   // evaluation we cylindrify to all free variables below.
-  Compiler compiler(db_, this);
+  Compiler compiler(db_, cache_.get());
   STRQ_ASSIGN_OR_RETURN(TrackAutomaton rel, compiler.CompileQuery(f));
   // Ensure every free variable has a track (x may not occur in any atom).
   std::vector<std::string> order = FreeVarOrder(f);
@@ -507,31 +496,8 @@ Result<bool> AutomataEvaluator::IsSafeOnDatabase(const FormulaPtr& f) {
 
 Result<Dfa> AutomataEvaluator::CompiledPattern(const std::string& pattern,
                                                PatternSyntax syntax) {
-  std::pair<std::string, int> key(pattern, static_cast<int>(syntax));
-  auto it = pattern_cache_.find(key);
-  if (it != pattern_cache_.end()) {
-    obs::Count(obs::kPatternCacheHits);
-    return it->second;
-  }
-  obs::Count(obs::kPatternCacheMisses);
-  obs::Span span("compile.pattern");
-  if (span.active()) span.set_detail(pattern);
-  Result<Dfa> lang = InternalError("unset");
-  switch (syntax) {
-    case PatternSyntax::kLikePattern:
-      lang = CompileLike(pattern, db_->alphabet());
-      break;
-    case PatternSyntax::kRegex:
-      lang = CompileRegex(pattern, db_->alphabet());
-      break;
-    case PatternSyntax::kSimilar:
-      lang = CompileSimilar(pattern, db_->alphabet());
-      break;
-  }
-  if (!lang.ok()) return lang.status();
-  span.Attr("states", lang->num_states());
-  pattern_cache_.emplace(key, *lang);
-  return *std::move(lang);
+  STRQ_ASSIGN_OR_RETURN(DfaRef lang, cache_->CompiledPattern(pattern, syntax));
+  return *lang;
 }
 
 }  // namespace strq

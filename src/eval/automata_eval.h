@@ -1,13 +1,14 @@
 #ifndef STRQ_EVAL_AUTOMATA_EVAL_H_
 #define STRQ_EVAL_AUTOMATA_EVAL_H_
 
-#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "automata/dfa.h"
 #include "base/status.h"
 #include "logic/ast.h"
+#include "mta/atom_cache.h"
 #include "mta/track_automaton.h"
 #include "relational/database.h"
 
@@ -26,13 +27,27 @@ namespace strq {
 //   * state-safety (Proposition 7): answer automaton finiteness,
 //   * the truth of sentences, including the safety sentences of Section 6.
 //
+// All automata are drawn from a shared AtomCache/AutomatonStore: atoms,
+// patterns and table tries are compiled once per cache lifetime, and every
+// first-order operation is memoized in the store's computed table. Pass the
+// same cache to several evaluators (and to the safety deciders and algebra
+// engine) to share that work across queries.
+//
 // Concatenation terms are rejected (kUnsupported): concatenation is not an
 // automatic relation, which is the engine-level shadow of Proposition 1.
 class AutomataEvaluator {
  public:
   // The database's alphabet fixes Σ. The database must outlive the
-  // evaluator.
+  // evaluator. This ctor gives the evaluator a private AtomCache backed by
+  // the process-wide AutomatonStore::Default().
   explicit AutomataEvaluator(const Database* db);
+
+  // Shares `cache` (and its store) with other engines. A null cache — or
+  // one over a different alphabet — is replaced by a fresh private one.
+  AutomataEvaluator(const Database* db, std::shared_ptr<AtomCache> cache);
+
+  // The cache this evaluator compiles into; never null.
+  const std::shared_ptr<AtomCache>& atom_cache() const { return cache_; }
 
   // Compiles φ to its answer automaton over free(φ). Track order equals the
   // lexicographic order of the free-variable names (see FreeVarOrder).
@@ -53,13 +68,14 @@ class AutomataEvaluator {
   Result<bool> IsSafeOnDatabase(const FormulaPtr& f);
 
   // Compiles a LIKE/SIMILAR/regex pattern over the database alphabet,
-  // memoized. Exposed for reuse by the algebra evaluator.
+  // memoized in the shared cache. Exposed for reuse by the algebra
+  // evaluator.
   Result<Dfa> CompiledPattern(const std::string& pattern,
                               PatternSyntax syntax);
 
  private:
   const Database* db_;
-  std::map<std::pair<std::string, int>, Dfa> pattern_cache_;
+  std::shared_ptr<AtomCache> cache_;
 };
 
 }  // namespace strq

@@ -9,9 +9,19 @@ namespace strq {
 
 Result<ExplainAnalyzeResult> ExplainAnalyze(const Database* db,
                                             const FormulaPtr& f,
-                                            size_t max_tuples) {
+                                            size_t max_tuples,
+                                            std::shared_ptr<AtomCache> cache) {
   ExplainAnalyzeResult result;
   result.columns = AutomataEvaluator::FreeVarOrder(f);
+
+  // Default to a private store + cache so the trace reflects the full cost
+  // of this query alone. The automata only borrow the store for the scope of
+  // this call; nothing store-backed escapes in the result (the answer is
+  // materialized to strings).
+  AutomatonStore local_store(true);
+  if (cache == nullptr) {
+    cache = std::make_shared<AtomCache>(db->alphabet(), &local_store);
+  }
 
   obs::ScopedEnable enable(true);
   std::map<std::string, int64_t> before =
@@ -19,7 +29,7 @@ Result<ExplainAnalyzeResult> ExplainAnalyze(const Database* db,
   obs::TraceSession session("explain");
   auto start = std::chrono::steady_clock::now();
 
-  AutomataEvaluator engine(db);
+  AutomataEvaluator engine(db, cache);
   STRQ_ASSIGN_OR_RETURN(TrackAutomaton rel, engine.Compile(f));
   result.answer_states = rel.NumStates();
   result.answer_transitions = rel.NumTransitions();

@@ -9,6 +9,7 @@
 
 #include "base/status.h"
 #include "logic/ast.h"
+#include "mta/atom_cache.h"
 #include "obs/json.h"
 #include "obs/trace.h"
 #include "relational/database.h"
@@ -46,12 +47,15 @@ struct ExplainAnalyzeResult {
   obs::JsonValue ToJson() const;
 };
 
-// Runs the analysis on its own evaluator (fresh caches, so the trace always
-// shows the full cost). Tracing is enabled for the duration of the call and
-// restored afterwards.
-Result<ExplainAnalyzeResult> ExplainAnalyze(const Database* db,
-                                            const FormulaPtr& f,
-                                            size_t max_tuples = 1000000);
+// Runs the analysis. With `cache == nullptr` the call uses a fresh
+// AutomatonStore + AtomCache of its own, so the trace always shows the full
+// cost of the query (store.* metrics then report only intra-query sharing).
+// Pass a shared cache to see how a warm substrate changes the picture — the
+// shell does this, so repeated EXPLAINs show the cross-query hit rates.
+// Tracing is enabled for the duration of the call and restored afterwards.
+Result<ExplainAnalyzeResult> ExplainAnalyze(
+    const Database* db, const FormulaPtr& f, size_t max_tuples = 1000000,
+    std::shared_ptr<AtomCache> cache = nullptr);
 
 }  // namespace strq
 

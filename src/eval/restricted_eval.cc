@@ -17,8 +17,9 @@ using Env = std::map<std::string, std::string>;
 
 class Evaluator {
  public:
-  Evaluator(const Database* db, const RestrictedEvaluator::Options& options)
-      : db_(db), options_(options) {
+  Evaluator(const Database* db, const RestrictedEvaluator::Options& options,
+            AtomCache* cache)
+      : db_(db), options_(options), cache_(cache) {
     adom_ = db_->ActiveDomain();
   }
 
@@ -108,25 +109,10 @@ class Evaluator {
     return InternalError("unknown term kind");
   }
 
-  Result<Dfa> Pattern(const std::string& pattern, PatternSyntax syntax) {
-    std::pair<std::string, int> key(pattern, static_cast<int>(syntax));
-    auto it = pattern_cache_.find(key);
-    if (it != pattern_cache_.end()) return it->second;
-    Result<Dfa> lang = InternalError("unset");
-    switch (syntax) {
-      case PatternSyntax::kLikePattern:
-        lang = CompileLike(pattern, db_->alphabet());
-        break;
-      case PatternSyntax::kRegex:
-        lang = CompileRegex(pattern, db_->alphabet());
-        break;
-      case PatternSyntax::kSimilar:
-        lang = CompileSimilar(pattern, db_->alphabet());
-        break;
-    }
-    if (!lang.ok()) return lang.status();
-    pattern_cache_.emplace(key, *lang);
-    return *std::move(lang);
+  // Patterns are compiled (and served) through the shared AtomCache, so a
+  // pattern compiled by any engine is reused by every other one.
+  Result<DfaRef> Pattern(const std::string& pattern, PatternSyntax syntax) {
+    return cache_->CompiledPattern(pattern, syntax);
   }
 
   Result<bool> EvalPred(const Formula& f, const Env& env) {
@@ -163,14 +149,14 @@ class Evaluator {
       case PredKind::kLike:
         return LikeMatch(args[0], f.pattern);
       case PredKind::kMember: {
-        STRQ_ASSIGN_OR_RETURN(Dfa lang, Pattern(f.pattern, f.syntax));
-        return lang.AcceptsString(db_->alphabet(), args[0]);
+        STRQ_ASSIGN_OR_RETURN(DfaRef lang, Pattern(f.pattern, f.syntax));
+        return lang->AcceptsString(db_->alphabet(), args[0]);
       }
       case PredKind::kSuffixIn: {
         if (!IsPrefix(args[0], args[1])) return false;
-        STRQ_ASSIGN_OR_RETURN(Dfa lang, Pattern(f.pattern, f.syntax));
-        return lang.AcceptsString(db_->alphabet(),
-                                  RelativeSuffix(args[1], args[0]));
+        STRQ_ASSIGN_OR_RETURN(DfaRef lang, Pattern(f.pattern, f.syntax));
+        return lang->AcceptsString(db_->alphabet(),
+                                   RelativeSuffix(args[1], args[0]));
       }
     }
     return InternalError("unknown predicate");
@@ -293,19 +279,27 @@ class Evaluator {
 
   const Database* db_;
   RestrictedEvaluator::Options options_;
+  AtomCache* cache_;
   std::vector<std::string> adom_;
-  std::map<std::pair<std::string, int>, Dfa> pattern_cache_;
 };
 
 }  // namespace
 
 RestrictedEvaluator::RestrictedEvaluator(const Database* db, Options options)
-    : db_(db), options_(options) {}
+    : RestrictedEvaluator(db, options, nullptr) {}
+
+RestrictedEvaluator::RestrictedEvaluator(const Database* db, Options options,
+                                         std::shared_ptr<AtomCache> cache)
+    : db_(db), options_(options), cache_(std::move(cache)) {
+  if (cache_ == nullptr || !(cache_->alphabet() == db_->alphabet())) {
+    cache_ = std::make_shared<AtomCache>(db_->alphabet());
+  }
+}
 
 Result<bool> RestrictedEvaluator::Holds(
     const FormulaPtr& f, const std::map<std::string, std::string>& assignment) {
   obs::Span span("restricted.holds");
-  Evaluator eval(db_, options_);
+  Evaluator eval(db_, options_, cache_.get());
   Env env = assignment;
   return eval.Eval(f, env);
 }
@@ -325,7 +319,7 @@ Result<Relation> RestrictedEvaluator::EvaluateOnCandidates(
   std::vector<std::string> vars(fv.begin(), fv.end());
   int k = static_cast<int>(vars.size());
   std::vector<Tuple> out;
-  Evaluator eval(db_, options_);
+  Evaluator eval(db_, options_, cache_.get());
 
   // Odometer over candidates^k.
   std::vector<size_t> index(k, 0);

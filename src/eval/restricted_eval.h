@@ -2,12 +2,14 @@
 #define STRQ_EVAL_RESTRICTED_EVAL_H_
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "base/status.h"
 #include "logic/ast.h"
+#include "mta/atom_cache.h"
 #include "relational/database.h"
 
 namespace strq {
@@ -43,6 +45,15 @@ class RestrictedEvaluator {
 
   explicit RestrictedEvaluator(const Database* db) : RestrictedEvaluator(db, Options()) {}
   RestrictedEvaluator(const Database* db, Options options);
+  // Shares `cache` with other engines: LIKE/regex/SIMILAR patterns compiled
+  // here land in (and are served from) the same AtomCache the automata and
+  // algebra engines use. A null cache or an alphabet mismatch falls back to
+  // a fresh private cache.
+  RestrictedEvaluator(const Database* db, Options options,
+                      std::shared_ptr<AtomCache> cache);
+
+  // The pattern/atom cache this evaluator uses; never null.
+  const std::shared_ptr<AtomCache>& atom_cache() const { return cache_; }
 
   // Truth of a formula under the given assignment of its free variables.
   Result<bool> Holds(const FormulaPtr& f,
@@ -68,6 +79,7 @@ class RestrictedEvaluator {
  private:
   const Database* db_;
   Options options_;
+  std::shared_ptr<AtomCache> cache_;
 };
 
 }  // namespace strq

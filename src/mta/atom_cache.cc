@@ -1,0 +1,206 @@
+#include "mta/atom_cache.h"
+
+#include <utility>
+
+#include "automata/like.h"
+#include "automata/regex.h"
+#include "mta/atoms.h"
+#include "obs/trace.h"
+
+namespace strq {
+
+AtomCache::AtomCache(Alphabet alphabet, const AutomatonStore* store)
+    : alphabet_(std::move(alphabet)),
+      store_(store != nullptr ? store : &AutomatonStore::Default()) {}
+
+Result<TrackAutomaton> AtomCache::Renamed(const TrackAutomaton& canonical,
+                                          const std::vector<VarId>& vars) {
+  std::map<VarId, VarId> renaming;
+  for (int i = 0; i < static_cast<int>(vars.size()); ++i) {
+    if (vars[i] != i) renaming[i] = vars[i];
+  }
+  if (renaming.empty()) return canonical;
+  return canonical.Renamed(renaming);
+}
+
+Result<TrackAutomaton> AtomCache::Cached(
+    const std::string& key, const std::vector<VarId>& vars,
+    const std::function<Result<TrackAutomaton>()>& build) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = atoms_.find(key);
+    if (it != atoms_.end()) {
+      ++stats_.hits;
+      obs::Count(obs::kAtomCacheHits);
+      return Renamed(it->second, vars);
+    }
+  }
+  STRQ_ASSIGN_OR_RETURN(TrackAutomaton built, build());
+  // Re-home the atom into this cache's store so every downstream operation
+  // on it (and on its renamings) memoizes in one computed table. When the
+  // builder already used our store this is a no-op.
+  Result<TrackAutomaton> canonical =
+      &built.store() == store_
+          ? Result<TrackAutomaton>(std::move(built))
+          : TrackAutomaton::Create(*store_, built.alphabet(), built.vars(),
+                                   built.dfa());
+  STRQ_RETURN_IF_ERROR(canonical.status());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    obs::Count(obs::kAtomCacheMisses);
+    // A racing thread may have populated the key meanwhile; both values
+    // describe the same language, so first-in wins.
+    auto [it, inserted] = atoms_.emplace(key, *canonical);
+    return Renamed(it->second, vars);
+  }
+}
+
+Result<TrackAutomaton> AtomCache::Equal(VarId x, VarId y) {
+  return Cached("eq", {x, y},
+                [this] { return EqualAtom(alphabet_, 0, 1); });
+}
+
+Result<TrackAutomaton> AtomCache::Prefix(VarId x, VarId y) {
+  return Cached("prefix", {x, y},
+                [this] { return PrefixAtom(alphabet_, 0, 1); });
+}
+
+Result<TrackAutomaton> AtomCache::StrictPrefix(VarId x, VarId y) {
+  return Cached("sprefix", {x, y},
+                [this] { return StrictPrefixAtom(alphabet_, 0, 1); });
+}
+
+Result<TrackAutomaton> AtomCache::OneStep(VarId x, VarId y) {
+  return Cached("onestep", {x, y},
+                [this] { return OneStepAtom(alphabet_, 0, 1); });
+}
+
+Result<TrackAutomaton> AtomCache::LastSymbol(char a, VarId x) {
+  return Cached(std::string("last:") + a, {x},
+                [this, a] { return LastSymbolAtom(alphabet_, a, 0); });
+}
+
+Result<TrackAutomaton> AtomCache::AppendGraph(char a, VarId x, VarId y) {
+  return Cached(std::string("append:") + a, {x, y},
+                [this, a] { return AppendGraphAtom(alphabet_, a, 0, 1); });
+}
+
+Result<TrackAutomaton> AtomCache::PrependGraph(char a, VarId x, VarId y) {
+  return Cached(std::string("prepend:") + a, {x, y},
+                [this, a] { return PrependGraphAtom(alphabet_, a, 0, 1); });
+}
+
+Result<TrackAutomaton> AtomCache::TrimLeadingGraph(char a, VarId x, VarId y) {
+  return Cached(std::string("trim:") + a, {x, y},
+                [this, a] { return TrimLeadingGraphAtom(alphabet_, a, 0, 1); });
+}
+
+Result<TrackAutomaton> AtomCache::InsertGraph(char a, VarId p, VarId x,
+                                              VarId y) {
+  return Cached(std::string("insert:") + a, {p, x, y}, [this, a] {
+    return InsertGraphAtom(alphabet_, a, 0, 1, 2);
+  });
+}
+
+Result<TrackAutomaton> AtomCache::Const(const std::string& w, VarId x) {
+  return Cached("const:" + w, {x},
+                [this, &w] { return ConstAtom(alphabet_, w, 0); });
+}
+
+Result<TrackAutomaton> AtomCache::EqLen(VarId x, VarId y) {
+  return Cached("eqlen", {x, y},
+                [this] { return EqLenAtom(alphabet_, 0, 1); });
+}
+
+Result<TrackAutomaton> AtomCache::LeqLen(VarId x, VarId y) {
+  return Cached("leqlen", {x, y},
+                [this] { return LeqLenAtom(alphabet_, 0, 1); });
+}
+
+Result<TrackAutomaton> AtomCache::LexLeq(VarId x, VarId y) {
+  return Cached("lexleq", {x, y},
+                [this] { return LexLeqAtom(alphabet_, 0, 1); });
+}
+
+Result<TrackAutomaton> AtomCache::Lcp(VarId x, VarId y, VarId z) {
+  return Cached("lcp", {x, y, z},
+                [this] { return LcpAtom(alphabet_, 0, 1, 2); });
+}
+
+Result<TrackAutomaton> AtomCache::MaxLen(int max_len, VarId x) {
+  return Cached("maxlen:" + std::to_string(max_len), {x}, [this, max_len] {
+    return MaxLenAtom(alphabet_, max_len, 0);
+  });
+}
+
+Result<TrackAutomaton> AtomCache::Member(const DfaRef& lang, VarId x) {
+  if (!lang) return InvalidArgumentError("null language handle");
+  return Cached("member:" + std::to_string(lang.id()), {x},
+                [this, &lang] { return MemberAtom(alphabet_, *lang, 0); });
+}
+
+Result<TrackAutomaton> AtomCache::SuffixIn(const DfaRef& lang, VarId x,
+                                           VarId y) {
+  if (!lang) return InvalidArgumentError("null language handle");
+  return Cached("suffixin:" + std::to_string(lang.id()), {x, y},
+                [this, &lang] { return SuffixInAtom(alphabet_, *lang, 0, 1); });
+}
+
+Result<DfaRef> AtomCache::CompiledPattern(const std::string& pattern,
+                                          PatternSyntax syntax) {
+  std::pair<std::string, int> key(pattern, static_cast<int>(syntax));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = patterns_.find(key);
+    if (it != patterns_.end()) {
+      ++stats_.pattern_hits;
+      obs::Count(obs::kPatternCacheHits);
+      return it->second;
+    }
+  }
+  obs::Span span("compile.pattern");
+  if (span.active()) span.set_detail(pattern);
+  Result<Dfa> lang = InternalError("unset");
+  switch (syntax) {
+    case PatternSyntax::kLikePattern:
+      lang = CompileLike(pattern, alphabet_);
+      break;
+    case PatternSyntax::kRegex:
+      lang = CompileRegex(pattern, alphabet_);
+      break;
+    case PatternSyntax::kSimilar:
+      lang = CompileSimilar(pattern, alphabet_);
+      break;
+  }
+  STRQ_RETURN_IF_ERROR(lang.status());
+  DfaRef ref = store_->Intern(*lang);
+  if (span.active()) span.Attr("states", ref->num_states());
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.pattern_misses;
+  obs::Count(obs::kPatternCacheMisses);
+  auto [it, inserted] = patterns_.emplace(key, ref);
+  return it->second;
+}
+
+Result<TrackAutomaton> AtomCache::TableTrie(
+    const std::string& key, const std::vector<VarId>& vars,
+    const std::function<std::vector<std::vector<std::string>>()>& tuples) {
+  std::vector<VarId> canonical(vars.size());
+  for (int i = 0; i < static_cast<int>(vars.size()); ++i) canonical[i] = i;
+  return Cached("trie:" + key, vars, [this, &canonical, &tuples] {
+    return TrackAutomaton::FromTuples(*store_, alphabet_, canonical, tuples());
+  });
+}
+
+AtomCache::Stats AtomCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t AtomCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return atoms_.size() + patterns_.size();
+}
+
+}  // namespace strq

@@ -1,0 +1,116 @@
+#ifndef STRQ_MTA_ATOM_CACHE_H_
+#define STRQ_MTA_ATOM_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "automata/store.h"
+#include "base/alphabet.h"
+#include "base/status.h"
+#include "logic/ast.h"
+#include "mta/track_automaton.h"
+
+namespace strq {
+
+// A per-alphabet cache of compiled atomic relations, shared across the
+// evaluation engines (automata, restricted, algebra), the safety deciders
+// and EXPLAIN ANALYZE. It closes the loop of the hash-consing substrate:
+//
+//  * the AutomatonStore deduplicates at the *language* level (unique table)
+//    and the *operation* level (computed table);
+//  * the AtomCache deduplicates at the *atom* level: each atomic predicate
+//    (x ≼ y, x = w, LIKE patterns, database tables, …) is compiled once per
+//    database lifetime, in canonical variables 0..k-1, and every later
+//    occurrence is a rename of the cached canonical automaton — renames of
+//    interned handles are themselves memoized in the store.
+//
+// All atoms handed out are built against one AutomatonStore (by default the
+// process-wide store), so every downstream first-order operation performed
+// by a compiler using this cache lands in the same computed table. The
+// store (and the cache) must outlive every automaton derived from them.
+//
+// Thread-safe; cheap to share via shared_ptr between evaluator instances.
+class AtomCache {
+ public:
+  struct Stats {
+    int64_t hits = 0;            // canonical atom served from the cache
+    int64_t misses = 0;          // canonical atom compiled
+    int64_t pattern_hits = 0;    // LIKE/regex/SIMILAR pattern reused
+    int64_t pattern_misses = 0;  // pattern compiled
+  };
+
+  // `store == nullptr` means AutomatonStore::Default(). The store must
+  // outlive the cache.
+  explicit AtomCache(Alphabet alphabet, const AutomatonStore* store = nullptr);
+  AtomCache(const AtomCache&) = delete;
+  AtomCache& operator=(const AtomCache&) = delete;
+
+  const Alphabet& alphabet() const { return alphabet_; }
+  const AutomatonStore& store() const { return *store_; }
+
+  // --- Atomic predicates (see mta/atoms.h for the semantics) --------------
+  // Variables passed to one call must be pairwise distinct (the formula
+  // compilers freshen repeated variables before calling in here).
+  Result<TrackAutomaton> Equal(VarId x, VarId y);
+  Result<TrackAutomaton> Prefix(VarId x, VarId y);
+  Result<TrackAutomaton> StrictPrefix(VarId x, VarId y);
+  Result<TrackAutomaton> OneStep(VarId x, VarId y);
+  Result<TrackAutomaton> LastSymbol(char a, VarId x);
+  Result<TrackAutomaton> AppendGraph(char a, VarId x, VarId y);
+  Result<TrackAutomaton> PrependGraph(char a, VarId x, VarId y);
+  Result<TrackAutomaton> TrimLeadingGraph(char a, VarId x, VarId y);
+  Result<TrackAutomaton> InsertGraph(char a, VarId p, VarId x, VarId y);
+  Result<TrackAutomaton> Const(const std::string& w, VarId x);
+  Result<TrackAutomaton> EqLen(VarId x, VarId y);
+  Result<TrackAutomaton> LeqLen(VarId x, VarId y);
+  Result<TrackAutomaton> LexLeq(VarId x, VarId y);
+  Result<TrackAutomaton> Lcp(VarId x, VarId y, VarId z);
+  Result<TrackAutomaton> MaxLen(int max_len, VarId x);
+  // `lang` must be interned (typically a CompiledPattern result); the cache
+  // key is its intern id, which is process-unique and never reused.
+  Result<TrackAutomaton> Member(const DfaRef& lang, VarId x);
+  Result<TrackAutomaton> SuffixIn(const DfaRef& lang, VarId x, VarId y);
+
+  // Compiles a LIKE/SIMILAR/regex pattern over the cache's alphabet to an
+  // interned DFA, memoized per (pattern, syntax). Keeps the historical
+  // pattern_cache.{hits,misses} metrics truthful.
+  Result<DfaRef> CompiledPattern(const std::string& pattern,
+                                 PatternSyntax syntax);
+
+  // A finite relation given extensionally (database tables, active-domain
+  // and prefix-domain automata). `key` must identify the *content* — the
+  // evaluators use "rel:<name>:<revision>" style keys, where revisions are
+  // process-unique — so the supplier is only invoked on the first miss.
+  Result<TrackAutomaton> TableTrie(
+      const std::string& key, const std::vector<VarId>& vars,
+      const std::function<std::vector<std::vector<std::string>>()>& tuples);
+
+  Stats stats() const;
+  size_t size() const;
+
+ private:
+  // Returns the canonical-variable automaton cached under `key`, building
+  // it with `build` on a miss (build must produce vars 0..k-1), renamed to
+  // `vars`.
+  Result<TrackAutomaton> Cached(
+      const std::string& key, const std::vector<VarId>& vars,
+      const std::function<Result<TrackAutomaton>()>& build);
+  static Result<TrackAutomaton> Renamed(const TrackAutomaton& canonical,
+                                        const std::vector<VarId>& vars);
+
+  Alphabet alphabet_;
+  const AutomatonStore* store_;
+  mutable std::mutex mu_;
+  std::map<std::string, TrackAutomaton> atoms_;
+  std::map<std::pair<std::string, int>, DfaRef> patterns_;
+  Stats stats_;
+};
+
+}  // namespace strq
+
+#endif  // STRQ_MTA_ATOM_CACHE_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <deque>
+#include <string>
 
 #include "automata/nfa.h"
 #include "automata/ops.h"
@@ -12,11 +13,28 @@ namespace strq {
 
 namespace {
 
+// Hard ceiling on the number of tracks: the convolution alphabet has
+// (|Σ|+1)^k letters and the Valid automaton 2^k+1 states, so beyond this the
+// construction is hopeless anyway.
+constexpr int kMaxTracks = 20;
+
 bool StrictlyIncreasing(const std::vector<VarId>& vars) {
   for (size_t i = 1; i < vars.size(); ++i) {
     if (vars[i - 1] >= vars[i]) return false;
   }
   return true;
+}
+
+// The interned Valid(arity) automaton, memoized in the store's computed
+// table keyed on (base alphabet size, arity).
+Result<DfaRef> ValidRef(const AutomatonStore& store, const ConvAlphabet& conv) {
+  OpKey key{AutomatonStore::kOpValidConvolutions, 0, 0,
+            {conv.base_size(), conv.arity()}};
+  if (std::optional<DfaRef> hit = store.Lookup(key)) return *hit;
+  STRQ_ASSIGN_OR_RETURN(Dfa valid, TrackAutomaton::ValidConvolutions(conv));
+  DfaRef ref = store.Intern(valid);
+  store.Memoize(key, ref);
+  return ref;
 }
 
 }  // namespace
@@ -27,7 +45,11 @@ Result<Dfa> TrackAutomaton::ValidConvolutions(const ConvAlphabet& conv) {
     // Only the empty word is a canonical 0-track convolution.
     return Dfa::Create(conv.num_letters(), 0, {{1}, {1}}, {true, false});
   }
-  if (k > 20) return ResourceExhaustedError("too many tracks");
+  if (k > kMaxTracks) {
+    return ResourceExhaustedError(
+        "too many tracks: arity " + std::to_string(k) +
+        " exceeds the supported maximum of " + std::to_string(kMaxTracks));
+  }
   // States: bitmask of tracks that have started padding, plus a sink.
   int num_masks = 1 << k;
   int sink = num_masks;
@@ -59,7 +81,8 @@ Result<Dfa> TrackAutomaton::ValidConvolutions(const ConvAlphabet& conv) {
                      std::move(accepting));
 }
 
-Result<TrackAutomaton> TrackAutomaton::Create(const Alphabet& alphabet,
+Result<TrackAutomaton> TrackAutomaton::Create(const AutomatonStore& store,
+                                              const Alphabet& alphabet,
                                               std::vector<VarId> vars,
                                               Dfa dfa) {
   if (!StrictlyIncreasing(vars)) {
@@ -71,45 +94,73 @@ Result<TrackAutomaton> TrackAutomaton::Create(const Alphabet& alphabet,
   if (dfa.alphabet_size() != conv.num_letters()) {
     return InvalidArgumentError("DFA alphabet does not match convolution");
   }
-  STRQ_ASSIGN_OR_RETURN(Dfa valid, ValidConvolutions(conv));
-  STRQ_ASSIGN_OR_RETURN(Dfa clean, strq::Intersect(dfa, valid));
-  Dfa minimized = clean.Minimized();
-  obs::Count(obs::kMtaStatesBuilt, minimized.num_states());
-  obs::Count(obs::kMtaTransitionsBuilt, minimized.NumTransitions());
-  return TrackAutomaton(alphabet, std::move(vars), conv, std::move(minimized));
+  DfaRef input = store.Intern(dfa);
+  STRQ_ASSIGN_OR_RETURN(DfaRef valid, ValidRef(store, conv));
+  STRQ_ASSIGN_OR_RETURN(DfaRef clean, store.Intersect(input, valid));
+  obs::Count(obs::kMtaStatesBuilt, clean->num_states());
+  obs::Count(obs::kMtaTransitionsBuilt, clean->NumTransitions());
+  return TrackAutomaton(alphabet, std::move(vars), conv, std::move(clean),
+                        &store);
+}
+
+Result<TrackAutomaton> TrackAutomaton::Create(const Alphabet& alphabet,
+                                              std::vector<VarId> vars,
+                                              Dfa dfa) {
+  return Create(AutomatonStore::Default(), alphabet, std::move(vars),
+                std::move(dfa));
+}
+
+Result<TrackAutomaton> TrackAutomaton::FullRelation(
+    const AutomatonStore& store, const Alphabet& alphabet,
+    std::vector<VarId> vars) {
+  if (!StrictlyIncreasing(vars)) {
+    return InvalidArgumentError("track variables must be strictly increasing");
+  }
+  STRQ_ASSIGN_OR_RETURN(
+      ConvAlphabet conv,
+      ConvAlphabet::Create(alphabet.size(), static_cast<int>(vars.size())));
+  return Create(store, alphabet, std::move(vars),
+                Dfa::AllStrings(conv.num_letters()));
 }
 
 Result<TrackAutomaton> TrackAutomaton::FullRelation(const Alphabet& alphabet,
                                                     std::vector<VarId> vars) {
+  return FullRelation(AutomatonStore::Default(), alphabet, std::move(vars));
+}
+
+Result<TrackAutomaton> TrackAutomaton::EmptyRelation(
+    const AutomatonStore& store, const Alphabet& alphabet,
+    std::vector<VarId> vars) {
   if (!StrictlyIncreasing(vars)) {
     return InvalidArgumentError("track variables must be strictly increasing");
   }
   STRQ_ASSIGN_OR_RETURN(
       ConvAlphabet conv,
       ConvAlphabet::Create(alphabet.size(), static_cast<int>(vars.size())));
-  return Create(alphabet, std::move(vars), Dfa::AllStrings(conv.num_letters()));
+  return Create(store, alphabet, std::move(vars),
+                Dfa::EmptyLanguage(conv.num_letters()));
 }
 
 Result<TrackAutomaton> TrackAutomaton::EmptyRelation(const Alphabet& alphabet,
                                                      std::vector<VarId> vars) {
-  if (!StrictlyIncreasing(vars)) {
-    return InvalidArgumentError("track variables must be strictly increasing");
-  }
-  STRQ_ASSIGN_OR_RETURN(
-      ConvAlphabet conv,
-      ConvAlphabet::Create(alphabet.size(), static_cast<int>(vars.size())));
-  return Create(alphabet, std::move(vars),
-                Dfa::EmptyLanguage(conv.num_letters()));
+  return EmptyRelation(AutomatonStore::Default(), alphabet, std::move(vars));
+}
+
+Result<TrackAutomaton> TrackAutomaton::Truth(const AutomatonStore& store,
+                                             const Alphabet& alphabet,
+                                             bool value) {
+  if (value) return FullRelation(store, alphabet, {});
+  return EmptyRelation(store, alphabet, {});
 }
 
 Result<TrackAutomaton> TrackAutomaton::Truth(const Alphabet& alphabet,
                                              bool value) {
-  if (value) return FullRelation(alphabet, {});
-  return EmptyRelation(alphabet, {});
+  return Truth(AutomatonStore::Default(), alphabet, value);
 }
 
 Result<TrackAutomaton> TrackAutomaton::FromTuples(
-    const Alphabet& alphabet, std::vector<VarId> vars,
+    const AutomatonStore& store, const Alphabet& alphabet,
+    std::vector<VarId> vars,
     const std::vector<std::vector<std::string>>& tuples) {
   if (!StrictlyIncreasing(vars)) {
     return InvalidArgumentError("track variables must be strictly increasing");
@@ -158,17 +209,24 @@ Result<TrackAutomaton> TrackAutomaton::FromTuples(
   STRQ_ASSIGN_OR_RETURN(Dfa dfa, Dfa::Create(conv.num_letters(), 0,
                                              std::move(next),
                                              std::move(accepting)));
-  Result<TrackAutomaton> out = Create(alphabet, std::move(vars),
+  Result<TrackAutomaton> out = Create(store, alphabet, std::move(vars),
                                       std::move(dfa));
   if (out.ok()) span.Attr("out_states", out->NumStates());
   return out;
+}
+
+Result<TrackAutomaton> TrackAutomaton::FromTuples(
+    const Alphabet& alphabet, std::vector<VarId> vars,
+    const std::vector<std::vector<std::string>>& tuples) {
+  return FromTuples(AutomatonStore::Default(), alphabet, std::move(vars),
+                    tuples);
 }
 
 Result<bool> TrackAutomaton::Contains(
     const std::vector<std::string>& tuple) const {
   STRQ_ASSIGN_OR_RETURN(std::vector<Symbol> word,
                         conv_.ConvolveStrings(alphabet_, tuple));
-  return dfa_.Accepts(word);
+  return dfa_->Accepts(word);
 }
 
 Result<TrackAutomaton> TrackAutomaton::Cylindrified(
@@ -199,10 +257,20 @@ Result<TrackAutomaton> TrackAutomaton::Cylindrified(
   STRQ_ASSIGN_OR_RETURN(ConvAlphabet new_conv,
                         ConvAlphabet::Create(alphabet_.size(),
                                              static_cast<int>(new_vars.size())));
+  // The result depends only on the input language and the track embedding,
+  // not on the variable names.
+  OpKey key{AutomatonStore::kOpCylindrify, dfa_.id(), 0,
+            {conv_.base_size()}};
+  key.params.insert(key.params.end(), old_track_of.begin(),
+                    old_track_of.end());
+  if (std::optional<DfaRef> hit = store_->Lookup(key)) {
+    return TrackAutomaton(alphabet_, std::move(new_vars), new_conv, *hit,
+                          store_);
+  }
+
   int letters = new_conv.num_letters();
-  int n = dfa_.num_states();
-  std::vector<std::vector<int>> next(n,
-                                     std::vector<int>(static_cast<size_t>(letters)));
+  int n = dfa_->num_states();
+  std::vector<int> next(static_cast<size_t>(n) * letters);
   std::vector<bool> accepting(n);
   std::vector<int> old_digits(vars_.size());
   for (int letter = 0; letter < letters; ++letter) {
@@ -218,19 +286,29 @@ Result<TrackAutomaton> TrackAutomaton::Cylindrified(
     if (old_all_pad) {
       // The embedded word has ended; the new tracks may continue, so the old
       // automaton's state is frozen.
-      for (int q = 0; q < n; ++q) next[q][letter] = q;
+      for (int q = 0; q < n; ++q) {
+        next[static_cast<size_t>(q) * letters + letter] = q;
+      }
     } else {
       Symbol old_letter = conv_.Encode(old_digits);
-      for (int q = 0; q < n; ++q) next[q][letter] = dfa_.Next(q, old_letter);
+      for (int q = 0; q < n; ++q) {
+        next[static_cast<size_t>(q) * letters + letter] =
+            dfa_->Next(q, old_letter);
+      }
     }
   }
-  for (int q = 0; q < n; ++q) accepting[q] = dfa_.IsAccepting(q);
+  for (int q = 0; q < n; ++q) accepting[q] = dfa_->IsAccepting(q);
   STRQ_ASSIGN_OR_RETURN(Dfa dfa,
-                        Dfa::Create(letters, dfa_.start(), std::move(next),
-                                    std::move(accepting)));
+                        Dfa::CreateFlat(letters, n, dfa_->start(),
+                                        std::move(next),
+                                        std::move(accepting)));
   // Create() intersects with Valid, which restores pad canonicity for the
   // fresh tracks.
-  return Create(alphabet_, std::move(new_vars), std::move(dfa));
+  STRQ_ASSIGN_OR_RETURN(TrackAutomaton out,
+                        Create(*store_, alphabet_, std::move(new_vars),
+                               std::move(dfa)));
+  store_->Memoize(key, out.dfa_);
+  return out;
 }
 
 namespace {
@@ -257,10 +335,13 @@ Result<TrackAutomaton> TrackAutomaton::Intersect(const TrackAutomaton& a,
   std::vector<VarId> vars = UnionVars(a.vars_, b.vars_);
   STRQ_ASSIGN_OR_RETURN(TrackAutomaton ca, a.Cylindrified(vars));
   STRQ_ASSIGN_OR_RETURN(TrackAutomaton cb, b.Cylindrified(vars));
-  STRQ_ASSIGN_OR_RETURN(Dfa product, strq::Intersect(ca.dfa_, cb.dfa_));
-  Result<TrackAutomaton> out =
-      Create(a.alphabet_, std::move(vars), std::move(product));
-  if (out.ok()) span.Attr("out_states", out->NumStates());
+  // Both operands satisfy L ⊆ Valid, so the intersection does too: no
+  // Valid re-intersection needed.
+  STRQ_ASSIGN_OR_RETURN(DfaRef product,
+                        a.store_->Intersect(ca.dfa_, cb.dfa_));
+  TrackAutomaton out(a.alphabet_, std::move(vars), ca.conv_,
+                     std::move(product), a.store_);
+  span.Attr("out_states", out.NumStates());
   return out;
 }
 
@@ -276,10 +357,11 @@ Result<TrackAutomaton> TrackAutomaton::Union(const TrackAutomaton& a,
   std::vector<VarId> vars = UnionVars(a.vars_, b.vars_);
   STRQ_ASSIGN_OR_RETURN(TrackAutomaton ca, a.Cylindrified(vars));
   STRQ_ASSIGN_OR_RETURN(TrackAutomaton cb, b.Cylindrified(vars));
-  STRQ_ASSIGN_OR_RETURN(Dfa product, strq::Union(ca.dfa_, cb.dfa_));
-  Result<TrackAutomaton> out =
-      Create(a.alphabet_, std::move(vars), std::move(product));
-  if (out.ok()) span.Attr("out_states", out->NumStates());
+  // Valid(arity) is closed under union, so the invariant is preserved.
+  STRQ_ASSIGN_OR_RETURN(DfaRef sum, a.store_->Union(ca.dfa_, cb.dfa_));
+  TrackAutomaton out(a.alphabet_, std::move(vars), ca.conv_, std::move(sum),
+                     a.store_);
+  span.Attr("out_states", out.NumStates());
   return out;
 }
 
@@ -287,9 +369,12 @@ Result<TrackAutomaton> TrackAutomaton::Complemented() const {
   obs::Span span("mta.complement");
   span.Attr("in_states", NumStates());
   obs::Count(obs::kMtaComplements);
-  // Create() re-intersects with Valid, so this is Valid \ L.
-  Result<TrackAutomaton> out = Create(alphabet_, vars_, dfa_.Complemented());
-  if (out.ok()) span.Attr("out_states", out->NumStates());
+  // The complement relative to the full relation is Valid \ L, which the
+  // store memoizes as a difference on interned handles.
+  STRQ_ASSIGN_OR_RETURN(DfaRef valid, ValidRef(*store_, conv_));
+  STRQ_ASSIGN_OR_RETURN(DfaRef diff, store_->Difference(valid, dfa_));
+  TrackAutomaton out(alphabet_, vars_, conv_, std::move(diff), store_);
+  span.Attr("out_states", out.NumStates());
   return out;
 }
 
@@ -308,7 +393,16 @@ Result<TrackAutomaton> TrackAutomaton::Project(VarId var) const {
                         ConvAlphabet::Create(alphabet_.size(),
                                              static_cast<int>(new_vars.size())));
 
-  int n = dfa_.num_states();
+  OpKey key{AutomatonStore::kOpProject, dfa_.id(), 0,
+            {conv_.base_size(), arity(), track}};
+  if (std::optional<DfaRef> hit = store_->Lookup(key)) {
+    TrackAutomaton out(alphabet_, std::move(new_vars), new_conv, *hit,
+                       store_);
+    span.Attr("out_states", out.NumStates());
+    return out;
+  }
+
+  int n = dfa_->num_states();
 
   // New accepting states: states from which the old automaton can accept by
   // reading only columns that are pad on every remaining track (the
@@ -322,13 +416,13 @@ Result<TrackAutomaton> TrackAutomaton::Project(VarId var) const {
       for (int d = 0; d < conv_.base_size(); ++d) {
         std::vector<int> digits(vars_.size(), conv_.pad());
         digits[track] = d;
-        int t = dfa_.Next(q, conv_.Encode(digits));
+        int t = dfa_->Next(q, conv_.Encode(digits));
         rev[t].push_back(q);
       }
     }
     std::deque<int> queue;
     for (int q = 0; q < n; ++q) {
-      if (dfa_.IsAccepting(q)) {
+      if (dfa_->IsAccepting(q)) {
         can_finish[q] = true;
         queue.push_back(q);
       }
@@ -351,7 +445,7 @@ Result<TrackAutomaton> TrackAutomaton::Project(VarId var) const {
     nfa.AddState();
     nfa.SetAccepting(q, can_finish[q]);
   }
-  nfa.SetStart(dfa_.start());
+  nfa.SetStart(dfa_->start());
   for (int q = 0; q < n; ++q) {
     for (int letter = 0; letter < conv_.num_letters(); ++letter) {
       std::vector<int> digits = conv_.Decode(static_cast<Symbol>(letter));
@@ -367,13 +461,15 @@ Result<TrackAutomaton> TrackAutomaton::Project(VarId var) const {
       digits.erase(digits.begin() + track);
       Symbol new_letter = new_conv.Encode(digits);
       nfa.AddTransition(q, new_letter,
-                        dfa_.Next(q, static_cast<Symbol>(letter)));
+                        dfa_->Next(q, static_cast<Symbol>(letter)));
     }
   }
   STRQ_ASSIGN_OR_RETURN(Dfa det, Determinize(nfa));
-  Result<TrackAutomaton> out =
-      Create(alphabet_, std::move(new_vars), std::move(det));
-  if (out.ok()) span.Attr("out_states", out->NumStates());
+  STRQ_ASSIGN_OR_RETURN(TrackAutomaton out,
+                        Create(*store_, alphabet_, std::move(new_vars),
+                               std::move(det)));
+  store_->Memoize(key, out.dfa_);
+  span.Attr("out_states", out.NumStates());
   return out;
 }
 
@@ -395,15 +491,27 @@ Result<TrackAutomaton> TrackAutomaton::Renamed(
   }
   // Track permutation: new track position ni carries old track perm[ni].
   std::vector<int> perm(vars_.size());
+  bool identity = true;
   for (size_t ni = 0; ni < sorted.size(); ++ni) {
     auto it = std::find(renamed.begin(), renamed.end(), sorted[ni]);
     perm[ni] = static_cast<int>(it - renamed.begin());
+    identity = identity && perm[ni] == static_cast<int>(ni);
+  }
+  // Order-preserving renamings only change variable labels; the convolution
+  // DFA is untouched and the interned handle is reused as-is.
+  if (identity) {
+    return TrackAutomaton(alphabet_, std::move(sorted), conv_, dfa_, store_);
+  }
+
+  OpKey key{AutomatonStore::kOpPermute, dfa_.id(), 0, {conv_.base_size()}};
+  key.params.insert(key.params.end(), perm.begin(), perm.end());
+  if (std::optional<DfaRef> hit = store_->Lookup(key)) {
+    return TrackAutomaton(alphabet_, std::move(sorted), conv_, *hit, store_);
   }
 
   int letters = conv_.num_letters();
-  int n = dfa_.num_states();
-  std::vector<std::vector<int>> next(n,
-                                     std::vector<int>(static_cast<size_t>(letters)));
+  int n = dfa_->num_states();
+  std::vector<int> next(static_cast<size_t>(n) * letters);
   std::vector<bool> accepting(n);
   std::vector<int> old_digits(vars_.size());
   for (int letter = 0; letter < letters; ++letter) {
@@ -412,26 +520,34 @@ Result<TrackAutomaton> TrackAutomaton::Renamed(
       old_digits[perm[ni]] = digits[ni];
     }
     Symbol old_letter = conv_.Encode(old_digits);
-    for (int q = 0; q < n; ++q) next[q][letter] = dfa_.Next(q, old_letter);
+    for (int q = 0; q < n; ++q) {
+      next[static_cast<size_t>(q) * letters + letter] =
+          dfa_->Next(q, old_letter);
+    }
   }
-  for (int q = 0; q < n; ++q) accepting[q] = dfa_.IsAccepting(q);
+  for (int q = 0; q < n; ++q) accepting[q] = dfa_->IsAccepting(q);
   STRQ_ASSIGN_OR_RETURN(Dfa dfa,
-                        Dfa::Create(letters, dfa_.start(), std::move(next),
-                                    std::move(accepting)));
-  return Create(alphabet_, std::move(sorted), std::move(dfa));
+                        Dfa::CreateFlat(letters, n, dfa_->start(),
+                                        std::move(next),
+                                        std::move(accepting)));
+  STRQ_ASSIGN_OR_RETURN(TrackAutomaton out,
+                        Create(*store_, alphabet_, std::move(sorted),
+                               std::move(dfa)));
+  store_->Memoize(key, out.dfa_);
+  return out;
 }
 
 Result<bool> TrackAutomaton::TruthValue() const {
   if (arity() != 0) {
     return InvalidArgumentError("TruthValue on a non-sentence relation");
   }
-  return dfa_.Accepts({});
+  return dfa_->Accepts({});
 }
 
 std::vector<std::vector<std::string>> TrackAutomaton::EnumerateTuples(
     int max_len, size_t max_count) const {
   std::vector<std::vector<std::string>> out;
-  for (const std::vector<Symbol>& word : dfa_.Enumerate(max_len, max_count)) {
+  for (const std::vector<Symbol>& word : dfa_->Enumerate(max_len, max_count)) {
     out.push_back(conv_.DeconvolveStrings(alphabet_, word));
   }
   return out;
@@ -445,24 +561,24 @@ Result<Dfa> TrackAutomaton::UnaryLanguage() const {
   // Convolution letters 0..m-1 are exactly the base symbols; letter m (the
   // pad) never occurs in canonical unary convolutions, so dropping its
   // column preserves the language.
-  int n = dfa_.num_states();
+  int n = dfa_->num_states();
   std::vector<std::vector<int>> next(n, std::vector<int>(m));
   std::vector<bool> accepting(n);
   for (int q = 0; q < n; ++q) {
     for (int s = 0; s < m; ++s) {
-      next[q][s] = dfa_.Next(q, static_cast<Symbol>(s));
+      next[q][s] = dfa_->Next(q, static_cast<Symbol>(s));
     }
-    accepting[q] = dfa_.IsAccepting(q);
+    accepting[q] = dfa_->IsAccepting(q);
   }
   STRQ_ASSIGN_OR_RETURN(
-      Dfa out, Dfa::Create(m, dfa_.start(), std::move(next),
+      Dfa out, Dfa::Create(m, dfa_->start(), std::move(next),
                            std::move(accepting)));
   return out.Minimized();
 }
 
 Result<std::vector<std::vector<std::string>>> TrackAutomaton::AllTuples(
     size_t max_count) const {
-  std::optional<int> max_len = dfa_.MaxAcceptedLength();
+  std::optional<int> max_len = dfa_->MaxAcceptedLength();
   if (!max_len.has_value()) {
     return UnsafeError("relation is infinite; cannot enumerate all tuples");
   }

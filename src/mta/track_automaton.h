@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "automata/dfa.h"
+#include "automata/store.h"
 #include "base/alphabet.h"
 #include "base/status.h"
 #include "mta/conv.h"
@@ -26,42 +27,70 @@ using VarId = int;
 // TrackAutomaton is exactly "the set of satisfying assignments of a formula
 // over its free variables".
 //
+// Construction is mediated by an AutomatonStore: the underlying DFA is an
+// interned immutable handle (DfaRef), so copying a TrackAutomaton is cheap,
+// structurally equal automata are shared, and the first-order operations
+// (cylindrify, product, project, rename, complement) are memoized in the
+// store's computed table keyed on intern identity. The overloads without a
+// store parameter use the process-wide AutomatonStore::Default().
+//
 // Class invariants:
 //  * vars() is strictly increasing;
 //  * the DFA accepts only canonical convolutions (pads form track suffixes,
 //    no all-pad column), i.e. L(dfa) ⊆ Valid(arity);
-//  * the DFA is minimized.
+//  * the DFA is canonically minimized and interned in store().
 class TrackAutomaton {
  public:
   // Wraps a DFA over the convolution alphabet of |vars| tracks. The language
-  // is intersected with Valid(arity) to establish the invariant.
+  // is intersected with Valid(arity) to establish the invariant. The store
+  // must outlive every automaton (and automaton derived from one) built
+  // against it.
+  static Result<TrackAutomaton> Create(const AutomatonStore& store,
+                                       const Alphabet& alphabet,
+                                       std::vector<VarId> vars, Dfa dfa);
   static Result<TrackAutomaton> Create(const Alphabet& alphabet,
                                        std::vector<VarId> vars, Dfa dfa);
 
   // The full relation Valid(vars): every tuple of strings.
+  static Result<TrackAutomaton> FullRelation(const AutomatonStore& store,
+                                             const Alphabet& alphabet,
+                                             std::vector<VarId> vars);
   static Result<TrackAutomaton> FullRelation(const Alphabet& alphabet,
                                              std::vector<VarId> vars);
   // The empty relation over the given tracks.
+  static Result<TrackAutomaton> EmptyRelation(const AutomatonStore& store,
+                                              const Alphabet& alphabet,
+                                              std::vector<VarId> vars);
   static Result<TrackAutomaton> EmptyRelation(const Alphabet& alphabet,
                                               std::vector<VarId> vars);
   // The "true" 0-ary relation {()} and the "false" one {}.
+  static Result<TrackAutomaton> Truth(const AutomatonStore& store,
+                                      const Alphabet& alphabet, bool value);
   static Result<TrackAutomaton> Truth(const Alphabet& alphabet, bool value);
 
   // A finite relation given extensionally, e.g. a database table. Built as a
   // trie over convolution columns, then minimized.
   static Result<TrackAutomaton> FromTuples(
+      const AutomatonStore& store, const Alphabet& alphabet,
+      std::vector<VarId> vars,
+      const std::vector<std::vector<std::string>>& tuples);
+  static Result<TrackAutomaton> FromTuples(
       const Alphabet& alphabet, std::vector<VarId> vars,
       const std::vector<std::vector<std::string>>& tuples);
 
   // The DFA accepting exactly the canonical convolutions of `arity`-tuples
-  // (helper shared with tests).
+  // (helper shared with tests). Unmemoized; store-mediated construction goes
+  // through the computed table instead.
   static Result<Dfa> ValidConvolutions(const ConvAlphabet& conv);
 
   const Alphabet& alphabet() const { return alphabet_; }
   const std::vector<VarId>& vars() const { return vars_; }
   int arity() const { return static_cast<int>(vars_.size()); }
   const ConvAlphabet& conv() const { return conv_; }
-  const Dfa& dfa() const { return dfa_; }
+  const Dfa& dfa() const { return *dfa_; }
+  // The interned handle; its id identifies the language process-wide.
+  const DfaRef& dfa_ref() const { return dfa_; }
+  const AutomatonStore& store() const { return *store_; }
 
   // Membership of a tuple, positionally aligned with vars().
   Result<bool> Contains(const std::vector<std::string>& tuple) const;
@@ -86,19 +115,21 @@ class TrackAutomaton {
 
   // Applies a bijective renaming to the variable tags, permuting tracks so
   // the result is sorted again. Variables not in the map keep their id.
+  // Order-preserving renamings are label-only: they reuse the interned DFA
+  // without rebuilding the transition table.
   Result<TrackAutomaton> Renamed(const std::map<VarId, VarId>& renaming) const;
 
   // --- Language queries ---------------------------------------------------
 
-  bool IsEmpty() const { return dfa_.IsEmpty(); }
+  bool IsEmpty() const { return dfa_->IsEmpty(); }
   // Finiteness of the relation = state-safety of the defining query
   // (Proposition 7).
-  bool IsFinite() const { return dfa_.IsFinite(); }
+  bool IsFinite() const { return dfa_->IsFinite(); }
   // For arity 0: is this the relation {()} (true) or {} (false)?
   Result<bool> TruthValue() const;
 
   // Number of tuples whose longest component has length <= n (saturating).
-  uint64_t CountUpToLength(int n) const { return dfa_.CountUpToLength(n); }
+  uint64_t CountUpToLength(int n) const { return dfa_->CountUpToLength(n); }
 
   // Tuples in shortlex order of their convolution, bounded by component
   // length and count.
@@ -115,23 +146,25 @@ class TrackAutomaton {
   // queries' infinite answer sets be described as regular expressions.
   Result<Dfa> UnaryLanguage() const;
 
-  int NumStates() const { return dfa_.num_states(); }
+  int NumStates() const { return dfa_->num_states(); }
   // Transition-table entries of the underlying convolution DFA (complete
   // tables: NumStates() * conv().num_letters()).
-  int64_t NumTransitions() const { return dfa_.NumTransitions(); }
+  int64_t NumTransitions() const { return dfa_->NumTransitions(); }
 
  private:
-  TrackAutomaton(Alphabet alphabet, std::vector<VarId> vars,
-                 ConvAlphabet conv, Dfa dfa)
+  TrackAutomaton(Alphabet alphabet, std::vector<VarId> vars, ConvAlphabet conv,
+                 DfaRef dfa, const AutomatonStore* store)
       : alphabet_(std::move(alphabet)),
         vars_(std::move(vars)),
         conv_(conv),
-        dfa_(std::move(dfa)) {}
+        dfa_(std::move(dfa)),
+        store_(store) {}
 
   Alphabet alphabet_;
   std::vector<VarId> vars_;
   ConvAlphabet conv_;
-  Dfa dfa_;
+  DfaRef dfa_;
+  const AutomatonStore* store_;
 };
 
 }  // namespace strq

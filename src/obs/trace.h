@@ -76,6 +76,12 @@ inline constexpr char kMtaStatesBuilt[] = "mta.states_built";
 inline constexpr char kMtaTransitionsBuilt[] = "mta.transitions_built";
 inline constexpr char kPatternCacheHits[] = "pattern_cache.hits";
 inline constexpr char kPatternCacheMisses[] = "pattern_cache.misses";
+inline constexpr char kStoreUniqueHits[] = "store.unique_hits";
+inline constexpr char kStoreUniqueMisses[] = "store.unique_misses";
+inline constexpr char kStoreOpHits[] = "store.op_hits";
+inline constexpr char kStoreOpMisses[] = "store.op_misses";
+inline constexpr char kAtomCacheHits[] = "atom_cache.hits";
+inline constexpr char kAtomCacheMisses[] = "atom_cache.misses";
 inline constexpr char kEvalTuplesEnumerated[] = "eval.tuples_enumerated";
 inline constexpr char kAlgebraNodesEvaluated[] = "algebra.nodes_evaluated";
 inline constexpr char kAlgebraMemoHits[] = "algebra.memo_hits";

@@ -1,9 +1,21 @@
 #include "relational/database.h"
 
 #include <algorithm>
+#include <atomic>
 #include <set>
 
 namespace strq {
+
+namespace {
+
+// Revisions are process-unique (never reused across Database instances) so
+// caches keyed on them can never serve stale contents.
+int64_t NextRevision() {
+  static std::atomic<int64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
 
 Result<Relation> Relation::Create(int arity, std::vector<Tuple> tuples) {
   if (arity < 0) return InvalidArgumentError("negative arity");
@@ -42,6 +54,7 @@ Status Database::AddRelation(const std::string& name, Relation relation) {
     }
   }
   relations_.insert_or_assign(name, std::move(relation));
+  revision_ = NextRevision();
   return Status::Ok();
 }
 

@@ -69,9 +69,18 @@ class Database {
   // max length of a string in adom(D); 0 for the empty database.
   size_t MaxAdomLength() const;
 
+  // Content revision: 0 for an empty database, otherwise a process-unique
+  // value bumped on every AddRelation. Caches key compiled table/adom
+  // automata on "<name>:<revision>" so entries for stale contents are
+  // simply never looked up again (revisions are never reused, so keys
+  // cannot alias — copies of a database share the revision of the content
+  // they share).
+  int64_t revision() const { return revision_; }
+
  private:
   Alphabet alphabet_;
   std::map<std::string, Relation> relations_;
+  int64_t revision_ = 0;
 };
 
 }  // namespace strq

@@ -6,8 +6,9 @@
 
 namespace strq {
 
-Result<bool> StateSafe(const FormulaPtr& phi, const Database& db) {
-  AutomataEvaluator engine(&db);
+Result<bool> StateSafe(const FormulaPtr& phi, const Database& db,
+                       std::shared_ptr<AtomCache> cache) {
+  AutomataEvaluator engine(&db, std::move(cache));
   return engine.IsSafeOnDatabase(phi);
 }
 
@@ -58,7 +59,8 @@ Result<ConjunctiveQuery> ExtractConjunctiveQuery(const FormulaPtr& phi) {
 }
 
 Result<bool> ConjunctiveQuerySafe(const ConjunctiveQuery& cq,
-                                  const Alphabet& alphabet) {
+                                  const Alphabet& alphabet,
+                                  std::shared_ptr<AtomCache> cache) {
   if (cq.head_vars.empty()) return true;  // Boolean queries are safe
   if (MentionsDatabase(cq.gamma)) {
     return InvalidArgumentError("γ must be database-free");
@@ -102,15 +104,16 @@ Result<bool> ConjunctiveQuerySafe(const ConjunctiveQuery& cq,
   }
 
   Database empty(alphabet);
-  AutomataEvaluator engine(&empty);
+  AutomataEvaluator engine(&empty, std::move(cache));
   STRQ_ASSIGN_OR_RETURN(bool unsafe, engine.EvaluateSentence(unsafe_sentence));
   return !unsafe;
 }
 
 Result<bool> UnionOfCQsSafe(const std::vector<ConjunctiveQuery>& cqs,
-                            const Alphabet& alphabet) {
+                            const Alphabet& alphabet,
+                            std::shared_ptr<AtomCache> cache) {
   for (const ConjunctiveQuery& cq : cqs) {
-    STRQ_ASSIGN_OR_RETURN(bool safe, ConjunctiveQuerySafe(cq, alphabet));
+    STRQ_ASSIGN_OR_RETURN(bool safe, ConjunctiveQuerySafe(cq, alphabet, cache));
     if (!safe) return false;
   }
   return true;
@@ -129,7 +132,8 @@ Status CollectDisjuncts(const FormulaPtr& f, std::vector<FormulaPtr>& out) {
 
 }  // namespace
 
-Result<bool> QuerySafe(const FormulaPtr& phi, const Alphabet& alphabet) {
+Result<bool> QuerySafe(const FormulaPtr& phi, const Alphabet& alphabet,
+                       std::shared_ptr<AtomCache> cache) {
   std::vector<FormulaPtr> disjuncts;
   STRQ_RETURN_IF_ERROR(CollectDisjuncts(phi, disjuncts));
   std::vector<ConjunctiveQuery> cqs;
@@ -137,7 +141,7 @@ Result<bool> QuerySafe(const FormulaPtr& phi, const Alphabet& alphabet) {
     STRQ_ASSIGN_OR_RETURN(ConjunctiveQuery cq, ExtractConjunctiveQuery(d));
     cqs.push_back(std::move(cq));
   }
-  return UnionOfCQsSafe(cqs, alphabet);
+  return UnionOfCQsSafe(cqs, alphabet, std::move(cache));
 }
 
 }  // namespace strq

@@ -1,11 +1,13 @@
 #ifndef STRQ_SAFETY_QUERY_SAFETY_H_
 #define STRQ_SAFETY_QUERY_SAFETY_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "base/status.h"
 #include "logic/ast.h"
+#include "mta/atom_cache.h"
 #include "relational/database.h"
 
 namespace strq {
@@ -16,7 +18,12 @@ namespace strq {
 // exactly by answer-automaton finiteness. Works for RC(S), RC(S_left),
 // RC(S_reg), RC(S_len) — and is impossible for RC_concat (Corollary 1),
 // which surfaces here as the kUnsupported error from compilation.
-Result<bool> StateSafe(const FormulaPtr& phi, const Database& db);
+// All deciders here accept an optional shared AtomCache: safety checks
+// compile the same atoms and subformulas the evaluators do, so running them
+// against the evaluator's cache makes the subsequent evaluation (or the next
+// safety check) start warm.
+Result<bool> StateSafe(const FormulaPtr& phi, const Database& db,
+                       std::shared_ptr<AtomCache> cache = nullptr);
 
 // A conjunctive query φ(x̄) ≡ ∃ȳ ⋀ᵢ Sᵢ(ūᵢ) ∧ γ(x̄, ȳ) in the sense of
 // Section 6.3 (γ an arbitrary pure M-formula).
@@ -45,17 +52,20 @@ Result<ConjunctiveQuery> ExtractConjunctiveQuery(const FormulaPtr& phi);
 // parameters: ∃ z̄ ¬∃u ∀x̄ᵤ (γ → ⋀ |xᵢ| ≤ |u|). Requires γ to be DB-free
 // (true by definition of a CQ).
 Result<bool> ConjunctiveQuerySafe(const ConjunctiveQuery& cq,
-                                  const Alphabet& alphabet);
+                                  const Alphabet& alphabet,
+                                  std::shared_ptr<AtomCache> cache = nullptr);
 
 // Safety of a union of conjunctive queries: safe iff every disjunct is.
 Result<bool> UnionOfCQsSafe(const std::vector<ConjunctiveQuery>& cqs,
-                            const Alphabet& alphabet);
+                            const Alphabet& alphabet,
+                            std::shared_ptr<AtomCache> cache = nullptr);
 
 // Convenience: extract-and-decide for a formula that is a CQ or a union
 // (∨-tree) of CQs. Returns kUnsupported for other shapes (the paper's full
 // Theorem 5 covers arbitrary Boolean combinations; this implementation
 // covers the positive fragment).
-Result<bool> QuerySafe(const FormulaPtr& phi, const Alphabet& alphabet);
+Result<bool> QuerySafe(const FormulaPtr& phi, const Alphabet& alphabet,
+                       std::shared_ptr<AtomCache> cache = nullptr);
 
 }  // namespace strq
 

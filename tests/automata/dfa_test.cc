@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "automata/ops.h"
+#include "base/rng.h"
 #include "base/string_ops.h"
 
 namespace strq {
@@ -177,6 +179,80 @@ TEST_P(DfaLengthCountTest, EvenOnesCountMatchesBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(Lengths, DfaLengthCountTest,
                          ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------------------------------------------------------------------------
+// Hopcroft vs Moore differential minimization
+// ---------------------------------------------------------------------------
+
+// Random complete DFA with the given shape. Acceptance probability is kept
+// away from 0/1 so both all-rejecting and richly-partitioned automata occur
+// across the corpus (the seeds also cover the degenerate cases directly).
+Dfa RandomDfa(Rng& rng, int alphabet_size, int num_states) {
+  std::vector<int> next(static_cast<size_t>(num_states) * alphabet_size);
+  for (int& t : next) t = rng.NextInt(0, num_states - 1);
+  std::vector<bool> accepting(num_states);
+  for (int q = 0; q < num_states; ++q) accepting[q] = rng.NextInt(0, 3) == 0;
+  Result<Dfa> d = Dfa::CreateFlat(alphabet_size, num_states,
+                                  rng.NextInt(0, num_states - 1),
+                                  std::move(next), std::move(accepting));
+  return *std::move(d);
+}
+
+TEST(DfaMinimizeDifferentialTest, HopcroftMatchesMooreOnRandomCorpus) {
+  Rng rng(20260806);
+  for (int trial = 0; trial < 200; ++trial) {
+    int alphabet_size = rng.NextInt(1, 3);
+    int num_states = rng.NextInt(1, 24);
+    Dfa d = RandomDfa(rng, alphabet_size, num_states);
+    Dfa fast = d.Minimized();
+    Dfa slow = d.MinimizedMoore();
+    // Both produce the canonical numbering, so the results must be
+    // bit-identical — not merely equivalent.
+    ASSERT_TRUE(fast.StructurallyEqual(slow))
+        << "trial " << trial << ": Hopcroft " << fast.num_states()
+        << " states vs Moore " << slow.num_states();
+    ASSERT_EQ(fast.StructuralHash(), slow.StructuralHash());
+    // And the minimized automaton accepts the same language.
+    Result<bool> same = Equivalent(d, fast);
+    ASSERT_TRUE(same.ok());
+    ASSERT_TRUE(*same) << "trial " << trial;
+  }
+}
+
+TEST(DfaMinimizeDifferentialTest, MinimizationIsIdempotent) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    Dfa d = RandomDfa(rng, 2, rng.NextInt(1, 16));
+    Dfa once = d.Minimized();
+    Dfa twice = once.Minimized();
+    ASSERT_TRUE(once.StructurallyEqual(twice)) << "trial " << trial;
+  }
+}
+
+TEST(DfaMinimizeDifferentialTest, DegenerateLanguages) {
+  for (int k = 1; k <= 3; ++k) {
+    Dfa empty = Dfa::EmptyLanguage(k);
+    Dfa all = Dfa::AllStrings(k);
+    EXPECT_TRUE(empty.Minimized().StructurallyEqual(empty.MinimizedMoore()));
+    EXPECT_TRUE(all.Minimized().StructurallyEqual(all.MinimizedMoore()));
+    EXPECT_EQ(empty.Minimized().num_states(), 1);
+    EXPECT_EQ(all.Minimized().num_states(), 1);
+  }
+}
+
+TEST(DfaMinimizeDifferentialTest, EquivalentDfasMinimizeIdentically) {
+  // Two structurally different automata for the same language must collapse
+  // to the same canonical representative (the property interning rests on).
+  Dfa even = EvenOnes();
+  // Redundant duplicate-state variant of EvenOnes.
+  Result<Dfa> redundant = Dfa::Create(
+      2, 0, {{2, 1}, {1, 0}, {0, 3}, {3, 2}}, {true, false, true, false});
+  ASSERT_TRUE(redundant.ok());
+  Result<bool> eq = Equivalent(even, *redundant);
+  ASSERT_TRUE(eq.ok());
+  ASSERT_TRUE(*eq);
+  EXPECT_TRUE(even.Minimized().StructurallyEqual(redundant->Minimized()));
+}
 
 }  // namespace
 }  // namespace strq

@@ -154,6 +154,49 @@ TEST_P(FuzzAgreementTest, EnginesAgreeOnRandomSentences) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzAgreementTest,
                          ::testing::Range(1, 13));
 
+// Store-substrate differential fuzz: the same random sentences evaluated
+// with hash-consing fully on (shared warm cache), fully off (non-caching
+// AutomatonStore), and with a per-sentence cold cache must produce identical
+// truth values. This is the "the store is an optimization, never a
+// semantics" invariant — memoization keyed on intern identity may only ever
+// return what recomputation would.
+class StoreAblationFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StoreAblationFuzzTest, StoreOnOffAgreeOnRandomSentences) {
+  uint64_t seed = static_cast<uint64_t>(GetParam());
+  FormulaFuzzer fuzzer(seed * 6121 + 5, /*allow_len=*/GetParam() % 2 == 0);
+  Database db = FuzzDb(seed * 31337 + 11);
+
+  AutomatonStore store_off(false);
+  auto cache_off = std::make_shared<AtomCache>(db.alphabet(), &store_off);
+  AutomatonStore store_on(true);
+  auto cache_on = std::make_shared<AtomCache>(db.alphabet(), &store_on);
+
+  AutomataEvaluator engine_off(&db, cache_off);
+  AutomataEvaluator engine_warm(&db, cache_on);  // warms up across sentences
+  for (int i = 0; i < 25; ++i) {
+    FormulaPtr f = fuzzer.Sentence(3);
+    Result<bool> off = engine_off.EvaluateSentence(f);
+    Result<bool> warm = engine_warm.EvaluateSentence(f);
+    // Cold: fresh store + cache per sentence, nothing shared.
+    AutomatonStore store_cold(true);
+    auto cache_cold = std::make_shared<AtomCache>(db.alphabet(), &store_cold);
+    AutomataEvaluator engine_cold(&db, cache_cold);
+    Result<bool> cold = engine_cold.EvaluateSentence(f);
+    ASSERT_EQ(off.ok(), warm.ok()) << ToString(f);
+    ASSERT_EQ(off.ok(), cold.ok()) << ToString(f);
+    if (!off.ok()) continue;
+    EXPECT_EQ(*off, *warm) << "store on/off disagree on: " << ToString(f);
+    EXPECT_EQ(*off, *cold) << "cold/off disagree on: " << ToString(f);
+  }
+  // Sanity: the warm cache actually exercised the memoization paths.
+  EXPECT_GT(store_on.stats().op_hits, 0);
+  EXPECT_EQ(store_off.stats().op_hits, 0);
+  EXPECT_EQ(store_off.stats().unique_hits, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreAblationFuzzTest, ::testing::Range(1, 7));
+
 // Round-trip fuzz: every generated sentence must re-parse from its printed
 // form to a formula with the same print and the same truth value.
 TEST(FuzzRoundTripTest, PrintParseEvaluate) {
