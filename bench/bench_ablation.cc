@@ -7,9 +7,13 @@
 //      minimizes — reported as state counts along a compilation);
 //   4. the hash-consed AutomatonStore + shared AtomCache: the same query
 //      battery evaluated with the substrate fully on (one warm cache) vs
-//      fully off (non-caching store, fresh cache per evaluation).
+//      fully off (non-caching store, fresh cache per evaluation);
+//   5. the cost-based planner: intermediate automaton states with planning
+//      off, per rule in isolation (miniscoping, reordering), and all on.
 
+#include <algorithm>
 #include <cstdio>
+#include <iterator>
 #include <memory>
 
 #include "automata/store.h"
@@ -19,6 +23,8 @@
 #include "logic/parser.h"
 #include "logic/simplify.h"
 #include "mta/atom_cache.h"
+#include "obs/trace.h"
+#include "plan/planner.h"
 #include "safety/safe_translation.h"
 
 namespace strq {
@@ -191,6 +197,128 @@ int Run(int argc, char** argv) {
                        op_total > 0 ? st.op_hits / op_total : 0.0);
     reporter.AddScalar("store.answers_agree",
                        on_answers == off_answers ? 1.0 : 0.0);
+  }
+
+  // --- 5. Cost-based planner on/off/per-rule -----------------------------
+  // The same workloads compiled with the planner fully off, with single
+  // rules isolated (miniscoping alone, reordering alone), and with every
+  // rule on. The measured quantity is mta.intermediate_states — the states
+  // of every intermediate product/complement/projection an evaluation
+  // builds — which is exactly what the rewrites exist to shrink.
+  {
+    Database pdb = RandomUnaryDb(77, 16, 1, 6);
+    const FormulaPtr workload[] = {
+        // Reordering: two large pattern automata and one tiny equality; the
+        // greedy order folds the equality in first so the big product never
+        // happens at full width.
+        Q("member(x, '(0|1)*1(0|1)(0|1)(0|1)') & "
+          "member(x, '(0|1)(0|1)*0(0|1)(0|1)') & x = '0110' & R(x)"),
+        // Miniscoping: independent quantifier blocks compiled as one
+        // two-track product unless the exists are pushed apart.
+        Q("exists x in adom. exists y in adom. (last[1](x) & like(y, '1%'))"),
+        // Negation pushdown + miniscoping: ∀∀ over a disjunction whose
+        // disjuncts use one variable each.
+        Q("forall x in adom. forall y in adom. "
+          "(last[1](x) | last[0](y) | like(x, '0%'))"),
+    };
+    struct Config {
+      const char* name;
+      plan::PlannerOptions opts;
+    };
+    plan::PlannerOptions off;
+    off.enable = false;
+    plan::PlannerOptions mini_only;
+    mini_only.enable_fold = false;
+    mini_only.enable_negation_pushdown = false;
+    mini_only.enable_prune = false;
+    mini_only.enable_reorder = false;
+    plan::PlannerOptions reorder_only;
+    reorder_only.enable_fold = false;
+    reorder_only.enable_negation_pushdown = false;
+    reorder_only.enable_miniscope = false;
+    reorder_only.enable_prune = false;
+    const Config configs[] = {
+        {"off", off},
+        {"miniscope", mini_only},
+        {"reorder", reorder_only},
+        {"all", plan::PlannerOptions()},
+    };
+    obs::ScopedEnable enable(true);
+    std::map<std::string, std::vector<int64_t>> per_query_states;
+    std::vector<std::vector<int>> answers;
+    int64_t rules_fired_all = 0;
+    for (const Config& config : configs) {
+      // Fresh substrate per config so computed-table hits don't leak work
+      // (or its absence) between configurations.
+      AutomatonStore store(true);
+      auto cache = std::make_shared<AtomCache>(pdb.alphabet(), &store);
+      auto planner = std::make_shared<plan::Planner>(config.opts);
+      AutomataEvaluator engine(&pdb, cache, planner);
+      std::vector<int> config_answers;
+      std::vector<int64_t>& states = per_query_states[config.name];
+      for (const FormulaPtr& f : workload) {
+        std::map<std::string, int64_t> before =
+            obs::MetricsRegistry::Global().Snapshot();
+        int answer = -1;
+        if (FreeVars(f).empty()) {
+          Result<bool> v = engine.EvaluateSentence(f);
+          if (v.ok()) answer = static_cast<int>(*v);
+        } else {
+          Result<Relation> v = engine.Evaluate(f);
+          if (v.ok()) answer = static_cast<int>(v->size());
+        }
+        config_answers.push_back(answer);
+        std::map<std::string, int64_t> delta = obs::MetricsDelta(
+            before, obs::MetricsRegistry::Global().Snapshot());
+        states.push_back(delta[obs::kMtaIntermediateStates]);
+      }
+      answers.push_back(std::move(config_answers));
+      if (std::string(config.name) == "all") {
+        rules_fired_all = planner->stats().rules_fired;
+      }
+    }
+    bool agree = true;
+    for (const auto& a : answers) agree = agree && a == answers[0];
+    std::printf("  [5] planner (mta.intermediate_states per workload):\n");
+    int64_t off_total = 0;
+    int64_t all_total = 0;
+    double best_reduction = 0.0;
+    for (size_t w = 0; w < std::size(workload); ++w) {
+      int64_t off_states = per_query_states["off"][w];
+      int64_t all_states = per_query_states["all"][w];
+      off_total += off_states;
+      all_total += all_states;
+      double reduction =
+          off_states > 0
+              ? 1.0 - static_cast<double>(all_states) / off_states
+              : 0.0;
+      best_reduction = std::max(best_reduction, reduction);
+      std::printf(
+          "      w%zu: off %lld, miniscope %lld, reorder %lld, all %lld "
+          "(%.0f%% reduction)\n",
+          w + 1, static_cast<long long>(off_states),
+          static_cast<long long>(per_query_states["miniscope"][w]),
+          static_cast<long long>(per_query_states["reorder"][w]),
+          static_cast<long long>(all_states), 100.0 * reduction);
+      reporter.AddScalar("plan.w" + std::to_string(w + 1) + ".reduction",
+                         reduction);
+    }
+    std::printf(
+        "      total: off %lld -> all %lld; %lld rule(s) fired; answers "
+        "agree: %s\n",
+        static_cast<long long>(off_total), static_cast<long long>(all_total),
+        static_cast<long long>(rules_fired_all), agree ? "yes" : "NO");
+    reporter.AddScalar("plan.off_intermediate_states",
+                       static_cast<double>(off_total));
+    reporter.AddScalar("plan.all_intermediate_states",
+                       static_cast<double>(all_total));
+    reporter.AddScalar(
+        "plan.total_reduction",
+        off_total > 0 ? 1.0 - static_cast<double>(all_total) / off_total
+                      : 0.0);
+    reporter.AddScalar("plan.best_workload_reduction", best_reduction);
+    reporter.AddScalar("plan.rules_fired", static_cast<double>(rules_fired_all));
+    reporter.AddScalar("plan.answers_agree", agree ? 1.0 : 0.0);
   }
   return 0;
 }

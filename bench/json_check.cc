@@ -3,7 +3,11 @@
 // carries every key of the strq.bench.v1 schema. Wired into ctest so a
 // bench refactor cannot silently break the JSON contract.
 //
-// Usage: json_check <bench-binary> [<output-path>]
+// Usage: json_check <bench-binary> [<output-path>] [<scalar-prefix>...]
+//
+// Every <scalar-prefix> argument is a required scalar namespace: the check
+// fails unless the emitted `scalars` object has at least one key with that
+// prefix (e.g. `plan.` ensures the planner counters reach the bench JSON).
 
 #include <cstdio>
 #include <cstdlib>
@@ -68,6 +72,21 @@ int main(int argc, char** argv) {
     }
     if (one.Find("xs")->size() != one.Find("ys")->size()) {
       return Fail("series entry has mismatched xs/ys lengths");
+    }
+  }
+  const strq::obs::JsonValue* scalars = root.Find("scalars");
+  if (!scalars->is_object()) return Fail("scalars is not an object");
+  for (int i = 3; i < argc; ++i) {
+    const std::string prefix = argv[i];
+    bool found = false;
+    for (const auto& [key, value] : scalars->members()) {
+      if (key.rfind(prefix, 0) == 0) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Fail("scalars has no key with required prefix: " + prefix);
     }
   }
   std::printf("json_check: %s OK (%zu series)\n", out_path.c_str(),

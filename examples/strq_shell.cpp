@@ -49,7 +49,8 @@ class Shell {
  public:
   Shell()
       : db_(Alphabet::Binary()),
-        cache_(std::make_shared<AtomCache>(db_.alphabet())) {}
+        cache_(std::make_shared<AtomCache>(db_.alphabet())),
+        planner_(std::make_shared<plan::Planner>()) {}
 
   void Run() {
     std::string line;
@@ -90,8 +91,11 @@ class Shell {
           "safe cqsafe lang simplify plan describe width help quit\n");
       std::printf(
           "  explain (or \\explain) <formula>: compile with tracing on and "
-          "print the span tree,\n"
-          "  automaton sizes and metric counters (docs/OBSERVABILITY.md)\n");
+          "print the chosen plan\n"
+          "  (cost estimates per node), the span tree, automaton sizes and "
+          "metric counters\n"
+          "  (docs/OBSERVABILITY.md); repeated explains show plan-cache "
+          "hits\n");
       return true;
     }
     if (cmd == "alphabet") {
@@ -102,7 +106,10 @@ class Shell {
       }
       db_ = Database(*a);
       // Atoms are alphabet-specific; start a fresh cache for the new Σ.
+      // Plan-cost estimates peeked at the old cache, so the planner restarts
+      // too (its plan cache is keyed on the database revision anyway).
       cache_ = std::make_shared<AtomCache>(db_.alphabet());
+      planner_ = std::make_shared<plan::Planner>();
       std::printf("  Σ = \"%s\" (database reset)\n", rest.c_str());
       return true;
     }
@@ -194,7 +201,9 @@ class Shell {
     if (f == nullptr) return true;
     // Every command shares one AtomCache (and its AutomatonStore), so atoms,
     // patterns and table tries compiled by one query warm all later ones.
-    AutomataEvaluator engine(&db_, cache_);
+    // The shared planner does the same for plans: re-issued queries skip the
+    // rewrite pipeline via the plan cache.
+    AutomataEvaluator engine(&db_, cache_, planner_);
 
     if (cmd == "describe") {
       // Works for safe AND unsafe unary queries: the answer set as a regex.
@@ -236,7 +245,7 @@ class Shell {
       }
     } else if (cmd == "explain") {
       Result<ExplainAnalyzeResult> out =
-          ExplainAnalyze(&db_, f, /*max_tuples=*/1000000, cache_);
+          ExplainAnalyze(&db_, f, /*max_tuples=*/1000000, cache_, planner_);
       if (!out.ok()) {
         std::printf("  %s\n", out.status().ToString().c_str());
         return true;
@@ -281,6 +290,7 @@ class Shell {
         return true;
       }
       AlgebraEvaluator algebra(&db_, AlgebraEvaluator::Options(), cache_);
+      algebra.set_planner(planner_);
       Result<Relation> out = algebra.Evaluate(*plan);
       std::printf("  RA(%s) plan, reach %d: %s (%zu tuples)\n",
                   StructureName(*s), reach,
@@ -294,6 +304,7 @@ class Shell {
 
   Database db_;
   std::shared_ptr<AtomCache> cache_;
+  std::shared_ptr<plan::Planner> planner_;
 };
 
 }  // namespace

@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Full local gate: tier-1 (RelWithDebInfo build + ctest) followed by the
-# same suite under ASan/UBSan (`cmake --preset asan`), then a smoke run of
-# the two substrate benches so the strq.bench.v1 JSON contract and the
-# store.* counters stay exercised. Run from anywhere; exits nonzero on the
-# first failure.
+# same suite under ASan (`cmake --preset asan`) and standalone UBSan
+# (`cmake --preset ubsan`), then a smoke run of the two substrate benches so
+# the strq.bench.v1 JSON contract and the store.* / plan.* counters stay
+# exercised. Run from anywhere; exits nonzero on the first failure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,6 +19,11 @@ cmake --preset asan
 cmake --build --preset asan -j"${JOBS}"
 ctest --preset asan -j"${JOBS}"
 
+echo "==== tier-2b: UBSan standalone ===="
+cmake --preset ubsan
+cmake --build --preset ubsan -j"${JOBS}"
+ctest --preset ubsan -j"${JOBS}"
+
 echo "==== bench smoke: substrate + ablation JSON ===="
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "${tmpdir}"' EXIT
@@ -31,7 +36,10 @@ for path in sys.argv[1:]:
     assert doc["schema"] == "strq.bench.v1", path
     hits = doc["scalars"].get("store.op_hits", 0)
     assert hits > 0, f"{path}: store.op_hits == 0 (substrate not warming)"
-    print(f"  {path}: ok (store.op_hits={hits:.0f})")
+    plan_keys = [k for k in doc["scalars"] if k.startswith("plan.")]
+    assert plan_keys, f"{path}: no plan.* scalars (planner fell out of JSON)"
+    print(f"  {path}: ok (store.op_hits={hits:.0f}, "
+          f"{len(plan_keys)} plan.* scalars)")
 EOF
 
 echo "ALL CHECKS PASSED"

@@ -40,6 +40,16 @@ class AlgebraEvaluator {
     return formula_engine_.atom_cache();
   }
 
+  // σ_α condition formulas route through the embedded automata engine and
+  // hence through its planner; these forward to it so one shared Planner
+  // can serve all three engines.
+  void set_planner(std::shared_ptr<plan::Planner> planner) {
+    formula_engine_.set_planner(std::move(planner));
+  }
+  const std::shared_ptr<plan::Planner>& planner() const {
+    return formula_engine_.planner();
+  }
+
   Result<Relation> Evaluate(const RaPtr& expr);
 
  private:

@@ -50,7 +50,16 @@ class Compiler {
   Compiler(const Database* db, AtomCache* cache) : db_(db), cache_(cache) {}
 
   Result<TrackAutomaton> CompileQuery(const FormulaPtr& f) {
-    std::vector<std::string> free_vars = AutomataEvaluator::FreeVarOrder(f);
+    return CompileQuery(f, AutomataEvaluator::FreeVarOrder(f));
+  }
+
+  // Compiles with an explicit free-variable → track-id assignment (ids
+  // 0..k-1 in `free_vars` order). The planner can erase a variable from the
+  // formula entirely (a conjunct folding to true, a dead quantifier), so
+  // the evaluator passes the ORIGINAL query's variable order here and the
+  // answer's columns stay put; missing tracks are cylindrified on top.
+  Result<TrackAutomaton> CompileQuery(const FormulaPtr& f,
+                                      const std::vector<std::string>& free_vars) {
     for (const std::string& name : free_vars) {
       scope_[name] = next_var_++;
     }
@@ -376,11 +385,32 @@ class Compiler {
   // tree IS the compile plan (EXPLAIN ANALYZE over it).
   Result<TrackAutomaton> Compile(const FormulaPtr& f) {
     obs::Span span(CompileSpanName(f->kind));
-    if (span.active()) span.set_detail(CompileSpanDetail(f));
+    bool watching = span.active();
+    AutomatonStore::Stats store_before;
+    AtomCache::Stats cache_before;
+    if (watching) {
+      span.set_detail(CompileSpanDetail(f));
+      store_before = cache_->store().stats();
+      cache_before = cache_->stats();
+    }
     Result<TrackAutomaton> out = CompileNode(f);
-    if (span.active() && out.ok()) {
+    if (watching && out.ok()) {
       span.Attr("states", out->NumStates());
       span.Attr("arity", out->arity());
+      // A subtree served entirely by the memoization substrate returns
+      // near-instantly; mark it so estimated-vs-actual comparisons in the
+      // plan phase don't read its span time as real compile cost.
+      AutomatonStore::Stats store_after = cache_->store().stats();
+      AtomCache::Stats cache_after = cache_->stats();
+      bool no_misses =
+          store_after.unique_misses == store_before.unique_misses &&
+          store_after.op_misses == store_before.op_misses &&
+          cache_after.misses == cache_before.misses &&
+          cache_after.pattern_misses == cache_before.pattern_misses;
+      bool some_hits = store_after.op_hits > store_before.op_hits ||
+                       cache_after.hits > cache_before.hits ||
+                       cache_after.pattern_hits > cache_before.pattern_hits;
+      if (no_misses && some_hits) span.Attr("cached", 1);
     }
     return out;
   }
@@ -430,14 +460,25 @@ class Compiler {
 }  // namespace
 
 AutomataEvaluator::AutomataEvaluator(const Database* db)
-    : AutomataEvaluator(db, nullptr) {}
+    : AutomataEvaluator(db, nullptr, nullptr) {}
 
 AutomataEvaluator::AutomataEvaluator(const Database* db,
                                      std::shared_ptr<AtomCache> cache)
-    : db_(db), cache_(std::move(cache)) {
+    : AutomataEvaluator(db, std::move(cache), nullptr) {}
+
+AutomataEvaluator::AutomataEvaluator(const Database* db,
+                                     std::shared_ptr<AtomCache> cache,
+                                     std::shared_ptr<plan::Planner> planner)
+    : db_(db), cache_(std::move(cache)), planner_(std::move(planner)) {
   if (cache_ == nullptr || !(cache_->alphabet() == db_->alphabet())) {
     cache_ = std::make_shared<AtomCache>(db_->alphabet());
   }
+  if (planner_ == nullptr) planner_ = std::make_shared<plan::Planner>();
+}
+
+void AutomataEvaluator::set_planner(std::shared_ptr<plan::Planner> planner) {
+  planner_ = std::move(planner);
+  if (planner_ == nullptr) planner_ = std::make_shared<plan::Planner>();
 }
 
 std::vector<std::string> AutomataEvaluator::FreeVarOrder(const FormulaPtr& f) {
@@ -446,15 +487,22 @@ std::vector<std::string> AutomataEvaluator::FreeVarOrder(const FormulaPtr& f) {
 }
 
 Result<TrackAutomaton> AutomataEvaluator::Compile(const FormulaPtr& f) {
+  // Track ids come from the ORIGINAL formula's free variables: the planner
+  // may rewrite a variable out of the formula entirely, and the answer
+  // relation's columns must not shift when it does.
+  std::vector<std::string> order = FreeVarOrder(f);
+  FormulaPtr to_compile = f;
+  plan::PlannedQuery planned = planner_->Plan(f, db_, cache_.get());
+  to_compile = planned.formula;
   // Semantic guard: free variables unconstrained by the formula would make
   // every track valid; that is handled naturally (FullRelation semantics)
   // because absent tracks are cylindrified on demand by callers. Here the
   // answer automaton is over exactly the tracks the formula constrains; for
   // evaluation we cylindrify to all free variables below.
   Compiler compiler(db_, cache_.get());
-  STRQ_ASSIGN_OR_RETURN(TrackAutomaton rel, compiler.CompileQuery(f));
+  STRQ_ASSIGN_OR_RETURN(TrackAutomaton rel,
+                        compiler.CompileQuery(to_compile, order));
   // Ensure every free variable has a track (x may not occur in any atom).
-  std::vector<std::string> order = FreeVarOrder(f);
   std::vector<VarId> want;
   for (size_t i = 0; i < order.size(); ++i) {
     want.push_back(static_cast<VarId>(i));
@@ -464,6 +512,9 @@ Result<TrackAutomaton> AutomataEvaluator::Compile(const FormulaPtr& f) {
   if (rel.vars() != want) {
     STRQ_ASSIGN_OR_RETURN(rel, rel.Cylindrified(want));
   }
+  // Close the planner's feedback loop: estimated-vs-actual drift shows up
+  // in explain output and the plan.actual_states counter.
+  planner_->RecordActual(f, db_, rel.NumStates());
   return rel;
 }
 

@@ -10,6 +10,7 @@
 #include "logic/ast.h"
 #include "mta/atom_cache.h"
 #include "mta/track_automaton.h"
+#include "plan/planner.h"
 #include "relational/database.h"
 
 namespace strq {
@@ -46,8 +47,19 @@ class AutomataEvaluator {
   // one over a different alphabet — is replaced by a fresh private one.
   AutomataEvaluator(const Database* db, std::shared_ptr<AtomCache> cache);
 
+  // Also shares `planner` (and its plan cache). A null planner is replaced
+  // by a fresh private one with default options.
+  AutomataEvaluator(const Database* db, std::shared_ptr<AtomCache> cache,
+                    std::shared_ptr<plan::Planner> planner);
+
   // The cache this evaluator compiles into; never null.
   const std::shared_ptr<AtomCache>& atom_cache() const { return cache_; }
+
+  // Every Compile routes through this planner; never null. Replace it (e.g.
+  // with a shared instance, or one with rules toggled off) before
+  // compiling. Passing null installs a fresh default planner.
+  void set_planner(std::shared_ptr<plan::Planner> planner);
+  const std::shared_ptr<plan::Planner>& planner() const { return planner_; }
 
   // Compiles φ to its answer automaton over free(φ). Track order equals the
   // lexicographic order of the free-variable names (see FreeVarOrder).
@@ -76,6 +88,7 @@ class AutomataEvaluator {
  private:
   const Database* db_;
   std::shared_ptr<AtomCache> cache_;
+  std::shared_ptr<plan::Planner> planner_;
 };
 
 }  // namespace strq

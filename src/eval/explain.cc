@@ -7,10 +7,9 @@
 
 namespace strq {
 
-Result<ExplainAnalyzeResult> ExplainAnalyze(const Database* db,
-                                            const FormulaPtr& f,
-                                            size_t max_tuples,
-                                            std::shared_ptr<AtomCache> cache) {
+Result<ExplainAnalyzeResult> ExplainAnalyze(
+    const Database* db, const FormulaPtr& f, size_t max_tuples,
+    std::shared_ptr<AtomCache> cache, std::shared_ptr<plan::Planner> planner) {
   ExplainAnalyzeResult result;
   result.columns = AutomataEvaluator::FreeVarOrder(f);
 
@@ -29,7 +28,19 @@ Result<ExplainAnalyzeResult> ExplainAnalyze(const Database* db,
   obs::TraceSession session("explain");
   auto start = std::chrono::steady_clock::now();
 
-  AutomataEvaluator engine(db, cache);
+  AutomataEvaluator engine(db, cache, planner);
+  // Plan phase: run the planner explicitly so the chosen plan (with its
+  // per-node estimates) lands in the result; the Compile below re-plans the
+  // same formula and is served by the plan cache, so the work is done once.
+  plan::PlannedQuery planned =
+      engine.planner()->Plan(f, db, cache.get());
+  result.plan_pretty = planned.pretty;
+  result.planned_formula =
+      planned.formula != nullptr ? ToString(planned.formula) : ToString(f);
+  result.plan_estimated_states = planned.estimated_states;
+  result.plan_rules_fired = planned.rules_fired;
+  result.plan_shared_subplans = planned.shared_subplans;
+  result.plan_cache_hit = planned.cache_hit;
   STRQ_ASSIGN_OR_RETURN(TrackAutomaton rel, engine.Compile(f));
   result.answer_states = rel.NumStates();
   result.answer_transitions = rel.NumTransitions();
@@ -77,6 +88,20 @@ std::string ExplainAnalyzeResult::Pretty() const {
                   cols.c_str());
   }
   out += buf;
+  if (!plan_pretty.empty()) {
+    std::snprintf(buf, sizeof(buf),
+                  "plan: est %.0f states, %lld rule(s) fired, %lld shared "
+                  "subplan(s)%s\n",
+                  plan_estimated_states,
+                  static_cast<long long>(plan_rules_fired),
+                  static_cast<long long>(plan_shared_subplans),
+                  plan_cache_hit ? ", plan-cache hit" : "");
+    out += buf;
+    out += plan_pretty;
+    if (!planned_formula.empty()) {
+      out += "planned: " + planned_formula + "\n";
+    }
+  }
   if (trace != nullptr) out += PrettyTrace(*trace);
   if (!metrics.empty()) {
     out += "metrics:\n";
@@ -102,6 +127,15 @@ obs::JsonValue ExplainAnalyzeResult::ToJson() const {
   answer_obj.Set("tuples", obs::JsonValue::Int(
                                static_cast<int64_t>(answer.size())));
   out.Set("answer", std::move(answer_obj));
+  obs::JsonValue plan_obj = obs::JsonValue::Object();
+  plan_obj.Set("estimated_states",
+               obs::JsonValue::Number(plan_estimated_states));
+  plan_obj.Set("rules_fired", obs::JsonValue::Int(plan_rules_fired));
+  plan_obj.Set("shared_subplans", obs::JsonValue::Int(plan_shared_subplans));
+  plan_obj.Set("cache_hit", obs::JsonValue::Bool(plan_cache_hit));
+  plan_obj.Set("formula", obs::JsonValue::Str(planned_formula));
+  plan_obj.Set("tree", obs::JsonValue::Str(plan_pretty));
+  out.Set("plan", std::move(plan_obj));
   out.Set("seconds", obs::JsonValue::Number(seconds));
   if (trace != nullptr) out.Set("trace", obs::TraceToJson(*trace));
   out.Set("metrics", obs::MetricsToJson(metrics));

@@ -12,6 +12,7 @@
 #include "mta/atom_cache.h"
 #include "obs/json.h"
 #include "obs/trace.h"
+#include "plan/planner.h"
 #include "relational/database.h"
 
 namespace strq {
@@ -34,11 +35,24 @@ struct ExplainAnalyzeResult {
   int64_t answer_transitions = 0;
   // Wall time of the whole call.
   double seconds = 0.0;
-  // The span tree (root node "explain"; children: compilation per AST node,
-  // then enumeration).
+  // The span tree (root node "explain"; children: the plan phase, then
+  // compilation per AST node, then enumeration).
   std::unique_ptr<obs::TraceNode> trace;
   // Global counters moved by this call (obs::MetricsDelta of the run).
   std::map<std::string, int64_t> metrics;
+
+  // ---- Plan phase --------------------------------------------------------
+  // The chosen plan, rendered as an indented tree with per-node cost
+  // estimates; compare against the compile spans in `trace` for the
+  // estimated-vs-actual picture (spans served by the memoization substrate
+  // carry a cached=1 attribute and cost ~nothing).
+  std::string plan_pretty;
+  // The rewritten formula the engine actually compiled.
+  std::string planned_formula;
+  double plan_estimated_states = 0.0;
+  int64_t plan_rules_fired = 0;
+  int64_t plan_shared_subplans = 0;
+  bool plan_cache_hit = false;
 
   // Indented per-node text rendering, states and wall time per span.
   std::string Pretty() const;
@@ -53,9 +67,12 @@ struct ExplainAnalyzeResult {
 // Pass a shared cache to see how a warm substrate changes the picture — the
 // shell does this, so repeated EXPLAINs show the cross-query hit rates.
 // Tracing is enabled for the duration of the call and restored afterwards.
+// Pass a shared `planner` the same way to see plan-cache hits across
+// repeated EXPLAINs (null: the engine's private default planner).
 Result<ExplainAnalyzeResult> ExplainAnalyze(
     const Database* db, const FormulaPtr& f, size_t max_tuples = 1000000,
-    std::shared_ptr<AtomCache> cache = nullptr);
+    std::shared_ptr<AtomCache> cache = nullptr,
+    std::shared_ptr<plan::Planner> planner = nullptr);
 
 }  // namespace strq
 

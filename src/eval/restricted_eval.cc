@@ -294,14 +294,21 @@ RestrictedEvaluator::RestrictedEvaluator(const Database* db, Options options,
   if (cache_ == nullptr || !(cache_->alphabet() == db_->alphabet())) {
     cache_ = std::make_shared<AtomCache>(db_->alphabet());
   }
+  planner_ = std::make_shared<plan::Planner>();
+}
+
+void RestrictedEvaluator::set_planner(std::shared_ptr<plan::Planner> planner) {
+  planner_ = std::move(planner);
+  if (planner_ == nullptr) planner_ = std::make_shared<plan::Planner>();
 }
 
 Result<bool> RestrictedEvaluator::Holds(
     const FormulaPtr& f, const std::map<std::string, std::string>& assignment) {
   obs::Span span("restricted.holds");
+  FormulaPtr planned = planner_->Plan(f, db_, cache_.get()).formula;
   Evaluator eval(db_, options_, cache_.get());
   Env env = assignment;
-  return eval.Eval(f, env);
+  return eval.Eval(planned, env);
 }
 
 Result<bool> RestrictedEvaluator::EvaluateSentence(const FormulaPtr& f) {
@@ -315,8 +322,12 @@ Result<Relation> RestrictedEvaluator::EvaluateOnCandidates(
     const FormulaPtr& f, const std::vector<std::string>& candidates) {
   obs::Span span("restricted.evaluate_on_candidates");
   span.Attr("candidates", static_cast<int64_t>(candidates.size()));
+  // Columns come from the ORIGINAL formula: planning may eliminate a
+  // variable, but the advertised column set must not change (the dropped
+  // column is then unconstrained over the candidates, as before planning).
   std::set<std::string> fv = FreeVars(f);
   std::vector<std::string> vars(fv.begin(), fv.end());
+  FormulaPtr planned = planner_->Plan(f, db_, cache_.get()).formula;
   int k = static_cast<int>(vars.size());
   std::vector<Tuple> out;
   Evaluator eval(db_, options_, cache_.get());
@@ -331,7 +342,7 @@ Result<Relation> RestrictedEvaluator::EvaluateOnCandidates(
       env[vars[i]] = candidates[index[i]];
       t.push_back(candidates[index[i]]);
     }
-    STRQ_ASSIGN_OR_RETURN(bool holds, eval.Eval(f, env));
+    STRQ_ASSIGN_OR_RETURN(bool holds, eval.Eval(planned, env));
     if (holds) out.push_back(std::move(t));
     // Advance odometer.
     int pos = k - 1;

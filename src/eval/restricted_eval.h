@@ -10,6 +10,7 @@
 #include "base/status.h"
 #include "logic/ast.h"
 #include "mta/atom_cache.h"
+#include "plan/planner.h"
 #include "relational/database.h"
 
 namespace strq {
@@ -55,6 +56,14 @@ class RestrictedEvaluator {
   // The pattern/atom cache this evaluator uses; never null.
   const std::shared_ptr<AtomCache>& atom_cache() const { return cache_; }
 
+  // Every evaluation routes the formula through this planner first (the
+  // rewrites are sound for the enumeration semantics too — the rule gates
+  // preserve the parameter sets of restricted ranges, which is exactly what
+  // Candidates() computes). Never null; pass null to install a fresh
+  // default. Share one planner with engine A to share its plan cache.
+  void set_planner(std::shared_ptr<plan::Planner> planner);
+  const std::shared_ptr<plan::Planner>& planner() const { return planner_; }
+
   // Truth of a formula under the given assignment of its free variables.
   Result<bool> Holds(const FormulaPtr& f,
                      const std::map<std::string, std::string>& assignment);
@@ -80,6 +89,7 @@ class RestrictedEvaluator {
   const Database* db_;
   Options options_;
   std::shared_ptr<AtomCache> cache_;
+  std::shared_ptr<plan::Planner> planner_;
 };
 
 }  // namespace strq

@@ -245,6 +245,82 @@ bool MentionsDatabase(const FormulaPtr& f) {
   return false;
 }
 
+bool StructurallyEqual(const TermPtr& a, const TermPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind != b->kind || a->var != b->var || a->text != b->text ||
+      a->letter != b->letter) {
+    return false;
+  }
+  return StructurallyEqual(a->arg0, b->arg0) &&
+         StructurallyEqual(a->arg1, b->arg1);
+}
+
+bool StructurallyEqual(const FormulaPtr& a, const FormulaPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind != b->kind || a->pred != b->pred || a->letter != b->letter ||
+      a->pattern != b->pattern || a->syntax != b->syntax ||
+      a->relation != b->relation || a->var != b->var ||
+      a->range != b->range || a->args.size() != b->args.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a->args.size(); ++i) {
+    if (!StructurallyEqual(a->args[i], b->args[i])) return false;
+  }
+  if ((a->left == nullptr) != (b->left == nullptr)) return false;
+  if (a->left && !StructurallyEqual(a->left, b->left)) return false;
+  if ((a->right == nullptr) != (b->right == nullptr)) return false;
+  if (a->right && !StructurallyEqual(a->right, b->right)) return false;
+  return true;
+}
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t HashMix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h * kFnvPrime;
+}
+
+uint64_t HashString(uint64_t h, const std::string& s) {
+  h = HashMix(h, s.size());
+  for (unsigned char c : s) h = HashMix(h, c);
+  return h;
+}
+
+}  // namespace
+
+uint64_t StructuralHash(const TermPtr& t) {
+  if (t == nullptr) return kFnvOffset;
+  uint64_t h = HashMix(0x7e47u, static_cast<uint64_t>(t->kind));
+  h = HashString(h, t->var);
+  h = HashString(h, t->text);
+  h = HashMix(h, static_cast<unsigned char>(t->letter));
+  h = HashMix(h, StructuralHash(t->arg0));
+  h = HashMix(h, StructuralHash(t->arg1));
+  return h;
+}
+
+uint64_t StructuralHash(const FormulaPtr& f) {
+  if (f == nullptr) return kFnvOffset;
+  uint64_t h = HashMix(0xf0a4u, static_cast<uint64_t>(f->kind));
+  h = HashMix(h, static_cast<uint64_t>(f->pred));
+  h = HashMix(h, static_cast<unsigned char>(f->letter));
+  h = HashString(h, f->pattern);
+  h = HashMix(h, static_cast<uint64_t>(f->syntax));
+  h = HashString(h, f->relation);
+  h = HashString(h, f->var);
+  h = HashMix(h, static_cast<uint64_t>(f->range));
+  h = HashMix(h, f->args.size());
+  for (const TermPtr& t : f->args) h = HashMix(h, StructuralHash(t));
+  h = HashMix(h, StructuralHash(f->left));
+  h = HashMix(h, StructuralHash(f->right));
+  return h;
+}
+
 TermPtr SubstituteVars(const TermPtr& t,
                        const std::map<std::string, TermPtr>& map) {
   switch (t->kind) {

@@ -1,6 +1,7 @@
 #ifndef STRQ_LOGIC_AST_H_
 #define STRQ_LOGIC_AST_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <set>
@@ -165,6 +166,17 @@ int FormulaSize(const FormulaPtr& f);
 
 // Does the formula mention any database relation (or adom)?
 bool MentionsDatabase(const FormulaPtr& f);
+
+// Deep structural equality (no alpha-renaming: variable names matter).
+// Shared subterms compare by pointer first, so hash-consed trees are cheap.
+bool StructurallyEqual(const TermPtr& a, const TermPtr& b);
+bool StructurallyEqual(const FormulaPtr& a, const FormulaPtr& b);
+
+// A structural hash consistent with StructurallyEqual: equal trees hash
+// equal. Used as the plan-cache key and by the hash-consed plan IR; treat
+// collisions as possible (confirm with StructurallyEqual).
+uint64_t StructuralHash(const TermPtr& t);
+uint64_t StructuralHash(const FormulaPtr& f);
 
 // Replaces free variables by terms in a quantifier-free formula (used by
 // the calculus→algebra translation to rewrite atoms over column variables).

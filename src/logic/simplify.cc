@@ -104,33 +104,10 @@ std::optional<bool> FoldAtom(const Formula& f) {
   }
 }
 
-// Structural equality of formulas (used for idempotence rewrites).
-bool SameTerm(const TermPtr& a, const TermPtr& b) {
-  if (a == b) return true;
-  if (a == nullptr || b == nullptr) return false;
-  if (a->kind != b->kind || a->var != b->var || a->text != b->text ||
-      a->letter != b->letter) {
-    return false;
-  }
-  return SameTerm(a->arg0, b->arg0) && SameTerm(a->arg1, b->arg1);
-}
-
+// Structural equality for the idempotence rewrites; the shared definition
+// lives in logic/ast.h so the planner's rules see the same relation.
 bool SameFormula(const FormulaPtr& a, const FormulaPtr& b) {
-  if (a == b) return true;
-  if (a->kind != b->kind || a->pred != b->pred || a->letter != b->letter ||
-      a->pattern != b->pattern || a->syntax != b->syntax ||
-      a->relation != b->relation || a->var != b->var ||
-      a->range != b->range || a->args.size() != b->args.size()) {
-    return false;
-  }
-  for (size_t i = 0; i < a->args.size(); ++i) {
-    if (!SameTerm(a->args[i], b->args[i])) return false;
-  }
-  if ((a->left == nullptr) != (b->left == nullptr)) return false;
-  if (a->left && !SameFormula(a->left, b->left)) return false;
-  if ((a->right == nullptr) != (b->right == nullptr)) return false;
-  if (a->right && !SameFormula(a->right, b->right)) return false;
-  return true;
+  return StructurallyEqual(a, b);
 }
 
 }  // namespace

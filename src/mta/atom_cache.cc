@@ -183,6 +183,15 @@ Result<DfaRef> AtomCache::CompiledPattern(const std::string& pattern,
   return it->second;
 }
 
+std::optional<DfaRef> AtomCache::PeekPattern(const std::string& pattern,
+                                             PatternSyntax syntax) const {
+  std::pair<std::string, int> key(pattern, static_cast<int>(syntax));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = patterns_.find(key);
+  if (it == patterns_.end()) return std::nullopt;
+  return it->second;
+}
+
 Result<TrackAutomaton> AtomCache::TableTrie(
     const std::string& key, const std::vector<VarId>& vars,
     const std::function<std::vector<std::vector<std::string>>()>& tuples) {

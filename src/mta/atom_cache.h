@@ -5,6 +5,7 @@
 #include <functional>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -81,6 +82,12 @@ class AtomCache {
   // pattern_cache.{hits,misses} metrics truthful.
   Result<DfaRef> CompiledPattern(const std::string& pattern,
                                  PatternSyntax syntax);
+
+  // Read-only probe of the pattern cache: the already-compiled DFA for
+  // (pattern, syntax), or nullopt without compiling anything. The planner's
+  // cost model uses this to price pattern leaves it has seen before.
+  std::optional<DfaRef> PeekPattern(const std::string& pattern,
+                                    PatternSyntax syntax) const;
 
   // A finite relation given extensionally (database tables, active-domain
   // and prefix-domain automata). `key` must identify the *content* — the

@@ -341,6 +341,7 @@ Result<TrackAutomaton> TrackAutomaton::Intersect(const TrackAutomaton& a,
                         a.store_->Intersect(ca.dfa_, cb.dfa_));
   TrackAutomaton out(a.alphabet_, std::move(vars), ca.conv_,
                      std::move(product), a.store_);
+  obs::Count(obs::kMtaIntermediateStates, out.NumStates());
   span.Attr("out_states", out.NumStates());
   return out;
 }
@@ -361,6 +362,7 @@ Result<TrackAutomaton> TrackAutomaton::Union(const TrackAutomaton& a,
   STRQ_ASSIGN_OR_RETURN(DfaRef sum, a.store_->Union(ca.dfa_, cb.dfa_));
   TrackAutomaton out(a.alphabet_, std::move(vars), ca.conv_, std::move(sum),
                      a.store_);
+  obs::Count(obs::kMtaIntermediateStates, out.NumStates());
   span.Attr("out_states", out.NumStates());
   return out;
 }
@@ -374,6 +376,7 @@ Result<TrackAutomaton> TrackAutomaton::Complemented() const {
   STRQ_ASSIGN_OR_RETURN(DfaRef valid, ValidRef(*store_, conv_));
   STRQ_ASSIGN_OR_RETURN(DfaRef diff, store_->Difference(valid, dfa_));
   TrackAutomaton out(alphabet_, vars_, conv_, std::move(diff), store_);
+  obs::Count(obs::kMtaIntermediateStates, out.NumStates());
   span.Attr("out_states", out.NumStates());
   return out;
 }
@@ -398,6 +401,7 @@ Result<TrackAutomaton> TrackAutomaton::Project(VarId var) const {
   if (std::optional<DfaRef> hit = store_->Lookup(key)) {
     TrackAutomaton out(alphabet_, std::move(new_vars), new_conv, *hit,
                        store_);
+    obs::Count(obs::kMtaIntermediateStates, out.NumStates());
     span.Attr("out_states", out.NumStates());
     return out;
   }
@@ -469,6 +473,7 @@ Result<TrackAutomaton> TrackAutomaton::Project(VarId var) const {
                         Create(*store_, alphabet_, std::move(new_vars),
                                std::move(det)));
   store_->Memoize(key, out.dfa_);
+  obs::Count(obs::kMtaIntermediateStates, out.NumStates());
   span.Attr("out_states", out.NumStates());
   return out;
 }

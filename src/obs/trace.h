@@ -74,6 +74,9 @@ inline constexpr char kMtaCylindrifications[] = "mta.cylindrifications";
 inline constexpr char kMtaRenamings[] = "mta.renamings";
 inline constexpr char kMtaStatesBuilt[] = "mta.states_built";
 inline constexpr char kMtaTransitionsBuilt[] = "mta.transitions_built";
+// States of intermediate products/complements/projections, before the seed
+// Create() path: the quantity the planner's cost model tries to shrink.
+inline constexpr char kMtaIntermediateStates[] = "mta.intermediate_states";
 inline constexpr char kPatternCacheHits[] = "pattern_cache.hits";
 inline constexpr char kPatternCacheMisses[] = "pattern_cache.misses";
 inline constexpr char kStoreUniqueHits[] = "store.unique_hits";
@@ -88,6 +91,14 @@ inline constexpr char kAlgebraMemoHits[] = "algebra.memo_hits";
 inline constexpr char kRestrictedCandidates[] =
     "restricted.candidates_enumerated";
 inline constexpr char kConcatBoundedRounds[] = "concat.bounded_rounds";
+// Planner counters (src/plan): plan-cache traffic, rewrite activity, and the
+// estimated-vs-actual state accounting ExplainAnalyze surfaces.
+inline constexpr char kPlanCacheHits[] = "plan.cache_hits";
+inline constexpr char kPlanCacheMisses[] = "plan.cache_misses";
+inline constexpr char kPlanRulesFired[] = "plan.rules_fired";
+inline constexpr char kPlanSharedSubplans[] = "plan.shared_subplans";
+inline constexpr char kPlanEstimatedStates[] = "plan.estimated_states";
+inline constexpr char kPlanActualStates[] = "plan.actual_states";
 
 // Process-wide registry of named monotonic counters. Cheap to read, guarded
 // by a mutex on writes; writes only happen while tracing is enabled.

@@ -1,0 +1,167 @@
+#include "plan/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace strq {
+namespace plan {
+
+namespace {
+
+constexpr double kMaxEstimate = 1e15;
+
+double Clamp(double v) {
+  if (v < 1.0) return 1.0;
+  return std::min(v, kMaxEstimate);
+}
+
+int TermNodes(const TermPtr& t) {
+  if (t == nullptr) return 0;
+  return 1 + TermNodes(t->arg0) + TermNodes(t->arg1);
+}
+
+// Extra states charged for composite terms: every non-variable term node
+// introduces a fresh track, a graph atom and a projection in the compiler.
+double TermOverhead(const std::vector<TermPtr>& args) {
+  int nodes = 0;
+  for (const TermPtr& t : args) nodes += TermNodes(t) - 1;
+  return 1.0 + 2.0 * nodes;
+}
+
+int SharedVars(const std::set<std::string>& a, const std::set<std::string>& b) {
+  int n = 0;
+  const std::set<std::string>& small = a.size() <= b.size() ? a : b;
+  const std::set<std::string>& big = a.size() <= b.size() ? b : a;
+  for (const std::string& v : small) n += big.count(v) ? 1 : 0;
+  return n;
+}
+
+}  // namespace
+
+double CostModel::ProductEstimate(double a, double b, int shared_vars) {
+  // Disjoint tracks multiply exactly; each shared track constrains the
+  // product, modeled as a damping divisor. Never below the larger operand's
+  // square root — a product rarely collapses below that in practice.
+  double p = a * b / (1.0 + 2.0 * shared_vars);
+  return Clamp(std::max(p, std::sqrt(std::max(a, b))));
+}
+
+double CostModel::AdomEstimate() const {
+  if (db_ == nullptr) return 8.0;
+  // A trie over adom has at most total-characters + 1 states; estimate the
+  // string count from relation cardinalities without materializing adom.
+  double strings = 0;
+  for (const auto& [name, rel] : db_->relations()) {
+    strings += static_cast<double>(rel.size()) * rel.arity();
+  }
+  double avg_len = static_cast<double>(db_->MaxAdomLength()) / 2.0 + 1.0;
+  return Clamp(strings * avg_len + 1.0);
+}
+
+double CostModel::LeafEstimate(const FormulaPtr& atom) const {
+  switch (atom->kind) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      return 1.0;
+    case FormulaKind::kRelation: {
+      const Relation* rel =
+          db_ != nullptr ? db_->Find(atom->relation) : nullptr;
+      double base = 8.0;
+      if (rel != nullptr) {
+        double avg_len =
+            static_cast<double>(db_->MaxAdomLength()) / 2.0 + 1.0;
+        base = static_cast<double>(rel->size()) * rel->arity() * avg_len + 1.0;
+      }
+      return Clamp(base * TermOverhead(atom->args));
+    }
+    case FormulaKind::kPred: {
+      double base = 2.0;
+      switch (atom->pred) {
+        case PredKind::kEq:
+        case PredKind::kPrefix:
+        case PredKind::kLast:
+        case PredKind::kEqLen:
+        case PredKind::kLeqLen:
+          base = 2.0;
+          break;
+        case PredKind::kStrictPrefix:
+        case PredKind::kOneStep:
+          base = 3.0;
+          break;
+        case PredKind::kLexLeq:
+          base = 4.0;
+          break;
+        case PredKind::kAdom:
+          base = AdomEstimate();
+          break;
+        case PredKind::kMember:
+        case PredKind::kLike:
+        case PredKind::kSuffixIn: {
+          // Observed size when the pattern was compiled before; otherwise a
+          // syntax-driven guess (each literal/class roughly one state).
+          base = 2.0 * static_cast<double>(atom->pattern.size()) + 2.0;
+          if (cache_ != nullptr) {
+            if (std::optional<DfaRef> dfa =
+                    cache_->PeekPattern(atom->pattern, atom->syntax)) {
+              base = static_cast<double>((*dfa)->num_states()) + 1.0;
+            }
+          }
+          if (atom->pred == PredKind::kSuffixIn) base += 2.0;
+          break;
+        }
+      }
+      return Clamp(base * TermOverhead(atom->args));
+    }
+    default:
+      // Non-atom formulas are not leaves; Annotate handles them.
+      return 8.0;
+  }
+}
+
+double CostModel::Annotate(const PlanNode* n) const {
+  double est = 1.0;
+  switch (n->kind) {
+    case NodeKind::kLeaf:
+      est = LeafEstimate(n->leaf);
+      break;
+    case NodeKind::kNot:
+      // Complement relative to Valid of a deterministic automaton is
+      // size-preserving (plus the sink).
+      est = Annotate(n->children[0]) + 1.0;
+      break;
+    case NodeKind::kAnd: {
+      est = Annotate(n->children[0]);
+      std::set<std::string> seen = n->children[0]->free_vars;
+      for (size_t i = 1; i < n->children.size(); ++i) {
+        double c = Annotate(n->children[i]);
+        est = ProductEstimate(est, c,
+                              SharedVars(seen, n->children[i]->free_vars));
+        seen.insert(n->children[i]->free_vars.begin(),
+                    n->children[i]->free_vars.end());
+      }
+      break;
+    }
+    case NodeKind::kOr: {
+      est = 0.0;
+      for (const PlanNode* c : n->children) est += Annotate(c);
+      est = Clamp(est);
+      break;
+    }
+    case NodeKind::kQuant: {
+      double body = Annotate(n->children[0]);
+      if (n->range != QuantRange::kAll) {
+        // Range constraint intersected before projecting.
+        body = ProductEstimate(body, AdomEstimate(), 1);
+      }
+      // Projection can force a re-determinization; ∀ adds complements on
+      // both sides of the projection (¬∃¬).
+      est = Clamp(body * (n->is_forall ? 2.0 : 1.25));
+      break;
+    }
+  }
+  n->est_states = est;
+  return est;
+}
+
+}  // namespace plan
+}  // namespace strq

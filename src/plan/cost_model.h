@@ -1,0 +1,57 @@
+#ifndef STRQ_PLAN_COST_MODEL_H_
+#define STRQ_PLAN_COST_MODEL_H_
+
+#include "mta/atom_cache.h"
+#include "plan/plan_ir.h"
+#include "relational/database.h"
+
+namespace strq {
+namespace plan {
+
+// Estimates the number of states of the track automaton each plan node
+// compiles to. The absolute numbers are rough; what the planner needs is a
+// *monotone ordering signal* for conjunct/disjunct reordering, seeded from
+// what has actually been observed:
+//
+//   * pattern leaves ask AtomCache::PeekPattern for the real DFA size when
+//     the pattern was compiled before (warm caches make later plans more
+//     accurate — the feedback loop the store statistics provide);
+//   * database leaves are priced from relation cardinalities and string
+//     lengths (a trie over the tuples has at most total-characters states);
+//   * built-in predicate atoms have small closed-form sizes (they are fixed
+//     automatic relations, see mta/atoms.h);
+//   * products multiply, damped by the number of shared variables (shared
+//     tracks constrain the product; disjoint tracks really do multiply);
+//   * unions add; complement is size-preserving (the store complements
+//     relative to Valid on an already-deterministic automaton); projection
+//     can re-determinize, charged a small blow-up factor.
+//
+// Both the db and the cache may be null: the model then falls back to the
+// closed forms (used by tests and by planning before a database exists).
+class CostModel {
+ public:
+  CostModel(const Database* db, const AtomCache* cache)
+      : db_(db), cache_(cache) {}
+
+  // Recursively estimates `n` and annotates every node's est_states.
+  // Idempotent; returns the root estimate.
+  double Annotate(const PlanNode* n) const;
+
+  // Leaf pricing, exposed for tests and for the reorder rule.
+  double LeafEstimate(const FormulaPtr& atom) const;
+
+  // Estimated states of the product of two subautomata that share
+  // `shared_vars` tracks.
+  static double ProductEstimate(double a, double b, int shared_vars);
+
+ private:
+  double AdomEstimate() const;
+
+  const Database* db_;
+  const AtomCache* cache_;
+};
+
+}  // namespace plan
+}  // namespace strq
+
+#endif  // STRQ_PLAN_COST_MODEL_H_

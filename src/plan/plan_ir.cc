@@ -1,0 +1,279 @@
+#include "plan/plan_ir.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <utility>
+
+namespace strq {
+namespace plan {
+
+namespace {
+
+uint64_t HashMix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h * 1099511628211ULL;
+}
+
+uint64_t NodeHash(const PlanNode& n) {
+  uint64_t h = HashMix(0x9a17u, static_cast<uint64_t>(n.kind));
+  if (n.kind == NodeKind::kLeaf) {
+    h = HashMix(h, StructuralHash(n.leaf));
+  }
+  for (const PlanNode* c : n.children) {
+    h = HashMix(h, static_cast<uint64_t>(c->id) + 1);
+  }
+  if (n.kind == NodeKind::kQuant) {
+    h = HashMix(h, n.is_forall ? 2 : 1);
+    h = HashMix(h, n.var.size());
+    for (unsigned char c : n.var) h = HashMix(h, c);
+    h = HashMix(h, static_cast<uint64_t>(n.range));
+  }
+  return h;
+}
+
+// Structural equality of candidate vs interned node. Children compare by
+// pointer: they are already interned.
+bool NodeEqual(const PlanNode& a, const PlanNode& b) {
+  if (a.kind != b.kind || a.children != b.children) return false;
+  if (a.kind == NodeKind::kLeaf && !StructurallyEqual(a.leaf, b.leaf)) {
+    return false;
+  }
+  if (a.kind == NodeKind::kQuant &&
+      (a.is_forall != b.is_forall || a.var != b.var || a.range != b.range)) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const PlanNode* PlanStore::Intern(PlanNode n) {
+  n.hash = NodeHash(n);
+  auto& bucket = table_[n.hash];
+  for (const PlanNode* existing : bucket) {
+    if (NodeEqual(*existing, n)) {
+      ++shared_hits_;
+      return existing;
+    }
+  }
+  n.id = static_cast<int>(nodes_.size());
+  nodes_.push_back(std::make_unique<PlanNode>(std::move(n)));
+  const PlanNode* out = nodes_.back().get();
+  bucket.push_back(out);
+  return out;
+}
+
+const PlanNode* PlanStore::True() { return Leaf(FTrue()); }
+const PlanNode* PlanStore::False() { return Leaf(FFalse()); }
+
+const PlanNode* PlanStore::Leaf(FormulaPtr atom) {
+  assert(atom != nullptr);
+  PlanNode n;
+  n.kind = NodeKind::kLeaf;
+  n.free_vars = FreeVars(atom);
+  n.leaf = std::move(atom);
+  return Intern(std::move(n));
+}
+
+const PlanNode* PlanStore::Not(const PlanNode* a) {
+  PlanNode n;
+  n.kind = NodeKind::kNot;
+  n.children = {a};
+  n.free_vars = a->free_vars;
+  return Intern(std::move(n));
+}
+
+const PlanNode* PlanStore::And(std::vector<const PlanNode*> children) {
+  std::vector<const PlanNode*> flat;
+  for (const PlanNode* c : children) {
+    if (c->kind == NodeKind::kAnd) {
+      flat.insert(flat.end(), c->children.begin(), c->children.end());
+    } else {
+      flat.push_back(c);
+    }
+  }
+  if (flat.empty()) return True();
+  if (flat.size() == 1) return flat[0];
+  PlanNode n;
+  n.kind = NodeKind::kAnd;
+  for (const PlanNode* c : flat) {
+    n.free_vars.insert(c->free_vars.begin(), c->free_vars.end());
+  }
+  n.children = std::move(flat);
+  return Intern(std::move(n));
+}
+
+const PlanNode* PlanStore::Or(std::vector<const PlanNode*> children) {
+  std::vector<const PlanNode*> flat;
+  for (const PlanNode* c : children) {
+    if (c->kind == NodeKind::kOr) {
+      flat.insert(flat.end(), c->children.begin(), c->children.end());
+    } else {
+      flat.push_back(c);
+    }
+  }
+  if (flat.empty()) return False();
+  if (flat.size() == 1) return flat[0];
+  PlanNode n;
+  n.kind = NodeKind::kOr;
+  for (const PlanNode* c : flat) {
+    n.free_vars.insert(c->free_vars.begin(), c->free_vars.end());
+  }
+  n.children = std::move(flat);
+  return Intern(std::move(n));
+}
+
+const PlanNode* PlanStore::Quant(bool is_forall, std::string var,
+                                 QuantRange range, const PlanNode* body) {
+  PlanNode n;
+  n.kind = NodeKind::kQuant;
+  n.children = {body};
+  n.is_forall = is_forall;
+  n.free_vars = body->free_vars;
+  n.free_vars.erase(var);
+  // Parameterized ranges mention the parameters in the range itself, so
+  // they stay free even if the body drops them — but parameters ARE free
+  // variables of the body by definition (FreeVars(body) \ {var}), so the
+  // set above is already correct for every range kind.
+  n.var = std::move(var);
+  n.range = range;
+  return Intern(std::move(n));
+}
+
+const PlanNode* Lower(PlanStore& store, const FormulaPtr& f) {
+  switch (f->kind) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kPred:
+    case FormulaKind::kRelation:
+      return store.Leaf(f);
+    case FormulaKind::kNot:
+      return store.Not(Lower(store, f->left));
+    case FormulaKind::kAnd:
+      return store.And({Lower(store, f->left), Lower(store, f->right)});
+    case FormulaKind::kOr:
+      return store.Or({Lower(store, f->left), Lower(store, f->right)});
+    case FormulaKind::kImplies: {
+      const PlanNode* a = Lower(store, f->left);
+      const PlanNode* b = Lower(store, f->right);
+      return store.Or({store.Not(a), b});
+    }
+    case FormulaKind::kIff: {
+      const PlanNode* a = Lower(store, f->left);
+      const PlanNode* b = Lower(store, f->right);
+      return store.And({store.Or({store.Not(a), b}),
+                        store.Or({store.Not(b), a})});
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+      return store.Quant(f->kind == FormulaKind::kForall, f->var, f->range,
+                         Lower(store, f->left));
+  }
+  return store.True();
+}
+
+FormulaPtr Render(const PlanNode* n) {
+  switch (n->kind) {
+    case NodeKind::kLeaf:
+      return n->leaf;
+    case NodeKind::kNot:
+      return FNot(Render(n->children[0]));
+    case NodeKind::kAnd: {
+      FormulaPtr out = Render(n->children[0]);
+      for (size_t i = 1; i < n->children.size(); ++i) {
+        out = FAnd(out, Render(n->children[i]));
+      }
+      return out;
+    }
+    case NodeKind::kOr: {
+      FormulaPtr out = Render(n->children[0]);
+      for (size_t i = 1; i < n->children.size(); ++i) {
+        out = FOr(out, Render(n->children[i]));
+      }
+      return out;
+    }
+    case NodeKind::kQuant: {
+      FormulaPtr body = Render(n->children[0]);
+      return n->is_forall ? FForall(n->var, std::move(body), n->range)
+                          : FExists(n->var, std::move(body), n->range);
+    }
+  }
+  return FTrue();
+}
+
+namespace {
+
+const char* RangeName(QuantRange r) {
+  switch (r) {
+    case QuantRange::kAll: return "";
+    case QuantRange::kAdom: return " in adom";
+    case QuantRange::kPrefixDom: return " pre adom";
+    case QuantRange::kLenDom: return " len adom";
+  }
+  return "";
+}
+
+void PrettyRec(const PlanNode* n, const std::string& indent, bool last,
+               std::string* out) {
+  *out += indent;
+  if (!indent.empty()) *out += last ? "`- " : "|- ";
+  char buf[96];
+  switch (n->kind) {
+    case NodeKind::kLeaf: {
+      std::string text = ToString(n->leaf);
+      if (text.size() > 48) {
+        text.resize(48);
+        text += "...";
+      }
+      *out += "leaf " + text;
+      break;
+    }
+    case NodeKind::kNot:
+      *out += "not";
+      break;
+    case NodeKind::kAnd:
+      std::snprintf(buf, sizeof(buf), "and (%zu)", n->children.size());
+      *out += buf;
+      break;
+    case NodeKind::kOr:
+      std::snprintf(buf, sizeof(buf), "or (%zu)", n->children.size());
+      *out += buf;
+      break;
+    case NodeKind::kQuant:
+      *out += n->is_forall ? "forall " : "exists ";
+      *out += n->var;
+      *out += RangeName(n->range);
+      break;
+  }
+  if (n->est_states > 0) {
+    std::snprintf(buf, sizeof(buf), "  est=%.0f", n->est_states);
+    *out += buf;
+  }
+  if (!n->free_vars.empty()) {
+    *out += "  fv={";
+    bool first = true;
+    for (const std::string& v : n->free_vars) {
+      if (!first) *out += ",";
+      *out += v;
+      first = false;
+    }
+    *out += "}";
+  }
+  *out += "\n";
+  std::string next = indent.empty() ? "  " : indent + (last ? "   " : "|  ");
+  for (size_t i = 0; i < n->children.size(); ++i) {
+    PrettyRec(n->children[i], next, i + 1 == n->children.size(), out);
+  }
+}
+
+}  // namespace
+
+std::string Pretty(const PlanNode* n) {
+  std::string out;
+  PrettyRec(n, "", true, &out);
+  return out;
+}
+
+}  // namespace plan
+}  // namespace strq

@@ -1,0 +1,115 @@
+#ifndef STRQ_PLAN_PLAN_IR_H_
+#define STRQ_PLAN_PLAN_IR_H_
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "logic/ast.h"
+
+namespace strq {
+namespace plan {
+
+// -------------------------------------------------------------------------
+// Logical plan IR
+// -------------------------------------------------------------------------
+//
+// The planner works on a small IR between the AST and the engines:
+//
+//   * kAnd/kOr are n-ary (the AST's binary nesting is flattened), so the
+//     rewrite rules see whole conjunct/disjunct lists and the cost model
+//     can pick a fold order;
+//   * every node carries its free-variable set, the input to miniscoping
+//     and to the parameter-preservation gates of the restricted-quantifier
+//     ranges (kPrefixDom/kLenDom ranges are parameterized by the free
+//     variables of the body — any rewrite that changes a body's free set
+//     changes the range's meaning and must be gated, see rules.cc);
+//   * nodes are hash-consed in a PlanStore, so structurally identical
+//     subplans are one node (common-subplan sharing) and equality tests
+//     during rewriting are pointer comparisons;
+//   * atoms stay AST subtrees (kLeaf wraps the kTrue/kFalse/kPred/kRelation
+//     formula); the engines keep full ownership of atom compilation.
+//
+// kImplies/kIff are expanded during lowering, so the rules only ever see
+// And/Or/Not/Quant/Leaf — the same shapes the automata engine folds over.
+
+enum class NodeKind { kLeaf, kNot, kAnd, kOr, kQuant };
+
+struct PlanNode {
+  NodeKind kind;
+  // kLeaf: the atom (kTrue/kFalse/kPred/kRelation formula).
+  FormulaPtr leaf;
+  // kNot/kQuant: children[0]; kAnd/kOr: two or more children, in fold order.
+  std::vector<const PlanNode*> children;
+  // kQuant only.
+  bool is_forall = false;
+  std::string var;
+  QuantRange range = QuantRange::kAll;
+
+  // Explicit free-variable set (computed once at construction).
+  std::set<std::string> free_vars;
+
+  // Hash-consing identity within the owning PlanStore.
+  int id = 0;
+  uint64_t hash = 0;
+
+  // Estimated states of the automaton this subplan compiles to; written by
+  // CostModel::Annotate (0 until annotated). Mutable cost-model scratch —
+  // the logical content above never changes after interning.
+  mutable double est_states = 0.0;
+};
+
+// Hash-consing arena: structurally identical nodes are interned to one
+// PlanNode, so DAG sharing is free and node equality is pointer equality.
+// Nodes live as long as the store.
+class PlanStore {
+ public:
+  PlanStore() = default;
+  PlanStore(const PlanStore&) = delete;
+  PlanStore& operator=(const PlanStore&) = delete;
+
+  const PlanNode* True();
+  const PlanNode* False();
+  // `atom` must be kTrue/kFalse/kPred/kRelation.
+  const PlanNode* Leaf(FormulaPtr atom);
+  const PlanNode* Not(const PlanNode* a);
+  // Flattens nested kAnd (resp. kOr) children, returns the single child for
+  // singleton lists and True()/False() for empty ones.
+  const PlanNode* And(std::vector<const PlanNode*> children);
+  const PlanNode* Or(std::vector<const PlanNode*> children);
+  const PlanNode* Quant(bool is_forall, std::string var, QuantRange range,
+                        const PlanNode* body);
+
+  // Number of intern calls that found an existing node — the shared-subplan
+  // count reported as plan.shared_subplans.
+  int64_t shared_hits() const { return shared_hits_; }
+  size_t size() const { return nodes_.size(); }
+
+ private:
+  const PlanNode* Intern(PlanNode n);
+
+  std::vector<std::unique_ptr<PlanNode>> nodes_;
+  std::unordered_map<uint64_t, std::vector<const PlanNode*>> table_;
+  int64_t shared_hits_ = 0;
+};
+
+// AST → IR. Expands kImplies (¬a ∨ b) and kIff ((¬a ∨ b) ∧ (¬b ∨ a)),
+// flattens binary And/Or chains into n-ary nodes.
+const PlanNode* Lower(PlanStore& store, const FormulaPtr& f);
+
+// IR → AST. n-ary nodes left-fold back to binary in child order, so the
+// automata engine's bottom-up compile performs products exactly in the
+// order the planner chose.
+FormulaPtr Render(const PlanNode* n);
+
+// Indented tree rendering with per-node cost estimates (when annotated);
+// what `explain` prints as the plan phase.
+std::string Pretty(const PlanNode* n);
+
+}  // namespace plan
+}  // namespace strq
+
+#endif  // STRQ_PLAN_PLAN_IR_H_

@@ -1,0 +1,157 @@
+#include "plan/planner.h"
+
+#include <utility>
+
+#include "logic/simplify.h"
+#include "obs/trace.h"
+#include "plan/cost_model.h"
+#include "plan/rules.h"
+
+namespace strq {
+namespace plan {
+
+Planner::Planner(PlannerOptions options) : options_(options) {}
+
+uint64_t Planner::CacheKey(const FormulaPtr& f, const Database* db) const {
+  uint64_t h = StructuralHash(f);
+  // The cost model (and hence reordering) depends on the database contents;
+  // revisions are process-unique and never reused, so stale plans are
+  // simply never looked up again.
+  uint64_t rev = db != nullptr ? static_cast<uint64_t>(db->revision()) : 0;
+  h ^= rev + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+PlannedQuery Planner::PlanUncached(const FormulaPtr& f, const Database* db,
+                                   const AtomCache* cache) const {
+  PlannedQuery out;
+  out.formula = f;
+  if (!options_.enable) return out;
+
+  // Rule 0 (AST level): the simplify.h passes — constant folding,
+  // double-negation and idempotence — are the planner's fold rule.
+  FormulaPtr ast = f;
+  int64_t fired = 0;
+  if (options_.enable_fold) {
+    FormulaPtr simplified = Simplify(ast);
+    if (!StructurallyEqual(simplified, ast)) ++fired;
+    ast = std::move(simplified);
+  }
+
+  PlanStore store;
+  RewriteContext ctx{&store, 0};
+  const PlanNode* root = Lower(store, ast);
+  if (options_.enable_negation_pushdown) root = PushNegations(ctx, root);
+  if (options_.enable_miniscope) root = Miniscope(ctx, root);
+  if (options_.enable_prune) root = PruneDead(ctx, root);
+  CostModel cost(db, cache);
+  if (options_.enable_reorder) root = Reorder(ctx, root, cost);
+
+  out.estimated_states = cost.Annotate(root);
+  out.rules_fired = fired + ctx.fired;
+  out.shared_subplans = store.shared_hits();
+  out.pretty = Pretty(root);
+  out.formula = Render(root);
+  return out;
+}
+
+PlannedQuery Planner::Plan(const FormulaPtr& f, const Database* db,
+                           const AtomCache* cache) {
+  obs::Span span("plan");
+  if (!options_.enable || !options_.enable_cache) {
+    PlannedQuery out = PlanUncached(f, db, cache);
+    if (options_.enable) {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.cache_misses += 1;
+      stats_.rules_fired += out.rules_fired;
+      stats_.shared_subplans += out.shared_subplans;
+    }
+    obs::Count(obs::kPlanCacheMisses);
+    obs::Count(obs::kPlanRulesFired, out.rules_fired);
+    obs::Count(obs::kPlanSharedSubplans, out.shared_subplans);
+    obs::Count(obs::kPlanEstimatedStates,
+               static_cast<int64_t>(out.estimated_states));
+    if (span.active()) {
+      span.Attr("rules_fired", out.rules_fired);
+      span.Attr("est_states", static_cast<int64_t>(out.estimated_states));
+    }
+    return out;
+  }
+
+  uint64_t key = CacheKey(f, db);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      for (const CacheEntry& entry : it->second) {
+        if (StructurallyEqual(entry.original, f)) {
+          ++stats_.cache_hits;
+          obs::Count(obs::kPlanCacheHits);
+          PlannedQuery out = entry.planned;
+          out.cache_hit = true;
+          if (span.active()) {
+            span.Attr("cache_hit", 1);
+            span.Attr("est_states",
+                      static_cast<int64_t>(out.estimated_states));
+          }
+          return out;
+        }
+      }
+    }
+  }
+
+  PlannedQuery out = PlanUncached(f, db, cache);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.cache_misses;
+    stats_.rules_fired += out.rules_fired;
+    stats_.shared_subplans += out.shared_subplans;
+    cache_[key].push_back(CacheEntry{f, out, std::nullopt});
+  }
+  obs::Count(obs::kPlanCacheMisses);
+  obs::Count(obs::kPlanRulesFired, out.rules_fired);
+  obs::Count(obs::kPlanSharedSubplans, out.shared_subplans);
+  obs::Count(obs::kPlanEstimatedStates,
+             static_cast<int64_t>(out.estimated_states));
+  if (span.active()) {
+    span.Attr("rules_fired", out.rules_fired);
+    span.Attr("est_states", static_cast<int64_t>(out.estimated_states));
+  }
+  return out;
+}
+
+void Planner::RecordActual(const FormulaPtr& f, const Database* db,
+                           int64_t actual_states) {
+  obs::Count(obs::kPlanActualStates, actual_states);
+  if (!options_.enable || !options_.enable_cache) return;
+  uint64_t key = CacheKey(f, db);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) return;
+  for (CacheEntry& entry : it->second) {
+    if (StructurallyEqual(entry.original, f)) {
+      entry.actual_states = actual_states;
+      return;
+    }
+  }
+}
+
+std::optional<int64_t> Planner::ActualFor(const FormulaPtr& f,
+                                          const Database* db) const {
+  uint64_t key = CacheKey(f, db);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) return std::nullopt;
+  for (const CacheEntry& entry : it->second) {
+    if (StructurallyEqual(entry.original, f)) return entry.actual_states;
+  }
+  return std::nullopt;
+}
+
+Planner::Stats Planner::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace plan
+}  // namespace strq

@@ -1,0 +1,114 @@
+#ifndef STRQ_PLAN_PLANNER_H_
+#define STRQ_PLAN_PLANNER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "logic/ast.h"
+#include "mta/atom_cache.h"
+#include "plan/plan_ir.h"
+#include "relational/database.h"
+
+namespace strq {
+namespace plan {
+
+// Per-rule toggles. The master switch (`enable`) short-circuits everything:
+// the planned formula is then the input formula, untouched — the planner-off
+// rows of bench_ablation and the differential fuzz baseline.
+struct PlannerOptions {
+  bool enable = true;
+  // Constant folding / simplification (the logic/simplify.h passes, run as
+  // the planner's first rule on the AST — Simplify() remains the thin
+  // standalone wrapper for callers that want AST-level output only).
+  bool enable_fold = true;
+  // Negation pushdown ahead of complement (De Morgan + quantifier duality).
+  bool enable_negation_pushdown = true;
+  // Quantifier miniscoping / early projection of dead tracks.
+  bool enable_miniscope = true;
+  // Dead-plan pruning: unit/zero/duplicate elimination, unused-variable
+  // quantifier removal over provably non-empty ranges.
+  bool enable_prune = true;
+  // Cost-based conjunct/disjunct reordering.
+  bool enable_reorder = true;
+  // Plan cache keyed on the formula's structural hash + database revision.
+  bool enable_cache = true;
+};
+
+// The result of planning one query.
+struct PlannedQuery {
+  // What the engines should compile; logically equivalent to the input.
+  FormulaPtr formula;
+  // Root estimate from the cost model (states of the answer automaton).
+  double estimated_states = 0.0;
+  // Total local rewrites performed across all rules.
+  int64_t rules_fired = 0;
+  // Interned plan nodes that were structural repeats (common subplans).
+  int64_t shared_subplans = 0;
+  // Served from the plan cache?
+  bool cache_hit = false;
+  // Indented plan tree with per-node estimates (explain's plan phase).
+  std::string pretty;
+};
+
+// The planning facade all three engines (and through them the safety
+// deciders) route through: AST in, rewritten AST out, with the IR, rules
+// and cost model of this directory in between. Thread-safe; share one
+// Planner between engines to share its plan cache.
+class Planner {
+ public:
+  struct Stats {
+    int64_t cache_hits = 0;
+    int64_t cache_misses = 0;
+    int64_t rules_fired = 0;
+    int64_t shared_subplans = 0;
+  };
+
+  explicit Planner(PlannerOptions options = PlannerOptions());
+
+  const PlannerOptions& options() const { return options_; }
+
+  // Plans `f` against `db` (cost model context; either may be null — the
+  // cost model then uses closed-form estimates only). Never fails: the
+  // worst case is returning the input formula unchanged.
+  PlannedQuery Plan(const FormulaPtr& f, const Database* db,
+                    const AtomCache* cache);
+
+  // Feedback: the actual answer-automaton size observed for the query that
+  // was planned as `f` (the ORIGINAL formula). Recorded into the cache
+  // entry and the plan.actual_states counter, so estimated-vs-actual drift
+  // is visible in explain output and metrics.
+  void RecordActual(const FormulaPtr& f, const Database* db,
+                    int64_t actual_states);
+
+  // Last recorded actual size for `f`, if any.
+  std::optional<int64_t> ActualFor(const FormulaPtr& f,
+                                   const Database* db) const;
+
+  Stats stats() const;
+
+ private:
+  struct CacheEntry {
+    FormulaPtr original;  // collision guard: verified with StructurallyEqual
+    PlannedQuery planned;
+    std::optional<int64_t> actual_states;
+  };
+
+  uint64_t CacheKey(const FormulaPtr& f, const Database* db) const;
+  PlannedQuery PlanUncached(const FormulaPtr& f, const Database* db,
+                            const AtomCache* cache) const;
+
+  PlannerOptions options_;
+  mutable std::mutex mu_;
+  std::map<uint64_t, std::vector<CacheEntry>> cache_;
+  Stats stats_;
+};
+
+}  // namespace plan
+}  // namespace strq
+
+#endif  // STRQ_PLAN_PLANNER_H_

@@ -1,0 +1,338 @@
+#include "plan/rules.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace strq {
+namespace plan {
+
+namespace {
+
+bool IsTrueLeaf(const PlanNode* n) {
+  return n->kind == NodeKind::kLeaf && n->leaf->kind == FormulaKind::kTrue;
+}
+bool IsFalseLeaf(const PlanNode* n) {
+  return n->kind == NodeKind::kLeaf && n->leaf->kind == FormulaKind::kFalse;
+}
+
+bool Parameterized(QuantRange r) {
+  return r == QuantRange::kPrefixDom || r == QuantRange::kLenDom;
+}
+
+std::set<std::string> ParamsOf(const std::set<std::string>& body_fv,
+                               const std::string& var) {
+  std::set<std::string> out = body_fv;
+  out.erase(var);
+  return out;
+}
+
+// ---- Negation pushdown ---------------------------------------------------
+
+const PlanNode* Push(RewriteContext& ctx, const PlanNode* n, bool negate) {
+  PlanStore& store = *ctx.store;
+  switch (n->kind) {
+    case NodeKind::kLeaf:
+      if (!negate) return n;
+      if (IsTrueLeaf(n)) {
+        ++ctx.fired;
+        return store.False();
+      }
+      if (IsFalseLeaf(n)) {
+        ++ctx.fired;
+        return store.True();
+      }
+      return store.Not(n);
+    case NodeKind::kNot:
+      if (negate) ++ctx.fired;  // double negation eliminated
+      return Push(ctx, n->children[0], !negate);
+    case NodeKind::kAnd:
+    case NodeKind::kOr: {
+      std::vector<const PlanNode*> kids;
+      kids.reserve(n->children.size());
+      for (const PlanNode* c : n->children) kids.push_back(Push(ctx, c, negate));
+      bool is_and = (n->kind == NodeKind::kAnd) != negate;
+      if (negate) ++ctx.fired;  // De Morgan
+      return is_and ? store.And(std::move(kids)) : store.Or(std::move(kids));
+    }
+    case NodeKind::kQuant: {
+      // ¬∀x∈R φ ≡ ∃x∈R ¬φ and dually, for every range kind (the engines
+      // themselves implement ∀ as ¬∃¬; see simplify.h).
+      const PlanNode* body = Push(ctx, n->children[0], negate);
+      if (negate) ++ctx.fired;
+      return store.Quant(negate ? !n->is_forall : n->is_forall, n->var,
+                         n->range, body);
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+const PlanNode* PushNegations(RewriteContext& ctx, const PlanNode* n) {
+  return Push(ctx, n, false);
+}
+
+// ---- Miniscoping ---------------------------------------------------------
+
+namespace {
+
+// Rewrites Quant(is_forall, var, range, body) after `body` has itself been
+// miniscoped. Returns an equivalent plan with the quantifier pushed as deep
+// as the soundness gates allow.
+const PlanNode* RewriteQuant(RewriteContext& ctx, bool is_forall,
+                             const std::string& var, QuantRange range,
+                             const PlanNode* body) {
+  PlanStore& store = *ctx.store;
+  std::set<std::string> params_before = ParamsOf(body->free_vars, var);
+
+  // Extraction: ∃x∈R (IN ∧ OUT) ≡ OUT ∧ ∃x∈R IN, and dually
+  // ∀x∈R (IN ∨ OUT) ≡ OUT ∨ ∀x∈R IN, where x ∉ FV(OUT). Both equivalences
+  // hold for EVERY range, including empty ones (empty R makes ∃ false and
+  // ∀ true on both sides). For parameterized ranges the remaining body must
+  // keep the full parameter set, otherwise the range itself would change.
+  NodeKind extract_from = is_forall ? NodeKind::kOr : NodeKind::kAnd;
+  if (body->kind == extract_from) {
+    std::vector<const PlanNode*> in;
+    std::vector<const PlanNode*> out;
+    for (const PlanNode* c : body->children) {
+      (c->free_vars.count(var) ? in : out).push_back(c);
+    }
+    if (!out.empty()) {
+      const PlanNode* inner =
+          is_forall ? store.Or(std::move(in)) : store.And(std::move(in));
+      bool gate_ok = !Parameterized(range) ||
+                     ParamsOf(inner->free_vars, var) == params_before;
+      if (gate_ok) {
+        ++ctx.fired;
+        const PlanNode* q =
+            RewriteQuant(ctx, is_forall, var, range, inner);
+        out.push_back(q);
+        return is_forall ? store.Or(std::move(out))
+                         : store.And(std::move(out));
+      }
+    }
+  }
+
+  // Distribution: ∀x∈R (φ1 ∧ … ∧ φn) ≡ ∀x∈R φ1 ∧ … ∧ ∀x∈R φn, and dually
+  // ∃ over ∨ — sound for any fixed range R. Only worthwhile (and only a
+  // scope *shrink*) when some child drops the variable; gated on per-child
+  // parameter preservation for parameterized ranges, since each child
+  // becomes its own quantifier body.
+  NodeKind distribute_over = is_forall ? NodeKind::kAnd : NodeKind::kOr;
+  if (body->kind == distribute_over) {
+    bool shrinks = false;
+    bool gate_ok = true;
+    for (const PlanNode* c : body->children) {
+      if (!c->free_vars.count(var)) shrinks = true;
+      if (Parameterized(range) &&
+          ParamsOf(c->free_vars, var) != params_before) {
+        gate_ok = false;
+      }
+    }
+    if (shrinks && gate_ok) {
+      ++ctx.fired;
+      std::vector<const PlanNode*> kids;
+      kids.reserve(body->children.size());
+      for (const PlanNode* c : body->children) {
+        kids.push_back(RewriteQuant(ctx, is_forall, var, range, c));
+      }
+      return is_forall ? store.And(std::move(kids))
+                       : store.Or(std::move(kids));
+    }
+  }
+
+  return store.Quant(is_forall, var, range, body);
+}
+
+}  // namespace
+
+const PlanNode* Miniscope(RewriteContext& ctx, const PlanNode* n) {
+  PlanStore& store = *ctx.store;
+  switch (n->kind) {
+    case NodeKind::kLeaf:
+      return n;
+    case NodeKind::kNot:
+      return store.Not(Miniscope(ctx, n->children[0]));
+    case NodeKind::kAnd:
+    case NodeKind::kOr: {
+      std::vector<const PlanNode*> kids;
+      kids.reserve(n->children.size());
+      for (const PlanNode* c : n->children) kids.push_back(Miniscope(ctx, c));
+      return n->kind == NodeKind::kAnd ? store.And(std::move(kids))
+                                       : store.Or(std::move(kids));
+    }
+    case NodeKind::kQuant:
+      return RewriteQuant(ctx, n->is_forall, n->var, n->range,
+                          Miniscope(ctx, n->children[0]));
+  }
+  return n;
+}
+
+// ---- Dead-plan pruning ---------------------------------------------------
+
+const PlanNode* PruneDead(RewriteContext& ctx, const PlanNode* n) {
+  PlanStore& store = *ctx.store;
+  switch (n->kind) {
+    case NodeKind::kLeaf:
+      return n;
+    case NodeKind::kNot: {
+      const PlanNode* c = PruneDead(ctx, n->children[0]);
+      if (IsTrueLeaf(c)) {
+        ++ctx.fired;
+        return store.False();
+      }
+      if (IsFalseLeaf(c)) {
+        ++ctx.fired;
+        return store.True();
+      }
+      if (c->kind == NodeKind::kNot) {
+        ++ctx.fired;
+        return c->children[0];
+      }
+      return store.Not(c);
+    }
+    case NodeKind::kAnd:
+    case NodeKind::kOr: {
+      bool is_and = n->kind == NodeKind::kAnd;
+      std::vector<const PlanNode*> kids;
+      for (const PlanNode* raw : n->children) {
+        const PlanNode* c = PruneDead(ctx, raw);
+        // Unit and zero elements.
+        if (is_and ? IsTrueLeaf(c) : IsFalseLeaf(c)) {
+          ++ctx.fired;
+          continue;
+        }
+        if (is_and ? IsFalseLeaf(c) : IsTrueLeaf(c)) {
+          ++ctx.fired;
+          return is_and ? store.False() : store.True();
+        }
+        // Idempotence: hash-consing makes structurally equal subplans the
+        // same pointer, so duplicate elimination is a pointer scan.
+        if (std::find(kids.begin(), kids.end(), c) != kids.end()) {
+          ++ctx.fired;
+          continue;
+        }
+        kids.push_back(c);
+      }
+      return is_and ? store.And(std::move(kids)) : store.Or(std::move(kids));
+    }
+    case NodeKind::kQuant: {
+      const PlanNode* body = PruneDead(ctx, n->children[0]);
+      if (!body->free_vars.count(n->var)) {
+        // The variable's track is dead. Drop the quantifier when the range
+        // is provably non-empty: Σ* always, ↓adom always contains ε, and
+        // the prefix range contains ε as soon as it has a parameter. The
+        // kAdom range (and a parameterless prefix range) can be empty on an
+        // empty database, so those quantifiers stay.
+        bool nonempty =
+            n->range == QuantRange::kAll || n->range == QuantRange::kLenDom ||
+            (n->range == QuantRange::kPrefixDom && !body->free_vars.empty());
+        if (nonempty) {
+          ++ctx.fired;
+          return body;
+        }
+      }
+      return store.Quant(n->is_forall, n->var, n->range, body);
+    }
+  }
+  return n;
+}
+
+// ---- Cost-based reordering -----------------------------------------------
+
+namespace {
+
+int SharedCount(const std::set<std::string>& a,
+                const std::set<std::string>& b) {
+  int out = 0;
+  const std::set<std::string>& small = a.size() <= b.size() ? a : b;
+  const std::set<std::string>& big = a.size() <= b.size() ? b : a;
+  for (const std::string& v : small) out += big.count(v) ? 1 : 0;
+  return out;
+}
+
+// Greedy smallest-product-first order: start from the cheapest conjunct,
+// then repeatedly append the conjunct whose product with the accumulated
+// prefix is estimated cheapest (sharing tracks with the prefix damps the
+// product, so well-connected conjuncts are preferred over disjoint ones).
+std::vector<const PlanNode*> GreedyAndOrder(
+    const std::vector<const PlanNode*>& children) {
+  std::vector<const PlanNode*> rest = children;
+  std::vector<const PlanNode*> out;
+  auto cheapest = std::min_element(
+      rest.begin(), rest.end(), [](const PlanNode* a, const PlanNode* b) {
+        if (a->est_states != b->est_states) {
+          return a->est_states < b->est_states;
+        }
+        return a->id < b->id;
+      });
+  out.push_back(*cheapest);
+  rest.erase(cheapest);
+  double acc_est = out[0]->est_states;
+  std::set<std::string> acc_vars = out[0]->free_vars;
+  while (!rest.empty()) {
+    auto best = rest.begin();
+    double best_cost = -1;
+    for (auto it = rest.begin(); it != rest.end(); ++it) {
+      double c = CostModel::ProductEstimate(
+          acc_est, (*it)->est_states, SharedCount(acc_vars, (*it)->free_vars));
+      if (best_cost < 0 || c < best_cost ||
+          (c == best_cost && (*it)->id < (*best)->id)) {
+        best_cost = c;
+        best = it;
+      }
+    }
+    acc_est = best_cost;
+    acc_vars.insert((*best)->free_vars.begin(), (*best)->free_vars.end());
+    out.push_back(*best);
+    rest.erase(best);
+  }
+  return out;
+}
+
+}  // namespace
+
+const PlanNode* Reorder(RewriteContext& ctx, const PlanNode* n,
+                        const CostModel& cost) {
+  PlanStore& store = *ctx.store;
+  switch (n->kind) {
+    case NodeKind::kLeaf:
+      return n;
+    case NodeKind::kNot:
+      return store.Not(Reorder(ctx, n->children[0], cost));
+    case NodeKind::kQuant:
+      return store.Quant(n->is_forall, n->var, n->range,
+                         Reorder(ctx, n->children[0], cost));
+    case NodeKind::kAnd:
+    case NodeKind::kOr: {
+      std::vector<const PlanNode*> kids;
+      kids.reserve(n->children.size());
+      for (const PlanNode* c : n->children) {
+        kids.push_back(Reorder(ctx, c, cost));
+      }
+      // A binary product is the same automaton either way round; only with
+      // three or more operands does the fold order shape the intermediates.
+      if (kids.size() >= 3) {
+        for (const PlanNode* c : kids) cost.Annotate(c);
+        std::vector<const PlanNode*> ordered;
+        if (n->kind == NodeKind::kAnd) {
+          ordered = GreedyAndOrder(kids);
+        } else {
+          ordered = kids;
+          std::stable_sort(ordered.begin(), ordered.end(),
+                           [](const PlanNode* a, const PlanNode* b) {
+                             return a->est_states < b->est_states;
+                           });
+        }
+        if (ordered != kids) ++ctx.fired;
+        kids = std::move(ordered);
+      }
+      return n->kind == NodeKind::kAnd ? store.And(std::move(kids))
+                                       : store.Or(std::move(kids));
+    }
+  }
+  return n;
+}
+
+}  // namespace plan
+}  // namespace strq

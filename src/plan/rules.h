@@ -1,0 +1,71 @@
+#ifndef STRQ_PLAN_RULES_H_
+#define STRQ_PLAN_RULES_H_
+
+#include <cstdint>
+
+#include "plan/cost_model.h"
+#include "plan/plan_ir.h"
+
+namespace strq {
+namespace plan {
+
+// Soundness-preserving plan rewrites. Each rule is a pure function
+// IR → IR over a shared PlanStore and bumps `ctx.fired` once per local
+// rewrite it performs, so the planner can report plan.rules_fired.
+//
+// The soundness obligations the rules discharge (tests/plan/rules_test.cc
+// exercises each one):
+//
+//   * kPrefixDom/kLenDom quantifier ranges are PARAMETERIZED by the free
+//     variables of the body (∃x ≼ dom means "x is a prefix of an adom
+//     string or of a parameter value"; both engines compute the parameter
+//     set as FreeVars(body) \ {x}). Any rewrite that shrinks a quantifier
+//     body's free-variable set changes the range itself, so miniscoping is
+//     gated on parameter-set preservation for those ranges. kAll and kAdom
+//     are parameter-free and never gated.
+//   * kAdom and kPrefixDom ranges can be EMPTY (empty database, no
+//     parameters), so rewrites that hold only over non-empty domains
+//     (∃x∈R (φ ∨ ψ) ≡ ψ ∨ ∃x∈R φ with x ∉ FV(ψ)) are restricted to the
+//     provably non-empty kAll. The always-sound forms are used instead:
+//     ∃x∈R (φ ∧ ψ) ≡ ψ ∧ ∃x∈R φ and ∀x∈R (φ ∨ ψ) ≡ ψ ∨ ∀x∈R φ hold for
+//     every range including the empty one, and ∀/∃ distribute over ∧/∨
+//     for any fixed range.
+struct RewriteContext {
+  PlanStore* store;
+  int64_t fired = 0;
+};
+
+// Negation pushdown: De Morgan through And/Or, double-negation elimination,
+// dualization through quantifiers (∀x∈R φ ≡ ¬∃x∈R ¬φ holds for every range
+// kind). Runs ahead of complement: the automata engine complements exactly
+// where kNot/kForall remain, so pushing negation to the leaves replaces one
+// complement of a large product by small complements of atoms.
+const PlanNode* PushNegations(RewriteContext& ctx, const PlanNode* n);
+
+// Quantifier miniscoping / early projection of dead tracks: pushes each
+// quantifier into the smallest sub-conjunction that mentions its variable,
+// so the variable's track is projected away right after the conjuncts that
+// constrain it — dead tracks never reach the outer products. Applies the
+// extraction and distribution forms listed above, with the range gates.
+const PlanNode* Miniscope(RewriteContext& ctx, const PlanNode* n);
+
+// Dead-plan pruning: unit/zero elimination in And/Or (constant leaves),
+// duplicate-child elimination (pointer equality — hash-consing makes
+// structurally equal subplans one node), ¬true/¬false folding, and
+// unused-variable quantifier elimination for ranges that are provably
+// non-empty (kAll always; kLenDom always contains ε).
+const PlanNode* PruneDead(RewriteContext& ctx, const PlanNode* n);
+
+// Cost-based conjunct/disjunct reordering: annotates the subtree with the
+// cost model, then greedily orders And children smallest-first, preferring
+// children that share variables with what has been folded so far (shared
+// tracks damp the product); Or children are sorted by ascending estimate.
+// Fires only on nodes with three or more children — a binary product is
+// the same automaton in either order.
+const PlanNode* Reorder(RewriteContext& ctx, const PlanNode* n,
+                        const CostModel& cost);
+
+}  // namespace plan
+}  // namespace strq
+
+#endif  // STRQ_PLAN_RULES_H_

@@ -8,6 +8,9 @@ namespace strq {
 
 Result<bool> StateSafe(const FormulaPtr& phi, const Database& db,
                        std::shared_ptr<AtomCache> cache) {
+  // The embedded evaluator routes through its planner (plan rewrites are
+  // equivalence-preserving, so finiteness of φ(D) is unchanged) — safety
+  // decisions benefit from the same miniscoping/reordering as evaluation.
   AutomataEvaluator engine(&db, std::move(cache));
   return engine.IsSafeOnDatabase(phi);
 }

@@ -55,11 +55,16 @@ TEST(ExplainAnalyzeTest, AnswerMatchesEvaluate) {
 
 TEST(ExplainAnalyzeTest, SpanTreeReflectsTheFormula) {
   Database db = SmallDb();
-  // Two quantifiers: the compile tree must show nested exists spans with an
-  // automaton size on every node, and the enumeration span at the end.
+  // With planning disabled the compile tree mirrors the raw AST: two
+  // quantifiers show as NESTED exists spans with an automaton size on every
+  // node, and the enumeration span at the end.
+  plan::PlannerOptions off;
+  off.enable = false;
   Result<ExplainAnalyzeResult> out = ExplainAnalyze(
-      &db, Q("exists y. exists z. R(y) & R(z) & x <= y & x <= z & "
-             "last[1](x)"));
+      &db,
+      Q("exists y. exists z. R(y) & R(z) & x <= y & x <= z & "
+        "last[1](x)"),
+      1000000, nullptr, std::make_shared<plan::Planner>(off));
   ASSERT_TRUE(out.ok()) << out.status().ToString();
   ASSERT_NE(out->trace, nullptr);
   EXPECT_EQ(out->trace->name, "explain");
@@ -85,6 +90,46 @@ TEST(ExplainAnalyzeTest, SpanTreeReflectsTheFormula) {
   EXPECT_NE(FindNode(*out->trace, "mta.project"), nullptr);
   // Compilation + enumeration is more than a handful of spans.
   EXPECT_GT(out->trace->TreeSize(), 10);
+}
+
+TEST(ExplainAnalyzeTest, PlannerReshapesTheSpanTree) {
+  Database db = SmallDb();
+  // Same query with the default planner: miniscoping pushes each exists
+  // into the conjuncts that bind its variable, so the two quantifier spans
+  // become SIBLINGS under the top-level conjunction, and the plan phase is
+  // reported next to the trace.
+  FormulaPtr f = Q(
+      "exists y. exists z. R(y) & R(z) & x <= y & x <= z & last[1](x)");
+  Result<ExplainAnalyzeResult> out = ExplainAnalyze(&db, f);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_NE(out->trace, nullptr);
+
+  // Plan phase fields are populated and the "plan" span is in the trace.
+  EXPECT_NE(FindNode(*out->trace, "plan"), nullptr);
+  EXPECT_GT(out->plan_estimated_states, 0.0);
+  EXPECT_GT(out->plan_rules_fired, 0);
+  EXPECT_FALSE(out->plan_pretty.empty());
+  EXPECT_NE(out->planned_formula.find("exists"), std::string::npos);
+
+  // Both exists compile, but neither nests inside the other.
+  const obs::TraceNode* outer = FindNode(*out->trace, "compile.exists");
+  ASSERT_NE(outer, nullptr);
+  const obs::TraceNode* inner = nullptr;
+  for (const auto& child : outer->children) {
+    if (const obs::TraceNode* hit = FindNode(*child, "compile.exists")) {
+      inner = hit;
+      break;
+    }
+  }
+  EXPECT_EQ(inner, nullptr);
+
+  // Planning must not change the answer.
+  plan::PlannerOptions off;
+  off.enable = false;
+  Result<ExplainAnalyzeResult> unplanned = ExplainAnalyze(
+      &db, f, 1000000, nullptr, std::make_shared<plan::Planner>(off));
+  ASSERT_TRUE(unplanned.ok());
+  EXPECT_EQ(out->answer, unplanned->answer);
 }
 
 TEST(ExplainAnalyzeTest, UnsafeQueryStillTraces) {

@@ -1,0 +1,119 @@
+#include "plan/plan_ir.h"
+
+#include <gtest/gtest.h>
+
+#include "logic/parser.h"
+
+namespace strq {
+namespace plan {
+namespace {
+
+FormulaPtr Q(const std::string& text) {
+  Result<FormulaPtr> f = ParseFormula(text);
+  EXPECT_TRUE(f.ok()) << f.status().ToString();
+  return *std::move(f);
+}
+
+TEST(PlanIrTest, LowerFlattensBinaryChainsToNary) {
+  PlanStore store;
+  const PlanNode* n = Lower(store, Q("R(x) & S(x) & T(x) & last[1](x)"));
+  ASSERT_EQ(n->kind, NodeKind::kAnd);
+  EXPECT_EQ(n->children.size(), 4u);
+  for (const PlanNode* c : n->children) {
+    EXPECT_EQ(c->kind, NodeKind::kLeaf);
+  }
+}
+
+TEST(PlanIrTest, LowerExpandsImpliesAndIff) {
+  PlanStore store;
+  const PlanNode* imp = Lower(store, Q("R(x) -> S(x)"));
+  // ¬a ∨ b: an Or whose children are a negated leaf and a leaf.
+  ASSERT_EQ(imp->kind, NodeKind::kOr);
+  ASSERT_EQ(imp->children.size(), 2u);
+
+  const PlanNode* iff = Lower(store, Q("R(x) <-> S(x)"));
+  ASSERT_EQ(iff->kind, NodeKind::kAnd);
+  EXPECT_EQ(iff->children.size(), 2u);
+  for (const PlanNode* c : iff->children) {
+    EXPECT_EQ(c->kind, NodeKind::kOr);
+  }
+}
+
+TEST(PlanIrTest, HashConsingMakesEqualityPointerEquality) {
+  PlanStore store;
+  const PlanNode* a = Lower(store, Q("R(x) & last[1](x)"));
+  int64_t hits_before = store.shared_hits();
+  const PlanNode* b = Lower(store, Q("R(x) & last[1](x)"));
+  EXPECT_EQ(a, b);
+  // Re-lowering the same formula only produced shared hits, no new nodes.
+  EXPECT_GT(store.shared_hits(), hits_before);
+}
+
+TEST(PlanIrTest, SharedSubplansAreOneNode) {
+  PlanStore store;
+  // The two R(x) atoms (and hence the leaves) intern to the same node.
+  const PlanNode* n = Lower(store, Q("(R(x) & last[1](x)) | (R(x) & last[0](x))"));
+  ASSERT_EQ(n->kind, NodeKind::kOr);
+  ASSERT_EQ(n->children.size(), 2u);
+  EXPECT_EQ(n->children[0]->children[0], n->children[1]->children[0]);
+}
+
+TEST(PlanIrTest, ConnectiveEdgeCases) {
+  PlanStore store;
+  const PlanNode* leaf = Lower(store, Q("R(x)"));
+  // Singleton collapses to the child; empty And/Or are the units.
+  EXPECT_EQ(store.And({leaf}), leaf);
+  EXPECT_EQ(store.Or({leaf}), leaf);
+  EXPECT_EQ(store.And({}), store.True());
+  EXPECT_EQ(store.Or({}), store.False());
+  // Nested same-kind children are flattened on construction.
+  const PlanNode* a = Lower(store, Q("S(x)"));
+  const PlanNode* nested = store.And({store.And({leaf, a}), store.True()});
+  ASSERT_EQ(nested->kind, NodeKind::kAnd);
+  EXPECT_EQ(nested->children.size(), 3u);
+}
+
+TEST(PlanIrTest, FreeVarsArePropagated) {
+  PlanStore store;
+  const PlanNode* n = Lower(store, Q("exists y. R(y) & x <= y"));
+  ASSERT_EQ(n->kind, NodeKind::kQuant);
+  EXPECT_EQ(n->free_vars, std::set<std::string>{"x"});
+  EXPECT_TRUE(n->children[0]->free_vars.count("y"));
+}
+
+TEST(PlanIrTest, RenderRoundTripsTheFormula) {
+  PlanStore store;
+  FormulaPtr f = Q("exists y in adom. (R(y) & x <= y) | !last[1](x)");
+  FormulaPtr back = Render(Lower(store, f));
+  // Lower/Render normalizes associativity but preserves structure: parse the
+  // rendering again and the plans are identical (hash-consed to one node).
+  EXPECT_EQ(Lower(store, back), Lower(store, f));
+}
+
+TEST(PlanIrTest, RenderFoldsInChildOrder) {
+  PlanStore store;
+  const PlanNode* a = Lower(store, Q("R(x)"));
+  const PlanNode* b = Lower(store, Q("S(x)"));
+  const PlanNode* c = Lower(store, Q("T(x)"));
+  FormulaPtr f = Render(store.And({c, a, b}));
+  // Left fold: ((T & R) & S).
+  ASSERT_EQ(f->kind, FormulaKind::kAnd);
+  EXPECT_EQ(f->right->kind, FormulaKind::kRelation);
+  EXPECT_EQ(f->right->relation, "S");
+  ASSERT_EQ(f->left->kind, FormulaKind::kAnd);
+  EXPECT_EQ(f->left->left->relation, "T");
+  EXPECT_EQ(f->left->right->relation, "R");
+}
+
+TEST(PlanIrTest, PrettyShowsTreeAndFreeVars) {
+  PlanStore store;
+  const PlanNode* n = Lower(store, Q("exists y. R(y) & x <= y"));
+  std::string pretty = Pretty(n);
+  EXPECT_NE(pretty.find("exists y"), std::string::npos);
+  EXPECT_NE(pretty.find("and"), std::string::npos);
+  EXPECT_NE(pretty.find("fv={x}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace plan
+}  // namespace strq

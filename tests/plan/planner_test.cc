@@ -1,0 +1,194 @@
+#include "plan/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/automata_eval.h"
+#include "logic/parser.h"
+#include "logic/simplify.h"
+#include "obs/trace.h"
+
+namespace strq {
+namespace plan {
+namespace {
+
+FormulaPtr Q(const std::string& text) {
+  Result<FormulaPtr> f = ParseFormula(text);
+  EXPECT_TRUE(f.ok()) << f.status().ToString();
+  return *std::move(f);
+}
+
+Database SmallDb() {
+  Database db(Alphabet::Binary());
+  Status s = db.AddRelation("R", 1, {{"0"}, {"01"}, {"110"}});
+  EXPECT_TRUE(s.ok());
+  return db;
+}
+
+TEST(PlannerTest, DisabledPlannerReturnsTheInputUntouched) {
+  Database db = SmallDb();
+  PlannerOptions off;
+  off.enable = false;
+  Planner planner(off);
+  FormulaPtr f = Q("exists y. R(y) & x <= y & last[1](x)");
+  PlannedQuery out = planner.Plan(f, &db, nullptr);
+  EXPECT_EQ(out.formula, f);
+  EXPECT_EQ(out.rules_fired, 0);
+  EXPECT_FALSE(out.cache_hit);
+}
+
+TEST(PlannerTest, PlanRewritesAndAnnotates) {
+  Database db = SmallDb();
+  Planner planner;
+  FormulaPtr f = Q("exists y. R(y) & x <= y & last[1](x)");
+  PlannedQuery out = planner.Plan(f, &db, nullptr);
+  EXPECT_GT(out.rules_fired, 0);
+  EXPECT_GT(out.estimated_states, 0.0);
+  EXPECT_FALSE(out.pretty.empty());
+  // Miniscoping moved the quantifier off the root.
+  EXPECT_EQ(out.formula->kind, FormulaKind::kAnd);
+}
+
+TEST(PlannerTest, PlanCacheHitsOnRepeatAndRespectsRevision) {
+  Database db = SmallDb();
+  Planner planner;
+  FormulaPtr f = Q("exists y. R(y) & x <= y");
+  PlannedQuery first = planner.Plan(f, &db, nullptr);
+  EXPECT_FALSE(first.cache_hit);
+  // Structurally equal but distinct AST: still a hit.
+  PlannedQuery second = planner.Plan(Q("exists y. R(y) & x <= y"), &db, nullptr);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(ToString(second.formula), ToString(first.formula));
+  EXPECT_EQ(planner.stats().cache_hits, 1);
+  EXPECT_EQ(planner.stats().cache_misses, 1);
+
+  // Mutating the database bumps its revision; stale plans don't resurface.
+  ASSERT_TRUE(db.AddRelation("S", 1, {{"1"}}).ok());
+  PlannedQuery third = planner.Plan(f, &db, nullptr);
+  EXPECT_FALSE(third.cache_hit);
+}
+
+TEST(PlannerTest, CacheCanBeDisabled) {
+  Database db = SmallDb();
+  PlannerOptions opts;
+  opts.enable_cache = false;
+  Planner planner(opts);
+  FormulaPtr f = Q("exists y. R(y) & x <= y");
+  planner.Plan(f, &db, nullptr);
+  PlannedQuery second = planner.Plan(f, &db, nullptr);
+  EXPECT_FALSE(second.cache_hit);
+  EXPECT_EQ(planner.stats().cache_hits, 0);
+}
+
+TEST(PlannerTest, PerRuleTogglesIsolateEachRule) {
+  Database db = SmallDb();
+  FormulaPtr needs_miniscope = Q("exists y. R(y) & last[1](x)");
+  FormulaPtr needs_nnf = Q("!(R(x) & last[1](x))");
+
+  PlannerOptions only_fold;
+  only_fold.enable_negation_pushdown = false;
+  only_fold.enable_miniscope = false;
+  only_fold.enable_prune = false;
+  only_fold.enable_reorder = false;
+  Planner fold_planner(only_fold);
+  // Nothing for fold to do here; the formula survives unchanged.
+  PlannedQuery out = fold_planner.Plan(needs_miniscope, &db, nullptr);
+  EXPECT_EQ(out.formula->kind, FormulaKind::kExists);
+
+  PlannerOptions mini = only_fold;
+  mini.enable_miniscope = true;
+  mini.enable_prune = true;  // drops the now-unused exists over Σ*
+  Planner mini_planner(mini);
+  out = mini_planner.Plan(needs_miniscope, &db, nullptr);
+  EXPECT_EQ(out.formula->kind, FormulaKind::kAnd);
+
+  Planner no_nnf(only_fold);
+  out = no_nnf.Plan(needs_nnf, &db, nullptr);
+  EXPECT_EQ(out.formula->kind, FormulaKind::kNot);
+  PlannerOptions nnf = only_fold;
+  nnf.enable_negation_pushdown = true;
+  Planner with_nnf(nnf);
+  out = with_nnf.Plan(needs_nnf, &db, nullptr);
+  EXPECT_EQ(out.formula->kind, FormulaKind::kOr);
+}
+
+TEST(PlannerTest, FoldRuleAgreesWithStandaloneSimplify) {
+  // Satellite of the planner work: logic/Simplify is the planner's fold
+  // rule. A formula that Simplify collapses outright must come back from
+  // the planner in the same collapsed form.
+  Database db = SmallDb();
+  Planner planner;
+  FormulaPtr f = Q("R(x) & true & (last[1](x) | false) & R(x)");
+  PlannedQuery out = planner.Plan(f, &db, nullptr);
+  FormulaPtr simplified = Simplify(f);
+  // The planner may rewrite further, but never re-introduces the folded
+  // constants.
+  EXPECT_EQ(ToString(out.formula).find("true"), std::string::npos);
+  EXPECT_EQ(ToString(out.formula).find("false"), std::string::npos);
+  EXPECT_EQ(ToString(simplified).find("true"), std::string::npos);
+}
+
+TEST(PlannerTest, RecordActualFeedsBackIntoTheCacheEntry) {
+  Database db = SmallDb();
+  Planner planner;
+  FormulaPtr f = Q("R(x) & last[1](x)");
+  planner.Plan(f, &db, nullptr);
+  EXPECT_FALSE(planner.ActualFor(f, &db).has_value());
+  planner.RecordActual(f, &db, 17);
+  ASSERT_TRUE(planner.ActualFor(f, &db).has_value());
+  EXPECT_EQ(*planner.ActualFor(f, &db), 17);
+}
+
+TEST(PlannerTest, PlanCountersReachTheMetricsRegistry) {
+  Database db = SmallDb();
+  obs::ScopedEnable enable(true);
+  std::map<std::string, int64_t> before =
+      obs::MetricsRegistry::Global().Snapshot();
+  Planner planner;
+  FormulaPtr f = Q("exists y. R(y) & x <= y & last[1](x)");
+  planner.Plan(f, &db, nullptr);
+  planner.Plan(f, &db, nullptr);
+  std::map<std::string, int64_t> delta =
+      obs::MetricsDelta(before, obs::MetricsRegistry::Global().Snapshot());
+  EXPECT_EQ(delta[obs::kPlanCacheMisses], 1);
+  EXPECT_EQ(delta[obs::kPlanCacheHits], 1);
+  EXPECT_GT(delta[obs::kPlanRulesFired], 0);
+  EXPECT_GT(delta[obs::kPlanEstimatedStates], 0);
+}
+
+TEST(PlannerTest, SharedPlannerServesAllEngines) {
+  Database db = SmallDb();
+  auto planner = std::make_shared<Planner>();
+  AutomataEvaluator a(&db, nullptr, planner);
+  FormulaPtr f = Q("exists y. R(y) & x <= y & last[1](x)");
+  ASSERT_TRUE(a.Evaluate(f).ok());
+  EXPECT_GT(planner->stats().cache_misses, 0);
+  int64_t hits_before = planner->stats().cache_hits;
+  // A second engine sharing the planner reuses the plan.
+  AutomataEvaluator b(&db, nullptr, planner);
+  ASSERT_TRUE(b.Evaluate(f).ok());
+  EXPECT_GT(planner->stats().cache_hits, hits_before);
+}
+
+TEST(PlannerTest, PlannedAndUnplannedAnswersAgree) {
+  Database db = SmallDb();
+  PlannerOptions off;
+  off.enable = false;
+  for (const char* text :
+       {"exists y. R(y) & x <= y & last[1](x)",
+        "!(R(x) & last[1](x)) & x <= '110'",
+        "exists y in adom. exists z in adom. (R(y) & R(z) & x <= y & x <= z)",
+        "forall y in adom. (last[1](y) | x <= y)"}) {
+    FormulaPtr f = Q(text);
+    AutomataEvaluator planned(&db);
+    AutomataEvaluator unplanned(&db, nullptr, std::make_shared<Planner>(off));
+    Result<Relation> pa = planned.Evaluate(f);
+    Result<Relation> ua = unplanned.Evaluate(f);
+    ASSERT_TRUE(pa.ok()) << text << ": " << pa.status().ToString();
+    ASSERT_TRUE(ua.ok()) << text << ": " << ua.status().ToString();
+    EXPECT_EQ(*pa, *ua) << text;
+  }
+}
+
+}  // namespace
+}  // namespace plan
+}  // namespace strq

@@ -1,0 +1,260 @@
+#include "plan/rules.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/automata_eval.h"
+#include "eval/restricted_eval.h"
+#include "logic/parser.h"
+#include "plan/planner.h"
+
+namespace strq {
+namespace plan {
+namespace {
+
+FormulaPtr Q(const std::string& text) {
+  Result<FormulaPtr> f = ParseFormula(text);
+  EXPECT_TRUE(f.ok()) << f.status().ToString();
+  return *std::move(f);
+}
+
+Database SmallDb() {
+  Database db(Alphabet::Binary());
+  Status s = db.AddRelation("R", 1, {{"0"}, {"01"}, {"110"}});
+  EXPECT_TRUE(s.ok());
+  s = db.AddRelation("S", 1, {{"01"}, {"1"}});
+  EXPECT_TRUE(s.ok());
+  return db;
+}
+
+// Applies one rule to the lowered formula and renders the result back.
+FormulaPtr Apply(const FormulaPtr& f,
+                 const PlanNode* (*rule)(RewriteContext&, const PlanNode*),
+                 int64_t* fired = nullptr) {
+  PlanStore store;
+  RewriteContext ctx{&store};
+  const PlanNode* out = rule(ctx, Lower(store, f));
+  if (fired != nullptr) *fired = ctx.fired;
+  return Render(out);
+}
+
+// Both formulas produce tuple-identical answers on `db` with planning OFF —
+// the ground truth the rewrites must preserve.
+void ExpectSameAnswer(const Database& db, const FormulaPtr& a,
+                      const FormulaPtr& b) {
+  PlannerOptions off;
+  off.enable = false;
+  AutomataEvaluator engine(&db, nullptr, std::make_shared<Planner>(off));
+  Result<Relation> ra = engine.Evaluate(a);
+  Result<Relation> rb = engine.Evaluate(b);
+  ASSERT_TRUE(ra.ok()) << ra.status().ToString();
+  ASSERT_TRUE(rb.ok()) << rb.status().ToString();
+  EXPECT_EQ(*ra, *rb) << "original: " << ToString(a)
+                      << "\nrewritten: " << ToString(b);
+}
+
+// ---- Negation pushdown ---------------------------------------------------
+
+TEST(RulesTest, PushNegationsAppliesDeMorgan) {
+  Database db = SmallDb();
+  FormulaPtr f = Q("!(R(x) & S(x)) & x <= '01'");
+  int64_t fired = 0;
+  FormulaPtr g = Apply(f, PushNegations, &fired);
+  EXPECT_GT(fired, 0);
+  // The negation moved inside: no kNot directly over an kAnd remains.
+  EXPECT_NE(ToString(g).find("!(R(x))"), std::string::npos);
+  ExpectSameAnswer(db, f, g);
+}
+
+TEST(RulesTest, PushNegationsDualizesQuantifiersOverEveryRange) {
+  Database db = SmallDb();
+  for (const char* range : {"", " in adom", " pre adom", " len adom"}) {
+    FormulaPtr f =
+        Q("x <= '110' & !(forall y" + std::string(range) + ". (x <= y | last[1](y)))");
+    int64_t fired = 0;
+    FormulaPtr g = Apply(f, PushNegations, &fired);
+    EXPECT_GT(fired, 0) << range;
+    EXPECT_NE(ToString(g).find("exists y"), std::string::npos) << range;
+    ExpectSameAnswer(db, f, g);
+  }
+}
+
+TEST(RulesTest, PushNegationsEliminatesDoubleNegation) {
+  FormulaPtr g = Apply(Q("!!R(x)"), PushNegations);
+  EXPECT_EQ(ToString(g), ToString(Q("R(x)")));
+}
+
+// ---- Miniscoping ---------------------------------------------------------
+
+TEST(RulesTest, MiniscopeExtractsIndependentConjuncts) {
+  Database db = SmallDb();
+  // y is only constrained by R(y) & x <= y; last[1](x) leaves the scope.
+  FormulaPtr f = Q("exists y. R(y) & x <= y & last[1](x)");
+  int64_t fired = 0;
+  FormulaPtr g = Apply(f, Miniscope, &fired);
+  EXPECT_GT(fired, 0);
+  // The quantifier is no longer outermost.
+  EXPECT_EQ(g->kind, FormulaKind::kAnd);
+  ExpectSameAnswer(db, f, g);
+}
+
+TEST(RulesTest, MiniscopeExtractionIsSoundOnTheEmptyDatabase) {
+  // ∃y∈adom (R(y) ∧ ψ(x)) must stay false on an empty database even after
+  // ψ is extracted: the rewrite is ψ ∧ ∃y∈adom R(y), not ∃-elimination.
+  Database empty(Alphabet::Binary());
+  ASSERT_TRUE(empty.AddRelation("R", 1, {}).ok());
+  FormulaPtr f = Q("exists y in adom. (R(y) & x <= '01')");
+  FormulaPtr g = Apply(f, Miniscope);
+  PlannerOptions off;
+  off.enable = false;
+  AutomataEvaluator engine(&empty, nullptr, std::make_shared<Planner>(off));
+  Result<Relation> out = engine.Evaluate(g);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 0u);
+}
+
+TEST(RulesTest, MiniscopeGatesParameterizedRanges) {
+  // pre-adom ranges are parameterized by the body's free variables:
+  // extracting last[0](z) would shrink the parameter set {z} to {} and
+  // change the candidate prefixes, so the rewrite must NOT fire.
+  FormulaPtr f = Q("exists y pre adom. (last[1](y) & last[0](z))");
+  int64_t fired = 0;
+  FormulaPtr g = Apply(f, Miniscope, &fired);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(g->kind, FormulaKind::kExists);
+
+  // The same shape over the parameter-free adom range does fire.
+  FormulaPtr h = Q("exists y in adom. (last[1](y) & last[0](z))");
+  FormulaPtr h2 = Apply(h, Miniscope, &fired);
+  EXPECT_GT(fired, 0);
+  EXPECT_EQ(h2->kind, FormulaKind::kAnd);
+
+  // And so does an extraction that PRESERVES the parameter set: z stays
+  // free in the remaining body, so the range is unchanged.
+  FormulaPtr k = Q("exists y pre adom. (z <= y & last[0](z) & last[1](y))");
+  int64_t fired_k = 0;
+  FormulaPtr k2 = Apply(k, Miniscope, &fired_k);
+  EXPECT_GT(fired_k, 0);
+  EXPECT_EQ(k2->kind, FormulaKind::kAnd);
+}
+
+TEST(RulesTest, MiniscopeRestrictedRangesAgreeWithEnumeration) {
+  // Engine B computes pre/len-adom candidate sets from the parameter values
+  // directly, so it is the sharpest check that miniscoping preserved the
+  // ranges: planner-on and planner-off enumeration must agree per tuple.
+  Database db = SmallDb();
+  for (const char* text :
+       {"exists y pre adom. (y <= x & last[1](x))",
+        "exists y len adom. (y <= x & R(y) & last[0](x))",
+        "forall y in adom. (y <= x | last[1](y) | last[0](x))"}) {
+    FormulaPtr f = Q(text);
+    PlannerOptions off;
+    off.enable = false;
+    RestrictedEvaluator planned(&db);
+    RestrictedEvaluator unplanned(&db);
+    unplanned.set_planner(std::make_shared<Planner>(off));
+    std::vector<std::string> candidates = planned.PrefixDomCandidates();
+    Result<Relation> a = planned.EvaluateOnCandidates(f, candidates);
+    Result<Relation> b = unplanned.EvaluateOnCandidates(f, candidates);
+    ASSERT_TRUE(a.ok()) << text << ": " << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << text << ": " << b.status().ToString();
+    EXPECT_EQ(*a, *b) << text;
+  }
+}
+
+TEST(RulesTest, MiniscopeDistributesForallOverAnd) {
+  Database db = SmallDb();
+  FormulaPtr f = Q("forall y. ((x <= y | last[1](y)) & last[0](x))");
+  int64_t fired = 0;
+  FormulaPtr g = Apply(f, Miniscope, &fired);
+  EXPECT_GT(fired, 0);
+  EXPECT_EQ(g->kind, FormulaKind::kAnd);
+  ExpectSameAnswer(db, f, g);
+}
+
+// ---- Dead-plan pruning ---------------------------------------------------
+
+TEST(RulesTest, PruneDeadEliminatesUnitsAndDuplicates) {
+  int64_t fired = 0;
+  FormulaPtr g = Apply(Q("R(x) & R(x) & true"), PruneDead, &fired);
+  EXPECT_GE(fired, 2);
+  EXPECT_EQ(ToString(g), ToString(Q("R(x)")));
+
+  FormulaPtr h = Apply(Q("R(x) & false"), PruneDead);
+  EXPECT_EQ(h->kind, FormulaKind::kFalse);
+}
+
+TEST(RulesTest, PruneDeadDropsUnusedQuantifierOverNonEmptyRanges) {
+  int64_t fired = 0;
+  FormulaPtr g = Apply(Q("exists y. R(x)"), PruneDead, &fired);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(ToString(g), ToString(Q("R(x)")));
+
+  // len-adom always contains ε, so the drop is sound there too.
+  FormulaPtr h = Apply(Q("forall y len adom. R(x)"), PruneDead, &fired);
+  EXPECT_EQ(ToString(h), ToString(Q("R(x)")));
+}
+
+TEST(RulesTest, PruneDeadKeepsQuantifiersOverPossiblyEmptyRanges) {
+  // adom (and a parameterless prefix range) can be empty: ∃y∈adom ⊤ is
+  // FALSE on the empty database, so the quantifier must survive.
+  int64_t fired = 0;
+  FormulaPtr g = Apply(Q("exists y in adom. last[1](x)"), PruneDead, &fired);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(g->kind, FormulaKind::kExists);
+
+  // A PARAMETERLESS prefix range can be empty too (prefixes of an empty
+  // adom with no parameter values), so it survives as well; with a
+  // parameter in the body the range contains ε and the drop is sound.
+  FormulaPtr h = Apply(Q("exists y pre adom. last[1]('1')"), PruneDead, &fired);
+  EXPECT_EQ(h->kind, FormulaKind::kExists);
+  FormulaPtr k = Apply(Q("exists y pre adom. last[1](x)"), PruneDead, &fired);
+  EXPECT_NE(k->kind, FormulaKind::kExists);
+}
+
+TEST(RulesTest, EmptyAdomStaysFalseThroughTheFullPlanner) {
+  // End-to-end guard for the same soundness obligation: the default planner
+  // (all rules on) must not turn ∃x∈adom (x = x) into true.
+  Database empty(Alphabet::Binary());
+  ASSERT_TRUE(empty.AddRelation("R", 1, {}).ok());
+  AutomataEvaluator engine(&empty);
+  Result<bool> v = engine.EvaluateSentence(Q("exists x in adom. x = x"));
+  ASSERT_TRUE(v.ok());
+  EXPECT_FALSE(*v);
+}
+
+// ---- Cost-based reordering -----------------------------------------------
+
+TEST(RulesTest, ReorderPutsCheapConjunctsFirst) {
+  Database db = SmallDb();
+  // The equality atom is far cheaper than the two member() automata; the
+  // greedy order must move it ahead so the first product is tiny.
+  FormulaPtr f =
+      Q("member(x, '(0|1)*1(0|1)(0|1)(0|1)') & "
+        "member(x, '(0|1)(0|1)*0(0|1)(0|1)') & x = '0110'");
+  PlanStore store;
+  RewriteContext ctx{&store};
+  CostModel cost(&db, nullptr);
+  const PlanNode* n = Reorder(ctx, Lower(store, f), cost);
+  EXPECT_GT(ctx.fired, 0);
+  ASSERT_EQ(n->kind, NodeKind::kAnd);
+  ASSERT_EQ(n->children.size(), 3u);
+  EXPECT_EQ(n->children[0]->leaf->kind, FormulaKind::kPred);
+  EXPECT_EQ(n->children[0]->leaf->pred, PredKind::kEq);
+  ExpectSameAnswer(db, f, Render(n));
+}
+
+TEST(RulesTest, ReorderLeavesBinaryProductsAlone) {
+  Database db = SmallDb();
+  FormulaPtr f = Q("member(x, '(0|1)*1') & x = '0110'");
+  PlanStore store;
+  RewriteContext ctx{&store};
+  CostModel cost(&db, nullptr);
+  const PlanNode* before = Lower(store, f);
+  const PlanNode* after = Reorder(ctx, before, cost);
+  EXPECT_EQ(ctx.fired, 0);
+  EXPECT_EQ(before, after);
+}
+
+}  // namespace
+}  // namespace plan
+}  // namespace strq
