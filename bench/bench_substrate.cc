@@ -233,6 +233,64 @@ int Run(int argc, char** argv) {
         plan_total > 0 ? ps.cache_hits / plan_total : 0.0);
   }
 
+  // --- 8. Parallel subplan compilation: thread scaling ------------------
+  // The repeated-query workload again, but compile-bound: every pass gets a
+  // fresh substrate so the wide conjunctions below are genuinely recompiled,
+  // and the planner's parallelizable-children annotation lets the engine
+  // fan the independent conjuncts out to the thread pool. Reported at 1, 2
+  // and 4 threads; num_threads = 1 is the exact serial path.
+  {
+    Database db = RandomUnaryDb(41, reporter.smoke() ? 40 : 200, 1, 10);
+    const FormulaPtr battery[] = {
+        Q("exists x in adom. (member(x, '" + HardPattern(7) +
+          "') & member(x, '(0|1)(0|1)*0(0|1)(0|1)(0|1)') & "
+          "member(x, '(00|01|10)*(0|1)?') & like(x, '0%1'))"),
+        Q("exists x in adom. (member(x, '(0|1)*0(0|1)(0|1)(0|1)(0|1)') & "
+          "member(x, '" + HardPattern(6) +
+          "') & member(x, '(0|1)*11(0|1)*') & member(x, '(00|11)*(0|1)?'))"),
+    };
+    obs::ScopedEnable enable(true);
+    int passes = reporter.smoke() ? 2 : 4;
+    double seconds[3] = {0, 0, 0};
+    const int thread_counts[3] = {1, 2, 4};
+    std::vector<std::vector<int>> answers;
+    for (int c = 0; c < 3; ++c) {
+      std::vector<int> config_answers;
+      seconds[c] = TimeSeconds(
+          [&] {
+            config_answers.clear();
+            AutomatonStore store(true);
+            auto cache = std::make_shared<AtomCache>(db.alphabet(), &store);
+            AutomataEvaluator engine(&db, cache);
+            engine.set_parallel_options(ParallelOptions{thread_counts[c]});
+            for (const FormulaPtr& f : battery) {
+              Result<bool> v = engine.EvaluateSentence(f);
+              config_answers.push_back(v.ok() ? static_cast<int>(*v) : -1);
+            }
+          },
+          passes);
+      answers.push_back(std::move(config_answers));
+    }
+    bool agree = answers[1] == answers[0] && answers[2] == answers[0];
+    double speedup = seconds[2] > 0 ? seconds[0] / seconds[2] : 0.0;
+    std::printf(
+        "  parallel compile: 1T %.4fs, 2T %.4fs, 4T %.4fs (%.2fx at 4T); "
+        "answers agree: %s\n",
+        seconds[0], seconds[1], seconds[2], speedup, agree ? "yes" : "NO");
+    reporter.AddScalar("workload.threads1_seconds", seconds[0]);
+    reporter.AddScalar("workload.threads2_seconds", seconds[1]);
+    reporter.AddScalar("workload.threads4_seconds", seconds[2]);
+    reporter.AddScalar("workload.parallel_speedup", speedup);
+    reporter.AddScalar("workload.parallel_answers_agree", agree ? 1.0 : 0.0);
+    reporter.AddScalar(
+        "pool.tasks", static_cast<double>(obs::MetricsRegistry::Global().Get(
+                          obs::kPoolTasks)));
+    reporter.AddScalar(
+        "pool.steals_or_waits",
+        static_cast<double>(
+            obs::MetricsRegistry::Global().Get(obs::kPoolStealsOrWaits)));
+  }
+
   Row("(with --json the metrics block also carries the process-wide");
   Row(" store.* / atom_cache.* counter deltas for this run)");
   return 0;

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Full local gate: tier-1 (RelWithDebInfo build + ctest) followed by the
-# same suite under ASan (`cmake --preset asan`) and standalone UBSan
-# (`cmake --preset ubsan`), then a smoke run of the two substrate benches so
-# the strq.bench.v1 JSON contract and the store.* / plan.* counters stay
-# exercised. Run from anywhere; exits nonzero on the first failure.
+# same suite under ASan (`cmake --preset asan`), standalone UBSan
+# (`cmake --preset ubsan`) and TSan (`cmake --preset tsan`, for the thread
+# pool and the parallel compile/eval paths), then a smoke run of the two
+# substrate benches so the strq.bench.v1 JSON contract and the store.* /
+# plan.* / pool.* / dfa.product_states_* counters stay exercised. Run from
+# anywhere; exits nonzero on the first failure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,6 +26,11 @@ cmake --preset ubsan
 cmake --build --preset ubsan -j"${JOBS}"
 ctest --preset ubsan -j"${JOBS}"
 
+echo "==== tier-2c: TSan (parallel compile/eval paths) ===="
+cmake --preset tsan
+cmake --build --preset tsan -j"${JOBS}"
+ctest --preset tsan -j"${JOBS}"
+
 echo "==== bench smoke: substrate + ablation JSON ===="
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "${tmpdir}"' EXIT
@@ -38,8 +45,12 @@ for path in sys.argv[1:]:
     assert hits > 0, f"{path}: store.op_hits == 0 (substrate not warming)"
     plan_keys = [k for k in doc["scalars"] if k.startswith("plan.")]
     assert plan_keys, f"{path}: no plan.* scalars (planner fell out of JSON)"
+    explored = doc["metrics"].get("dfa.product_states_explored", 0)
+    assert explored > 0, f"{path}: dfa.product_states_explored missing"
+    pool_keys = [k for k in doc["scalars"] if k.startswith("pool.")]
+    assert pool_keys, f"{path}: no pool.* scalars (thread pool fell out)"
     print(f"  {path}: ok (store.op_hits={hits:.0f}, "
-          f"{len(plan_keys)} plan.* scalars)")
+          f"{len(plan_keys)} plan.* scalars, {len(pool_keys)} pool.* scalars)")
 EOF
 
 echo "ALL CHECKS PASSED"

@@ -1,7 +1,10 @@
 #include "automata/ops.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <map>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -63,20 +66,61 @@ Result<Dfa> Determinize(const Nfa& nfa, int max_states) {
 
 namespace {
 
-// Generic product DFA with a boolean combiner on acceptance.
-Result<Dfa> Product(const Dfa& a, const Dfa& b, bool (*combine)(bool, bool)) {
-  if (a.alphabet_size() != b.alphabet_size()) {
-    return InvalidArgumentError("product of DFAs over different alphabets");
+std::atomic<ProductKernel> g_product_kernel{ProductKernel::kReachable};
+
+// Reachable-only product: a BFS worklist from (start_a, start_b) interning
+// state pairs in discovery order, so only the reachable region of the
+// |A|x|B| pair space is ever allocated. Rows are appended in pop order,
+// which coincides with the dense ids, so the flat transition table needs no
+// final permutation.
+Result<Dfa> ProductReachable(const Dfa& a, const Dfa& b,
+                             bool (*combine)(bool, bool), int max_states) {
+  int k = a.alphabet_size();
+  int64_t nb = b.num_states();
+  std::unordered_map<int64_t, int> ids;
+  std::vector<int64_t> pairs;
+  auto intern = [&](int qa, int qb) -> int {
+    int64_t key = static_cast<int64_t>(qa) * nb + qb;
+    auto [it, inserted] = ids.emplace(key, static_cast<int>(pairs.size()));
+    if (inserted) pairs.push_back(key);
+    return it->second;
+  };
+  (void)intern(a.start(), b.start());
+  std::vector<int> next;
+  std::vector<bool> accepting;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if (static_cast<int>(pairs.size()) > max_states) {
+      return ResourceExhaustedError("product exceeded state budget");
+    }
+    int qa = static_cast<int>(pairs[i] / nb);
+    int qb = static_cast<int>(pairs[i] % nb);
+    accepting.push_back(combine(a.IsAccepting(qa), b.IsAccepting(qb)));
+    for (int s = 0; s < k; ++s) {
+      next.push_back(intern(a.Next(qa, static_cast<Symbol>(s)),
+                            b.Next(qb, static_cast<Symbol>(s))));
+    }
   }
-  obs::Span span("dfa.product");
-  span.Attr("a_states", a.num_states());
-  span.Attr("b_states", b.num_states());
+  int n = static_cast<int>(pairs.size());
+  obs::Count(obs::kDfaStatesBuilt, n);
+  obs::Count(obs::kDfaProductStatesExplored, n);
+  return Dfa::CreateFlat(k, n, 0, std::move(next), std::move(accepting));
+}
+
+// Eager reference kernel: allocates the full |A|x|B| pair space up front.
+// Kept for differential testing and the ablation bench; sizes computed in
+// 64 bits so huge operands fail the budget check instead of wrapping.
+Result<Dfa> ProductEager(const Dfa& a, const Dfa& b,
+                         bool (*combine)(bool, bool), int max_states) {
   int k = a.alphabet_size();
   int nb = b.num_states();
+  int64_t n64 = static_cast<int64_t>(a.num_states()) * nb;
+  if (n64 > max_states) {
+    return ResourceExhaustedError("product exceeded state budget");
+  }
+  int n = static_cast<int>(n64);
   auto encode = [nb](int qa, int qb) { return qa * nb + qb; };
-  int n = a.num_states() * nb;
-  obs::Count(obs::kDfaProducts);
   obs::Count(obs::kDfaStatesBuilt, n);
+  obs::Count(obs::kDfaProductStatesExplored, n);
   std::vector<int> next(static_cast<size_t>(n) * k);
   std::vector<bool> accepting(n);
   for (int qa = 0; qa < a.num_states(); ++qa) {
@@ -94,29 +138,100 @@ Result<Dfa> Product(const Dfa& a, const Dfa& b, bool (*combine)(bool, bool)) {
                          std::move(accepting));
 }
 
+// Generic product DFA with a boolean combiner on acceptance.
+Result<Dfa> Product(const Dfa& a, const Dfa& b, bool (*combine)(bool, bool),
+                    int max_states) {
+  if (a.alphabet_size() != b.alphabet_size()) {
+    return InvalidArgumentError("product of DFAs over different alphabets");
+  }
+  obs::Span span("dfa.product");
+  span.Attr("a_states", a.num_states());
+  span.Attr("b_states", b.num_states());
+  obs::Count(obs::kDfaProducts);
+  obs::Count(obs::kDfaProductStatesAllocated,
+             static_cast<int64_t>(a.num_states()) * b.num_states());
+  Result<Dfa> out =
+      GetProductKernel() == ProductKernel::kEager
+          ? ProductEager(a, b, combine, max_states)
+          : ProductReachable(a, b, combine, max_states);
+  if (out.ok()) span.Attr("states_explored", out->num_states());
+  return out;
+}
+
+// Decides emptiness of the combined language on the fly: walks reachable
+// pairs and stops at the first pair where `combine` accepts. Never builds a
+// product DFA; the visited set is the only allocation.
+Result<bool> ProductEmpty(const Dfa& a, const Dfa& b,
+                          bool (*combine)(bool, bool)) {
+  if (a.alphabet_size() != b.alphabet_size()) {
+    return InvalidArgumentError("product of DFAs over different alphabets");
+  }
+  obs::Count(obs::kDfaProducts);
+  obs::Count(obs::kDfaProductStatesAllocated,
+             static_cast<int64_t>(a.num_states()) * b.num_states());
+  int k = a.alphabet_size();
+  int64_t nb = b.num_states();
+  std::unordered_map<int64_t, int> seen;
+  std::vector<int64_t> pairs;
+  auto visit = [&](int qa, int qb) {
+    int64_t key = static_cast<int64_t>(qa) * nb + qb;
+    if (seen.emplace(key, 0).second) pairs.push_back(key);
+  };
+  visit(a.start(), b.start());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    int qa = static_cast<int>(pairs[i] / nb);
+    int qb = static_cast<int>(pairs[i] % nb);
+    if (combine(a.IsAccepting(qa), b.IsAccepting(qb))) {
+      obs::Count(obs::kDfaProductStatesExplored,
+                 static_cast<int64_t>(pairs.size()));
+      obs::Count(obs::kDfaEarlyExits);
+      return false;
+    }
+    for (int s = 0; s < k; ++s) {
+      visit(a.Next(qa, static_cast<Symbol>(s)),
+            b.Next(qb, static_cast<Symbol>(s)));
+    }
+  }
+  obs::Count(obs::kDfaProductStatesExplored,
+             static_cast<int64_t>(pairs.size()));
+  return true;
+}
+
 }  // namespace
 
-Result<Dfa> Intersect(const Dfa& a, const Dfa& b) {
-  return Product(a, b, [](bool x, bool y) { return x && y; });
+ProductKernel GetProductKernel() {
+  return g_product_kernel.load(std::memory_order_relaxed);
 }
 
-Result<Dfa> Union(const Dfa& a, const Dfa& b) {
-  return Product(a, b, [](bool x, bool y) { return x || y; });
+void SetProductKernel(ProductKernel kernel) {
+  g_product_kernel.store(kernel, std::memory_order_relaxed);
 }
 
-Result<Dfa> Difference(const Dfa& a, const Dfa& b) {
-  return Product(a, b, [](bool x, bool y) { return x && !y; });
+Result<Dfa> Intersect(const Dfa& a, const Dfa& b, int max_states) {
+  return Product(
+      a, b, [](bool x, bool y) { return x && y; }, max_states);
+}
+
+Result<Dfa> Union(const Dfa& a, const Dfa& b, int max_states) {
+  return Product(
+      a, b, [](bool x, bool y) { return x || y; }, max_states);
+}
+
+Result<Dfa> Difference(const Dfa& a, const Dfa& b, int max_states) {
+  return Product(
+      a, b, [](bool x, bool y) { return x && !y; }, max_states);
+}
+
+Result<bool> IntersectionEmpty(const Dfa& a, const Dfa& b) {
+  return ProductEmpty(a, b, [](bool x, bool y) { return x && y; });
 }
 
 Result<bool> Equivalent(const Dfa& a, const Dfa& b) {
-  STRQ_ASSIGN_OR_RETURN(
-      Dfa sym, Product(a, b, [](bool x, bool y) { return x != y; }));
-  return sym.IsEmpty();
+  return ProductEmpty(a, b, [](bool x, bool y) { return x != y; });
 }
 
 Result<bool> Subset(const Dfa& a, const Dfa& b) {
-  STRQ_ASSIGN_OR_RETURN(Dfa diff, Difference(a, b));
-  return diff.IsEmpty();
+  return ProductEmpty(a, b, [](bool x, bool y) { return x && !y; });
 }
 
 Result<Dfa> Reverse(const Dfa& a, int max_states) {

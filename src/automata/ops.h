@@ -11,18 +11,56 @@ namespace strq {
 // exponentially and callers get a ResourceExhausted error instead of an OOM.
 inline constexpr int kDefaultMaxDfaStates = 1 << 20;
 
-// Subset construction with epsilon closures.
+// Ceiling on materialized product states. Larger than the determinization
+// budget: the reachable-only kernel only pays for pairs it actually visits,
+// so products of already-large DFAs stay cheap unless genuinely explosive.
+inline constexpr int kDefaultMaxProductStates = 1 << 22;
+
+// Subset construction with epsilon closures. Already reachable-only: the
+// worklist interns exactly the subsets reachable from the start closure.
 Result<Dfa> Determinize(const Nfa& nfa, int max_states = kDefaultMaxDfaStates);
 
-// Product constructions on complete DFAs over the same alphabet.
-Result<Dfa> Intersect(const Dfa& a, const Dfa& b);
-Result<Dfa> Union(const Dfa& a, const Dfa& b);
-Result<Dfa> Difference(const Dfa& a, const Dfa& b);
+// Which product implementation the wrappers below use. The reachable-only
+// worklist kernel is the default; the eager |A|x|B| kernel is retained as a
+// differential-testing and ablation reference.
+enum class ProductKernel { kReachable, kEager };
+ProductKernel GetProductKernel();
+void SetProductKernel(ProductKernel kernel);
+
+// RAII kernel switch for tests and benches.
+class ScopedProductKernel {
+ public:
+  explicit ScopedProductKernel(ProductKernel kernel)
+      : saved_(GetProductKernel()) {
+    SetProductKernel(kernel);
+  }
+  ~ScopedProductKernel() { SetProductKernel(saved_); }
+  ScopedProductKernel(const ScopedProductKernel&) = delete;
+  ScopedProductKernel& operator=(const ScopedProductKernel&) = delete;
+
+ private:
+  ProductKernel saved_;
+};
+
+// Product constructions on complete DFAs over the same alphabet. Only state
+// pairs reachable from (start_a, start_b) are materialized (unless the eager
+// reference kernel is selected); `max_states` bounds the materialized count.
+Result<Dfa> Intersect(const Dfa& a, const Dfa& b,
+                      int max_states = kDefaultMaxProductStates);
+Result<Dfa> Union(const Dfa& a, const Dfa& b,
+                  int max_states = kDefaultMaxProductStates);
+Result<Dfa> Difference(const Dfa& a, const Dfa& b,
+                       int max_states = kDefaultMaxProductStates);
+
+// Is L(a) ∩ L(b) empty? Decided on the fly: the pair worklist stops at the
+// first mutually-accepting pair, without ever building a product DFA.
+Result<bool> IntersectionEmpty(const Dfa& a, const Dfa& b);
 
 // Symmetric-difference emptiness: do a and b accept the same language?
+// Early-exits at the first reachable pair where exactly one side accepts.
 Result<bool> Equivalent(const Dfa& a, const Dfa& b);
 
-// Is L(a) a subset of L(b)?
+// Is L(a) a subset of L(b)? Early-exits at the first counterexample pair.
 Result<bool> Subset(const Dfa& a, const Dfa& b);
 
 // The reversal language L(a)^R (via NFA reversal + determinization).

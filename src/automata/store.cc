@@ -118,6 +118,44 @@ Result<DfaRef> AutomatonStore::Difference(const DfaRef& a,
   return BinaryOp(kOpDifference, a, b);
 }
 
+Result<bool> AutomatonStore::IsIntersectionEmpty(const DfaRef& a,
+                                                 const DfaRef& b) const {
+  if (!a || !b) return InvalidArgumentError("null DfaRef operand");
+  uint64_t ia = a.id();
+  uint64_t ib = b.id();
+  const Dfa* da = &*a;
+  const Dfa* db = &*b;
+  if (ia > ib) {
+    std::swap(ia, ib);
+    std::swap(da, db);
+  }
+  OpKey key{kOpIntersectEmpty, ia, ib, {}};
+  if (caching_enabled_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    // A materialized intersection already knows the answer.
+    auto mat = computed_.find(OpKey{kOpIntersect, ia, ib, {}});
+    if (mat != computed_.end()) {
+      ++stats_.op_hits;
+      obs::Count(obs::kStoreOpHits);
+      return mat->second->IsEmpty();
+    }
+    auto it = decided_.find(key);
+    if (it != decided_.end()) {
+      ++stats_.op_hits;
+      obs::Count(obs::kStoreOpHits);
+      return it->second;
+    }
+    ++stats_.op_misses;
+    obs::Count(obs::kStoreOpMisses);
+  }
+  STRQ_ASSIGN_OR_RETURN(bool empty, strq::IntersectionEmpty(*da, *db));
+  if (caching_enabled_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    decided_.emplace(key, empty);
+  }
+  return empty;
+}
+
 DfaRef AutomatonStore::Complemented(const DfaRef& a) const {
   if (!a) return DfaRef();
   OpKey key{kOpComplement, a.id(), 0, {}};
@@ -149,6 +187,7 @@ void AutomatonStore::Clear() const {
   std::lock_guard<std::mutex> lock(mu_);
   unique_.clear();
   computed_.clear();
+  decided_.clear();
 }
 
 }  // namespace strq

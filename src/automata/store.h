@@ -111,6 +111,8 @@ class AutomatonStore {
     kOpCylindrify = 6,
     kOpProject = 7,
     kOpPermute = 8,
+    // Boolean-valued: memoized emptiness decisions (IsIntersectionEmpty).
+    kOpIntersectEmpty = 9,
   };
 
   struct Stats {
@@ -143,6 +145,13 @@ class AutomatonStore {
   Result<DfaRef> Difference(const DfaRef& a, const DfaRef& b) const;
   DfaRef Complemented(const DfaRef& a) const;
 
+  // Is L(a) ∩ L(b) empty? Decided without building the product: a pair
+  // worklist early-exits at the first mutually-accepting pair. Serves the
+  // safety deciders and the planner's cost probes. If the intersection is
+  // already in the computed table its emptiness is read off directly; the
+  // boolean verdict itself is memoized under kOpIntersectEmpty.
+  Result<bool> IsIntersectionEmpty(const DfaRef& a, const DfaRef& b) const;
+
   // Generic computed-table access for callers with their own DFA-valued
   // operations (the mta layer). Lookup counts a hit or a miss; Memoize is a
   // no-op when caching is disabled.
@@ -170,6 +179,9 @@ class AutomatonStore {
                                             std::shared_ptr<const Dfa>>>
       unique_;
   mutable std::unordered_map<OpKey, DfaRef, OpKeyHash> computed_;
+  // Boolean verdicts (kOpIntersectEmpty) live beside the DFA-valued computed
+  // table; same key space, same lifetime rules.
+  mutable std::unordered_map<OpKey, bool, OpKeyHash> decided_;
   mutable Stats stats_;
 };
 

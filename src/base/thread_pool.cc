@@ -1,0 +1,123 @@
+#include "base/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+#include "obs/trace.h"
+
+namespace strq {
+
+int ParallelOptions::EffectiveThreads() const {
+  if (num_threads == 1) return 1;
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw <= 0) hw = 4;
+  int n = num_threads <= 0 ? hw : num_threads;
+  return std::clamp(n, 1, 64);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  int n = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  obs::Count(obs::kPoolTasks);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (queue_.empty() && !shutdown_) {
+        obs::Count(obs::kPoolStealsOrWaits);
+        work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      }
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+namespace {
+
+// Process-wide helper pool backing ParallelFor. Sized to the hardware minus
+// the calling thread (which always participates). Function-local static so
+// threads are only ever created on first parallel use and joined at exit.
+ThreadPool& SharedPool() {
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw <= 0) hw = 4;
+  static ThreadPool pool(std::max(1, hw - 1));
+  return pool;
+}
+
+}  // namespace
+
+void ThreadPool::ParallelFor(int num_threads, int n,
+                             const std::function<void(int)>& fn) {
+  ParallelOptions opts{num_threads};
+  int k = std::min(opts.EffectiveThreads(), n);
+  if (k <= 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Claim indices from a shared atomic; count completions under the mutex so
+  // the caller's wait cannot miss the final notification. The caller drains
+  // the counter too, so even a fully saturated pool (or a nested call from
+  // inside a worker) always makes progress — no circular waits.
+  struct Shared {
+    std::atomic<int> next{0};
+    int done = 0;
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto shared = std::make_shared<Shared>();
+  auto body = [shared, &fn, n] {
+    int i;
+    while ((i = shared->next.fetch_add(1, std::memory_order_relaxed)) < n) {
+      fn(i);
+      std::lock_guard<std::mutex> lock(shared->mu);
+      if (++shared->done == n) shared->cv.notify_all();
+    }
+  };
+  for (int t = 0; t < k - 1; ++t) SharedPool().Submit(body);
+  body();
+  std::unique_lock<std::mutex> lock(shared->mu);
+  shared->cv.wait(lock, [&] { return shared->done == n; });
+}
+
+}  // namespace strq

@@ -1,0 +1,73 @@
+#ifndef STRQ_BASE_THREAD_POOL_H_
+#define STRQ_BASE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace strq {
+
+// How much parallelism an engine may use when compiling independent
+// subproblems. Threaded paths are on by default; `num_threads = 1` restores
+// the exact serial execution order (no pool is ever constructed), and 0
+// defers to the hardware concurrency.
+struct ParallelOptions {
+  int num_threads = 0;
+
+  // The effective worker count: at least 1, capped so a bad hint cannot
+  // oversubscribe wildly.
+  int EffectiveThreads() const;
+
+  bool serial() const { return EffectiveThreads() <= 1; }
+};
+
+// A deliberately small fixed-size thread pool: one shared FIFO queue, a
+// mutex and a condition variable — no work stealing, no dynamic sizing.
+// Automaton compilation tasks are coarse (each builds whole DFA products),
+// so queue contention is negligible and the simple design keeps the
+// determinism story auditable: results are joined in submission order by
+// ParallelFor, never in completion order.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues a task. Safe to call from worker threads (tasks may spawn
+  // subtasks), but the caller must not Wait() on work it transitively
+  // depends on from inside a task.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task (including ones submitted while
+  // waiting) has finished.
+  void WaitIdle();
+
+  // Runs fn(i) for i in [0, n) across the pool's workers plus the calling
+  // thread, returning when all iterations are done. Iterations must be
+  // independent. With num_threads <= 1 (or n <= 1) this degenerates to a
+  // plain serial loop on the calling thread.
+  static void ParallelFor(int num_threads, int n,
+                          const std::function<void(int)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace strq
+
+#endif  // STRQ_BASE_THREAD_POOL_H_

@@ -131,7 +131,40 @@ Result<Relation> AlgebraEvaluator::EvalNode(const RaExpr& node) {
           std::vector<int> cols,
           ConditionColumnMap(node.condition, input.arity()));
       std::vector<Tuple> out;
-      for (const Tuple& t : input.tuples()) {
+      const std::vector<Tuple>& tuples = input.tuples();
+      int n = static_cast<int>(tuples.size());
+      int threads = parallel_.EffectiveThreads();
+      if (threads > 1 && !obs::TraceActive() && n >= 64) {
+        // Order-preserving parallel scan: the per-tuple membership tests
+        // are independent (Contains is const; the condition automaton is
+        // immutable), so partition the input and keep tuples by index.
+        int chunks = std::min(threads, n);
+        std::vector<char> keep(static_cast<size_t>(n), 0);
+        std::vector<Status> errors(static_cast<size_t>(chunks),
+                                   Status::Ok());
+        ThreadPool::ParallelFor(parallel_.num_threads, chunks, [&](int c) {
+          int lo = static_cast<int>(static_cast<int64_t>(n) * c / chunks);
+          int hi =
+              static_cast<int>(static_cast<int64_t>(n) * (c + 1) / chunks);
+          for (int i = lo; i < hi; ++i) {
+            std::vector<std::string> point;
+            point.reserve(cols.size());
+            for (int col : cols) point.push_back(tuples[i][col]);
+            Result<bool> in = cond.Contains(point);
+            if (!in.ok()) {
+              errors[c] = in.status();
+              return;
+            }
+            keep[i] = *in ? 1 : 0;
+          }
+        });
+        for (const Status& s : errors) STRQ_RETURN_IF_ERROR(s);
+        for (int i = 0; i < n; ++i) {
+          if (keep[i]) out.push_back(tuples[i]);
+        }
+        return Relation::Create(input.arity(), std::move(out));
+      }
+      for (const Tuple& t : tuples) {
         std::vector<std::string> point;
         point.reserve(cols.size());
         for (int c : cols) point.push_back(t[c]);

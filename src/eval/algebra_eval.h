@@ -50,6 +50,17 @@ class AlgebraEvaluator {
     return formula_engine_.planner();
   }
 
+  // Parallelism knob: forwarded to the embedded formula engine (parallel
+  // subplan compilation of σ_α conditions) and used locally to test σ_α
+  // conditions over large inputs with a parallel, order-preserving tuple
+  // scan. Node-level Eval recursion stays serial (memo_ is not shared
+  // across threads). num_threads = 1 restores fully serial evaluation.
+  void set_parallel_options(ParallelOptions options) {
+    parallel_ = options;
+    formula_engine_.set_parallel_options(options);
+  }
+  const ParallelOptions& parallel_options() const { return parallel_; }
+
   Result<Relation> Evaluate(const RaPtr& expr);
 
  private:
@@ -61,6 +72,7 @@ class AlgebraEvaluator {
 
   const Database* db_;
   Options options_;
+  ParallelOptions parallel_;
   AutomataEvaluator formula_engine_;
   // Plans built by the safe-query translation share subtrees (notably the
   // universe expression); results are memoized per node within a plan.

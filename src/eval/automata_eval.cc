@@ -1,8 +1,10 @@
 #include "eval/automata_eval.h"
 
 #include <algorithm>
+#include <unordered_set>
 #include <utility>
 
+#include "base/thread_pool.h"
 #include "obs/trace.h"
 
 namespace strq {
@@ -47,7 +49,13 @@ std::string CompileSpanDetail(const FormulaPtr& f) {
 // first-order operations below memoize in that store's computed table.
 class Compiler {
  public:
-  Compiler(const Database* db, AtomCache* cache) : db_(db), cache_(cache) {}
+  Compiler(const Database* db, AtomCache* cache,
+           ParallelOptions parallel = ParallelOptions{1},
+           const std::unordered_set<const Formula*>* parallel_folds = nullptr)
+      : db_(db),
+        cache_(cache),
+        parallel_(parallel),
+        parallel_folds_(parallel_folds) {}
 
   Result<TrackAutomaton> CompileQuery(const FormulaPtr& f) {
     return CompileQuery(f, AutomataEvaluator::FreeVarOrder(f));
@@ -388,15 +396,31 @@ class Compiler {
     bool watching = span.active();
     AutomatonStore::Stats store_before;
     AtomCache::Stats cache_before;
+    int64_t explored_before = 0;
+    int64_t allocated_before = 0;
     if (watching) {
       span.set_detail(CompileSpanDetail(f));
       store_before = cache_->store().stats();
       cache_before = cache_->stats();
+      explored_before = obs::MetricsRegistry::Global().Get(
+          obs::kDfaProductStatesExplored);
+      allocated_before = obs::MetricsRegistry::Global().Get(
+          obs::kDfaProductStatesAllocated);
     }
     Result<TrackAutomaton> out = CompileNode(f);
     if (watching && out.ok()) {
       span.Attr("states", out->NumStates());
       span.Attr("arity", out->arity());
+      // Reachable-only kernel accounting for this subtree: pairs the
+      // worklists materialized vs the full eager pair space they avoided.
+      span.Attr("states_explored",
+                obs::MetricsRegistry::Global().Get(
+                    obs::kDfaProductStatesExplored) -
+                    explored_before);
+      span.Attr("states_allocated",
+                obs::MetricsRegistry::Global().Get(
+                    obs::kDfaProductStatesAllocated) -
+                    allocated_before);
       // A subtree served entirely by the memoization substrate returns
       // near-instantly; mark it so estimated-vs-actual comparisons in the
       // plan phase don't read its span time as real compile cost.
@@ -415,6 +439,51 @@ class Compiler {
     return out;
   }
 
+  // The parallel fan-out for a planner-annotated And/Or fold: flattens the
+  // binary spine Render produced from one n-ary plan node back into its
+  // child list, compiles the children concurrently (each on a cloned
+  // Compiler — the fresh variable ids a child burns are projected away
+  // before it returns, so clones starting from the same next_var_ are
+  // safe), then folds the results in planner order. Returns nullopt when
+  // the node is not annotated, parallelism is off, or a trace is being
+  // collected on this thread (worker-thread spans would be lost).
+  std::optional<Result<TrackAutomaton>> CompileSpineParallel(
+      const FormulaPtr& f) {
+    if (parallel_folds_ == nullptr || parallel_.serial() ||
+        obs::TraceActive()) {
+      return std::nullopt;
+    }
+    if (parallel_folds_->count(f.get()) == 0) return std::nullopt;
+    bool is_and = f->kind == FormulaKind::kAnd;
+    std::vector<FormulaPtr> parts;
+    FormulaPtr cur = f;
+    while (cur->kind == f->kind && parallel_folds_->count(cur.get()) > 0) {
+      parts.push_back(cur->right);
+      cur = cur->left;
+    }
+    parts.push_back(cur);
+    std::reverse(parts.begin(), parts.end());
+    if (parts.size() < 2) return std::nullopt;
+    std::vector<Result<TrackAutomaton>> results;
+    results.reserve(parts.size());
+    for (size_t i = 0; i < parts.size(); ++i) {
+      results.emplace_back(InternalError("subplan not compiled"));
+    }
+    ThreadPool::ParallelFor(
+        parallel_.num_threads, static_cast<int>(parts.size()), [&](int i) {
+          Compiler clone(*this);
+          results[static_cast<size_t>(i)] =
+              clone.Compile(parts[static_cast<size_t>(i)]);
+        });
+    Result<TrackAutomaton> acc = std::move(results[0]);
+    for (size_t i = 1; i < parts.size() && acc.ok(); ++i) {
+      if (!results[i].ok()) return std::move(results[i]);
+      acc = is_and ? TrackAutomaton::Intersect(*acc, *results[i])
+                   : TrackAutomaton::Union(*acc, *results[i]);
+    }
+    return acc;
+  }
+
   Result<TrackAutomaton> CompileNode(const FormulaPtr& f) {
     switch (f->kind) {
       case FormulaKind::kTrue:
@@ -430,11 +499,19 @@ class Compiler {
         return a.Complemented();
       }
       case FormulaKind::kAnd: {
+        if (std::optional<Result<TrackAutomaton>> parallel =
+                CompileSpineParallel(f)) {
+          return *std::move(parallel);
+        }
         STRQ_ASSIGN_OR_RETURN(TrackAutomaton a, Compile(f->left));
         STRQ_ASSIGN_OR_RETURN(TrackAutomaton b, Compile(f->right));
         return TrackAutomaton::Intersect(a, b);
       }
       case FormulaKind::kOr: {
+        if (std::optional<Result<TrackAutomaton>> parallel =
+                CompileSpineParallel(f)) {
+          return *std::move(parallel);
+        }
         STRQ_ASSIGN_OR_RETURN(TrackAutomaton a, Compile(f->left));
         STRQ_ASSIGN_OR_RETURN(TrackAutomaton b, Compile(f->right));
         return TrackAutomaton::Union(a, b);
@@ -453,6 +530,8 @@ class Compiler {
 
   const Database* db_;
   AtomCache* cache_;
+  ParallelOptions parallel_;
+  const std::unordered_set<const Formula*>* parallel_folds_;
   std::map<std::string, VarId> scope_;
   int next_var_ = 0;
 };
@@ -499,7 +578,8 @@ Result<TrackAutomaton> AutomataEvaluator::Compile(const FormulaPtr& f) {
   // because absent tracks are cylindrified on demand by callers. Here the
   // answer automaton is over exactly the tracks the formula constrains; for
   // evaluation we cylindrify to all free variables below.
-  Compiler compiler(db_, cache_.get());
+  Compiler compiler(db_, cache_.get(), parallel_,
+                    planned.parallel_folds.get());
   STRQ_ASSIGN_OR_RETURN(TrackAutomaton rel,
                         compiler.CompileQuery(to_compile, order));
   // Ensure every free variable has a track (x may not occur in any atom).

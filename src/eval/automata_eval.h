@@ -7,6 +7,7 @@
 
 #include "automata/dfa.h"
 #include "base/status.h"
+#include "base/thread_pool.h"
 #include "logic/ast.h"
 #include "mta/atom_cache.h"
 #include "mta/track_automaton.h"
@@ -61,6 +62,17 @@ class AutomataEvaluator {
   void set_planner(std::shared_ptr<plan::Planner> planner);
   const std::shared_ptr<plan::Planner>& planner() const { return planner_; }
 
+  // Parallel compilation of independent subplans. The planner annotates the
+  // And/Or folds it rendered from one n-ary plan node; with more than one
+  // effective thread the compiler fans those children out to the shared
+  // pool and folds the results in planner order. num_threads = 1 restores
+  // the exact serial execution; answers and canonical store ids are
+  // identical either way (the store interns by language). Compilation stays
+  // serial while a TraceSession is collecting on the calling thread, so
+  // EXPLAIN ANALYZE traces remain complete.
+  void set_parallel_options(ParallelOptions options) { parallel_ = options; }
+  const ParallelOptions& parallel_options() const { return parallel_; }
+
   // Compiles φ to its answer automaton over free(φ). Track order equals the
   // lexicographic order of the free-variable names (see FreeVarOrder).
   Result<TrackAutomaton> Compile(const FormulaPtr& f);
@@ -89,6 +101,7 @@ class AutomataEvaluator {
   const Database* db_;
   std::shared_ptr<AtomCache> cache_;
   std::shared_ptr<plan::Planner> planner_;
+  ParallelOptions parallel_;
 };
 
 }  // namespace strq

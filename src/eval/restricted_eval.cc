@@ -332,9 +332,56 @@ Result<Relation> RestrictedEvaluator::EvaluateOnCandidates(
   std::vector<Tuple> out;
   Evaluator eval(db_, options_, cache_.get());
 
+  if (candidates.empty() && k > 0) return Relation::Create(k, {});
+
+  // Parallel path: partition the candidates^k assignment space into one
+  // contiguous block per thread. Every assignment has a rank (its odometer
+  // value read as a base-|candidates| number), so blocks enumerate exactly
+  // the same tuples in exactly the same order as the serial odometer, and
+  // concatenating the per-block outputs reproduces the serial answer
+  // byte-for-byte.
+  int threads = parallel_.EffectiveThreads();
+  double total_est = 1;
+  for (int i = 0; i < k; ++i) total_est *= static_cast<double>(candidates.size());
+  if (threads > 1 && !obs::TraceActive() && k > 0 && total_est >= 2 &&
+      total_est <= 4e9) {
+    uint64_t total = 1;
+    for (int i = 0; i < k; ++i) total *= candidates.size();
+    uint64_t chunks = std::min<uint64_t>(threads, total);
+    std::vector<std::vector<Tuple>> partial(chunks);
+    std::vector<Status> errors(chunks, Status::Ok());
+    ThreadPool::ParallelFor(
+        parallel_.num_threads, static_cast<int>(chunks), [&](int c) {
+          uint64_t lo = total * c / chunks;
+          uint64_t hi = total * (c + 1) / chunks;
+          Evaluator worker(db_, options_, cache_.get());
+          for (uint64_t m = lo; m < hi; ++m) {
+            Env env;
+            Tuple t;
+            uint64_t rest = m;
+            for (int i = k - 1; i >= 0; --i) {
+              size_t idx = static_cast<size_t>(rest % candidates.size());
+              rest /= candidates.size();
+              env[vars[i]] = candidates[idx];
+              t.insert(t.begin(), candidates[idx]);
+            }
+            Result<bool> holds = worker.Eval(planned, env);
+            if (!holds.ok()) {
+              errors[c] = holds.status();
+              return;
+            }
+            if (*holds) partial[c].push_back(std::move(t));
+          }
+        });
+    for (uint64_t c = 0; c < chunks; ++c) {
+      STRQ_RETURN_IF_ERROR(errors[c]);
+      for (Tuple& t : partial[c]) out.push_back(std::move(t));
+    }
+    return Relation::Create(k, std::move(out));
+  }
+
   // Odometer over candidates^k.
   std::vector<size_t> index(k, 0);
-  if (candidates.empty() && k > 0) return Relation::Create(k, {});
   while (true) {
     Env env;
     Tuple t;

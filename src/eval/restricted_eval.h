@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "base/status.h"
+#include "base/thread_pool.h"
 #include "logic/ast.h"
 #include "mta/atom_cache.h"
 #include "plan/planner.h"
@@ -64,6 +65,14 @@ class RestrictedEvaluator {
   void set_planner(std::shared_ptr<plan::Planner> planner);
   const std::shared_ptr<plan::Planner>& planner() const { return planner_; }
 
+  // Parallel candidate enumeration: EvaluateOnCandidates partitions the
+  // candidates^k assignment space across threads (each partition gets its
+  // own Evaluator; the shared AtomCache is thread-safe). Tuple order and
+  // answers are identical to the serial run — partitions are concatenated
+  // in order. num_threads = 1 restores the serial loop.
+  void set_parallel_options(ParallelOptions options) { parallel_ = options; }
+  const ParallelOptions& parallel_options() const { return parallel_; }
+
   // Truth of a formula under the given assignment of its free variables.
   Result<bool> Holds(const FormulaPtr& f,
                      const std::map<std::string, std::string>& assignment);
@@ -90,6 +99,7 @@ class RestrictedEvaluator {
   Options options_;
   std::shared_ptr<AtomCache> cache_;
   std::shared_ptr<plan::Planner> planner_;
+  ParallelOptions parallel_;
 };
 
 }  // namespace strq

@@ -50,16 +50,36 @@ Result<Dfa> TrackAutomaton::ValidConvolutions(const ConvAlphabet& conv) {
         "too many tracks: arity " + std::to_string(k) +
         " exceeds the supported maximum of " + std::to_string(kMaxTracks));
   }
-  // States: bitmask of tracks that have started padding, plus a sink.
+  // States: bitmask of tracks that have started padding, plus a sink. Built
+  // by worklist from mask 0 so only reachable masks get rows — the all-pad
+  // mask never does: entering it would take an all-pad column, which is
+  // exactly what Valid forbids.
   int num_masks = 1 << k;
   int sink = num_masks;
-  int n = num_masks + 1;
-  std::vector<std::vector<int>> next(
-      n, std::vector<int>(static_cast<size_t>(conv.num_letters()), sink));
-  std::vector<bool> accepting(n, true);
-  accepting[sink] = false;
-  for (int mask = 0; mask < num_masks; ++mask) {
-    for (int letter = 0; letter < conv.num_letters(); ++letter) {
+  int num_letters = conv.num_letters();
+  std::vector<int> ids(static_cast<size_t>(num_masks) + 1, -1);
+  std::vector<int> order;  // dense id -> mask (or sink)
+  auto intern = [&](int state) -> int {
+    if (ids[state] < 0) {
+      ids[state] = static_cast<int>(order.size());
+      order.push_back(state);
+    }
+    return ids[state];
+  };
+  (void)intern(0);
+  std::vector<std::vector<int>> next;
+  std::vector<bool> accepting;
+  for (size_t i = 0; i < order.size(); ++i) {
+    int state = order[i];
+    accepting.push_back(state != sink);
+    if (state == sink) {
+      next.emplace_back(static_cast<size_t>(num_letters),
+                        intern(sink));
+      continue;
+    }
+    int mask = state;
+    std::vector<int> row(static_cast<size_t>(num_letters));
+    for (int letter = 0; letter < num_letters; ++letter) {
       std::vector<int> digits = conv.Decode(static_cast<Symbol>(letter));
       int new_mask = mask;
       bool ok = true;
@@ -74,11 +94,11 @@ Result<Dfa> TrackAutomaton::ValidConvolutions(const ConvAlphabet& conv) {
         }
       }
       if (all_pad) ok = false;  // no all-pad columns
-      next[mask][letter] = ok ? new_mask : sink;
+      row[letter] = intern(ok ? new_mask : sink);
     }
+    next.push_back(std::move(row));
   }
-  return Dfa::Create(conv.num_letters(), 0, std::move(next),
-                     std::move(accepting));
+  return Dfa::Create(num_letters, 0, std::move(next), std::move(accepting));
 }
 
 Result<TrackAutomaton> TrackAutomaton::Create(const AutomatonStore& store,

@@ -66,6 +66,21 @@ inline constexpr char kDfaStatesBuilt[] = "dfa.states_built";
 inline constexpr char kDfaMinimizations[] = "dfa.minimizations";
 inline constexpr char kDfaDeterminizations[] = "dfa.determinizations";
 inline constexpr char kDfaProducts[] = "dfa.products";
+// Reachable-only kernel accounting: `explored` counts the state pairs the
+// worklist actually materialized; `allocated` counts the full |A|x|B| pair
+// space an eager kernel would have touched (both kernels add it, so the
+// explored/allocated ratio measures what on-the-fly construction saved).
+inline constexpr char kDfaProductStatesExplored[] =
+    "dfa.product_states_explored";
+inline constexpr char kDfaProductStatesAllocated[] =
+    "dfa.product_states_allocated";
+// Emptiness/universality deciders that stopped a worklist before exhausting
+// the reachable pair space (first accepting pair found).
+inline constexpr char kDfaEarlyExits[] = "dfa.early_exits";
+// Thread-pool traffic (src/base/thread_pool): tasks submitted, and the
+// number of times a worker had to block waiting for work.
+inline constexpr char kPoolTasks[] = "pool.tasks";
+inline constexpr char kPoolStealsOrWaits[] = "pool.steals_or_waits";
 inline constexpr char kMtaIntersections[] = "mta.intersections";
 inline constexpr char kMtaUnions[] = "mta.unions";
 inline constexpr char kMtaComplements[] = "mta.complements";
@@ -162,6 +177,12 @@ namespace internal {
 // is installed. Header-inline so Span's disabled path needs no call.
 inline thread_local TraceNode* t_current = nullptr;
 }  // namespace internal
+
+// Is a TraceSession collecting on the CURRENT thread? Spans opened on other
+// threads are inert, so engines that fan work out to a pool check this and
+// stay serial while a trace is being collected (EXPLAIN ANALYZE keeps its
+// complete span tree; production runs go wide).
+inline bool TraceActive() { return internal::t_current != nullptr; }
 
 // Installs a collection root for the current thread. While a session is
 // alive and Enabled() is true, Span objects attach to the tree. Sessions do

@@ -173,28 +173,33 @@ const PlanNode* Lower(PlanStore& store, const FormulaPtr& f) {
   return store.True();
 }
 
-FormulaPtr Render(const PlanNode* n) {
+FormulaPtr Render(const PlanNode* n) { return Render(n, nullptr); }
+
+FormulaPtr Render(const PlanNode* n,
+                  std::unordered_set<const Formula*>* parallel_folds) {
   switch (n->kind) {
     case NodeKind::kLeaf:
       return n->leaf;
     case NodeKind::kNot:
-      return FNot(Render(n->children[0]));
+      return FNot(Render(n->children[0], parallel_folds));
     case NodeKind::kAnd: {
-      FormulaPtr out = Render(n->children[0]);
+      FormulaPtr out = Render(n->children[0], parallel_folds);
       for (size_t i = 1; i < n->children.size(); ++i) {
-        out = FAnd(out, Render(n->children[i]));
+        out = FAnd(out, Render(n->children[i], parallel_folds));
+        if (parallel_folds != nullptr) parallel_folds->insert(out.get());
       }
       return out;
     }
     case NodeKind::kOr: {
-      FormulaPtr out = Render(n->children[0]);
+      FormulaPtr out = Render(n->children[0], parallel_folds);
       for (size_t i = 1; i < n->children.size(); ++i) {
-        out = FOr(out, Render(n->children[i]));
+        out = FOr(out, Render(n->children[i], parallel_folds));
+        if (parallel_folds != nullptr) parallel_folds->insert(out.get());
       }
       return out;
     }
     case NodeKind::kQuant: {
-      FormulaPtr body = Render(n->children[0]);
+      FormulaPtr body = Render(n->children[0], parallel_folds);
       return n->is_forall ? FForall(n->var, std::move(body), n->range)
                           : FExists(n->var, std::move(body), n->range);
     }

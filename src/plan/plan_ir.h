@@ -6,6 +6,7 @@
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "logic/ast.h"
@@ -104,6 +105,14 @@ const PlanNode* Lower(PlanStore& store, const FormulaPtr& f);
 // automata engine's bottom-up compile performs products exactly in the
 // order the planner chose.
 FormulaPtr Render(const PlanNode* n);
+
+// As above, additionally recording every binary And/Or fold node produced
+// from an n-ary plan node into `parallel_folds` (when non-null). A formula
+// in that set marks a spine whose flattened children are independent
+// subplans: an engine may compile them concurrently and fold the results in
+// the planner's child order.
+FormulaPtr Render(const PlanNode* n,
+                  std::unordered_set<const Formula*>* parallel_folds);
 
 // Indented tree rendering with per-node cost estimates (when annotated);
 // what `explain` prints as the plan phase.

@@ -43,7 +43,7 @@ PlannedQuery Planner::PlanUncached(const FormulaPtr& f, const Database* db,
   const PlanNode* root = Lower(store, ast);
   if (options_.enable_negation_pushdown) root = PushNegations(ctx, root);
   if (options_.enable_miniscope) root = Miniscope(ctx, root);
-  if (options_.enable_prune) root = PruneDead(ctx, root);
+  if (options_.enable_prune) root = PruneDead(ctx, root, cache);
   CostModel cost(db, cache);
   if (options_.enable_reorder) root = Reorder(ctx, root, cost);
 
@@ -51,7 +51,9 @@ PlannedQuery Planner::PlanUncached(const FormulaPtr& f, const Database* db,
   out.rules_fired = fired + ctx.fired;
   out.shared_subplans = store.shared_hits();
   out.pretty = Pretty(root);
-  out.formula = Render(root);
+  auto folds = std::make_shared<std::unordered_set<const Formula*>>();
+  out.formula = Render(root, folds.get());
+  out.parallel_folds = std::move(folds);
   return out;
 }
 

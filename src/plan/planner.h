@@ -7,6 +7,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "logic/ast.h"
@@ -53,6 +54,13 @@ struct PlannedQuery {
   bool cache_hit = false;
   // Indented plan tree with per-node estimates (explain's plan phase).
   std::string pretty;
+  // Parallelizable-children annotation: the binary And/Or fold nodes of
+  // `formula` that Render produced from one n-ary plan node. Their flattened
+  // spine children are independent subplans; engines honoring a
+  // ParallelOptions knob compile them concurrently and fold the results in
+  // planner order. Null when planning is disabled. Shared (not copied) by
+  // plan-cache hits; the sets are immutable after planning.
+  std::shared_ptr<const std::unordered_set<const Formula*>> parallel_folds;
 };
 
 // The planning facade all three engines (and through them the safety

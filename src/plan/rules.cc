@@ -170,13 +170,55 @@ const PlanNode* Miniscope(RewriteContext& ctx, const PlanNode* n) {
 
 // ---- Dead-plan pruning ---------------------------------------------------
 
-const PlanNode* PruneDead(RewriteContext& ctx, const PlanNode* n) {
+namespace {
+
+// member/like(x, pattern) with a plain variable argument: the only leaf
+// shape the conjunction emptiness probe understands.
+bool IsSingleVarPatternAtom(const PlanNode* n, std::string* var) {
+  if (n->kind != NodeKind::kLeaf) return false;
+  const Formula& f = *n->leaf;
+  if (f.kind != FormulaKind::kPred) return false;
+  if (f.pred != PredKind::kMember && f.pred != PredKind::kLike) return false;
+  if (f.args.size() != 1 || f.args[0]->kind != TermKind::kVar) return false;
+  *var = f.args[0]->var;
+  return true;
+}
+
+// True when two pattern conjuncts over the same variable provably have
+// empty language intersection. Only consults already-compiled patterns
+// (PeekPattern) and the store's early-exit emptiness decider, so the probe
+// costs at most one pair worklist over minimal DFAs — never a compilation.
+bool ConjunctionProvablyEmpty(const std::vector<const PlanNode*>& kids,
+                              const AtomCache* cache) {
+  if (cache == nullptr) return false;
+  std::vector<std::pair<std::string, DfaRef>> langs;
+  for (const PlanNode* c : kids) {
+    std::string var;
+    if (!IsSingleVarPatternAtom(c, &var)) continue;
+    std::optional<DfaRef> lang =
+        cache->PeekPattern(c->leaf->pattern, c->leaf->syntax);
+    if (!lang.has_value()) continue;
+    for (const auto& [other_var, other_lang] : langs) {
+      if (other_var != var) continue;
+      Result<bool> empty =
+          cache->store().IsIntersectionEmpty(other_lang, *lang);
+      if (empty.ok() && *empty) return true;
+    }
+    langs.emplace_back(var, *std::move(lang));
+  }
+  return false;
+}
+
+}  // namespace
+
+const PlanNode* PruneDead(RewriteContext& ctx, const PlanNode* n,
+                          const AtomCache* cache) {
   PlanStore& store = *ctx.store;
   switch (n->kind) {
     case NodeKind::kLeaf:
       return n;
     case NodeKind::kNot: {
-      const PlanNode* c = PruneDead(ctx, n->children[0]);
+      const PlanNode* c = PruneDead(ctx, n->children[0], cache);
       if (IsTrueLeaf(c)) {
         ++ctx.fired;
         return store.False();
@@ -196,7 +238,7 @@ const PlanNode* PruneDead(RewriteContext& ctx, const PlanNode* n) {
       bool is_and = n->kind == NodeKind::kAnd;
       std::vector<const PlanNode*> kids;
       for (const PlanNode* raw : n->children) {
-        const PlanNode* c = PruneDead(ctx, raw);
+        const PlanNode* c = PruneDead(ctx, raw, cache);
         // Unit and zero elements.
         if (is_and ? IsTrueLeaf(c) : IsFalseLeaf(c)) {
           ++ctx.fired;
@@ -214,10 +256,14 @@ const PlanNode* PruneDead(RewriteContext& ctx, const PlanNode* n) {
         }
         kids.push_back(c);
       }
+      if (is_and && ConjunctionProvablyEmpty(kids, cache)) {
+        ++ctx.fired;
+        return store.False();
+      }
       return is_and ? store.And(std::move(kids)) : store.Or(std::move(kids));
     }
     case NodeKind::kQuant: {
-      const PlanNode* body = PruneDead(ctx, n->children[0]);
+      const PlanNode* body = PruneDead(ctx, n->children[0], cache);
       if (!body->free_vars.count(n->var)) {
         // The variable's track is dead. Drop the quantifier when the range
         // is provably non-empty: Σ* always, ↓adom always contains ε, and

@@ -54,7 +54,15 @@ const PlanNode* Miniscope(RewriteContext& ctx, const PlanNode* n);
 // structurally equal subplans one node), ¬true/¬false folding, and
 // unused-variable quantifier elimination for ranges that are provably
 // non-empty (kAll always; kLenDom always contains ε).
-const PlanNode* PruneDead(RewriteContext& ctx, const PlanNode* n);
+//
+// With a non-null `cache`, conjunctions additionally get an emptiness
+// probe: two single-variable pattern conjuncts member/like(x, L1) ∧
+// member/like(x, L2) over the same x whose patterns are both already
+// compiled (PeekPattern only — the probe never compiles) and whose
+// languages have empty intersection (the store's early-exit
+// IsIntersectionEmpty) fold the whole conjunction to false.
+const PlanNode* PruneDead(RewriteContext& ctx, const PlanNode* n,
+                          const AtomCache* cache = nullptr);
 
 // Cost-based conjunct/disjunct reordering: annotates the subtree with the
 // cost model, then greedily orders And children smallest-first, preferring

@@ -2,7 +2,9 @@
 
 #include <set>
 
+#include "base/thread_pool.h"
 #include "eval/automata_eval.h"
+#include "obs/trace.h"
 
 namespace strq {
 
@@ -114,7 +116,25 @@ Result<bool> ConjunctiveQuerySafe(const ConjunctiveQuery& cq,
 
 Result<bool> UnionOfCQsSafe(const std::vector<ConjunctiveQuery>& cqs,
                             const Alphabet& alphabet,
-                            std::shared_ptr<AtomCache> cache) {
+                            std::shared_ptr<AtomCache> cache,
+                            ParallelOptions parallel) {
+  // The per-disjunct decisions are independent (each builds its own engine
+  // over its own empty database; the shared AtomCache is thread-safe), so
+  // decide them concurrently. Results are combined in index order, so the
+  // answer — and which error surfaces first — matches the serial loop.
+  int n = static_cast<int>(cqs.size());
+  if (n > 1 && !parallel.serial() && !obs::TraceActive()) {
+    std::vector<Result<bool>> results(
+        static_cast<size_t>(n), Result<bool>(InternalError("cq not decided")));
+    ThreadPool::ParallelFor(parallel.num_threads, n, [&](int i) {
+      results[i] = ConjunctiveQuerySafe(cqs[i], alphabet, cache);
+    });
+    for (Result<bool>& r : results) {
+      STRQ_ASSIGN_OR_RETURN(bool safe, std::move(r));
+      if (!safe) return false;
+    }
+    return true;
+  }
   for (const ConjunctiveQuery& cq : cqs) {
     STRQ_ASSIGN_OR_RETURN(bool safe, ConjunctiveQuerySafe(cq, alphabet, cache));
     if (!safe) return false;

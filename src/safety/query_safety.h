@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "base/status.h"
+#include "base/thread_pool.h"
 #include "logic/ast.h"
 #include "mta/atom_cache.h"
 #include "relational/database.h"
@@ -56,9 +57,13 @@ Result<bool> ConjunctiveQuerySafe(const ConjunctiveQuery& cq,
                                   std::shared_ptr<AtomCache> cache = nullptr);
 
 // Safety of a union of conjunctive queries: safe iff every disjunct is.
+// The per-disjunct decisions are independent and run concurrently under the
+// default ParallelOptions; pass ParallelOptions{1} for a serial decision.
+// Answers and first-error behavior are identical at any thread count.
 Result<bool> UnionOfCQsSafe(const std::vector<ConjunctiveQuery>& cqs,
                             const Alphabet& alphabet,
-                            std::shared_ptr<AtomCache> cache = nullptr);
+                            std::shared_ptr<AtomCache> cache = nullptr,
+                            ParallelOptions parallel = ParallelOptions{});
 
 // Convenience: extract-and-decide for a formula that is a CQ or a union
 // (∨-tree) of CQs. Returns kUnsupported for other shapes (the paper's full

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include "automata/regex.h"
+#include "automata/store.h"
+#include "base/rng.h"
 #include "base/string_ops.h"
+#include "obs/trace.h"
 
 namespace strq {
 namespace {
@@ -125,6 +128,164 @@ TEST(OpsTest, PrefixClosureLang) {
   EXPECT_TRUE(closed.AcceptsString(kBin, "110"));
   EXPECT_FALSE(closed.AcceptsString(kBin, "0"));
   EXPECT_FALSE(closed.AcceptsString(kBin, "1100"));
+}
+
+// Chain DFA for "length >= n": states 0..n, saturating at the accepting
+// state n. Its products have tiny reachable cores (the diagonal) but huge
+// eager state spaces, which is exactly the regime the reachable-only kernel
+// targets.
+Dfa MinLengthDfa(int n) {
+  std::vector<std::vector<int>> next;
+  std::vector<bool> accepting;
+  for (int i = 0; i <= n; ++i) {
+    int to = std::min(i + 1, n);
+    next.push_back({to, to});
+    accepting.push_back(i == n);
+  }
+  Result<Dfa> dfa = Dfa::Create(2, 0, next, accepting);
+  EXPECT_TRUE(dfa.ok()) << dfa.status();
+  return *std::move(dfa);
+}
+
+TEST(OpsTest, EagerProductOverflowBoundaryIsAnError) {
+  // 50001 * 50001 overflows 32-bit int; the eager kernel must report the
+  // budget violation via 64-bit arithmetic instead of wrapping (the wrapped
+  // value was negative, which used to slip past the guard and then feed a
+  // negative size downstream).
+  Dfa a = MinLengthDfa(50000);
+  Dfa b = MinLengthDfa(50000);
+  ScopedProductKernel eager(ProductKernel::kEager);
+  Result<Dfa> prod = Intersect(a, b);
+  ASSERT_FALSE(prod.ok());
+  EXPECT_EQ(prod.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(OpsTest, ReachableKernelSucceedsWhereEagerExhausts) {
+  // Same operands as the overflow test: the reachable core is just the
+  // diagonal (~50001 pairs), far under the default budget.
+  Dfa a = MinLengthDfa(50000);
+  Dfa b = MinLengthDfa(49999);
+  ScopedProductKernel reachable(ProductKernel::kReachable);
+  Result<Dfa> prod = Intersect(a, b);
+  ASSERT_TRUE(prod.ok()) << prod.status();
+  EXPECT_LE(prod->num_states(), 50002);
+  std::string at(50000, '0');
+  std::string below(49999, '1');
+  EXPECT_TRUE(prod->AcceptsString(kBin, at));
+  EXPECT_FALSE(prod->AcceptsString(kBin, below));
+}
+
+TEST(OpsTest, ReachableKernelRespectsExplicitBudget) {
+  Dfa a = MinLengthDfa(100);
+  Dfa b = MinLengthDfa(100);
+  ScopedProductKernel reachable(ProductKernel::kReachable);
+  Result<Dfa> prod = Intersect(a, b, /*max_states=*/16);
+  ASSERT_FALSE(prod.ok());
+  EXPECT_EQ(prod.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(OpsTest, IntersectionEmptyDecisionAndEarlyExit) {
+  Dfa starts0 = Compile("0(0|1)*");
+  Dfa starts1 = Compile("1(0|1)*");
+  Result<bool> disjoint = IntersectionEmpty(starts0, starts1);
+  ASSERT_TRUE(disjoint.ok());
+  EXPECT_TRUE(*disjoint);
+
+  // Overlapping languages: the decision must come from an early exit, not
+  // from exhausting the product space.
+  Dfa ends0 = Compile("(0|1)*0");
+  obs::ScopedEnable tracing(true);
+  int64_t exits_before =
+      obs::MetricsRegistry::Global().Get(obs::kDfaEarlyExits);
+  Result<bool> overlap = IntersectionEmpty(starts0, ends0);
+  ASSERT_TRUE(overlap.ok());
+  EXPECT_FALSE(*overlap);
+  EXPECT_GT(obs::MetricsRegistry::Global().Get(obs::kDfaEarlyExits),
+            exits_before);
+}
+
+// Random DFA over the binary alphabet: arbitrary transition table and
+// accepting set. Products of these exercise kernel corners (unreachable
+// regions, dead states, sinks) far beyond the curated cases.
+Dfa RandomDfa(Rng& rng) {
+  int n = 2 + static_cast<int>(rng.NextBelow(7));
+  std::vector<std::vector<int>> next;
+  std::vector<bool> accepting;
+  for (int i = 0; i < n; ++i) {
+    next.push_back({static_cast<int>(rng.NextBelow(n)),
+                    static_cast<int>(rng.NextBelow(n))});
+    accepting.push_back(rng.NextBool());
+  }
+  Result<Dfa> dfa = Dfa::Create(2, 0, next, accepting);
+  EXPECT_TRUE(dfa.ok()) << dfa.status();
+  return *std::move(dfa);
+}
+
+// Differential fuzz (kernel equivalence): the reachable-only worklist kernel
+// and the retained eager kernel must build language-identical products, and
+// the early-exit deciders must agree with the materialize-then-test answers.
+TEST(OpsTest, DifferentialFuzzReachableVsEagerKernels) {
+  Rng rng(20260806);
+  for (int iter = 0; iter < 200; ++iter) {
+    Dfa a = RandomDfa(rng);
+    Dfa b = RandomDfa(rng);
+    ScopedProductKernel reachable(ProductKernel::kReachable);
+    Result<Dfa> ri = Intersect(a, b);
+    Result<Dfa> ru = Union(a, b);
+    Result<Dfa> rd = Difference(a, b);
+    Result<bool> rempty = IntersectionEmpty(a, b);
+    ASSERT_TRUE(ri.ok() && ru.ok() && rd.ok() && rempty.ok());
+    {
+      ScopedProductKernel eager(ProductKernel::kEager);
+      Result<Dfa> ei = Intersect(a, b);
+      Result<Dfa> eu = Union(a, b);
+      Result<Dfa> ed = Difference(a, b);
+      ASSERT_TRUE(ei.ok() && eu.ok() && ed.ok());
+      for (const std::string& s : AllStringsUpToLength("01", 6)) {
+        EXPECT_EQ(ri->AcceptsString(kBin, s), ei->AcceptsString(kBin, s))
+            << "intersect at iter " << iter << " on " << s;
+        EXPECT_EQ(ru->AcceptsString(kBin, s), eu->AcceptsString(kBin, s))
+            << "union at iter " << iter << " on " << s;
+        EXPECT_EQ(rd->AcceptsString(kBin, s), ed->AcceptsString(kBin, s))
+            << "difference at iter " << iter << " on " << s;
+      }
+      EXPECT_EQ(*rempty, ei->IsEmpty()) << "emptiness at iter " << iter;
+    }
+    // The reachable product never materializes more states than eager.
+    EXPECT_LE(ri->num_states(),
+              static_cast<int64_t>(a.num_states()) * b.num_states());
+  }
+}
+
+// Differential fuzz (store-id equality): the raw product of each kernel,
+// interned into one hash-consing store, must land on the same canonical id.
+// Interning canonically minimizes, so ids collide iff the two kernels built
+// language-identical automata — the strongest equality check available.
+// (Interning directly, rather than through store.Intersect, bypasses the
+// computed table so both kernels genuinely run.)
+TEST(OpsTest, KernelsProduceIdenticalCanonicalStoreIds) {
+  Rng rng(987654321);
+  AutomatonStore store(true);
+  for (int iter = 0; iter < 100; ++iter) {
+    Dfa a = RandomDfa(rng);
+    Dfa b = RandomDfa(rng);
+    Result<Dfa> pr = InternalError("op not run");
+    Result<Dfa> pe = InternalError("op not run");
+    {
+      ScopedProductKernel reachable(ProductKernel::kReachable);
+      pr = (iter % 3 == 0)   ? Intersect(a, b)
+           : (iter % 3 == 1) ? Union(a, b)
+                             : Difference(a, b);
+    }
+    {
+      ScopedProductKernel eager(ProductKernel::kEager);
+      pe = (iter % 3 == 0)   ? Intersect(a, b)
+           : (iter % 3 == 1) ? Union(a, b)
+                             : Difference(a, b);
+    }
+    ASSERT_TRUE(pr.ok() && pe.ok());
+    EXPECT_EQ(store.Intern(*pr).id(), store.Intern(*pe).id()) << iter;
+  }
 }
 
 TEST(OpsTest, DeMorganOnLanguages) {

@@ -26,6 +26,12 @@ Database SmallDb() {
   return db;
 }
 
+// PruneDead grew an optional AtomCache parameter (the conjunction-emptiness
+// probe); this adapter restores the plain two-argument rule signature.
+const PlanNode* PruneDeadRule(RewriteContext& ctx, const PlanNode* n) {
+  return PruneDead(ctx, n);
+}
+
 // Applies one rule to the lowered formula and renders the result back.
 FormulaPtr Apply(const FormulaPtr& f,
                  const PlanNode* (*rule)(RewriteContext&, const PlanNode*),
@@ -175,22 +181,22 @@ TEST(RulesTest, MiniscopeDistributesForallOverAnd) {
 
 TEST(RulesTest, PruneDeadEliminatesUnitsAndDuplicates) {
   int64_t fired = 0;
-  FormulaPtr g = Apply(Q("R(x) & R(x) & true"), PruneDead, &fired);
+  FormulaPtr g = Apply(Q("R(x) & R(x) & true"), PruneDeadRule, &fired);
   EXPECT_GE(fired, 2);
   EXPECT_EQ(ToString(g), ToString(Q("R(x)")));
 
-  FormulaPtr h = Apply(Q("R(x) & false"), PruneDead);
+  FormulaPtr h = Apply(Q("R(x) & false"), PruneDeadRule);
   EXPECT_EQ(h->kind, FormulaKind::kFalse);
 }
 
 TEST(RulesTest, PruneDeadDropsUnusedQuantifierOverNonEmptyRanges) {
   int64_t fired = 0;
-  FormulaPtr g = Apply(Q("exists y. R(x)"), PruneDead, &fired);
+  FormulaPtr g = Apply(Q("exists y. R(x)"), PruneDeadRule, &fired);
   EXPECT_EQ(fired, 1);
   EXPECT_EQ(ToString(g), ToString(Q("R(x)")));
 
   // len-adom always contains ε, so the drop is sound there too.
-  FormulaPtr h = Apply(Q("forall y len adom. R(x)"), PruneDead, &fired);
+  FormulaPtr h = Apply(Q("forall y len adom. R(x)"), PruneDeadRule, &fired);
   EXPECT_EQ(ToString(h), ToString(Q("R(x)")));
 }
 
@@ -198,16 +204,16 @@ TEST(RulesTest, PruneDeadKeepsQuantifiersOverPossiblyEmptyRanges) {
   // adom (and a parameterless prefix range) can be empty: ∃y∈adom ⊤ is
   // FALSE on the empty database, so the quantifier must survive.
   int64_t fired = 0;
-  FormulaPtr g = Apply(Q("exists y in adom. last[1](x)"), PruneDead, &fired);
+  FormulaPtr g = Apply(Q("exists y in adom. last[1](x)"), PruneDeadRule, &fired);
   EXPECT_EQ(fired, 0);
   EXPECT_EQ(g->kind, FormulaKind::kExists);
 
   // A PARAMETERLESS prefix range can be empty too (prefixes of an empty
   // adom with no parameter values), so it survives as well; with a
   // parameter in the body the range contains ε and the drop is sound.
-  FormulaPtr h = Apply(Q("exists y pre adom. last[1]('1')"), PruneDead, &fired);
+  FormulaPtr h = Apply(Q("exists y pre adom. last[1]('1')"), PruneDeadRule, &fired);
   EXPECT_EQ(h->kind, FormulaKind::kExists);
-  FormulaPtr k = Apply(Q("exists y pre adom. last[1](x)"), PruneDead, &fired);
+  FormulaPtr k = Apply(Q("exists y pre adom. last[1](x)"), PruneDeadRule, &fired);
   EXPECT_NE(k->kind, FormulaKind::kExists);
 }
 
