@@ -4,8 +4,10 @@
 # (`cmake --preset ubsan`) and TSan (`cmake --preset tsan`, for the thread
 # pool and the parallel compile/eval paths), then a smoke run of the two
 # substrate benches so the strq.bench.v1 JSON contract and the store.* /
-# plan.* / pool.* / dfa.product_states_* counters stay exercised. Run from
-# anywhere; exits nonzero on the first failure.
+# plan.* / pool.* / dfa.product_states_* / dfa.classes_* /
+# dfa.table_bytes_* counters stay exercised, and finally a BENCH.json
+# baseline snapshot of selected scalars. Run from anywhere; exits nonzero
+# on the first failure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -49,8 +51,63 @@ for path in sys.argv[1:]:
     assert explored > 0, f"{path}: dfa.product_states_explored missing"
     pool_keys = [k for k in doc["scalars"] if k.startswith("pool.")]
     assert pool_keys, f"{path}: no pool.* scalars (thread pool fell out)"
+    class_keys = [k for k in doc["scalars"] if k.startswith("dfa.classes_")]
+    assert class_keys, f"{path}: no dfa.classes_* scalars (class counters fell out)"
+    bytes_cond = doc["scalars"].get("dfa.table_bytes_condensed", 0)
+    bytes_dense = doc["scalars"].get("dfa.table_bytes_dense_equiv", 0)
+    assert bytes_cond > 0 and bytes_dense > 0, (
+        f"{path}: dfa.table_bytes_* scalars missing or zero")
     print(f"  {path}: ok (store.op_hits={hits:.0f}, "
-          f"{len(plan_keys)} plan.* scalars, {len(pool_keys)} pool.* scalars)")
+          f"{len(plan_keys)} plan.* scalars, {len(pool_keys)} pool.* scalars, "
+          f"table bytes {bytes_cond:.0f}/{bytes_dense:.0f})")
+# The ablation's kernel switches must never change semantics or identity.
+ab = json.load(open(sys.argv[2]))
+assert ab["scalars"].get("classes.answers_agree") == 1.0, \
+    "class kernels disagree on answers"
+assert ab["scalars"].get("classes.store_ids_agree") == 1.0, \
+    "class kernels produce different canonical store ids"
+EOF
+
+echo "==== BENCH.json baseline snapshot ===="
+# Selected scalars from both smoke runs, merged under sub./ab. prefixes into
+# a committed top-level baseline (schema strq.bench.v1) so perf-relevant
+# counters are tracked in-repo alongside the code that moves them.
+python3 - "${tmpdir}/BENCH_SUB.json" "${tmpdir}/BENCH_AB.json" BENCH.json <<'EOF'
+import json, sys
+KEEP = {
+    "sub.": [
+        "store.unique_hit_rate", "store.op_hit_rate", "plan.cache_hit_rate",
+        "workload.parallel_answers_agree", "dfa.classes_total",
+        "dfa.table_bytes_condensed", "dfa.table_bytes_dense_equiv",
+        "dfa.table_bytes_reduction",
+    ],
+    "ab.": [
+        "store.answers_agree", "plan.answers_agree", "plan.total_reduction",
+        "kernel.answers_agree", "classes.answers_agree",
+        "classes.store_ids_agree", "classes.table_bytes_reduction",
+        "classes.product_work_reduction", "dfa.classes_final",
+        "dfa.table_bytes_condensed", "dfa.table_bytes_dense_equiv",
+    ],
+}
+docs = [json.load(open(sys.argv[1])), json.load(open(sys.argv[2]))]
+scalars = {}
+for doc, prefix in zip(docs, KEEP):
+    for key in KEEP[prefix]:
+        if key in doc["scalars"]:
+            scalars[prefix + key] = doc["scalars"][key]
+out = {
+    "schema": "strq.bench.v1",
+    "id": "BASELINE",
+    "title": "selected scalars from bench_substrate + bench_ablation smoke",
+    "smoke": True,
+    "series": [],
+    "scalars": scalars,
+    "metrics": {},
+}
+with open(sys.argv[3], "w") as f:
+    json.dump(out, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"  wrote {sys.argv[3]} ({len(scalars)} scalars)")
 EOF
 
 echo "ALL CHECKS PASSED"

@@ -1,10 +1,12 @@
 #include "automata/dfa.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <deque>
 #include <map>
 #include <numeric>
+#include <unordered_map>
 #include <utility>
 
 #include "obs/trace.h"
@@ -13,11 +15,17 @@ namespace strq {
 
 namespace {
 
-// FNV-1a over the structural content. Cheap, stable across platforms, and
-// good enough for the unique table (which compares structurally on hash
-// collisions anyway).
+std::atomic<ClassKernel> g_class_kernel{ClassKernel::kCondensed};
+
+// FNV-1a over the condensed structural content. Cheap, stable across
+// platforms, and good enough for the unique table (which compares
+// structurally on hash collisions anyway). Because every constructor
+// canonicalizes the class partition, hashing the condensed form is
+// equivalent to hashing the dense table — just O(n·C + |Σ|) instead of
+// O(n·|Σ|).
 uint64_t HashStructure(int alphabet_size, int num_states, int start,
-                       const std::vector<int>& next,
+                       const std::vector<int>& letter_class,
+                       const std::vector<int>& cnext,
                        const std::vector<bool>& accepting) {
   uint64_t h = 1469598103934665603ULL;
   auto mix = [&h](uint64_t v) {
@@ -27,29 +35,123 @@ uint64_t HashStructure(int alphabet_size, int num_states, int start,
   mix(static_cast<uint64_t>(alphabet_size));
   mix(static_cast<uint64_t>(num_states));
   mix(static_cast<uint64_t>(start));
-  for (int t : next) mix(static_cast<uint64_t>(t) + 0x9e3779b97f4a7c15ULL);
+  for (int c : letter_class) mix(static_cast<uint64_t>(c) + 0x9e3779b97f4a7c15ULL);
+  for (int t : cnext) mix(static_cast<uint64_t>(t) + 0x9e3779b97f4a7c15ULL);
   for (size_t q = 0; q < accepting.size(); ++q) {
     if (accepting[q]) mix(q * 2 + 1);
   }
   return h;
 }
 
+std::vector<int> IdentityLetterMap(int alphabet_size) {
+  std::vector<int> id(alphabet_size);
+  std::iota(id.begin(), id.end(), 0);
+  return id;
+}
+
 }  // namespace
 
-Dfa::Dfa(int alphabet_size, int num_states, int start, std::vector<int> next,
-         std::vector<bool> accepting)
+ClassKernel GetClassKernel() {
+  return g_class_kernel.load(std::memory_order_relaxed);
+}
+
+void SetClassKernel(ClassKernel kernel) {
+  g_class_kernel.store(kernel, std::memory_order_relaxed);
+}
+
+Dfa::Dfa(int alphabet_size, int num_states, int start,
+         std::vector<int> letter_class, int num_hint_classes,
+         std::vector<int> condensed_next, std::vector<bool> accepting)
     : alphabet_size_(alphabet_size),
       num_states_(num_states),
       start_(start),
-      next_(std::move(next)),
-      accepting_(std::move(accepting)),
-      hash_(HashStructure(alphabet_size_, num_states_, start_, next_,
-                          accepting_)) {}
+      accepting_(std::move(accepting)) {
+  const int h = num_hint_classes;
+  // Coarsen: merge hint classes whose condensed columns coincide, so the
+  // stored partition is the coarsest one even when the hint is finer (e.g.
+  // the identity hint of the dense construction paths, or a product's joint
+  // refinement that over-splits). Columns are bucketed by hash and verified
+  // exactly on collision.
+  std::vector<int> group_of(h);
+  {
+    std::vector<uint64_t> col_hash(h);
+    for (int c = 0; c < h; ++c) {
+      uint64_t hh = 1469598103934665603ULL;
+      for (int q = 0; q < num_states_; ++q) {
+        hh ^= static_cast<uint64_t>(
+                  condensed_next[static_cast<size_t>(q) * h + c]) +
+              0x9e3779b97f4a7c15ULL;
+        hh *= 1099511628211ULL;
+      }
+      col_hash[c] = hh;
+    }
+    auto same_col = [&](int c1, int c2) {
+      for (int q = 0; q < num_states_; ++q) {
+        if (condensed_next[static_cast<size_t>(q) * h + c1] !=
+            condensed_next[static_cast<size_t>(q) * h + c2]) {
+          return false;
+        }
+      }
+      return true;
+    };
+    std::unordered_map<uint64_t, std::vector<int>> buckets;
+    for (int c = 0; c < h; ++c) {
+      std::vector<int>& reps = buckets[col_hash[c]];
+      int g = -1;
+      for (int r : reps) {
+        if (same_col(r, c)) {
+          g = r;
+          break;
+        }
+      }
+      if (g < 0) {
+        reps.push_back(c);
+        g = c;
+      }
+      group_of[c] = g;
+    }
+  }
+  // Canonical renumbering by first letter occurrence; hint classes no letter
+  // maps to are dropped. This makes the condensed form a function of the
+  // dense transition structure alone, so structural hashing/equality work on
+  // it directly.
+  letter_class_.resize(alphabet_size_);
+  std::vector<int> canon_of_group(h, -1);
+  std::vector<int> member_hint;  // canonical class -> source hint class
+  for (int s = 0; s < alphabet_size_; ++s) {
+    int g = group_of[letter_class[s]];
+    if (canon_of_group[g] < 0) {
+      canon_of_group[g] = static_cast<int>(member_hint.size());
+      member_hint.push_back(g);
+      class_rep_.push_back(static_cast<Symbol>(s));
+    }
+    letter_class_[s] = canon_of_group[g];
+  }
+  num_classes_ = static_cast<int>(member_hint.size());
+  cnext_.resize(static_cast<size_t>(num_states_) * num_classes_);
+  for (int q = 0; q < num_states_; ++q) {
+    const int* row = &condensed_next[static_cast<size_t>(q) * h];
+    int* out = &cnext_[static_cast<size_t>(q) * num_classes_];
+    for (int c = 0; c < num_classes_; ++c) out[c] = row[member_hint[c]];
+  }
+  hash_ = HashStructure(alphabet_size_, num_states_, start_, letter_class_,
+                        cnext_, accepting_);
+  obs::Count(obs::kDfaClassesTotal, num_classes_);
+  obs::Count(obs::kDfaTableBytesCondensed, TableBytesCondensed());
+  obs::Count(obs::kDfaTableBytesDenseEquiv, TableBytesDenseEquiv());
+}
+
+Dfa::Dfa(int alphabet_size, int num_states, int start, std::vector<int> next,
+         std::vector<bool> accepting)
+    : Dfa(alphabet_size, num_states, start, IdentityLetterMap(alphabet_size),
+          alphabet_size, std::move(next), std::move(accepting)) {}
 
 bool Dfa::StructurallyEqual(const Dfa& other) const {
   return hash_ == other.hash_ && alphabet_size_ == other.alphabet_size_ &&
          num_states_ == other.num_states_ && start_ == other.start_ &&
-         next_ == other.next_ && accepting_ == other.accepting_;
+         num_classes_ == other.num_classes_ &&
+         letter_class_ == other.letter_class_ && cnext_ == other.cnext_ &&
+         accepting_ == other.accepting_;
 }
 
 Result<Dfa> Dfa::Create(int alphabet_size, int start,
@@ -98,14 +200,56 @@ Result<Dfa> Dfa::CreateFlat(int alphabet_size, int num_states, int start,
              std::move(accepting));
 }
 
+Result<Dfa> Dfa::CreateCondensed(int alphabet_size, int num_states, int start,
+                                 std::vector<int> letter_class,
+                                 int num_hint_classes,
+                                 std::vector<int> condensed_next,
+                                 std::vector<bool> accepting) {
+  if (num_states <= 0) {
+    return InvalidArgumentError("DFA must have at least one state");
+  }
+  if (alphabet_size <= 0) {
+    return InvalidArgumentError("alphabet size must be positive");
+  }
+  if (num_hint_classes <= 0) {
+    return InvalidArgumentError("hint partition must have at least one class");
+  }
+  if (start < 0 || start >= num_states) {
+    return InvalidArgumentError("bad start state");
+  }
+  if (static_cast<int>(accepting.size()) != num_states) {
+    return InvalidArgumentError("accepting vector size mismatch");
+  }
+  if (static_cast<int>(letter_class.size()) != alphabet_size) {
+    return InvalidArgumentError("letter-class map size mismatch");
+  }
+  for (int c : letter_class) {
+    if (c < 0 || c >= num_hint_classes) {
+      return InvalidArgumentError("letter-class id out of range");
+    }
+  }
+  if (condensed_next.size() !=
+      static_cast<size_t>(num_states) * num_hint_classes) {
+    return InvalidArgumentError("condensed table size mismatch");
+  }
+  for (int t : condensed_next) {
+    if (t < 0 || t >= num_states) {
+      return InvalidArgumentError("bad transition target");
+    }
+  }
+  return Dfa(alphabet_size, num_states, start, std::move(letter_class),
+             num_hint_classes, std::move(condensed_next),
+             std::move(accepting));
+}
+
 Dfa Dfa::EmptyLanguage(int alphabet_size) {
-  return Dfa(alphabet_size, 1, 0,
-             std::vector<int>(static_cast<size_t>(alphabet_size), 0), {false});
+  return Dfa(alphabet_size, 1, 0, std::vector<int>(alphabet_size, 0), 1, {0},
+             {false});
 }
 
 Dfa Dfa::AllStrings(int alphabet_size) {
-  return Dfa(alphabet_size, 1, 0,
-             std::vector<int>(static_cast<size_t>(alphabet_size), 0), {true});
+  return Dfa(alphabet_size, 1, 0, std::vector<int>(alphabet_size, 0), 1, {0},
+             {true});
 }
 
 Dfa Dfa::SingleString(int alphabet_size, const std::vector<Symbol>& w) {
@@ -137,14 +281,16 @@ bool Dfa::AcceptsString(const Alphabet& alphabet, const std::string& w) const {
 }
 
 std::vector<bool> Dfa::ReachableStates() const {
+  // Reachability only needs one edge per class: same-class letters share
+  // their target by construction.
   std::vector<bool> seen(num_states_, false);
   std::deque<int> queue = {start_};
   seen[start_] = true;
   while (!queue.empty()) {
     int q = queue.front();
     queue.pop_front();
-    for (int s = 0; s < alphabet_size_; ++s) {
-      int t = Next(q, s);
+    for (int c = 0; c < num_classes_; ++c) {
+      int t = NextByClass(q, c);
       if (!seen[t]) {
         seen[t] = true;
         queue.push_back(t);
@@ -158,7 +304,7 @@ std::vector<bool> Dfa::CoreachableStates() const {
   int n = num_states_;
   std::vector<std::vector<int>> rev(n);
   for (int q = 0; q < n; ++q) {
-    for (int s = 0; s < alphabet_size_; ++s) rev[Next(q, s)].push_back(q);
+    for (int c = 0; c < num_classes_; ++c) rev[NextByClass(q, c)].push_back(q);
   }
   std::vector<bool> seen(n, false);
   std::deque<int> queue;
@@ -194,6 +340,8 @@ bool Dfa::IsUniversal() const { return Complemented().IsEmpty(); }
 bool Dfa::IsFinite() const {
   // The language is infinite iff some *useful* state (reachable from start,
   // able to reach an accepting state) lies on a cycle within useful states.
+  // Cycle existence is insensitive to edge multiplicity, so the walk goes
+  // class by class.
   std::vector<bool> reach = ReachableStates();
   std::vector<bool> coreach = CoreachableStates();
   int n = num_states_;
@@ -205,17 +353,17 @@ bool Dfa::IsFinite() const {
   std::vector<Color> color(n, kWhite);
   for (int root = 0; root < n; ++root) {
     if (!useful[root] || color[root] != kWhite) continue;
-    // Stack of (state, next symbol index to explore).
+    // Stack of (state, next class index to explore).
     std::vector<std::pair<int, int>> stack = {{root, 0}};
     color[root] = kGray;
     while (!stack.empty()) {
       auto& [q, i] = stack.back();
-      if (i >= alphabet_size_) {
+      if (i >= num_classes_) {
         color[q] = kBlack;
         stack.pop_back();
         continue;
       }
-      int t = Next(q, i++);
+      int t = NextByClass(q, i++);
       if (!useful[t]) continue;
       if (color[t] == kGray) return false;  // cycle among useful states
       if (color[t] == kWhite) {
@@ -234,23 +382,29 @@ uint64_t SaturatingAdd(uint64_t a, uint64_t b) {
   return a + b;
 }
 
+uint64_t SaturatingMul(uint64_t a, uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > Dfa::kCountSaturated / b) return Dfa::kCountSaturated;
+  return a * b;
+}
+
 }  // namespace
 
 uint64_t Dfa::CountLength(int n) const {
   // counts[q] = number of strings of the processed length ending in q.
+  // Counting *does* depend on multiplicity, so each class edge is weighted
+  // by the number of letters it stands for.
+  std::vector<uint64_t> class_size(num_classes_, 0);
+  for (int s = 0; s < alphabet_size_; ++s) ++class_size[letter_class_[s]];
   std::vector<uint64_t> counts(num_states_, 0);
   counts[start_] = 1;
   for (int step = 0; step < n; ++step) {
     std::vector<uint64_t> nxt(num_states_, 0);
     for (int q = 0; q < num_states_; ++q) {
       if (counts[q] == 0) continue;
-      for (int s = 0; s < alphabet_size_; ++s) {
-        int t = Next(q, s);
-        if (counts[q] == kCountSaturated) {
-          nxt[t] = kCountSaturated;
-        } else {
-          nxt[t] = SaturatingAdd(nxt[t], counts[q]);
-        }
+      for (int c = 0; c < num_classes_; ++c) {
+        int t = NextByClass(q, c);
+        nxt[t] = SaturatingAdd(nxt[t], SaturatingMul(counts[q], class_size[c]));
       }
     }
     counts = std::move(nxt);
@@ -276,7 +430,9 @@ std::vector<std::vector<Symbol>> Dfa::Enumerate(int max_len,
   std::vector<bool> coreach = CoreachableStates();
   if (!coreach[start_]) return out;
 
-  // Shortlex: breadth-first over (state, word) pruned to co-reachable states.
+  // Shortlex: breadth-first over (state, word) pruned to co-reachable
+  // states. Words are letter sequences, so this loop is inherently
+  // letter-indexed.
   std::deque<std::pair<int, std::vector<Symbol>>> queue;
   queue.push_back({start_, {}});
   while (!queue.empty() && out.size() < max_count) {
@@ -285,7 +441,7 @@ std::vector<std::vector<Symbol>> Dfa::Enumerate(int max_len,
     if (accepting_[q]) out.push_back(w);
     if (static_cast<int>(w.size()) >= max_len) continue;
     for (int s = 0; s < alphabet_size_; ++s) {
-      int t = Next(q, s);
+      int t = Next(q, static_cast<Symbol>(s));
       if (!coreach[t]) continue;
       std::vector<Symbol> w2 = w;
       w2.push_back(static_cast<Symbol>(s));
@@ -296,7 +452,8 @@ std::vector<std::vector<Symbol>> Dfa::Enumerate(int max_len,
 }
 
 std::optional<std::vector<Symbol>> Dfa::ShortestAccepted() const {
-  // BFS from start recording the first-reached word.
+  // BFS from start recording the first-reached word (letter order keeps the
+  // witness shortlex-minimal).
   std::vector<bool> seen(num_states_, false);
   std::deque<std::pair<int, std::vector<Symbol>>> queue;
   queue.push_back({start_, {}});
@@ -306,7 +463,7 @@ std::optional<std::vector<Symbol>> Dfa::ShortestAccepted() const {
     queue.pop_front();
     if (accepting_[q]) return w;
     for (int s = 0; s < alphabet_size_; ++s) {
-      int t = Next(q, s);
+      int t = Next(q, static_cast<Symbol>(s));
       if (seen[t]) continue;
       seen[t] = true;
       std::vector<Symbol> w2 = w;
@@ -331,9 +488,9 @@ std::optional<int> Dfa::MaxAcceptedLength() const {
   if (!any) return -1;
 
   // The useful subgraph is a DAG (IsFinite). Longest path from start to an
-  // accepting state via memoized DFS; memo[q] = longest suffix-path length
-  // ending at an accepting state from q (-1 if none, which cannot happen for
-  // useful q).
+  // accepting state via memoized DFS; path length only needs one edge per
+  // class. memo[q] = longest suffix-path length ending at an accepting state
+  // from q (-1 if none, which cannot happen for useful q).
   std::vector<int> memo(n, -2);  // -2 = unvisited
   // Iterative post-order.
   std::vector<std::pair<int, int>> stack = {{start_, 0}};
@@ -344,15 +501,15 @@ std::optional<int> Dfa::MaxAcceptedLength() const {
       stack.pop_back();
       continue;
     }
-    if (i < alphabet_size_) {
-      int t = Next(q, i++);
+    if (i < num_classes_) {
+      int t = NextByClass(q, i++);
       if (useful[t] && memo[t] == -2) stack.push_back({t, 0});
       continue;
     }
     // All children done; compute.
     int best = accepting_[q] ? 0 : -1;
-    for (int s = 0; s < alphabet_size_; ++s) {
-      int t = Next(q, s);
+    for (int c = 0; c < num_classes_; ++c) {
+      int t = NextByClass(q, c);
       if (useful[t] && memo[t] >= 0) best = std::max(best, memo[t] + 1);
     }
     memo[q] = best;
@@ -364,10 +521,13 @@ std::optional<int> Dfa::MaxAcceptedLength() const {
 Dfa Dfa::Complemented() const {
   std::vector<bool> acc(accepting_.size());
   for (size_t q = 0; q < accepting_.size(); ++q) acc[q] = !accepting_[q];
-  return Dfa(alphabet_size_, num_states_, start_, next_, std::move(acc));
+  // Flipping acceptance leaves every transition column unchanged, so the
+  // existing partition is passed through as the (already coarsest) hint.
+  return Dfa(alphabet_size_, num_states_, start_, letter_class_, num_classes_,
+             cnext_, std::move(acc));
 }
 
-int Dfa::ReachableRestriction(std::vector<int>* next, std::vector<bool>* acc,
+int Dfa::ReachableRestriction(std::vector<int>* cnext, std::vector<bool>* acc,
                               int* num_states) const {
   std::vector<bool> reach = ReachableStates();
   std::vector<int> remap(num_states_, -1);
@@ -375,13 +535,13 @@ int Dfa::ReachableRestriction(std::vector<int>* next, std::vector<bool>* acc,
   for (int q = 0; q < num_states_; ++q) {
     if (reach[q]) remap[q] = m++;
   }
-  next->assign(static_cast<size_t>(m) * alphabet_size_, 0);
+  cnext->assign(static_cast<size_t>(m) * num_classes_, 0);
   acc->assign(m, false);
   for (int q = 0; q < num_states_; ++q) {
     if (!reach[q]) continue;
-    for (int s = 0; s < alphabet_size_; ++s) {
-      (*next)[static_cast<size_t>(remap[q]) * alphabet_size_ + s] =
-          remap[Next(q, s)];
+    for (int c = 0; c < num_classes_; ++c) {
+      (*cnext)[static_cast<size_t>(remap[q]) * num_classes_ + c] =
+          remap[NextByClass(q, c)];
     }
     (*acc)[remap[q]] = accepting_[q];
   }
@@ -389,19 +549,26 @@ int Dfa::ReachableRestriction(std::vector<int>* next, std::vector<bool>* acc,
   return remap[start_];
 }
 
-Dfa Dfa::CanonicalQuotient(int alphabet_size, int num_states, int start,
-                           const std::vector<int>& next,
+Dfa Dfa::CanonicalQuotient(int alphabet_size,
+                           const std::vector<int>& letter_class,
+                           int num_hint_classes, int num_states, int start,
+                           const std::vector<int>& cnext,
                            const std::vector<bool>& accepting,
                            const std::vector<int>& part, int num_parts) {
+  const int h = num_hint_classes;
   // Quotient transition function via one representative per block.
   std::vector<int> rep(num_parts, -1);
   for (int q = 0; q < num_states; ++q) {
     if (rep[part[q]] < 0) rep[part[q]] = q;
   }
   // Canonical renumbering: BFS over blocks from the start block, exploring
-  // symbols in increasing order. Every block contains a reachable state, so
-  // the BFS covers all blocks; the resulting numbering depends only on the
-  // quotient automaton, making equivalent inputs structurally identical.
+  // hint classes in increasing order. Hint classes are numbered by first
+  // letter occurrence and same-class letters share targets, so this visits
+  // blocks in exactly the order a dense BFS in letter order would — the
+  // numbering is the same under either kernel. Every block contains a
+  // reachable state, so the BFS covers all blocks; the resulting numbering
+  // depends only on the quotient automaton, making equivalent inputs
+  // structurally identical.
   std::vector<int> order(num_parts, -1);
   int assigned = 0;
   std::deque<int> queue;
@@ -411,8 +578,8 @@ Dfa Dfa::CanonicalQuotient(int alphabet_size, int num_states, int start,
     int b = queue.front();
     queue.pop_front();
     int q = rep[b];
-    for (int s = 0; s < alphabet_size; ++s) {
-      int tb = part[next[static_cast<size_t>(q) * alphabet_size + s]];
+    for (int c = 0; c < h; ++c) {
+      int tb = part[cnext[static_cast<size_t>(q) * h + c]];
       if (order[tb] < 0) {
         order[tb] = assigned++;
         queue.push_back(tb);
@@ -421,37 +588,62 @@ Dfa Dfa::CanonicalQuotient(int alphabet_size, int num_states, int start,
   }
   assert(assigned == num_parts);
 
-  std::vector<int> min_next(static_cast<size_t>(num_parts) * alphabet_size, 0);
+  std::vector<int> min_cnext(static_cast<size_t>(num_parts) * h, 0);
   std::vector<bool> min_acc(num_parts, false);
   for (int b = 0; b < num_parts; ++b) {
     int q = rep[b];
-    for (int s = 0; s < alphabet_size; ++s) {
-      min_next[static_cast<size_t>(order[b]) * alphabet_size + s] =
-          order[part[next[static_cast<size_t>(q) * alphabet_size + s]]];
+    for (int c = 0; c < h; ++c) {
+      min_cnext[static_cast<size_t>(order[b]) * h + c] =
+          order[part[cnext[static_cast<size_t>(q) * h + c]]];
     }
     min_acc[order[b]] = accepting[q];
   }
-  return Dfa(alphabet_size, num_parts, order[part[start]],
-             std::move(min_next), std::move(min_acc));
+  return Dfa(alphabet_size, num_parts, order[part[start]], letter_class, h,
+             std::move(min_cnext), std::move(min_acc));
 }
 
 Dfa Dfa::Minimized() const {
   obs::Span span("dfa.minimize");
-  std::vector<int> next;
+  std::vector<int> rnext;
   std::vector<bool> accepting;
   int m = 0;
-  int start = ReachableRestriction(&next, &accepting, &m);
-  const int k = alphabet_size_;
+  int start = ReachableRestriction(&rnext, &accepting, &m);
+
+  // Effective column table the refinement splits on. Splitting on a class is
+  // equivalent to splitting on any of its letters (identical preimages), so
+  // the condensed kernel refines over the C class columns; the dense
+  // baseline expands them back to the |Σ| letter columns and reproduces the
+  // pre-class behavior exactly.
+  const bool dense = GetClassKernel() == ClassKernel::kDense;
+  int k;
+  std::vector<int> eff;
+  std::vector<int> eff_letter_class;
+  if (dense) {
+    k = alphabet_size_;
+    eff.resize(static_cast<size_t>(m) * k);
+    for (int q = 0; q < m; ++q) {
+      for (int s = 0; s < k; ++s) {
+        eff[static_cast<size_t>(q) * k + s] =
+            rnext[static_cast<size_t>(q) * num_classes_ + letter_class_[s]];
+      }
+    }
+    eff_letter_class = IdentityLetterMap(k);
+  } else {
+    k = num_classes_;
+    eff = std::move(rnext);
+    eff_letter_class = letter_class_;
+  }
 
   // Hopcroft partition refinement over the reachable restriction.
   //
-  // Inverse transitions in CSR form per symbol: the sources of t under s are
-  // rev[rev_off[s * (m+1) + t] .. rev_off[s * (m+1) + t + 1]).
+  // Inverse transitions in CSR form per effective column: the sources of t
+  // under column s are rev[rev_off[s * (m+1) + t] .. rev_off[s * (m+1) + t +
+  // 1]).
   std::vector<int> rev_off(static_cast<size_t>(k) * (m + 1) + 1, 0);
   {
     for (int q = 0; q < m; ++q) {
       for (int s = 0; s < k; ++s) {
-        int t = next[static_cast<size_t>(q) * k + s];
+        int t = eff[static_cast<size_t>(q) * k + s];
         ++rev_off[static_cast<size_t>(s) * (m + 1) + t + 1];
       }
     }
@@ -462,7 +654,7 @@ Dfa Dfa::Minimized() const {
     std::vector<int> cursor(rev_off.begin(), rev_off.end() - 1);
     for (int q = 0; q < m; ++q) {
       for (int s = 0; s < k; ++s) {
-        int t = next[static_cast<size_t>(q) * k + s];
+        int t = eff[static_cast<size_t>(q) * k + s];
         rev[cursor[static_cast<size_t>(s) * (m + 1) + t]++] = q;
       }
     }
@@ -486,7 +678,7 @@ Dfa Dfa::Minimized() const {
     }
   }
 
-  // Worklist of (block, symbol) splitters. Seeding with every pair is
+  // Worklist of (block, column) splitters. Seeding with every pair is
   // correct; the smaller-half rule below keeps the refinement O(n·k·log n).
   std::deque<std::pair<int, int>> worklist;
   std::vector<std::vector<bool>> in_worklist;
@@ -502,7 +694,7 @@ Dfa Dfa::Minimized() const {
     worklist.pop_front();
     in_worklist[a][s] = false;
 
-    // X = preimage of block a under symbol s.
+    // X = preimage of block a under column s.
     marked_states.clear();
     for (int t : blocks[a]) {
       int lo = rev_off[static_cast<size_t>(s) * (m + 1) + t];
@@ -553,21 +745,23 @@ Dfa Dfa::Minimized() const {
   int num_parts = static_cast<int>(blocks.size());
   span.Attr("in_states", num_states());
   span.Attr("out_states", num_parts);
+  span.Attr("classes", num_classes_);
   obs::Count(obs::kDfaMinimizations);
   obs::Count(obs::kDfaStatesBuilt, num_parts);
-  return CanonicalQuotient(k, m, start, next, accepting, block_of, num_parts);
+  return CanonicalQuotient(alphabet_size_, eff_letter_class, k, m, start, eff,
+                           accepting, block_of, num_parts);
 }
 
 Dfa Dfa::MinimizedMoore() const {
   obs::Span span("dfa.minimize");
-  std::vector<int> next;
+  std::vector<int> rnext;
   std::vector<bool> accepting;
   int m = 0;
-  int start = ReachableRestriction(&next, &accepting, &m);
+  int start = ReachableRestriction(&rnext, &accepting, &m);
 
-  // Moore partition refinement: O(n^2 * |Σ|) worst case. Kept as the
-  // reference implementation that Minimized() is differential-tested
-  // against.
+  // Moore partition refinement: O(n^2 * |Σ|) worst case, signatures taken
+  // letter by letter. Kept as the reference implementation that Minimized()
+  // is differential-tested against under both class kernels.
   std::vector<int> part(m);
   for (int q = 0; q < m; ++q) part[q] = accepting[q] ? 1 : 0;
   int num_parts = 2;
@@ -582,7 +776,8 @@ Dfa Dfa::MinimizedMoore() const {
       sig.reserve(alphabet_size_ + 1);
       sig.push_back(part[q]);
       for (int s = 0; s < alphabet_size_; ++s) {
-        sig.push_back(part[next[static_cast<size_t>(q) * alphabet_size_ + s]]);
+        sig.push_back(part[rnext[static_cast<size_t>(q) * num_classes_ +
+                                 letter_class_[s]]]);
       }
       auto [it, inserted] =
           sig_to_id.emplace(std::move(sig), static_cast<int>(sig_to_id.size()));
@@ -601,8 +796,8 @@ Dfa Dfa::MinimizedMoore() const {
   span.Attr("out_states", num_parts);
   obs::Count(obs::kDfaMinimizations);
   obs::Count(obs::kDfaStatesBuilt, num_parts);
-  return CanonicalQuotient(alphabet_size_, m, start, next, accepting, part,
-                           num_parts);
+  return CanonicalQuotient(alphabet_size_, letter_class_, num_classes_, m,
+                           start, rnext, accepting, part, num_parts);
 }
 
 }  // namespace strq

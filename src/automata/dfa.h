@@ -11,16 +11,54 @@
 
 namespace strq {
 
+// Which kernel variant the hot automaton algorithms use. The condensed
+// kernels iterate the symbol-equivalence classes described below; the dense
+// kernels iterate raw letters exactly like the pre-class code and are kept
+// as the differential-testing and ablation baseline (mirroring the
+// reachable/eager ProductKernel switch in automata/ops.h). Storage is
+// canonically condensed under either kernel, so both produce structurally
+// identical automata and identical store ids.
+enum class ClassKernel { kCondensed, kDense };
+ClassKernel GetClassKernel();
+void SetClassKernel(ClassKernel kernel);
+
+// RAII kernel switch for tests and benches.
+class ScopedClassKernel {
+ public:
+  explicit ScopedClassKernel(ClassKernel kernel) : saved_(GetClassKernel()) {
+    SetClassKernel(kernel);
+  }
+  ~ScopedClassKernel() { SetClassKernel(saved_); }
+  ScopedClassKernel(const ScopedClassKernel&) = delete;
+  ScopedClassKernel& operator=(const ScopedClassKernel&) = delete;
+
+ private:
+  ClassKernel saved_;
+};
+
 // A complete deterministic finite automaton over symbols {0..alphabet_size-1}.
 // Transition tables are total: every state has a successor on every symbol
 // (constructions add an explicit sink where needed). States are dense ints.
 //
-// The transition table is a single flat allocation in row-major order
-// (next_[q * alphabet_size + s]), and every Dfa carries a structural hash
-// computed once at construction. Together with the canonical state numbering
-// produced by Minimized() this makes hash-consing possible: two minimized
-// DFAs denote the same language iff they are structurally equal, which the
-// AutomatonStore checks with one hash probe plus a memcmp-style compare.
+// The transition table is stored *condensed* over the automaton's symbol
+// equivalence classes (character classes / minterms): the coarsest partition
+// of the alphabet such that every state treats same-class letters
+// identically, i.e. letters s, s' are equivalent iff Next(q,s) == Next(q,s')
+// for all q. Over the padded convolution alphabets of the mta layer this
+// partition is typically tiny — the equal-length atom distinguishes 4 classes
+// out of (|Σ|+1)² letters — so the condensed table (num_states × num_classes)
+// plus the letter→class map is exponentially smaller in the arity than the
+// dense letter-indexed table it replaces.
+//
+// Classes are numbered canonically by first letter occurrence (class 0
+// contains letter 0; the next class starts at the smallest letter not in
+// class 0; ...). Every constructor coarsens and canonically renumbers, so the
+// condensed form is a function of the dense transition structure alone. The
+// structural hash is computed once over the condensed form; together with
+// the canonical state numbering produced by Minimized() this makes
+// hash-consing possible: two minimized DFAs denote the same language iff
+// they are structurally equal, which the AutomatonStore checks with one
+// hash probe plus a memcmp-style compare.
 class Dfa {
  public:
   // Creates a DFA; `next[q][s]` is the successor of state q on symbol s.
@@ -35,6 +73,23 @@ class Dfa {
                                 std::vector<int> next,
                                 std::vector<bool> accepting);
 
+  // Constructs from an already-condensed table, skipping the dense
+  // materialization entirely: `letter_class[s]` maps each letter to a hint
+  // class in 0..num_hint_classes-1 and `condensed_next` has one row of
+  // `num_hint_classes` targets per state. The hint partition must be *valid*
+  // (same-hint-class letters genuinely share a dense column — this is the
+  // caller's contract and is what the class-aware kernels guarantee by
+  // construction) but need not be coarsest and need not be canonically
+  // numbered: the constructor coarsens hint classes with identical columns
+  // and renumbers canonically, and hint classes no letter maps to are
+  // dropped. Cost O(num_states · num_hint_classes + alphabet_size), so a
+  // good hint avoids ever touching the dense |Σ| axis.
+  static Result<Dfa> CreateCondensed(int alphabet_size, int num_states,
+                                     int start, std::vector<int> letter_class,
+                                     int num_hint_classes,
+                                     std::vector<int> condensed_next,
+                                     std::vector<bool> accepting);
+
   // The one-state DFA rejecting everything.
   static Dfa EmptyLanguage(int alphabet_size);
   // The one-state DFA accepting Σ*.
@@ -44,23 +99,56 @@ class Dfa {
 
   int alphabet_size() const { return alphabet_size_; }
   int num_states() const { return num_states_; }
-  // Total transition-table entries, num_states() * alphabet_size(): the
-  // tables are complete, so this is the memory-relevant size figure that
-  // the observability layer records alongside state counts.
+  // Total *dense-equivalent* transition-table entries,
+  // num_states() * alphabet_size(): the tables are logically complete, so
+  // this remains the size figure the observability layer records alongside
+  // state counts, independent of how far the condensed storage compresses.
   int64_t NumTransitions() const {
-    return static_cast<int64_t>(next_.size());
+    return static_cast<int64_t>(num_states_) * alphabet_size_;
   }
   int start() const { return start_; }
   int Next(int state, Symbol s) const {
-    return next_[static_cast<size_t>(state) * alphabet_size_ + s];
+    return cnext_[static_cast<size_t>(state) * num_classes_ +
+                  letter_class_[s]];
   }
   bool IsAccepting(int state) const { return accepting_[state]; }
 
+  // --- Character-class accessors ----------------------------------------
+
+  // Number of symbol-equivalence classes (coarsest partition; >= 1).
+  int num_classes() const { return num_classes_; }
+  // Class id of a letter, in 0..num_classes()-1.
+  int LetterClass(Symbol s) const { return letter_class_[s]; }
+  // Smallest letter of a class (classes are numbered by first occurrence,
+  // so ClassRep is strictly increasing in the class id).
+  Symbol ClassRep(int cls) const { return class_rep_[cls]; }
+  // Successor of `state` on every letter of class `cls`.
+  int NextByClass(int state, int cls) const {
+    return cnext_[static_cast<size_t>(state) * num_classes_ + cls];
+  }
+  // The letter→class map, alphabet_size() entries.
+  const std::vector<int>& letter_classes() const { return letter_class_; }
+
+  // Bytes actually held by the condensed transition structure (condensed
+  // table + letter map + class representatives).
+  int64_t TableBytesCondensed() const {
+    return static_cast<int64_t>(cnext_.size() * sizeof(int) +
+                                letter_class_.size() * sizeof(int) +
+                                class_rep_.size() * sizeof(Symbol));
+  }
+  // Bytes a dense letter-indexed table for this automaton would occupy.
+  int64_t TableBytesDenseEquiv() const {
+    return NumTransitions() * static_cast<int64_t>(sizeof(int));
+  }
+
   // Structural identity. The hash covers alphabet size, start state, the
-  // full transition table and the accepting set; it is computed eagerly at
-  // construction so reads are free. Equal structure implies equal language;
-  // for canonically-minimized DFAs (the output of Minimized()) the converse
-  // holds too, which is what the unique table relies on.
+  // letter→class map, the condensed transition table and the accepting set;
+  // it is computed eagerly at construction so reads are free. Because the
+  // condensed form is canonical (coarsest partition, first-occurrence class
+  // numbering), equal dense structure implies equal condensed structure and
+  // vice versa. Equal structure implies equal language; for canonically-
+  // minimized DFAs (the output of Minimized()) the converse holds too, which
+  // is what the unique table relies on.
   uint64_t StructuralHash() const { return hash_; }
   bool StructurallyEqual(const Dfa& other) const;
 
@@ -100,27 +188,46 @@ class Dfa {
   // Language transformations (all return complete DFAs).
   Dfa Complemented() const;
 
-  // Hopcroft minimization, O(n·|Σ|·log n). Removes unreachable states and
-  // renumbers the result canonically (BFS from the start state in symbol
-  // order), so equivalent DFAs minimize to structurally identical automata.
+  // Hopcroft minimization, O(n·C·log n) over the C symbol classes (O(n·|Σ|·
+  // log n) under the dense kernel). Removes unreachable states and renumbers
+  // the result canonically (BFS from the start state in class — equivalently
+  // symbol — order), so equivalent DFAs minimize to structurally identical
+  // automata under either kernel.
   Dfa Minimized() const;
 
   // Reference Moore partition refinement (O(n²·|Σ|)), kept for differential
-  // testing of Minimized(). Produces the same canonical numbering.
+  // testing of Minimized(). Produces the same canonical numbering. Always
+  // letter-dense.
   Dfa MinimizedMoore() const;
 
  private:
+  // Condensing constructor; every public construction funnels here. The
+  // hint contract is as documented on CreateCondensed. The dense paths pass
+  // the identity hint (num_hint_classes == alphabet_size).
+  Dfa(int alphabet_size, int num_states, int start,
+      std::vector<int> letter_class, int num_hint_classes,
+      std::vector<int> condensed_next, std::vector<bool> accepting);
+
+  // Dense convenience: identity hint over a flat letter-indexed table.
   Dfa(int alphabet_size, int num_states, int start, std::vector<int> next,
       std::vector<bool> accepting);
 
-  // Restrict to states reachable from start; fills the flat table/accepting
-  // vector of the restriction and returns its start state.
-  int ReachableRestriction(std::vector<int>* next, std::vector<bool>* acc,
+  // Restrict to states reachable from start; fills the condensed table
+  // (num_classes_ columns) and accepting vector of the restriction and
+  // returns its start state.
+  int ReachableRestriction(std::vector<int>* cnext, std::vector<bool>* acc,
                            int* num_states) const;
-  // Quotient by a partition (part[q] = block id of q, blocks dense 0..k-1),
-  // then renumber canonically by BFS from the start block in symbol order.
-  static Dfa CanonicalQuotient(int alphabet_size, int num_states, int start,
-                               const std::vector<int>& next,
+  // Quotient by a state partition (part[q] = block id of q, blocks dense
+  // 0..num_parts-1) of an automaton given in condensed form (`cnext` has
+  // `num_hint_classes` columns; `letter_class` maps letters to those
+  // columns), then renumber canonically by BFS from the start block in hint-
+  // class order. Because hint classes are grouped letter intervals in first-
+  // occurrence order, this is the same numbering the dense letter-order BFS
+  // produces.
+  static Dfa CanonicalQuotient(int alphabet_size,
+                               const std::vector<int>& letter_class,
+                               int num_hint_classes, int num_states, int start,
+                               const std::vector<int>& cnext,
                                const std::vector<bool>& accepting,
                                const std::vector<int>& part, int num_parts);
 
@@ -132,8 +239,13 @@ class Dfa {
   int alphabet_size_;
   int num_states_;
   int start_;
-  // Row-major: next_[q * alphabet_size_ + s].
-  std::vector<int> next_;
+  int num_classes_;
+  // Letter -> class id; alphabet_size_ entries.
+  std::vector<int> letter_class_;
+  // Class id -> smallest member letter; num_classes_ entries.
+  std::vector<Symbol> class_rep_;
+  // Condensed transition table, row-major: cnext_[q * num_classes_ + c].
+  std::vector<int> cnext_;
   std::vector<bool> accepting_;
   uint64_t hash_;
 };

@@ -64,17 +64,94 @@ Result<Dfa> Determinize(const Nfa& nfa, int max_states) {
   return Dfa::Create(k, start, std::move(next), std::move(accepting));
 }
 
+Result<Dfa> DeterminizeClassed(
+    int alphabet_size, const std::vector<int>& letter_class, int num_classes,
+    int start, const std::vector<bool>& accepting,
+    const std::vector<std::vector<std::vector<int>>>& targets,
+    int max_states) {
+  int n = static_cast<int>(targets.size());
+  if (n == 0) return Dfa::EmptyLanguage(alphabet_size);
+  obs::Span span("dfa.determinize");
+  span.Attr("nfa_states", n);
+  span.Attr("classes", num_classes);
+  std::map<std::vector<int>, int> ids;
+  std::vector<std::vector<int>> subsets;
+  std::vector<int> cnext;
+  std::vector<bool> dfa_accepting;
+
+  auto intern = [&](std::vector<int> subset) -> int {
+    auto [it, inserted] = ids.emplace(subset, static_cast<int>(subsets.size()));
+    if (inserted) subsets.push_back(std::move(subset));
+    return it->second;
+  };
+
+  int dstart = intern({start});
+  for (size_t i = 0; i < subsets.size(); ++i) {
+    if (static_cast<int>(subsets.size()) > max_states) {
+      return ResourceExhaustedError("determinization exceeded state budget");
+    }
+    bool acc = false;
+    for (int q : subsets[i]) acc = acc || accepting[q];
+    dfa_accepting.push_back(acc);
+    for (int c = 0; c < num_classes; ++c) {
+      std::vector<int> moved;
+      for (int q : subsets[i]) {
+        const std::vector<int>& ts = targets[q][c];
+        moved.insert(moved.end(), ts.begin(), ts.end());
+      }
+      std::sort(moved.begin(), moved.end());
+      moved.erase(std::unique(moved.begin(), moved.end()), moved.end());
+      cnext.push_back(intern(std::move(moved)));
+    }
+  }
+  int m = static_cast<int>(subsets.size());
+  span.Attr("dfa_states", m);
+  obs::Count(obs::kDfaDeterminizations);
+  obs::Count(obs::kDfaStatesBuilt, m);
+  return Dfa::CreateCondensed(alphabet_size, m, dstart, letter_class,
+                              num_classes, std::move(cnext),
+                              std::move(dfa_accepting));
+}
+
 namespace {
 
 std::atomic<ProductKernel> g_product_kernel{ProductKernel::kReachable};
 
-// Reachable-only product: a BFS worklist from (start_a, start_b) interning
-// state pairs in discovery order, so only the reachable region of the
-// |A|x|B| pair space is ever allocated. Rows are appended in pop order,
-// which coincides with the dense ids, so the flat transition table needs no
-// final permutation.
-Result<Dfa> ProductReachable(const Dfa& a, const Dfa& b,
-                             bool (*combine)(bool, bool), int max_states) {
+// The joint refinement of the operands' symbol partitions: letters grouped
+// by their (class-in-a, class-in-b) pair. All letters of a joint class take
+// identical target pairs from any state pair, so the product only needs one
+// transition computation per joint class. Joint classes are numbered by
+// first letter occurrence, which makes the condensed BFS below discover
+// pairs in exactly the order the dense letter-order BFS would.
+struct JointPartition {
+  std::vector<int> letter_class;        // letter -> joint class
+  std::vector<std::pair<int, int>> cc;  // joint class -> (class_a, class_b)
+};
+
+JointPartition JoinPartitions(const Dfa& a, const Dfa& b) {
+  JointPartition jp;
+  int k = a.alphabet_size();
+  jp.letter_class.resize(k);
+  std::unordered_map<int64_t, int> ids;
+  for (int s = 0; s < k; ++s) {
+    int ca = a.LetterClass(static_cast<Symbol>(s));
+    int cb = b.LetterClass(static_cast<Symbol>(s));
+    int64_t key = static_cast<int64_t>(ca) * b.num_classes() + cb;
+    auto [it, inserted] = ids.emplace(key, static_cast<int>(jp.cc.size()));
+    if (inserted) jp.cc.emplace_back(ca, cb);
+    jp.letter_class[s] = it->second;
+  }
+  return jp;
+}
+
+// Reachable-only product, dense baseline: a BFS worklist from (start_a,
+// start_b) interning state pairs in discovery order, so only the reachable
+// region of the |A|x|B| pair space is ever allocated. Rows are appended in
+// pop order, which coincides with the dense ids, so the flat transition
+// table needs no final permutation.
+Result<Dfa> ProductReachableDense(const Dfa& a, const Dfa& b,
+                                  bool (*combine)(bool, bool),
+                                  int max_states) {
   int k = a.alphabet_size();
   int64_t nb = b.num_states();
   std::unordered_map<int64_t, int> ids;
@@ -103,7 +180,60 @@ Result<Dfa> ProductReachable(const Dfa& a, const Dfa& b,
   int n = static_cast<int>(pairs.size());
   obs::Count(obs::kDfaStatesBuilt, n);
   obs::Count(obs::kDfaProductStatesExplored, n);
+  obs::Count(obs::kDfaProductTransitions, static_cast<int64_t>(n) * k);
   return Dfa::CreateFlat(k, n, 0, std::move(next), std::move(accepting));
+}
+
+// Reachable-only product over the joint refinement: per popped pair the
+// worklist computes one target pair per joint class instead of one per
+// letter, and the result is assembled condensed with the joint partition as
+// hint — the dense letter axis is never touched beyond the O(|Σ|) letter
+// map. Produces a Dfa structurally identical to the dense kernel's (same
+// pair discovery order, and the Dfa constructor re-canonicalizes the
+// partition either way).
+Result<Dfa> ProductReachableCondensed(const Dfa& a, const Dfa& b,
+                                      bool (*combine)(bool, bool),
+                                      int max_states) {
+  JointPartition jp = JoinPartitions(a, b);
+  int nj = static_cast<int>(jp.cc.size());
+  int64_t nb = b.num_states();
+  std::unordered_map<int64_t, int> ids;
+  std::vector<int64_t> pairs;
+  auto intern = [&](int qa, int qb) -> int {
+    int64_t key = static_cast<int64_t>(qa) * nb + qb;
+    auto [it, inserted] = ids.emplace(key, static_cast<int>(pairs.size()));
+    if (inserted) pairs.push_back(key);
+    return it->second;
+  };
+  (void)intern(a.start(), b.start());
+  std::vector<int> cnext;
+  std::vector<bool> accepting;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if (static_cast<int>(pairs.size()) > max_states) {
+      return ResourceExhaustedError("product exceeded state budget");
+    }
+    int qa = static_cast<int>(pairs[i] / nb);
+    int qb = static_cast<int>(pairs[i] % nb);
+    accepting.push_back(combine(a.IsAccepting(qa), b.IsAccepting(qb)));
+    for (int j = 0; j < nj; ++j) {
+      cnext.push_back(intern(a.NextByClass(qa, jp.cc[j].first),
+                             b.NextByClass(qb, jp.cc[j].second)));
+    }
+  }
+  int n = static_cast<int>(pairs.size());
+  obs::Count(obs::kDfaStatesBuilt, n);
+  obs::Count(obs::kDfaProductStatesExplored, n);
+  obs::Count(obs::kDfaProductTransitions, static_cast<int64_t>(n) * nj);
+  return Dfa::CreateCondensed(a.alphabet_size(), n, 0,
+                              std::move(jp.letter_class), nj, std::move(cnext),
+                              std::move(accepting));
+}
+
+Result<Dfa> ProductReachable(const Dfa& a, const Dfa& b,
+                             bool (*combine)(bool, bool), int max_states) {
+  return GetClassKernel() == ClassKernel::kDense
+             ? ProductReachableDense(a, b, combine, max_states)
+             : ProductReachableCondensed(a, b, combine, max_states);
 }
 
 // Eager reference kernel: allocates the full |A|x|B| pair space up front.
@@ -121,6 +251,7 @@ Result<Dfa> ProductEager(const Dfa& a, const Dfa& b,
   auto encode = [nb](int qa, int qb) { return qa * nb + qb; };
   obs::Count(obs::kDfaStatesBuilt, n);
   obs::Count(obs::kDfaProductStatesExplored, n);
+  obs::Count(obs::kDfaProductTransitions, static_cast<int64_t>(n) * k);
   std::vector<int> next(static_cast<size_t>(n) * k);
   std::vector<bool> accepting(n);
   for (int qa = 0; qa < a.num_states(); ++qa) {
@@ -169,7 +300,13 @@ Result<bool> ProductEmpty(const Dfa& a, const Dfa& b,
   obs::Count(obs::kDfaProducts);
   obs::Count(obs::kDfaProductStatesAllocated,
              static_cast<int64_t>(a.num_states()) * b.num_states());
+  // The decision only needs one successor pair per joint class; the dense
+  // baseline walks raw letters instead.
+  const bool dense = GetClassKernel() == ClassKernel::kDense;
   int k = a.alphabet_size();
+  JointPartition jp;
+  if (!dense) jp = JoinPartitions(a, b);
+  const int cols = dense ? k : static_cast<int>(jp.cc.size());
   int64_t nb = b.num_states();
   std::unordered_map<int64_t, int> seen;
   std::vector<int64_t> pairs;
@@ -184,16 +321,26 @@ Result<bool> ProductEmpty(const Dfa& a, const Dfa& b,
     if (combine(a.IsAccepting(qa), b.IsAccepting(qb))) {
       obs::Count(obs::kDfaProductStatesExplored,
                  static_cast<int64_t>(pairs.size()));
+      obs::Count(obs::kDfaProductTransitions,
+                 static_cast<int64_t>(pairs.size()) * cols);
       obs::Count(obs::kDfaEarlyExits);
       return false;
     }
-    for (int s = 0; s < k; ++s) {
-      visit(a.Next(qa, static_cast<Symbol>(s)),
-            b.Next(qb, static_cast<Symbol>(s)));
+    if (dense) {
+      for (int s = 0; s < k; ++s) {
+        visit(a.Next(qa, static_cast<Symbol>(s)),
+              b.Next(qb, static_cast<Symbol>(s)));
+      }
+    } else {
+      for (const auto& [ca, cb] : jp.cc) {
+        visit(a.NextByClass(qa, ca), b.NextByClass(qb, cb));
+      }
     }
   }
   obs::Count(obs::kDfaProductStatesExplored,
              static_cast<int64_t>(pairs.size()));
+  obs::Count(obs::kDfaProductTransitions,
+             static_cast<int64_t>(pairs.size()) * cols);
   return true;
 }
 

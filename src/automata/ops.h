@@ -20,6 +20,20 @@ inline constexpr int kDefaultMaxProductStates = 1 << 22;
 // worklist interns exactly the subsets reachable from the start closure.
 Result<Dfa> Determinize(const Nfa& nfa, int max_states = kDefaultMaxDfaStates);
 
+// Subset construction over a class-level transition relation, for callers
+// that already know a valid symbol partition of their NFA (all letters of a
+// class have identical target sets from every state — the caller's
+// contract). `targets[q][c]` lists the targets of NFA state q on any letter
+// of class c (sorted target lists are not required; subsets are normalized
+// internally). No epsilon transitions. The result is built condensed with
+// (letter_class, num_classes) as the hint partition, so the dense letter
+// axis is never materialized. Used by the class-aware projection in mta/.
+Result<Dfa> DeterminizeClassed(
+    int alphabet_size, const std::vector<int>& letter_class, int num_classes,
+    int start, const std::vector<bool>& accepting,
+    const std::vector<std::vector<std::vector<int>>>& targets,
+    int max_states = kDefaultMaxDfaStates);
+
 // Which product implementation the wrappers below use. The reachable-only
 // worklist kernel is the default; the eager |A|x|B| kernel is retained as a
 // differential-testing and ablation reference.
@@ -45,6 +59,10 @@ class ScopedProductKernel {
 // Product constructions on complete DFAs over the same alphabet. Only state
 // pairs reachable from (start_a, start_b) are materialized (unless the eager
 // reference kernel is selected); `max_states` bounds the materialized count.
+// Under the condensed class kernel (see ClassKernel in automata/dfa.h) the
+// per-pair work iterates the *joint refinement* classes(a) ⨯ classes(b) —
+// typically far fewer columns than the raw alphabet — and the result is
+// built directly in condensed form with the joint partition as hint.
 Result<Dfa> Intersect(const Dfa& a, const Dfa& b,
                       int max_states = kDefaultMaxProductStates);
 Result<Dfa> Union(const Dfa& a, const Dfa& b,

@@ -411,6 +411,12 @@ class Compiler {
     if (watching && out.ok()) {
       span.Attr("states", out->NumStates());
       span.Attr("arity", out->arity());
+      // Alphabet compression for this subtree's result: distinct column
+      // behaviors vs the full convolution alphabet, and the bytes the
+      // condensed table holds vs its dense letter-indexed equivalent.
+      span.Attr("classes", out->NumClasses());
+      span.Attr("table_bytes_condensed", out->TableBytesCondensed());
+      span.Attr("table_bytes_dense_equiv", out->TableBytesDenseEquiv());
       // Reachable-only kernel accounting for this subtree: pairs the
       // worklists materialized vs the full eager pair space they avoided.
       span.Attr("states_explored",

@@ -6,6 +6,15 @@
 
 namespace strq {
 
+ConvAlphabet::ConvAlphabet(int base_size, int arity, int num_letters)
+    : base_size_(base_size), arity_(arity), num_letters_(num_letters) {
+  pow_.resize(arity_ + 1);
+  pow_[0] = 1;
+  // Create() guarantees (|Σ|+1)^arity fits the Symbol space, so these never
+  // overflow int.
+  for (int t = 1; t <= arity_; ++t) pow_[t] = pow_[t - 1] * (base_size_ + 1);
+}
+
 Result<ConvAlphabet> ConvAlphabet::Create(int base_size, int arity) {
   if (base_size <= 0) return InvalidArgumentError("base alphabet empty");
   if (arity < 0) return InvalidArgumentError("negative arity");
@@ -40,19 +49,6 @@ std::vector<int> ConvAlphabet::Decode(Symbol letter) const {
   }
   assert(v == 0);
   return digits;
-}
-
-int ConvAlphabet::DigitAt(Symbol letter, int track) const {
-  assert(track >= 0 && track < arity_);
-  int v = letter;
-  for (int i = 0; i < track; ++i) v /= (base_size_ + 1);
-  return v % (base_size_ + 1);
-}
-
-Symbol ConvAlphabet::WithDigit(Symbol letter, int track, int digit) const {
-  std::vector<int> digits = Decode(letter);
-  digits[track] = digit;
-  return Encode(digits);
 }
 
 bool ConvAlphabet::IsAllPad(Symbol letter) const {

@@ -41,11 +41,24 @@ class ConvAlphabet {
   Symbol Encode(const std::vector<int>& digits) const;
   std::vector<int> Decode(Symbol letter) const;
 
-  // Digit of track `track` within `letter`.
-  int DigitAt(Symbol letter, int track) const;
+  // Digit of track `track` within `letter`. One div + one mod against the
+  // precomputed track stride — no loop.
+  int DigitAt(Symbol letter, int track) const {
+    return (letter / pow_[track]) % (base_size_ + 1);
+  }
 
   // Replaces the digit of `track` in `letter`.
-  Symbol WithDigit(Symbol letter, int track, int digit) const;
+  Symbol WithDigit(Symbol letter, int track, int digit) const {
+    return static_cast<Symbol>(letter +
+                               (digit - DigitAt(letter, track)) * pow_[track]);
+  }
+
+  // (|Σ|+1)^track, the positional weight of `track` in the column encoding.
+  // Defined for track in [0, arity] — TrackStride(arity) == num_letters() —
+  // so kernel inner loops can split/recompose letters arithmetically, e.g.
+  // inserting digit d at position t into a letter r of the next-lower arity:
+  //   r % TrackStride(t) + d*TrackStride(t) + (r / TrackStride(t))*TrackStride(t+1).
+  int TrackStride(int track) const { return pow_[track]; }
 
   // True iff every digit is pad (such a column never occurs canonically).
   bool IsAllPad(Symbol letter) const;
@@ -66,12 +79,14 @@ class ConvAlphabet {
       const Alphabet& alphabet, const std::vector<Symbol>& word) const;
 
  private:
-  ConvAlphabet(int base_size, int arity, int num_letters)
-      : base_size_(base_size), arity_(arity), num_letters_(num_letters) {}
+  ConvAlphabet(int base_size, int arity, int num_letters);
 
   int base_size_;
   int arity_;
   int num_letters_;
+  // pow_[t] = (|Σ|+1)^t for t in [0, arity]; the digit-extraction power
+  // table behind DigitAt/WithDigit/TrackStride.
+  std::vector<int> pow_;
 };
 
 }  // namespace strq

@@ -57,6 +57,49 @@ Result<Dfa> TrackAutomaton::ValidConvolutions(const ConvAlphabet& conv) {
   int num_masks = 1 << k;
   int sink = num_masks;
   int num_letters = conv.num_letters();
+  if (GetClassKernel() != ClassKernel::kDense) {
+    // A column's effect depends only on its pad-mask (which tracks it pads),
+    // so the symbol classes are the 2^k pad-masks — against (|Σ|+1)^k
+    // letters. Only the letter→mask map touches the dense letter axis; the
+    // transition rows are O(2^k · 2^k). Pad-masks first occur in increasing
+    // mask order as letters increase (the pad digit is the largest), so the
+    // hint is already canonically ordered.
+    std::vector<int> letter_class(num_letters);
+    for (int letter = 0; letter < num_letters; ++letter) {
+      int pm = 0;
+      for (int t = 0; t < k; ++t) {
+        if (conv.DigitAt(static_cast<Symbol>(letter), t) == conv.pad()) {
+          pm |= 1 << t;
+        }
+      }
+      letter_class[letter] = pm;
+    }
+    std::vector<int> ids(static_cast<size_t>(num_masks) + 1, -1);
+    std::vector<int> order;  // dense id -> mask (or sink)
+    auto intern = [&](int state) -> int {
+      if (ids[state] < 0) {
+        ids[state] = static_cast<int>(order.size());
+        order.push_back(state);
+      }
+      return ids[state];
+    };
+    (void)intern(0);
+    std::vector<int> cnext;
+    std::vector<bool> accepting;
+    for (size_t i = 0; i < order.size(); ++i) {
+      int state = order[i];
+      accepting.push_back(state != sink);
+      for (int pm = 0; pm < num_masks; ++pm) {
+        // Valid: tracks already padding must stay padded (state ⊆ pm) and
+        // the column must not pad everything.
+        bool ok = state != sink && (state & ~pm) == 0 && pm != num_masks - 1;
+        cnext.push_back(intern(ok ? (state | pm) : sink));
+      }
+    }
+    return Dfa::CreateCondensed(num_letters, static_cast<int>(order.size()),
+                                0, std::move(letter_class), num_masks,
+                                std::move(cnext), std::move(accepting));
+  }
   std::vector<int> ids(static_cast<size_t>(num_masks) + 1, -1);
   std::vector<int> order;  // dense id -> mask (or sink)
   auto intern = [&](int state) -> int {
@@ -290,43 +333,83 @@ Result<TrackAutomaton> TrackAutomaton::Cylindrified(
 
   int letters = new_conv.num_letters();
   int n = dfa_->num_states();
-  std::vector<int> next(static_cast<size_t>(n) * letters);
   std::vector<bool> accepting(n);
-  std::vector<int> old_digits(vars_.size());
-  for (int letter = 0; letter < letters; ++letter) {
-    std::vector<int> digits = new_conv.Decode(static_cast<Symbol>(letter));
-    bool old_all_pad = true;
-    for (size_t ni = 0; ni < new_vars.size(); ++ni) {
-      if (old_track_of[ni] >= 0) {
-        old_digits[old_track_of[ni]] = digits[ni];
-        if (digits[ni] != new_conv.pad()) old_all_pad = false;
-      }
-    }
-    if (arity() == 0) old_all_pad = true;
-    if (old_all_pad) {
-      // The embedded word has ended; the new tracks may continue, so the old
-      // automaton's state is frozen.
-      for (int q = 0; q < n; ++q) {
-        next[static_cast<size_t>(q) * letters + letter] = q;
-      }
-    } else {
-      Symbol old_letter = conv_.Encode(old_digits);
-      for (int q = 0; q < n; ++q) {
-        next[static_cast<size_t>(q) * letters + letter] =
-            dfa_->Next(q, old_letter);
-      }
-    }
-  }
   for (int q = 0; q < n; ++q) accepting[q] = dfa_->IsAccepting(q);
-  STRQ_ASSIGN_OR_RETURN(Dfa dfa,
-                        Dfa::CreateFlat(letters, n, dfa_->start(),
-                                        std::move(next),
+  std::vector<int> old_digits(vars_.size());
+  std::optional<Dfa> cyl;
+  if (GetClassKernel() != ClassKernel::kDense) {
+    // Cylindrification multiplies class counts, not alphabet sizes: a new
+    // letter behaves like the class of the old letter it embeds, except
+    // that letters padding every embedded track freeze the state (the old
+    // word has ended while fresh tracks continue) and form one extra class
+    // with an identity column. Rows are O(n · (C+1)); only the letter→class
+    // map is O(letters · k).
+    int old_classes = dfa_->num_classes();
+    int frozen = old_classes;
+    std::vector<int> letter_class(letters);
+    for (int letter = 0; letter < letters; ++letter) {
+      bool old_all_pad = true;
+      for (size_t ni = 0; ni < new_vars.size(); ++ni) {
+        if (old_track_of[ni] >= 0) {
+          int d = new_conv.DigitAt(static_cast<Symbol>(letter),
+                                   static_cast<int>(ni));
+          old_digits[old_track_of[ni]] = d;
+          if (d != new_conv.pad()) old_all_pad = false;
+        }
+      }
+      if (arity() == 0) old_all_pad = true;
+      letter_class[letter] =
+          old_all_pad ? frozen : dfa_->LetterClass(conv_.Encode(old_digits));
+    }
+    std::vector<int> cnext(static_cast<size_t>(n) * (old_classes + 1));
+    for (int q = 0; q < n; ++q) {
+      int* row = &cnext[static_cast<size_t>(q) * (old_classes + 1)];
+      for (int c = 0; c < old_classes; ++c) row[c] = dfa_->NextByClass(q, c);
+      row[frozen] = q;
+    }
+    STRQ_ASSIGN_OR_RETURN(
+        Dfa built, Dfa::CreateCondensed(letters, n, dfa_->start(),
+                                        std::move(letter_class),
+                                        old_classes + 1, std::move(cnext),
                                         std::move(accepting)));
+    cyl.emplace(std::move(built));
+  } else {
+    std::vector<int> next(static_cast<size_t>(n) * letters);
+    for (int letter = 0; letter < letters; ++letter) {
+      std::vector<int> digits = new_conv.Decode(static_cast<Symbol>(letter));
+      bool old_all_pad = true;
+      for (size_t ni = 0; ni < new_vars.size(); ++ni) {
+        if (old_track_of[ni] >= 0) {
+          old_digits[old_track_of[ni]] = digits[ni];
+          if (digits[ni] != new_conv.pad()) old_all_pad = false;
+        }
+      }
+      if (arity() == 0) old_all_pad = true;
+      if (old_all_pad) {
+        // The embedded word has ended; the new tracks may continue, so the
+        // old automaton's state is frozen.
+        for (int q = 0; q < n; ++q) {
+          next[static_cast<size_t>(q) * letters + letter] = q;
+        }
+      } else {
+        Symbol old_letter = conv_.Encode(old_digits);
+        for (int q = 0; q < n; ++q) {
+          next[static_cast<size_t>(q) * letters + letter] =
+              dfa_->Next(q, old_letter);
+        }
+      }
+    }
+    STRQ_ASSIGN_OR_RETURN(Dfa built,
+                          Dfa::CreateFlat(letters, n, dfa_->start(),
+                                          std::move(next),
+                                          std::move(accepting)));
+    cyl.emplace(std::move(built));
+  }
   // Create() intersects with Valid, which restores pad canonicity for the
   // fresh tracks.
   STRQ_ASSIGN_OR_RETURN(TrackAutomaton out,
                         Create(*store_, alphabet_, std::move(new_vars),
-                               std::move(dfa)));
+                               std::move(*cyl)));
   store_->Memoize(key, out.dfa_);
   return out;
 }
@@ -463,35 +546,89 @@ Result<TrackAutomaton> TrackAutomaton::Project(VarId var) const {
     }
   }
 
-  // NFA over the reduced convolution: guess the projected track's digit.
-  Nfa nfa(new_conv.num_letters());
-  for (int q = 0; q < n; ++q) {
-    nfa.AddState();
-    nfa.SetAccepting(q, can_finish[q]);
-  }
-  nfa.SetStart(dfa_->start());
-  for (int q = 0; q < n; ++q) {
-    for (int letter = 0; letter < conv_.num_letters(); ++letter) {
-      std::vector<int> digits = conv_.Decode(static_cast<Symbol>(letter));
-      // Skip tail columns (handled by can_finish) and all-pad columns.
-      bool rest_all_pad = true;
-      for (size_t t = 0; t < digits.size(); ++t) {
-        if (static_cast<int>(t) != track && digits[t] != conv_.pad()) {
-          rest_all_pad = false;
-          break;
+  std::optional<Dfa> det;
+  if (GetClassKernel() != ClassKernel::kDense) {
+    // Class-aware projection: the subset construction guesses the projected
+    // track's digit, so a reduced letter's behavior is determined by the
+    // signature of original classes over its |Σ|+1 possible digit
+    // insertions. Reduced letters are grouped by that signature — the
+    // dense reduced alphabet is only touched to build the map — and the
+    // all-pad reduced letter (a tail column, handled by can_finish) forms
+    // its own transition-less class.
+    int red_letters = new_conv.num_letters();
+    int digits_per_track = conv_.base_size() + 1;
+    int stride = conv_.TrackStride(track);
+    int stride_up = conv_.TrackStride(track + 1);
+    // Inserts digit d at position `track` of a reduced letter.
+    auto insert_digit = [&](int r, int d) -> Symbol {
+      return static_cast<Symbol>(r % stride + d * stride +
+                                 (r / stride) * stride_up);
+    };
+    std::map<std::vector<int>, int> sig_ids;
+    std::vector<int> letter_class(red_letters);
+    std::vector<Symbol> class_rep;  // signature class -> reduced letter
+    for (int r = 0; r < red_letters - 1; ++r) {
+      std::vector<int> sig(digits_per_track);
+      for (int d = 0; d < digits_per_track; ++d) {
+        sig[d] = dfa_->LetterClass(insert_digit(r, d));
+      }
+      auto [it, inserted] =
+          sig_ids.emplace(std::move(sig), static_cast<int>(class_rep.size()));
+      if (inserted) class_rep.push_back(static_cast<Symbol>(r));
+      letter_class[r] = it->second;
+    }
+    // The last reduced letter pads every remaining track.
+    int all_pad_class = static_cast<int>(class_rep.size());
+    letter_class[red_letters - 1] = all_pad_class;
+    int num_classes = all_pad_class + 1;
+    std::vector<std::vector<std::vector<int>>> targets(
+        n, std::vector<std::vector<int>>(num_classes));
+    for (int q = 0; q < n; ++q) {
+      for (int c = 0; c < all_pad_class; ++c) {
+        std::vector<int>& ts = targets[q][c];
+        ts.reserve(digits_per_track);
+        for (int d = 0; d < digits_per_track; ++d) {
+          ts.push_back(dfa_->Next(q, insert_digit(class_rep[c], d)));
         }
       }
-      if (rest_all_pad) continue;
-      digits.erase(digits.begin() + track);
-      Symbol new_letter = new_conv.Encode(digits);
-      nfa.AddTransition(q, new_letter,
-                        dfa_->Next(q, static_cast<Symbol>(letter)));
     }
+    STRQ_ASSIGN_OR_RETURN(
+        Dfa built,
+        DeterminizeClassed(red_letters, letter_class, num_classes,
+                           dfa_->start(), can_finish, targets));
+    det.emplace(std::move(built));
+  } else {
+    // NFA over the reduced convolution: guess the projected track's digit.
+    Nfa nfa(new_conv.num_letters());
+    for (int q = 0; q < n; ++q) {
+      nfa.AddState();
+      nfa.SetAccepting(q, can_finish[q]);
+    }
+    nfa.SetStart(dfa_->start());
+    for (int q = 0; q < n; ++q) {
+      for (int letter = 0; letter < conv_.num_letters(); ++letter) {
+        std::vector<int> digits = conv_.Decode(static_cast<Symbol>(letter));
+        // Skip tail columns (handled by can_finish) and all-pad columns.
+        bool rest_all_pad = true;
+        for (size_t t = 0; t < digits.size(); ++t) {
+          if (static_cast<int>(t) != track && digits[t] != conv_.pad()) {
+            rest_all_pad = false;
+            break;
+          }
+        }
+        if (rest_all_pad) continue;
+        digits.erase(digits.begin() + track);
+        Symbol new_letter = new_conv.Encode(digits);
+        nfa.AddTransition(q, new_letter,
+                          dfa_->Next(q, static_cast<Symbol>(letter)));
+      }
+    }
+    STRQ_ASSIGN_OR_RETURN(Dfa built, Determinize(nfa));
+    det.emplace(std::move(built));
   }
-  STRQ_ASSIGN_OR_RETURN(Dfa det, Determinize(nfa));
   STRQ_ASSIGN_OR_RETURN(TrackAutomaton out,
                         Create(*store_, alphabet_, std::move(new_vars),
-                               std::move(det)));
+                               std::move(*det)));
   store_->Memoize(key, out.dfa_);
   obs::Count(obs::kMtaIntermediateStates, out.NumStates());
   span.Attr("out_states", out.NumStates());
@@ -536,28 +673,59 @@ Result<TrackAutomaton> TrackAutomaton::Renamed(
 
   int letters = conv_.num_letters();
   int n = dfa_->num_states();
-  std::vector<int> next(static_cast<size_t>(n) * letters);
   std::vector<bool> accepting(n);
-  std::vector<int> old_digits(vars_.size());
-  for (int letter = 0; letter < letters; ++letter) {
-    std::vector<int> digits = conv_.Decode(static_cast<Symbol>(letter));
-    for (size_t ni = 0; ni < perm.size(); ++ni) {
-      old_digits[perm[ni]] = digits[ni];
-    }
-    Symbol old_letter = conv_.Encode(old_digits);
-    for (int q = 0; q < n; ++q) {
-      next[static_cast<size_t>(q) * letters + letter] =
-          dfa_->Next(q, old_letter);
-    }
-  }
   for (int q = 0; q < n; ++q) accepting[q] = dfa_->IsAccepting(q);
-  STRQ_ASSIGN_OR_RETURN(Dfa dfa,
-                        Dfa::CreateFlat(letters, n, dfa_->start(),
-                                        std::move(next),
+  std::vector<int> old_digits(vars_.size());
+  std::optional<Dfa> permuted;
+  if (GetClassKernel() != ClassKernel::kDense) {
+    // A track permutation only permutes letters; transition columns are
+    // untouched, so the condensed table is reused as-is with the composed
+    // letter→class map as hint. O(letters · k + n · C) instead of
+    // O(letters · (k + n)).
+    int num_classes = dfa_->num_classes();
+    std::vector<int> letter_class(letters);
+    for (int letter = 0; letter < letters; ++letter) {
+      std::vector<int> digits = conv_.Decode(static_cast<Symbol>(letter));
+      for (size_t ni = 0; ni < perm.size(); ++ni) {
+        old_digits[perm[ni]] = digits[ni];
+      }
+      letter_class[letter] = dfa_->LetterClass(conv_.Encode(old_digits));
+    }
+    std::vector<int> cnext(static_cast<size_t>(n) * num_classes);
+    for (int q = 0; q < n; ++q) {
+      for (int c = 0; c < num_classes; ++c) {
+        cnext[static_cast<size_t>(q) * num_classes + c] =
+            dfa_->NextByClass(q, c);
+      }
+    }
+    STRQ_ASSIGN_OR_RETURN(
+        Dfa built, Dfa::CreateCondensed(letters, n, dfa_->start(),
+                                        std::move(letter_class), num_classes,
+                                        std::move(cnext),
                                         std::move(accepting)));
+    permuted.emplace(std::move(built));
+  } else {
+    std::vector<int> next(static_cast<size_t>(n) * letters);
+    for (int letter = 0; letter < letters; ++letter) {
+      std::vector<int> digits = conv_.Decode(static_cast<Symbol>(letter));
+      for (size_t ni = 0; ni < perm.size(); ++ni) {
+        old_digits[perm[ni]] = digits[ni];
+      }
+      Symbol old_letter = conv_.Encode(old_digits);
+      for (int q = 0; q < n; ++q) {
+        next[static_cast<size_t>(q) * letters + letter] =
+            dfa_->Next(q, old_letter);
+      }
+    }
+    STRQ_ASSIGN_OR_RETURN(Dfa built,
+                          Dfa::CreateFlat(letters, n, dfa_->start(),
+                                          std::move(next),
+                                          std::move(accepting)));
+    permuted.emplace(std::move(built));
+  }
   STRQ_ASSIGN_OR_RETURN(TrackAutomaton out,
                         Create(*store_, alphabet_, std::move(sorted),
-                               std::move(dfa)));
+                               std::move(*permuted)));
   store_->Memoize(key, out.dfa_);
   return out;
 }

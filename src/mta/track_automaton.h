@@ -150,6 +150,13 @@ class TrackAutomaton {
   // Transition-table entries of the underlying convolution DFA (complete
   // tables: NumStates() * conv().num_letters()).
   int64_t NumTransitions() const { return dfa_->NumTransitions(); }
+  // Symbol-equivalence classes of the convolution DFA — the number of
+  // genuinely distinct column behaviors out of conv().num_letters() letters.
+  int NumClasses() const { return dfa_->num_classes(); }
+  // Bytes of the condensed transition structure actually stored, and the
+  // dense letter-indexed equivalent it replaces.
+  int64_t TableBytesCondensed() const { return dfa_->TableBytesCondensed(); }
+  int64_t TableBytesDenseEquiv() const { return dfa_->TableBytesDenseEquiv(); }
 
  private:
   TrackAutomaton(Alphabet alphabet, std::vector<VarId> vars, ConvAlphabet conv,

@@ -77,6 +77,21 @@ inline constexpr char kDfaProductStatesAllocated[] =
 // Emptiness/universality deciders that stopped a worklist before exhausting
 // the reachable pair space (first accepting pair found).
 inline constexpr char kDfaEarlyExits[] = "dfa.early_exits";
+// Character-class accounting (symbol-equivalence partition, src/automata/dfa):
+// `classes_total` sums the class counts of every DFA built; the two byte
+// counters compare the condensed (class-indexed) transition tables actually
+// stored against the dense letter-indexed tables they replace — their ratio
+// is the alphabet-compression factor.
+inline constexpr char kDfaClassesTotal[] = "dfa.classes_total";
+inline constexpr char kDfaTableBytesCondensed[] = "dfa.table_bytes_condensed";
+inline constexpr char kDfaTableBytesDenseEquiv[] =
+    "dfa.table_bytes_dense_equiv";
+// Per-state transition computations the product kernels performed: the
+// condensed kernel pays one per joint class, the dense baseline one per raw
+// letter, so condensed/dense on the same workload measures saved inner-loop
+// work.
+inline constexpr char kDfaProductTransitions[] =
+    "dfa.product_transitions_computed";
 // Thread-pool traffic (src/base/thread_pool): tasks submitted, and the
 // number of times a worker had to block waiting for work.
 inline constexpr char kPoolTasks[] = "pool.tasks";

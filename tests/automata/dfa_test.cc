@@ -240,6 +240,181 @@ TEST(DfaMinimizeDifferentialTest, DegenerateLanguages) {
   }
 }
 
+TEST(DfaClassTest, KnownPartition) {
+  // Over {0,1,2,3}: letters 0 and 2 share a column, letters 1 and 3 share a
+  // column, the two columns differ. Coarsest partition: {0,2} and {1,3}.
+  Result<Dfa> d = Dfa::Create(4, 0, {{0, 1, 0, 1}, {1, 0, 1, 0}},
+                              {true, false});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_classes(), 2);
+  EXPECT_EQ(d->LetterClass(0), 0);
+  EXPECT_EQ(d->LetterClass(1), 1);
+  EXPECT_EQ(d->LetterClass(2), 0);
+  EXPECT_EQ(d->LetterClass(3), 1);
+  // Representatives are the smallest member letters, increasing by class id.
+  EXPECT_EQ(d->ClassRep(0), 0);
+  EXPECT_EQ(d->ClassRep(1), 1);
+  EXPECT_EQ(d->NextByClass(0, 0), 0);
+  EXPECT_EQ(d->NextByClass(0, 1), 1);
+  // Dense-equivalent semantics are preserved through the condensed table.
+  EXPECT_EQ(d->NumTransitions(), 8);
+  // Exact byte accounting: condensed table (2x2) + letter map (4) + reps (2).
+  EXPECT_EQ(d->TableBytesCondensed(),
+            static_cast<int64_t>(8 * sizeof(int) + 2 * sizeof(Symbol)));
+  EXPECT_EQ(d->TableBytesDenseEquiv(),
+            static_cast<int64_t>(8 * sizeof(int)));
+}
+
+TEST(DfaClassTest, TableBytesShrinkOnceStatesAmortizeTheLetterMap) {
+  // 12 states over 6 letters that collapse into 2 classes: condensed table
+  // 12x2 + map 6 + reps 2 beats the dense 12x6 comfortably.
+  int n = 12;
+  std::vector<int> next(static_cast<size_t>(n) * 6);
+  for (int q = 0; q < n; ++q) {
+    for (int s = 0; s < 6; ++s) {
+      next[static_cast<size_t>(q) * 6 + s] =
+          (s % 2 == 0) ? (q + 1) % n : q;
+    }
+  }
+  std::vector<bool> accepting(n, false);
+  accepting[0] = true;
+  Result<Dfa> d = Dfa::CreateFlat(6, n, 0, std::move(next),
+                                  std::move(accepting));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_classes(), 2);
+  EXPECT_LT(d->TableBytesCondensed(), d->TableBytesDenseEquiv());
+  EXPECT_EQ(d->TableBytesDenseEquiv(),
+            static_cast<int64_t>(n) * 6 * sizeof(int));
+}
+
+TEST(DfaClassTest, AllLettersEquivalentCollapseToOneClass) {
+  Dfa all = Dfa::AllStrings(5);
+  EXPECT_EQ(all.num_classes(), 1);
+  Dfa none = Dfa::EmptyLanguage(5);
+  EXPECT_EQ(none.num_classes(), 1);
+  // Counting still weights by class multiplicity: 5^2 strings of length 2.
+  EXPECT_EQ(all.CountLength(2), 25u);
+  EXPECT_EQ(none.CountLength(2), 0u);
+}
+
+// CreateCondensed accepts any *valid* hint partition — not necessarily
+// coarsest, not necessarily canonically numbered — and must coarsen and
+// renumber to the same canonical condensed form the dense constructor
+// computes. The class count is therefore invariant under renumbering of the
+// hint.
+TEST(DfaClassTest, CreateCondensedCoarsensAndRenumbersCanonically) {
+  // Dense reference: the KnownPartition automaton.
+  Result<Dfa> dense = Dfa::Create(4, 0, {{0, 1, 0, 1}, {1, 0, 1, 0}},
+                                  {true, false});
+  ASSERT_TRUE(dense.ok());
+  // Hint A: identity (valid, maximally fine, scrambles nothing).
+  Result<Dfa> fine = Dfa::CreateCondensed(
+      4, 2, 0, {0, 1, 2, 3}, 4, {0, 1, 0, 1, 1, 0, 1, 0}, {true, false});
+  ASSERT_TRUE(fine.ok());
+  // Hint B: the coarsest partition but with inverted class numbering
+  // ({1,3} first); the constructor must renumber by first letter occurrence.
+  Result<Dfa> inverted = Dfa::CreateCondensed(4, 2, 0, {1, 0, 1, 0}, 2,
+                                              {1, 0, 0, 1}, {true, false});
+  ASSERT_TRUE(inverted.ok());
+  // Hint C: numbering with a gap (classes 0 and 2 of 3; class 1 has no
+  // letters and must be dropped — its column still needs in-range targets).
+  Result<Dfa> gappy = Dfa::CreateCondensed(4, 2, 0, {0, 2, 0, 2}, 3,
+                                           {0, 0, 1, 1, 0, 0}, {true, false});
+  ASSERT_TRUE(gappy.ok());
+  for (const Dfa* d : {&*fine, &*inverted, &*gappy}) {
+    EXPECT_EQ(d->num_classes(), 2);
+    EXPECT_TRUE(d->StructurallyEqual(*dense));
+    EXPECT_EQ(d->StructuralHash(), dense->StructuralHash());
+  }
+}
+
+TEST(DfaClassTest, CreateCondensedValidation) {
+  // Letter map entry out of the hint range.
+  EXPECT_FALSE(
+      Dfa::CreateCondensed(2, 1, 0, {0, 5}, 2, {0, 0}, {true}).ok());
+  // Condensed row width must be num_hint_classes.
+  EXPECT_FALSE(
+      Dfa::CreateCondensed(2, 1, 0, {0, 1}, 2, {0}, {true}).ok());
+  // Target out of range.
+  EXPECT_FALSE(
+      Dfa::CreateCondensed(2, 1, 0, {0, 1}, 2, {0, 7}, {true}).ok());
+  EXPECT_TRUE(
+      Dfa::CreateCondensed(2, 1, 0, {0, 1}, 2, {0, 0}, {true}).ok());
+}
+
+// The partition every constructor computes must be exactly the coarsest one:
+// Next agrees with NextByClass through the letter map, and any two distinct
+// classes are distinguished by some state.
+TEST(DfaClassTest, PartitionIsCoarsestOnRandomCorpus) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 100; ++trial) {
+    // Duplicate columns by construction: k letters drawn from kb <= k
+    // distinct base columns, so nontrivial classes are guaranteed.
+    int n = rng.NextInt(1, 10);
+    int kb = rng.NextInt(1, 3);
+    int k = rng.NextInt(kb, 6);
+    std::vector<std::vector<int>> base(kb, std::vector<int>(n));
+    for (auto& col : base) {
+      for (int& t : col) t = rng.NextInt(0, n - 1);
+    }
+    std::vector<int> next(static_cast<size_t>(n) * k);
+    for (int s = 0; s < k; ++s) {
+      const std::vector<int>& col = base[rng.NextInt(0, kb - 1)];
+      for (int q = 0; q < n; ++q) next[static_cast<size_t>(q) * k + s] = col[q];
+    }
+    std::vector<bool> accepting(n);
+    for (int q = 0; q < n; ++q) accepting[q] = rng.NextBool();
+    Result<Dfa> d = Dfa::CreateFlat(k, n, rng.NextInt(0, n - 1),
+                                    std::move(next), std::move(accepting));
+    ASSERT_TRUE(d.ok());
+    ASSERT_LE(d->num_classes(), kb);
+    int prev_rep = -1;
+    for (int c = 0; c < d->num_classes(); ++c) {
+      EXPECT_GT(d->ClassRep(c), prev_rep);
+      prev_rep = d->ClassRep(c);
+      EXPECT_EQ(d->LetterClass(d->ClassRep(c)), c);
+    }
+    for (int q = 0; q < d->num_states(); ++q) {
+      for (int s = 0; s < k; ++s) {
+        Symbol sym = static_cast<Symbol>(s);
+        ASSERT_EQ(d->Next(q, sym), d->NextByClass(q, d->LetterClass(sym)));
+        ASSERT_EQ(d->Next(q, sym), d->Next(q, d->ClassRep(d->LetterClass(sym))));
+      }
+    }
+    // Coarsest: distinct classes differ somewhere.
+    for (int c1 = 0; c1 < d->num_classes(); ++c1) {
+      for (int c2 = c1 + 1; c2 < d->num_classes(); ++c2) {
+        bool differ = false;
+        for (int q = 0; q < d->num_states() && !differ; ++q) {
+          differ = d->NextByClass(q, c1) != d->NextByClass(q, c2);
+        }
+        EXPECT_TRUE(differ) << "classes " << c1 << " and " << c2
+                            << " not distinguished at trial " << trial;
+      }
+    }
+  }
+}
+
+// Minimization under the dense letter-indexed kernel and the condensed
+// class-indexed kernel must produce bit-identical canonical automata.
+TEST(DfaClassTest, MinimizeDifferentialCondensedVsDense) {
+  Rng rng(777);
+  for (int trial = 0; trial < 200; ++trial) {
+    Dfa d = RandomDfa(rng, rng.NextInt(1, 4), rng.NextInt(1, 20));
+    Dfa condensed = [&] {
+      ScopedClassKernel kernel(ClassKernel::kCondensed);
+      return d.Minimized();
+    }();
+    Dfa dense = [&] {
+      ScopedClassKernel kernel(ClassKernel::kDense);
+      return d.Minimized();
+    }();
+    ASSERT_TRUE(condensed.StructurallyEqual(dense)) << "trial " << trial;
+    ASSERT_EQ(condensed.StructuralHash(), dense.StructuralHash());
+    EXPECT_EQ(condensed.num_classes(), dense.num_classes());
+  }
+}
+
 TEST(DfaMinimizeDifferentialTest, EquivalentDfasMinimizeIdentically) {
   // Two structurally different automata for the same language must collapse
   // to the same canonical representative (the property interning rests on).

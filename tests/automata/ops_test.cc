@@ -288,6 +288,95 @@ TEST(OpsTest, KernelsProduceIdenticalCanonicalStoreIds) {
   }
 }
 
+// Random DFA over a richer alphabet whose letters are drawn from a small
+// pool of base columns, so duplicated columns — and hence nontrivial symbol
+// classes — are guaranteed and the condensed kernels get real work.
+Dfa RandomClassyDfa(Rng& rng, int* alphabet_size) {
+  int n = 1 + static_cast<int>(rng.NextBelow(8));
+  int kb = 1 + static_cast<int>(rng.NextBelow(3));
+  int k = kb + static_cast<int>(rng.NextBelow(5));
+  *alphabet_size = k;
+  std::vector<std::vector<int>> base(kb, std::vector<int>(n));
+  for (auto& col : base) {
+    for (int& t : col) t = static_cast<int>(rng.NextBelow(n));
+  }
+  std::vector<int> next(static_cast<size_t>(n) * k);
+  for (int s = 0; s < k; ++s) {
+    const std::vector<int>& col = base[rng.NextBelow(kb)];
+    for (int q = 0; q < n; ++q) next[static_cast<size_t>(q) * k + s] = col[q];
+  }
+  std::vector<bool> accepting(n);
+  for (int q = 0; q < n; ++q) accepting[q] = rng.NextBool();
+  Result<Dfa> dfa = Dfa::CreateFlat(k, n, static_cast<int>(rng.NextBelow(n)),
+                                    std::move(next), std::move(accepting));
+  EXPECT_TRUE(dfa.ok()) << dfa.status();
+  return *std::move(dfa);
+}
+
+// Differential fuzz (class-kernel equivalence): the condensed joint-
+// refinement kernels and the dense letter-indexed kernels must build
+// *bit-identical* automata — storage is canonically condensed either way, so
+// this is structural equality, not merely language equality — and interning
+// both results into one hash-consing store must land on the same canonical
+// id. Covers products (intersect/union/difference), the emptiness early
+// exit, and minimization, on alphabets with duplicated columns.
+TEST(OpsTest, DifferentialFuzzCondensedVsDenseClassKernels) {
+  Rng rng(20260807);
+  AutomatonStore store(true);
+  for (int iter = 0; iter < 200; ++iter) {
+    int k = 0;
+    Dfa a = RandomClassyDfa(rng, &k);
+    int kb = 0;
+    Dfa b = RandomClassyDfa(rng, &kb);
+    // Products need matching alphabets; rebuild b over a's alphabet by
+    // cycling its letter map.
+    {
+      std::vector<int> next(static_cast<size_t>(b.num_states()) * k);
+      std::vector<bool> accepting(b.num_states());
+      for (int q = 0; q < b.num_states(); ++q) {
+        accepting[q] = b.IsAccepting(q);
+        for (int s = 0; s < k; ++s) {
+          next[static_cast<size_t>(q) * k + s] =
+              b.Next(q, static_cast<Symbol>(s % b.alphabet_size()));
+        }
+      }
+      Result<Dfa> rb = Dfa::CreateFlat(k, b.num_states(), b.start(),
+                                       std::move(next), std::move(accepting));
+      ASSERT_TRUE(rb.ok());
+      b = *std::move(rb);
+    }
+    Result<Dfa> ci = InternalError("op not run");
+    Result<Dfa> cu = InternalError("op not run");
+    Result<Dfa> cd = InternalError("op not run");
+    Result<bool> cempty = InternalError("op not run");
+    Dfa cmin = Dfa::EmptyLanguage(1);
+    {
+      ScopedClassKernel kernel(ClassKernel::kCondensed);
+      ci = Intersect(a, b);
+      cu = Union(a, b);
+      cd = Difference(a, b);
+      cempty = IntersectionEmpty(a, b);
+      cmin = a.Minimized();
+    }
+    ScopedClassKernel kernel(ClassKernel::kDense);
+    Result<Dfa> di = Intersect(a, b);
+    Result<Dfa> du = Union(a, b);
+    Result<Dfa> dd = Difference(a, b);
+    Result<bool> dempty = IntersectionEmpty(a, b);
+    Dfa dmin = a.Minimized();
+    ASSERT_TRUE(ci.ok() && cu.ok() && cd.ok() && cempty.ok());
+    ASSERT_TRUE(di.ok() && du.ok() && dd.ok() && dempty.ok());
+    ASSERT_TRUE(ci->StructurallyEqual(*di)) << "intersect at iter " << iter;
+    ASSERT_TRUE(cu->StructurallyEqual(*du)) << "union at iter " << iter;
+    ASSERT_TRUE(cd->StructurallyEqual(*dd)) << "difference at iter " << iter;
+    ASSERT_TRUE(cmin.StructurallyEqual(dmin)) << "minimize at iter " << iter;
+    EXPECT_EQ(*cempty, *dempty) << "emptiness at iter " << iter;
+    EXPECT_EQ(store.Intern(*ci).id(), store.Intern(*di).id()) << iter;
+    EXPECT_EQ(store.Intern(*cu).id(), store.Intern(*du).id()) << iter;
+    EXPECT_EQ(store.Intern(cmin).id(), store.Intern(dmin).id()) << iter;
+  }
+}
+
 TEST(OpsTest, DeMorganOnLanguages) {
   Dfa a = Compile("1(0|1)*");
   Dfa b = Compile("(0|1)*0");

@@ -94,5 +94,52 @@ TEST(ConvTest, ArityMismatchRejected) {
   EXPECT_FALSE(c->ConvolveStrings(kBin, {"0"}).ok());
 }
 
+TEST(ConvTest, TrackStrides) {
+  Result<ConvAlphabet> c = ConvAlphabet::Create(2, 3);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->TrackStride(0), 1);
+  EXPECT_EQ(c->TrackStride(1), 3);
+  EXPECT_EQ(c->TrackStride(2), 9);
+  // Defined one past the last track: the total letter count, so kernels can
+  // split a letter around any track boundary arithmetically.
+  EXPECT_EQ(c->TrackStride(3), c->num_letters());
+}
+
+// The digit-extraction power tables must stay exact at the very edge of the
+// 16-bit Symbol space. 3^10 = 59049 is the largest binary-alphabet
+// convolution that still fits; every letter must round-trip through
+// Encode/Decode and agree with the table-driven DigitAt/WithDigit.
+TEST(ConvTest, EncodeDecodeRoundTripAtSymbolBoundary) {
+  Result<ConvAlphabet> c = ConvAlphabet::Create(2, 10);
+  ASSERT_TRUE(c.ok());
+  ASSERT_EQ(c->num_letters(), 59049);
+  // Exhaustive on the extremes, strided through the middle.
+  std::vector<int> letters;
+  for (int l = 0; l < 100; ++l) letters.push_back(l);
+  for (int l = c->num_letters() - 100; l < c->num_letters(); ++l) {
+    letters.push_back(l);
+  }
+  for (int l = 0; l < c->num_letters(); l += 97) letters.push_back(l);
+  for (int l : letters) {
+    Symbol s = static_cast<Symbol>(l);
+    std::vector<int> digits = c->Decode(s);
+    ASSERT_EQ(c->Encode(digits), s);
+    for (int t = 0; t < c->arity(); ++t) {
+      ASSERT_EQ(c->DigitAt(s, t), digits[t]) << "letter " << l << " track "
+                                             << t;
+      for (int d = 0; d <= c->pad(); ++d) {
+        Symbol replaced = c->WithDigit(s, t, d);
+        ASSERT_EQ(c->DigitAt(replaced, t), d);
+        // Other tracks untouched.
+        for (int u = 0; u < c->arity(); ++u) {
+          if (u != t) ASSERT_EQ(c->DigitAt(replaced, u), digits[u]);
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(c->IsAllPad(static_cast<Symbol>(c->num_letters() - 1)));
+  EXPECT_FALSE(c->IsAllPad(static_cast<Symbol>(c->num_letters() - 2)));
+}
+
 }  // namespace
 }  // namespace strq

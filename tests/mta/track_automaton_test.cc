@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "base/rng.h"
 #include "base/string_ops.h"
 #include "mta/atoms.h"
 
@@ -279,6 +282,109 @@ TEST(TrackAutomatonTest, EnumerateTuplesDecodes) {
   for (const auto& t : tuples) {
     ASSERT_EQ(t.size(), 2u);
     EXPECT_TRUE(IsOneStepExtension(t[0], t[1])) << t[0] << "," << t[1];
+  }
+}
+
+// The class-aware ValidConvolutions construction (one class per pad-mask)
+// must agree bit-for-bit with the dense letter loop at every arity, and its
+// partition can never be finer than the 2^arity pad-masks.
+TEST(TrackAutomatonClassTest, ValidConvolutionsKernelsAgree) {
+  for (int arity = 0; arity <= 4; ++arity) {
+    Result<ConvAlphabet> conv = ConvAlphabet::Create(2, arity);
+    ASSERT_TRUE(conv.ok());
+    Result<Dfa> condensed = InternalError("not run");
+    {
+      ScopedClassKernel kernel(ClassKernel::kCondensed);
+      condensed = TrackAutomaton::ValidConvolutions(*conv);
+    }
+    Result<Dfa> dense = InternalError("not run");
+    {
+      ScopedClassKernel kernel(ClassKernel::kDense);
+      dense = TrackAutomaton::ValidConvolutions(*conv);
+    }
+    ASSERT_TRUE(condensed.ok());
+    ASSERT_TRUE(dense.ok());
+    EXPECT_TRUE(condensed->StructurallyEqual(*dense)) << "arity " << arity;
+    EXPECT_EQ(condensed->StructuralHash(), dense->StructuralHash());
+    EXPECT_LE(condensed->num_classes(), 1 << arity);
+  }
+}
+
+// Differential fuzz over the first-order pipeline: random finite relations
+// are intersected (which cylindrifies internally), explicitly cylindrified
+// and projected back, projected, and renamed — once under the condensed
+// class-indexed kernels, once under the dense letter-indexed ones, each
+// against its own store so no memoized result can leak across modes. The
+// canonically-minimized results must be bit-identical, land on the same
+// canonical id in a shared store, and enumerate the same tuples.
+TEST(TrackAutomatonClassTest, FirstOrderOpsCondensedVsDenseFuzz) {
+  Rng rng(20260808);
+  AutomatonStore id_store(true);
+  for (int iter = 0; iter < 200; ++iter) {
+    const VarId pool[] = {0, 2, 4};
+    int arity1 = rng.NextInt(1, 3);
+    int arity2 = rng.NextInt(1, 3);
+    std::vector<VarId> vars1(pool, pool + arity1);
+    // Overlapping but not identical variable sets exercise alignment.
+    std::vector<VarId> vars2(pool + (3 - arity2), pool + 3);
+    auto random_tuples = [&](int arity) {
+      std::vector<std::vector<std::string>> tuples(rng.NextInt(1, 5));
+      for (auto& tuple : tuples) {
+        for (int t = 0; t < arity; ++t) {
+          tuple.push_back(rng.NextString("01", 0, 3));
+        }
+      }
+      return tuples;
+    };
+    std::vector<std::vector<std::string>> tuples1 = random_tuples(arity1);
+    std::vector<std::vector<std::string>> tuples2 = random_tuples(arity2);
+    std::vector<VarId> joint;
+    std::set_union(vars1.begin(), vars1.end(), vars2.begin(), vars2.end(),
+                   std::back_inserter(joint));
+    VarId project_var = joint[static_cast<size_t>(rng.NextInt(
+        0, static_cast<int>(joint.size()) - 1))];
+    AutomatonStore cstore(true);
+    AutomatonStore dstore(true);
+    auto run = [&](ClassKernel mode,
+                   const AutomatonStore& store) -> Result<TrackAutomaton> {
+      ScopedClassKernel kernel(mode);
+      STRQ_ASSIGN_OR_RETURN(
+          TrackAutomaton r1,
+          TrackAutomaton::FromTuples(store, kBin, vars1, tuples1));
+      STRQ_ASSIGN_OR_RETURN(
+          TrackAutomaton r2,
+          TrackAutomaton::FromTuples(store, kBin, vars2, tuples2));
+      STRQ_ASSIGN_OR_RETURN(TrackAutomaton both,
+                            TrackAutomaton::Intersect(r1, r2));
+      // Round trip through an added unconstrained track.
+      std::vector<VarId> up = joint;
+      up.push_back(9);
+      STRQ_ASSIGN_OR_RETURN(TrackAutomaton cyl, both.Cylindrified(up));
+      STRQ_ASSIGN_OR_RETURN(TrackAutomaton back, cyl.Project(9));
+      STRQ_ASSIGN_OR_RETURN(TrackAutomaton proj, back.Project(project_var));
+      // Reverse the remaining variable order: a genuine track permutation
+      // (a single remaining variable degenerates to the label-only path).
+      std::map<VarId, VarId> renaming;
+      for (size_t i = 0; i < proj.vars().size(); ++i) {
+        renaming[proj.vars()[i]] =
+            proj.vars()[proj.vars().size() - 1 - i];
+      }
+      return proj.Renamed(renaming);
+    };
+    Result<TrackAutomaton> c = run(ClassKernel::kCondensed, cstore);
+    Result<TrackAutomaton> d = run(ClassKernel::kDense, dstore);
+    ASSERT_TRUE(c.ok()) << iter << ": " << c.status();
+    ASSERT_TRUE(d.ok()) << iter << ": " << d.status();
+    ASSERT_EQ(c->vars(), d->vars()) << iter;
+    ASSERT_TRUE(c->dfa().StructurallyEqual(d->dfa())) << "iter " << iter;
+    ASSERT_EQ(c->dfa().StructuralHash(), d->dfa().StructuralHash());
+    EXPECT_EQ(c->NumClasses(), d->NumClasses());
+    EXPECT_EQ(id_store.Intern(c->dfa()).id(), id_store.Intern(d->dfa()).id())
+        << iter;
+    Result<std::vector<std::vector<std::string>>> ct = c->AllTuples();
+    Result<std::vector<std::vector<std::string>>> dt = d->AllTuples();
+    ASSERT_TRUE(ct.ok() && dt.ok()) << iter;
+    EXPECT_EQ(*ct, *dt) << iter;
   }
 }
 
