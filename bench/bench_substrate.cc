@@ -48,6 +48,7 @@ int Run(int argc, char** argv) {
   BenchReporter reporter(argc, argv, "SUB",
                          "substrate — determinize/minimize/product and the "
                          "hash-consed store");
+  reporter.set_seed(41);
   Header("SUB", "automaton substrate");
   Alphabet alphabet = Alphabet::Binary();
 

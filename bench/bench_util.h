@@ -11,7 +11,10 @@
 #include <utility>
 #include <vector>
 
+#include "automata/dfa.h"
+#include "automata/ops.h"
 #include "base/rng.h"
+#include "base/thread_pool.h"
 #include "obs/json.h"
 #include "obs/trace.h"
 #include "relational/database.h"
@@ -126,6 +129,10 @@ class BenchReporter {
     scalars_.emplace_back(name, value);
   }
 
+  // The workload seed recorded in the meta block (benches that randomize
+  // call this with the seed they actually used; 0 = fixed workload).
+  void set_seed(uint64_t seed) { seed_ = seed; }
+
   // Writes the JSON file if --json was given. Idempotent; also called by
   // the destructor so benches that return early still emit.
   void Finish() {
@@ -136,6 +143,23 @@ class BenchReporter {
     out.Set("id", obs::JsonValue::Str(id_));
     out.Set("title", obs::JsonValue::Str(title_));
     out.Set("smoke", obs::JsonValue::Bool(smoke_));
+    // Provenance: enough to reproduce the run — harness revision, workload
+    // seed, effective thread count, and which kernel variants were active.
+    // json_check requires this block (and each of its keys) for bench.v1.
+    obs::JsonValue meta = obs::JsonValue::Object();
+    meta.Set("harness_version", obs::JsonValue::Int(2));
+    meta.Set("seed", obs::JsonValue::Int(static_cast<int64_t>(seed_)));
+    meta.Set("threads",
+             obs::JsonValue::Int(ParallelOptions{}.EffectiveThreads()));
+    meta.Set("product_kernel",
+             obs::JsonValue::Str(GetProductKernel() == ProductKernel::kEager
+                                     ? "eager"
+                                     : "reachable"));
+    meta.Set("class_kernel",
+             obs::JsonValue::Str(GetClassKernel() == ClassKernel::kDense
+                                     ? "dense"
+                                     : "condensed"));
+    out.Set("meta", std::move(meta));
     obs::JsonValue series = obs::JsonValue::Array();
     for (const Series& s : series_) {
       obs::JsonValue one = obs::JsonValue::Object();
@@ -158,6 +182,12 @@ class BenchReporter {
     out.Set("metrics",
             obs::MetricsToJson(obs::MetricsDelta(
                 metrics_before_, obs::MetricsRegistry::Global().Snapshot())));
+    // Latency distributions the run produced (p50/p90/p99 summaries) and the
+    // bytes currently retained by the memoization structures.
+    out.Set("histograms",
+            obs::HistogramsToJson(obs::MetricsRegistry::Global()
+                                      .HistSnapshot()));
+    out.Set("memory", obs::MetricsToJson(obs::MemSnapshot()));
     std::string text = out.Dump(2);
     std::FILE* file = std::fopen(path_.c_str(), "w");
     if (file == nullptr) {
@@ -183,6 +213,7 @@ class BenchReporter {
   bool smoke_ = false;
   bool json_ = false;
   bool finished_ = false;
+  uint64_t seed_ = 0;
   std::vector<Series> series_;
   std::vector<std::pair<std::string, double>> scalars_;
   std::map<std::string, int64_t> metrics_before_;

@@ -47,8 +47,8 @@ int main(int argc, char** argv) {
   }
   const strq::obs::JsonValue& root = *parsed;
   if (!root.is_object()) return Fail("top level is not an object");
-  for (const char* key : {"schema", "id", "title", "smoke", "series",
-                          "scalars", "metrics"}) {
+  for (const char* key : {"schema", "id", "title", "smoke", "meta", "series",
+                          "scalars", "metrics", "histograms", "memory"}) {
     if (root.Find(key) == nullptr) {
       return Fail(std::string("missing required key: ") + key);
     }
@@ -60,6 +60,33 @@ int main(int argc, char** argv) {
   const strq::obs::JsonValue* smoke = root.Find("smoke");
   if (!smoke->is_bool() || !smoke->AsBool()) {
     return Fail("smoke flag not reflected in output");
+  }
+  const strq::obs::JsonValue* meta = root.Find("meta");
+  if (!meta->is_object()) return Fail("meta is not an object");
+  for (const char* key : {"harness_version", "seed", "threads",
+                          "product_kernel", "class_kernel"}) {
+    if (meta->Find(key) == nullptr) {
+      return Fail(std::string("meta missing required key: ") + key);
+    }
+  }
+  const strq::obs::JsonValue* hists = root.Find("histograms");
+  if (!hists->is_object()) return Fail("histograms is not an object");
+  for (const auto& [name, h] : hists->members()) {
+    if (!h.is_object()) return Fail("histogram entry is not an object: " + name);
+    for (const char* key : {"count", "min", "max", "mean", "p50", "p90",
+                            "p99"}) {
+      if (h.Find(key) == nullptr) {
+        return Fail("histogram " + name + " missing key: " + key);
+      }
+    }
+  }
+  const strq::obs::JsonValue* memory = root.Find("memory");
+  if (!memory->is_object()) return Fail("memory is not an object");
+  for (const char* key : {"store.bytes", "atom_cache.bytes",
+                          "plan.cache_bytes"}) {
+    if (memory->Find(key) == nullptr || !memory->Find(key)->is_number()) {
+      return Fail(std::string("memory missing numeric gauge: ") + key);
+    }
   }
   const strq::obs::JsonValue* series = root.Find("series");
   if (!series->is_array()) return Fail("series is not an array");

@@ -18,11 +18,15 @@
 //   load <name> <path>          load a relation from a TSV file
 //   save <name> <path>          save a relation to a TSV file
 //   width                       active-domain width; width1 rewrites the db
+//   threads <n>                 parallelism for query/explain (1 = serial)
+//   stats                       memory gauges, cache stats, latency p50/p99
+//   flight [clear|export <path>]  dump/clear/export the flight recorder
 //   help / quit
 //
 // Example session: ./build/examples/strq_shell < demo.strq
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -30,6 +34,8 @@
 #include <vector>
 
 #include "automata/regex_from_dfa.h"
+#include "obs/flight.h"
+#include "obs/trace.h"
 #include "eval/algebra_eval.h"
 #include "eval/automata_eval.h"
 #include "eval/explain.h"
@@ -88,7 +94,8 @@ class Shell {
     if (cmd == "help") {
       std::printf(
           "  commands: alphabet rel add load save show query explain ask "
-          "safe cqsafe lang simplify plan describe width help quit\n");
+          "safe cqsafe lang simplify plan describe width threads stats "
+          "flight help quit\n");
       std::printf(
           "  explain (or \\explain) <formula>: compile with tracing on and "
           "print the chosen plan\n"
@@ -96,6 +103,72 @@ class Shell {
           "metric counters\n"
           "  (docs/OBSERVABILITY.md); repeated explains show plan-cache "
           "hits\n");
+      std::printf(
+          "  threads <n>: compile independent subplans on n threads "
+          "(explain then shows @tN worker spans)\n"
+          "  stats: retained bytes per structure, cache hit rates, latency "
+          "histograms\n"
+          "  flight: dump recent spans; flight clear; flight export "
+          "<path> writes Chrome trace JSON for Perfetto\n");
+      return true;
+    }
+    if (cmd == "threads") {
+      std::istringstream args(rest);
+      int n = 0;
+      if (!(args >> n) || n < 0) {
+        std::printf("  usage: threads <n>  (0 = hardware, 1 = serial)\n");
+        return true;
+      }
+      parallel_ = ParallelOptions{n};
+      std::printf("  parallelism: %d effective thread(s)\n",
+                  parallel_.EffectiveThreads());
+      return true;
+    }
+    if (cmd == "stats") {
+      PrintStats();
+      return true;
+    }
+    if (cmd == "flight") {
+      std::istringstream args(rest);
+      std::string sub;
+      args >> sub;
+      obs::FlightRecorder& flight = obs::FlightRecorder::Global();
+      if (sub == "clear") {
+        flight.Clear();
+        std::printf("  flight recorder cleared\n");
+      } else if (sub == "export") {
+        std::string path;
+        if (!(args >> path)) {
+          std::printf("  usage: flight export <path>\n");
+          return true;
+        }
+        std::vector<obs::SpanRecord> spans = flight.Snapshot();
+        std::ofstream out(path);
+        if (!out) {
+          std::printf("  cannot write %s\n", path.c_str());
+          return true;
+        }
+        out << obs::ChromeTrace(spans).Dump(2) << "\n";
+        std::printf(
+            "  %zu span(s) exported to %s (load in ui.perfetto.dev or "
+            "chrome://tracing)\n",
+            spans.size(), path.c_str());
+      } else if (sub.empty()) {
+        std::vector<obs::SpanRecord> spans = flight.Snapshot();
+        if (spans.empty()) {
+          std::printf(
+              "  flight recorder empty (spans land here while tracing is "
+              "on — run explain, or STRQ_OBS=1)\n");
+        } else {
+          std::printf("%s", obs::PrettyFlight(spans).c_str());
+          std::printf("  %zu span(s) retained, %llu recorded in total\n",
+                      spans.size(),
+                      static_cast<unsigned long long>(
+                          flight.total_recorded()));
+        }
+      } else {
+        std::printf("  usage: flight [clear|export <path>]\n");
+      }
       return true;
     }
     if (cmd == "alphabet") {
@@ -204,6 +277,7 @@ class Shell {
     // The shared planner does the same for plans: re-issued queries skip the
     // rewrite pipeline via the plan cache.
     AutomataEvaluator engine(&db_, cache_, planner_);
+    engine.set_parallel_options(parallel_);
 
     if (cmd == "describe") {
       // Works for safe AND unsafe unary queries: the answer set as a regex.
@@ -244,8 +318,8 @@ class Shell {
         std::printf("\n");
       }
     } else if (cmd == "explain") {
-      Result<ExplainAnalyzeResult> out =
-          ExplainAnalyze(&db_, f, /*max_tuples=*/1000000, cache_, planner_);
+      Result<ExplainAnalyzeResult> out = ExplainAnalyze(
+          &db_, f, /*max_tuples=*/1000000, cache_, planner_, parallel_);
       if (!out.ok()) {
         std::printf("  %s\n", out.status().ToString().c_str());
         return true;
@@ -302,9 +376,67 @@ class Shell {
     return true;
   }
 
+  void PrintStats() {
+    // Retained bytes: the process-wide gauges first (they cover every store
+    // and cache in the process), then the shared structures' own stats.
+    std::printf("  memory (process-wide gauges):\n");
+    for (const auto& [name, bytes] : obs::MemSnapshot()) {
+      std::printf("    %-24s %lld bytes\n", name.c_str(),
+                  static_cast<long long>(bytes));
+    }
+    const AutomatonStore::Stats store = cache_->store().stats();
+    std::printf(
+        "  store: %zu unique / %zu computed entries, "
+        "%lld/%lld unique hits, %lld/%lld op hits, %lld bytes\n",
+        cache_->store().unique_size(), cache_->store().computed_size(),
+        static_cast<long long>(store.unique_hits),
+        static_cast<long long>(store.unique_hits + store.unique_misses),
+        static_cast<long long>(store.op_hits),
+        static_cast<long long>(store.op_hits + store.op_misses),
+        static_cast<long long>(store.bytes));
+    const AtomCache::Stats atoms = cache_->stats();
+    std::printf(
+        "  atom cache: %zu entries, %lld/%lld atom hits, %lld/%lld pattern "
+        "hits, %lld bytes\n",
+        cache_->size(), static_cast<long long>(atoms.hits),
+        static_cast<long long>(atoms.hits + atoms.misses),
+        static_cast<long long>(atoms.pattern_hits),
+        static_cast<long long>(atoms.pattern_hits + atoms.pattern_misses),
+        static_cast<long long>(atoms.bytes));
+    const plan::Planner::Stats plans = planner_->stats();
+    std::printf(
+        "  plan cache: %lld/%lld hits, %lld rules fired, %lld bytes\n",
+        static_cast<long long>(plans.cache_hits),
+        static_cast<long long>(plans.cache_hits + plans.cache_misses),
+        static_cast<long long>(plans.rules_fired),
+        static_cast<long long>(plans.bytes));
+    std::map<std::string, obs::Histogram::Snapshot> hists =
+        obs::MetricsRegistry::Global().HistSnapshot();
+    if (hists.empty()) {
+      std::printf(
+          "  latency: no samples yet (histograms fill while tracing is "
+          "on — run explain, or STRQ_OBS=1)\n");
+    } else {
+      std::printf("  latency:\n");
+      for (const auto& [name, h] : hists) {
+        std::printf(
+            "    %-24s n=%-6lld p50=%.0fns p90=%.0fns p99=%.0fns "
+            "max=%lldns\n",
+            name.c_str(), static_cast<long long>(h.count), h.p50, h.p90,
+            h.p99, static_cast<long long>(h.max));
+      }
+    }
+    obs::FlightRecorder& flight = obs::FlightRecorder::Global();
+    std::printf("  flight: %zu/%zu span(s) retained, %llu recorded, %s\n",
+                flight.size(), flight.capacity(),
+                static_cast<unsigned long long>(flight.total_recorded()),
+                flight.armed() ? "armed" : "disarmed");
+  }
+
   Database db_;
   std::shared_ptr<AtomCache> cache_;
   std::shared_ptr<plan::Planner> planner_;
+  ParallelOptions parallel_{1};
 };
 
 }  // namespace

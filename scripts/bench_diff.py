@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Compare two strq.bench.v1 scalar snapshots with per-scalar tolerance bands.
+
+Usage: bench_diff.py BASELINE.json CANDIDATE.json
+
+Exits 0 when every scalar in the candidate stays inside its band relative to
+the baseline, 1 otherwise. Bands are keyed on scalar-name patterns, widest
+match last:
+
+  *answers_agree / *store_ids_agree  exact match (semantic gates: the kernel
+                                     switches must never change answers)
+  *_hit_rate                         +/-0.15 absolute (cache warmth shifts
+                                     with workload tweaks, never collapses)
+  *_reduction                        35% relative (ratios of two drifting
+                                     quantities)
+  *classes* / *bytes*                25% relative (alphabet partitions and
+                                     table layouts drift with the workload)
+  (default)                          25% relative
+
+A scalar present in the baseline but missing from the candidate FAILS — that
+is how a counter namespace silently falling out of the report looks. Scalars
+only in the candidate are listed but pass (new instrumentation is fine; the
+baseline refresh picks them up).
+"""
+
+import json
+import sys
+
+EXACT_SUFFIXES = ("answers_agree", "store_ids_agree")
+ABS_RATE_TOL = 0.15
+
+
+def band(key):
+    """Returns (kind, tolerance) for a scalar name."""
+    if key.endswith(EXACT_SUFFIXES):
+        return ("exact", 0.0)
+    if key.endswith("_hit_rate"):
+        return ("abs", ABS_RATE_TOL)
+    if key.endswith("_reduction"):
+        return ("rel", 0.35)
+    return ("rel", 0.25)
+
+
+def within(kind, tol, base, cand):
+    if kind == "exact":
+        return cand == base
+    if kind == "abs":
+        return abs(cand - base) <= tol
+    # Relative, with a unit floor so a zero baseline does not divide out.
+    return abs(cand - base) <= tol * max(abs(base), 1.0)
+
+
+def main(argv):
+    if len(argv) != 3:
+        sys.stderr.write(__doc__)
+        return 2
+    with open(argv[1]) as f:
+        base_doc = json.load(f)
+    with open(argv[2]) as f:
+        cand_doc = json.load(f)
+    for doc, path in ((base_doc, argv[1]), (cand_doc, argv[2])):
+        if doc.get("schema") != "strq.bench.v1":
+            print(f"bench_diff: {path}: not a strq.bench.v1 document")
+            return 1
+
+    base = base_doc.get("scalars", {})
+    cand = cand_doc.get("scalars", {})
+    failures = []
+    for key in sorted(base):
+        kind, tol = band(key)
+        if key not in cand:
+            failures.append(f"{key}: missing from candidate (was {base[key]})")
+            continue
+        b, c = base[key], cand[key]
+        if not isinstance(c, (int, float)) or isinstance(c, bool):
+            failures.append(f"{key}: candidate value {c!r} is not numeric")
+            continue
+        if within(kind, tol, b, c):
+            continue
+        if kind == "exact":
+            failures.append(f"{key}: {b} -> {c} (exact match required)")
+        elif kind == "abs":
+            failures.append(f"{key}: {b} -> {c} (band: +/-{tol})")
+        else:
+            failures.append(f"{key}: {b} -> {c} (band: {tol:.0%} relative)")
+
+    new_keys = sorted(set(cand) - set(base))
+    if new_keys:
+        print(f"bench_diff: {len(new_keys)} new scalar(s) not in baseline: "
+              + ", ".join(new_keys))
+    checked = len(base)
+    if failures:
+        print(f"bench_diff: {len(failures)}/{checked} scalar(s) out of band:")
+        for line in failures:
+            print(f"  {line}")
+        print("bench_diff: if the drift is intended, refresh the committed "
+              "baseline (scripts/check.sh rewrites BENCH.json).")
+        return 1
+    print(f"bench_diff: {checked} scalar(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

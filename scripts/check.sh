@@ -6,8 +6,9 @@
 # substrate benches so the strq.bench.v1 JSON contract and the store.* /
 # plan.* / pool.* / dfa.product_states_* / dfa.classes_* /
 # dfa.table_bytes_* counters stay exercised, and finally a BENCH.json
-# baseline snapshot of selected scalars. Run from anywhere; exits nonzero
-# on the first failure.
+# drift gate (scripts/bench_diff.py, per-scalar tolerance bands against the
+# committed baseline) followed by a baseline refresh. Run from anywhere;
+# exits nonzero on the first failure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -43,6 +44,15 @@ import json, sys
 for path in sys.argv[1:]:
     doc = json.load(open(path))
     assert doc["schema"] == "strq.bench.v1", path
+    meta = doc.get("meta")
+    assert meta and meta.get("harness_version", 0) >= 2, \
+        f"{path}: missing meta block (harness provenance fell out)"
+    for key in ("seed", "threads", "product_kernel", "class_kernel"):
+        assert key in meta, f"{path}: meta.{key} missing"
+    assert "histograms" in doc, f"{path}: no histograms block"
+    mem = doc.get("memory", {})
+    for key in ("store.bytes", "atom_cache.bytes", "plan.cache_bytes"):
+        assert key in mem, f"{path}: memory.{key} missing"
     hits = doc["scalars"].get("store.op_hits", 0)
     assert hits > 0, f"{path}: store.op_hits == 0 (substrate not warming)"
     plan_keys = [k for k in doc["scalars"] if k.startswith("plan.")]
@@ -68,11 +78,15 @@ assert ab["scalars"].get("classes.store_ids_agree") == 1.0, \
     "class kernels produce different canonical store ids"
 EOF
 
-echo "==== BENCH.json baseline snapshot ===="
+echo "==== BENCH.json baseline snapshot + drift gate ===="
 # Selected scalars from both smoke runs, merged under sub./ab. prefixes into
 # a committed top-level baseline (schema strq.bench.v1) so perf-relevant
-# counters are tracked in-repo alongside the code that moves them.
-python3 - "${tmpdir}/BENCH_SUB.json" "${tmpdir}/BENCH_AB.json" BENCH.json <<'EOF'
+# counters are tracked in-repo alongside the code that moves them. The fresh
+# snapshot is diffed against the committed baseline with per-scalar tolerance
+# bands (scripts/bench_diff.py) BEFORE overwriting it, so out-of-band drift
+# fails the gate instead of silently rebasing.
+python3 - "${tmpdir}/BENCH_SUB.json" "${tmpdir}/BENCH_AB.json" \
+    "${tmpdir}/BENCH_NEW.json" <<'EOF'
 import json, sys
 KEEP = {
     "sub.": [
@@ -109,5 +123,12 @@ with open(sys.argv[3], "w") as f:
     f.write("\n")
 print(f"  wrote {sys.argv[3]} ({len(scalars)} scalars)")
 EOF
+if [[ -f BENCH.json ]]; then
+  python3 scripts/bench_diff.py BENCH.json "${tmpdir}/BENCH_NEW.json"
+else
+  echo "  no committed BENCH.json yet; skipping drift gate"
+fi
+cp "${tmpdir}/BENCH_NEW.json" BENCH.json
+echo "  refreshed BENCH.json"
 
 echo "ALL CHECKS PASSED"

@@ -16,6 +16,18 @@ uint64_t NextInternId() {
   return counter.fetch_add(1, std::memory_order_relaxed);
 }
 
+// Approximate heap footprint of one retained table entry (hash node, key,
+// handle). Exact malloc overhead is allocator-specific; fixed charges keep
+// the gauge proportional and its conservation exact (every insert's charge
+// is returned on Clear/destruction).
+constexpr int64_t kUniqueEntryBytes = 64;
+constexpr int64_t kComputedEntryBytes = 96;
+constexpr int64_t kDecidedEntryBytes = 64;
+
+int64_t InternedDfaBytes(const Dfa& dfa) {
+  return static_cast<int64_t>(sizeof(Dfa)) + dfa.TableBytesCondensed();
+}
+
 }  // namespace
 
 const AutomatonStore& AutomatonStore::Default() {
@@ -47,6 +59,9 @@ DfaRef AutomatonStore::InternCanonical(Dfa canonical) const {
     unique_.emplace(hash, std::make_pair(id, dfa));
     ++stats_.unique_misses;
     obs::Count(obs::kStoreUniqueMisses);
+    int64_t bytes = InternedDfaBytes(*dfa) + kUniqueEntryBytes;
+    stats_.bytes += bytes;
+    obs::MemAdd(obs::MemCategory::kStore, bytes);
     return DfaRef(std::move(dfa), id);
   }
 }
@@ -76,7 +91,13 @@ std::optional<DfaRef> AutomatonStore::Lookup(const OpKey& key) const {
 void AutomatonStore::Memoize(const OpKey& key, const DfaRef& value) const {
   if (!caching_enabled_ || !value) return;
   std::lock_guard<std::mutex> lock(mu_);
-  computed_.emplace(key, value);
+  auto [it, inserted] = computed_.emplace(key, value);
+  if (inserted) {
+    int64_t bytes = kComputedEntryBytes +
+                    static_cast<int64_t>(key.params.size() * sizeof(int64_t));
+    stats_.bytes += bytes;
+    obs::MemAdd(obs::MemCategory::kStore, bytes);
+  }
 }
 
 Result<DfaRef> AutomatonStore::BinaryOp(int op, const DfaRef& a,
@@ -151,7 +172,11 @@ Result<bool> AutomatonStore::IsIntersectionEmpty(const DfaRef& a,
   STRQ_ASSIGN_OR_RETURN(bool empty, strq::IntersectionEmpty(*da, *db));
   if (caching_enabled_) {
     std::lock_guard<std::mutex> lock(mu_);
-    decided_.emplace(key, empty);
+    auto [it, inserted] = decided_.emplace(key, empty);
+    if (inserted) {
+      stats_.bytes += kDecidedEntryBytes;
+      obs::MemAdd(obs::MemCategory::kStore, kDecidedEntryBytes);
+    }
   }
   return empty;
 }
@@ -188,6 +213,14 @@ void AutomatonStore::Clear() const {
   unique_.clear();
   computed_.clear();
   decided_.clear();
+  obs::MemAdd(obs::MemCategory::kStore, -stats_.bytes);
+  stats_.bytes = 0;
+}
+
+AutomatonStore::~AutomatonStore() {
+  // Return this store's retained bytes to the process-wide gauge (local
+  // stores come and go; the gauge must conserve).
+  obs::MemAdd(obs::MemCategory::kStore, -stats_.bytes);
 }
 
 }  // namespace strq

@@ -120,10 +120,19 @@ class AutomatonStore {
     int64_t unique_misses = 0;
     int64_t op_hits = 0;
     int64_t op_misses = 0;
+    // Bytes currently RETAINED by this store: interned DFA payloads
+    // (condensed transition tables, via TableBytesCondensed) plus table
+    // entry overheads. Unlike the counters this is a gauge — Clear() and
+    // the destructor return it to zero, and the same deltas are mirrored
+    // into the process-wide obs::MemCategory::kStore gauge, so an eviction
+    // policy can watch one number across all stores. Dedup never
+    // double-counts: a unique-table hit adds nothing.
+    int64_t bytes = 0;
   };
 
   explicit AutomatonStore(bool enable_caching = true)
       : caching_enabled_(enable_caching) {}
+  ~AutomatonStore();
   AutomatonStore(const AutomatonStore&) = delete;
   AutomatonStore& operator=(const AutomatonStore&) = delete;
 

@@ -35,9 +35,18 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   obs::Count(obs::kPoolTasks);
+  // Hand the submitter's trace context to the worker so spans opened inside
+  // the task stitch into the submitting thread's span tree. The context is
+  // two thread-local words; when no session is installed it is {0, 0} and
+  // the install is a pair of TLS writes.
+  obs::TraceContext ctx = obs::CurrentTraceContext();
+  std::function<void()> wrapped = [ctx, task = std::move(task)] {
+    obs::ScopedTraceContext scope(ctx);
+    task();
+  };
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(wrapped));
     ++in_flight_;
   }
   work_cv_.notify_one();

@@ -1,6 +1,7 @@
 #include "eval/algebra_eval.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 
 #include "base/string_ops.h"
@@ -50,7 +51,13 @@ Result<Relation> AlgebraEvaluator::Evaluate(const RaPtr& expr) {
   // the caller keeps the plan alive, and plans share subtrees within one
   // evaluation (notably the universe expression of the safe translation).
   memo_.clear();
-  return Eval(expr);
+  auto start = std::chrono::steady_clock::now();
+  Result<Relation> out = Eval(expr);
+  obs::Observe(obs::kHistQueryLatencyNs,
+               std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now() - start)
+                   .count());
+  return out;
 }
 
 namespace {
@@ -134,7 +141,7 @@ Result<Relation> AlgebraEvaluator::EvalNode(const RaExpr& node) {
       const std::vector<Tuple>& tuples = input.tuples();
       int n = static_cast<int>(tuples.size());
       int threads = parallel_.EffectiveThreads();
-      if (threads > 1 && !obs::TraceActive() && n >= 64) {
+      if (threads > 1 && n >= 64) {
         // Order-preserving parallel scan: the per-tuple membership tests
         // are independent (Contains is const; the condition automaton is
         // immutable), so partition the input and keep tuples by index.

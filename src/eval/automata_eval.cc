@@ -1,6 +1,7 @@
 #include "eval/automata_eval.h"
 
 #include <algorithm>
+#include <chrono>
 #include <unordered_set>
 #include <utility>
 
@@ -445,18 +446,20 @@ class Compiler {
     return out;
   }
 
-  // The parallel fan-out for a planner-annotated And/Or fold: flattens the
-  // binary spine Render produced from one n-ary plan node back into its
-  // child list, compiles the children concurrently (each on a cloned
-  // Compiler — the fresh variable ids a child burns are projected away
-  // before it returns, so clones starting from the same next_var_ are
-  // safe), then folds the results in planner order. Returns nullopt when
-  // the node is not annotated, parallelism is off, or a trace is being
-  // collected on this thread (worker-thread spans would be lost).
+  // The fan-out for a planner-annotated And/Or fold: flattens the binary
+  // spine Render produced from one n-ary plan node back into its child
+  // list, compiles the children across the pool (each on a cloned Compiler
+  // — the fresh variable ids a child burns are projected away before it
+  // returns, so clones starting from the same next_var_ are safe), then
+  // folds the results in planner order. With one effective thread
+  // ParallelFor degenerates to a serial loop over the same flattened parts,
+  // so answers, canonical store ids, and span-tree shape are identical at
+  // every thread count. Worker spans stitch into the caller's trace via the
+  // TraceContext the pool propagates — tracing no longer forces a serial
+  // fallback. Returns nullopt when the node is not annotated.
   std::optional<Result<TrackAutomaton>> CompileSpineParallel(
       const FormulaPtr& f) {
-    if (parallel_folds_ == nullptr || parallel_.serial() ||
-        obs::TraceActive()) {
+    if (parallel_folds_ == nullptr) {
       return std::nullopt;
     }
     if (parallel_folds_->count(f.get()) == 0) return std::nullopt;
@@ -571,7 +574,19 @@ std::vector<std::string> AutomataEvaluator::FreeVarOrder(const FormulaPtr& f) {
   return std::vector<std::string>(fv.begin(), fv.end());
 }
 
+namespace {
+
+// Elapsed nanoseconds since `since`, for the per-query latency histograms.
+int64_t LatencyNsSince(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
 Result<TrackAutomaton> AutomataEvaluator::Compile(const FormulaPtr& f) {
+  auto compile_start = std::chrono::steady_clock::now();
   // Track ids come from the ORIGINAL formula's free variables: the planner
   // may rewrite a variable out of the formula entirely, and the answer
   // relation's columns must not shift when it does.
@@ -601,11 +616,13 @@ Result<TrackAutomaton> AutomataEvaluator::Compile(const FormulaPtr& f) {
   // Close the planner's feedback loop: estimated-vs-actual drift shows up
   // in explain output and the plan.actual_states counter.
   planner_->RecordActual(f, db_, rel.NumStates());
+  obs::Observe(obs::kHistCompileNs, LatencyNsSince(compile_start));
   return rel;
 }
 
 Result<Relation> AutomataEvaluator::Evaluate(const FormulaPtr& f,
                                              size_t max_tuples) {
+  auto start = std::chrono::steady_clock::now();
   STRQ_ASSIGN_OR_RETURN(TrackAutomaton rel, Compile(f));
   obs::Span span("eval.enumerate");
   span.Attr("answer_states", rel.NumStates());
@@ -615,6 +632,7 @@ Result<Relation> AutomataEvaluator::Evaluate(const FormulaPtr& f,
   span.Attr("tuples", static_cast<int64_t>(tuples->size()));
   obs::Count(obs::kEvalTuplesEnumerated,
              static_cast<int64_t>(tuples->size()));
+  obs::Observe(obs::kHistQueryLatencyNs, LatencyNsSince(start));
   return Relation::Create(rel.arity(), *std::move(tuples));
 }
 

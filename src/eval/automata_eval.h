@@ -63,13 +63,13 @@ class AutomataEvaluator {
   const std::shared_ptr<plan::Planner>& planner() const { return planner_; }
 
   // Parallel compilation of independent subplans. The planner annotates the
-  // And/Or folds it rendered from one n-ary plan node; with more than one
-  // effective thread the compiler fans those children out to the shared
-  // pool and folds the results in planner order. num_threads = 1 restores
-  // the exact serial execution; answers and canonical store ids are
-  // identical either way (the store interns by language). Compilation stays
-  // serial while a TraceSession is collecting on the calling thread, so
-  // EXPLAIN ANALYZE traces remain complete.
+  // And/Or folds it rendered from one n-ary plan node; the compiler fans
+  // those children out to the shared pool and folds the results in planner
+  // order. Answers and canonical store ids are identical at every thread
+  // count (the store interns by language), and so is the span-tree shape:
+  // tracing is fully concurrent — worker spans carry the submitting span as
+  // parent via TraceContext propagation, so EXPLAIN ANALYZE traces stay
+  // complete under parallel compilation.
   void set_parallel_options(ParallelOptions options) { parallel_ = options; }
   const ParallelOptions& parallel_options() const { return parallel_; }
 

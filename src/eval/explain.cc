@@ -7,9 +7,20 @@
 
 namespace strq {
 
+namespace {
+
+int64_t ElapsedNs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
 Result<ExplainAnalyzeResult> ExplainAnalyze(
     const Database* db, const FormulaPtr& f, size_t max_tuples,
-    std::shared_ptr<AtomCache> cache, std::shared_ptr<plan::Planner> planner) {
+    std::shared_ptr<AtomCache> cache, std::shared_ptr<plan::Planner> planner,
+    ParallelOptions parallel) {
   ExplainAnalyzeResult result;
   result.columns = AutomataEvaluator::FreeVarOrder(f);
 
@@ -29,11 +40,14 @@ Result<ExplainAnalyzeResult> ExplainAnalyze(
   auto start = std::chrono::steady_clock::now();
 
   AutomataEvaluator engine(db, cache, planner);
+  engine.set_parallel_options(parallel);
   // Plan phase: run the planner explicitly so the chosen plan (with its
   // per-node estimates) lands in the result; the Compile below re-plans the
   // same formula and is served by the plan cache, so the work is done once.
+  auto plan_start = std::chrono::steady_clock::now();
   plan::PlannedQuery planned =
       engine.planner()->Plan(f, db, cache.get());
+  obs::Observe(obs::kHistPlanNs, ElapsedNs(plan_start));
   result.plan_pretty = planned.pretty;
   result.planned_formula =
       planned.formula != nullptr ? ToString(planned.formula) : ToString(f);
@@ -41,14 +55,18 @@ Result<ExplainAnalyzeResult> ExplainAnalyze(
   result.plan_rules_fired = planned.rules_fired;
   result.plan_shared_subplans = planned.shared_subplans;
   result.plan_cache_hit = planned.cache_hit;
+  auto compile_start = std::chrono::steady_clock::now();
   STRQ_ASSIGN_OR_RETURN(TrackAutomaton rel, engine.Compile(f));
+  obs::Observe(obs::kHistCompileNs, ElapsedNs(compile_start));
   result.answer_states = rel.NumStates();
   result.answer_transitions = rel.NumTransitions();
   result.finite = rel.IsFinite();
   if (result.finite) {
     obs::Span span("eval.enumerate");
     span.Attr("answer_states", rel.NumStates());
+    auto enum_start = std::chrono::steady_clock::now();
     STRQ_ASSIGN_OR_RETURN(std::vector<Tuple> tuples, rel.AllTuples(max_tuples));
+    obs::Observe(obs::kHistEnumerateNs, ElapsedNs(enum_start));
     span.Attr("tuples", static_cast<int64_t>(tuples.size()));
     obs::Count(obs::kEvalTuplesEnumerated,
                static_cast<int64_t>(tuples.size()));
@@ -58,6 +76,7 @@ Result<ExplainAnalyzeResult> ExplainAnalyze(
     result.answer = Relation::Empty(rel.arity());
   }
 
+  obs::Observe(obs::kHistQueryLatencyNs, ElapsedNs(start));
   result.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -65,6 +84,8 @@ Result<ExplainAnalyzeResult> ExplainAnalyze(
   result.trace->seconds = result.seconds;
   result.metrics =
       obs::MetricsDelta(before, obs::MetricsRegistry::Global().Snapshot());
+  result.histograms = obs::MetricsRegistry::Global().HistSnapshot();
+  result.memory = obs::MemSnapshot();
   return result;
 }
 
@@ -111,6 +132,24 @@ std::string ExplainAnalyzeResult::Pretty() const {
       out += buf;
     }
   }
+  if (!histograms.empty()) {
+    out += "latency (cumulative):\n";
+    for (const auto& [name, h] : histograms) {
+      std::snprintf(buf, sizeof(buf),
+                    "  %-24s n=%lld p50=%.0fns p90=%.0fns p99=%.0fns\n",
+                    name.c_str(), static_cast<long long>(h.count), h.p50,
+                    h.p90, h.p99);
+      out += buf;
+    }
+  }
+  if (!memory.empty()) {
+    out += "memory:\n";
+    for (const auto& [name, bytes] : memory) {
+      std::snprintf(buf, sizeof(buf), "  %-24s %lld bytes\n", name.c_str(),
+                    static_cast<long long>(bytes));
+      out += buf;
+    }
+  }
   return out;
 }
 
@@ -139,6 +178,12 @@ obs::JsonValue ExplainAnalyzeResult::ToJson() const {
   out.Set("seconds", obs::JsonValue::Number(seconds));
   if (trace != nullptr) out.Set("trace", obs::TraceToJson(*trace));
   out.Set("metrics", obs::MetricsToJson(metrics));
+  out.Set("histograms", obs::HistogramsToJson(histograms));
+  obs::JsonValue mem = obs::JsonValue::Object();
+  for (const auto& [name, bytes] : memory) {
+    mem.Set(name, obs::JsonValue::Int(bytes));
+  }
+  out.Set("memory", std::move(mem));
   return out;
 }
 

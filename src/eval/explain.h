@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "base/status.h"
+#include "base/thread_pool.h"
 #include "logic/ast.h"
 #include "mta/atom_cache.h"
 #include "obs/json.h"
@@ -40,6 +41,14 @@ struct ExplainAnalyzeResult {
   std::unique_ptr<obs::TraceNode> trace;
   // Global counters moved by this call (obs::MetricsDelta of the run).
   std::map<std::string, int64_t> metrics;
+  // Latency-histogram summaries (p50/p90/p99) at the end of the call. The
+  // histograms are process-cumulative: with a shared cache/planner, repeated
+  // EXPLAINs show how the latency distribution shifts as the substrate
+  // warms.
+  std::map<std::string, obs::Histogram::Snapshot> histograms;
+  // Retained-memory gauges (store.bytes / atom_cache.bytes /
+  // plan.cache_bytes) at the end of the call.
+  std::map<std::string, int64_t> memory;
 
   // ---- Plan phase --------------------------------------------------------
   // The chosen plan, rendered as an indented tree with per-node cost
@@ -69,10 +78,16 @@ struct ExplainAnalyzeResult {
 // Tracing is enabled for the duration of the call and restored afterwards.
 // Pass a shared `planner` the same way to see plan-cache hits across
 // repeated EXPLAINs (null: the engine's private default planner).
+// `parallel` is forwarded to the engine: with more than one effective
+// thread, independent subplans compile concurrently and the trace becomes a
+// parallel profile — worker spans carry their thread tag (rendered @tN) and
+// stitch under the submitting span, while answers and canonical store ids
+// stay identical to the serial run.
 Result<ExplainAnalyzeResult> ExplainAnalyze(
     const Database* db, const FormulaPtr& f, size_t max_tuples = 1000000,
     std::shared_ptr<AtomCache> cache = nullptr,
-    std::shared_ptr<plan::Planner> planner = nullptr);
+    std::shared_ptr<plan::Planner> planner = nullptr,
+    ParallelOptions parallel = ParallelOptions{1});
 
 }  // namespace strq
 

@@ -1,6 +1,7 @@
 #include "eval/restricted_eval.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 
 #include "automata/dfa.h"
@@ -322,6 +323,13 @@ Result<Relation> RestrictedEvaluator::EvaluateOnCandidates(
     const FormulaPtr& f, const std::vector<std::string>& candidates) {
   obs::Span span("restricted.evaluate_on_candidates");
   span.Attr("candidates", static_cast<int64_t>(candidates.size()));
+  auto latency_start = std::chrono::steady_clock::now();
+  auto observe_latency = [&latency_start] {
+    obs::Observe(obs::kHistQueryLatencyNs,
+                 std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now() - latency_start)
+                     .count());
+  };
   // Columns come from the ORIGINAL formula: planning may eliminate a
   // variable, but the advertised column set must not change (the dropped
   // column is then unconstrained over the candidates, as before planning).
@@ -343,8 +351,7 @@ Result<Relation> RestrictedEvaluator::EvaluateOnCandidates(
   int threads = parallel_.EffectiveThreads();
   double total_est = 1;
   for (int i = 0; i < k; ++i) total_est *= static_cast<double>(candidates.size());
-  if (threads > 1 && !obs::TraceActive() && k > 0 && total_est >= 2 &&
-      total_est <= 4e9) {
+  if (threads > 1 && k > 0 && total_est >= 2 && total_est <= 4e9) {
     uint64_t total = 1;
     for (int i = 0; i < k; ++i) total *= candidates.size();
     uint64_t chunks = std::min<uint64_t>(threads, total);
@@ -377,6 +384,7 @@ Result<Relation> RestrictedEvaluator::EvaluateOnCandidates(
       STRQ_RETURN_IF_ERROR(errors[c]);
       for (Tuple& t : partial[c]) out.push_back(std::move(t));
     }
+    observe_latency();
     return Relation::Create(k, std::move(out));
   }
 
@@ -400,6 +408,7 @@ Result<Relation> RestrictedEvaluator::EvaluateOnCandidates(
     if (pos < 0) break;
     if (k == 0) break;
   }
+  observe_latency();
   return Relation::Create(k, std::move(out));
 }
 

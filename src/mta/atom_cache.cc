@@ -9,9 +9,23 @@
 
 namespace strq {
 
+namespace {
+
+// Fixed per-entry charge for the map node + the cached handle/track
+// metadata; the variable part is the key string. The DFA tables behind a
+// cached atom belong to (and are accounted by) the AutomatonStore.
+constexpr int64_t kAtomEntryBytes = 96;
+constexpr int64_t kPatternEntryBytes = 64;
+
+}  // namespace
+
 AtomCache::AtomCache(Alphabet alphabet, const AutomatonStore* store)
     : alphabet_(std::move(alphabet)),
       store_(store != nullptr ? store : &AutomatonStore::Default()) {}
+
+AtomCache::~AtomCache() {
+  obs::MemAdd(obs::MemCategory::kAtomCache, -stats_.bytes);
+}
 
 Result<TrackAutomaton> AtomCache::Renamed(const TrackAutomaton& canonical,
                                           const std::vector<VarId>& vars) {
@@ -52,6 +66,11 @@ Result<TrackAutomaton> AtomCache::Cached(
     // A racing thread may have populated the key meanwhile; both values
     // describe the same language, so first-in wins.
     auto [it, inserted] = atoms_.emplace(key, *canonical);
+    if (inserted) {
+      int64_t bytes = kAtomEntryBytes + static_cast<int64_t>(key.size());
+      stats_.bytes += bytes;
+      obs::MemAdd(obs::MemCategory::kAtomCache, bytes);
+    }
     return Renamed(it->second, vars);
   }
 }
@@ -180,6 +199,11 @@ Result<DfaRef> AtomCache::CompiledPattern(const std::string& pattern,
   ++stats_.pattern_misses;
   obs::Count(obs::kPatternCacheMisses);
   auto [it, inserted] = patterns_.emplace(key, ref);
+  if (inserted) {
+    int64_t bytes = kPatternEntryBytes + static_cast<int64_t>(pattern.size());
+    stats_.bytes += bytes;
+    obs::MemAdd(obs::MemCategory::kAtomCache, bytes);
+  }
   return it->second;
 }
 

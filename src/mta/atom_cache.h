@@ -43,11 +43,18 @@ class AtomCache {
     int64_t misses = 0;          // canonical atom compiled
     int64_t pattern_hits = 0;    // LIKE/regex/SIMILAR pattern reused
     int64_t pattern_misses = 0;  // pattern compiled
+    // Bytes currently retained by the cache's OWN bookkeeping (keys,
+    // handles, track metadata). The automaton tables a cached atom points
+    // at are owned — and already accounted — by the AutomatonStore, so
+    // store.bytes + atom_cache.bytes never counts a DFA twice. Mirrored
+    // into obs::MemCategory::kAtomCache; returns to zero on destruction.
+    int64_t bytes = 0;
   };
 
   // `store == nullptr` means AutomatonStore::Default(). The store must
   // outlive the cache.
   explicit AtomCache(Alphabet alphabet, const AutomatonStore* store = nullptr);
+  ~AtomCache();
   AtomCache(const AtomCache&) = delete;
   AtomCache& operator=(const AtomCache&) = delete;
 

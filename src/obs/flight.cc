@@ -1,0 +1,119 @@
+#include "obs/flight.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace strq {
+namespace obs {
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+FlightRecorder::FlightRecorder() {
+  size_t total = 4096;
+  if (const char* env = std::getenv("STRQ_FLIGHT_CAPACITY")) {
+    long v = std::strtol(env, nullptr, 10);
+    if (v > 0) total = static_cast<size_t>(v);
+  }
+  shard_capacity_ = std::max<size_t>(1, total / kShards);
+}
+
+void FlightRecorder::Record(SpanRecord rec) {
+  Shard& shard = shards_[internal::ThreadTag() % kShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.recorded;
+  if (shard.ring.size() < shard_capacity_) {
+    shard.ring.push_back(std::move(rec));
+    return;
+  }
+  shard.ring[shard.next] = std::move(rec);
+  shard.next = (shard.next + 1) % shard_capacity_;
+}
+
+size_t FlightRecorder::size() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.ring.size();
+  }
+  return n;
+}
+
+uint64_t FlightRecorder::total_recorded() const {
+  uint64_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.recorded;
+  }
+  return n;
+}
+
+void FlightRecorder::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.ring.clear();
+    shard.next = 0;
+  }
+}
+
+std::vector<SpanRecord> FlightRecorder::Snapshot() const {
+  std::vector<SpanRecord> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    out.insert(out.end(), shard.ring.begin(), shard.ring.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) { return a.id < b.id; });
+  return out;
+}
+
+JsonValue ChromeTrace(const std::vector<SpanRecord>& spans) {
+  JsonValue doc = JsonValue::Object();
+  JsonValue events = JsonValue::Array();
+  for (const SpanRecord& span : spans) {
+    JsonValue e = JsonValue::Object();
+    e.Set("name", JsonValue::Str(span.name));
+    e.Set("cat", JsonValue::Str("strq"));
+    e.Set("ph", JsonValue::Str("X"));  // complete event: ts + dur
+    e.Set("ts", JsonValue::Number(static_cast<double>(span.start_ns) / 1e3));
+    e.Set("dur", JsonValue::Number(static_cast<double>(span.dur_ns) / 1e3));
+    e.Set("pid", JsonValue::Int(1));
+    e.Set("tid", JsonValue::Int(span.thread));
+    JsonValue args = JsonValue::Object();
+    args.Set("span_id", JsonValue::Int(static_cast<int64_t>(span.id)));
+    args.Set("parent_id", JsonValue::Int(static_cast<int64_t>(span.parent)));
+    if (!span.detail.empty()) args.Set("detail", JsonValue::Str(span.detail));
+    for (const auto& [key, value] : span.attrs) {
+      args.Set(key, JsonValue::Int(value));
+    }
+    e.Set("args", std::move(args));
+    events.Append(std::move(e));
+  }
+  doc.Set("traceEvents", std::move(events));
+  doc.Set("displayTimeUnit", JsonValue::Str("ms"));
+  return doc;
+}
+
+std::string PrettyFlight(const std::vector<SpanRecord>& spans) {
+  std::string out;
+  char buf[128];
+  for (const SpanRecord& span : spans) {
+    std::snprintf(buf, sizeof(buf), "#%llu t%u %10.3fus  ",
+                  static_cast<unsigned long long>(span.id), span.thread,
+                  static_cast<double>(span.dur_ns) / 1e3);
+    out += buf;
+    out += span.name;
+    if (!span.detail.empty()) {
+      out += ' ';
+      out += span.detail;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace strq

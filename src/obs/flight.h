@@ -1,0 +1,80 @@
+#ifndef STRQ_OBS_FLIGHT_H_
+#define STRQ_OBS_FLIGHT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace strq {
+namespace obs {
+
+// Always-on bounded record of recently completed spans — the "what was the
+// engine doing just before X" tool a serving process needs when no trace
+// session was installed at the time. Spans land here whenever tracing is
+// Enabled() and the recorder is armed (the default), with or without a
+// TraceSession; the buffer is a fixed-size ring, so steady-state cost is a
+// handful of relaxed atomics plus one short shard-lock hold per completed
+// span, and memory stays bounded no matter how long the process runs.
+//
+// The ring is sharded by thread tag: concurrent writers from pool workers
+// hit different locks, and a snapshot re-sorts by span id (= open order)
+// across shards. Capacity is split evenly across shards, total capacity
+// from STRQ_FLIGHT_CAPACITY (default 4096 spans).
+class FlightRecorder {
+ public:
+  static FlightRecorder& Global();
+
+  // Armed is a raw switch; it only takes effect while obs::Enabled() is
+  // true, so a disabled process pays nothing. Defaults to armed.
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+  void set_armed(bool on) { armed_.store(on, std::memory_order_relaxed); }
+
+  // Appends one completed span, overwriting the oldest record of the
+  // calling thread's shard once the ring is full.
+  void Record(SpanRecord rec);
+
+  // Spans currently retained / ever recorded / total ring capacity.
+  size_t size() const;
+  uint64_t total_recorded() const;
+  size_t capacity() const { return shard_capacity_ * kShards; }
+
+  void Clear();
+
+  // The retained spans, oldest first (sorted by span id across shards).
+  std::vector<SpanRecord> Snapshot() const;
+
+ private:
+  FlightRecorder();
+
+  static constexpr int kShards = 8;
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<SpanRecord> ring;  // grows to shard_capacity_, then wraps
+    size_t next = 0;               // overwrite cursor once full
+    uint64_t recorded = 0;
+  };
+
+  std::atomic<bool> armed_{true};
+  size_t shard_capacity_;
+  Shard shards_[kShards];
+};
+
+// Renders spans (typically FlightRecorder::Snapshot()) as a Chrome
+// trace-event document: {"traceEvents": [{"ph": "X", ...}, ...]}. Load the
+// dump in Perfetto (ui.perfetto.dev) or chrome://tracing to see the spans
+// on a per-thread timeline. Timestamps are microseconds on the process
+// steady clock; thread tags map to tids.
+JsonValue ChromeTrace(const std::vector<SpanRecord>& spans);
+
+// One line per span, newest last — the shell's `flight` dump format.
+std::string PrettyFlight(const std::vector<SpanRecord>& spans);
+
+}  // namespace obs
+}  // namespace strq
+
+#endif  // STRQ_OBS_FLIGHT_H_

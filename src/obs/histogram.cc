@@ -1,0 +1,106 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+
+namespace strq {
+namespace obs {
+
+namespace {
+
+// Sub-buckets per power of two above the linear range. 16 bounds the
+// relative bucket width (hence the quantile error) by 1/16.
+constexpr int kSub = 16;
+
+// floor(log2(v)) for v >= 1.
+int FloorLog2(int64_t v) {
+  int o = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++o;
+  }
+  return o;
+}
+
+}  // namespace
+
+int Histogram::BucketIndex(int64_t value) {
+  if (value < 0) value = 0;
+  if (value < kSub) return static_cast<int>(value);
+  int o = FloorLog2(value);
+  // Mantissa with kSub precision: (value >> (o - 4)) lands in [16, 31], and
+  // consecutive octaves tile the index space contiguously from 16 upward.
+  return (o - 4) * kSub + static_cast<int>(value >> (o - 4));
+}
+
+void Histogram::BucketBounds(int index, int64_t* lower, int64_t* upper) {
+  if (index < kSub) {
+    *lower = index;
+    *upper = index;
+    return;
+  }
+  int o = (index - kSub) / kSub + 4;
+  int64_t m = kSub + (index - kSub) % kSub;
+  *lower = m << (o - 4);
+  *upper = *lower + ((int64_t{1} << (o - 4)) - 1);
+}
+
+void Histogram::Observe(int64_t value) {
+  if (value < 0) value = 0;
+  int idx = BucketIndex(value);
+  if (idx >= static_cast<int>(buckets_.size())) {
+    buckets_.resize(static_cast<size_t>(idx) + 1, 0);
+  }
+  ++buckets_[static_cast<size_t>(idx)];
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  ++count_;
+  sum_ += static_cast<double>(value);
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank in [0, count): the sample a sorted array would hold at this
+  // position, interpolated inside its bucket.
+  double rank = q * static_cast<double>(count_ - 1);
+  int64_t cum = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    int64_t c = buckets_[i];
+    if (c == 0) continue;
+    if (rank < static_cast<double>(cum + c)) {
+      int64_t lower, upper;
+      BucketBounds(static_cast<int>(i), &lower, &upper);
+      double within = (rank - static_cast<double>(cum) + 0.5) /
+                      static_cast<double>(c);
+      double v = static_cast<double>(lower) +
+                 within * static_cast<double>(upper - lower);
+      return std::clamp(v, static_cast<double>(min_),
+                        static_cast<double>(max_));
+    }
+    cum += c;
+  }
+  return static_cast<double>(max_);
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot s;
+  s.count = count_;
+  s.min = min();
+  s.max = max_;
+  s.mean = mean();
+  s.p50 = Quantile(0.50);
+  s.p90 = Quantile(0.90);
+  s.p99 = Quantile(0.99);
+  return s;
+}
+
+void Histogram::Reset() {
+  buckets_.clear();
+  count_ = 0;
+  min_ = 0;
+  max_ = 0;
+  sum_ = 0.0;
+}
+
+}  // namespace obs
+}  // namespace strq

@@ -1,0 +1,68 @@
+#ifndef STRQ_OBS_HISTOGRAM_H_
+#define STRQ_OBS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace strq {
+namespace obs {
+
+// A log-linear histogram of non-negative integer samples (latencies in
+// nanoseconds, byte sizes): values below 16 get exact unit buckets, larger
+// values get 16 sub-buckets per power of two, so the relative quantile error
+// is bounded by 1/16 ≈ 6% across the whole int64 range while the bucket
+// array stays under a thousand entries. This is the classic HDR-style layout
+// serving systems use for p50/p99 tracking — O(1) insert, no stored samples.
+//
+// The class itself is not synchronized; MetricsRegistry guards its
+// histograms with the registry mutex.
+class Histogram {
+ public:
+  // Adds one sample. Negative values clamp to 0 (callers pass elapsed
+  // times; a clock hiccup must not crash the bucket math).
+  void Observe(int64_t value);
+
+  int64_t count() const { return count_; }
+  int64_t min() const { return count_ == 0 ? 0 : min_; }
+  int64_t max() const { return max_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+
+  // Quantile estimate for q in [0, 1]: walks the cumulative bucket counts
+  // and interpolates linearly inside the holding bucket, clamped to the
+  // observed [min, max]. Returns 0 on an empty histogram.
+  double Quantile(double q) const;
+
+  // A point-in-time summary, the form serialized into strq.explain.v1 /
+  // strq.bench.v1 documents and printed by the shell's `stats`.
+  struct Snapshot {
+    int64_t count = 0;
+    int64_t min = 0;
+    int64_t max = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+  };
+  Snapshot TakeSnapshot() const;
+
+  void Reset();
+
+  // Bucket index for a value — exposed for the bucket-math tests.
+  static int BucketIndex(int64_t value);
+  // Inclusive [lower, upper] value range of a bucket index.
+  static void BucketBounds(int index, int64_t* lower, int64_t* upper);
+
+ private:
+  std::vector<int64_t> buckets_;  // grown on demand, indexed by BucketIndex
+  int64_t count_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace obs
+}  // namespace strq
+
+#endif  // STRQ_OBS_HISTOGRAM_H_

@@ -1,6 +1,7 @@
 #include "obs/json.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -23,7 +24,10 @@ JsonValue JsonValue::Number(double v) {
 }
 
 JsonValue JsonValue::Int(int64_t v) {
-  return Number(static_cast<double>(v));
+  JsonValue j;
+  j.kind_ = Kind::kInt;
+  j.int_ = v;
+  return j;
 }
 
 JsonValue JsonValue::Str(std::string v) {
@@ -146,6 +150,12 @@ void JsonValue::DumpInto(int indent, int depth, std::string* out) const {
     case Kind::kNumber:
       NumberInto(number_, out);
       return;
+    case Kind::kInt: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(int_));
+      out->append(buf);
+      return;
+    }
     case Kind::kString:
       EscapeInto(string_, out);
       return;
@@ -272,7 +282,9 @@ class Parser {
     if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
       return Error("invalid number");
     }
+    bool integral = true;
     if (Consume('.')) {
+      integral = false;
       size_t frac = pos_;
       while (pos_ < text_.size() &&
              std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
@@ -281,6 +293,7 @@ class Parser {
       if (pos_ == frac) return Error("digits expected after decimal point");
     }
     if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
       ++pos_;
       if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
         ++pos_;
@@ -292,8 +305,19 @@ class Parser {
       }
       if (pos_ == exp) return Error("digits expected in exponent");
     }
-    return JsonValue::Number(
-        std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr));
+    std::string literal = text_.substr(start, pos_ - start);
+    if (integral) {
+      // Pure integer literals parse through strtoll so values above 2^53
+      // (e.g. INT64_MAX byte counters) round-trip exactly; out-of-range
+      // literals fall back to the double path below.
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(literal.c_str(), &end, 10);
+      if (errno != ERANGE && end != nullptr && *end == '\0') {
+        return JsonValue::Int(static_cast<int64_t>(v));
+      }
+    }
+    return JsonValue::Number(std::strtod(literal.c_str(), nullptr));
   }
 
   Result<std::string> ParseString() {
@@ -401,6 +425,7 @@ JsonValue TraceToJson(const TraceNode& node) {
   out.Set("name", JsonValue::Str(node.name));
   if (!node.detail.empty()) out.Set("detail", JsonValue::Str(node.detail));
   out.Set("seconds", JsonValue::Number(node.seconds));
+  if (node.thread != 0) out.Set("thread", JsonValue::Int(node.thread));
   if (!node.attrs.empty()) {
     JsonValue attrs = JsonValue::Object();
     for (const auto& [key, value] : node.attrs) {
@@ -422,6 +447,23 @@ JsonValue MetricsToJson(const std::map<std::string, int64_t>& metrics) {
   JsonValue out = JsonValue::Object();
   for (const auto& [name, value] : metrics) {
     out.Set(name, JsonValue::Int(value));
+  }
+  return out;
+}
+
+JsonValue HistogramsToJson(
+    const std::map<std::string, Histogram::Snapshot>& hists) {
+  JsonValue out = JsonValue::Object();
+  for (const auto& [name, snap] : hists) {
+    JsonValue h = JsonValue::Object();
+    h.Set("count", JsonValue::Int(snap.count));
+    h.Set("min", JsonValue::Int(snap.min));
+    h.Set("max", JsonValue::Int(snap.max));
+    h.Set("mean", JsonValue::Number(snap.mean));
+    h.Set("p50", JsonValue::Number(snap.p50));
+    h.Set("p90", JsonValue::Number(snap.p90));
+    h.Set("p99", JsonValue::Number(snap.p99));
+    out.Set(name, std::move(h));
   }
   return out;
 }

@@ -20,13 +20,16 @@ namespace obs {
 // cleanly across runs.
 class JsonValue {
  public:
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  enum class Kind { kNull, kBool, kNumber, kInt, kString, kArray, kObject };
 
   JsonValue() : kind_(Kind::kNull) {}
 
   static JsonValue Null() { return JsonValue(); }
   static JsonValue Bool(bool v);
   static JsonValue Number(double v);
+  // A distinct integer kind: emitted as an exact decimal literal, so int64
+  // values above 2^53 (span ids, byte counters on large stores) round-trip
+  // without the double mantissa truncating them.
   static JsonValue Int(int64_t v);
   static JsonValue Str(std::string v);
   static JsonValue Array();
@@ -35,13 +38,22 @@ class JsonValue {
   Kind kind() const { return kind_; }
   bool is_null() const { return kind_ == Kind::kNull; }
   bool is_bool() const { return kind_ == Kind::kBool; }
-  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_number() const {
+    return kind_ == Kind::kNumber || kind_ == Kind::kInt;
+  }
+  bool is_int() const { return kind_ == Kind::kInt; }
   bool is_string() const { return kind_ == Kind::kString; }
   bool is_array() const { return kind_ == Kind::kArray; }
   bool is_object() const { return kind_ == Kind::kObject; }
 
   bool AsBool() const { return bool_; }
-  double AsNumber() const { return number_; }
+  double AsNumber() const {
+    return kind_ == Kind::kInt ? static_cast<double>(int_) : number_;
+  }
+  // Exact for kInt; kNumber values are truncated toward zero.
+  int64_t AsInt64() const {
+    return kind_ == Kind::kInt ? int_ : static_cast<int64_t>(number_);
+  }
   const std::string& AsString() const { return string_; }
 
   // Array/object element count (0 for scalars).
@@ -68,6 +80,7 @@ class JsonValue {
   Kind kind_;
   bool bool_ = false;
   double number_ = 0.0;
+  int64_t int_ = 0;
   std::string string_;
   std::vector<JsonValue> items_;                            // kArray
   std::vector<std::pair<std::string, JsonValue>> members_;  // kObject
@@ -83,6 +96,10 @@ Result<JsonValue> ParseJson(const std::string& text);
 // Empty detail/attrs/children are omitted.
 JsonValue TraceToJson(const TraceNode& node);
 JsonValue MetricsToJson(const std::map<std::string, int64_t>& metrics);
+// {"query.latency_ns": {"count": ..., "min": ..., "max": ..., "mean": ...,
+//  "p50": ..., "p90": ..., "p99": ...}, ...} — one member per histogram.
+JsonValue HistogramsToJson(
+    const std::map<std::string, Histogram::Snapshot>& hists);
 
 }  // namespace obs
 }  // namespace strq

@@ -1,8 +1,12 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <set>
+
+#include "obs/flight.h"
 
 namespace strq {
 namespace obs {
@@ -18,7 +22,17 @@ int ReadEnvFlagOnce() {
 
 }  // namespace internal
 
-using internal::t_current;
+namespace {
+
+// The installed session. Readers must validate their thread-local generation
+// against internal::g_session_gen BEFORE dereferencing: generations are
+// never reused, so a matching generation implies the session is still alive
+// (propagated contexts may not outlive their session — ParallelFor's barrier
+// enforces that for every pooled path).
+std::atomic<TraceSession*> g_session{nullptr};
+std::atomic<uint64_t> g_generation_counter{0};
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // MetricsRegistry
@@ -45,15 +59,41 @@ std::map<std::string, int64_t> MetricsRegistry::Snapshot() const {
   return counters_;
 }
 
+void MetricsRegistry::Observe(const std::string& name, int64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hists_[name].Observe(value);
+}
+
+Histogram::Snapshot MetricsRegistry::Hist(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hists_.find(name);
+  return it == hists_.end() ? Histogram::Snapshot() : it->second.TakeSnapshot();
+}
+
+std::map<std::string, Histogram::Snapshot> MetricsRegistry::HistSnapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, Histogram::Snapshot> out;
+  for (const auto& [name, hist] : hists_) {
+    if (hist.count() > 0) out[name] = hist.TakeSnapshot();
+  }
+  return out;
+}
+
 void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   counters_.clear();
+  hists_.clear();
 }
 
 namespace internal {
 
 void CountSlow(const char* name, int64_t delta) {
   MetricsRegistry::Global().Add(name, delta);
+}
+
+void ObserveSlow(const char* name, int64_t value) {
+  MetricsRegistry::Global().Observe(name, value);
 }
 
 }  // namespace internal
@@ -68,6 +108,12 @@ std::map<std::string, int64_t> MetricsDelta(
     if (d != 0) delta[name] = d;
   }
   return delta;
+}
+
+std::map<std::string, int64_t> MemSnapshot() {
+  return {{kGaugeStoreBytes, MemBytes(MemCategory::kStore)},
+          {kGaugeAtomCacheBytes, MemBytes(MemCategory::kAtomCache)},
+          {kGaugePlanCacheBytes, MemBytes(MemCategory::kPlanCache)}};
 }
 
 // ---------------------------------------------------------------------------
@@ -89,7 +135,13 @@ int TraceNode::TreeSize() const {
 
 namespace {
 
-void PrettyTraceInto(const TraceNode& node, int depth, std::string* out) {
+void CollectThreads(const TraceNode& node, std::set<uint32_t>* out) {
+  if (node.thread != 0) out->insert(node.thread);
+  for (const auto& child : node.children) CollectThreads(*child, out);
+}
+
+void PrettyTraceInto(const TraceNode& node, int depth, uint32_t root_thread,
+                     std::string* out) {
   out->append(static_cast<size_t>(2 * depth), ' ');
   out->append(node.name);
   if (!node.detail.empty()) {
@@ -107,72 +159,177 @@ void PrettyTraceInto(const TraceNode& node, int depth, std::string* out) {
     }
     out->push_back(']');
   }
+  if (node.thread != 0 && node.thread != root_thread) {
+    char tbuf[16];
+    std::snprintf(tbuf, sizeof(tbuf), "  @t%u", node.thread);
+    out->append(tbuf);
+  }
   char time_buf[48];
   std::snprintf(time_buf, sizeof(time_buf), "  %.6fs", node.seconds);
   out->append(time_buf);
   out->push_back('\n');
   for (const auto& child : node.children) {
-    PrettyTraceInto(*child, depth + 1, out);
+    PrettyTraceInto(*child, depth + 1, root_thread, out);
   }
 }
 
 }  // namespace
 
+int TraceNode::DistinctThreads() const {
+  std::set<uint32_t> threads;
+  CollectThreads(*this, &threads);
+  return static_cast<int>(threads.size());
+}
+
 std::string PrettyTrace(const TraceNode& root) {
   std::string out;
-  PrettyTraceInto(root, 0, &out);
+  PrettyTraceInto(root, 0, root.thread, &out);
   return out;
 }
 
 // ---------------------------------------------------------------------------
-// TraceSession / Span
+// TraceSession
 // ---------------------------------------------------------------------------
 
 TraceSession::TraceSession(std::string root_name)
     : root_(std::make_unique<TraceNode>()) {
   root_->name = std::move(root_name);
-  if (t_current == nullptr) {
-    saved_current_ = t_current;
-    t_current = root_.get();
-    installed_ = true;
+  root_->thread = internal::ThreadTag();
+  TraceSession* expected = nullptr;
+  if (!g_session.compare_exchange_strong(expected, this,
+                                         std::memory_order_acq_rel)) {
+    return;  // a session is already installed; this one stays inert
+  }
+  generation_ =
+      g_generation_counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  root_id_ = internal::g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  index_[root_id_] = root_.get();
+  saved_generation_ = internal::t_trace.generation;
+  saved_parent_ = internal::t_trace.parent_id;
+  internal::t_trace.generation = generation_;
+  internal::t_trace.parent_id = root_id_;
+  installed_ = true;
+  // Published last: a thread that sees this generation can safely
+  // dereference g_session.
+  internal::g_session_gen.store(generation_, std::memory_order_release);
+}
+
+TraceSession::~TraceSession() { Uninstall(); }
+
+void TraceSession::Uninstall() {
+  if (!installed_) return;
+  internal::g_session_gen.store(0, std::memory_order_release);
+  g_session.store(nullptr, std::memory_order_release);
+  internal::t_trace.generation = saved_generation_;
+  internal::t_trace.parent_id = saved_parent_;
+  installed_ = false;
+}
+
+void TraceSession::Record(SpanRecord rec) {
+  internal::TlsTrace& tls = internal::t_trace;
+  if (tls.buffer_generation != generation_ || tls.buffer == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(std::make_unique<std::vector<SpanRecord>>());
+    tls.buffer = buffers_.back().get();
+    tls.buffer_generation = generation_;
+  }
+  tls.buffer->push_back(std::move(rec));
+}
+
+void TraceSession::Assemble() {
+  std::vector<SpanRecord> recs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& buffer : buffers_) {
+      for (SpanRecord& rec : *buffer) recs.push_back(std::move(rec));
+      buffer->clear();
+    }
+  }
+  // Span ids are allocated at open time, so id order puts every parent
+  // before its children and siblings in open order.
+  std::sort(recs.begin(), recs.end(),
+            [](const SpanRecord& a, const SpanRecord& b) { return a.id < b.id; });
+  for (SpanRecord& rec : recs) {
+    auto node = std::make_unique<TraceNode>();
+    node->name = std::move(rec.name);
+    node->detail = std::move(rec.detail);
+    node->seconds = static_cast<double>(rec.dur_ns) * 1e-9;
+    node->thread = rec.thread;
+    node->attrs = std::move(rec.attrs);
+    TraceNode* raw = node.get();
+    auto it = index_.find(rec.parent);
+    // Orphans (parent opened before the session, or already detached)
+    // attach to the root rather than vanishing.
+    TraceNode* parent = it != index_.end() ? it->second : root_.get();
+    parent->children.push_back(std::move(node));
+    index_[rec.id] = raw;
   }
 }
 
-TraceSession::~TraceSession() {
-  if (installed_) t_current = saved_current_;
+const TraceNode& TraceSession::root() {
+  Assemble();
+  return *root_;
 }
 
 std::unique_ptr<TraceNode> TraceSession::Take() {
-  if (installed_) {
-    t_current = saved_current_;
-    installed_ = false;
-  }
-  return std::move(root_);
+  Assemble();
+  Uninstall();
+  index_.clear();
+  std::unique_ptr<TraceNode> out = std::move(root_);
+  root_ = std::make_unique<TraceNode>();  // keep root() safe after Take
+  return out;
 }
 
+// ---------------------------------------------------------------------------
+// Span
+// ---------------------------------------------------------------------------
+
 void Span::Init(const char* name) {
-  parent_ = t_current;
-  auto node = std::make_unique<TraceNode>();
-  node->name = name;
-  node_ = node.get();
-  parent_->children.push_back(std::move(node));
-  t_current = node_;
+  internal::TlsTrace& tls = internal::t_trace;
+  bool in_session =
+      tls.generation != 0 &&
+      tls.generation ==
+          internal::g_session_gen.load(std::memory_order_acquire);
+  if (!in_session && !FlightRecorder::Global().armed()) return;
+  rec_ = std::make_unique<SpanRecord>();
+  rec_->id = internal::g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  rec_->parent = tls.parent_id;
+  rec_->thread = internal::ThreadTag();
+  rec_->name = name;
+  tls.parent_id = rec_->id;
   start_ = std::chrono::steady_clock::now();
+  rec_->start_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       start_.time_since_epoch())
+                       .count();
 }
 
 void Span::Finish() {
-  node_->seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
-          .count();
-  t_current = parent_;
+  internal::TlsTrace& tls = internal::t_trace;
+  tls.parent_id = rec_->parent;
+  rec_->dur_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now() - start_)
+                     .count();
+  FlightRecorder& flight = FlightRecorder::Global();
+  bool session_took_it = false;
+  if (tls.generation != 0 &&
+      tls.generation ==
+          internal::g_session_gen.load(std::memory_order_acquire)) {
+    if (TraceSession* session = g_session.load(std::memory_order_acquire)) {
+      if (flight.armed()) flight.Record(*rec_);  // copy; the session owns it
+      session->Record(std::move(*rec_));
+      session_took_it = true;
+    }
+  }
+  if (!session_took_it && flight.armed()) flight.Record(std::move(*rec_));
+  rec_.reset();
 }
 
 void Span::set_detail(std::string detail) {
-  if (node_ != nullptr) node_->detail = std::move(detail);
+  if (rec_ != nullptr) rec_->detail = std::move(detail);
 }
 
 void Span::Attr(const char* key, int64_t value) {
-  if (node_ != nullptr) node_->attrs.emplace_back(key, value);
+  if (rec_ != nullptr) rec_->attrs.emplace_back(key, value);
 }
 
 }  // namespace obs

@@ -8,8 +8,11 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "obs/histogram.h"
 
 namespace strq {
 namespace obs {
@@ -24,7 +27,7 @@ namespace obs {
 // anything else = on) and can be flipped programmatically, e.g. by
 // ExplainAnalyze or the bench harness.
 //
-// The flag atomic and the thread-local span cursor live in headers (internal
+// The flag atomic and the per-thread trace context live in headers (internal
 // namespace) so the disabled path of Span/Count inlines down to a load and a
 // branch at every instrumentation site — no out-of-line call.
 namespace internal {
@@ -130,8 +133,16 @@ inline constexpr char kPlanSharedSubplans[] = "plan.shared_subplans";
 inline constexpr char kPlanEstimatedStates[] = "plan.estimated_states";
 inline constexpr char kPlanActualStates[] = "plan.actual_states";
 
-// Process-wide registry of named monotonic counters. Cheap to read, guarded
-// by a mutex on writes; writes only happen while tracing is enabled.
+// Histogram names: per-query end-to-end latency (all three engines record
+// it) and the per-phase costs ExplainAnalyze separates.
+inline constexpr char kHistQueryLatencyNs[] = "query.latency_ns";
+inline constexpr char kHistPlanNs[] = "phase.plan_ns";
+inline constexpr char kHistCompileNs[] = "phase.compile_ns";
+inline constexpr char kHistEnumerateNs[] = "phase.enumerate_ns";
+
+// Process-wide registry of named monotonic counters plus log-bucketed
+// latency histograms. Cheap to read, guarded by a mutex on writes; writes
+// only happen while tracing is enabled.
 class MetricsRegistry {
  public:
   static MetricsRegistry& Global();
@@ -139,11 +150,20 @@ class MetricsRegistry {
   void Add(const std::string& name, int64_t delta);
   int64_t Get(const std::string& name) const;
   std::map<std::string, int64_t> Snapshot() const;
+
+  // Histogram side: one sample into the named histogram / the current
+  // p50-p90-p99 summaries of every histogram with at least one sample.
+  void Observe(const std::string& name, int64_t value);
+  Histogram::Snapshot Hist(const std::string& name) const;
+  std::map<std::string, Histogram::Snapshot> HistSnapshot() const;
+
+  // Clears counters and histograms.
   void Reset();
 
  private:
   mutable std::mutex mu_;
   std::map<std::string, int64_t> counters_;
+  std::map<std::string, Histogram> hists_;
 };
 
 // Increments a global counter iff tracing is enabled. The name should be one
@@ -151,10 +171,16 @@ class MetricsRegistry {
 // snapshots).
 namespace internal {
 void CountSlow(const char* name, int64_t delta);
+void ObserveSlow(const char* name, int64_t value);
 }  // namespace internal
 
 inline void Count(const char* name, int64_t delta = 1) {
   if (Enabled()) internal::CountSlow(name, delta);
+}
+
+// Records one histogram sample iff tracing is enabled.
+inline void Observe(const char* name, int64_t value) {
+  if (Enabled()) internal::ObserveSlow(name, value);
 }
 
 // The difference after - before, dropping zero entries: "what did this
@@ -164,16 +190,151 @@ std::map<std::string, int64_t> MetricsDelta(
     const std::map<std::string, int64_t>& after);
 
 // ---------------------------------------------------------------------------
+// Memory accounting
+// ---------------------------------------------------------------------------
+//
+// Byte-level gauges for the three structures that retain memory across
+// queries: the hash-consed AutomatonStore, the AtomCache bookkeeping layered
+// on top of it, and the planner's plan cache. Unlike counters these are NOT
+// gated on Enabled(): the owning structures add on insert and subtract on
+// eviction/clear/destruction, and a gauge that missed half its inserts could
+// never balance back to zero. Each update is one relaxed atomic add.
+enum class MemCategory : int {
+  kStore = 0,      // AutomatonStore: interned DFAs + unique/computed tables
+  kAtomCache = 1,  // AtomCache: atom/pattern/trie keys and handles
+  kPlanCache = 2,  // plan::Planner: cached plan entries
+};
+inline constexpr int kNumMemCategories = 3;
+
+// Gauge names as they appear in snapshots, bench scalars, and the shell's
+// `stats` output.
+inline constexpr char kGaugeStoreBytes[] = "store.bytes";
+inline constexpr char kGaugeAtomCacheBytes[] = "atom_cache.bytes";
+inline constexpr char kGaugePlanCacheBytes[] = "plan.cache_bytes";
+
+namespace internal {
+inline std::atomic<int64_t> g_mem_bytes[kNumMemCategories] = {};
+}  // namespace internal
+
+inline void MemAdd(MemCategory c, int64_t delta) {
+  internal::g_mem_bytes[static_cast<int>(c)].fetch_add(
+      delta, std::memory_order_relaxed);
+}
+
+inline int64_t MemBytes(MemCategory c) {
+  return internal::g_mem_bytes[static_cast<int>(c)].load(
+      std::memory_order_relaxed);
+}
+
+// {"store.bytes": ..., "atom_cache.bytes": ..., "plan.cache_bytes": ...}
+std::map<std::string, int64_t> MemSnapshot();
+
+// ---------------------------------------------------------------------------
+// Span records and trace contexts
+// ---------------------------------------------------------------------------
+//
+// Threading model: a span is built entirely on its own thread (no shared
+// state while it is open) and, on completion, appended to a per-thread
+// buffer owned by the active TraceSession and/or to the flight recorder's
+// ring. Spans carry explicit ids and parent ids, so the tree is stitched
+// after the fact — ThreadPool workers can open spans concurrently and the
+// session reassembles one tree regardless of which thread ran what.
+
+// A completed span, the unit both the session buffers and the flight
+// recorder store.
+struct SpanRecord {
+  uint64_t id = 0;      // process-unique, allocation order = open order
+  uint64_t parent = 0;  // id of the enclosing span (0 = session root)
+  uint32_t thread = 0;  // small dense per-thread tag (ThreadTag())
+  std::string name;
+  std::string detail;
+  int64_t start_ns = 0;  // steady-clock epoch, for Chrome trace export
+  int64_t dur_ns = 0;
+  std::vector<std::pair<std::string, int64_t>> attrs;
+};
+
+namespace internal {
+// Process-unique span ids. Relaxed: only uniqueness matters, and ordering
+// within one thread is program order anyway.
+inline std::atomic<uint64_t> g_next_span_id{1};
+
+// Small dense per-thread tags for SpanRecord::thread and flight-recorder
+// sharding (std::thread::id is neither small nor dense).
+inline std::atomic<uint32_t> g_next_thread_tag{1};
+inline uint32_t ThreadTag() {
+  thread_local uint32_t tag =
+      g_next_thread_tag.fetch_add(1, std::memory_order_relaxed);
+  return tag;
+}
+
+// Generation of the installed session (0 = none), published so readers can
+// validate a thread-local context without dereferencing a possibly-dead
+// session pointer. Generations are process-unique and never reused. The
+// session pointer itself is a file-level atomic in trace.cc.
+inline std::atomic<uint64_t> g_session_gen{0};
+
+// Per-thread trace context: which session generation this thread feeds (0 =
+// none) and the innermost open span (0 = attach to the session root).
+struct TlsTrace {
+  uint64_t generation = 0;
+  uint64_t parent_id = 0;
+  // Cached per-thread session buffer, valid while buffer_generation matches.
+  std::vector<SpanRecord>* buffer = nullptr;
+  uint64_t buffer_generation = 0;
+};
+inline thread_local TlsTrace t_trace;
+}  // namespace internal
+
+// A snapshot of the calling thread's trace context, for handing to another
+// thread. ThreadPool captures one at Submit/ParallelFor time and installs it
+// on the worker, so spans opened inside pooled tasks stitch into the
+// submitting thread's tree. Contexts must not outlive the session they point
+// into — ParallelFor's completion barrier guarantees that for every pooled
+// path in this codebase.
+struct TraceContext {
+  uint64_t generation = 0;
+  uint64_t parent_id = 0;
+};
+
+inline TraceContext CurrentTraceContext() {
+  return TraceContext{internal::t_trace.generation,
+                      internal::t_trace.parent_id};
+}
+
+// Installs a propagated context on the current thread for a scope (RAII).
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& ctx)
+      : saved_generation_(internal::t_trace.generation),
+        saved_parent_(internal::t_trace.parent_id) {
+    internal::t_trace.generation = ctx.generation;
+    internal::t_trace.parent_id = ctx.parent_id;
+  }
+  ~ScopedTraceContext() {
+    internal::t_trace.generation = saved_generation_;
+    internal::t_trace.parent_id = saved_parent_;
+  }
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  uint64_t saved_generation_;
+  uint64_t saved_parent_;
+};
+
+// ---------------------------------------------------------------------------
 // Span tree
 // ---------------------------------------------------------------------------
 
-// One node of a trace: a named region with wall time, optional free-form
-// detail (e.g. the formula being compiled), integer attributes (state
-// counts), and children in execution order.
+// One node of an assembled trace: a named region with wall time, optional
+// free-form detail (e.g. the formula being compiled), integer attributes
+// (state counts), the tag of the thread that ran it, and children in span-id
+// (= open) order.
 struct TraceNode {
   std::string name;
   std::string detail;
   double seconds = 0.0;
+  uint32_t thread = 0;
   std::vector<std::pair<std::string, int64_t>> attrs;
   std::vector<std::unique_ptr<TraceNode>> children;
 
@@ -181,27 +342,21 @@ struct TraceNode {
   const int64_t* FindAttr(const std::string& key) const;
   // Total node count of the subtree (including this node).
   int TreeSize() const;
+  // Distinct thread tags across the subtree — the parallel-profile signal.
+  int DistinctThreads() const;
 };
 
 // Indented per-node rendering, the EXPLAIN ANALYZE look:
 //   compile ∃y. R(y) ∧ x ≼ y   [states=7 arity=1]   0.0031s
+// Spans that ran on a different thread than the root are suffixed @tN.
 std::string PrettyTrace(const TraceNode& root);
 
-namespace internal {
-// Attachment point for new spans on this thread; null when no TraceSession
-// is installed. Header-inline so Span's disabled path needs no call.
-inline thread_local TraceNode* t_current = nullptr;
-}  // namespace internal
-
-// Is a TraceSession collecting on the CURRENT thread? Spans opened on other
-// threads are inert, so engines that fan work out to a pool check this and
-// stay serial while a trace is being collected (EXPLAIN ANALYZE keeps its
-// complete span tree; production runs go wide).
-inline bool TraceActive() { return internal::t_current != nullptr; }
-
-// Installs a collection root for the current thread. While a session is
-// alive and Enabled() is true, Span objects attach to the tree. Sessions do
-// not nest (the inner one is inert).
+// Collects spans into one tree. At most one session is installed
+// process-wide at a time (a nested session is inert and collects nothing);
+// while one is installed and Enabled() is true, spans on the installing
+// thread — and on any thread a TraceContext was propagated to — attach to
+// the tree. Spans on unrelated threads are not collected (they still reach
+// the flight recorder if it is armed).
 class TraceSession {
  public:
   explicit TraceSession(std::string root_name = "trace");
@@ -209,31 +364,56 @@ class TraceSession {
   TraceSession(const TraceSession&) = delete;
   TraceSession& operator=(const TraceSession&) = delete;
 
-  const TraceNode& root() const { return *root_; }
-  // Detaches the collected tree; the session becomes inert.
+  // Assembles buffered spans into the tree and returns it. Must be called
+  // from a point where no propagated context is still running (ParallelFor
+  // has joined); the installing thread's own spans must be closed.
+  const TraceNode& root();
+  // Assembles, detaches the tree, and uninstalls; the session becomes inert.
   std::unique_ptr<TraceNode> Take();
 
+  uint64_t generation() const { return generation_; }
+  uint64_t root_id() const { return root_id_; }
+
+  // Appends a completed span to the calling thread's buffer. Called by
+  // Span::Finish; not part of the public surface.
+  void Record(SpanRecord rec);
+
  private:
+  void Uninstall();
+  void Assemble();
+
   std::unique_ptr<TraceNode> root_;
-  TraceNode* saved_current_ = nullptr;
+  uint64_t generation_ = 0;  // 0 when the session failed to install (nested)
+  uint64_t root_id_ = 0;
   bool installed_ = false;
+  uint64_t saved_generation_ = 0;
+  uint64_t saved_parent_ = 0;
+
+  // Per-thread span buffers. Each buffer is written by exactly one thread;
+  // the vector of buffers is guarded by mu_. Assembly drains them.
+  std::mutex mu_;
+  std::vector<std::unique_ptr<std::vector<SpanRecord>>> buffers_;
+  // id → node, so spans arriving across multiple Assemble calls still find
+  // their parents.
+  std::unordered_map<uint64_t, TraceNode*> index_;
 };
 
-// RAII span. Active only when tracing is enabled AND a TraceSession is
-// installed on this thread; otherwise construction is an inlined pointer
-// check (the common case in production runs).
+// RAII span. Construction is an inlined flag check when tracing is off; when
+// on, the span is recorded if this thread feeds the installed session
+// (directly or via a propagated TraceContext) or the flight recorder is
+// armed. The record is built locally and published only at destruction.
 class Span {
  public:
   explicit Span(const char* name) {
-    if (internal::t_current != nullptr && Enabled()) Init(name);
+    if (Enabled()) Init(name);
   }
   ~Span() {
-    if (node_ != nullptr) Finish();
+    if (rec_ != nullptr) Finish();
   }
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
-  bool active() const { return node_ != nullptr; }
+  bool active() const { return rec_ != nullptr; }
   // All mutators are no-ops on inactive spans. Callers building expensive
   // detail strings should guard on active() first.
   void set_detail(std::string detail);
@@ -243,8 +423,7 @@ class Span {
   void Init(const char* name);
   void Finish();
 
-  TraceNode* node_ = nullptr;
-  TraceNode* parent_ = nullptr;
+  std::unique_ptr<SpanRecord> rec_;
   std::chrono::steady_clock::time_point start_;
 };
 

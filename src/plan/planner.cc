@@ -10,7 +10,27 @@
 namespace strq {
 namespace plan {
 
+namespace {
+
+// Fixed charge for one cache entry (map node, vector slot, the shared
+// formula handles); the variable part is the pretty-printed plan text. As
+// with the store and atom-cache gauges the point is proportionality and
+// exact conservation, not allocator-faithful byte counts.
+constexpr int64_t kPlanEntryBytes = 128;
+
+int64_t PlanEntryBytes(const PlannedQuery& planned) {
+  return kPlanEntryBytes + static_cast<int64_t>(planned.pretty.size());
+}
+
+}  // namespace
+
 Planner::Planner(PlannerOptions options) : options_(options) {}
+
+Planner::~Planner() {
+  // Local planners come and go; return their retained bytes to the
+  // process-wide gauge so it conserves.
+  obs::MemAdd(obs::MemCategory::kPlanCache, -stats_.bytes);
+}
 
 uint64_t Planner::CacheKey(const FormulaPtr& f, const Database* db) const {
   uint64_t h = StructuralHash(f);
@@ -109,6 +129,9 @@ PlannedQuery Planner::Plan(const FormulaPtr& f, const Database* db,
     stats_.rules_fired += out.rules_fired;
     stats_.shared_subplans += out.shared_subplans;
     cache_[key].push_back(CacheEntry{f, out, std::nullopt});
+    int64_t bytes = PlanEntryBytes(out);
+    stats_.bytes += bytes;
+    obs::MemAdd(obs::MemCategory::kPlanCache, bytes);
   }
   obs::Count(obs::kPlanCacheMisses);
   obs::Count(obs::kPlanRulesFired, out.rules_fired);
@@ -153,6 +176,13 @@ std::optional<int64_t> Planner::ActualFor(const FormulaPtr& f,
 Planner::Stats Planner::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+void Planner::ClearCache() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+  obs::MemAdd(obs::MemCategory::kPlanCache, -stats_.bytes);
+  stats_.bytes = 0;
 }
 
 }  // namespace plan

@@ -74,9 +74,19 @@ class Planner {
     int64_t cache_misses = 0;
     int64_t rules_fired = 0;
     int64_t shared_subplans = 0;
+    // Bytes currently retained by the plan cache (entries, key strings and
+    // pretty-printed plan text; the planned formula's AST nodes are shared
+    // with callers and counted here once per cached entry). A gauge, not a
+    // counter: ClearCache() and the destructor return it to zero, and every
+    // delta is mirrored into the process-wide obs::MemCategory::kPlanCache
+    // gauge (plan.cache_bytes).
+    int64_t bytes = 0;
   };
 
   explicit Planner(PlannerOptions options = PlannerOptions());
+  ~Planner();
+  Planner(const Planner&) = delete;
+  Planner& operator=(const Planner&) = delete;
 
   const PlannerOptions& options() const { return options_; }
 
@@ -98,6 +108,10 @@ class Planner {
                                    const Database* db) const;
 
   Stats stats() const;
+
+  // Drops every cached plan and returns Stats.bytes (and the mirrored
+  // obs gauge) to zero. Hit/miss counters are left untouched.
+  void ClearCache();
 
  private:
   struct CacheEntry {

@@ -123,7 +123,7 @@ Result<bool> UnionOfCQsSafe(const std::vector<ConjunctiveQuery>& cqs,
   // decide them concurrently. Results are combined in index order, so the
   // answer — and which error surfaces first — matches the serial loop.
   int n = static_cast<int>(cqs.size());
-  if (n > 1 && !parallel.serial() && !obs::TraceActive()) {
+  if (n > 1 && !parallel.serial()) {
     std::vector<Result<bool>> results(
         static_cast<size_t>(n), Result<bool>(InternalError("cq not decided")));
     ThreadPool::ParallelFor(parallel.num_threads, n, [&](int i) {

@@ -1,0 +1,216 @@
+#include "obs/flight.h"
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "base/thread_pool.h"
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace strq {
+namespace obs {
+namespace {
+
+SpanRecord MakeSpan(uint64_t id, const char* name = "span") {
+  SpanRecord rec;
+  rec.id = id;
+  rec.thread = internal::ThreadTag();
+  rec.name = name;
+  rec.start_ns = static_cast<int64_t>(id) * 1000;
+  rec.dur_ns = 500;
+  return rec;
+}
+
+// The recorder under test is the process-wide singleton, so every test
+// clears it first and restores the armed flag it found.
+class FlightTest : public ::testing::Test {
+ protected:
+  FlightTest()
+      : restore_enabled_(Enabled()),
+        restore_armed_(FlightRecorder::Global().armed()) {
+    FlightRecorder::Global().set_armed(false);
+    FlightRecorder::Global().Clear();
+  }
+  ~FlightTest() override {
+    FlightRecorder::Global().Clear();
+    FlightRecorder::Global().set_armed(restore_armed_);
+    SetEnabled(restore_enabled_);
+  }
+
+ private:
+  bool restore_enabled_;
+  bool restore_armed_;
+};
+
+TEST_F(FlightTest, RetainsRecordsUpToCapacity) {
+  FlightRecorder& flight = FlightRecorder::Global();
+  for (uint64_t i = 1; i <= 64; ++i) flight.Record(MakeSpan(i));
+  EXPECT_EQ(flight.size(), 64u);
+  std::vector<SpanRecord> spans = flight.Snapshot();
+  ASSERT_EQ(spans.size(), 64u);
+  EXPECT_EQ(spans.front().id, 1u);
+  EXPECT_EQ(spans.back().id, 64u);
+}
+
+TEST_F(FlightTest, WraparoundKeepsTheNewestSpans) {
+  FlightRecorder& flight = FlightRecorder::Global();
+  // All records from one thread land in one shard, so overflowing the total
+  // capacity guarantees that shard wrapped several times over.
+  const uint64_t n = static_cast<uint64_t>(flight.capacity()) * 2 + 100;
+  for (uint64_t i = 1; i <= n; ++i) flight.Record(MakeSpan(i));
+  EXPECT_LE(flight.size(), flight.capacity());
+  EXPECT_GT(flight.size(), 0u);
+  std::vector<SpanRecord> spans = flight.Snapshot();
+  ASSERT_FALSE(spans.empty());
+  // The newest record always survives; everything retained is from the
+  // tail of the stream (ring overwrites oldest-first).
+  EXPECT_EQ(spans.back().id, n);
+  EXPECT_GT(spans.front().id, n - flight.capacity());
+}
+
+TEST_F(FlightTest, SnapshotIsSortedBySpanId) {
+  FlightRecorder& flight = FlightRecorder::Global();
+  for (uint64_t id : {5, 3, 9, 1, 7}) flight.Record(MakeSpan(id));
+  std::vector<SpanRecord> spans = flight.Snapshot();
+  ASSERT_EQ(spans.size(), 5u);
+  for (size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_LT(spans[i - 1].id, spans[i].id);
+  }
+}
+
+TEST_F(FlightTest, ClearDropsRetainedButKeepsTotalRecorded) {
+  FlightRecorder& flight = FlightRecorder::Global();
+  uint64_t total_before = flight.total_recorded();
+  for (uint64_t i = 1; i <= 10; ++i) flight.Record(MakeSpan(i));
+  EXPECT_EQ(flight.total_recorded(), total_before + 10);
+  flight.Clear();
+  EXPECT_EQ(flight.size(), 0u);
+  EXPECT_TRUE(flight.Snapshot().empty());
+  // total_recorded is the monotonic lifetime counter, not the ring size.
+  EXPECT_EQ(flight.total_recorded(), total_before + 10);
+  // The ring is usable again after Clear.
+  flight.Record(MakeSpan(99));
+  EXPECT_EQ(flight.size(), 1u);
+}
+
+TEST_F(FlightTest, ArmedSpansLandWithoutASession) {
+  ScopedEnable enable(true);
+  FlightRecorder& flight = FlightRecorder::Global();
+  flight.set_armed(true);
+  {
+    Span span("flight-only");
+    EXPECT_TRUE(span.active());
+  }
+  std::vector<SpanRecord> spans = flight.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "flight-only");
+
+  // Disarmed: spans without a session go nowhere and cost nothing.
+  flight.set_armed(false);
+  flight.Clear();
+  {
+    Span span("dropped");
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_EQ(flight.size(), 0u);
+}
+
+TEST_F(FlightTest, SessionAndFlightBothReceiveTheSameSpan) {
+  ScopedEnable enable(true);
+  FlightRecorder& flight = FlightRecorder::Global();
+  flight.set_armed(true);
+  TraceSession session("root");
+  { Span span("shared"); }
+  std::vector<SpanRecord> spans = flight.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "shared");
+  ASSERT_EQ(session.root().children.size(), 1u);
+  EXPECT_EQ(session.root().children[0]->name, "shared");
+}
+
+TEST_F(FlightTest, ShardedWritersUnderConcurrency) {
+  // The tsan stress: pooled writers record concurrently (hitting different
+  // shard locks) while the caller interleaves snapshots. Run under the tsan
+  // preset this is the data-race gate for the sharded ring.
+  FlightRecorder& flight = FlightRecorder::Global();
+  uint64_t total_before = flight.total_recorded();
+  constexpr int kSpans = 2000;
+  std::atomic<int> snapshots{0};
+  ThreadPool::ParallelFor(4, kSpans, [&flight, &snapshots](int i) {
+    SpanRecord rec = MakeSpan(
+        internal::g_next_span_id.fetch_add(1, std::memory_order_relaxed));
+    rec.attrs.emplace_back("i", i);
+    flight.Record(std::move(rec));
+    if (i % 256 == 0) {
+      (void)flight.Snapshot();
+      (void)flight.size();
+      snapshots.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(flight.total_recorded(), total_before + kSpans);
+  EXPECT_LE(flight.size(), flight.capacity());
+  EXPECT_GT(snapshots.load(), 0);
+  // Ids stay unique and sorted across shards after the melee.
+  std::vector<SpanRecord> spans = flight.Snapshot();
+  std::set<uint64_t> ids;
+  for (const SpanRecord& span : spans) ids.insert(span.id);
+  EXPECT_EQ(ids.size(), spans.size());
+}
+
+TEST_F(FlightTest, ChromeTraceEmitsCompleteEvents) {
+  SpanRecord a = MakeSpan(10, "compile");
+  a.parent = 1;
+  a.detail = "R(x) & S(x)";
+  a.attrs.emplace_back("states", 42);
+  SpanRecord b = MakeSpan(11, "enumerate");
+  b.parent = 10;
+
+  JsonValue doc = ChromeTrace({a, b});
+  ASSERT_TRUE(doc.is_object());
+  const JsonValue* unit = doc.Find("displayTimeUnit");
+  ASSERT_NE(unit, nullptr);
+  EXPECT_EQ(unit->AsString(), "ms");
+  const JsonValue* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->size(), 2u);
+
+  const JsonValue& e = events->At(0);
+  EXPECT_EQ(e.Find("name")->AsString(), "compile");
+  EXPECT_EQ(e.Find("cat")->AsString(), "strq");
+  EXPECT_EQ(e.Find("ph")->AsString(), "X");
+  // ts/dur are microseconds derived from the nanosecond record.
+  EXPECT_DOUBLE_EQ(e.Find("ts")->AsNumber(), a.start_ns / 1e3);
+  EXPECT_DOUBLE_EQ(e.Find("dur")->AsNumber(), a.dur_ns / 1e3);
+  EXPECT_EQ(e.Find("pid")->AsInt64(), 1);
+  EXPECT_EQ(e.Find("tid")->AsInt64(), static_cast<int64_t>(a.thread));
+  const JsonValue* args = e.Find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_EQ(args->Find("span_id")->AsInt64(), 10);
+  EXPECT_EQ(args->Find("parent_id")->AsInt64(), 1);
+  EXPECT_EQ(args->Find("detail")->AsString(), "R(x) & S(x)");
+  EXPECT_EQ(args->Find("states")->AsInt64(), 42);
+
+  // The document round-trips through the bundled parser (what trace_check
+  // validates end to end on a real traced run).
+  Result<JsonValue> reparsed = ParseJson(doc.Dump(2));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->Find("traceEvents")->size(), 2u);
+}
+
+TEST_F(FlightTest, PrettyFlightShowsIdThreadAndName) {
+  SpanRecord rec = MakeSpan(123, "mta.intersect");
+  rec.detail = "left*right";
+  std::string text = PrettyFlight({rec});
+  EXPECT_NE(text.find("#123"), std::string::npos);
+  EXPECT_NE(text.find("mta.intersect"), std::string::npos);
+  EXPECT_NE(text.find("left*right"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace strq

@@ -1,0 +1,155 @@
+#include "obs/histogram.h"
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+namespace strq {
+namespace obs {
+namespace {
+
+TEST(HistogramTest, EmptyHistogramIsAllZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  Histogram::Snapshot s = h.TakeSnapshot();
+  EXPECT_EQ(s.count, 0);
+  EXPECT_EQ(s.p99, 0.0);
+}
+
+TEST(HistogramTest, SmallValuesGetExactUnitBuckets) {
+  // Values below 16 each get their own bucket: no two collide, and the
+  // bucket bounds are the value itself.
+  for (int64_t v = 0; v < 16; ++v) {
+    int index = Histogram::BucketIndex(v);
+    int64_t lower = 0, upper = 0;
+    Histogram::BucketBounds(index, &lower, &upper);
+    EXPECT_EQ(lower, v);
+    EXPECT_EQ(upper, v);
+    if (v > 0) {
+      EXPECT_NE(index, Histogram::BucketIndex(v - 1));
+    }
+  }
+}
+
+TEST(HistogramTest, BucketBoundsContainTheValue) {
+  const int64_t values[] = {16,
+                            17,
+                            31,
+                            32,
+                            100,
+                            1000,
+                            65536,
+                            (int64_t{1} << 20) + 7,
+                            (int64_t{1} << 40) + 12345,
+                            (int64_t{1} << 62)};
+  for (int64_t v : values) {
+    int index = Histogram::BucketIndex(v);
+    int64_t lower = 0, upper = 0;
+    Histogram::BucketBounds(index, &lower, &upper);
+    EXPECT_LE(lower, v) << "value " << v;
+    EXPECT_GE(upper, v) << "value " << v;
+    // Log-linear design bound: 16 sub-buckets per octave keeps the relative
+    // bucket width (and hence the quantile error) under 1/16 + rounding.
+    EXPECT_LE(upper - lower, lower / 8 + 1) << "value " << v;
+  }
+}
+
+TEST(HistogramTest, BucketIndexIsMonotone) {
+  int last = -1;
+  for (int64_t v = 0; v < 4096; ++v) {
+    int index = Histogram::BucketIndex(v);
+    EXPECT_GE(index, last) << "value " << v;
+    last = index;
+  }
+}
+
+TEST(HistogramTest, TracksCountMinMaxMean) {
+  Histogram h;
+  h.Observe(4);
+  h.Observe(1);
+  h.Observe(3);
+  h.Observe(2);
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 4);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+}
+
+TEST(HistogramTest, QuantilesExactOnSmallValues) {
+  // 100 samples of each value 1..10: unit buckets make quantiles exact.
+  Histogram h;
+  for (int64_t v = 1; v <= 10; ++v) {
+    for (int i = 0; i < 100; ++i) h.Observe(v);
+  }
+  EXPECT_NEAR(h.Quantile(0.5), 5.0, 1.0);
+  EXPECT_NEAR(h.Quantile(0.9), 9.0, 1.0);
+  EXPECT_NEAR(h.Quantile(0.0), 1.0, 1.0);
+  EXPECT_NEAR(h.Quantile(1.0), 10.0, 0.0);
+}
+
+TEST(HistogramTest, QuantilesOnUniformDistributionWithinErrorBound) {
+  Histogram h;
+  for (int64_t v = 1; v <= 10000; ++v) h.Observe(v);
+  Histogram::Snapshot s = h.TakeSnapshot();
+  EXPECT_EQ(s.count, 10000);
+  EXPECT_EQ(s.min, 1);
+  EXPECT_EQ(s.max, 10000);
+  EXPECT_NEAR(s.mean, 5000.5, 1.0);
+  // The log-linear layout bounds relative error by ~1/16; allow 10%.
+  EXPECT_NEAR(s.p50, 5000.0, 500.0);
+  EXPECT_NEAR(s.p90, 9000.0, 900.0);
+  EXPECT_NEAR(s.p99, 9900.0, 990.0);
+}
+
+TEST(HistogramTest, QuantilesClampedToObservedRange) {
+  Histogram h;
+  h.Observe(1000);
+  h.Observe(1000000);
+  EXPECT_GE(h.Quantile(0.0), 1000.0);
+  EXPECT_LE(h.Quantile(1.0), 1000000.0);
+}
+
+TEST(HistogramTest, NegativeSamplesClampToZero) {
+  Histogram h;
+  h.Observe(-5);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Observe(i);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Quantile(0.99), 0.0);
+  // Usable again after Reset.
+  h.Observe(7);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.max(), 7);
+}
+
+TEST(HistogramTest, SnapshotMatchesAccessors) {
+  Histogram h;
+  for (int64_t v : {10, 20, 30, 40, 50}) h.Observe(v);
+  Histogram::Snapshot s = h.TakeSnapshot();
+  EXPECT_EQ(s.count, h.count());
+  EXPECT_EQ(s.min, h.min());
+  EXPECT_EQ(s.max, h.max());
+  EXPECT_DOUBLE_EQ(s.mean, h.mean());
+  EXPECT_DOUBLE_EQ(s.p50, h.Quantile(0.5));
+  EXPECT_DOUBLE_EQ(s.p90, h.Quantile(0.9));
+  EXPECT_DOUBLE_EQ(s.p99, h.Quantile(0.99));
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace strq

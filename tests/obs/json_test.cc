@@ -82,6 +82,35 @@ TEST(JsonParseTest, ParsesNumbers) {
   EXPECT_DOUBLE_EQ(v->At(3).AsNumber(), 10.0);
 }
 
+TEST(JsonParseTest, Int64RoundTripsAboveDoublePrecision) {
+  // Span ids and byte counters are int64; a double mantissa holds only 53
+  // bits, so values above 2^53 must round-trip through the distinct integer
+  // kind, not through doubles.
+  const int64_t values[] = {
+      (int64_t{1} << 53) + 1,        // first value a double cannot represent
+      int64_t{9007199254740993},     // same, spelled out
+      INT64_MAX,                     // 9223372036854775807
+      INT64_MAX - 1,
+      -(int64_t{1} << 53) - 1,
+      INT64_MIN + 1,
+  };
+  for (int64_t v : values) {
+    JsonValue j = JsonValue::Int(v);
+    std::string text = j.Dump();
+    Result<JsonValue> back = ParseJson(text);
+    ASSERT_TRUE(back.ok()) << text;
+    EXPECT_TRUE(back->is_int()) << text;
+    EXPECT_EQ(back->AsInt64(), v) << text;
+    EXPECT_EQ(back->Dump(), text);
+  }
+  // The same values survive nested in the document forms we emit.
+  JsonValue obj = JsonValue::Object();
+  obj.Set("span_id", JsonValue::Int(INT64_MAX));
+  Result<JsonValue> back = ParseJson(obj.Dump(2));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->Find("span_id")->AsInt64(), INT64_MAX);
+}
+
 TEST(JsonParseTest, RejectsMalformedInput) {
   EXPECT_FALSE(ParseJson("").ok());
   EXPECT_FALSE(ParseJson("{").ok());

@@ -1,0 +1,171 @@
+// Conservation tests for the byte-level memory accounting: every structure
+// that charges the process-wide obs gauges (AutomatonStore, AtomCache, the
+// planner's plan cache) must return its gauge to the pre-existing baseline
+// on Clear()/destruction, and deduplication must never double-count.
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "automata/regex.h"
+#include "automata/store.h"
+#include "base/alphabet.h"
+#include "logic/parser.h"
+#include "mta/atom_cache.h"
+#include "obs/trace.h"
+#include "plan/planner.h"
+
+namespace strq {
+namespace {
+
+Dfa Regex(const std::string& pattern) {
+  Result<Dfa> d = CompileRegex(pattern, Alphabet::Binary());
+  EXPECT_TRUE(d.ok()) << pattern << ": " << d.status().ToString();
+  return *d;
+}
+
+FormulaPtr Q(const std::string& text) {
+  Result<FormulaPtr> r = ParseFormula(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status().ToString();
+  return *std::move(r);
+}
+
+TEST(MemoryAccountingTest, StoreBytesGrowOnInternAndClearToBaseline) {
+  const int64_t baseline = obs::MemBytes(obs::MemCategory::kStore);
+  {
+    AutomatonStore store;
+    EXPECT_EQ(store.stats().bytes, 0);
+
+    DfaRef a = store.Intern(Regex("(0|1)*0"));
+    const int64_t after_first = store.stats().bytes;
+    EXPECT_GT(after_first, 0);
+    // The local gauge is mirrored 1:1 into the process-wide gauge.
+    EXPECT_EQ(obs::MemBytes(obs::MemCategory::kStore), baseline + after_first);
+
+    // Dedup never double-counts: a structurally different automaton for the
+    // SAME language is a unique-table hit and adds nothing.
+    DfaRef b = store.Intern(Regex("((0|1)*0|(0|1)*0)"));
+    EXPECT_EQ(a.id(), b.id());
+    EXPECT_EQ(store.stats().bytes, after_first);
+
+    // A genuinely new language grows the gauge.
+    store.Intern(Regex("1*"));
+    EXPECT_GT(store.stats().bytes, after_first);
+
+    store.Clear();
+    EXPECT_EQ(store.stats().bytes, 0);
+    EXPECT_EQ(obs::MemBytes(obs::MemCategory::kStore), baseline);
+
+    // The store stays usable after Clear; the destructor conserves too.
+    store.Intern(Regex("0*"));
+    EXPECT_GT(store.stats().bytes, 0);
+  }
+  EXPECT_EQ(obs::MemBytes(obs::MemCategory::kStore), baseline);
+}
+
+TEST(MemoryAccountingTest, StoreComputedTableChargesOncePerOperation) {
+  const int64_t baseline = obs::MemBytes(obs::MemCategory::kStore);
+  {
+    AutomatonStore store;
+    DfaRef a = store.Intern(Regex("(0|1)*0"));
+    DfaRef b = store.Intern(Regex("0(0|1)*"));
+    const int64_t after_intern = store.stats().bytes;
+
+    ASSERT_TRUE(store.Intersect(a, b).ok());
+    const int64_t after_op = store.stats().bytes;
+    EXPECT_GT(after_op, after_intern);
+
+    // A computed-table hit (same operation again) adds nothing.
+    ASSERT_TRUE(store.Intersect(a, b).ok());
+    EXPECT_EQ(store.stats().bytes, after_op);
+    // Commutative key normalization: the swapped operands hit too.
+    ASSERT_TRUE(store.Intersect(b, a).ok());
+    EXPECT_EQ(store.stats().bytes, after_op);
+  }
+  EXPECT_EQ(obs::MemBytes(obs::MemCategory::kStore), baseline);
+}
+
+TEST(MemoryAccountingTest, AtomCacheBytesConserveAndNeverCountDfasTwice) {
+  const int64_t store_baseline = obs::MemBytes(obs::MemCategory::kStore);
+  const int64_t atom_baseline = obs::MemBytes(obs::MemCategory::kAtomCache);
+  // Atom construction also interns helper automata into the process-wide
+  // default store, which outlives this test — its growth is legitimate
+  // retention, tracked separately from the local store's contribution.
+  const int64_t default_before = AutomatonStore::Default().stats().bytes;
+  {
+    AutomatonStore store;
+    AtomCache cache(Alphabet::Binary(), &store);
+    EXPECT_EQ(cache.stats().bytes, 0);
+
+    ASSERT_TRUE(cache.Equal(0, 1).ok());
+    const int64_t after_atom = cache.stats().bytes;
+    EXPECT_GT(after_atom, 0);
+    EXPECT_EQ(obs::MemBytes(obs::MemCategory::kAtomCache),
+              atom_baseline + after_atom);
+    // The automaton payload is charged to the STORE gauge, not the cache's:
+    // the cache only accounts its own bookkeeping, so the sum never counts
+    // a DFA twice.
+    EXPECT_GT(store.stats().bytes, 0);
+
+    // Atom-level dedup: the same atom again — and a renamed occurrence of
+    // the same canonical atom — add no cache bookkeeping.
+    ASSERT_TRUE(cache.Equal(0, 1).ok());
+    EXPECT_EQ(cache.stats().bytes, after_atom);
+    ASSERT_TRUE(cache.Equal(2, 5).ok());
+    EXPECT_EQ(cache.stats().bytes, after_atom);
+
+    // Patterns are charged on first compile only.
+    ASSERT_TRUE(cache.CompiledPattern("0%", PatternSyntax::kLikePattern).ok());
+    const int64_t after_pattern = cache.stats().bytes;
+    EXPECT_GT(after_pattern, after_atom);
+    ASSERT_TRUE(cache.CompiledPattern("0%", PatternSyntax::kLikePattern).ok());
+    EXPECT_EQ(cache.stats().bytes, after_pattern);
+  }
+  // Both destructors returned their gauges to the pre-existing baselines;
+  // what remains in the store gauge is exactly the default store's growth.
+  EXPECT_EQ(obs::MemBytes(obs::MemCategory::kAtomCache), atom_baseline);
+  EXPECT_EQ(obs::MemBytes(obs::MemCategory::kStore),
+            store_baseline +
+                (AutomatonStore::Default().stats().bytes - default_before));
+}
+
+TEST(MemoryAccountingTest, PlanCacheBytesConserveAcrossClearAndDestruction) {
+  const int64_t baseline = obs::MemBytes(obs::MemCategory::kPlanCache);
+  FormulaPtr f = Q("exists x. (x = '01' | x <= '1')");
+  {
+    plan::Planner planner;
+    EXPECT_EQ(planner.stats().bytes, 0);
+
+    planner.Plan(f, nullptr, nullptr);
+    const int64_t after = planner.stats().bytes;
+    EXPECT_GT(after, 0);
+    EXPECT_EQ(obs::MemBytes(obs::MemCategory::kPlanCache), baseline + after);
+
+    // A cache hit adds nothing.
+    planner.Plan(f, nullptr, nullptr);
+    EXPECT_GE(planner.stats().cache_hits, 1);
+    EXPECT_EQ(planner.stats().bytes, after);
+
+    planner.ClearCache();
+    EXPECT_EQ(planner.stats().bytes, 0);
+    EXPECT_EQ(obs::MemBytes(obs::MemCategory::kPlanCache), baseline);
+
+    // Repopulate so the destructor path is exercised with a live entry.
+    planner.Plan(f, nullptr, nullptr);
+    EXPECT_GT(planner.stats().bytes, 0);
+  }
+  EXPECT_EQ(obs::MemBytes(obs::MemCategory::kPlanCache), baseline);
+}
+
+TEST(MemoryAccountingTest, MemSnapshotReflectsLiveStructures) {
+  std::map<std::string, int64_t> before = obs::MemSnapshot();
+  AutomatonStore store;
+  store.Intern(Regex("(0|1)*01"));
+  std::map<std::string, int64_t> after = obs::MemSnapshot();
+  EXPECT_GT(after[obs::kGaugeStoreBytes], before[obs::kGaugeStoreBytes]);
+  EXPECT_EQ(after[obs::kGaugeAtomCacheBytes], before[obs::kGaugeAtomCacheBytes]);
+  EXPECT_EQ(after[obs::kGaugePlanCacheBytes], before[obs::kGaugePlanCacheBytes]);
+}
+
+}  // namespace
+}  // namespace strq

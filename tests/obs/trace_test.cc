@@ -1,21 +1,37 @@
 #include "obs/trace.h"
 
+#include <set>
 #include <thread>
 
 #include <gtest/gtest.h>
+
+#include "base/thread_pool.h"
+#include "obs/flight.h"
 
 namespace strq {
 namespace obs {
 namespace {
 
-// Every test restores the tracing flag so the suite is order-independent.
+// Every test restores the tracing flag and the flight recorder's armed state
+// so the suite is order-independent. The flight recorder is disarmed because
+// an armed recorder keeps spans live even without a session — the inertness
+// tests below isolate the session path.
 class TraceTest : public ::testing::Test {
  protected:
-  TraceTest() : restore_(Enabled()) { SetEnabled(true); }
-  ~TraceTest() override { SetEnabled(restore_); }
+  TraceTest()
+      : restore_enabled_(Enabled()),
+        restore_armed_(FlightRecorder::Global().armed()) {
+    SetEnabled(true);
+    FlightRecorder::Global().set_armed(false);
+  }
+  ~TraceTest() override {
+    FlightRecorder::Global().set_armed(restore_armed_);
+    SetEnabled(restore_enabled_);
+  }
 
  private:
-  bool restore_;
+  bool restore_enabled_;
+  bool restore_armed_;
 };
 
 TEST_F(TraceTest, SpansNestInExecutionOrder) {
@@ -100,16 +116,137 @@ TEST_F(TraceTest, TakeDetachesTheTree) {
   { Span span("after"); }
 }
 
-TEST_F(TraceTest, SessionsAreThreadLocal) {
+TEST_F(TraceTest, UnrelatedThreadsDoNotFeedTheSession) {
   TraceSession session("main-thread");
   bool other_thread_active = true;
   std::thread t([&] {
+    // No propagated TraceContext: this thread is not part of the session.
     Span span("elsewhere");
     other_thread_active = span.active();
   });
   t.join();
   EXPECT_FALSE(other_thread_active);
   EXPECT_TRUE(session.root().children.empty());
+}
+
+TEST_F(TraceTest, ScopedTraceContextPropagatesAcrossThreads) {
+  TraceSession session("root");
+  {
+    Span parent("parent");
+    TraceContext ctx = CurrentTraceContext();
+    std::thread t([ctx] {
+      ScopedTraceContext scope(ctx);
+      Span span("remote");
+      EXPECT_TRUE(span.active());
+    });
+    t.join();
+  }
+  const TraceNode& root = session.root();
+  ASSERT_EQ(root.children.size(), 1u);
+  ASSERT_EQ(root.children[0]->children.size(), 1u);
+  const TraceNode& remote = *root.children[0]->children[0];
+  EXPECT_EQ(remote.name, "remote");
+  EXPECT_NE(remote.thread, root.thread);
+  EXPECT_GE(root.DistinctThreads(), 2);
+}
+
+TEST_F(TraceTest, StaleContextIsInertAfterSessionEnds) {
+  TraceContext stale;
+  {
+    TraceSession session("root");
+    Span parent("parent");
+    stale = CurrentTraceContext();
+  }
+  // The generation died with the session; a leaked context must not
+  // resurrect it (or dereference the dead session).
+  ScopedTraceContext scope(stale);
+  Span span("late");
+  EXPECT_FALSE(span.active());
+}
+
+TEST_F(TraceTest, SubmittedTasksStitchUnderTheSubmittingSpan) {
+  TraceSession session("root");
+  ThreadPool pool(2);
+  {
+    Span parent("parent");
+    for (int i = 0; i < 4; ++i) {
+      pool.Submit([i] {
+        Span task("task");
+        task.Attr("i", i);
+      });
+    }
+    pool.WaitIdle();
+  }
+  const TraceNode& root = session.root();
+  ASSERT_EQ(root.children.size(), 1u);
+  const TraceNode& parent = *root.children[0];
+  ASSERT_EQ(parent.children.size(), 4u);
+  std::set<int64_t> seen;
+  for (const auto& child : parent.children) {
+    EXPECT_EQ(child->name, "task");
+    const int64_t* i = child->FindAttr("i");
+    ASSERT_NE(i, nullptr);
+    seen.insert(*i);
+    // Dedicated pool workers are never the submitting thread.
+    EXPECT_NE(child->thread, root.thread);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_GE(root.DistinctThreads(), 2);
+}
+
+TEST_F(TraceTest, ParallelForSpansJoinTheCallersTree) {
+  TraceSession session("root");
+  {
+    Span region("parallel-region");
+    ThreadPool::ParallelFor(4, 8, [](int i) {
+      Span iter("iter");
+      iter.Attr("i", i);
+    });
+  }
+  const TraceNode& root = session.root();
+  ASSERT_EQ(root.children.size(), 1u);
+  const TraceNode& region = *root.children[0];
+  ASSERT_EQ(region.children.size(), 8u);
+  std::set<int64_t> seen;
+  for (const auto& child : region.children) {
+    EXPECT_EQ(child->name, "iter");
+    const int64_t* i = child->FindAttr("i");
+    ASSERT_NE(i, nullptr);
+    seen.insert(*i);
+  }
+  // Every iteration landed exactly once, wherever it ran.
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST_F(TraceTest, ConcurrentSpansFromManyThreadsAllLand) {
+  TraceSession session("root");
+  constexpr int kIterations = 200;
+  {
+    Span fanout("fanout");
+    ThreadPool::ParallelFor(4, kIterations, [](int i) {
+      Span unit("unit");
+      unit.Attr("i", i);
+      { Span nested("nested"); }
+    });
+  }
+  const TraceNode& root = session.root();
+  ASSERT_EQ(root.children.size(), 1u);
+  const TraceNode& fanout = *root.children[0];
+  ASSERT_EQ(fanout.children.size(), static_cast<size_t>(kIterations));
+  EXPECT_EQ(root.TreeSize(), 2 + 2 * kIterations);
+  std::set<int64_t> seen;
+  for (const auto& child : fanout.children) {
+    EXPECT_EQ(child->name, "unit");
+    ASSERT_EQ(child->children.size(), 1u);
+    EXPECT_EQ(child->children[0]->name, "nested");
+    // The same-thread nested span stitched under its own unit, not another
+    // thread's.
+    EXPECT_EQ(child->children[0]->thread, child->thread);
+    const int64_t* i = child->FindAttr("i");
+    ASSERT_NE(i, nullptr);
+    seen.insert(*i);
+  }
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kIterations));
 }
 
 TEST_F(TraceTest, ScopedEnableRestores) {
@@ -142,6 +279,20 @@ TEST_F(TraceTest, MetricsDeltaDropsZeroEntries) {
   EXPECT_EQ(delta.count("b"), 0u);
 }
 
+TEST_F(TraceTest, MemGaugesMoveEvenWhenDisabled) {
+  SetEnabled(false);
+  int64_t before = MemBytes(MemCategory::kStore);
+  MemAdd(MemCategory::kStore, 128);
+  EXPECT_EQ(MemBytes(MemCategory::kStore), before + 128);
+  MemAdd(MemCategory::kStore, -128);
+  EXPECT_EQ(MemBytes(MemCategory::kStore), before);
+
+  std::map<std::string, int64_t> snapshot = MemSnapshot();
+  EXPECT_EQ(snapshot.count(kGaugeStoreBytes), 1u);
+  EXPECT_EQ(snapshot.count(kGaugeAtomCacheBytes), 1u);
+  EXPECT_EQ(snapshot.count(kGaugePlanCacheBytes), 1u);
+}
+
 TEST_F(TraceTest, PrettyTraceShowsNamesAttrsAndIndentation) {
   TraceSession session("root");
   {
@@ -159,6 +310,23 @@ TEST_F(TraceTest, PrettyTraceShowsNamesAttrsAndIndentation) {
   size_t inner_col = text.find("mta.intersect") - (inner_line + 1);
   size_t outer_line = text.rfind('\n', outer_col);
   EXPECT_GT(inner_col, outer_col - (outer_line + 1));
+}
+
+TEST_F(TraceTest, PrettyTraceTagsSpansFromOtherThreads) {
+  TraceSession session("root");
+  ThreadPool pool(1);
+  {
+    Span parent("parent");
+    pool.Submit([] { Span task("pooled-work"); });
+    pool.WaitIdle();
+  }
+  std::string text = PrettyTrace(session.root());
+  EXPECT_NE(text.find("pooled-work"), std::string::npos);
+  // The worker's span is rendered with its @tN thread tag; same-thread spans
+  // are not.
+  EXPECT_NE(text.find("@t"), std::string::npos);
+  size_t parent_line_end = text.find('\n', text.find("parent"));
+  EXPECT_EQ(text.substr(0, parent_line_end).find("@t"), std::string::npos);
 }
 
 }  // namespace

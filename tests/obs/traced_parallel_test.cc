@@ -1,0 +1,183 @@
+// Thread-determinism of traced runs: tracing no longer forces the engines
+// serial, so a traced run at 1, 2 and 4 threads must produce identical
+// answers, identical canonical store ids, and the same span-tree shape
+// modulo child order (parallel folds submit children in planner order, but
+// completion order — and hence sibling order in the assembled tree — may
+// differ). Plus the acceptance check: a 4-thread EXPLAIN ANALYZE emits spans
+// from at least two distinct threads while matching the serial answers.
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/thread_pool.h"
+#include "eval/automata_eval.h"
+#include "eval/explain.h"
+#include "logic/parser.h"
+#include "obs/flight.h"
+#include "obs/trace.h"
+
+namespace strq {
+namespace {
+
+FormulaPtr Q(const std::string& text) {
+  Result<FormulaPtr> f = ParseFormula(text);
+  EXPECT_TRUE(f.ok()) << f.status().ToString();
+  return *std::move(f);
+}
+
+Database WideDb() {
+  Database db(Alphabet::Binary());
+  std::vector<Tuple> r, s;
+  for (const char* a : {"0", "1", "00", "01", "10", "11", "010",
+                        "101", "0110", "1001"}) {
+    r.push_back({a});
+  }
+  for (const char* a : {"01", "10", "110", "011", "0101"}) {
+    s.push_back({a});
+  }
+  EXPECT_TRUE(db.AddRelation("R", 1, std::move(r)).ok());
+  EXPECT_TRUE(db.AddRelation("S", 1, std::move(s)).ok());
+  return db;
+}
+
+// Canonical shape of a span tree: name + detail per node, children sorted
+// recursively, so trees differing only in sibling order (and in timing,
+// thread tags or attrs) compare equal.
+std::string Signature(const obs::TraceNode& node) {
+  std::vector<std::string> kids;
+  kids.reserve(node.children.size());
+  for (const auto& child : node.children) kids.push_back(Signature(*child));
+  std::sort(kids.begin(), kids.end());
+  std::string out = "(";
+  out += node.name;
+  if (!node.detail.empty()) {
+    out += ' ';
+    out += node.detail;
+  }
+  for (const std::string& kid : kids) out += kid;
+  out += ')';
+  return out;
+}
+
+class TracedParallelTest : public ::testing::Test {
+ protected:
+  TracedParallelTest()
+      : restore_enabled_(obs::Enabled()),
+        restore_armed_(obs::FlightRecorder::Global().armed()) {
+    obs::SetEnabled(true);
+    obs::FlightRecorder::Global().set_armed(false);
+  }
+  ~TracedParallelTest() override {
+    obs::FlightRecorder::Global().set_armed(restore_armed_);
+    obs::SetEnabled(restore_enabled_);
+  }
+
+ private:
+  bool restore_enabled_;
+  bool restore_armed_;
+};
+
+TEST_F(TracedParallelTest, AnswersIdsAndSpanShapeAgreeAcrossThreadCounts) {
+  Database db = WideDb();
+  // One shared store across every run: language-identical compilations
+  // intern to the same canonical id regardless of thread count.
+  AutomatonStore store(true);
+  auto cache = std::make_shared<AtomCache>(db.alphabet(), &store);
+
+  const char* queries[] = {
+      "R(x) & x <= '0110' & last[0](x) & !S(x)",
+      "(R(x) & last[0](x)) | (S(x) & last[1](x)) | x = '010'",
+      "R(x) & (last[0](x) | last[1](x)) & !(x = '1') & x <= '1001'",
+  };
+  for (const char* text : queries) {
+    FormulaPtr f = Q(text);
+    // Warm the shared substrate once (no session: spans go nowhere), so the
+    // three traced runs below hit identical cache state and produce
+    // comparable span trees.
+    {
+      AutomataEvaluator warm(&db, cache);
+      warm.set_parallel_options(ParallelOptions{1});
+      ASSERT_TRUE(warm.Compile(f).ok()) << text;
+      ASSERT_TRUE(warm.Evaluate(f).ok()) << text;
+    }
+
+    struct Run {
+      uint64_t store_id;
+      Relation answer = Relation::Empty(0);
+      std::string shape;
+    };
+    std::vector<Run> runs;
+    for (int threads : {1, 2, 4}) {
+      obs::TraceSession session("run");
+      AutomataEvaluator eval(&db, cache);
+      eval.set_parallel_options(ParallelOptions{threads});
+      Result<TrackAutomaton> compiled = eval.Compile(f);
+      ASSERT_TRUE(compiled.ok()) << text << " @" << threads << " threads";
+      Result<Relation> answer = eval.Evaluate(f);
+      ASSERT_TRUE(answer.ok()) << text << " @" << threads << " threads";
+      std::unique_ptr<obs::TraceNode> tree = session.Take();
+      ASSERT_NE(tree, nullptr);
+      EXPECT_GT(tree->TreeSize(), 1) << "traced run collected no spans";
+      runs.push_back(
+          Run{compiled->dfa_ref().id(), *answer, Signature(*tree)});
+    }
+    for (size_t i = 1; i < runs.size(); ++i) {
+      EXPECT_EQ(runs[i].store_id, runs[0].store_id) << text;
+      EXPECT_EQ(runs[i].answer, runs[0].answer) << text;
+      EXPECT_EQ(runs[i].shape, runs[0].shape) << text;
+    }
+  }
+}
+
+TEST_F(TracedParallelTest, ParallelExplainEmitsSpansFromMultipleThreads) {
+  Database db = WideDb();
+  FormulaPtr f = Q("R(x) & (last[0](x) | last[1](x)) & !(x = '1') & "
+                   "x <= '1001'");
+
+  Result<ExplainAnalyzeResult> serial = ExplainAnalyze(&db, f);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_NE(serial->trace, nullptr);
+  EXPECT_EQ(serial->trace->DistinctThreads(), 1);
+
+  // The pool's worker races the submitting thread for fold children; on a
+  // loaded single-core host the caller can occasionally drain the whole
+  // fold first, so retry until a run actually lands spans on two threads.
+  bool multi_threaded = false;
+  for (int attempt = 0; attempt < 50 && !multi_threaded; ++attempt) {
+    Result<ExplainAnalyzeResult> par = ExplainAnalyze(
+        &db, f, 1000000, nullptr, nullptr, ParallelOptions{4});
+    ASSERT_TRUE(par.ok()) << par.status().ToString();
+    // Parallel profile or not, the answer must match the serial run.
+    EXPECT_TRUE(par->finite);
+    EXPECT_EQ(par->answer, serial->answer);
+    EXPECT_EQ(par->answer_states, serial->answer_states);
+    ASSERT_NE(par->trace, nullptr);
+    if (par->trace->DistinctThreads() >= 2) multi_threaded = true;
+  }
+  EXPECT_TRUE(multi_threaded)
+      << "no 4-thread EXPLAIN ANALYZE emitted spans from >= 2 threads";
+}
+
+TEST_F(TracedParallelTest, ParallelExplainReportsHistogramsAndMemory) {
+  Database db = WideDb();
+  FormulaPtr f = Q("R(x) & last[0](x)");
+  Result<ExplainAnalyzeResult> r = ExplainAnalyze(
+      &db, f, 1000000, nullptr, nullptr, ParallelOptions{2});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // The per-phase and end-to-end histograms saw this very call.
+  ASSERT_EQ(r->histograms.count(obs::kHistQueryLatencyNs), 1u);
+  EXPECT_GE(r->histograms.at(obs::kHistQueryLatencyNs).count, 1);
+  ASSERT_EQ(r->histograms.count(obs::kHistCompileNs), 1u);
+  EXPECT_GE(r->histograms.at(obs::kHistCompileNs).count, 1);
+  // All three retained-memory gauges are reported.
+  EXPECT_EQ(r->memory.count(obs::kGaugeStoreBytes), 1u);
+  EXPECT_EQ(r->memory.count(obs::kGaugeAtomCacheBytes), 1u);
+  EXPECT_EQ(r->memory.count(obs::kGaugePlanCacheBytes), 1u);
+}
+
+}  // namespace
+}  // namespace strq
