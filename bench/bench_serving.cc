@@ -1,0 +1,450 @@
+// The serving layer under load (src/serve): concurrent sessions over MVCC
+// snapshots, per-request budgets, in-flight plan dedup, admission control.
+//
+//   1. Serial baseline: a fixed query mix through one session — the
+//      reference answers every concurrent section is checked against.
+//   2. Client scaling: the same mix from 1/4/16 concurrent sessions against
+//      one warm server; p50/p99 request latency and QPS per client count,
+//      with every client's answers compared tuple-for-tuple to the serial
+//      reference (serve.answers_agree).
+//   3. In-flight dedup: structurally identical expensive queries launched
+//      simultaneously against a cold server collapse to one compilation
+//      (serve.inflight_dedup_hits > 0).
+//   4. Mixed read/write: writer threads stream commits while reader
+//      sessions evaluate against pinned snapshots; each answer must equal a
+//      serial re-evaluation of the SAME pinned snapshot
+//      (serve.mvcc_agree), and dead-revision cache entries are reclaimed
+//      after the churn (serve.snapshots_reclaimed).
+//   5. Budget isolation: a tiny per-session product-state budget turns an
+//      answerable query into RESOURCE_EXHAUSTED, and clearing the budget
+//      immediately re-answers it correctly — the shared store must never
+//      serve a truncated memo to an unbudgeted caller
+//      (serve.budget_isolation_ok); a 1ns deadline fails DEADLINE_EXCEEDED.
+//   6. Admission control: max_concurrent=1, max_queued=0 under concurrent
+//      slow requests produces fast-fail rejects (serve.admission_rejects).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/status.h"
+#include "bench/bench_util.h"
+#include "eval/automata_eval.h"
+#include "logic/parser.h"
+#include "relational/database.h"
+#include "serve/server.h"
+
+namespace strq {
+namespace {
+
+using bench::BenchReporter;
+using bench::Header;
+using bench::RandomUnaryDb;
+using bench::Row;
+
+FormulaPtr Q(const std::string& text) {
+  Result<FormulaPtr> r = ParseFormula(text);
+  if (!r.ok()) {
+    std::fprintf(stderr, "parse failed: %s\n", r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *std::move(r);
+}
+
+// The serving query mix: open queries (answers compared tuple-for-tuple)
+// and sentences, all against R/1.
+std::vector<FormulaPtr> QueryMix() {
+  std::vector<FormulaPtr> mix;
+  mix.push_back(Q("exists y. R(y) & x <= y & last[1](x)"));
+  mix.push_back(Q("exists y. R(y) & prepend[1](y) = x & !(x = '')"));
+  mix.push_back(Q("R(x) & like(x, '%1')"));
+  mix.push_back(Q("exists x. R(x) & like(x, '%1%')"));
+  mix.push_back(Q("forall x in adom. member(x, '(0|1)*')"));
+  return mix;
+}
+
+// One request per mix entry; open queries return their tuple list, sentences
+// a one-tuple marker — so "answers agree" is a single vector comparison.
+std::vector<std::vector<Tuple>> RunMix(serve::Session& session,
+                                       const std::vector<FormulaPtr>& mix,
+                                       std::vector<int64_t>* latencies_ns,
+                                       Status* first_error) {
+  std::vector<std::vector<Tuple>> answers;
+  for (const FormulaPtr& f : mix) {
+    auto start = std::chrono::steady_clock::now();
+    if (FreeVars(f).empty()) {
+      Result<bool> v = session.QuerySentence(f);
+      if (!v.ok()) {
+        if (first_error->ok()) *first_error = v.status();
+        answers.push_back({{"<error>"}});
+      } else {
+        answers.push_back({{*v ? "true" : "false"}});
+      }
+    } else {
+      Result<Relation> rel = session.Query(f);
+      if (!rel.ok()) {
+        if (first_error->ok()) *first_error = rel.status();
+        answers.push_back({{"<error>"}});
+      } else {
+        answers.push_back(rel->tuples());
+      }
+    }
+    auto end = std::chrono::steady_clock::now();
+    if (latencies_ns != nullptr) {
+      latencies_ns->push_back(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+              .count());
+    }
+  }
+  return answers;
+}
+
+double Percentile(std::vector<int64_t> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  size_t idx = static_cast<size_t>(p * (values.size() - 1));
+  return static_cast<double>(values[idx]);
+}
+
+// A pattern whose determinization is exponential in `n` — an expensive
+// compilation that holds the engine long enough for dedup/admission races.
+std::string HardPattern(int n) {
+  std::string p = "(0|1)*0";
+  for (int i = 0; i < n; ++i) p += "(0|1)";
+  return p;
+}
+
+int Run(int argc, char** argv) {
+  BenchReporter reporter(argc, argv, "SRV",
+                         "query serving — concurrent sessions over MVCC "
+                         "snapshots, budgets, in-flight dedup");
+  Header("SRV", "query serving — sessions, snapshots, budgets, dedup");
+  const bool smoke = reporter.smoke();
+  reporter.set_seed(20260809);
+
+  const int kDbSize = smoke ? 6 : 24;
+  const int kReps = smoke ? 3 : 20;
+  Database fixture = RandomUnaryDb(20260809, kDbSize, 1, smoke ? 4 : 6);
+  const std::vector<FormulaPtr> mix = QueryMix();
+
+  // --- 1. Serial baseline ---------------------------------------------
+  serve::QueryServer server(fixture);
+  std::unique_ptr<serve::Session> serial = server.OpenSession();
+  Status err = Status::Ok();
+  // Warm pass (fills atom cache / plan cache), then the measured pass.
+  RunMix(*serial, mix, nullptr, &err);
+  std::vector<int64_t> serial_ns;
+  const std::vector<std::vector<Tuple>> reference =
+      RunMix(*serial, mix, &serial_ns, &err);
+  if (!err.ok()) {
+    Row("serial baseline failed: " + err.ToString());
+    return 1;
+  }
+  Row("serial baseline: " + std::to_string(mix.size()) + " queries, p50 " +
+      std::to_string(static_cast<int64_t>(Percentile(serial_ns, 0.5))) +
+      "ns");
+
+  // --- 2. Client scaling ----------------------------------------------
+  // One warm server, C concurrent sessions each running the mix kReps
+  // times. Sessions never block on each other (no writer is active), so
+  // QPS should scale until the memoization stack's stripes saturate.
+  std::vector<double> client_counts;
+  std::vector<double> qps_series;
+  std::vector<double> p50_series;
+  std::vector<double> p99_series;
+  std::atomic<int64_t> mismatches{0};
+  for (int clients : {1, 4, 16}) {
+    std::vector<std::vector<int64_t>> lat(clients);
+    std::vector<Status> errors(clients, Status::Ok());
+    std::atomic<int> ready{0};
+    std::atomic<bool> go{false};
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        std::unique_ptr<serve::Session> session = server.OpenSession();
+        ready.fetch_add(1);
+        while (!go.load()) std::this_thread::yield();
+        for (int r = 0; r < kReps; ++r) {
+          std::vector<std::vector<Tuple>> answers =
+              RunMix(*session, mix, &lat[c], &errors[c]);
+          if (answers != reference) mismatches.fetch_add(1);
+        }
+      });
+    }
+    while (ready.load() < clients) std::this_thread::yield();
+    t0 = std::chrono::steady_clock::now();
+    go.store(true);
+    for (std::thread& t : threads) t.join();
+    auto t1 = std::chrono::steady_clock::now();
+    double wall = std::chrono::duration<double>(t1 - t0).count();
+    std::vector<int64_t> all;
+    for (const auto& per_client : lat) {
+      all.insert(all.end(), per_client.begin(), per_client.end());
+    }
+    for (const Status& s : errors) {
+      if (!s.ok()) {
+        Row("client scaling failed: " + s.ToString());
+        return 1;
+      }
+    }
+    double qps = static_cast<double>(all.size()) / wall;
+    double p50 = Percentile(all, 0.5);
+    double p99 = Percentile(all, 0.99);
+    client_counts.push_back(clients);
+    qps_series.push_back(qps);
+    p50_series.push_back(p50);
+    p99_series.push_back(p99);
+    char buffer[160];
+    std::snprintf(buffer, sizeof(buffer),
+                  "%2d client(s): %8.0f req/s, p50 %8.0fns, p99 %8.0fns",
+                  clients, qps, p50, p99);
+    Row(buffer);
+    reporter.AddScalar(
+        "serve.qps_" + std::to_string(clients) + "c", qps);
+    reporter.AddScalar(
+        "serve.latency_p50_ns_" + std::to_string(clients) + "c", p50);
+    reporter.AddScalar(
+        "serve.latency_p99_ns_" + std::to_string(clients) + "c", p99);
+  }
+  reporter.AddSeries("serve.qps_vs_clients", client_counts, qps_series);
+  reporter.AddSeries("serve.latency_p99_vs_clients", client_counts,
+                     p99_series);
+  const bool answers_agree = mismatches.load() == 0;
+  Row(answers_agree
+          ? "all concurrent answers identical to serial baseline"
+          : "ANSWER MISMATCH: " + std::to_string(mismatches.load()));
+  reporter.AddScalar("serve.answers_agree", answers_agree ? 1 : 0);
+  serve::QueryServer::Stats scaling = server.stats();
+  reporter.AddScalar("serve.sessions",
+                     static_cast<double>(scaling.sessions));
+  reporter.AddScalar("serve.requests",
+                     static_cast<double>(scaling.requests));
+
+  // --- 3. In-flight dedup ---------------------------------------------
+  // A cold server per round: C threads fire the SAME expensive query at
+  // once; with no warm cache the stragglers must find the leader's
+  // compilation in flight. Racy by nature, so retry rounds until observed.
+  int64_t dedup_hits = 0;
+  int dedup_rounds = 0;
+  const int kDedupClients = 8;
+  const std::string hard = HardPattern(smoke ? 8 : 11);
+  for (int round = 0; round < 50 && dedup_hits == 0; ++round) {
+    ++dedup_rounds;
+    serve::QueryServer cold(fixture);
+    FormulaPtr f = Q("R(x) & member(x, '" + hard + "')");
+    std::atomic<int> ready{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kDedupClients; ++c) {
+      threads.emplace_back([&] {
+        std::unique_ptr<serve::Session> session = cold.OpenSession();
+        ready.fetch_add(1);
+        while (!go.load()) std::this_thread::yield();
+        Result<TrackAutomaton> compiled = session->Compile(f);
+        if (!compiled.ok()) std::abort();
+      });
+    }
+    while (ready.load() < kDedupClients) std::this_thread::yield();
+    go.store(true);
+    for (std::thread& t : threads) t.join();
+    dedup_hits = cold.stats().inflight_dedup_hits;
+  }
+  Row("in-flight dedup: " + std::to_string(dedup_hits) + " hit(s) in round " +
+      std::to_string(dedup_rounds));
+  reporter.AddScalar("serve.inflight_dedup_hits",
+                     static_cast<double>(dedup_hits));
+  reporter.AddScalar("serve.dedup_rounds",
+                     static_cast<double>(dedup_rounds));
+
+  // --- 4. Mixed read/write over MVCC snapshots ------------------------
+  // Writers stream commits; each reader pins a snapshot, runs the mix, and
+  // the answers are checked against a fresh SERIAL evaluator bound to the
+  // same pinned database object. Snapshot isolation means the concurrent
+  // writer churn cannot show through.
+  serve::QueryServer versioned(fixture);
+  const int kWriters = 2;
+  const int kReaders = smoke ? 3 : 6;
+  const int kCommits = smoke ? 8 : 40;
+  std::atomic<bool> stop_writers{false};
+  std::atomic<int64_t> mvcc_mismatches{0};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int k = 0; k < kCommits && !stop_writers.load(); ++k) {
+        std::string fresh = "1" + std::to_string(w) + "0" +
+                            std::to_string(k) + "1";
+        for (char& c : fresh) {
+          if (c >= '2') c = '0' + ((c - '0') % 2);
+        }
+        Status s = versioned.versioned_db().Update([&](Database& db) {
+          const Relation* rel = db.Find("R");
+          std::vector<Tuple> tuples = rel->tuples();
+          if (k % 3 == 2 && !tuples.empty()) {
+            tuples.pop_back();  // a delete, so revisions genuinely differ
+          }
+          tuples.push_back({fresh});
+          return db.AddRelation("R", 1, std::move(tuples));
+        });
+        if (!s.ok()) std::abort();
+        versioned.ReclaimDeadSnapshots();
+        std::this_thread::yield();
+      }
+    });
+  }
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      for (int pass = 0; pass < (smoke ? 3 : 8); ++pass) {
+        std::unique_ptr<serve::Session> session = versioned.OpenSession();
+        Status reader_err = Status::Ok();
+        std::vector<std::vector<Tuple>> served =
+            RunMix(*session, mix, nullptr, &reader_err);
+        if (!reader_err.ok()) std::abort();
+        // Serial re-evaluation of the SAME pinned snapshot, through a
+        // private evaluator (fresh cache stack): the ground truth.
+        const Database& pinned = session->snapshot().db();
+        AutomataEvaluator ground_truth(&pinned);
+        size_t i = 0;
+        for (const FormulaPtr& f : mix) {
+          if (FreeVars(f).empty()) {
+            Result<bool> v = ground_truth.EvaluateSentence(f);
+            if (!v.ok() ||
+                served[i] != std::vector<Tuple>{{*v ? "true" : "false"}}) {
+              mvcc_mismatches.fetch_add(1);
+            }
+          } else {
+            Result<Relation> rel = ground_truth.Evaluate(f);
+            if (!rel.ok() || served[i] != rel->tuples()) {
+              mvcc_mismatches.fetch_add(1);
+            }
+          }
+          ++i;
+        }
+        session->Refresh();
+      }
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  stop_writers.store(true);
+  for (std::thread& t : writers) t.join();
+  size_t reclaimed = versioned.ReclaimDeadSnapshots();
+  const bool mvcc_agree = mvcc_mismatches.load() == 0;
+  Row(mvcc_agree ? "mixed read/write: every pinned answer matches serial "
+                   "re-evaluation of its snapshot"
+                 : "MVCC MISMATCH: " + std::to_string(mvcc_mismatches.load()));
+  Row("dead-revision cache entries reclaimed after churn: " +
+      std::to_string(versioned.stats().entries_reclaimed));
+  reporter.AddScalar("serve.mvcc_agree", mvcc_agree ? 1 : 0);
+  reporter.AddScalar(
+      "serve.snapshots_reclaimed",
+      static_cast<double>(versioned.stats().entries_reclaimed));
+  (void)reclaimed;
+
+  // --- 5. Budget isolation --------------------------------------------
+  // Four properties of per-request budgets against the shared store:
+  //  (a) a COLD query under a tiny product-state budget fails
+  //      RESOURCE_EXHAUSTED — the kernels enforce the per-request ceiling;
+  //  (b) a 1ns deadline fails DEADLINE_EXCEEDED;
+  //  (c) the same query unbudgeted then succeeds with the right answer —
+  //      the store memoizes exhaustion separately from results, so the
+  //      starved attempt never poisons the canonical entry;
+  //  (d) a query whose FULL result is already memoized is served even to a
+  //      strangled session: budgets bound work, not answers (the store
+  //      checks its canonical table before the budget).
+  serve::QueryServer budget_server(fixture);
+  std::unique_ptr<serve::Session> strangled = budget_server.OpenSession();
+  // Cold: this pattern shape appears nowhere else in the process, so the
+  // process-wide AutomatonStore has no memoized result to serve.
+  std::string cold_pattern = "(0|1)*1";
+  for (int i = 0; i < (smoke ? 8 : 11); ++i) cold_pattern += "(0|1)";
+  FormulaPtr cold_query = Q("R(x) & member(x, '" + cold_pattern + "')");
+  serve::SessionBudget tiny;
+  tiny.max_product_states = 2;
+  strangled->set_budget(tiny);
+  Result<Relation> starved = strangled->Query(cold_query);
+  const bool starved_ok =
+      !starved.ok() &&
+      starved.status().code() == StatusCode::kResourceExhausted;
+  serve::SessionBudget instant;
+  instant.timeout = std::chrono::nanoseconds(1);
+  strangled->set_budget(instant);
+  Result<Relation> expired = strangled->Query(cold_query);
+  const bool expired_ok =
+      !expired.ok() &&
+      expired.status().code() == StatusCode::kDeadlineExceeded;
+  strangled->set_budget(serve::SessionBudget{});
+  Result<Relation> unbudgeted = strangled->Query(cold_query);
+  AutomataEvaluator ground_truth(&fixture);
+  Result<Relation> want = ground_truth.Evaluate(cold_query);
+  const bool recovered = unbudgeted.ok() && want.ok() &&
+                         unbudgeted->tuples() == want->tuples();
+  // Warm: the first mix query's full result has been in the store since
+  // section 1; the strangled session still gets it.
+  strangled->set_budget(tiny);
+  Result<Relation> warm = strangled->Query(mix[0]);
+  const bool warm_served = warm.ok() && warm->tuples() == reference[0];
+  const bool isolation_ok =
+      starved_ok && expired_ok && recovered && warm_served;
+  Row(std::string("budget isolation: cold+tiny-state ") +
+      (starved_ok ? "rejected" : "NOT REJECTED") + ", 1ns deadline " +
+      (expired_ok ? "rejected" : "NOT REJECTED") + ", unbudgeted retry " +
+      (recovered ? "correct" : "WRONG") + ", warm memo under budget " +
+      (warm_served ? "served" : "NOT SERVED"));
+  reporter.AddScalar("serve.budget_isolation_ok", isolation_ok ? 1 : 0);
+  reporter.AddScalar(
+      "serve.budget_rejects",
+      static_cast<double>(budget_server.stats().budget_rejects));
+
+  // --- 6. Admission control -------------------------------------------
+  // One evaluation slot, no queue: concurrent slow compilations must
+  // produce fast-fail rejects. Racy, so retry rounds until observed.
+  int64_t admission_rejects = 0;
+  int admission_rounds = 0;
+  for (int round = 0; round < 50 && admission_rejects == 0; ++round) {
+    ++admission_rounds;
+    serve::ServerOptions strict;
+    strict.max_concurrent = 1;
+    strict.max_queued = 0;
+    serve::QueryServer gated(fixture, strict);
+    std::atomic<int> ready{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    for (int c = 0; c < 6; ++c) {
+      threads.emplace_back([&, c] {
+        std::unique_ptr<serve::Session> session = gated.OpenSession();
+        // Distinct patterns per client: no dedup, every request wants the
+        // single slot at once.
+        FormulaPtr f = Q("R(x) & member(x, '" +
+                         HardPattern((smoke ? 7 : 9) + (c % 3)) + "')");
+        ready.fetch_add(1);
+        while (!go.load()) std::this_thread::yield();
+        (void)session->Query(f);
+      });
+    }
+    while (ready.load() < 6) std::this_thread::yield();
+    go.store(true);
+    for (std::thread& t : threads) t.join();
+    admission_rejects = gated.stats().admission_rejects;
+  }
+  Row("admission control: " + std::to_string(admission_rejects) +
+      " fast-fail reject(s) in round " + std::to_string(admission_rounds));
+  reporter.AddScalar("serve.admission_rejects",
+                     static_cast<double>(admission_rejects));
+
+  const bool all_ok = answers_agree && mvcc_agree && isolation_ok &&
+                      dedup_hits > 0 && admission_rejects > 0;
+  Row(all_ok ? "SERVING GATES: all green"
+             : "SERVING GATES: FAILURES above");
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace strq
+
+int main(int argc, char** argv) { return strq::Run(argc, argv); }

@@ -19,18 +19,33 @@
 //   save <name> <path>          save a relation to a TSV file
 //   width                       active-domain width; width1 rewrites the db
 //   threads <n>                 parallelism for query/explain (1 = serial)
+//   budget <ms> [states] [tuples]  per-request deadline/state/tuple limits
+//   refresh                     re-pin the session at the current head
 //   stats                       memory gauges, cache stats, latency p50/p99
 //   flight [clear|export <path>]  dump/clear/export the flight recorder
 //   help / quit
 //
+// The shell is a thin client over the serving layer (src/serve): commands
+// run in a Session pinned to an MVCC snapshot of a QueryServer's versioned
+// database; mutations commit through the server and re-pin the session.
+//
 // Example session: ./build/examples/strq_shell < demo.strq
+//
+// With `--serve N` the shell becomes a miniature multi-session server:
+// stdin is read in full, runs of read-only commands are dispatched to N
+// concurrent worker sessions (each pinned to the same snapshot), and their
+// buffered outputs are printed in submission order — byte-identical to the
+// serial transcript, demonstrating snapshot isolation and in-flight dedup.
 
+#include <atomic>
+#include <cstdarg>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "automata/regex_from_dfa.h"
@@ -46,6 +61,7 @@
 #include "relational/width.h"
 #include "safety/query_safety.h"
 #include "safety/safe_translation.h"
+#include "serve/server.h"
 
 namespace {
 
@@ -53,33 +69,127 @@ using namespace strq;
 
 class Shell {
  public:
-  Shell()
-      : db_(Alphabet::Binary()),
-        cache_(std::make_shared<AtomCache>(db_.alphabet())),
-        planner_(std::make_shared<plan::Planner>()) {}
+  explicit Shell(int serve_workers = 0)
+      : serve_workers_(serve_workers),
+        server_(std::make_unique<serve::QueryServer>(Alphabet::Binary())),
+        session_(server_->OpenSession()) {}
 
   void Run() {
+    if (serve_workers_ > 0) {
+      RunServe();
+      return;
+    }
     std::string line;
     while (std::getline(std::cin, line)) {
-      if (!Dispatch(line)) break;
+      std::string out;
+      bool keep_going = Dispatch(line, &out, session_.get());
+      std::fputs(out.c_str(), stdout);
+      if (!keep_going) break;
     }
   }
 
  private:
+  // All command output funnels through a per-command buffer so `--serve`
+  // workers can run concurrently and still print in submission order.
+  static void Printf(std::string* out, const char* fmt, ...) {
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    if (n < 0) {
+      va_end(ap2);
+      return;
+    }
+    size_t old = out->size();
+    out->resize(old + static_cast<size_t>(n) + 1);
+    std::vsnprintf(&(*out)[old], static_cast<size_t>(n) + 1, fmt, ap2);
+    va_end(ap2);
+    out->resize(old + static_cast<size_t>(n));
+  }
+
   static std::string Unescape(const std::string& word) {
     return word == "''" ? "" : word;
   }
 
-  FormulaPtr Parse(const std::string& text) {
+  // Read-only commands that `--serve` mode may fan out to worker sessions.
+  // Everything else (mutations, tracing, session control) is a barrier.
+  static bool Parallelizable(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd) || cmd[0] == '#') return true;
+    return cmd == "query" || cmd == "ask" || cmd == "safe" ||
+           cmd == "cqsafe" || cmd == "describe" || cmd == "lang" ||
+           cmd == "simplify";
+  }
+
+  void RunServe() {
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(std::cin, line)) lines.push_back(line);
+    size_t i = 0;
+    while (i < lines.size()) {
+      if (!Parallelizable(lines[i])) {
+        std::string out;
+        bool keep_going = Dispatch(lines[i], &out, session_.get());
+        std::fputs(out.c_str(), stdout);
+        if (!keep_going) return;
+        ++i;
+        continue;
+      }
+      size_t j = i;
+      while (j < lines.size() && Parallelizable(lines[j])) ++j;
+      size_t n = j - i;
+      // Sessions open at the batch boundary, so the whole batch reads one
+      // snapshot no matter what an earlier barrier committed (and a fresh
+      // `alphabet` barrier means a fresh server to open them against).
+      std::vector<std::unique_ptr<serve::Session>> pool;
+      for (int w = 0; w < serve_workers_; ++w) {
+        pool.push_back(server_->OpenSession());
+        pool.back()->set_budget(budget_);
+      }
+      std::vector<std::string> outs(n);
+      std::atomic<size_t> next{0};
+      std::vector<std::thread> threads;
+      threads.reserve(pool.size());
+      for (auto& session : pool) {
+        threads.emplace_back([&, worker = session.get()] {
+          size_t k;
+          while ((k = next.fetch_add(1)) < n) {
+            Dispatch(lines[i + k], &outs[k], worker);
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+      for (const std::string& buffered : outs) {
+        std::fputs(buffered.c_str(), stdout);
+      }
+      i = j;
+    }
+  }
+
+  FormulaPtr Parse(const std::string& text, std::string* out) {
     Result<FormulaPtr> f = ParseFormula(text);
     if (!f.ok()) {
-      std::printf("  parse error: %s\n", f.status().ToString().c_str());
+      Printf(out, "  parse error: %s\n", f.status().ToString().c_str());
       return nullptr;
     }
     return *std::move(f);
   }
 
-  bool Dispatch(const std::string& line) {
+  // Commits one mutation through the server and re-pins the main session so
+  // the next command reads its own write. Dead snapshots' cache entries are
+  // reclaimed opportunistically on every commit.
+  Status Commit(const std::function<Status(Database&)>& mutate) {
+    Status s = server_->versioned_db().Update(mutate);
+    session_->Refresh();
+    server_->ReclaimDeadSnapshots();
+    return s;
+  }
+
+  bool Dispatch(const std::string& line, std::string* out,
+                serve::Session* session) {
     std::istringstream in(line);
     std::string cmd;
     if (!(in >> cmd) || cmd[0] == '#') return true;
@@ -92,40 +202,89 @@ class Shell {
 
     if (cmd == "quit" || cmd == "exit") return false;
     if (cmd == "help") {
-      std::printf(
-          "  commands: alphabet rel add load save show query explain ask "
-          "safe cqsafe lang simplify plan describe width threads stats "
-          "flight help quit\n");
-      std::printf(
-          "  explain (or \\explain) <formula>: compile with tracing on and "
-          "print the chosen plan\n"
-          "  (cost estimates per node), the span tree, automaton sizes and "
-          "metric counters\n"
-          "  (docs/OBSERVABILITY.md); repeated explains show plan-cache "
-          "hits\n");
-      std::printf(
-          "  threads <n>: compile independent subplans on n threads "
-          "(explain then shows @tN worker spans)\n"
-          "  stats: retained bytes per structure, cache hit rates, latency "
-          "histograms\n"
-          "  flight: dump recent spans; flight clear; flight export "
-          "<path> writes Chrome trace JSON for Perfetto\n");
+      Printf(out,
+             "  commands: alphabet rel add load save show query explain ask "
+             "safe cqsafe lang simplify plan describe width threads budget "
+             "refresh stats flight help quit\n");
+      Printf(out,
+             "  explain (or \\explain) <formula>: compile with tracing on "
+             "and print the chosen plan\n"
+             "  (cost estimates per node), the span tree, automaton sizes "
+             "and metric counters\n"
+             "  (docs/OBSERVABILITY.md); repeated explains show plan-cache "
+             "hits\n");
+      Printf(out,
+             "  threads <n>: compile independent subplans on n threads "
+             "(explain then shows @tN worker spans)\n"
+             "  budget <ms> [states] [tuples]: per-request deadline, product"
+             "-state and answer-tuple caps (budget off clears)\n"
+             "  refresh: re-pin this session at the newest committed "
+             "revision (docs/SERVING.md)\n"
+             "  stats: retained bytes per structure, cache hit rates, "
+             "latency histograms\n"
+             "  flight: dump recent spans; flight clear; flight export "
+             "<path> writes Chrome trace JSON for Perfetto\n");
       return true;
     }
     if (cmd == "threads") {
       std::istringstream args(rest);
       int n = 0;
       if (!(args >> n) || n < 0) {
-        std::printf("  usage: threads <n>  (0 = hardware, 1 = serial)\n");
+        Printf(out, "  usage: threads <n>  (0 = hardware, 1 = serial)\n");
         return true;
       }
       parallel_ = ParallelOptions{n};
-      std::printf("  parallelism: %d effective thread(s)\n",
-                  parallel_.EffectiveThreads());
+      session_->set_parallel_options(parallel_);
+      Printf(out, "  parallelism: %d effective thread(s)\n",
+             parallel_.EffectiveThreads());
+      return true;
+    }
+    if (cmd == "budget") {
+      std::istringstream args(rest);
+      std::string first;
+      args >> first;
+      if (first == "off" || first.empty()) {
+        budget_ = serve::SessionBudget{};
+        session_->set_budget(budget_);
+        Printf(out, "  budget cleared\n");
+        return true;
+      }
+      long long ms = -1;
+      try {
+        ms = std::stoll(first);
+      } catch (...) {
+      }
+      if (ms < 0) {
+        Printf(out, "  usage: budget <timeout_ms> [max_product_states] "
+                    "[max_tuples] | budget off\n");
+        return true;
+      }
+      serve::SessionBudget budget;
+      budget.timeout = std::chrono::milliseconds(ms);
+      long long states = 0;
+      long long tuples = 0;
+      if (args >> states && states > 0) {
+        budget.max_product_states = static_cast<int>(states);
+      }
+      if (args >> tuples && tuples > 0) {
+        budget.max_answer_tuples = static_cast<size_t>(tuples);
+      }
+      budget_ = budget;
+      session_->set_budget(budget_);
+      Printf(out, "  budget: timeout=%lldms max_product_states=%lld "
+                  "max_tuples=%lld (0 = engine default)\n",
+             ms, states, tuples);
+      return true;
+    }
+    if (cmd == "refresh") {
+      session_->Refresh();
+      server_->ReclaimDeadSnapshots();
+      Printf(out, "  pinned at revision %lld\n",
+             static_cast<long long>(session_->revision()));
       return true;
     }
     if (cmd == "stats") {
-      PrintStats();
+      PrintStats(out);
       return true;
     }
     if (cmd == "flight") {
@@ -135,55 +294,55 @@ class Shell {
       obs::FlightRecorder& flight = obs::FlightRecorder::Global();
       if (sub == "clear") {
         flight.Clear();
-        std::printf("  flight recorder cleared\n");
+        Printf(out, "  flight recorder cleared\n");
       } else if (sub == "export") {
         std::string path;
         if (!(args >> path)) {
-          std::printf("  usage: flight export <path>\n");
+          Printf(out, "  usage: flight export <path>\n");
           return true;
         }
         std::vector<obs::SpanRecord> spans = flight.Snapshot();
-        std::ofstream out(path);
-        if (!out) {
-          std::printf("  cannot write %s\n", path.c_str());
+        std::ofstream file(path);
+        if (!file) {
+          Printf(out, "  cannot write %s\n", path.c_str());
           return true;
         }
-        out << obs::ChromeTrace(spans).Dump(2) << "\n";
-        std::printf(
-            "  %zu span(s) exported to %s (load in ui.perfetto.dev or "
-            "chrome://tracing)\n",
-            spans.size(), path.c_str());
+        file << obs::ChromeTrace(spans).Dump(2) << "\n";
+        Printf(out,
+               "  %zu span(s) exported to %s (load in ui.perfetto.dev or "
+               "chrome://tracing)\n",
+               spans.size(), path.c_str());
       } else if (sub.empty()) {
         std::vector<obs::SpanRecord> spans = flight.Snapshot();
         if (spans.empty()) {
-          std::printf(
-              "  flight recorder empty (spans land here while tracing is "
-              "on — run explain, or STRQ_OBS=1)\n");
+          Printf(out,
+                 "  flight recorder empty (spans land here while tracing is "
+                 "on — run explain, or STRQ_OBS=1)\n");
         } else {
-          std::printf("%s", obs::PrettyFlight(spans).c_str());
-          std::printf("  %zu span(s) retained, %llu recorded in total\n",
-                      spans.size(),
-                      static_cast<unsigned long long>(
-                          flight.total_recorded()));
+          Printf(out, "%s", obs::PrettyFlight(spans).c_str());
+          Printf(out, "  %zu span(s) retained, %llu recorded in total\n",
+                 spans.size(),
+                 static_cast<unsigned long long>(flight.total_recorded()));
         }
       } else {
-        std::printf("  usage: flight [clear|export <path>]\n");
+        Printf(out, "  usage: flight [clear|export <path>]\n");
       }
       return true;
     }
     if (cmd == "alphabet") {
       Result<Alphabet> a = Alphabet::Create(rest);
       if (!a.ok()) {
-        std::printf("  %s\n", a.status().ToString().c_str());
+        Printf(out, "  %s\n", a.status().ToString().c_str());
         return true;
       }
-      db_ = Database(*a);
-      // Atoms are alphabet-specific; start a fresh cache for the new Σ.
-      // Plan-cost estimates peeked at the old cache, so the planner restarts
-      // too (its plan cache is keyed on the database revision anyway).
-      cache_ = std::make_shared<AtomCache>(db_.alphabet());
-      planner_ = std::make_shared<plan::Planner>();
-      std::printf("  Σ = \"%s\" (database reset)\n", rest.c_str());
+      // Atoms are alphabet-specific; a new Σ means a new server (fresh
+      // AtomCache, fresh planner, empty versioned database) and a fresh
+      // session pinned to it.
+      server_ = std::make_unique<serve::QueryServer>(*a);
+      session_ = server_->OpenSession();
+      session_->set_parallel_options(parallel_);
+      session_->set_budget(budget_);
+      Printf(out, "  Σ = \"%s\" (database reset)\n", rest.c_str());
       return true;
     }
     if (cmd == "rel") {
@@ -191,20 +350,22 @@ class Shell {
       std::string name;
       int arity;
       if (!(args >> name >> arity)) {
-        std::printf("  usage: rel <name> <arity>\n");
+        Printf(out, "  usage: rel <name> <arity>\n");
         return true;
       }
-      Status s = db_.AddRelation(name, Relation::Empty(arity));
-      std::printf("  %s\n", s.ok() ? "ok" : s.ToString().c_str());
+      Status s = Commit([&](Database& db) {
+        return db.AddRelation(name, Relation::Empty(arity));
+      });
+      Printf(out, "  %s\n", s.ok() ? "ok" : s.ToString().c_str());
       return true;
     }
     if (cmd == "add") {
       std::istringstream args(rest);
       std::string name;
       args >> name;
-      const Relation* rel = db_.Find(name);
+      const Relation* rel = session_->snapshot().db().Find(name);
       if (rel == nullptr) {
-        std::printf("  unknown relation %s\n", name.c_str());
+        Printf(out, "  unknown relation %s\n", name.c_str());
         return true;
       }
       Tuple t;
@@ -212,20 +373,24 @@ class Shell {
       while (args >> w) t.push_back(Unescape(w));
       std::vector<Tuple> tuples = rel->tuples();
       tuples.push_back(std::move(t));
-      Status s = db_.AddRelation(name, rel->arity(), std::move(tuples));
-      std::printf("  %s\n", s.ok() ? "ok" : s.ToString().c_str());
+      int arity = rel->arity();
+      Status s = Commit([&](Database& db) {
+        return db.AddRelation(name, arity, std::move(tuples));
+      });
+      Printf(out, "  %s\n", s.ok() ? "ok" : s.ToString().c_str());
       return true;
     }
     if (cmd == "show") {
-      for (const auto& [name, rel] : db_.relations()) {
-        std::printf("  %s/%d: %zu tuples\n", name.c_str(), rel.arity(),
-                    rel.size());
+      const Database& db = session_->snapshot().db();
+      for (const auto& [name, rel] : db.relations()) {
+        Printf(out, "  %s/%d: %zu tuples\n", name.c_str(), rel.arity(),
+               rel.size());
       }
-      std::printf("  adom:");
-      for (const std::string& s : db_.ActiveDomain()) {
-        std::printf(" '%s'", s.c_str());
+      Printf(out, "  adom:");
+      for (const std::string& s : db.ActiveDomain()) {
+        Printf(out, " '%s'", s.c_str());
       }
-      std::printf("\n");
+      Printf(out, "\n");
       return true;
     }
     if (cmd == "load" || cmd == "save") {
@@ -233,23 +398,30 @@ class Shell {
       std::string name;
       std::string path;
       if (!(args >> name >> path)) {
-        std::printf("  usage: %s <name> <path>\n", cmd.c_str());
+        Printf(out, "  usage: %s <name> <path>\n", cmd.c_str());
         return true;
       }
-      Status s = cmd == "load" ? LoadTsvRelation(db_, name, path)
-                               : SaveTsvRelation(db_, name, path);
-      std::printf("  %s\n", s.ok() ? "ok" : s.ToString().c_str());
+      Status s = cmd == "load"
+                     ? Commit([&](Database& db) {
+                         return LoadTsvRelation(db, name, path);
+                       })
+                     : SaveTsvRelation(session_->snapshot().db(), name, path);
+      Printf(out, "  %s\n", s.ok() ? "ok" : s.ToString().c_str());
       return true;
     }
     if (cmd == "width") {
-      std::printf("  width(adom) = %d\n", AdomWidth(db_));
-      Result<WidthOneResult> w1 = MakeWidthOne(db_);
+      Printf(out, "  width(adom) = %d\n",
+             AdomWidth(session_->snapshot().db()));
+      Result<WidthOneResult> w1 = MakeWidthOne(session_->snapshot().db());
       if (w1.ok()) {
-        db_ = std::move(w1->database);
-        std::printf("  rewritten to width-1 (chain of 0^i)\n");
+        Commit([&](Database& db) {
+          db = std::move(w1->database);
+          return Status::Ok();
+        });
+        Printf(out, "  rewritten to width-1 (chain of 0^i)\n");
       } else {
-        std::printf("  width-1 rewrite: %s\n",
-                    w1.status().ToString().c_str());
+        Printf(out, "  width-1 rewrite: %s\n",
+               w1.status().ToString().c_str());
       }
       return true;
     }
@@ -270,179 +442,206 @@ class Shell {
       }
     }
 
-    FormulaPtr f = Parse(rest);
+    FormulaPtr f = Parse(rest, out);
     if (f == nullptr) return true;
-    // Every command shares one AtomCache (and its AutomatonStore), so atoms,
-    // patterns and table tries compiled by one query warm all later ones.
-    // The shared planner does the same for plans: re-issued queries skip the
-    // rewrite pipeline via the plan cache.
-    AutomataEvaluator engine(&db_, cache_, planner_);
-    engine.set_parallel_options(parallel_);
+    // Every command reads this session's pinned snapshot; all sessions share
+    // the server's AtomCache (and its AutomatonStore) and planner, so atoms,
+    // patterns, table tries and plans compiled by one query warm all later
+    // ones — across sessions.
+    const Database& db = session->snapshot().db();
 
     if (cmd == "describe") {
       // Works for safe AND unsafe unary queries: the answer set as a regex.
-      Result<TrackAutomaton> rel = engine.Compile(f);
+      Result<TrackAutomaton> rel = session->Compile(f);
       if (!rel.ok()) {
-        std::printf("  %s\n", rel.status().ToString().c_str());
+        Printf(out, "  %s\n", rel.status().ToString().c_str());
         return true;
       }
       Result<Dfa> lang = rel->UnaryLanguage();
       if (!lang.ok()) {
-        std::printf("  %s\n", lang.status().ToString().c_str());
+        Printf(out, "  %s\n", lang.status().ToString().c_str());
         return true;
       }
-      Result<std::string> described = DescribeLanguage(*lang, db_.alphabet());
+      Result<std::string> described = DescribeLanguage(*lang, db.alphabet());
       if (!described.ok()) {
-        std::printf("  %s\n", described.status().ToString().c_str());
+        Printf(out, "  %s\n", described.status().ToString().c_str());
         return true;
       }
-      std::printf("  answers = %s  (%s)\n", described->c_str(),
-                  rel->IsFinite() ? "finite" : "infinite");
+      Printf(out, "  answers = %s  (%s)\n", described->c_str(),
+             rel->IsFinite() ? "finite" : "infinite");
       return true;
     }
     if (cmd == "query") {
-      Result<Relation> out = engine.Evaluate(f);
-      if (!out.ok()) {
-        std::printf("  %s\n", out.status().ToString().c_str());
+      Result<Relation> result = session->Query(f);
+      if (!result.ok()) {
+        Printf(out, "  %s\n", result.status().ToString().c_str());
         return true;
       }
-      std::printf("  %zu tuple(s) over (", out->size());
+      Printf(out, "  %zu tuple(s) over (", result->size());
       std::vector<std::string> cols = AutomataEvaluator::FreeVarOrder(f);
       for (size_t i = 0; i < cols.size(); ++i) {
-        std::printf("%s%s", i ? ", " : "", cols[i].c_str());
+        Printf(out, "%s%s", i ? ", " : "", cols[i].c_str());
       }
-      std::printf(")\n");
-      for (const Tuple& t : out->tuples()) {
-        std::printf("   ");
-        for (const std::string& v : t) std::printf(" '%s'", v.c_str());
-        std::printf("\n");
+      Printf(out, ")\n");
+      for (const Tuple& t : result->tuples()) {
+        Printf(out, "   ");
+        for (const std::string& v : t) Printf(out, " '%s'", v.c_str());
+        Printf(out, "\n");
       }
     } else if (cmd == "explain") {
-      Result<ExplainAnalyzeResult> out = ExplainAnalyze(
-          &db_, f, /*max_tuples=*/1000000, cache_, planner_, parallel_);
-      if (!out.ok()) {
-        std::printf("  %s\n", out.status().ToString().c_str());
+      Result<ExplainAnalyzeResult> result =
+          ExplainAnalyze(&db, f, /*max_tuples=*/1000000,
+                         server_->atom_cache(), server_->planner(), parallel_);
+      if (!result.ok()) {
+        Printf(out, "  %s\n", result.status().ToString().c_str());
         return true;
       }
-      std::printf("%s", out->Pretty().c_str());
+      Printf(out, "%s", result->Pretty().c_str());
     } else if (cmd == "ask") {
-      Result<bool> v = engine.EvaluateSentence(f);
-      std::printf("  %s\n", v.ok() ? (*v ? "true" : "false")
+      Result<bool> v = session->QuerySentence(f);
+      Printf(out, "  %s\n", v.ok() ? (*v ? "true" : "false")
                                    : v.status().ToString().c_str());
     } else if (cmd == "safe") {
-      Result<bool> v = StateSafe(f, db_, cache_);
-      std::printf("  %s\n",
-                  v.ok() ? (*v ? "safe on this database"
-                               : "UNSAFE on this database (infinite output)")
-                         : v.status().ToString().c_str());
+      Result<bool> v = StateSafe(f, db, server_->atom_cache());
+      Printf(out, "  %s\n",
+             v.ok() ? (*v ? "safe on this database"
+                          : "UNSAFE on this database (infinite output)")
+                    : v.status().ToString().c_str());
     } else if (cmd == "cqsafe") {
-      Result<bool> v = QuerySafe(f, db_.alphabet(), cache_);
-      std::printf("  %s\n", v.ok() ? (*v ? "safe on every database"
+      Result<bool> v = QuerySafe(f, db.alphabet(), server_->atom_cache());
+      Printf(out, "  %s\n", v.ok() ? (*v ? "safe on every database"
                                          : "unsafe on some database")
                                    : v.status().ToString().c_str());
     } else if (cmd == "lang") {
-      Result<StructureId> s = MinimalStructure(f, db_.alphabet());
-      std::printf("  RC(%s)\n", s.ok() ? StructureName(*s)
+      Result<StructureId> s = MinimalStructure(f, db.alphabet());
+      Printf(out, "  RC(%s)\n", s.ok() ? StructureName(*s)
                                        : s.status().ToString().c_str());
     } else if (cmd == "simplify") {
-      std::printf("  %s\n", ToString(Simplify(f)).c_str());
+      Printf(out, "  %s\n", ToString(Simplify(f)).c_str());
     } else if (cmd == "plan") {
       int reach = plan_reach;
-      Result<StructureId> s = MinimalStructure(f, db_.alphabet());
+      Result<StructureId> s = MinimalStructure(f, db.alphabet());
       if (!s.ok()) {
-        std::printf("  %s\n", s.status().ToString().c_str());
+        Printf(out, "  %s\n", s.status().ToString().c_str());
         return true;
       }
       std::map<std::string, int> schema;
-      for (const auto& [name, rel] : db_.relations()) {
+      for (const auto& [name, rel] : db.relations()) {
         schema[name] = rel.arity();
       }
       Result<RaPtr> plan =
-          TranslateToAlgebra(f, *s, schema, db_.alphabet(), reach);
+          TranslateToAlgebra(f, *s, schema, db.alphabet(), reach);
       if (!plan.ok()) {
-        std::printf("  %s\n", plan.status().ToString().c_str());
+        Printf(out, "  %s\n", plan.status().ToString().c_str());
         return true;
       }
-      AlgebraEvaluator algebra(&db_, AlgebraEvaluator::Options(), cache_);
-      algebra.set_planner(planner_);
-      Result<Relation> out = algebra.Evaluate(*plan);
-      std::printf("  RA(%s) plan, reach %d: %s (%zu tuples)\n",
-                  StructureName(*s), reach,
-                  out.ok() ? "evaluated" : out.status().ToString().c_str(),
-                  out.ok() ? out->size() : 0);
+      AlgebraEvaluator algebra(&db, AlgebraEvaluator::Options(),
+                               server_->atom_cache());
+      algebra.set_planner(server_->planner());
+      Result<Relation> result = algebra.Evaluate(*plan);
+      Printf(out, "  RA(%s) plan, reach %d: %s (%zu tuples)\n",
+             StructureName(*s), reach,
+             result.ok() ? "evaluated" : result.status().ToString().c_str(),
+             result.ok() ? result->size() : 0);
     } else {
-      std::printf("  unknown command '%s' (try help)\n", cmd.c_str());
+      Printf(out, "  unknown command '%s' (try help)\n", cmd.c_str());
     }
     return true;
   }
 
-  void PrintStats() {
+  void PrintStats(std::string* out) {
+    const std::shared_ptr<AtomCache>& cache = server_->atom_cache();
     // Retained bytes: the process-wide gauges first (they cover every store
     // and cache in the process), then the shared structures' own stats.
-    std::printf("  memory (process-wide gauges):\n");
+    Printf(out, "  memory (process-wide gauges):\n");
     for (const auto& [name, bytes] : obs::MemSnapshot()) {
-      std::printf("    %-24s %lld bytes\n", name.c_str(),
-                  static_cast<long long>(bytes));
+      Printf(out, "    %-24s %lld bytes\n", name.c_str(),
+             static_cast<long long>(bytes));
     }
-    const AutomatonStore::Stats store = cache_->store().stats();
-    std::printf(
-        "  store: %zu unique / %zu computed entries, "
-        "%lld/%lld unique hits, %lld/%lld op hits, %lld bytes\n",
-        cache_->store().unique_size(), cache_->store().computed_size(),
-        static_cast<long long>(store.unique_hits),
-        static_cast<long long>(store.unique_hits + store.unique_misses),
-        static_cast<long long>(store.op_hits),
-        static_cast<long long>(store.op_hits + store.op_misses),
-        static_cast<long long>(store.bytes));
-    const AtomCache::Stats atoms = cache_->stats();
-    std::printf(
-        "  atom cache: %zu entries, %lld/%lld atom hits, %lld/%lld pattern "
-        "hits, %lld bytes\n",
-        cache_->size(), static_cast<long long>(atoms.hits),
-        static_cast<long long>(atoms.hits + atoms.misses),
-        static_cast<long long>(atoms.pattern_hits),
-        static_cast<long long>(atoms.pattern_hits + atoms.pattern_misses),
-        static_cast<long long>(atoms.bytes));
-    const plan::Planner::Stats plans = planner_->stats();
-    std::printf(
-        "  plan cache: %lld/%lld hits, %lld rules fired, %lld bytes\n",
-        static_cast<long long>(plans.cache_hits),
-        static_cast<long long>(plans.cache_hits + plans.cache_misses),
-        static_cast<long long>(plans.rules_fired),
-        static_cast<long long>(plans.bytes));
+    const AutomatonStore::Stats store = cache->store().stats();
+    Printf(out,
+           "  store: %zu unique / %zu computed entries, "
+           "%lld/%lld unique hits, %lld/%lld op hits, %lld bytes\n",
+           cache->store().unique_size(), cache->store().computed_size(),
+           static_cast<long long>(store.unique_hits),
+           static_cast<long long>(store.unique_hits + store.unique_misses),
+           static_cast<long long>(store.op_hits),
+           static_cast<long long>(store.op_hits + store.op_misses),
+           static_cast<long long>(store.bytes));
+    const AtomCache::Stats atoms = cache->stats();
+    Printf(out,
+           "  atom cache: %zu entries, %lld/%lld atom hits, %lld/%lld "
+           "pattern hits, %lld bytes\n",
+           cache->size(), static_cast<long long>(atoms.hits),
+           static_cast<long long>(atoms.hits + atoms.misses),
+           static_cast<long long>(atoms.pattern_hits),
+           static_cast<long long>(atoms.pattern_hits + atoms.pattern_misses),
+           static_cast<long long>(atoms.bytes));
+    const plan::Planner::Stats plans = server_->planner()->stats();
+    Printf(out,
+           "  plan cache: %lld/%lld hits, %lld rules fired, %lld bytes\n",
+           static_cast<long long>(plans.cache_hits),
+           static_cast<long long>(plans.cache_hits + plans.cache_misses),
+           static_cast<long long>(plans.rules_fired),
+           static_cast<long long>(plans.bytes));
+    const serve::QueryServer::Stats serving = server_->stats();
+    Printf(out,
+           "  serving: %lld session(s), %lld request(s), %lld dedup hit(s), "
+           "%lld admission reject(s), %lld budget reject(s), revision %lld\n",
+           static_cast<long long>(serving.sessions),
+           static_cast<long long>(serving.requests),
+           static_cast<long long>(serving.inflight_dedup_hits),
+           static_cast<long long>(serving.admission_rejects),
+           static_cast<long long>(serving.budget_rejects),
+           static_cast<long long>(session_->revision()));
     std::map<std::string, obs::Histogram::Snapshot> hists =
         obs::MetricsRegistry::Global().HistSnapshot();
     if (hists.empty()) {
-      std::printf(
-          "  latency: no samples yet (histograms fill while tracing is "
-          "on — run explain, or STRQ_OBS=1)\n");
+      Printf(out,
+             "  latency: no samples yet (histograms fill while tracing is "
+             "on — run explain, or STRQ_OBS=1)\n");
     } else {
-      std::printf("  latency:\n");
+      Printf(out, "  latency:\n");
       for (const auto& [name, h] : hists) {
-        std::printf(
-            "    %-24s n=%-6lld p50=%.0fns p90=%.0fns p99=%.0fns "
-            "max=%lldns\n",
-            name.c_str(), static_cast<long long>(h.count), h.p50, h.p90,
-            h.p99, static_cast<long long>(h.max));
+        Printf(out,
+               "    %-24s n=%-6lld p50=%.0fns p90=%.0fns p99=%.0fns "
+               "max=%lldns\n",
+               name.c_str(), static_cast<long long>(h.count), h.p50, h.p90,
+               h.p99, static_cast<long long>(h.max));
       }
     }
     obs::FlightRecorder& flight = obs::FlightRecorder::Global();
-    std::printf("  flight: %zu/%zu span(s) retained, %llu recorded, %s\n",
-                flight.size(), flight.capacity(),
-                static_cast<unsigned long long>(flight.total_recorded()),
-                flight.armed() ? "armed" : "disarmed");
+    Printf(out, "  flight: %zu/%zu span(s) retained, %llu recorded, %s\n",
+           flight.size(), flight.capacity(),
+           static_cast<unsigned long long>(flight.total_recorded()),
+           flight.armed() ? "armed" : "disarmed");
   }
 
-  Database db_;
-  std::shared_ptr<AtomCache> cache_;
-  std::shared_ptr<plan::Planner> planner_;
+  int serve_workers_;
+  std::unique_ptr<serve::QueryServer> server_;
+  std::unique_ptr<serve::Session> session_;
   ParallelOptions parallel_{1};
+  serve::SessionBudget budget_;
 };
 
 }  // namespace
 
-int main() {
-  Shell shell;
+int main(int argc, char** argv) {
+  int serve_workers = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--serve" && i + 1 < argc) {
+      serve_workers = std::atoi(argv[++i]);
+      if (serve_workers < 1) {
+        std::fprintf(stderr, "usage: strq_shell [--serve <workers>]\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "usage: strq_shell [--serve <workers>]\n");
+      return 2;
+    }
+  }
+  Shell shell(serve_workers);
   shell.Run();
   return 0;
 }

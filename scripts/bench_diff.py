@@ -3,12 +3,24 @@
 
 Usage: bench_diff.py BASELINE.json CANDIDATE.json
 
-Exits 0 when every scalar in the candidate stays inside its band relative to
-the baseline, 1 otherwise. Bands are keyed on scalar-name patterns, widest
-match last:
+Exit status:
 
-  *answers_agree / *store_ids_agree  exact match (semantic gates: the kernel
-                                     switches must never change answers)
+  0  every baseline scalar is present in the candidate and inside its band
+  1  at least one scalar drifted out of its tolerance band
+  2  usage / unreadable input
+  3  at least one BASELINE SCALAR IS MISSING from the candidate — a counter
+     namespace silently fell out of the report (an instrumentation or
+     plumbing regression, not perf drift; refreshing the baseline would
+     hide it, so this is distinct from exit 1)
+
+When both problems occur, the missing-scalar status (3) wins: absent data is
+a worse failure than drifting data.
+
+Bands are keyed on scalar-name patterns, widest match last:
+
+  *_agree / *_ok                     exact match (semantic gates: kernel or
+                                     serving-layer switches must never
+                                     change answers)
   *_hit_rate                         +/-0.15 absolute (cache warmth shifts
                                      with workload tweaks, never collapses)
   *_reduction                        35% relative (ratios of two drifting
@@ -17,16 +29,14 @@ match last:
                                      table layouts drift with the workload)
   (default)                          25% relative
 
-A scalar present in the baseline but missing from the candidate FAILS — that
-is how a counter namespace silently falling out of the report looks. Scalars
-only in the candidate are listed but pass (new instrumentation is fine; the
-baseline refresh picks them up).
+Scalars only in the candidate are listed but pass (new instrumentation is
+fine; the baseline refresh picks them up).
 """
 
 import json
 import sys
 
-EXACT_SUFFIXES = ("answers_agree", "store_ids_agree")
+EXACT_SUFFIXES = ("_agree", "_ok")
 ABS_RATE_TOL = 0.15
 
 
@@ -66,10 +76,12 @@ def main(argv):
     base = base_doc.get("scalars", {})
     cand = cand_doc.get("scalars", {})
     failures = []
+    missing = []
     for key in sorted(base):
         kind, tol = band(key)
         if key not in cand:
-            failures.append(f"{key}: missing from candidate (was {base[key]})")
+            missing.append(f"{key}: in baseline (= {base[key]}) but absent "
+                           "from the fresh run")
             continue
         b, c = base[key], cand[key]
         if not isinstance(c, (int, float)) or isinstance(c, bool):
@@ -89,6 +101,21 @@ def main(argv):
         print(f"bench_diff: {len(new_keys)} new scalar(s) not in baseline: "
               + ", ".join(new_keys))
     checked = len(base)
+    if missing:
+        print(f"bench_diff: {len(missing)}/{checked} BASELINE SCALAR(S) "
+              "MISSING from the fresh run:")
+        for line in missing:
+            print(f"  {line}")
+        print("bench_diff: a scalar the baseline tracks was not emitted at "
+              "all — this is an instrumentation/plumbing regression (a "
+              "counter namespace fell out of the bench JSON), not perf "
+              "drift. Fix the reporting before refreshing the baseline.")
+        if failures:
+            print(f"bench_diff: additionally {len(failures)} scalar(s) out "
+                  "of band:")
+            for line in failures:
+                print(f"  {line}")
+        return 3
     if failures:
         print(f"bench_diff: {len(failures)}/{checked} scalar(s) out of band:")
         for line in failures:

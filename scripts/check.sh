@@ -2,13 +2,16 @@
 # Full local gate: tier-1 (RelWithDebInfo build + ctest) followed by the
 # same suite under ASan (`cmake --preset asan`), standalone UBSan
 # (`cmake --preset ubsan`) and TSan (`cmake --preset tsan`, for the thread
-# pool and the parallel compile/eval paths), then a smoke run of the two
-# substrate benches so the strq.bench.v1 JSON contract and the store.* /
-# plan.* / pool.* / dfa.product_states_* / dfa.classes_* /
-# dfa.table_bytes_* counters stay exercised, and finally a BENCH.json
-# drift gate (scripts/bench_diff.py, per-scalar tolerance bands against the
-# committed baseline) followed by a baseline refresh. Run from anywhere;
-# exits nonzero on the first failure.
+# pool and the parallel compile/eval paths), a tier-2d TSan run of the
+# serving bench (concurrent sessions, MVCC snapshots, single-flight,
+# admission), then a smoke run of the substrate/ablation/serving benches so
+# the strq.bench.v1 JSON contract and the store.* / plan.* / pool.* /
+# dfa.product_states_* / dfa.classes_* / dfa.table_bytes_* / serve.*
+# counters stay exercised, and finally a BENCH.json drift gate
+# (scripts/bench_diff.py, per-scalar tolerance bands against the committed
+# baseline; exit 3 = a baseline scalar vanished from the fresh run)
+# followed by a baseline refresh. Run from anywhere; exits nonzero on the
+# first failure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,11 +37,50 @@ cmake --preset tsan
 cmake --build --preset tsan -j"${JOBS}"
 ctest --preset tsan -j"${JOBS}"
 
-echo "==== bench smoke: substrate + ablation JSON ===="
+echo "==== tier-2d: TSan serving gate (bench_serving --smoke) ===="
+# The serving bench is the densest cross-thread workout in the tree
+# (concurrent sessions over MVCC snapshots, striped store, atom-cache
+# single-flight, admission queue, writer/reader churn); its smoke run under
+# TSan is the race gate for the whole serving stack. The bench exits
+# nonzero itself if any serving invariant (answers_agree, mvcc_agree,
+# budget_isolation_ok, dedup, admission) fails.
+./build-tsan/bench/bench_serving --smoke
+
+echo "==== bench smoke: substrate + ablation + serving JSON ===="
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "${tmpdir}"' EXIT
 ./build/bench/bench_substrate --smoke --json="${tmpdir}/BENCH_SUB.json"
 ./build/bench/bench_ablation --smoke --json="${tmpdir}/BENCH_AB.json"
+./build/bench/bench_serving --smoke --json="${tmpdir}/BENCH_SRV.json"
+python3 - "${tmpdir}/BENCH_SRV.json" <<'EOF'
+import json, sys
+path = sys.argv[1]
+doc = json.load(open(path))
+assert doc["schema"] == "strq.bench.v1", path
+scalars = doc["scalars"]
+# The serving counters must reach the JSON: sessions/requests prove the
+# serve.* namespace is wired, dedup/admission prove the concurrency
+# features actually fired during the smoke run.
+for key in ("serve.sessions", "serve.requests"):
+    assert scalars.get(key, 0) > 0, f"{path}: {key} missing or zero"
+assert scalars.get("serve.inflight_dedup_hits", 0) > 0, \
+    f"{path}: no in-flight dedup observed on the repeated-query workload"
+assert scalars.get("serve.admission_rejects", 0) > 0, \
+    f"{path}: no admission rejects under the saturated no-queue server"
+for key in ("serve.answers_agree", "serve.mvcc_agree",
+            "serve.budget_isolation_ok"):
+    assert scalars.get(key) == 1.0, f"{path}: {key} != 1"
+hists = doc.get("histograms", {})
+assert "serve.latency_ns" in hists and hists["serve.latency_ns"]["count"] > 0, \
+    f"{path}: serve.latency_ns histogram missing or empty"
+metrics = doc.get("metrics", {})
+assert metrics.get("serve.requests", 0) > 0, \
+    f"{path}: serve.* metric counters fell out"
+print(f"  {path}: ok (sessions={scalars['serve.sessions']:.0f}, "
+      f"dedup_hits={scalars['serve.inflight_dedup_hits']:.0f}, "
+      f"admission_rejects={scalars['serve.admission_rejects']:.0f}, "
+      f"latency_n={hists['serve.latency_ns']['count']:.0f})")
+EOF
 python3 - "${tmpdir}/BENCH_SUB.json" "${tmpdir}/BENCH_AB.json" <<'EOF'
 import json, sys
 for path in sys.argv[1:]:
@@ -86,8 +128,11 @@ echo "==== BENCH.json baseline snapshot + drift gate ===="
 # bands (scripts/bench_diff.py) BEFORE overwriting it, so out-of-band drift
 # fails the gate instead of silently rebasing.
 python3 - "${tmpdir}/BENCH_SUB.json" "${tmpdir}/BENCH_AB.json" \
-    "${tmpdir}/BENCH_NEW.json" <<'EOF'
+    "${tmpdir}/BENCH_SRV.json" "${tmpdir}/BENCH_NEW.json" <<'EOF'
 import json, sys
+# Only stable scalars go into the committed baseline: semantic gates
+# (*_agree, *_ok — exact bands in bench_diff.py) and slow-drifting counts.
+# QPS and latency percentiles are machine-dependent and stay out.
 KEEP = {
     "sub.": [
         "store.unique_hit_rate", "store.op_hit_rate", "plan.cache_hit_rate",
@@ -102,8 +147,12 @@ KEEP = {
         "classes.product_work_reduction", "dfa.classes_final",
         "dfa.table_bytes_condensed", "dfa.table_bytes_dense_equiv",
     ],
+    "srv.": [
+        "serve.answers_agree", "serve.mvcc_agree",
+        "serve.budget_isolation_ok", "serve.sessions", "serve.requests",
+    ],
 }
-docs = [json.load(open(sys.argv[1])), json.load(open(sys.argv[2]))]
+docs = [json.load(open(p)) for p in sys.argv[1:4]]
 scalars = {}
 for doc, prefix in zip(docs, KEEP):
     for key in KEEP[prefix]:
@@ -112,16 +161,17 @@ for doc, prefix in zip(docs, KEEP):
 out = {
     "schema": "strq.bench.v1",
     "id": "BASELINE",
-    "title": "selected scalars from bench_substrate + bench_ablation smoke",
+    "title": "selected scalars from bench_substrate + bench_ablation + "
+             "bench_serving smoke",
     "smoke": True,
     "series": [],
     "scalars": scalars,
     "metrics": {},
 }
-with open(sys.argv[3], "w") as f:
+with open(sys.argv[4], "w") as f:
     json.dump(out, f, indent=2, sort_keys=True)
     f.write("\n")
-print(f"  wrote {sys.argv[3]} ({len(scalars)} scalars)")
+print(f"  wrote {sys.argv[4]} ({len(scalars)} scalars)")
 EOF
 if [[ -f BENCH.json ]]; then
   python3 scripts/bench_diff.py BENCH.json "${tmpdir}/BENCH_NEW.json"

@@ -8,11 +8,38 @@
 #include <utility>
 #include <vector>
 
+#include "base/budget.h"
 #include "obs/trace.h"
 
 namespace strq {
 
+namespace {
+
+// Worklist loops poll the per-request deadline once per this many popped
+// states: frequent enough that a blowing-up construction stops promptly,
+// rare enough that the steady_clock read never shows up in profiles.
+constexpr size_t kDeadlineStride = 256;
+
+inline Status DeadlineAt(size_t i) {
+  if ((i & (kDeadlineStride - 1)) == 0) return CheckDeadline();
+  return Status::Ok();
+}
+
+// Resolves a state budget against the installed request budget: a caller
+// passing the compile-time default gets the per-request ceiling (when one is
+// set), while an explicit non-default argument always wins. `cap` keeps the
+// smaller determinization default from being raised past its library
+// ceiling by a product-sized request budget.
+inline int ResolveBudget(int max_states, int library_default, int cap) {
+  if (max_states != library_default) return max_states;
+  return std::min(cap, CurrentMaxProductStates(library_default));
+}
+
+}  // namespace
+
 Result<Dfa> Determinize(const Nfa& nfa, int max_states) {
+  max_states = ResolveBudget(max_states, kDefaultMaxDfaStates,
+                             kDefaultMaxDfaStates);
   if (nfa.num_states() == 0) {
     return Dfa::EmptyLanguage(nfa.alphabet_size());
   }
@@ -39,6 +66,7 @@ Result<Dfa> Determinize(const Nfa& nfa, int max_states) {
     if (static_cast<int>(subsets.size()) > max_states) {
       return ResourceExhaustedError("determinization exceeded state budget");
     }
+    STRQ_RETURN_IF_ERROR(DeadlineAt(i));
     // Mark accepting.
     for (int q : subsets[i]) {
       if (nfa.IsAccepting(q)) {
@@ -69,6 +97,8 @@ Result<Dfa> DeterminizeClassed(
     int start, const std::vector<bool>& accepting,
     const std::vector<std::vector<std::vector<int>>>& targets,
     int max_states) {
+  max_states = ResolveBudget(max_states, kDefaultMaxDfaStates,
+                             kDefaultMaxDfaStates);
   int n = static_cast<int>(targets.size());
   if (n == 0) return Dfa::EmptyLanguage(alphabet_size);
   obs::Span span("dfa.determinize");
@@ -90,6 +120,7 @@ Result<Dfa> DeterminizeClassed(
     if (static_cast<int>(subsets.size()) > max_states) {
       return ResourceExhaustedError("determinization exceeded state budget");
     }
+    STRQ_RETURN_IF_ERROR(DeadlineAt(i));
     bool acc = false;
     for (int q : subsets[i]) acc = acc || accepting[q];
     dfa_accepting.push_back(acc);
@@ -169,6 +200,7 @@ Result<Dfa> ProductReachableDense(const Dfa& a, const Dfa& b,
     if (static_cast<int>(pairs.size()) > max_states) {
       return ResourceExhaustedError("product exceeded state budget");
     }
+    STRQ_RETURN_IF_ERROR(DeadlineAt(i));
     int qa = static_cast<int>(pairs[i] / nb);
     int qb = static_cast<int>(pairs[i] % nb);
     accepting.push_back(combine(a.IsAccepting(qa), b.IsAccepting(qb)));
@@ -212,6 +244,7 @@ Result<Dfa> ProductReachableCondensed(const Dfa& a, const Dfa& b,
     if (static_cast<int>(pairs.size()) > max_states) {
       return ResourceExhaustedError("product exceeded state budget");
     }
+    STRQ_RETURN_IF_ERROR(DeadlineAt(i));
     int qa = static_cast<int>(pairs[i] / nb);
     int qb = static_cast<int>(pairs[i] % nb);
     accepting.push_back(combine(a.IsAccepting(qa), b.IsAccepting(qb)));
@@ -255,6 +288,7 @@ Result<Dfa> ProductEager(const Dfa& a, const Dfa& b,
   std::vector<int> next(static_cast<size_t>(n) * k);
   std::vector<bool> accepting(n);
   for (int qa = 0; qa < a.num_states(); ++qa) {
+    STRQ_RETURN_IF_ERROR(DeadlineAt(static_cast<size_t>(qa)));
     for (int qb = 0; qb < nb; ++qb) {
       int q = encode(qa, qb);
       accepting[q] = combine(a.IsAccepting(qa), b.IsAccepting(qb));
@@ -275,6 +309,8 @@ Result<Dfa> Product(const Dfa& a, const Dfa& b, bool (*combine)(bool, bool),
   if (a.alphabet_size() != b.alphabet_size()) {
     return InvalidArgumentError("product of DFAs over different alphabets");
   }
+  max_states = ResolveBudget(max_states, kDefaultMaxProductStates,
+                             kDefaultMaxProductStates);
   obs::Span span("dfa.product");
   span.Attr("a_states", a.num_states());
   span.Attr("b_states", b.num_states());
@@ -316,6 +352,7 @@ Result<bool> ProductEmpty(const Dfa& a, const Dfa& b,
   };
   visit(a.start(), b.start());
   for (size_t i = 0; i < pairs.size(); ++i) {
+    STRQ_RETURN_IF_ERROR(DeadlineAt(i));
     int qa = static_cast<int>(pairs[i] / nb);
     int qb = static_cast<int>(pairs[i] % nb);
     if (combine(a.IsAccepting(qa), b.IsAccepting(qb))) {

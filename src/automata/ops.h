@@ -14,6 +14,13 @@ inline constexpr int kDefaultMaxDfaStates = 1 << 20;
 // Ceiling on materialized product states. Larger than the determinization
 // budget: the reachable-only kernel only pays for pairs it actually visits,
 // so products of already-large DFAs stay cheap unless genuinely explosive.
+//
+// Both defaults are per-request knobs: when a RequestBudget (base/budget.h)
+// is installed on the calling thread and a kernel is invoked with the
+// compile-time default, the budget's max_product_states takes over (the
+// determinization ceiling is only ever lowered, never raised). Kernels also
+// poll the budget's deadline at worklist granularity and abort with
+// DEADLINE_EXCEEDED.
 inline constexpr int kDefaultMaxProductStates = 1 << 22;
 
 // Subset construction with epsilon closures. Already reachable-only: the

@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "automata/ops.h"
+#include "base/budget.h"
 #include "obs/trace.h"
 
 namespace strq {
@@ -35,35 +36,66 @@ const AutomatonStore& AutomatonStore::Default() {
   return *store;
 }
 
+void AutomatonStore::AddBytes(int64_t delta) const {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.bytes += delta;
+  }
+  obs::MemAdd(obs::MemCategory::kStore, delta);
+}
+
+void AutomatonStore::CountUnique(bool hit) const {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (hit) {
+      ++stats_.unique_hits;
+    } else {
+      ++stats_.unique_misses;
+    }
+  }
+  obs::Count(hit ? obs::kStoreUniqueHits : obs::kStoreUniqueMisses);
+}
+
+void AutomatonStore::CountOp(bool hit) const {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (hit) {
+      ++stats_.op_hits;
+    } else {
+      ++stats_.op_misses;
+    }
+  }
+  obs::Count(hit ? obs::kStoreOpHits : obs::kStoreOpMisses);
+}
+
 DfaRef AutomatonStore::InternCanonical(Dfa canonical) const {
   if (!caching_enabled_) {
-    obs::Count(obs::kStoreUniqueMisses);
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.unique_misses;
+    CountUnique(false);
     return DfaRef(std::make_shared<const Dfa>(std::move(canonical)),
                   NextInternId());
   }
   uint64_t hash = canonical.StructuralHash();
+  UniqueStripe& stripe = UniqueStripeFor(hash);
+  uint64_t id = 0;
+  std::shared_ptr<const Dfa> dfa;
+  int64_t added = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto [lo, hi] = unique_.equal_range(hash);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto [lo, hi] = stripe.entries.equal_range(hash);
     for (auto it = lo; it != hi; ++it) {
       if (it->second.second->StructurallyEqual(canonical)) {
-        ++stats_.unique_hits;
-        obs::Count(obs::kStoreUniqueHits);
+        CountUnique(true);
         return DfaRef(it->second.second, it->second.first);
       }
     }
-    uint64_t id = NextInternId();
-    auto dfa = std::make_shared<const Dfa>(std::move(canonical));
-    unique_.emplace(hash, std::make_pair(id, dfa));
-    ++stats_.unique_misses;
-    obs::Count(obs::kStoreUniqueMisses);
-    int64_t bytes = InternedDfaBytes(*dfa) + kUniqueEntryBytes;
-    stats_.bytes += bytes;
-    obs::MemAdd(obs::MemCategory::kStore, bytes);
-    return DfaRef(std::move(dfa), id);
+    id = NextInternId();
+    dfa = std::make_shared<const Dfa>(std::move(canonical));
+    stripe.entries.emplace(hash, std::make_pair(id, dfa));
+    added = InternedDfaBytes(*dfa) + kUniqueEntryBytes;
   }
+  CountUnique(false);
+  AddBytes(added);
+  return DfaRef(std::move(dfa), id);
 }
 
 DfaRef AutomatonStore::Intern(const Dfa& dfa) const {
@@ -72,37 +104,44 @@ DfaRef AutomatonStore::Intern(const Dfa& dfa) const {
 
 std::optional<DfaRef> AutomatonStore::Lookup(const OpKey& key) const {
   if (caching_enabled_) {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = computed_.find(key);
-    if (it != computed_.end()) {
-      ++stats_.op_hits;
-      obs::Count(obs::kStoreOpHits);
-      return it->second;
+    OpStripe& stripe = OpStripeFor(key);
+    std::unique_lock<std::mutex> lock(stripe.mu);
+    auto it = stripe.computed.find(key);
+    if (it != stripe.computed.end()) {
+      DfaRef hit = it->second;
+      lock.unlock();
+      CountOp(true);
+      return hit;
     }
-    ++stats_.op_misses;
-  } else {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.op_misses;
   }
-  obs::Count(obs::kStoreOpMisses);
+  CountOp(false);
   return std::nullopt;
 }
 
 void AutomatonStore::Memoize(const OpKey& key, const DfaRef& value) const {
   if (!caching_enabled_ || !value) return;
-  std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = computed_.emplace(key, value);
+  OpStripe& stripe = OpStripeFor(key);
+  bool inserted = false;
+  {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    inserted = stripe.computed.emplace(key, value).second;
+  }
   if (inserted) {
-    int64_t bytes = kComputedEntryBytes +
-                    static_cast<int64_t>(key.params.size() * sizeof(int64_t));
-    stats_.bytes += bytes;
-    obs::MemAdd(obs::MemCategory::kStore, bytes);
+    AddBytes(kComputedEntryBytes +
+             static_cast<int64_t>(key.params.size() * sizeof(int64_t)));
   }
 }
 
 Result<DfaRef> AutomatonStore::BinaryOp(int op, const DfaRef& a,
-                                        const DfaRef& b) const {
+                                        const DfaRef& b,
+                                        int max_states) const {
   if (!a || !b) return InvalidArgumentError("null DfaRef operand");
+  // Resolve the effective product budget up front so the memoization policy
+  // and the kernel agree on one number. 0 means "whatever the request says".
+  int effective = max_states > 0
+                      ? max_states
+                      : CurrentMaxProductStates(kDefaultMaxProductStates);
+  bool budgeted = effective < kDefaultMaxProductStates;
   // Commutative ops: normalize the operand order so (a,b) and (b,a) share
   // one computed-table entry.
   uint64_t ia = a.id();
@@ -113,30 +152,82 @@ Result<DfaRef> AutomatonStore::BinaryOp(int op, const DfaRef& a,
     std::swap(ia, ib);
     std::swap(da, db);
   }
+  // A memoized full result is exact no matter what the current budget is, so
+  // the canonical (budget-free) key is always consulted first. The peek is
+  // manual rather than Lookup() so an exhausted-memo hit below is not also
+  // charged as an op miss — it IS answered from memo.
   OpKey key{op, ia, ib, {}};
-  if (std::optional<DfaRef> hit = Lookup(key)) return *hit;
+  if (caching_enabled_) {
+    OpStripe& stripe = OpStripeFor(key);
+    std::unique_lock<std::mutex> lock(stripe.mu);
+    auto it = stripe.computed.find(key);
+    if (it != stripe.computed.end()) {
+      DfaRef hit = it->second;
+      lock.unlock();
+      CountOp(true);
+      return hit;
+    }
+  }
+  if (budgeted && caching_enabled_) {
+    OpKey exhausted_key{op, ia, ib, {effective}};
+    OpStripe& stripe = OpStripeFor(exhausted_key);
+    bool fail_fast = false;
+    {
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      fail_fast = stripe.exhausted.count(exhausted_key) > 0;
+    }
+    if (fail_fast) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.exhausted_hits;
+      }
+      obs::Count(obs::kStoreExhaustedHits);
+      return ResourceExhaustedError(
+          "product state budget exhausted (memoized)");
+    }
+  }
+  CountOp(false);
 
-  Result<Dfa> raw = op == kOpIntersect  ? strq::Intersect(*da, *db)
-                    : op == kOpUnion    ? strq::Union(*da, *db)
-                                        : strq::Difference(*da, *db);
-  STRQ_RETURN_IF_ERROR(raw.status());
+  Result<Dfa> raw = op == kOpIntersect
+                        ? strq::Intersect(*da, *db, effective)
+                    : op == kOpUnion ? strq::Union(*da, *db, effective)
+                                     : strq::Difference(*da, *db, effective);
+  if (!raw.ok()) {
+    // Running out of the requested budget is a property of (op, operands,
+    // budget) and is safe to replay — but only to callers with the SAME
+    // effective budget; an unbudgeted caller must get the real product. A
+    // deadline abort says nothing about the operands and is never memoized.
+    if (budgeted && caching_enabled_ &&
+        raw.status().code() == StatusCode::kResourceExhausted) {
+      OpKey exhausted_key{op, ia, ib, {effective}};
+      OpStripe& stripe = OpStripeFor(exhausted_key);
+      bool inserted = false;
+      {
+        std::lock_guard<std::mutex> lock(stripe.mu);
+        inserted = stripe.exhausted.insert(exhausted_key).second;
+      }
+      if (inserted) AddBytes(kDecidedEntryBytes);
+    }
+    return raw.status();
+  }
   DfaRef out = Intern(*raw);
   Memoize(key, out);
   return out;
 }
 
-Result<DfaRef> AutomatonStore::Intersect(const DfaRef& a,
-                                         const DfaRef& b) const {
-  return BinaryOp(kOpIntersect, a, b);
+Result<DfaRef> AutomatonStore::Intersect(const DfaRef& a, const DfaRef& b,
+                                         int max_states) const {
+  return BinaryOp(kOpIntersect, a, b, max_states);
 }
 
-Result<DfaRef> AutomatonStore::Union(const DfaRef& a, const DfaRef& b) const {
-  return BinaryOp(kOpUnion, a, b);
+Result<DfaRef> AutomatonStore::Union(const DfaRef& a, const DfaRef& b,
+                                     int max_states) const {
+  return BinaryOp(kOpUnion, a, b, max_states);
 }
 
-Result<DfaRef> AutomatonStore::Difference(const DfaRef& a,
-                                          const DfaRef& b) const {
-  return BinaryOp(kOpDifference, a, b);
+Result<DfaRef> AutomatonStore::Difference(const DfaRef& a, const DfaRef& b,
+                                          int max_states) const {
+  return BinaryOp(kOpDifference, a, b, max_states);
 }
 
 Result<bool> AutomatonStore::IsIntersectionEmpty(const DfaRef& a,
@@ -152,31 +243,43 @@ Result<bool> AutomatonStore::IsIntersectionEmpty(const DfaRef& a,
   }
   OpKey key{kOpIntersectEmpty, ia, ib, {}};
   if (caching_enabled_) {
-    std::lock_guard<std::mutex> lock(mu_);
-    // A materialized intersection already knows the answer.
-    auto mat = computed_.find(OpKey{kOpIntersect, ia, ib, {}});
-    if (mat != computed_.end()) {
-      ++stats_.op_hits;
-      obs::Count(obs::kStoreOpHits);
-      return mat->second->IsEmpty();
+    // A materialized intersection already knows the answer. Note the product
+    // key and the verdict key generally live in different stripes; two short
+    // lock sections, never held together.
+    OpKey product_key{kOpIntersect, ia, ib, {}};
+    {
+      OpStripe& stripe = OpStripeFor(product_key);
+      std::unique_lock<std::mutex> lock(stripe.mu);
+      auto mat = stripe.computed.find(product_key);
+      if (mat != stripe.computed.end()) {
+        bool empty = mat->second->IsEmpty();
+        lock.unlock();
+        CountOp(true);
+        return empty;
+      }
     }
-    auto it = decided_.find(key);
-    if (it != decided_.end()) {
-      ++stats_.op_hits;
-      obs::Count(obs::kStoreOpHits);
-      return it->second;
+    {
+      OpStripe& stripe = OpStripeFor(key);
+      std::unique_lock<std::mutex> lock(stripe.mu);
+      auto it = stripe.decided.find(key);
+      if (it != stripe.decided.end()) {
+        bool empty = it->second;
+        lock.unlock();
+        CountOp(true);
+        return empty;
+      }
     }
-    ++stats_.op_misses;
-    obs::Count(obs::kStoreOpMisses);
+    CountOp(false);
   }
   STRQ_ASSIGN_OR_RETURN(bool empty, strq::IntersectionEmpty(*da, *db));
   if (caching_enabled_) {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto [it, inserted] = decided_.emplace(key, empty);
-    if (inserted) {
-      stats_.bytes += kDecidedEntryBytes;
-      obs::MemAdd(obs::MemCategory::kStore, kDecidedEntryBytes);
+    OpStripe& stripe = OpStripeFor(key);
+    bool inserted = false;
+    {
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      inserted = stripe.decided.emplace(key, empty).second;
     }
+    if (inserted) AddBytes(kDecidedEntryBytes);
   }
   return empty;
 }
@@ -194,27 +297,46 @@ DfaRef AutomatonStore::Complemented(const DfaRef& a) const {
 }
 
 AutomatonStore::Stats AutomatonStore::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(stats_mu_);
   return stats_;
 }
 
 size_t AutomatonStore::unique_size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return unique_.size();
+  size_t n = 0;
+  for (UniqueStripe& stripe : unique_stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    n += stripe.entries.size();
+  }
+  return n;
 }
 
 size_t AutomatonStore::computed_size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return computed_.size();
+  size_t n = 0;
+  for (OpStripe& stripe : op_stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    n += stripe.computed.size();
+  }
+  return n;
 }
 
 void AutomatonStore::Clear() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  unique_.clear();
-  computed_.clear();
-  decided_.clear();
-  obs::MemAdd(obs::MemCategory::kStore, -stats_.bytes);
-  stats_.bytes = 0;
+  for (UniqueStripe& stripe : unique_stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.entries.clear();
+  }
+  for (OpStripe& stripe : op_stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.computed.clear();
+    stripe.decided.clear();
+    stripe.exhausted.clear();
+  }
+  int64_t released = 0;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    released = stats_.bytes;
+    stats_.bytes = 0;
+  }
+  obs::MemAdd(obs::MemCategory::kStore, -released);
 }
 
 AutomatonStore::~AutomatonStore() {

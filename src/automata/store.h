@@ -1,11 +1,13 @@
 #ifndef STRQ_AUTOMATA_STORE_H_
 #define STRQ_AUTOMATA_STORE_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -88,10 +90,24 @@ struct OpKeyHash {
 // Because interned DFAs are immutable and ids are never reused, memoized
 // results can never be invalidated — the computed table needs no epochs.
 //
-// All methods are const and thread-safe (one mutex; automata are built
-// outside the lock). A store constructed with enable_caching=false performs
-// the same canonicalization but remembers nothing — it is used to measure
-// the ablation and by the store-on/off differential tests.
+// All methods are const and thread-safe. Both tables are lock-striped (the
+// unique table by structural hash, the computed/decided tables by OpKey
+// hash) so concurrent serving sessions sharing one store contend only when
+// they touch the same bucket neighborhood; automata are always built outside
+// any lock, and a racing duplicate build is resolved by the unique table
+// (first intern wins, the loser's copy is dropped).
+//
+// Binary ops honor per-request state budgets: an explicit `max_states`
+// argument (or, at the default, the installed RequestBudget's
+// max_product_states) bounds the product kernel, and a budget-exhausted
+// verdict is memoized SEPARATELY, keyed with the effective budget — a
+// truncation under a small per-request budget is never served to an
+// unbudgeted caller, while a repeat of the same doomed budgeted request
+// fails fast.
+//
+// A store constructed with enable_caching=false performs the same
+// canonicalization but remembers nothing — it is used to measure the
+// ablation and by the store-on/off differential tests.
 //
 // Hit/miss counts are kept in always-on internal stats and also forwarded
 // to the obs metrics (store.unique_{hits,misses}, store.op_{hits,misses})
@@ -120,6 +136,9 @@ class AutomatonStore {
     int64_t unique_misses = 0;
     int64_t op_hits = 0;
     int64_t op_misses = 0;
+    // Budgeted binary ops that failed fast off the exhausted memo instead of
+    // re-running a doomed product.
+    int64_t exhausted_hits = 0;
     // Bytes currently RETAINED by this store: interned DFA payloads
     // (condensed transition tables, via TableBytesCondensed) plus table
     // entry overheads. Unlike the counters this is a gauge — Clear() and
@@ -149,9 +168,18 @@ class AutomatonStore {
 
   // Memoized language operations. Operands may come from a different store;
   // they are re-interned here first (cheap when already canonical).
-  Result<DfaRef> Intersect(const DfaRef& a, const DfaRef& b) const;
-  Result<DfaRef> Union(const DfaRef& a, const DfaRef& b) const;
-  Result<DfaRef> Difference(const DfaRef& a, const DfaRef& b) const;
+  // `max_states` bounds the product kernel: 0 resolves to the installed
+  // RequestBudget's max_product_states (or the library default when no
+  // budget is installed). Successful results are exact regardless of budget
+  // and land in the shared computed table; a ResourceExhausted verdict is
+  // memoized under a budget-specific key so it is replayed only to callers
+  // with the same effective budget.
+  Result<DfaRef> Intersect(const DfaRef& a, const DfaRef& b,
+                           int max_states = 0) const;
+  Result<DfaRef> Union(const DfaRef& a, const DfaRef& b,
+                       int max_states = 0) const;
+  Result<DfaRef> Difference(const DfaRef& a, const DfaRef& b,
+                            int max_states = 0) const;
   DfaRef Complemented(const DfaRef& a) const;
 
   // Is L(a) ∩ L(b) empty? Decided without building the product: a pair
@@ -175,22 +203,48 @@ class AutomatonStore {
   void Clear() const;
 
  private:
+  static constexpr int kNumStripes = 8;
+
+  struct UniqueStripe {
+    std::mutex mu;
+    // Structural hash -> interned entries with that hash (collisions
+    // resolved by full structural comparison).
+    std::unordered_multimap<uint64_t,
+                            std::pair<uint64_t, std::shared_ptr<const Dfa>>>
+        entries;
+  };
+  struct OpStripe {
+    std::mutex mu;
+    std::unordered_map<OpKey, DfaRef, OpKeyHash> computed;
+    // Boolean verdicts (kOpIntersectEmpty) live beside the DFA-valued
+    // computed table; same key space, same lifetime rules.
+    std::unordered_map<OpKey, bool, OpKeyHash> decided;
+    // Budget-exhausted binary ops, keyed {op, a, b, {effective_budget}}.
+    // Disjoint from `computed` by construction: canonical result keys carry
+    // empty params. Never consulted on the unbudgeted path.
+    std::unordered_set<OpKey, OpKeyHash> exhausted;
+  };
+
+  UniqueStripe& UniqueStripeFor(uint64_t hash) const {
+    return unique_stripes_[hash % kNumStripes];
+  }
+  OpStripe& OpStripeFor(const OpKey& key) const {
+    return op_stripes_[OpKeyHash{}(key) % kNumStripes];
+  }
+
+  void AddBytes(int64_t delta) const;
+  void CountUnique(bool hit) const;
+  void CountOp(bool hit) const;
+
   // Interns an already canonically-minimized DFA.
   DfaRef InternCanonical(Dfa canonical) const;
-  Result<DfaRef> BinaryOp(int op, const DfaRef& a, const DfaRef& b) const;
+  Result<DfaRef> BinaryOp(int op, const DfaRef& a, const DfaRef& b,
+                          int max_states) const;
 
   bool caching_enabled_;
-  mutable std::mutex mu_;
-  // Structural hash -> interned entries with that hash (collisions resolved
-  // by full structural comparison).
-  mutable std::unordered_multimap<uint64_t,
-                                  std::pair<uint64_t,
-                                            std::shared_ptr<const Dfa>>>
-      unique_;
-  mutable std::unordered_map<OpKey, DfaRef, OpKeyHash> computed_;
-  // Boolean verdicts (kOpIntersectEmpty) live beside the DFA-valued computed
-  // table; same key space, same lifetime rules.
-  mutable std::unordered_map<OpKey, bool, OpKeyHash> decided_;
+  mutable std::array<UniqueStripe, kNumStripes> unique_stripes_;
+  mutable std::array<OpStripe, kNumStripes> op_stripes_;
+  mutable std::mutex stats_mu_;
   mutable Stats stats_;
 };
 

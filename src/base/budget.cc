@@ -1,0 +1,48 @@
+#include "base/budget.h"
+
+namespace strq {
+
+namespace {
+thread_local const RequestBudget* t_budget = nullptr;
+}  // namespace
+
+RequestBudget RequestBudget::WithTimeout(std::chrono::nanoseconds timeout) {
+  RequestBudget b;
+  b.deadline = std::chrono::steady_clock::now() + timeout;
+  b.has_deadline = true;
+  return b;
+}
+
+const RequestBudget* CurrentRequestBudget() { return t_budget; }
+
+ScopedRequestBudget::ScopedRequestBudget(const RequestBudget* budget)
+    : saved_(t_budget) {
+  t_budget = budget;
+}
+
+ScopedRequestBudget::~ScopedRequestBudget() { t_budget = saved_; }
+
+Status CheckDeadline() {
+  const RequestBudget* b = t_budget;
+  if (b != nullptr && b->Expired()) {
+    return DeadlineExceededError("request deadline exceeded");
+  }
+  return Status::Ok();
+}
+
+int CurrentMaxProductStates(int fallback) {
+  const RequestBudget* b = t_budget;
+  if (b != nullptr && b->max_product_states > 0) return b->max_product_states;
+  return fallback;
+}
+
+size_t CurrentMaxAnswerTuples(size_t fallback) {
+  const RequestBudget* b = t_budget;
+  if (b != nullptr && b->max_answer_tuples > 0 &&
+      b->max_answer_tuples < fallback) {
+    return b->max_answer_tuples;
+  }
+  return fallback;
+}
+
+}  // namespace strq

@@ -1,0 +1,79 @@
+#ifndef STRQ_BASE_BUDGET_H_
+#define STRQ_BASE_BUDGET_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+#include "base/status.h"
+
+namespace strq {
+
+// Per-request resource limits, threaded from the serving layer down to the
+// automaton kernels. Every field has a zero value meaning "no per-request
+// limit; use the library default":
+//
+//   * deadline            absolute steady-clock point after which kernels
+//                         abort with DEADLINE_EXCEEDED. Checked at worklist
+//                         granularity (every few hundred pops), so even a
+//                         blowing-up product stops within microseconds of
+//                         the deadline.
+//   * max_product_states  per-request override of kDefaultMaxProductStates
+//                         (and the determinization budget). 0 = default.
+//   * max_answer_tuples   cap on materialized answer tuples. 0 = the
+//                         evaluator's own default.
+//
+// The budget travels as a thread-local pointer (ScopedRequestBudget), so the
+// deep kernels consult it without signature churn; ThreadPool::Submit
+// captures and re-installs it on workers the same way it propagates
+// TraceContext, so parallel subplan compilation inherits the submitting
+// request's limits. The pointed-to budget must outlive the scope (and any
+// ParallelFor fanned out under it — the completion barrier guarantees that).
+struct RequestBudget {
+  std::chrono::steady_clock::time_point deadline{};  // meaningful iff set
+  bool has_deadline = false;
+  int max_product_states = 0;
+  size_t max_answer_tuples = 0;
+
+  // A budget whose deadline is `timeout` from now; non-positive timeouts
+  // produce an already-expired deadline (useful for tests and for rejecting
+  // requests that arrive late).
+  static RequestBudget WithTimeout(std::chrono::nanoseconds timeout);
+
+  bool Expired() const {
+    return has_deadline && std::chrono::steady_clock::now() >= deadline;
+  }
+};
+
+// The budget installed on the current thread, or nullptr when the request is
+// unbudgeted (library defaults apply everywhere).
+const RequestBudget* CurrentRequestBudget();
+
+// RAII install/restore, mirroring obs::ScopedTraceContext. Nesting is
+// allowed; the innermost budget wins.
+class ScopedRequestBudget {
+ public:
+  explicit ScopedRequestBudget(const RequestBudget* budget);
+  ~ScopedRequestBudget();
+  ScopedRequestBudget(const ScopedRequestBudget&) = delete;
+  ScopedRequestBudget& operator=(const ScopedRequestBudget&) = delete;
+
+ private:
+  const RequestBudget* saved_;
+};
+
+// Ok while the current budget (if any) has time left; DEADLINE_EXCEEDED
+// otherwise. Kernels call this every few hundred worklist pops.
+Status CheckDeadline();
+
+// The current budget's product-state ceiling, or `fallback` when no budget
+// is installed / the budget leaves the knob at 0.
+int CurrentMaxProductStates(int fallback);
+
+// The current budget's answer-tuple cap combined with the evaluator default:
+// the smaller of the two when both are set.
+size_t CurrentMaxAnswerTuples(size_t fallback);
+
+}  // namespace strq
+
+#endif  // STRQ_BASE_BUDGET_H_

@@ -14,6 +14,8 @@ const char* StatusCodeName(StatusCode code) {
       return "UNSAFE";
     case StatusCode::kResourceExhausted:
       return "RESOURCE_EXHAUSTED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
     case StatusCode::kUnsupported:
       return "UNSUPPORTED";
     case StatusCode::kInternal:
@@ -43,6 +45,9 @@ Status UnsafeError(std::string message) {
 }
 Status ResourceExhaustedError(std::string message) {
   return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
 }
 Status UnsupportedError(std::string message) {
   return Status(StatusCode::kUnsupported, std::move(message));

@@ -18,6 +18,7 @@ enum class StatusCode {
   kNotInLanguage,     // a formula/plan uses operations outside its calculus
   kUnsafe,            // a query was proven to have an infinite output
   kResourceExhausted, // a construction exceeded its configured budget
+  kDeadlineExceeded,  // a request ran past its per-request deadline
   kUnsupported,       // a feature combination the engine does not implement
   kInternal,          // invariant violation; indicates a library bug
 };
@@ -59,6 +60,7 @@ Status InvalidArgumentError(std::string message);
 Status NotInLanguageError(std::string message);
 Status UnsafeError(std::string message);
 Status ResourceExhaustedError(std::string message);
+Status DeadlineExceededError(std::string message);
 Status UnsupportedError(std::string message);
 Status InternalError(std::string message);
 

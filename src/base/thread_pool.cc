@@ -4,6 +4,7 @@
 #include <atomic>
 #include <memory>
 
+#include "base/budget.h"
 #include "obs/trace.h"
 
 namespace strq {
@@ -40,8 +41,14 @@ void ThreadPool::Submit(std::function<void()> task) {
   // two thread-local words; when no session is installed it is {0, 0} and
   // the install is a pair of TLS writes.
   obs::TraceContext ctx = obs::CurrentTraceContext();
-  std::function<void()> wrapped = [ctx, task = std::move(task)] {
+  // The submitter's request budget rides along too (same lifetime argument:
+  // every pooled path joins before the budget's scope unwinds), so worklist
+  // deadline checks and product-state ceilings apply on workers exactly as
+  // they do on the submitting thread.
+  const RequestBudget* budget = CurrentRequestBudget();
+  std::function<void()> wrapped = [ctx, budget, task = std::move(task)] {
     obs::ScopedTraceContext scope(ctx);
+    ScopedRequestBudget budget_scope(budget);
     task();
   };
   {

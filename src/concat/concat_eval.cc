@@ -1,5 +1,6 @@
 #include "concat/concat_eval.h"
 
+#include "base/budget.h"
 #include "base/string_ops.h"
 #include "eval/restricted_eval.h"
 #include "obs/trace.h"
@@ -21,6 +22,10 @@ Result<bool> ConcatEvaluator::EvaluateSentenceBounded(const FormulaPtr& f,
   obs::Span span("concat.sentence_bounded");
   span.Attr("bound", bound);
   obs::Count(obs::kConcatBoundedRounds);
+  // Bounded-evaluation rounds are this engine's natural deadline poll
+  // points (each round can be exponentially bigger than the last); the
+  // inner restricted evaluator polls at candidate granularity too.
+  STRQ_RETURN_IF_ERROR(CheckDeadline());
   RestrictedEvaluator eval = MakeBounded(db_, bound);
   return eval.EvaluateSentence(f);
 }
@@ -30,6 +35,7 @@ Result<Relation> ConcatEvaluator::EvaluateBounded(const FormulaPtr& f,
   obs::Span span("concat.evaluate_bounded");
   span.Attr("bound", bound);
   obs::Count(obs::kConcatBoundedRounds);
+  STRQ_RETURN_IF_ERROR(CheckDeadline());
   RestrictedEvaluator eval = MakeBounded(db_, bound);
   std::string chars;
   for (int i = 0; i < db_->alphabet().size(); ++i) {

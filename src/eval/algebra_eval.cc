@@ -4,6 +4,7 @@
 #include <chrono>
 #include <set>
 
+#include "base/budget.h"
 #include "base/string_ops.h"
 #include "obs/trace.h"
 
@@ -40,7 +41,11 @@ AlgebraEvaluator::AlgebraEvaluator(const Database* db, Options options,
     : db_(db), options_(options), formula_engine_(db, std::move(cache)) {}
 
 Status AlgebraEvaluator::CheckBudget(size_t size) const {
-  if (size > options_.max_tuples) {
+  // Per-request deadline and tuple budget piggyback on the evaluator's own
+  // budget poll points: the request's max_answer_tuples can only tighten
+  // the configured intermediate-result bound.
+  STRQ_RETURN_IF_ERROR(CheckDeadline());
+  if (size > CurrentMaxAnswerTuples(options_.max_tuples)) {
     return ResourceExhaustedError("algebra intermediate result over budget");
   }
   return Status::Ok();
@@ -302,9 +307,10 @@ Result<Relation> AlgebraEvaluator::EvalNode(const RaExpr& node) {
         }
         // Budget check before the exponential expansion.
         double count = 1;
+        size_t cap = CurrentMaxAnswerTuples(options_.max_tuples);
         for (size_t i = 0; i < t[node.column].size(); ++i) {
           count = count * chars.size() + 1;
-          if (out.size() + count > static_cast<double>(options_.max_tuples)) {
+          if (out.size() + count > static_cast<double>(cap)) {
             return ResourceExhaustedError(
                 "↓ expansion over budget (this exponentiality is inherent "
                 "to RA(S_len), Section 6.2)");

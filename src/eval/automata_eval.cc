@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "base/budget.h"
 #include "base/thread_pool.h"
 #include "obs/trace.h"
 
@@ -587,6 +588,9 @@ int64_t LatencyNsSince(std::chrono::steady_clock::time_point since) {
 
 Result<TrackAutomaton> AutomataEvaluator::Compile(const FormulaPtr& f) {
   auto compile_start = std::chrono::steady_clock::now();
+  // A request that arrives with its deadline already spent fails before any
+  // planning or compilation work (kernels poll the same deadline mid-flight).
+  STRQ_RETURN_IF_ERROR(CheckDeadline());
   // Track ids come from the ORIGINAL formula's free variables: the planner
   // may rewrite a variable out of the formula entirely, and the answer
   // relation's columns must not shift when it does.
@@ -626,8 +630,10 @@ Result<Relation> AutomataEvaluator::Evaluate(const FormulaPtr& f,
   STRQ_ASSIGN_OR_RETURN(TrackAutomaton rel, Compile(f));
   obs::Span span("eval.enumerate");
   span.Attr("answer_states", rel.NumStates());
+  // The request budget's max_answer_tuples can only tighten the caller's
+  // materialization bound, never widen it.
   Result<std::vector<std::vector<std::string>>> tuples =
-      rel.AllTuples(max_tuples);
+      rel.AllTuples(CurrentMaxAnswerTuples(max_tuples));
   if (!tuples.ok()) return tuples.status();
   span.Attr("tuples", static_cast<int64_t>(tuples->size()));
   obs::Count(obs::kEvalTuplesEnumerated,

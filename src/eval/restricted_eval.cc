@@ -7,6 +7,7 @@
 #include "automata/dfa.h"
 #include "automata/like.h"
 #include "automata/regex.h"
+#include "base/budget.h"
 #include "base/string_ops.h"
 #include "obs/trace.h"
 
@@ -363,6 +364,14 @@ Result<Relation> RestrictedEvaluator::EvaluateOnCandidates(
           uint64_t hi = total * (c + 1) / chunks;
           Evaluator worker(db_, options_, cache_.get());
           for (uint64_t m = lo; m < hi; ++m) {
+            // Per-request deadline, polled at candidate-chunk granularity.
+            if (((m - lo) & 255) == 0) {
+              Status deadline = CheckDeadline();
+              if (!deadline.ok()) {
+                errors[c] = deadline;
+                return;
+              }
+            }
             Env env;
             Tuple t;
             uint64_t rest = m;
@@ -390,7 +399,9 @@ Result<Relation> RestrictedEvaluator::EvaluateOnCandidates(
 
   // Odometer over candidates^k.
   std::vector<size_t> index(k, 0);
+  uint64_t polled = 0;
   while (true) {
+    if ((polled++ & 255) == 0) STRQ_RETURN_IF_ERROR(CheckDeadline());
     Env env;
     Tuple t;
     for (int i = 0; i < k; ++i) {

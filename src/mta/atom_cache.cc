@@ -40,39 +40,48 @@ Result<TrackAutomaton> AtomCache::Renamed(const TrackAutomaton& canonical,
 Result<TrackAutomaton> AtomCache::Cached(
     const std::string& key, const std::vector<VarId>& vars,
     const std::function<Result<TrackAutomaton>()>& build) {
+  // Single-flight claim: hit → done; someone else building → wait and
+  // re-check; true miss → claim the key and build it ourselves.
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = atoms_.find(key);
-    if (it != atoms_.end()) {
-      ++stats_.hits;
-      obs::Count(obs::kAtomCacheHits);
-      return Renamed(it->second, vars);
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      auto it = atoms_.find(key);
+      if (it != atoms_.end()) {
+        ++stats_.hits;
+        obs::Count(obs::kAtomCacheHits);
+        return Renamed(it->second, vars);
+      }
+      if (inflight_atoms_.insert(key).second) break;
+      ++stats_.singleflight_waits;
+      obs::Count(obs::kAtomCacheSingleflightWaits);
+      inflight_cv_.wait(lock);
     }
   }
-  STRQ_ASSIGN_OR_RETURN(TrackAutomaton built, build());
+  Result<TrackAutomaton> canonical = build();
   // Re-home the atom into this cache's store so every downstream operation
   // on it (and on its renamings) memoizes in one computed table. When the
   // builder already used our store this is a no-op.
-  Result<TrackAutomaton> canonical =
-      &built.store() == store_
-          ? Result<TrackAutomaton>(std::move(built))
-          : TrackAutomaton::Create(*store_, built.alphabet(), built.vars(),
-                                   built.dfa());
-  STRQ_RETURN_IF_ERROR(canonical.status());
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.misses;
-    obs::Count(obs::kAtomCacheMisses);
-    // A racing thread may have populated the key meanwhile; both values
-    // describe the same language, so first-in wins.
-    auto [it, inserted] = atoms_.emplace(key, *canonical);
-    if (inserted) {
-      int64_t bytes = kAtomEntryBytes + static_cast<int64_t>(key.size());
-      stats_.bytes += bytes;
-      obs::MemAdd(obs::MemCategory::kAtomCache, bytes);
-    }
-    return Renamed(it->second, vars);
+  if (canonical.ok() && &canonical->store() != store_) {
+    TrackAutomaton built = *std::move(canonical);
+    canonical = TrackAutomaton::Create(*store_, built.alphabet(), built.vars(),
+                                       built.dfa());
   }
+  std::lock_guard<std::mutex> lock(mu_);
+  // Release the claim whether we succeeded or not; on failure a waiter wakes,
+  // sees no entry and no claim, and retries the build itself (a deadline
+  // abort on this thread must not poison the key for an unbudgeted caller).
+  inflight_atoms_.erase(key);
+  inflight_cv_.notify_all();
+  STRQ_RETURN_IF_ERROR(canonical.status());
+  ++stats_.misses;
+  obs::Count(obs::kAtomCacheMisses);
+  auto [it, inserted] = atoms_.emplace(key, *canonical);
+  if (inserted) {
+    int64_t bytes = kAtomEntryBytes + static_cast<int64_t>(key.size());
+    stats_.bytes += bytes;
+    obs::MemAdd(obs::MemCategory::kAtomCache, bytes);
+  }
+  return Renamed(it->second, vars);
 }
 
 Result<TrackAutomaton> AtomCache::Equal(VarId x, VarId y) {
@@ -170,12 +179,18 @@ Result<DfaRef> AtomCache::CompiledPattern(const std::string& pattern,
                                           PatternSyntax syntax) {
   std::pair<std::string, int> key(pattern, static_cast<int>(syntax));
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = patterns_.find(key);
-    if (it != patterns_.end()) {
-      ++stats_.pattern_hits;
-      obs::Count(obs::kPatternCacheHits);
-      return it->second;
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      auto it = patterns_.find(key);
+      if (it != patterns_.end()) {
+        ++stats_.pattern_hits;
+        obs::Count(obs::kPatternCacheHits);
+        return it->second;
+      }
+      if (inflight_patterns_.insert(key).second) break;
+      ++stats_.singleflight_waits;
+      obs::Count(obs::kAtomCacheSingleflightWaits);
+      inflight_cv_.wait(lock);
     }
   }
   obs::Span span("compile.pattern");
@@ -192,10 +207,17 @@ Result<DfaRef> AtomCache::CompiledPattern(const std::string& pattern,
       lang = CompileSimilar(pattern, alphabet_);
       break;
   }
-  STRQ_RETURN_IF_ERROR(lang.status());
+  if (!lang.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_patterns_.erase(key);
+    inflight_cv_.notify_all();
+    return lang.status();
+  }
   DfaRef ref = store_->Intern(*lang);
   if (span.active()) span.Attr("states", ref->num_states());
   std::lock_guard<std::mutex> lock(mu_);
+  inflight_patterns_.erase(key);
+  inflight_cv_.notify_all();
   ++stats_.pattern_misses;
   obs::Count(obs::kPatternCacheMisses);
   auto [it, inserted] = patterns_.emplace(key, ref);
@@ -224,6 +246,53 @@ Result<TrackAutomaton> AtomCache::TableTrie(
   return Cached("trie:" + key, vars, [this, &canonical, &tuples] {
     return TrackAutomaton::FromTuples(*store_, alphabet_, canonical, tuples());
   });
+}
+
+namespace {
+
+// Revision-keyed cache entries look like "trie:<kind>…:<revision>"; the
+// revision is the decimal suffix after the last ':'. Returns false for keys
+// with no parseable revision (pure atoms, "const:…" literals, etc.).
+bool TrieRevisionOf(const std::string& key, int64_t* rev) {
+  if (key.compare(0, 5, "trie:") != 0) return false;
+  size_t colon = key.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= key.size()) return false;
+  int64_t value = 0;
+  for (size_t i = colon + 1; i < key.size(); ++i) {
+    char c = key[i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+  }
+  *rev = value;
+  return true;
+}
+
+}  // namespace
+
+size_t AtomCache::EvictRevisionEntries(
+    const std::function<bool(int64_t)>& is_live) {
+  size_t evicted = 0;
+  int64_t released = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = atoms_.begin(); it != atoms_.end();) {
+      int64_t rev = 0;
+      if (TrieRevisionOf(it->first, &rev) && !is_live(rev)) {
+        released += kAtomEntryBytes + static_cast<int64_t>(it->first.size());
+        it = atoms_.erase(it);
+        ++evicted;
+      } else {
+        ++it;
+      }
+    }
+    stats_.bytes -= released;
+    stats_.evictions += static_cast<int64_t>(evicted);
+  }
+  if (released != 0) obs::MemAdd(obs::MemCategory::kAtomCache, -released);
+  if (evicted != 0) {
+    obs::Count(obs::kAtomCacheEvictions, static_cast<int64_t>(evicted));
+  }
+  return evicted;
 }
 
 AtomCache::Stats AtomCache::stats() const {

@@ -1,11 +1,13 @@
 #ifndef STRQ_MTA_ATOM_CACHE_H_
 #define STRQ_MTA_ATOM_CACHE_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -36,6 +38,11 @@ namespace strq {
 // store (and the cache) must outlive every automaton derived from them.
 //
 // Thread-safe; cheap to share via shared_ptr between evaluator instances.
+// Misses are SINGLE-FLIGHT: when concurrent sessions miss on the same key,
+// one thread builds while the others wait on it and then share the result,
+// so a popular atom is compiled once no matter how many sessions race for
+// it. If the builder fails, one waiter retries (transient failures — e.g. a
+// deadline abort — must not poison the key for later callers).
 class AtomCache {
  public:
   struct Stats {
@@ -43,6 +50,8 @@ class AtomCache {
     int64_t misses = 0;          // canonical atom compiled
     int64_t pattern_hits = 0;    // LIKE/regex/SIMILAR pattern reused
     int64_t pattern_misses = 0;  // pattern compiled
+    int64_t singleflight_waits = 0;  // waited on another thread's build
+    int64_t evictions = 0;           // dead-revision entries dropped
     // Bytes currently retained by the cache's OWN bookkeeping (keys,
     // handles, track metadata). The automaton tables a cached atom points
     // at are owned — and already accounted — by the AutomatonStore, so
@@ -104,6 +113,14 @@ class AtomCache {
       const std::string& key, const std::vector<VarId>& vars,
       const std::function<std::vector<std::vector<std::string>>()>& tuples);
 
+  // Drops every revision-keyed entry ("trie:…:<revision>" — database
+  // relations, active-domain and prefix-domain automata) whose revision the
+  // predicate reports as dead, refunding its bytes. Revision-free entries
+  // (pure atoms, patterns) are content-addressed and never evicted. Returns
+  // the number of entries dropped. The serving layer calls this after a
+  // snapshot's last pin is released.
+  size_t EvictRevisionEntries(const std::function<bool(int64_t)>& is_live);
+
   Stats stats() const;
   size_t size() const;
 
@@ -122,6 +139,12 @@ class AtomCache {
   mutable std::mutex mu_;
   std::map<std::string, TrackAutomaton> atoms_;
   std::map<std::pair<std::string, int>, DfaRef> patterns_;
+  // Keys currently being built by some thread; guarded by mu_, waited on via
+  // inflight_cv_. An entry is removed (and the cv notified) whether the
+  // build succeeds or fails.
+  std::set<std::string> inflight_atoms_;
+  std::set<std::pair<std::string, int>> inflight_patterns_;
+  std::condition_variable inflight_cv_;
   Stats stats_;
 };
 

@@ -116,8 +116,17 @@ inline constexpr char kStoreUniqueHits[] = "store.unique_hits";
 inline constexpr char kStoreUniqueMisses[] = "store.unique_misses";
 inline constexpr char kStoreOpHits[] = "store.op_hits";
 inline constexpr char kStoreOpMisses[] = "store.op_misses";
+// Budgeted ops answered from the memoized RESOURCE_EXHAUSTED set (same op,
+// operands, and effective budget) without re-running the kernel.
+inline constexpr char kStoreExhaustedHits[] = "store.exhausted_hits";
 inline constexpr char kAtomCacheHits[] = "atom_cache.hits";
 inline constexpr char kAtomCacheMisses[] = "atom_cache.misses";
+// A thread found another thread already compiling the atom/pattern it wanted
+// and waited for that build instead of duplicating it (single-flight).
+inline constexpr char kAtomCacheSingleflightWaits[] =
+    "atom_cache.singleflight_waits";
+// Revision-keyed atom entries dropped because their snapshot died.
+inline constexpr char kAtomCacheEvictions[] = "atom_cache.evictions";
 inline constexpr char kEvalTuplesEnumerated[] = "eval.tuples_enumerated";
 inline constexpr char kAlgebraNodesEvaluated[] = "algebra.nodes_evaluated";
 inline constexpr char kAlgebraMemoHits[] = "algebra.memo_hits";
@@ -132,6 +141,15 @@ inline constexpr char kPlanRulesFired[] = "plan.rules_fired";
 inline constexpr char kPlanSharedSubplans[] = "plan.shared_subplans";
 inline constexpr char kPlanEstimatedStates[] = "plan.estimated_states";
 inline constexpr char kPlanActualStates[] = "plan.actual_states";
+// Serving counters (src/serve): session/request traffic through the query
+// server, admission-control rejects, requests that shared another request's
+// in-flight compilation, and snapshots reclaimed after their last pin died.
+inline constexpr char kServeSessions[] = "serve.sessions";
+inline constexpr char kServeRequests[] = "serve.requests";
+inline constexpr char kServeAdmissionRejects[] = "serve.admission_rejects";
+inline constexpr char kServeInflightDedupHits[] = "serve.inflight_dedup_hits";
+inline constexpr char kServeSnapshotsReclaimed[] = "serve.snapshots_reclaimed";
+inline constexpr char kServeBudgetRejects[] = "serve.budget_rejects";
 
 // Histogram names: per-query end-to-end latency (all three engines record
 // it) and the per-phase costs ExplainAnalyze separates.
@@ -139,6 +157,9 @@ inline constexpr char kHistQueryLatencyNs[] = "query.latency_ns";
 inline constexpr char kHistPlanNs[] = "phase.plan_ns";
 inline constexpr char kHistCompileNs[] = "phase.compile_ns";
 inline constexpr char kHistEnumerateNs[] = "phase.enumerate_ns";
+// End-to-end latency of one served request (admission to answer), as seen by
+// the serving layer across all concurrent sessions.
+inline constexpr char kHistServeLatencyNs[] = "serve.latency_ns";
 
 // Process-wide registry of named monotonic counters plus log-bucketed
 // latency histograms. Cheap to read, guarded by a mutex on writes; writes

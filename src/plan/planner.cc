@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "base/budget.h"
 #include "logic/simplify.h"
 #include "obs/trace.h"
 #include "plan/cost_model.h"
@@ -80,6 +81,15 @@ PlannedQuery Planner::PlanUncached(const FormulaPtr& f, const Database* db,
 PlannedQuery Planner::Plan(const FormulaPtr& f, const Database* db,
                            const AtomCache* cache) {
   obs::Span span("plan");
+  // A request whose deadline already passed gets the identity plan: the
+  // evaluator aborts at its next deadline poll anyway, so spending rewrite
+  // time (or polluting the cache-hit stats) on it helps nobody.
+  if (const RequestBudget* budget = CurrentRequestBudget();
+      budget != nullptr && budget->Expired()) {
+    PlannedQuery out;
+    out.formula = f;
+    return out;
+  }
   if (!options_.enable || !options_.enable_cache) {
     PlannedQuery out = PlanUncached(f, db, cache);
     if (options_.enable) {

@@ -92,9 +92,21 @@ class Planner {
 
   // Plans `f` against `db` (cost model context; either may be null — the
   // cost model then uses closed-form estimates only). Never fails: the
-  // worst case is returning the input formula unchanged.
+  // worst case is returning the input formula unchanged (also the fast path
+  // taken when the calling request's deadline has already expired — the
+  // evaluator's own deadline poll aborts right after, so no rewrite time is
+  // spent on a dead request).
   PlannedQuery Plan(const FormulaPtr& f, const Database* db,
                     const AtomCache* cache);
+
+  // The plan-cache key for (f, db): the formula's structural hash mixed with
+  // the database revision. Structurally identical queries against the same
+  // revision collide here by design — the serving layer keys its in-flight
+  // compilation dedup on this value (with a StructurallyEqual guard against
+  // genuine hash collisions).
+  uint64_t QueryKey(const FormulaPtr& f, const Database* db) const {
+    return CacheKey(f, db);
+  }
 
   // Feedback: the actual answer-automaton size observed for the query that
   // was planned as `f` (the ORIGINAL formula). Recorded into the cache

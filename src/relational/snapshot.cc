@@ -1,0 +1,98 @@
+#include "relational/snapshot.h"
+
+#include <utility>
+
+namespace strq {
+
+VersionedDatabase::VersionedDatabase(Alphabet alphabet)
+    : head_(std::make_shared<const Database>(std::move(alphabet))),
+      pins_(std::make_shared<PinTable>()) {}
+
+VersionedDatabase::VersionedDatabase(Database initial)
+    : head_(std::make_shared<const Database>(std::move(initial))),
+      pins_(std::make_shared<PinTable>()) {}
+
+DbSnapshot VersionedDatabase::Snapshot() const {
+  std::shared_ptr<const Database> db;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    db = head_;
+  }
+  int64_t rev = db->revision();
+  {
+    std::lock_guard<std::mutex> lock(pins_->mu);
+    ++pins_->pins[rev];
+  }
+  // The token's deleter holds the pin table (not `this`), so snapshots may
+  // outlive the VersionedDatabase.
+  std::shared_ptr<PinTable> pins = pins_;
+  std::shared_ptr<void> token(static_cast<void*>(nullptr),
+                              [pins, rev](void*) {
+                                std::lock_guard<std::mutex> lock(pins->mu);
+                                auto it = pins->pins.find(rev);
+                                if (it != pins->pins.end() &&
+                                    --it->second == 0) {
+                                  pins->pins.erase(it);
+                                }
+                              });
+  return DbSnapshot(std::move(db), std::move(token));
+}
+
+Status VersionedDatabase::Update(
+    const std::function<Status(Database&)>& mutate) {
+  std::lock_guard<std::mutex> wlock(write_mu_);
+  std::shared_ptr<const Database> cur;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cur = head_;
+  }
+  auto next = std::make_shared<Database>(*cur);
+  STRQ_RETURN_IF_ERROR(mutate(*next));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    head_ = std::move(next);
+  }
+  return Status::Ok();
+}
+
+Status VersionedDatabase::AddRelation(const std::string& name,
+                                      Relation relation) {
+  return Update([&](Database& db) {
+    return db.AddRelation(name, std::move(relation));
+  });
+}
+
+Status VersionedDatabase::AddRelation(const std::string& name, int arity,
+                                      std::vector<Tuple> tuples) {
+  return Update([&](Database& db) {
+    return db.AddRelation(name, arity, std::move(tuples));
+  });
+}
+
+int64_t VersionedDatabase::head_revision() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return head_->revision();
+}
+
+bool VersionedDatabase::IsLive(int64_t revision) const {
+  if (revision == head_revision()) return true;
+  std::lock_guard<std::mutex> lock(pins_->mu);
+  return pins_->pins.count(revision) > 0;
+}
+
+std::vector<int64_t> VersionedDatabase::LiveRevisions() const {
+  std::vector<int64_t> live;
+  live.push_back(head_revision());
+  std::lock_guard<std::mutex> lock(pins_->mu);
+  for (const auto& [rev, count] : pins_->pins) {
+    if (rev != live.front()) live.push_back(rev);
+  }
+  return live;
+}
+
+size_t VersionedDatabase::pinned_revisions() const {
+  std::lock_guard<std::mutex> lock(pins_->mu);
+  return pins_->pins.size();
+}
+
+}  // namespace strq

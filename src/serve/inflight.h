@@ -1,0 +1,91 @@
+#ifndef STRQ_SERVE_INFLIGHT_H_
+#define STRQ_SERVE_INFLIGHT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace strq {
+namespace serve {
+
+// Generic single-flight: concurrent Do() calls with the same key are
+// collapsed into one execution of `compute` — the first caller in becomes
+// the LEADER and runs it; everyone else WAITS and receives the leader's
+// (immutable, shared) value. The entry is retired as soon as the leader
+// publishes, so a later call with the same key computes afresh: this is
+// in-flight deduplication, not a cache — pair it with one (the planner's
+// plan cache, the store's computed table) for cross-request reuse.
+//
+// The value is handed to waiters as shared_ptr<const V>; whether a FAILED
+// leader result should be shared is the caller's policy (a deadline abort
+// is specific to the leader's budget, a parse error is not), which is why
+// Outcome reports leader/waiter rather than hiding it.
+template <typename K, typename V>
+class SingleFlight {
+ public:
+  struct Outcome {
+    std::shared_ptr<const V> value;
+    // True iff this caller ran `compute` itself.
+    bool leader = false;
+  };
+
+  template <typename Fn>
+  Outcome Do(const K& key, Fn&& compute) {
+    std::shared_ptr<Entry> entry;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      auto it = entries_.find(key);
+      if (it != entries_.end()) {
+        entry = it->second;
+        ++total_waits_;
+        entry->cv.wait(lock, [&entry] { return entry->done; });
+        return Outcome{entry->value, false};
+      }
+      entry = std::make_shared<Entry>();
+      entries_.emplace(key, entry);
+    }
+    std::shared_ptr<const V> value =
+        std::make_shared<const V>(compute());
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      entry->value = value;
+      entry->done = true;
+      entries_.erase(key);
+    }
+    entry->cv.notify_all();
+    return Outcome{std::move(value), true};
+  }
+
+  // Total number of calls that waited on another caller's execution, ever.
+  // Deterministic tests drive concurrency to a known interleaving and
+  // assert on this.
+  int64_t total_waits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_waits_;
+  }
+
+  // Keys currently being computed.
+  size_t inflight_size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+
+ private:
+  struct Entry {
+    std::condition_variable cv;
+    std::shared_ptr<const V> value;
+    bool done = false;
+  };
+
+  mutable std::mutex mu_;
+  std::map<K, std::shared_ptr<Entry>> entries_;
+  int64_t total_waits_ = 0;
+};
+
+}  // namespace serve
+}  // namespace strq
+
+#endif  // STRQ_SERVE_INFLIGHT_H_

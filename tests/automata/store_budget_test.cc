@@ -1,0 +1,162 @@
+// Budgeted binary ops and stripe-level concurrency of the AutomatonStore:
+// the per-request state budget must bound the product kernel, exhausted
+// verdicts must be memoized separately from real results, and canonical
+// intern ids must not depend on how many threads race the store.
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "automata/ops.h"
+#include "automata/regex.h"
+#include "automata/store.h"
+#include "base/alphabet.h"
+#include "base/budget.h"
+#include "gtest/gtest.h"
+
+namespace strq {
+namespace {
+
+Dfa Regex(const std::string& pattern) {
+  Result<Dfa> d = CompileRegex(pattern, Alphabet::Binary());
+  EXPECT_TRUE(d.ok()) << pattern << ": " << d.status().ToString();
+  return *d;
+}
+
+// A pattern whose minimal DFA needs > 2^n states ((0|1)*0 then n fillers).
+std::string HardPattern(int n) {
+  std::string p = "(0|1)*0";
+  for (int i = 0; i < n; ++i) p += "(0|1)";
+  return p;
+}
+
+TEST(StoreBudgetTest, ExplicitMaxStatesBoundsTheProduct) {
+  AutomatonStore store;
+  DfaRef a = store.Intern(Regex(HardPattern(6)));
+  DfaRef b = store.Intern(Regex("(0|1)*1(0|1)(0|1)(0|1)(0|1)(0|1)"));
+  Result<DfaRef> starved = store.Intersect(a, b, /*max_states=*/2);
+  ASSERT_FALSE(starved.ok());
+  EXPECT_EQ(starved.status().code(), StatusCode::kResourceExhausted);
+  // The full product still works afterwards: exhaustion never lands in the
+  // canonical computed table.
+  Result<DfaRef> full = store.Intersect(a, b);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  EXPECT_GT((*full)->num_states(), 2);
+}
+
+TEST(StoreBudgetTest, InstalledRequestBudgetAppliesAtDefaultArgument) {
+  AutomatonStore store;
+  DfaRef a = store.Intern(Regex(HardPattern(6)));
+  DfaRef b = store.Intern(Regex("(0|1)(0|1)(0|1)(0|1)(0|1)(0|1)(0|1)*"));
+  RequestBudget budget;
+  budget.max_product_states = 2;
+  {
+    ScopedRequestBudget scope(&budget);
+    Result<DfaRef> starved = store.Intersect(a, b);
+    ASSERT_FALSE(starved.ok());
+    EXPECT_EQ(starved.status().code(), StatusCode::kResourceExhausted);
+  }
+  // Budget uninstalled: the same call succeeds.
+  EXPECT_TRUE(store.Intersect(a, b).ok());
+}
+
+TEST(StoreBudgetTest, ExhaustedVerdictIsMemoizedPerBudget) {
+  AutomatonStore store;
+  DfaRef a = store.Intern(Regex(HardPattern(6)));
+  DfaRef b = store.Intern(Regex("(0|1)*1"));
+  ASSERT_FALSE(store.Intersect(a, b, 2).ok());
+  int64_t misses_after_first = store.stats().op_misses;
+  // Same doomed budget again: served off the exhausted memo, not re-run.
+  ASSERT_FALSE(store.Intersect(a, b, 2).ok());
+  AutomatonStore::Stats stats = store.stats();
+  EXPECT_EQ(stats.op_misses, misses_after_first);
+  EXPECT_GE(stats.exhausted_hits, 1);
+  // A DIFFERENT budget is a different key: big enough now, it succeeds and
+  // the success lands in the canonical table for everyone.
+  Result<DfaRef> full = store.Intersect(a, b, 1 << 20);
+  ASSERT_TRUE(full.ok());
+  Result<DfaRef> unbudgeted = store.Intersect(a, b);
+  ASSERT_TRUE(unbudgeted.ok());
+  EXPECT_EQ(full->id(), unbudgeted->id());
+}
+
+TEST(StoreBudgetTest, MemoizedFullResultIsServedToBudgetedCallers) {
+  AutomatonStore store;
+  DfaRef a = store.Intern(Regex(HardPattern(5)));
+  DfaRef b = store.Intern(Regex("(0|1)*1"));
+  Result<DfaRef> full = store.Intersect(a, b);
+  ASSERT_TRUE(full.ok());
+  // The canonical result exists, so even a strangled request gets it: the
+  // budget bounds work, not answers.
+  Result<DfaRef> tiny = store.Intersect(a, b, 2);
+  ASSERT_TRUE(tiny.ok());
+  EXPECT_EQ(tiny->id(), full->id());
+}
+
+TEST(StoreBudgetTest, CommutativeNormalizationSharesExhaustedMemo) {
+  AutomatonStore store;
+  DfaRef a = store.Intern(Regex(HardPattern(6)));
+  DfaRef b = store.Intern(Regex("(0|1)*1"));
+  ASSERT_FALSE(store.Intersect(a, b, 2).ok());
+  int64_t misses = store.stats().op_misses;
+  ASSERT_FALSE(store.Intersect(b, a, 2).ok());  // swapped operands
+  EXPECT_EQ(store.stats().op_misses, misses);
+}
+
+// The acceptance invariant for concurrent serving: canonical ids are a
+// function of the language only, no matter how many threads race to intern
+// and combine. Run the same workload through a fresh store at several
+// thread counts and require (a) all threads agree on every id, and (b) the
+// language→id mapping is injective, and (c) the unique table holds exactly
+// the same number of entries at every thread count (no duplicate interning
+// slipped through a race).
+TEST(StoreBudgetTest, CanonicalIdsIndependentOfThreadCount) {
+  const std::vector<std::string> patterns = {
+      "(0|1)*0", "(0|1)*1", "0*",  "1*",  "(01)*",   "(10)*",
+      "0(0|1)*", "1(0|1)*", "00*", "11*", "(0|1)(0|1)*"};
+  std::vector<size_t> unique_sizes;
+  for (int threads : {1, 4, 8}) {
+    AutomatonStore store;
+    // ids[i][j]: id of Intersect(patterns[i], patterns[j]) — 0 if empty-
+    // product op failed (it cannot here; products are tiny).
+    std::vector<std::vector<uint64_t>> ids(
+        patterns.size(), std::vector<uint64_t>(patterns.size(), 0));
+    std::atomic<int> disagreements{0};
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&] {
+        for (size_t i = 0; i < patterns.size(); ++i) {
+          for (size_t j = 0; j < patterns.size(); ++j) {
+            DfaRef a = store.Intern(Regex(patterns[i]));
+            DfaRef b = store.Intern(Regex(patterns[j]));
+            Result<DfaRef> prod = store.Intersect(a, b);
+            if (!prod.ok()) {
+              disagreements.fetch_add(1);
+              continue;
+            }
+            // First writer records; later threads must agree.
+            uint64_t expected = 0;
+            uint64_t* slot = &ids[i][j];
+            if (!__atomic_compare_exchange_n(slot, &expected, prod->id(),
+                                             false, __ATOMIC_SEQ_CST,
+                                             __ATOMIC_SEQ_CST) &&
+                expected != prod->id()) {
+              disagreements.fetch_add(1);
+            }
+          }
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    EXPECT_EQ(disagreements.load(), 0) << "threads=" << threads;
+    unique_sizes.push_back(store.unique_size());
+  }
+  // Same workload, same language set: the unique table must end up the same
+  // size whether built serially or raced by 8 threads.
+  EXPECT_EQ(unique_sizes[0], unique_sizes[1]);
+  EXPECT_EQ(unique_sizes[0], unique_sizes[2]);
+}
+
+}  // namespace
+}  // namespace strq

@@ -1,0 +1,107 @@
+#include "base/budget.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "base/thread_pool.h"
+#include "gtest/gtest.h"
+
+namespace strq {
+namespace {
+
+TEST(RequestBudgetTest, NoBudgetInstalledMeansLibraryDefaults) {
+  EXPECT_EQ(CurrentRequestBudget(), nullptr);
+  EXPECT_TRUE(CheckDeadline().ok());
+  EXPECT_EQ(CurrentMaxProductStates(1234), 1234);
+  EXPECT_EQ(CurrentMaxAnswerTuples(99), 99u);
+}
+
+TEST(RequestBudgetTest, ScopedInstallAndRestore) {
+  RequestBudget budget;
+  budget.max_product_states = 7;
+  {
+    ScopedRequestBudget scope(&budget);
+    EXPECT_EQ(CurrentRequestBudget(), &budget);
+    EXPECT_EQ(CurrentMaxProductStates(1234), 7);
+  }
+  EXPECT_EQ(CurrentRequestBudget(), nullptr);
+  EXPECT_EQ(CurrentMaxProductStates(1234), 1234);
+}
+
+TEST(RequestBudgetTest, ScopesNest) {
+  RequestBudget outer;
+  outer.max_product_states = 7;
+  RequestBudget inner;
+  inner.max_product_states = 3;
+  ScopedRequestBudget outer_scope(&outer);
+  {
+    ScopedRequestBudget inner_scope(&inner);
+    EXPECT_EQ(CurrentMaxProductStates(0), 3);
+  }
+  EXPECT_EQ(CurrentMaxProductStates(0), 7);
+}
+
+TEST(RequestBudgetTest, DeadlineExpiresAndReportsDeadlineExceeded) {
+  RequestBudget budget = RequestBudget::WithTimeout(std::chrono::nanoseconds(1));
+  ScopedRequestBudget scope(&budget);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  Status s = CheckDeadline();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(RequestBudgetTest, GenerousDeadlinePasses) {
+  RequestBudget budget = RequestBudget::WithTimeout(std::chrono::hours(1));
+  ScopedRequestBudget scope(&budget);
+  EXPECT_TRUE(CheckDeadline().ok());
+  EXPECT_FALSE(budget.Expired());
+}
+
+TEST(RequestBudgetTest, AnswerTupleCapOnlyShrinks) {
+  RequestBudget budget;
+  budget.max_answer_tuples = 10;
+  ScopedRequestBudget scope(&budget);
+  // A session cap below the caller's limit wins; above it, the caller's
+  // limit stands (a budget must never RAISE a library bound).
+  EXPECT_EQ(CurrentMaxAnswerTuples(100), 10u);
+  EXPECT_EQ(CurrentMaxAnswerTuples(5), 5u);
+}
+
+TEST(RequestBudgetTest, ThreadPoolPropagatesBudgetToWorkers) {
+  RequestBudget budget;
+  budget.max_product_states = 42;
+  ScopedRequestBudget scope(&budget);
+  ThreadPool pool(2);
+  std::atomic<int> seen_submit{0};
+  pool.Submit([&] { seen_submit = CurrentMaxProductStates(0); });
+  pool.WaitIdle();
+  EXPECT_EQ(seen_submit.load(), 42);
+  // ParallelFor runs iterations on workers AND the calling thread; every
+  // iteration must observe the caller's budget.
+  std::atomic<int> wrong{0};
+  ThreadPool::ParallelFor(4, 16, [&](int) {
+    if (CurrentMaxProductStates(0) != 42) wrong.fetch_add(1);
+  });
+  EXPECT_EQ(wrong.load(), 0);
+}
+
+TEST(RequestBudgetTest, WorkerBudgetDoesNotLeakPastTheTask) {
+  ThreadPool pool(1);
+  RequestBudget budget;
+  budget.max_product_states = 42;
+  {
+    ScopedRequestBudget scope(&budget);
+    pool.Submit([] {});
+    pool.WaitIdle();
+  }
+  // The same worker thread, with no budget installed at submit time, must
+  // see no stale budget from the previous task.
+  std::atomic<int> seen{-1};
+  pool.Submit([&] { seen = CurrentMaxProductStates(0); });
+  pool.WaitIdle();
+  EXPECT_EQ(seen.load(), 0);
+}
+
+}  // namespace
+}  // namespace strq
