@@ -344,6 +344,14 @@ int Run(int argc, char** argv) {
   reporter.AddScalar(
       "serve.snapshots_reclaimed",
       static_cast<double>(versioned.stats().entries_reclaimed));
+  // Snapshot lifecycle after churn: how many distinct revisions are still
+  // pinned by live sessions, and how many trie/domain cache entries the
+  // shared AtomCache dropped for dead ones.
+  reporter.AddScalar("serve.live_pins",
+                     static_cast<double>(versioned.stats().live_pins));
+  reporter.AddScalar(
+      "atom_cache.evictions",
+      static_cast<double>(versioned.atom_cache()->stats().evictions));
   (void)reclaimed;
 
   // --- 5. Budget isolation --------------------------------------------

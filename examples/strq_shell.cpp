@@ -5,6 +5,8 @@
 //   alphabet <chars>            set Σ (resets the database)
 //   rel <name> <arity>          declare an empty relation
 //   add <name> <v1> [v2 ...]    insert a tuple ('' stands for ε)
+//   update <name> ±t [±t ...]   batch tuple writes, ONE commit: +w inserts,
+//                               -w deletes; fields comma-separated ('' = ε)
 //   show                        print the catalog and active domain
 //   query <formula>             evaluate; prints tuples or the error
 //   explain <formula>           EXPLAIN ANALYZE: span tree + metrics
@@ -203,9 +205,14 @@ class Shell {
     if (cmd == "quit" || cmd == "exit") return false;
     if (cmd == "help") {
       Printf(out,
-             "  commands: alphabet rel add load save show query explain ask "
-             "safe cqsafe lang simplify plan describe width threads budget "
-             "refresh stats flight help quit\n");
+             "  commands: alphabet rel add update load save show query "
+             "explain ask safe cqsafe lang simplify plan describe width "
+             "threads budget refresh stats flight help quit\n");
+      Printf(out,
+             "  update <rel> +t -t ...: batch tuple writes committed as ONE "
+             "revision (+ inserts, - deletes; fields comma-separated, '' = "
+             "ε); the published delta patches cached automata incrementally "
+             "(docs/INCREMENTAL.md)\n");
       Printf(out,
              "  explain (or \\explain) <formula>: compile with tracing on "
              "and print the chosen plan\n"
@@ -363,21 +370,72 @@ class Shell {
       std::istringstream args(rest);
       std::string name;
       args >> name;
-      const Relation* rel = session_->snapshot().db().Find(name);
-      if (rel == nullptr) {
+      if (session_->snapshot().db().Find(name) == nullptr) {
         Printf(out, "  unknown relation %s\n", name.c_str());
         return true;
       }
       Tuple t;
       std::string w;
       while (args >> w) t.push_back(Unescape(w));
-      std::vector<Tuple> tuples = rel->tuples();
-      tuples.push_back(std::move(t));
-      int arity = rel->arity();
-      Status s = Commit([&](Database& db) {
-        return db.AddRelation(name, arity, std::move(tuples));
-      });
-      Printf(out, "  %s\n", s.ok() ? "ok" : s.ToString().c_str());
+      // A tuple-level commit (not a whole-relation replace): the published
+      // delta is replayable, so downstream caches patch instead of rebuild.
+      Result<CommitDelta> d =
+          server_->CommitDeltas({TupleDelta{name, std::move(t), true}});
+      session_->Refresh();
+      Printf(out, "  %s\n", d.ok() ? "ok" : d.status().ToString().c_str());
+      return true;
+    }
+    if (cmd == "update") {
+      std::istringstream args(rest);
+      std::string name;
+      args >> name;
+      std::vector<TupleDelta> ops;
+      std::string tok;
+      bool bad = name.empty();
+      while (!bad && args >> tok) {
+        if (tok.size() < 2 || (tok[0] != '+' && tok[0] != '-')) {
+          bad = true;
+          break;
+        }
+        TupleDelta op;
+        op.relation = name;
+        op.insert = tok[0] == '+';
+        std::string fields = tok.substr(1);
+        size_t start = 0;
+        while (true) {
+          size_t comma = fields.find(',', start);
+          op.tuple.push_back(Unescape(
+              fields.substr(start, comma == std::string::npos
+                                       ? std::string::npos
+                                       : comma - start)));
+          if (comma == std::string::npos) break;
+          start = comma + 1;
+        }
+        ops.push_back(std::move(op));
+      }
+      if (bad || ops.empty()) {
+        Printf(out, "  usage: update <rel> +t -t ...  (fields "
+                    "comma-separated, '' = ε)\n");
+        return true;
+      }
+      // The whole batch is ONE copy-modify-publish commit: one revision
+      // edge, one published delta, one cache-patch pass downstream.
+      Result<CommitDelta> d = server_->CommitDeltas(ops);
+      session_->Refresh();
+      if (!d.ok()) {
+        Printf(out, "  %s\n", d.status().ToString().c_str());
+        return true;
+      }
+      if (d->ops.empty()) {
+        Printf(out, "  no-op (nothing changed; no revision published)\n");
+      } else {
+        size_t inserts = 0;
+        for (const TupleDelta& op : d->ops) inserts += op.insert ? 1 : 0;
+        Printf(out,
+               "  committed %zu effective op(s) (%zu insert, %zu delete) in "
+               "one revision\n",
+               d->ops.size(), inserts, d->ops.size() - inserts);
+      }
       return true;
     }
     if (cmd == "show") {
@@ -594,6 +652,23 @@ class Shell {
            static_cast<long long>(serving.admission_rejects),
            static_cast<long long>(serving.budget_rejects),
            static_cast<long long>(session_->revision()));
+    Printf(out,
+           "  snapshots: %lld live pin(s), %lld cache entr(y/ies) reclaimed, "
+           "%lld atom-cache eviction(s)\n",
+           static_cast<long long>(serving.live_pins),
+           static_cast<long long>(serving.entries_reclaimed),
+           static_cast<long long>(atoms.evictions));
+    if (server_->incremental() != nullptr) {
+      const incr::Stats inc = server_->incremental()->stats();
+      Printf(out,
+             "  incremental: %lld patch(es) (%lld answer-level), %lld "
+             "recompile(s), %lld compaction(s), %lld unchanged hit(s)\n",
+             static_cast<long long>(inc.patches),
+             static_cast<long long>(inc.answer_patches),
+             static_cast<long long>(inc.recompiles),
+             static_cast<long long>(inc.compactions),
+             static_cast<long long>(inc.unchanged_hits));
+    }
     std::map<std::string, obs::Histogram::Snapshot> hists =
         obs::MetricsRegistry::Global().HistSnapshot();
     if (hists.empty()) {

@@ -4,7 +4,10 @@
 # (`cmake --preset ubsan`) and TSan (`cmake --preset tsan`, for the thread
 # pool and the parallel compile/eval paths), a tier-2d TSan run of the
 # serving bench (concurrent sessions, MVCC snapshots, single-flight,
-# admission), then a smoke run of the substrate/ablation/serving benches so
+# admission), a tier-2e incremental-maintenance gate (bench_ablation's
+# update-stream section: >=5x updates/sec over full recompile with
+# identical answers/ids/verdicts), then a smoke run of the
+# substrate/ablation/serving benches so
 # the strq.bench.v1 JSON contract and the store.* / plan.* / pool.* /
 # dfa.product_states_* / dfa.classes_* / dfa.table_bytes_* / serve.*
 # counters stay exercised, and finally a BENCH.json drift gate
@@ -120,6 +123,34 @@ assert ab["scalars"].get("classes.store_ids_agree") == 1.0, \
     "class kernels produce different canonical store ids"
 EOF
 
+echo "==== tier-2e: incremental update-stream gate (bench_ablation [8]) ===="
+# The src/incr acceptance gate: replaying the same update stream with the
+# incremental index on must be >= 5x the recompile-everything baseline in
+# updates/sec, AND indistinguishable from it — identical per-step answer
+# counts, canonical store ids and safety verdicts. The speedup floor lives
+# here (not in BENCH.json) because wall-clock ratios are too noisy for the
+# drift gate's bands; the agree scalars go into the baseline below.
+python3 - "${tmpdir}/BENCH_AB.json" <<'EOF'
+import json, sys
+path = sys.argv[1]
+s = json.load(open(path))["scalars"]
+for key in ("incr.answers_agree", "incr.store_ids_agree", "incr.safe_agree"):
+    assert s.get(key) == 1.0, \
+        f"{path}: {key} != 1 (patching changed an observable!)"
+assert s.get("incr.patches", 0) > 0, f"{path}: no patches fired"
+assert s.get("incr.answer_patches", 0) > 0, \
+    f"{path}: no answer-level patches fired"
+speedup = s.get("incr.update_speedup", 0)
+assert speedup >= 5.0, (
+    f"{path}: incremental arm only {speedup:.1f}x over full recompile "
+    f"(acceptance floor 5x)")
+print(f"  {path}: ok (speedup={speedup:.1f}x, "
+      f"patches={s['incr.patches']:.0f} "
+      f"({s['incr.answer_patches']:.0f} answer-level), "
+      f"recompiles={s['incr.recompiles']:.0f}, "
+      f"compactions={s['incr.compactions']:.0f})")
+EOF
+
 echo "==== BENCH.json baseline snapshot + drift gate ===="
 # Selected scalars from both smoke runs, merged under sub./ab. prefixes into
 # a committed top-level baseline (schema strq.bench.v1) so perf-relevant
@@ -146,6 +177,7 @@ KEEP = {
         "classes.store_ids_agree", "classes.table_bytes_reduction",
         "classes.product_work_reduction", "dfa.classes_final",
         "dfa.table_bytes_condensed", "dfa.table_bytes_dense_equiv",
+        "incr.answers_agree", "incr.store_ids_agree", "incr.safe_agree",
     ],
     "srv.": [
         "serve.answers_agree", "serve.mvcc_agree",

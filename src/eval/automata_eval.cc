@@ -49,15 +49,28 @@ std::string CompileSpanDetail(const FormulaPtr& f) {
 // Every automaton is obtained through the shared AtomCache: atoms and table
 // tries come out interned against the cache's AutomatonStore, and all
 // first-order operations below memoize in that store's computed table.
+// A delta compile substitutes `contents` for the stored relation `name`;
+// the trie is cached under "relovr:<tag>:<revision>" (see
+// AutomataEvaluator::CompileWithRelationOverride).
+struct RelationOverride {
+  const std::string* name = nullptr;
+  const Relation* contents = nullptr;
+  const std::string* tag = nullptr;
+};
+
 class Compiler {
  public:
   Compiler(const Database* db, AtomCache* cache,
            ParallelOptions parallel = ParallelOptions{1},
-           const std::unordered_set<const Formula*>* parallel_folds = nullptr)
+           const std::unordered_set<const Formula*>* parallel_folds = nullptr,
+           TrieProvider* provider = nullptr,
+           RelationOverride override_rel = RelationOverride{})
       : db_(db),
         cache_(cache),
         parallel_(parallel),
-        parallel_folds_(parallel_folds) {}
+        parallel_folds_(parallel_folds),
+        provider_(provider),
+        override_(override_rel) {}
 
   Result<TrackAutomaton> CompileQuery(const FormulaPtr& f) {
     return CompileQuery(f, AutomataEvaluator::FreeVarOrder(f));
@@ -253,7 +266,10 @@ class Compiler {
   }
 
   Result<TrackAutomaton> CompileRelation(const Formula& f) {
-    const Relation* rel = db_->Find(f.relation);
+    bool overridden =
+        override_.name != nullptr && f.relation == *override_.name;
+    const Relation* rel =
+        overridden ? override_.contents : db_->Find(f.relation);
     if (rel == nullptr) {
       return InvalidArgumentError("unknown relation " + f.relation);
     }
@@ -265,6 +281,18 @@ class Compiler {
     std::vector<VarId> aux;
     STRQ_ASSIGN_OR_RETURN(std::vector<VarId> ids,
                           ResolveArgs(f.args, &defs, &aux));
+    if (overridden) {
+      STRQ_ASSIGN_OR_RETURN(
+          TrackAutomaton atom,
+          cache_->TableTrie("relovr:" + *override_.tag + ":" + Rev(), ids,
+                            [rel] { return rel->tuples(); }));
+      return FinishAtom(std::move(atom), std::move(defs), aux);
+    }
+    if (provider_ != nullptr) {
+      STRQ_ASSIGN_OR_RETURN(TrackAutomaton atom,
+                            provider_->RelationTrie(*db_, f.relation, ids));
+      return FinishAtom(std::move(atom), std::move(defs), aux);
+    }
     // The trie is cached per (relation, database revision); the supplier
     // only runs on the first compilation of this relation's contents.
     STRQ_ASSIGN_OR_RETURN(
@@ -275,6 +303,7 @@ class Compiler {
   }
 
   Result<TrackAutomaton> AdomAutomaton(VarId v) {
+    if (provider_ != nullptr) return provider_->AdomTrie(*db_, v);
     const Database* db = db_;
     return cache_->TableTrie("adom:" + Rev(), {v}, [db] {
       std::vector<std::vector<std::string>> tuples;
@@ -297,15 +326,17 @@ class Compiler {
       case QuantRange::kPrefixDom: {
         // x ≼ some adom string, or x ≼ some parameter.
         const Database* db = db_;
-        STRQ_ASSIGN_OR_RETURN(
-            TrackAutomaton acc,
-            cache_->TableTrie("prefixdom:" + Rev(), {v}, [db] {
-              std::vector<std::vector<std::string>> tuples;
-              for (const std::string& s : PrefixClosureOfAdom(db)) {
-                tuples.push_back({s});
-              }
-              return tuples;
-            }));
+        Result<TrackAutomaton> closure =
+            provider_ != nullptr
+                ? provider_->PrefixDomTrie(*db_, v)
+                : cache_->TableTrie("prefixdom:" + Rev(), {v}, [db] {
+                    std::vector<std::vector<std::string>> tuples;
+                    for (const std::string& s : PrefixClosureOfAdom(db)) {
+                      tuples.push_back({s});
+                    }
+                    return tuples;
+                  });
+        STRQ_ASSIGN_OR_RETURN(TrackAutomaton acc, std::move(closure));
         for (VarId z : params) {
           STRQ_ASSIGN_OR_RETURN(TrackAutomaton pre, cache_->Prefix(v, z));
           STRQ_ASSIGN_OR_RETURN(acc, TrackAutomaton::Union(acc, pre));
@@ -542,6 +573,8 @@ class Compiler {
   AtomCache* cache_;
   ParallelOptions parallel_;
   const std::unordered_set<const Formula*>* parallel_folds_;
+  TrieProvider* provider_ = nullptr;
+  RelationOverride override_;
   std::map<std::string, VarId> scope_;
   int next_var_ = 0;
 };
@@ -604,7 +637,7 @@ Result<TrackAutomaton> AutomataEvaluator::Compile(const FormulaPtr& f) {
   // answer automaton is over exactly the tracks the formula constrains; for
   // evaluation we cylindrify to all free variables below.
   Compiler compiler(db_, cache_.get(), parallel_,
-                    planned.parallel_folds.get());
+                    planned.parallel_folds.get(), trie_provider_.get());
   STRQ_ASSIGN_OR_RETURN(TrackAutomaton rel,
                         compiler.CompileQuery(to_compile, order));
   // Ensure every free variable has a track (x may not occur in any atom).
@@ -621,6 +654,34 @@ Result<TrackAutomaton> AutomataEvaluator::Compile(const FormulaPtr& f) {
   // in explain output and the plan.actual_states counter.
   planner_->RecordActual(f, db_, rel.NumStates());
   obs::Observe(obs::kHistCompileNs, LatencyNsSince(compile_start));
+  return rel;
+}
+
+Result<TrackAutomaton> AutomataEvaluator::CompileWithRelationOverride(
+    const FormulaPtr& f, const std::string& relation, const Relation& contents,
+    const std::string& cache_tag) {
+  STRQ_RETURN_IF_ERROR(CheckDeadline());
+  std::vector<std::string> order = FreeVarOrder(f);
+  // Plans are semantics-preserving rewrites, so the full-contents plan is
+  // valid for the substituted contents too (and reusing it keeps the plan
+  // cache warm instead of polluting it with delta-sized variants).
+  plan::PlannedQuery planned = planner_->Plan(f, db_, cache_.get());
+  RelationOverride override_rel;
+  override_rel.name = &relation;
+  override_rel.contents = &contents;
+  override_rel.tag = &cache_tag;
+  Compiler compiler(db_, cache_.get(), parallel_,
+                    planned.parallel_folds.get(), trie_provider_.get(),
+                    override_rel);
+  STRQ_ASSIGN_OR_RETURN(TrackAutomaton rel,
+                        compiler.CompileQuery(planned.formula, order));
+  std::vector<VarId> want;
+  for (size_t i = 0; i < order.size(); ++i) {
+    want.push_back(static_cast<VarId>(i));
+  }
+  if (rel.vars() != want) {
+    STRQ_ASSIGN_OR_RETURN(rel, rel.Cylindrified(want));
+  }
   return rel;
 }
 

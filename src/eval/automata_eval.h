@@ -16,6 +16,30 @@
 
 namespace strq {
 
+// Pluggable supplier of the database-contents automata Engine A's compiler
+// needs: relation table-tries, the active-domain automaton, and the
+// prefix-closure automaton for restricted ranges. The default (no provider)
+// path builds them from tuples through the AtomCache, keyed on the database
+// revision. The incremental-maintenance index (src/incr) implements this
+// interface by PATCHING a prior revision's automaton with the tuple deltas
+// in between instead of rebuilding.
+//
+// Contract: the returned automaton must be over exactly `vars` (pairwise
+// distinct, as handed in by the compiler) and its language must equal what
+// the default build would produce for `db`'s current contents — store
+// interning then guarantees the canonical id is identical either way, which
+// is what keeps answers and store ids invariant across patch vs recompile.
+class TrieProvider {
+ public:
+  virtual ~TrieProvider() = default;
+  virtual Result<TrackAutomaton> RelationTrie(const Database& db,
+                                              const std::string& name,
+                                              const std::vector<VarId>& vars) = 0;
+  virtual Result<TrackAutomaton> AdomTrie(const Database& db, VarId var) = 0;
+  virtual Result<TrackAutomaton> PrefixDomTrie(const Database& db,
+                                               VarId var) = 0;
+};
+
 // Engine A: exact natural-semantics evaluation of RC(SC, M) queries by
 // compilation to multi-track automata.
 //
@@ -73,9 +97,34 @@ class AutomataEvaluator {
   void set_parallel_options(ParallelOptions options) { parallel_ = options; }
   const ParallelOptions& parallel_options() const { return parallel_; }
 
+  // Routes the compiler's database-contents automata (relation tries, adom,
+  // prefix-closure) through `provider` instead of the default
+  // FromTuples-via-AtomCache path. Null restores the default. The provider
+  // must outlive every Compile call.
+  void set_trie_provider(std::shared_ptr<TrieProvider> provider) {
+    trie_provider_ = std::move(provider);
+  }
+  const std::shared_ptr<TrieProvider>& trie_provider() const {
+    return trie_provider_;
+  }
+
   // Compiles φ to its answer automaton over free(φ). Track order equals the
   // lexicographic order of the free-variable names (see FreeVarOrder).
   Result<TrackAutomaton> Compile(const FormulaPtr& f);
+
+  // Compiles φ with occurrences of `relation` reading `contents` instead of
+  // the database's stored relation (same arity required). This is the
+  // delta-compile primitive of answer maintenance: for a linear-positive
+  // query, Q[R ∪ δ] = Q[R] ∪ Q[δ], and this call produces Q[δ]. The trie
+  // for `contents` is cached under "relovr:<cache_tag>:<revision>" — the
+  // tag must uniquely identify the contents (src/incr uses a process-unique
+  // counter); the revision suffix lets dead-snapshot eviction reclaim the
+  // entry. Does not feed Planner::RecordActual (delta sizes would poison
+  // the full-compile feedback).
+  Result<TrackAutomaton> CompileWithRelationOverride(const FormulaPtr& f,
+                                                     const std::string& relation,
+                                                     const Relation& contents,
+                                                     const std::string& cache_tag);
 
   // The column order used for answer relations: sorted free-variable names.
   static std::vector<std::string> FreeVarOrder(const FormulaPtr& f);
@@ -101,6 +150,7 @@ class AutomataEvaluator {
   const Database* db_;
   std::shared_ptr<AtomCache> cache_;
   std::shared_ptr<plan::Planner> planner_;
+  std::shared_ptr<TrieProvider> trie_provider_;
   ParallelOptions parallel_;
 };
 

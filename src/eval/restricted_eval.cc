@@ -19,10 +19,12 @@ using Env = std::map<std::string, std::string>;
 
 class Evaluator {
  public:
+  // `adom` is an optional precomputed active domain (the incremental
+  // domain provider's maintained view); null means scan the database.
   Evaluator(const Database* db, const RestrictedEvaluator::Options& options,
-            AtomCache* cache)
+            AtomCache* cache, const std::vector<std::string>* adom = nullptr)
       : db_(db), options_(options), cache_(cache) {
-    adom_ = db_->ActiveDomain();
+    adom_ = adom != nullptr ? *adom : db_->ActiveDomain();
   }
 
   Result<bool> Eval(const FormulaPtr& f, Env& env) {
@@ -308,7 +310,8 @@ Result<bool> RestrictedEvaluator::Holds(
     const FormulaPtr& f, const std::map<std::string, std::string>& assignment) {
   obs::Span span("restricted.holds");
   FormulaPtr planned = planner_->Plan(f, db_, cache_.get()).formula;
-  Evaluator eval(db_, options_, cache_.get());
+  std::optional<std::vector<std::string>> adom = ProvidedAdom();
+  Evaluator eval(db_, options_, cache_.get(), adom ? &*adom : nullptr);
   Env env = assignment;
   return eval.Eval(planned, env);
 }
@@ -339,7 +342,9 @@ Result<Relation> RestrictedEvaluator::EvaluateOnCandidates(
   FormulaPtr planned = planner_->Plan(f, db_, cache_.get()).formula;
   int k = static_cast<int>(vars.size());
   std::vector<Tuple> out;
-  Evaluator eval(db_, options_, cache_.get());
+  std::optional<std::vector<std::string>> adom = ProvidedAdom();
+  const std::vector<std::string>* adom_ptr = adom ? &*adom : nullptr;
+  Evaluator eval(db_, options_, cache_.get(), adom_ptr);
 
   if (candidates.empty() && k > 0) return Relation::Create(k, {});
 
@@ -362,7 +367,7 @@ Result<Relation> RestrictedEvaluator::EvaluateOnCandidates(
         parallel_.num_threads, static_cast<int>(chunks), [&](int c) {
           uint64_t lo = total * c / chunks;
           uint64_t hi = total * (c + 1) / chunks;
-          Evaluator worker(db_, options_, cache_.get());
+          Evaluator worker(db_, options_, cache_.get(), adom_ptr);
           for (uint64_t m = lo; m < hi; ++m) {
             // Per-request deadline, polled at candidate-chunk granularity.
             if (((m - lo) & 255) == 0) {
@@ -424,7 +429,18 @@ Result<Relation> RestrictedEvaluator::EvaluateOnCandidates(
 }
 
 std::vector<std::string> RestrictedEvaluator::PrefixDomCandidates() const {
+  if (domain_provider_ != nullptr) {
+    std::optional<std::vector<std::string>> closure =
+        domain_provider_->PrefixClosureAt(db_->revision());
+    if (closure.has_value()) return *std::move(closure);
+  }
   return PrefixClosure(db_->ActiveDomain());
+}
+
+std::optional<std::vector<std::string>> RestrictedEvaluator::ProvidedAdom()
+    const {
+  if (domain_provider_ == nullptr) return std::nullopt;
+  return domain_provider_->ActiveDomainAt(db_->revision());
 }
 
 Result<std::vector<std::string>> RestrictedEvaluator::LenDomCandidates()

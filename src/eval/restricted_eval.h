@@ -16,6 +16,23 @@
 
 namespace strq {
 
+// Pluggable supplier of incrementally-maintained active-domain views for
+// Engine B. The evaluator materializes adom(D) (and its prefix closure, for
+// kPrefixDom candidate sets) on every construction; an implementation —
+// src/incr maintains both under tuple inserts/deletes — answers from its
+// maintained state instead. Returning nullopt for a revision the provider
+// has no view of makes the evaluator fall back to recomputing from the
+// database; a non-null answer must equal that recomputation exactly
+// (sorted, deduplicated, ε included in the closure of a non-empty adom).
+class DomainProvider {
+ public:
+  virtual ~DomainProvider() = default;
+  virtual std::optional<std::vector<std::string>> ActiveDomainAt(
+      int64_t revision) const = 0;
+  virtual std::optional<std::vector<std::string>> PrefixClosureAt(
+      int64_t revision) const = 0;
+};
+
 // Engine B: direct evaluation of *restricted-quantifier* formulas by
 // enumeration, with no automata. This is the evaluation strategy behind the
 // paper's collapse results:
@@ -73,6 +90,13 @@ class RestrictedEvaluator {
   void set_parallel_options(ParallelOptions options) { parallel_ = options; }
   const ParallelOptions& parallel_options() const { return parallel_; }
 
+  // Serves adom(D)/prefix(adom(D)) from an incrementally-maintained view
+  // (keyed on the database revision) instead of rescanning every relation.
+  // Null restores the default recomputation.
+  void set_domain_provider(std::shared_ptr<DomainProvider> provider) {
+    domain_provider_ = std::move(provider);
+  }
+
   // Truth of a formula under the given assignment of its free variables.
   Result<bool> Holds(const FormulaPtr& f,
                      const std::map<std::string, std::string>& assignment);
@@ -95,10 +119,15 @@ class RestrictedEvaluator {
   Result<std::vector<std::string>> LenDomCandidates() const;
 
  private:
+  // The provider's adom for the database's current revision, or nullopt
+  // (no provider, or it has no view of this revision).
+  std::optional<std::vector<std::string>> ProvidedAdom() const;
+
   const Database* db_;
   Options options_;
   std::shared_ptr<AtomCache> cache_;
   std::shared_ptr<plan::Planner> planner_;
+  std::shared_ptr<DomainProvider> domain_provider_;
   ParallelOptions parallel_;
 };
 

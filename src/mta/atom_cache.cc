@@ -248,6 +248,12 @@ Result<TrackAutomaton> AtomCache::TableTrie(
   });
 }
 
+Result<TrackAutomaton> AtomCache::CachedTrie(
+    const std::string& key, const std::vector<VarId>& vars,
+    const std::function<Result<TrackAutomaton>()>& build) {
+  return Cached("trie:" + key, vars, build);
+}
+
 namespace {
 
 // Revision-keyed cache entries look like "trie:<kind>…:<revision>"; the

@@ -113,6 +113,19 @@ class AtomCache {
       const std::string& key, const std::vector<VarId>& vars,
       const std::function<std::vector<std::vector<std::string>>()>& tuples);
 
+  // TableTrie with an arbitrary builder: same keyspace ("rel:<name>:<rev>"
+  // style, so EvictRevisionEntries reclaims these entries too) and the same
+  // single-flight miss path, but the automaton comes from `build` instead
+  // of a FromTuples rebuild. The incremental index (src/incr) uses this to
+  // install PATCHED tries — a prior revision's trie plus a small delta —
+  // under the key the compilers will look up for the new revision. `build`
+  // must produce canonical variables 0..k-1 with the same language a
+  // FromTuples rebuild would; store interning then guarantees the patched
+  // entry is bit-identical (same canonical id) to a recompiled one.
+  Result<TrackAutomaton> CachedTrie(
+      const std::string& key, const std::vector<VarId>& vars,
+      const std::function<Result<TrackAutomaton>()>& build);
+
   // Drops every revision-keyed entry ("trie:…:<revision>" — database
   // relations, active-domain and prefix-domain automata) whose revision the
   // predicate reports as dead, refunding its bytes. Revision-free entries

@@ -470,6 +470,27 @@ Result<TrackAutomaton> TrackAutomaton::Union(const TrackAutomaton& a,
   return out;
 }
 
+Result<TrackAutomaton> TrackAutomaton::Difference(const TrackAutomaton& a,
+                                                  const TrackAutomaton& b) {
+  if (!(a.alphabet_ == b.alphabet_)) {
+    return InvalidArgumentError("difference over different alphabets");
+  }
+  obs::Span span("mta.difference");
+  span.Attr("a_states", a.NumStates());
+  span.Attr("b_states", b.NumStates());
+  obs::Count(obs::kMtaDifferences);
+  std::vector<VarId> vars = UnionVars(a.vars_, b.vars_);
+  STRQ_ASSIGN_OR_RETURN(TrackAutomaton ca, a.Cylindrified(vars));
+  STRQ_ASSIGN_OR_RETURN(TrackAutomaton cb, b.Cylindrified(vars));
+  // a ∖ b ⊆ L(a) ⊆ Valid(arity), so the invariant is preserved.
+  STRQ_ASSIGN_OR_RETURN(DfaRef diff, a.store_->Difference(ca.dfa_, cb.dfa_));
+  TrackAutomaton out(a.alphabet_, std::move(vars), ca.conv_, std::move(diff),
+                     a.store_);
+  obs::Count(obs::kMtaIntermediateStates, out.NumStates());
+  span.Attr("out_states", out.NumStates());
+  return out;
+}
+
 Result<TrackAutomaton> TrackAutomaton::Complemented() const {
   obs::Span span("mta.complement");
   span.Attr("in_states", NumStates());

@@ -107,6 +107,13 @@ class TrackAutomaton {
   static Result<TrackAutomaton> Union(const TrackAutomaton& a,
                                       const TrackAutomaton& b);
 
+  // Set difference a ∖ b with automatic variable alignment. The invariant
+  // is preserved without re-validation: the result is a sublanguage of a.
+  // The workhorse of incremental maintenance (retracting delta tuples from
+  // a base relation).
+  static Result<TrackAutomaton> Difference(const TrackAutomaton& a,
+                                           const TrackAutomaton& b);
+
   // Negation relative to the full relation over vars().
   Result<TrackAutomaton> Complemented() const;
 

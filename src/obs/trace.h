@@ -104,6 +104,7 @@ inline constexpr char kMtaUnions[] = "mta.unions";
 inline constexpr char kMtaComplements[] = "mta.complements";
 inline constexpr char kMtaProjections[] = "mta.projections";
 inline constexpr char kMtaCylindrifications[] = "mta.cylindrifications";
+inline constexpr char kMtaDifferences[] = "mta.differences";
 inline constexpr char kMtaRenamings[] = "mta.renamings";
 inline constexpr char kMtaStatesBuilt[] = "mta.states_built";
 inline constexpr char kMtaTransitionsBuilt[] = "mta.transitions_built";
@@ -150,6 +151,22 @@ inline constexpr char kServeAdmissionRejects[] = "serve.admission_rejects";
 inline constexpr char kServeInflightDedupHits[] = "serve.inflight_dedup_hits";
 inline constexpr char kServeSnapshotsReclaimed[] = "serve.snapshots_reclaimed";
 inline constexpr char kServeBudgetRejects[] = "serve.budget_rejects";
+// Incremental-maintenance counters (src/incr): tries/answers patched with a
+// small delta instead of recompiled from tuples, full-recompile fallbacks
+// (broken delta chain, non-distributive formula, planner advice), delta
+// folds re-anchoring a base automaton, and unchanged-revision promotions
+// (the delta chain was empty so the old automaton was reused as-is).
+inline constexpr char kIncrPatches[] = "incr.patches";
+inline constexpr char kIncrRecompiles[] = "incr.recompiles";
+inline constexpr char kIncrCompactions[] = "incr.compactions";
+inline constexpr char kIncrUnchangedHits[] = "incr.unchanged_hits";
+// Answer-level maintenance: compiled answers extended by a delta compile
+// (insert-only linear-positive queries) or spliced by union/difference
+// (single-atom queries) without re-running the full compile.
+inline constexpr char kIncrAnswerPatches[] = "incr.answer_patches";
+// MVCC snapshot surface: cache entries reclaimed when a snapshot's last pin
+// died (same event as serve.snapshots_reclaimed, counted in entries).
+inline constexpr char kSnapshotReclaimed[] = "snapshot.reclaimed";
 
 // Histogram names: per-query end-to-end latency (all three engines record
 // it) and the per-phase costs ExplainAnalyze separates.
@@ -160,6 +177,10 @@ inline constexpr char kHistEnumerateNs[] = "phase.enumerate_ns";
 // End-to-end latency of one served request (admission to answer), as seen by
 // the serving layer across all concurrent sessions.
 inline constexpr char kHistServeLatencyNs[] = "serve.latency_ns";
+// Wall time of one successful incremental patch (trie or answer), the
+// quantity the patch-vs-recompile heuristic is trying to keep below a
+// fresh compile.
+inline constexpr char kHistIncrPatchNs[] = "incr.patch_ns";
 
 // Process-wide registry of named monotonic counters plus log-bucketed
 // latency histograms. Cheap to read, guarded by a mutex on writes; writes

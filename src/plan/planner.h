@@ -119,6 +119,23 @@ class Planner {
   std::optional<int64_t> ActualFor(const FormulaPtr& f,
                                    const Database* db) const;
 
+  // Revision-agnostic variant: the most recently recorded actual size for
+  // the structurally-equal formula at ANY database revision. Incremental
+  // maintenance consults this across commits (the per-revision entry for
+  // the new head does not exist yet when the patch decision is made).
+  std::optional<int64_t> LastActualFor(const FormulaPtr& f) const;
+
+  // Patch-vs-recompile advice for incremental answer maintenance: given a
+  // delta of `delta_ops` tuple writes against a plan whose last full
+  // compile produced LastActualFor(f) states, is patching (delta compile +
+  // interned union/difference) expected to beat recompiling? Patch cost
+  // scales with the delta; recompile cost with the recorded answer size; a
+  // warm store computed table (op_hits ≥ op_misses) discounts the patch's
+  // products. Plans with no recorded actual only patch trivial deltas.
+  // See docs/INCREMENTAL.md for the policy.
+  bool AdvisePatch(const FormulaPtr& f, int64_t delta_ops,
+                   const AutomatonStore::Stats& store) const;
+
   Stats stats() const;
 
   // Drops every cached plan and returns Stats.bytes (and the mirrored
@@ -139,6 +156,15 @@ class Planner {
   PlannerOptions options_;
   mutable std::mutex mu_;
   std::map<uint64_t, std::vector<CacheEntry>> cache_;
+  // Latest actual answer size per structural hash, across revisions (the
+  // per-revision record lives in cache_). Bounded: cleared wholesale if it
+  // ever exceeds kMaxLatestActuals distinct formulas.
+  struct LatestActual {
+    FormulaPtr formula;  // collision guard
+    int64_t actual_states = 0;
+  };
+  static constexpr size_t kMaxLatestActuals = 4096;
+  std::map<uint64_t, std::vector<LatestActual>> latest_actuals_;
   Stats stats_;
 };
 

@@ -41,6 +41,26 @@ std::vector<std::string> Relation::ActiveDomain() const {
   return std::vector<std::string>(domain.begin(), domain.end());
 }
 
+Result<bool> Relation::Insert(const Tuple& t) {
+  if (static_cast<int>(t.size()) != arity_) {
+    return InvalidArgumentError("tuple arity mismatch");
+  }
+  auto it = std::lower_bound(tuples_.begin(), tuples_.end(), t);
+  if (it != tuples_.end() && *it == t) return false;
+  tuples_.insert(it, t);
+  return true;
+}
+
+Result<bool> Relation::Remove(const Tuple& t) {
+  if (static_cast<int>(t.size()) != arity_) {
+    return InvalidArgumentError("tuple arity mismatch");
+  }
+  auto it = std::lower_bound(tuples_.begin(), tuples_.end(), t);
+  if (it == tuples_.end() || *it != t) return false;
+  tuples_.erase(it);
+  return true;
+}
+
 Status Database::AddRelation(const std::string& name, Relation relation) {
   for (const Tuple& t : relation.tuples()) {
     for (const std::string& s : t) {
@@ -62,6 +82,35 @@ Status Database::AddRelation(const std::string& name, int arity,
                              std::vector<Tuple> tuples) {
   STRQ_ASSIGN_OR_RETURN(Relation r, Relation::Create(arity, std::move(tuples)));
   return AddRelation(name, std::move(r));
+}
+
+Result<bool> Database::InsertTuple(const std::string& name, const Tuple& t) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return InvalidArgumentError("unknown relation " + name);
+  }
+  for (const std::string& s : t) {
+    for (char c : s) {
+      if (!alphabet_.Contains(c)) {
+        return InvalidArgumentError(
+            std::string("tuple for ") + name + " contains character '" + c +
+            "' outside the database alphabet");
+      }
+    }
+  }
+  STRQ_ASSIGN_OR_RETURN(bool changed, it->second.Insert(t));
+  if (changed) revision_ = NextRevision();
+  return changed;
+}
+
+Result<bool> Database::DeleteTuple(const std::string& name, const Tuple& t) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return InvalidArgumentError("unknown relation " + name);
+  }
+  STRQ_ASSIGN_OR_RETURN(bool changed, it->second.Remove(t));
+  if (changed) revision_ = NextRevision();
+  return changed;
 }
 
 const Relation* Database::Find(const std::string& name) const {

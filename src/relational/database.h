@@ -26,6 +26,12 @@ class Relation {
   const std::vector<Tuple>& tuples() const { return tuples_; }
   bool Contains(const Tuple& t) const;
 
+  // In-place single-tuple mutation, preserving the sorted/dup-free
+  // invariant. Returns true iff the relation changed (the tuple was absent
+  // resp. present); arity mismatches are errors.
+  Result<bool> Insert(const Tuple& t);
+  Result<bool> Remove(const Tuple& t);
+
   // All strings appearing in some tuple, sorted and deduplicated.
   std::vector<std::string> ActiveDomain() const;
 
@@ -55,6 +61,14 @@ class Database {
   // Convenience: build the relation from raw tuples.
   Status AddRelation(const std::string& name, int arity,
                      std::vector<Tuple> tuples);
+
+  // Single-tuple mutation against an existing relation. Returns true iff
+  // the database changed; the revision is bumped only in that case, so
+  // no-op writes never invalidate revision-keyed caches. The relation must
+  // exist (create it with AddRelation first) and the tuple must match its
+  // arity and the alphabet.
+  Result<bool> InsertTuple(const std::string& name, const Tuple& t);
+  Result<bool> DeleteTuple(const std::string& name, const Tuple& t);
 
   // nullptr if absent.
   const Relation* Find(const std::string& name) const;

@@ -48,11 +48,88 @@ Status VersionedDatabase::Update(
   }
   auto next = std::make_shared<Database>(*cur);
   STRQ_RETURN_IF_ERROR(mutate(*next));
+  int64_t from = cur->revision();
+  int64_t to = next->revision();
   {
     std::lock_guard<std::mutex> lock(mu_);
     head_ = std::move(next);
   }
+  // Arbitrary mutations are not expressible as tuple ops: log them opaque
+  // so delta replays across this commit fall back to full recompilation.
+  if (to != from) Publish(CommitDelta{from, to, /*opaque=*/true, {}});
   return Status::Ok();
+}
+
+Result<CommitDelta> VersionedDatabase::ApplyDeltas(
+    const std::vector<TupleDelta>& ops) {
+  std::lock_guard<std::mutex> wlock(write_mu_);
+  std::shared_ptr<const Database> cur;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cur = head_;
+  }
+  auto next = std::make_shared<Database>(*cur);
+  CommitDelta delta;
+  delta.from_revision = cur->revision();
+  // Intermediate revisions minted while mutating the private copy are never
+  // observable; only the final published revision ever reaches a snapshot.
+  for (const TupleDelta& op : ops) {
+    bool changed = false;
+    if (op.insert) {
+      STRQ_ASSIGN_OR_RETURN(changed, next->InsertTuple(op.relation, op.tuple));
+    } else {
+      STRQ_ASSIGN_OR_RETURN(changed, next->DeleteTuple(op.relation, op.tuple));
+    }
+    if (changed) delta.ops.push_back(op);
+  }
+  if (delta.ops.empty()) {
+    delta.to_revision = delta.from_revision;
+    return delta;  // nothing changed; nothing published
+  }
+  delta.to_revision = next->revision();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    head_ = std::move(next);
+  }
+  Publish(delta);
+  return delta;
+}
+
+std::optional<std::vector<TupleDelta>> VersionedDatabase::DeltasBetween(
+    int64_t from_revision, int64_t to_revision) const {
+  if (to_revision < from_revision) return std::nullopt;
+  std::vector<TupleDelta> out;
+  if (to_revision == from_revision) return out;
+  std::lock_guard<std::mutex> lock(log_mu_);
+  // Walk the contiguous chain of commit records from `from_revision` up.
+  // The log is ordered by construction (appended under write_mu_), so a
+  // linear scan for the starting edge suffices at kMaxLogCommits size.
+  int64_t at = from_revision;
+  for (const CommitDelta& c : log_) {
+    if (c.from_revision != at) continue;
+    if (c.opaque) return std::nullopt;
+    out.insert(out.end(), c.ops.begin(), c.ops.end());
+    at = c.to_revision;
+    if (at == to_revision) return out;
+  }
+  return std::nullopt;  // chain truncated or revisions unknown
+}
+
+void VersionedDatabase::SetCommitHook(
+    std::function<void(const CommitDelta&)> hook) {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  commit_hook_ = std::move(hook);
+}
+
+void VersionedDatabase::Publish(CommitDelta delta) {
+  std::function<void(const CommitDelta&)> hook;
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    log_.push_back(delta);
+    while (log_.size() > kMaxLogCommits) log_.pop_front();
+    hook = commit_hook_;
+  }
+  if (hook) hook(delta);
 }
 
 Status VersionedDatabase::AddRelation(const std::string& name,

@@ -21,15 +21,39 @@ QueryServer::QueryServer(Alphabet alphabet, ServerOptions options)
     : options_(options),
       db_(std::move(alphabet)),
       cache_(std::make_shared<AtomCache>(db_.alphabet())),
-      planner_(std::make_shared<plan::Planner>(options.planner)) {}
+      planner_(std::make_shared<plan::Planner>(options.planner)) {
+  InstallCommitHook();
+}
 
 QueryServer::QueryServer(Database initial, ServerOptions options)
     : options_(options),
       db_(std::move(initial)),
       cache_(std::make_shared<AtomCache>(db_.alphabet())),
-      planner_(std::make_shared<plan::Planner>(options.planner)) {}
+      planner_(std::make_shared<plan::Planner>(options.planner)) {
+  InstallCommitHook();
+}
 
-QueryServer::~QueryServer() = default;
+void QueryServer::InstallCommitHook() {
+  if (options_.enable_incremental) {
+    incr_ = std::make_shared<incr::IncrementalIndex>(
+        &db_, cache_, planner_, options_.incremental);
+  }
+  // Every commit (whatever API produced it) publishes its delta to the
+  // subscribed index and reclaims cache entries for snapshots the commit
+  // just orphaned. The hook runs under the writer lock, so the index sees
+  // commits in revision order.
+  db_.SetCommitHook([this](const CommitDelta& delta) {
+    if (incr_ != nullptr) incr_->OnCommit(delta);
+    ReclaimDeadSnapshots();
+  });
+}
+
+QueryServer::~QueryServer() { db_.SetCommitHook(nullptr); }
+
+Result<CommitDelta> QueryServer::CommitDeltas(
+    const std::vector<TupleDelta>& ops) {
+  return db_.ApplyDeltas(ops);
+}
 
 std::unique_ptr<Session> QueryServer::OpenSession() {
   sessions_.fetch_add(1, std::memory_order_relaxed);
@@ -89,7 +113,11 @@ Result<TrackAutomaton> QueryServer::CompileShared(AutomataEvaluator& eval,
   auto outcome = inflight_.Do(key, [&] {
     CompiledEntry entry;
     entry.formula = f;
-    entry.result = eval.Compile(f);
+    // The leader routes through the incremental index: the answer is
+    // patched forward from the last maintained revision when the delta
+    // window allows, recompiled (over patched tries) otherwise.
+    entry.result = incr_ != nullptr ? incr_->CompileAnswer(eval, f, *db)
+                                    : eval.Compile(f);
     return entry;
   });
   if (outcome.leader) return outcome.value->result;
@@ -121,6 +149,7 @@ size_t QueryServer::ReclaimDeadSnapshots() {
                                  std::memory_order_relaxed);
     obs::Count(obs::kServeSnapshotsReclaimed,
                static_cast<int64_t>(evicted));
+    obs::Count(obs::kSnapshotReclaimed, static_cast<int64_t>(evicted));
   }
   return evicted;
 }
@@ -133,6 +162,7 @@ QueryServer::Stats QueryServer::stats() const {
   s.inflight_dedup_hits = dedup_hits_.load(std::memory_order_relaxed);
   s.budget_rejects = budget_rejects_.load(std::memory_order_relaxed);
   s.entries_reclaimed = entries_reclaimed_.load(std::memory_order_relaxed);
+  s.live_pins = static_cast<int64_t>(db_.pinned_revisions());
   return s;
 }
 
@@ -145,6 +175,9 @@ void Session::Refresh() {
   eval_ = std::make_unique<AutomataEvaluator>(
       &snapshot_.db(), server_->atom_cache(), server_->planner());
   eval_->set_parallel_options(parallel_);
+  // Relation/adom/prefix automata come from the incremental index (which
+  // patches across revisions) when the server maintains one.
+  eval_->set_trie_provider(server_->incremental());
 }
 
 void Session::set_parallel_options(ParallelOptions options) {

@@ -14,6 +14,7 @@
 #include "base/budget.h"
 #include "base/status.h"
 #include "eval/automata_eval.h"
+#include "incr/incr.h"
 #include "logic/ast.h"
 #include "mta/atom_cache.h"
 #include "plan/planner.h"
@@ -35,6 +36,13 @@ struct ServerOptions {
   int max_queued = -1;
   // Planner options for the shared planner (plan cache included).
   plan::PlannerOptions planner;
+  // Incremental maintenance (src/incr): subscribe an IncrementalIndex to
+  // the commit stream and serve table tries, domain automata and answer
+  // automata by patching across revisions instead of recompiling. Answers
+  // and canonical store ids are identical either way; disable to get the
+  // recompile-everything baseline (bench_ablation's update-stream rows).
+  bool enable_incremental = true;
+  incr::Options incremental;
 };
 
 // Per-session request budget template. Each request materializes it into a
@@ -89,6 +97,20 @@ class QueryServer {
   const std::shared_ptr<AtomCache>& atom_cache() const { return cache_; }
   const std::shared_ptr<plan::Planner>& planner() const { return planner_; }
 
+  // The incremental-maintenance index subscribed to this server's commit
+  // stream, or null when ServerOptions::enable_incremental is off. Also a
+  // DomainProvider: wire it into a RestrictedEvaluator (Engine B) reading
+  // the head snapshot to get incrementally-maintained candidate sets.
+  const std::shared_ptr<incr::IncrementalIndex>& incremental() const {
+    return incr_;
+  }
+
+  // Applies a batch of tuple writes as ONE commit (one revision edge) and
+  // publishes the delta to the subscribed index; dead-snapshot cache
+  // entries are reclaimed on the same edge. Open sessions keep their pinned
+  // snapshots until they Refresh().
+  Result<CommitDelta> CommitDeltas(const std::vector<TupleDelta>& ops);
+
   // Opens a session pinned at the current head revision.
   std::unique_ptr<Session> OpenSession();
 
@@ -108,6 +130,8 @@ class QueryServer {
     int64_t inflight_dedup_hits = 0;
     int64_t budget_rejects = 0;
     int64_t entries_reclaimed = 0;
+    // Distinct revisions currently pinned by live snapshots.
+    int64_t live_pins = 0;
   };
   Stats stats() const;
 
@@ -135,6 +159,10 @@ class QueryServer {
     QueryServer* server_ = nullptr;
   };
 
+  // Builds the incremental index (when enabled) and registers the commit
+  // hook that feeds it and reclaims dead-snapshot cache entries.
+  void InstallCommitHook();
+
   // Blocks until a slot frees up (or `deadline`, when the request has one;
   // a timed-out wait is DEADLINE_EXCEEDED). A full queue rejects
   // immediately with RESOURCE_EXHAUSTED.
@@ -156,6 +184,7 @@ class QueryServer {
   VersionedDatabase db_;
   std::shared_ptr<AtomCache> cache_;
   std::shared_ptr<plan::Planner> planner_;
+  std::shared_ptr<incr::IncrementalIndex> incr_;
 
   SingleFlight<uint64_t, CompiledEntry> inflight_;
 
