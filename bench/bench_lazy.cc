@@ -1,0 +1,277 @@
+// Lazy on-the-fly products vs eager materialization (src/lazy, ROADMAP
+// item 3): the early-exit query modes against the classic
+// compile-then-enumerate pipeline.
+//
+//   1. ExistsWitness: time-to-first-answer and states created, lazy BFS vs
+//      full product compilation + shortlex enumeration of one tuple
+//      (lazy.state_reduction_witness).
+//   2. TopK at k = 1/10/100: answers must equal the eager shortlex prefix
+//      tuple-for-tuple; states created scale with k, not with the product
+//      (lazy.state_reduction_topk10).
+//   3. Contains: random probe tuples through the single-path walk vs the
+//      materialized automaton.
+//   4. Similarity workload: a bounded-edit-distance atom (~k, sparse
+//      Levenshtein automata) driving both pipelines.
+//   5. Store-id invariance: lazy traffic interns nothing — recompiling the
+//      materialized answer after every lazy mode yields the same canonical
+//      DfaRef id (lazy.store_ids_agree).
+//
+// Every lazy answer is cross-checked against the eager pipeline; one
+// lazy.answers_agree scalar gates the whole file (check.sh asserts it).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "bench/bench_util.h"
+#include "eval/automata_eval.h"
+#include "lazy/lazy.h"
+#include "logic/parser.h"
+#include "obs/trace.h"
+#include "relational/database.h"
+
+namespace strq {
+namespace {
+
+using bench::BenchReporter;
+using bench::Header;
+using bench::RandomUnaryDb;
+using bench::Row;
+
+FormulaPtr Q(const std::string& text) {
+  Result<FormulaPtr> r = ParseFormula(text);
+  if (!r.ok()) {
+    std::fprintf(stderr, "parse failed: %s\n", r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *std::move(r);
+}
+
+int64_t ExploredStates() {
+  return obs::MetricsRegistry::Global().Get(obs::kDfaProductStatesExplored);
+}
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// One isolated arm: a fresh store + cache + evaluator, so neither arm's
+// computed-table entries subsidize the other.
+struct Arm {
+  explicit Arm(const Database* db)
+      : store(true),
+        cache(std::make_shared<AtomCache>(db->alphabet(), &store)),
+        eval(db, cache) {}
+  AutomatonStore store;
+  std::shared_ptr<AtomCache> cache;
+  AutomataEvaluator eval;
+};
+
+int main_impl(int argc, char** argv) {
+  BenchReporter reporter(argc, argv, "LZ", "lazy products and early exits");
+  obs::SetEnabled(true);
+  const uint64_t seed = 20260809;
+  reporter.set_seed(seed);
+  const int db_size = reporter.smoke() ? 140 : 400;
+  const int max_len = reporter.smoke() ? 10 : 12;
+  Database db = RandomUnaryDb(seed, db_size, 6, max_len);
+
+  bool answers_agree = true;
+  bool store_ids_agree = true;
+
+  // -------------------------------------------------------------------
+  Header("LZ-1", "ExistsWitness: first answer, lazy BFS vs full product");
+  FormulaPtr fw = Q("R(x) & x <= y & member(y, '0(0|1)*')");
+
+  Arm eager_arm(&db);
+  int64_t explored_before = ExploredStates();
+  int64_t t0 = NowNs();
+  Result<TrackAutomaton> rel = eager_arm.eval.Compile(fw);
+  if (!rel.ok()) {
+    std::fprintf(stderr, "compile failed: %s\n",
+                 rel.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<std::vector<std::string>> eager_first =
+      rel->EnumerateTuples(rel->NumStates(), 1);
+  int64_t eager_ns = NowNs() - t0;
+  int64_t eager_states = ExploredStates() - explored_before;
+
+  Arm lazy_arm(&db);
+  t0 = NowNs();
+  Result<lazy::LazyProduct> product = lazy_arm.eval.CompileLazy(fw);
+  if (!product.ok()) {
+    std::fprintf(stderr, "lazy compile failed: %s\n",
+                 product.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::optional<std::vector<std::string>>> witness =
+      product->ShortestWitness();
+  int64_t lazy_ns = NowNs() - t0;
+  if (!witness.ok()) {
+    std::fprintf(stderr, "witness failed: %s\n",
+                 witness.status().ToString().c_str());
+    return 1;
+  }
+  int64_t lazy_states = product->states_created();
+  answers_agree &= witness->has_value() == !eager_first.empty();
+  if (witness->has_value() && !eager_first.empty()) {
+    // Shortest by convolution length; both sides expand ascending letters,
+    // so the tuples are identical.
+    answers_agree &= **witness == eager_first[0];
+  }
+  double reduction_witness =
+      lazy_states > 0 ? static_cast<double>(eager_states) / lazy_states : 0;
+  Row("eager: " + std::to_string(eager_ns / 1000) + "us, " +
+      std::to_string(eager_states) + " product states explored");
+  Row("lazy:  " + std::to_string(lazy_ns / 1000) + "us, " +
+      std::to_string(lazy_states) + " states created (reduction " +
+      std::to_string(reduction_witness) + "x)");
+  reporter.AddScalar("lazy.first_answer_eager_ns",
+                     static_cast<double>(eager_ns));
+  reporter.AddScalar("lazy.first_answer_lazy_ns",
+                     static_cast<double>(lazy_ns));
+  reporter.AddScalar("lazy.states_eager_witness",
+                     static_cast<double>(eager_states));
+  reporter.AddScalar("lazy.states_lazy_witness",
+                     static_cast<double>(lazy_states));
+  reporter.AddScalar("lazy.state_reduction_witness", reduction_witness);
+
+  // -------------------------------------------------------------------
+  Header("LZ-2", "TopK: states created scale with k, answers shortlex-equal");
+  const int topk_len = 10;
+  std::vector<double> ks, lazy_topk_states, lazy_topk_ns;
+  double reduction_topk10 = 0;
+  for (size_t k : {size_t{1}, size_t{10}, size_t{100}}) {
+    Arm arm(&db);
+    t0 = NowNs();
+    Result<lazy::LazyProduct> p = arm.eval.CompileLazy(fw);
+    if (!p.ok()) return 1;
+    Result<std::vector<std::vector<std::string>>> got = p->TopK(k, topk_len);
+    int64_t ns = NowNs() - t0;
+    if (!got.ok()) {
+      std::fprintf(stderr, "topk failed: %s\n",
+                   got.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<std::vector<std::string>> want =
+        rel->EnumerateTuples(topk_len, k);
+    answers_agree &= *got == want;
+    ks.push_back(static_cast<double>(k));
+    lazy_topk_states.push_back(static_cast<double>(p->states_created()));
+    lazy_topk_ns.push_back(static_cast<double>(ns));
+    if (k == 10 && p->states_created() > 0) {
+      reduction_topk10 =
+          static_cast<double>(eager_states) / p->states_created();
+    }
+    Row("k=" + std::to_string(k) + ": " +
+        std::to_string(p->states_created()) + " states, " +
+        std::to_string(ns / 1000) + "us, " + std::to_string(got->size()) +
+        " answers");
+  }
+  reporter.AddSeries("lazy.topk_states_created", ks, lazy_topk_states);
+  reporter.AddSeries("lazy.topk_first_answer_ns", ks, lazy_topk_ns);
+  reporter.AddScalar("lazy.state_reduction_topk10", reduction_topk10);
+
+  // -------------------------------------------------------------------
+  Header("LZ-3", "Contains: single-path walk vs materialized membership");
+  {
+    Arm arm(&db);
+    Result<lazy::LazyProduct> p = arm.eval.CompileLazy(fw);
+    if (!p.ok()) return 1;
+    Rng rng(seed + 1);
+    int checked = 0;
+    for (int i = 0; i < 200; ++i) {
+      std::vector<std::string> tuple = {rng.NextString("01", 0, 8),
+                                       rng.NextString("01", 0, 8)};
+      Result<bool> eager = rel->Contains(tuple);
+      Result<bool> walked = p->Contains(tuple);
+      if (!eager.ok() || !walked.ok()) return 1;
+      answers_agree &= *eager == *walked;
+      ++checked;
+    }
+    Row(std::to_string(checked) + " probe tuples, states created: " +
+        std::to_string(p->states_created()));
+    reporter.AddScalar("lazy.contains_states",
+                       static_cast<double>(p->states_created()));
+  }
+
+  // -------------------------------------------------------------------
+  Header("LZ-4", "similarity workload: ~2 neighborhood through both paths");
+  {
+    // Anchor the similarity atom on a word actually in the database so the
+    // answer set is never trivially empty.
+    const Relation* r = db.Find("R");
+    std::string word = r->tuples().front()[0];
+    FormulaPtr fsim = Q("R(x) & x ~2 '" + word + "'");
+
+    Arm eager_sim(&db);
+    explored_before = ExploredStates();
+    t0 = NowNs();
+    Result<TrackAutomaton> rel_sim = eager_sim.eval.Compile(fsim);
+    if (!rel_sim.ok()) return 1;
+    std::vector<std::vector<std::string>> eager_top =
+        rel_sim->EnumerateTuples(max_len + 2, 10);
+    int64_t eager_sim_ns = NowNs() - t0;
+    int64_t eager_sim_states = ExploredStates() - explored_before;
+
+    Arm lazy_sim(&db);
+    t0 = NowNs();
+    Result<lazy::LazyProduct> p = lazy_sim.eval.CompileLazy(fsim);
+    if (!p.ok()) return 1;
+    Result<std::vector<std::vector<std::string>>> lazy_top =
+        p->TopK(10, max_len + 2);
+    int64_t lazy_sim_ns = NowNs() - t0;
+    if (!lazy_top.ok()) return 1;
+    answers_agree &= *lazy_top == eager_top;
+    Row("word '" + word + "': eager " + std::to_string(eager_sim_ns / 1000) +
+        "us/" + std::to_string(eager_sim_states) + " states, lazy " +
+        std::to_string(lazy_sim_ns / 1000) + "us/" +
+        std::to_string(p->states_created()) + " states, " +
+        std::to_string(lazy_top->size()) + " answers");
+    reporter.AddScalar("lazy.levenshtein_eager_ns",
+                       static_cast<double>(eager_sim_ns));
+    reporter.AddScalar("lazy.levenshtein_lazy_ns",
+                       static_cast<double>(lazy_sim_ns));
+    reporter.AddScalar("lazy.levenshtein_states_lazy",
+                       static_cast<double>(p->states_created()));
+  }
+
+  // -------------------------------------------------------------------
+  Header("LZ-5", "store-id invariance: lazy traffic interns nothing");
+  {
+    // One shared arm: materialize, run every lazy mode, re-materialize.
+    Arm arm(&db);
+    Result<TrackAutomaton> before = arm.eval.Compile(fw);
+    if (!before.ok()) return 1;
+    Result<lazy::LazyProduct> p = arm.eval.CompileLazy(fw);
+    if (!p.ok()) return 1;
+    if (!p->Contains({"0", "01"}).ok()) return 1;
+    if (!p->ShortestWitness().ok()) return 1;
+    if (!p->TopK(10, topk_len).ok()) return 1;
+    Result<TrackAutomaton> after = arm.eval.Compile(fw);
+    if (!after.ok()) return 1;
+    store_ids_agree = before->dfa_ref().id() == after->dfa_ref().id();
+    Row(std::string("canonical id stable: ") +
+        (store_ids_agree ? "yes" : "NO"));
+  }
+
+  reporter.AddScalar("lazy.answers_agree", answers_agree ? 1 : 0);
+  reporter.AddScalar("lazy.store_ids_agree", store_ids_agree ? 1 : 0);
+  std::printf("\nlazy.answers_agree=%d lazy.store_ids_agree=%d\n",
+              answers_agree ? 1 : 0, store_ids_agree ? 1 : 0);
+  return answers_agree && store_ids_agree ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace strq
+
+int main(int argc, char** argv) { return strq::main_impl(argc, argv); }

@@ -9,6 +9,8 @@
 //                               -w deletes; fields comma-separated ('' = ε)
 //   show                        print the catalog and active domain
 //   query <formula>             evaluate; prints tuples or the error
+//   exists <formula>            first (shortest) witness tuple, early-exit
+//   topk <k> <formula>          first k answers in shortlex order
 //   explain <formula>           EXPLAIN ANALYZE: span tree + metrics
 //   ask <formula>               evaluate a sentence (true/false)
 //   safe <formula>              state-safety on the current database
@@ -123,7 +125,7 @@ class Shell {
     if (!(in >> cmd) || cmd[0] == '#') return true;
     return cmd == "query" || cmd == "ask" || cmd == "safe" ||
            cmd == "cqsafe" || cmd == "describe" || cmd == "lang" ||
-           cmd == "simplify";
+           cmd == "simplify" || cmd == "exists" || cmd == "topk";
   }
 
   void RunServe() {
@@ -206,8 +208,15 @@ class Shell {
     if (cmd == "help") {
       Printf(out,
              "  commands: alphabet rel add update load save show query "
-             "explain ask safe cqsafe lang simplify plan describe width "
-             "threads budget refresh stats flight help quit\n");
+             "exists topk explain ask safe cqsafe lang simplify plan "
+             "describe width threads budget refresh stats flight help "
+             "quit\n");
+      Printf(out,
+             "  exists <formula> / topk <k> <formula>: early-exit query "
+             "modes over the lazy\n"
+             "  on-the-fly product — only the product states the traversal "
+             "touches are created\n"
+             "  (docs/LAZY.md); answers match query's tuples\n");
       Printf(out,
              "  update <rel> +t -t ...: batch tuple writes committed as ONE "
              "revision (+ inserts, - deletes; fields comma-separated, '' = "
@@ -484,6 +493,20 @@ class Shell {
       return true;
     }
 
+    // `topk` carries a leading answer count; strip it before parsing.
+    size_t topk_count = 10;
+    if (cmd == "topk") {
+      std::istringstream args(rest);
+      long long n = 0;
+      if (!(args >> n) || n <= 0) {
+        Printf(out, "  usage: topk <k> <formula>\n");
+        return true;
+      }
+      topk_count = static_cast<size_t>(n);
+      std::getline(args, rest);
+      if (!rest.empty() && rest[0] == ' ') rest.erase(0, 1);
+    }
+
     // `plan` may carry a trailing reach number; strip it before parsing.
     int plan_reach = 2;
     if (cmd == "plan") {
@@ -542,6 +565,40 @@ class Shell {
       }
       Printf(out, ")\n");
       for (const Tuple& t : result->tuples()) {
+        Printf(out, "   ");
+        for (const std::string& v : t) Printf(out, " '%s'", v.c_str());
+        Printf(out, "\n");
+      }
+    } else if (cmd == "exists") {
+      Result<std::optional<std::vector<std::string>>> witness =
+          session->ExistsWitness(f);
+      if (!witness.ok()) {
+        Printf(out, "  %s\n", witness.status().ToString().c_str());
+        return true;
+      }
+      if (!witness->has_value()) {
+        Printf(out, "  no witness (empty answer)\n");
+      } else if ((*witness)->empty()) {
+        Printf(out, "  witness: ()\n");
+      } else {
+        Printf(out, "  witness:");
+        for (const std::string& v : **witness) Printf(out, " '%s'", v.c_str());
+        Printf(out, "\n");
+      }
+    } else if (cmd == "topk") {
+      Result<std::vector<std::vector<std::string>>> result =
+          session->TopK(f, topk_count);
+      if (!result.ok()) {
+        Printf(out, "  %s\n", result.status().ToString().c_str());
+        return true;
+      }
+      Printf(out, "  %zu tuple(s), shortlex over (", result->size());
+      std::vector<std::string> cols = AutomataEvaluator::FreeVarOrder(f);
+      for (size_t i = 0; i < cols.size(); ++i) {
+        Printf(out, "%s%s", i ? ", " : "", cols[i].c_str());
+      }
+      Printf(out, ")\n");
+      for (const std::vector<std::string>& t : *result) {
         Printf(out, "   ");
         for (const std::string& v : t) Printf(out, " '%s'", v.c_str());
         Printf(out, "\n");

@@ -1,12 +1,15 @@
 #!/usr/bin/env python3
 """Compare two strq.bench.v1 scalar snapshots with per-scalar tolerance bands.
 
-Usage: bench_diff.py BASELINE.json CANDIDATE.json
+Usage: bench_diff.py [--allow-new] BASELINE.json CANDIDATE.json
 
 Exit status:
 
-  0  every baseline scalar is present in the candidate and inside its band
-  1  at least one scalar drifted out of its tolerance band
+  0  every baseline scalar is present in the candidate and inside its band,
+     and (without --allow-new) the candidate introduces no scalars the
+     baseline does not know about
+  1  at least one scalar drifted out of its tolerance band, or (without
+     --allow-new) the candidate carries scalars missing from the baseline
   2  usage / unreadable input
   3  at least one BASELINE SCALAR IS MISSING from the candidate — a counter
      namespace silently fell out of the report (an instrumentation or
@@ -15,6 +18,12 @@ Exit status:
 
 When both problems occur, the missing-scalar status (3) wins: absent data is
 a worse failure than drifting data.
+
+Candidate-only scalars FAIL by default: an unreviewed scalar sneaking into
+the committed baseline on the next refresh is how gates rot. A change that
+deliberately adds instrumentation passes --allow-new (as check.sh does),
+which lists the new scalars and accepts them. --allow-new never excuses
+MISSING baseline scalars — removals still exit 3.
 
 Bands are keyed on scalar-name patterns, widest match last:
 
@@ -61,14 +70,17 @@ def within(kind, tol, base, cand):
 
 
 def main(argv):
-    if len(argv) != 3:
+    args = argv[1:]
+    allow_new = "--allow-new" in args
+    args = [a for a in args if a != "--allow-new"]
+    if len(args) != 2:
         sys.stderr.write(__doc__)
         return 2
-    with open(argv[1]) as f:
+    with open(args[0]) as f:
         base_doc = json.load(f)
-    with open(argv[2]) as f:
+    with open(args[1]) as f:
         cand_doc = json.load(f)
-    for doc, path in ((base_doc, argv[1]), (cand_doc, argv[2])):
+    for doc, path in ((base_doc, args[0]), (cand_doc, args[1])):
         if doc.get("schema") != "strq.bench.v1":
             print(f"bench_diff: {path}: not a strq.bench.v1 document")
             return 1
@@ -100,6 +112,14 @@ def main(argv):
     if new_keys:
         print(f"bench_diff: {len(new_keys)} new scalar(s) not in baseline: "
               + ", ".join(new_keys))
+        if allow_new:
+            print("bench_diff: --allow-new set; accepting them (the "
+                  "baseline refresh picks them up).")
+        else:
+            failures.append(
+                f"{len(new_keys)} candidate-only scalar(s) "
+                "(rerun with --allow-new if the new instrumentation is "
+                "intended): " + ", ".join(new_keys))
     checked = len(base)
     if missing:
         print(f"bench_diff: {len(missing)}/{checked} BASELINE SCALAR(S) "

@@ -6,8 +6,10 @@
 # serving bench (concurrent sessions, MVCC snapshots, single-flight,
 # admission), a tier-2e incremental-maintenance gate (bench_ablation's
 # update-stream section: >=5x updates/sec over full recompile with
-# identical answers/ids/verdicts), then a smoke run of the
-# substrate/ablation/serving benches so
+# identical answers/ids/verdicts), a tier-2f lazy early-exit gate
+# (bench_lazy: >=5x fewer states created than eager materialization with
+# byte-identical answers and untouched store ids), then a smoke run of the
+# substrate/ablation/serving/lazy benches so
 # the strq.bench.v1 JSON contract and the store.* / plan.* / pool.* /
 # dfa.product_states_* / dfa.classes_* / dfa.table_bytes_* / serve.*
 # counters stay exercised, and finally a BENCH.json drift gate
@@ -49,12 +51,13 @@ echo "==== tier-2d: TSan serving gate (bench_serving --smoke) ===="
 # budget_isolation_ok, dedup, admission) fails.
 ./build-tsan/bench/bench_serving --smoke
 
-echo "==== bench smoke: substrate + ablation + serving JSON ===="
+echo "==== bench smoke: substrate + ablation + serving + lazy JSON ===="
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "${tmpdir}"' EXIT
 ./build/bench/bench_substrate --smoke --json="${tmpdir}/BENCH_SUB.json"
 ./build/bench/bench_ablation --smoke --json="${tmpdir}/BENCH_AB.json"
 ./build/bench/bench_serving --smoke --json="${tmpdir}/BENCH_SRV.json"
+./build/bench/bench_lazy --smoke --json="${tmpdir}/BENCH_LZ.json"
 python3 - "${tmpdir}/BENCH_SRV.json" <<'EOF'
 import json, sys
 path = sys.argv[1]
@@ -151,6 +154,32 @@ print(f"  {path}: ok (speedup={speedup:.1f}x, "
       f"compactions={s['incr.compactions']:.0f})")
 EOF
 
+echo "==== tier-2f: lazy early-exit gate (bench_lazy --smoke) ===="
+# The src/lazy acceptance gate: every early-exit mode (Contains /
+# ExistsWitness / TopK) must return exactly what the materialized pipeline
+# returns, canonical store ids must be untouched by lazy traffic, and the
+# on-the-fly product must create >= 5x fewer states than eager
+# materialization explores for ExistsWitness and TopK(10). The state ratios
+# are deterministic (fixed seed, no wall-clock) so the floor lives here; the
+# agree scalars also go into the baseline below under exact bands.
+python3 - "${tmpdir}/BENCH_LZ.json" <<'EOF'
+import json, sys
+path = sys.argv[1]
+s = json.load(open(path))["scalars"]
+for key in ("lazy.answers_agree", "lazy.store_ids_agree"):
+    assert s.get(key) == 1.0, \
+        f"{path}: {key} != 1 (a lazy mode changed an observable!)"
+for key in ("lazy.state_reduction_witness", "lazy.state_reduction_topk10"):
+    r = s.get(key, 0)
+    assert r >= 5.0, (
+        f"{path}: {key} only {r:.2f}x (acceptance floor 5x)")
+print(f"  {path}: ok (witness reduction="
+      f"{s['lazy.state_reduction_witness']:.1f}x, topk10 reduction="
+      f"{s['lazy.state_reduction_topk10']:.1f}x, "
+      f"states lazy/eager={s['lazy.states_lazy_witness']:.0f}/"
+      f"{s['lazy.states_eager_witness']:.0f})")
+EOF
+
 echo "==== BENCH.json baseline snapshot + drift gate ===="
 # Selected scalars from both smoke runs, merged under sub./ab. prefixes into
 # a committed top-level baseline (schema strq.bench.v1) so perf-relevant
@@ -159,7 +188,8 @@ echo "==== BENCH.json baseline snapshot + drift gate ===="
 # bands (scripts/bench_diff.py) BEFORE overwriting it, so out-of-band drift
 # fails the gate instead of silently rebasing.
 python3 - "${tmpdir}/BENCH_SUB.json" "${tmpdir}/BENCH_AB.json" \
-    "${tmpdir}/BENCH_SRV.json" "${tmpdir}/BENCH_NEW.json" <<'EOF'
+    "${tmpdir}/BENCH_SRV.json" "${tmpdir}/BENCH_LZ.json" \
+    "${tmpdir}/BENCH_NEW.json" <<'EOF'
 import json, sys
 # Only stable scalars go into the committed baseline: semantic gates
 # (*_agree, *_ok — exact bands in bench_diff.py) and slow-drifting counts.
@@ -183,8 +213,13 @@ KEEP = {
         "serve.answers_agree", "serve.mvcc_agree",
         "serve.budget_isolation_ok", "serve.sessions", "serve.requests",
     ],
+    "lz.": [
+        "lazy.answers_agree", "lazy.store_ids_agree",
+        "lazy.state_reduction_witness", "lazy.state_reduction_topk10",
+        "lazy.states_lazy_witness", "lazy.contains_states",
+    ],
 }
-docs = [json.load(open(p)) for p in sys.argv[1:4]]
+docs = [json.load(open(p)) for p in sys.argv[1:5]]
 scalars = {}
 for doc, prefix in zip(docs, KEEP):
     for key in KEEP[prefix]:
@@ -194,19 +229,22 @@ out = {
     "schema": "strq.bench.v1",
     "id": "BASELINE",
     "title": "selected scalars from bench_substrate + bench_ablation + "
-             "bench_serving smoke",
+             "bench_serving + bench_lazy smoke",
     "smoke": True,
     "series": [],
     "scalars": scalars,
     "metrics": {},
 }
-with open(sys.argv[4], "w") as f:
+with open(sys.argv[5], "w") as f:
     json.dump(out, f, indent=2, sort_keys=True)
     f.write("\n")
-print(f"  wrote {sys.argv[4]} ({len(scalars)} scalars)")
+print(f"  wrote {sys.argv[5]} ({len(scalars)} scalars)")
 EOF
 if [[ -f BENCH.json ]]; then
-  python3 scripts/bench_diff.py BENCH.json "${tmpdir}/BENCH_NEW.json"
+  # --allow-new: this script IS the deliberate instrumentation path — newly
+  # KEEP-listed scalars are reviewed above, so they may enter the baseline.
+  # Removals still exit 3 (a tracked namespace vanished).
+  python3 scripts/bench_diff.py --allow-new BENCH.json "${tmpdir}/BENCH_NEW.json"
 else
   echo "  no committed BENCH.json yet; skipping drift gate"
 fi

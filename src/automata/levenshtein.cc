@@ -1,0 +1,150 @@
+#include "automata/levenshtein.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <utility>
+
+namespace strq {
+
+namespace {
+
+// Inserts `p` into the sorted antichain `state`, dropping subsumed
+// positions. (i,e) subsumes (j,f) iff e + |i - j| <= f: with |i-j| extra
+// deletions/insertions position i can reach offset j spending e + |i-j|,
+// so anything (j,f) accepts, (i,e) accepts too.
+void AddPos(SparseLevenshtein::State& state, SparseLevenshtein::Pos p) {
+  for (const auto& q : state) {
+    if (q.edits + std::abs(q.offset - p.offset) <= p.edits) return;
+  }
+  state.erase(std::remove_if(state.begin(), state.end(),
+                             [&](const SparseLevenshtein::Pos& q) {
+                               return p.edits + std::abs(p.offset - q.offset) <=
+                                      q.edits;
+                             }),
+              state.end());
+  auto it = std::lower_bound(state.begin(), state.end(), p,
+                             [](const SparseLevenshtein::Pos& a,
+                                const SparseLevenshtein::Pos& b) {
+                               return a.offset < b.offset;
+                             });
+  state.insert(it, p);
+}
+
+}  // namespace
+
+SparseLevenshtein::SparseLevenshtein(std::vector<Symbol> word, int max_edits)
+    : word_(std::move(word)), max_edits_(max_edits) {}
+
+SparseLevenshtein::State SparseLevenshtein::Start() const {
+  return {Pos{0, 0}};
+}
+
+SparseLevenshtein::State SparseLevenshtein::Step(const State& state,
+                                                 Symbol c) const {
+  State next;
+  const int m = static_cast<int>(word_.size());
+  for (const Pos& p : state) {
+    if (p.offset < m && word_[p.offset] == c) {
+      AddPos(next, Pos{p.offset + 1, p.edits});  // match
+    }
+    if (p.edits < max_edits_) {
+      AddPos(next, Pos{p.offset, p.edits + 1});  // insert c
+      if (p.offset < m) {
+        AddPos(next, Pos{p.offset + 1, p.edits + 1});  // substitute
+      }
+      // Delete d word characters, then match c against word[p.offset + d].
+      for (int d = 1; p.edits + d <= max_edits_ && p.offset + d < m; ++d) {
+        if (word_[p.offset + d] == c) {
+          AddPos(next, Pos{p.offset + d + 1, p.edits + d});
+        }
+      }
+    }
+  }
+  return next;
+}
+
+bool SparseLevenshtein::IsAccepting(const State& state) const {
+  const int m = static_cast<int>(word_.size());
+  for (const Pos& p : state) {
+    if (m - p.offset <= max_edits_ - p.edits) return true;
+  }
+  return false;
+}
+
+Result<Dfa> LevenshteinDfa(const Alphabet& alphabet, const std::string& word,
+                           int max_edits) {
+  if (max_edits < 0) {
+    return InvalidArgumentError("~k distance must be non-negative");
+  }
+  STRQ_ASSIGN_OR_RETURN(std::vector<Symbol> encoded, alphabet.Encode(word));
+  SparseLevenshtein nfa(std::move(encoded), max_edits);
+
+  // Subset construction keyed on the sparse state vector itself: equal
+  // antichains are equal states, so the map doubles as the signature cache.
+  using Key = std::vector<std::pair<int, int>>;
+  auto key_of = [](const SparseLevenshtein::State& s) {
+    Key k;
+    k.reserve(s.size());
+    for (const auto& p : s) k.emplace_back(p.offset, p.edits);
+    return k;
+  };
+
+  std::map<Key, int> ids;
+  std::vector<SparseLevenshtein::State> states;
+  auto intern = [&](SparseLevenshtein::State s) {
+    Key k = key_of(s);
+    auto [it, inserted] = ids.emplace(std::move(k),
+                                      static_cast<int>(states.size()));
+    if (inserted) states.push_back(std::move(s));
+    return it->second;
+  };
+
+  const int sigma = alphabet.size();
+  intern(nfa.Start());
+  intern(SparseLevenshtein::State{});  // dead sink, always present
+  std::vector<int> flat_next;
+  std::vector<bool> accepting;
+  for (size_t q = 0; q < states.size(); ++q) {
+    // `states` grows as successors are interned; index access stays valid
+    // because we copy the source state before stepping.
+    SparseLevenshtein::State src = states[q];
+    accepting.push_back(nfa.IsAccepting(src));
+    for (int c = 0; c < sigma; ++c) {
+      flat_next.push_back(intern(nfa.Step(src, static_cast<Symbol>(c))));
+    }
+  }
+  return Dfa::CreateFlat(sigma, static_cast<int>(states.size()),
+                         /*start=*/0, std::move(flat_next),
+                         std::move(accepting));
+}
+
+bool WithinEditDistance(const std::string& a, const std::string& b,
+                        int max_edits) {
+  if (max_edits < 0) return false;
+  const int n = static_cast<int>(a.size());
+  const int m = static_cast<int>(b.size());
+  if (std::abs(n - m) > max_edits) return false;
+  // Banded Levenshtein DP, one row at a time; entries outside the band are
+  // implicitly > max_edits.
+  const int inf = max_edits + 1;
+  std::vector<int> prev(m + 1, inf), cur(m + 1, inf);
+  for (int j = 0; j <= std::min(m, max_edits); ++j) prev[j] = j;
+  for (int i = 1; i <= n; ++i) {
+    std::fill(cur.begin(), cur.end(), inf);
+    const int lo = std::max(1, i - max_edits);
+    const int hi = std::min(m, i + max_edits);
+    if (i - max_edits <= 0) cur[0] = i;
+    for (int j = lo; j <= hi; ++j) {
+      int best = std::min(prev[j], cur[j - 1]) + 1;
+      best = std::min(best, prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1));
+      cur[j] = std::min(best, inf);
+    }
+    std::swap(prev, cur);
+    if (*std::min_element(prev.begin(), prev.end()) > max_edits) return false;
+  }
+  return prev[m] <= max_edits;
+}
+
+}  // namespace strq

@@ -260,6 +260,12 @@ class Compiler {
         atom = cache_->SuffixIn(lang, ids[0], ids[1]);
         break;
       }
+      case PredKind::kNear: {
+        STRQ_ASSIGN_OR_RETURN(DfaRef lang,
+                              cache_->CompiledNear(f.pattern, f.distance));
+        atom = cache_->Member(lang, ids[0]);
+        break;
+      }
     }
     if (!atom.ok()) return atom.status();
     return FinishAtom(*std::move(atom), std::move(defs), aux);
@@ -655,6 +661,152 @@ Result<TrackAutomaton> AutomataEvaluator::Compile(const FormulaPtr& f) {
   planner_->RecordActual(f, db_, rel.NumStates());
   obs::Observe(obs::kHistCompileNs, LatencyNsSince(compile_start));
   return rel;
+}
+
+namespace {
+
+// Splits the planned formula at its boolean skeleton: connectives become
+// skeleton nodes, the first non-connective on every path (atom, relation,
+// quantifier) becomes a leaf to be compiled as its own component automaton.
+int BuildSkeleton(const FormulaPtr& f, lazy::Skeleton* sk,
+                  std::vector<FormulaPtr>* leaves) {
+  lazy::Skeleton::Node node;
+  switch (f->kind) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      node.kind = lazy::Skeleton::Kind::kConst;
+      node.value = f->kind == FormulaKind::kTrue;
+      break;
+    case FormulaKind::kNot:
+      node.kind = lazy::Skeleton::Kind::kNot;
+      node.left = BuildSkeleton(f->left, sk, leaves);
+      break;
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+    case FormulaKind::kImplies:
+    case FormulaKind::kIff:
+      node.kind = f->kind == FormulaKind::kAnd ? lazy::Skeleton::Kind::kAnd
+                  : f->kind == FormulaKind::kOr
+                      ? lazy::Skeleton::Kind::kOr
+                      : f->kind == FormulaKind::kImplies
+                            ? lazy::Skeleton::Kind::kImplies
+                            : lazy::Skeleton::Kind::kIff;
+      node.left = BuildSkeleton(f->left, sk, leaves);
+      node.right = BuildSkeleton(f->right, sk, leaves);
+      break;
+    case FormulaKind::kPred:
+    case FormulaKind::kRelation:
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+      node.kind = lazy::Skeleton::Kind::kLeaf;
+      node.leaf = static_cast<int>(leaves->size());
+      leaves->push_back(f);
+      break;
+  }
+  sk->nodes.push_back(node);
+  return static_cast<int>(sk->nodes.size()) - 1;
+}
+
+}  // namespace
+
+Result<lazy::LazyProduct> AutomataEvaluator::CompileLazy(const FormulaPtr& f) {
+  auto compile_start = std::chrono::steady_clock::now();
+  STRQ_RETURN_IF_ERROR(CheckDeadline());
+  std::vector<std::string> order = FreeVarOrder(f);
+  if (order.empty()) {
+    return InvalidArgumentError(
+        "lazy compilation needs at least one free variable; evaluate "
+        "sentences directly");
+  }
+  plan::PlannedQuery planned = planner_->Plan(f, db_, cache_.get());
+  lazy::Skeleton sk;
+  std::vector<FormulaPtr> leaf_formulas;
+  sk.root = BuildSkeleton(planned.formula, &sk, &leaf_formulas);
+  std::vector<VarId> want;
+  for (size_t i = 0; i < order.size(); ++i) {
+    want.push_back(static_cast<VarId>(i));
+  }
+  // Leaves compile exactly as Compile() would compile them as standalone
+  // queries with the original variable order, so every leaf automaton (and
+  // its canonical store id) is shared with eager compilations of the same
+  // subformulas. Only the product over them is deferred.
+  std::vector<DfaRef> leaves;
+  for (const FormulaPtr& leaf : leaf_formulas) {
+    Compiler compiler(db_, cache_.get(), parallel_,
+                      planned.parallel_folds.get(), trie_provider_.get());
+    STRQ_ASSIGN_OR_RETURN(TrackAutomaton rel,
+                          compiler.CompileQuery(leaf, order));
+    if (rel.vars() != want) {
+      STRQ_ASSIGN_OR_RETURN(rel, rel.Cylindrified(want));
+    }
+    leaves.push_back(rel.dfa_ref());
+  }
+  STRQ_ASSIGN_OR_RETURN(
+      TrackAutomaton full,
+      TrackAutomaton::FullRelation(cache_->store(), db_->alphabet(), want));
+  obs::Observe(obs::kHistCompileNs, LatencyNsSince(compile_start));
+  return lazy::LazyProduct::Create(db_->alphabet(), full.conv(),
+                                   full.dfa_ref(), std::move(leaves),
+                                   std::move(sk));
+}
+
+Result<bool> AutomataEvaluator::Contains(const FormulaPtr& f,
+                                         const std::vector<std::string>& tuple) {
+  std::vector<std::string> order = FreeVarOrder(f);
+  if (tuple.size() != order.size()) {
+    return InvalidArgumentError("tuple arity does not match free variables");
+  }
+  if (order.empty()) return EvaluateSentence(f);
+  plan::PlannedQuery planned = planner_->Plan(f, db_, cache_.get());
+  if (!planner_->AdviseLazy(f, planned.estimated_states)) {
+    STRQ_ASSIGN_OR_RETURN(TrackAutomaton rel, Compile(f));
+    return rel.Contains(tuple);
+  }
+  STRQ_ASSIGN_OR_RETURN(lazy::LazyProduct product, CompileLazy(f));
+  return product.Contains(tuple);
+}
+
+Result<std::optional<std::vector<std::string>>>
+AutomataEvaluator::ExistsWitness(const FormulaPtr& f) {
+  std::vector<std::string> order = FreeVarOrder(f);
+  if (order.empty()) {
+    STRQ_ASSIGN_OR_RETURN(bool truth, EvaluateSentence(f));
+    if (truth) {
+      return std::optional<std::vector<std::string>>(
+          std::vector<std::string>{});
+    }
+    return std::optional<std::vector<std::string>>();
+  }
+  plan::PlannedQuery planned = planner_->Plan(f, db_, cache_.get());
+  if (!planner_->AdviseLazy(f, planned.estimated_states)) {
+    STRQ_ASSIGN_OR_RETURN(TrackAutomaton rel, Compile(f));
+    // Shortlex enumeration's first tuple is a shortest witness; a nonempty
+    // language accepts some word of length < NumStates().
+    std::vector<std::vector<std::string>> tuples =
+        rel.EnumerateTuples(rel.NumStates(), 1);
+    if (tuples.empty()) return std::optional<std::vector<std::string>>();
+    return std::optional<std::vector<std::string>>(std::move(tuples[0]));
+  }
+  STRQ_ASSIGN_OR_RETURN(lazy::LazyProduct product, CompileLazy(f));
+  return product.ShortestWitness();
+}
+
+Result<std::vector<std::vector<std::string>>> AutomataEvaluator::TopK(
+    const FormulaPtr& f, size_t k, int max_len) {
+  std::vector<std::string> order = FreeVarOrder(f);
+  if (order.empty()) {
+    STRQ_ASSIGN_OR_RETURN(bool truth, EvaluateSentence(f));
+    std::vector<std::vector<std::string>> out;
+    if (truth && k > 0) out.push_back({});
+    return out;
+  }
+  plan::PlannedQuery planned = planner_->Plan(f, db_, cache_.get());
+  if (!planner_->AdviseLazy(f, planned.estimated_states)) {
+    STRQ_ASSIGN_OR_RETURN(TrackAutomaton rel, Compile(f));
+    return rel.EnumerateTuples(max_len, CurrentMaxAnswerTuples(k));
+  }
+  STRQ_ASSIGN_OR_RETURN(lazy::LazyProduct product, CompileLazy(f));
+  return product.TopK(k, max_len);
 }
 
 Result<TrackAutomaton> AutomataEvaluator::CompileWithRelationOverride(

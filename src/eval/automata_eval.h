@@ -5,9 +5,12 @@
 #include <string>
 #include <vector>
 
+#include <optional>
+
 #include "automata/dfa.h"
 #include "base/status.h"
 #include "base/thread_pool.h"
+#include "lazy/lazy.h"
 #include "logic/ast.h"
 #include "mta/atom_cache.h"
 #include "mta/track_automaton.h"
@@ -128,6 +131,35 @@ class AutomataEvaluator {
 
   // The column order used for answer relations: sorted free-variable names.
   static std::vector<std::string> FreeVarOrder(const FormulaPtr& f);
+
+  // Lazy compilation: the planned formula's top-level boolean skeleton
+  // (connectives down to the first quantifier or atom) is decomposed; each
+  // leaf is compiled eagerly through the shared cache, but the product over
+  // the leaves is built on the fly — joint states exist only once a query
+  // mode explores them. Track order is FreeVarOrder(f), same as Compile.
+  // Needs at least one free variable (sentences have nothing to
+  // enumerate; evaluate them directly).
+  Result<lazy::LazyProduct> CompileLazy(const FormulaPtr& f);
+
+  // Early-exit query modes. Each consults Planner::AdviseLazy: queries
+  // whose answers are known (or estimated) small are materialized through
+  // Compile() and answered from the interned automaton; everything else
+  // goes through CompileLazy, touching only the product states the mode's
+  // traversal visits. Either path returns identical answers.
+  //
+  // Membership of one tuple (FreeVarOrder column order).
+  Result<bool> Contains(const FormulaPtr& f,
+                        const std::vector<std::string>& tuple);
+  // A shortest answer tuple (by convolution shortlex), or nullopt if the
+  // answer set is empty. For sentences: the empty tuple iff true.
+  Result<std::optional<std::vector<std::string>>> ExistsWitness(
+      const FormulaPtr& f);
+  // The first k answers in convolution-shortlex order (the order
+  // TrackAutomaton::EnumerateTuples produces), components capped at
+  // max_len characters.
+  Result<std::vector<std::vector<std::string>>> TopK(const FormulaPtr& f,
+                                                     size_t k,
+                                                     int max_len = 64);
 
   // Evaluates an open query: the set of satisfying tuples, or UnsafeError if
   // it is infinite (columns ordered by FreeVarOrder). `max_tuples` bounds

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <iterator>
 #include <set>
 
 #include "automata/dfa.h"
+#include "automata/levenshtein.h"
 #include "automata/like.h"
 #include "automata/regex.h"
 #include "base/budget.h"
@@ -21,9 +23,12 @@ class Evaluator {
  public:
   // `adom` is an optional precomputed active domain (the incremental
   // domain provider's maintained view); null means scan the database.
+  // `provider` (optional) additionally serves trie-indexed views for
+  // DFA-guided candidate pruning.
   Evaluator(const Database* db, const RestrictedEvaluator::Options& options,
-            AtomCache* cache, const std::vector<std::string>* adom = nullptr)
-      : db_(db), options_(options), cache_(cache) {
+            AtomCache* cache, const std::vector<std::string>* adom = nullptr,
+            const DomainProvider* provider = nullptr)
+      : db_(db), options_(options), cache_(cache), provider_(provider) {
     adom_ = adom != nullptr ? *adom : db_->ActiveDomain();
   }
 
@@ -162,6 +167,10 @@ class Evaluator {
         return lang->AcceptsString(db_->alphabet(),
                                    RelativeSuffix(args[1], args[0]));
       }
+      case PredKind::kNear:
+        // Ground edit-distance check: the banded DP, no automaton. The
+        // differential fuzz pits this against Engine A's Levenshtein DFA.
+        return WithinEditDistance(args[0], f.pattern, f.distance);
     }
     return InternalError("unknown predicate");
   }
@@ -183,19 +192,154 @@ class Evaluator {
     return rel->Contains(t);
   }
 
-  // Candidate strings for a restricted quantifier, given the parameter
-  // values (free variables of the body in the current environment).
-  Result<std::vector<std::string>> Candidates(const Formula& f,
-                                              const Env& env) {
+  // Parameter values of a quantifier: the body's free variables (minus the
+  // bound one) as bound in the current environment.
+  static std::set<std::string> Params(const Formula& f, const Env& env) {
     std::set<std::string> params;
-    {
-      std::set<std::string> fv = FreeVars(f.left);
-      fv.erase(f.var);
-      for (const std::string& name : fv) {
-        auto it = env.find(name);
-        if (it != env.end()) params.insert(it->second);
+    std::set<std::string> fv = FreeVars(f.left);
+    fv.erase(f.var);
+    for (const std::string& name : fv) {
+      auto it = env.find(name);
+      if (it != env.end()) params.insert(it->second);
+    }
+    return params;
+  }
+
+  // Guard atoms on the quantified variable found on the body's conjunct
+  // spine: pattern predicates (LIKE/regex/SIMILAR membership, ~k edit
+  // distance) applied to the bare variable. Each is a necessary condition
+  // for the body, so an ∃ may soundly enumerate only the strings every
+  // guard accepts. Disjuncts, negations, etc. stop the walk — an atom under
+  // them is not necessary.
+  static void CollectGuards(const FormulaPtr& f, const std::string& var,
+                            std::vector<const Formula*>* out) {
+    if (f->kind == FormulaKind::kAnd) {
+      CollectGuards(f->left, var, out);
+      CollectGuards(f->right, var, out);
+      return;
+    }
+    if (f->kind != FormulaKind::kPred) return;
+    if (f->pred != PredKind::kMember && f->pred != PredKind::kLike &&
+        f->pred != PredKind::kNear) {
+      return;
+    }
+    if (f->args.size() != 1 || f->args[0]->kind != TermKind::kVar ||
+        f->args[0]->var != var) {
+      return;
+    }
+    out->push_back(f.get());
+  }
+
+  // Trie over the active domain (built locally unless the provider
+  // maintains one for this revision). Null disables pruning.
+  std::shared_ptr<const DomainTrie> AdomTrie() {
+    if (adom_trie_ != nullptr) return adom_trie_;
+    if (provider_ != nullptr) {
+      adom_trie_ = provider_->AdomTrieAt(db_->revision());
+      if (adom_trie_ != nullptr) return adom_trie_;
+    }
+    Result<std::shared_ptr<const DomainTrie>> built =
+        DomainTrie::Build(db_->alphabet(), adom_);
+    if (built.ok()) adom_trie_ = *std::move(built);
+    return adom_trie_;
+  }
+
+  // Trie over prefix(adom). Null disables pruning.
+  std::shared_ptr<const DomainTrie> PrefixTrie() {
+    if (prefix_trie_ != nullptr) return prefix_trie_;
+    if (provider_ != nullptr) {
+      prefix_trie_ = provider_->PrefixTrieAt(db_->revision());
+      if (prefix_trie_ != nullptr) return prefix_trie_;
+    }
+    Result<std::shared_ptr<const DomainTrie>> built =
+        DomainTrie::Build(db_->alphabet(), PrefixClosure(adom_));
+    if (built.ok()) prefix_trie_ = *std::move(built);
+    return prefix_trie_;
+  }
+
+  // DFA-guided candidate pruning for an ∃ over adom / prefix(adom):
+  // instead of enumerating the full candidate set and testing the body on
+  // each, walk the domain trie and the guard DFAs in lockstep, cutting a
+  // subtree the moment some guard goes dead. Returns nullopt when pruning
+  // does not apply (∀, no guards, length/plain ranges, foreign parameter
+  // characters) — the caller then falls back to full enumeration. The
+  // enumerated + pruned counters always sum to the full candidate count.
+  Result<std::optional<std::vector<std::string>>> PrunedCandidates(
+      const Formula& f, const std::set<std::string>& params) {
+    std::optional<std::vector<std::string>> none;
+    if (f.kind != FormulaKind::kExists) return none;
+    if (f.range != QuantRange::kAdom && f.range != QuantRange::kPrefixDom) {
+      return none;
+    }
+    std::vector<const Formula*> guards;
+    CollectGuards(f.left, f.var, &guards);
+    if (guards.empty()) return none;
+    std::shared_ptr<const DomainTrie> trie =
+        f.range == QuantRange::kAdom ? AdomTrie() : PrefixTrie();
+    if (trie == nullptr) return none;
+    // Parameter prefix-closures may stray outside the alphabet; fall back
+    // (the full enumeration reproduces the original error behaviour).
+    std::vector<std::string> extra;
+    if (f.range == QuantRange::kPrefixDom && !params.empty()) {
+      extra = PrefixClosure(
+          std::vector<std::string>(params.begin(), params.end()));
+      for (const std::string& s : extra) {
+        if (!db_->alphabet().Encode(s).ok()) return none;
       }
     }
+    std::vector<std::string> matched;
+    int64_t full = trie->size();
+    if (trie->size() > 0 || !extra.empty()) {
+      std::vector<DfaRef> refs;
+      std::vector<const Dfa*> dfas;
+      for (const Formula* g : guards) {
+        DfaRef lang;
+        if (g->pred == PredKind::kNear) {
+          STRQ_ASSIGN_OR_RETURN(lang,
+                                cache_->CompiledNear(g->pattern, g->distance));
+        } else {
+          STRQ_ASSIGN_OR_RETURN(lang,
+                                cache_->CompiledPattern(g->pattern, g->syntax));
+        }
+        dfas.push_back(&*lang);
+        refs.push_back(std::move(lang));
+      }
+      if (trie->size() > 0) matched = trie->Matching(dfas, nullptr);
+      // The same DFAs decide the parameter-closure strings not already in
+      // the stored set; both sides are sorted, so merge preserves order.
+      std::vector<std::string> add;
+      for (const std::string& s : extra) {
+        if (trie->Contains(s)) continue;
+        ++full;
+        bool all = true;
+        for (const Dfa* d : dfas) {
+          Result<bool> acc = d->AcceptsString(db_->alphabet(), s);
+          if (!acc.ok() || !*acc) {
+            all = false;
+            break;
+          }
+        }
+        if (all) add.push_back(s);
+      }
+      if (!add.empty()) {
+        std::vector<std::string> merged;
+        merged.reserve(matched.size() + add.size());
+        std::merge(matched.begin(), matched.end(), add.begin(), add.end(),
+                   std::back_inserter(merged));
+        matched = std::move(merged);
+      }
+    }
+    obs::Count(obs::kRestrictedCandidates,
+               static_cast<int64_t>(matched.size()));
+    obs::Count(obs::kRestrictedCandidatesPruned,
+               full - static_cast<int64_t>(matched.size()));
+    return std::optional<std::vector<std::string>>(std::move(matched));
+  }
+
+  // Candidate strings for a restricted quantifier, given the parameter
+  // values (free variables of the body in the current environment).
+  Result<std::vector<std::string>> Candidates(
+      const Formula& f, const std::set<std::string>& params) {
     switch (f.range) {
       case QuantRange::kAll: {
         if (!options_.all_quantifier_bound.has_value()) {
@@ -243,10 +387,17 @@ class Evaluator {
   }
 
   Result<bool> EvalQuantifier(const Formula& f, Env& env) {
-    STRQ_ASSIGN_OR_RETURN(std::vector<std::string> candidates,
-                          Candidates(f, env));
-    obs::Count(obs::kRestrictedCandidates,
-               static_cast<int64_t>(candidates.size()));
+    std::set<std::string> params = Params(f, env);
+    STRQ_ASSIGN_OR_RETURN(std::optional<std::vector<std::string>> pruned,
+                          PrunedCandidates(f, params));
+    std::vector<std::string> candidates;
+    if (pruned.has_value()) {
+      candidates = *std::move(pruned);
+    } else {
+      STRQ_ASSIGN_OR_RETURN(candidates, Candidates(f, params));
+      obs::Count(obs::kRestrictedCandidates,
+                 static_cast<int64_t>(candidates.size()));
+    }
     bool is_forall = f.kind == FormulaKind::kForall;
     auto saved = env.find(f.var);
     std::optional<std::string> shadowed;
@@ -284,7 +435,10 @@ class Evaluator {
   const Database* db_;
   RestrictedEvaluator::Options options_;
   AtomCache* cache_;
+  const DomainProvider* provider_;
   std::vector<std::string> adom_;
+  std::shared_ptr<const DomainTrie> adom_trie_;
+  std::shared_ptr<const DomainTrie> prefix_trie_;
 };
 
 }  // namespace
@@ -311,7 +465,8 @@ Result<bool> RestrictedEvaluator::Holds(
   obs::Span span("restricted.holds");
   FormulaPtr planned = planner_->Plan(f, db_, cache_.get()).formula;
   std::optional<std::vector<std::string>> adom = ProvidedAdom();
-  Evaluator eval(db_, options_, cache_.get(), adom ? &*adom : nullptr);
+  Evaluator eval(db_, options_, cache_.get(), adom ? &*adom : nullptr,
+                 domain_provider_.get());
   Env env = assignment;
   return eval.Eval(planned, env);
 }
@@ -344,7 +499,8 @@ Result<Relation> RestrictedEvaluator::EvaluateOnCandidates(
   std::vector<Tuple> out;
   std::optional<std::vector<std::string>> adom = ProvidedAdom();
   const std::vector<std::string>* adom_ptr = adom ? &*adom : nullptr;
-  Evaluator eval(db_, options_, cache_.get(), adom_ptr);
+  Evaluator eval(db_, options_, cache_.get(), adom_ptr,
+                 domain_provider_.get());
 
   if (candidates.empty() && k > 0) return Relation::Create(k, {});
 
@@ -367,7 +523,8 @@ Result<Relation> RestrictedEvaluator::EvaluateOnCandidates(
         parallel_.num_threads, static_cast<int>(chunks), [&](int c) {
           uint64_t lo = total * c / chunks;
           uint64_t hi = total * (c + 1) / chunks;
-          Evaluator worker(db_, options_, cache_.get(), adom_ptr);
+          Evaluator worker(db_, options_, cache_.get(), adom_ptr,
+                           domain_provider_.get());
           for (uint64_t m = lo; m < hi; ++m) {
             // Per-request deadline, polled at candidate-chunk granularity.
             if (((m - lo) & 255) == 0) {
@@ -426,6 +583,63 @@ Result<Relation> RestrictedEvaluator::EvaluateOnCandidates(
   }
   observe_latency();
   return Relation::Create(k, std::move(out));
+}
+
+Result<std::vector<Tuple>> RestrictedEvaluator::TopKOnCandidates(
+    const FormulaPtr& f, const std::vector<std::string>& candidates,
+    size_t k) {
+  obs::Span span("restricted.topk");
+  span.Attr("candidates", static_cast<int64_t>(candidates.size()));
+  std::set<std::string> fv = FreeVars(f);
+  std::vector<std::string> vars(fv.begin(), fv.end());
+  FormulaPtr planned = planner_->Plan(f, db_, cache_.get()).formula;
+  int arity = static_cast<int>(vars.size());
+  std::optional<std::vector<std::string>> adom = ProvidedAdom();
+  Evaluator eval(db_, options_, cache_.get(), adom ? &*adom : nullptr,
+                 domain_provider_.get());
+  std::vector<Tuple> out;
+  if (k == 0) return out;
+  if (candidates.empty() && arity > 0) return out;
+  const size_t limit = std::min(k, CurrentMaxAnswerTuples(k));
+  // Serial odometer, stopping at the k-th answer: the output is a prefix of
+  // EvaluateOnCandidates' tuple order by construction.
+  std::vector<size_t> index(arity, 0);
+  uint64_t polled = 0;
+  while (true) {
+    if ((polled++ & 255) == 0) STRQ_RETURN_IF_ERROR(CheckDeadline());
+    Env env;
+    Tuple t;
+    for (int i = 0; i < arity; ++i) {
+      env[vars[i]] = candidates[index[i]];
+      t.push_back(candidates[index[i]]);
+    }
+    STRQ_ASSIGN_OR_RETURN(bool holds, eval.Eval(planned, env));
+    if (holds) {
+      out.push_back(std::move(t));
+      if (out.size() == limit) {
+        if (limit < k) {
+          return ResourceExhaustedError(
+              "top-k answer budget exceeded (max_answer_tuples)");
+        }
+        break;
+      }
+    }
+    int pos = arity - 1;
+    while (pos >= 0 && ++index[pos] == candidates.size()) {
+      index[pos] = 0;
+      --pos;
+    }
+    if (pos < 0) break;
+  }
+  return out;
+}
+
+Result<std::optional<Tuple>> RestrictedEvaluator::ExistsWitnessOnCandidates(
+    const FormulaPtr& f, const std::vector<std::string>& candidates) {
+  STRQ_ASSIGN_OR_RETURN(std::vector<Tuple> first,
+                        TopKOnCandidates(f, candidates, 1));
+  if (first.empty()) return std::optional<Tuple>();
+  return std::optional<Tuple>(std::move(first[0]));
 }
 
 std::vector<std::string> RestrictedEvaluator::PrefixDomCandidates() const {

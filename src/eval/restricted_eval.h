@@ -13,6 +13,7 @@
 #include "mta/atom_cache.h"
 #include "plan/planner.h"
 #include "relational/database.h"
+#include "relational/domain_trie.h"
 
 namespace strq {
 
@@ -31,6 +32,17 @@ class DomainProvider {
       int64_t revision) const = 0;
   virtual std::optional<std::vector<std::string>> PrefixClosureAt(
       int64_t revision) const = 0;
+  // Trie-indexed views of the same two sets, for DFA-guided candidate
+  // pruning. Null means "no maintained trie for this revision" — the
+  // evaluator then builds one locally from the flat view. A non-null trie
+  // must store exactly the strings the flat accessor returns for the same
+  // revision.
+  virtual std::shared_ptr<const DomainTrie> AdomTrieAt(int64_t) const {
+    return nullptr;
+  }
+  virtual std::shared_ptr<const DomainTrie> PrefixTrieAt(int64_t) const {
+    return nullptr;
+  }
 };
 
 // Engine B: direct evaluation of *restricted-quantifier* formulas by
@@ -110,6 +122,16 @@ class RestrictedEvaluator {
   // (γ(adom) ∩ φ(D)) of Section 6.1.
   Result<Relation> EvaluateOnCandidates(
       const FormulaPtr& f, const std::vector<std::string>& candidates);
+
+  // Early-exit modes over the same assignment space. Both enumerate the
+  // serial odometer order, so the answers are a prefix of (respectively an
+  // element of) EvaluateOnCandidates' tuple order, and both stop the moment
+  // they have enough — no further assignments are evaluated.
+  Result<std::optional<Tuple>> ExistsWitnessOnCandidates(
+      const FormulaPtr& f, const std::vector<std::string>& candidates);
+  Result<std::vector<Tuple>> TopKOnCandidates(
+      const FormulaPtr& f, const std::vector<std::string>& candidates,
+      size_t k);
 
   // Candidate sets used by the collapse theorems.
   // prefix(adom(D)): for RC(S)/RC(S_left)/RC(S_reg) queries (Theorem 1/6).

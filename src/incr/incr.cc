@@ -421,6 +421,48 @@ std::optional<std::vector<std::string>> IncrementalIndex::PrefixClosureAt(
   return out;
 }
 
+std::shared_ptr<const DomainTrie> IncrementalIndex::AdomTrieAt(
+    int64_t revision) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!dom_valid_ || dom_rev_ != revision) return nullptr;
+  if (adom_trie_rev_ == revision && adom_trie_view_ != nullptr) {
+    return adom_trie_view_;
+  }
+  std::vector<std::string> keys;
+  keys.reserve(counts_.size());
+  for (const auto& [s, n] : counts_) {
+    (void)n;
+    keys.push_back(s);
+  }
+  Result<std::shared_ptr<const DomainTrie>> built =
+      DomainTrie::Build(cache_->alphabet(), keys);
+  if (!built.ok()) return nullptr;
+  adom_trie_view_ = *std::move(built);
+  adom_trie_rev_ = revision;
+  return adom_trie_view_;
+}
+
+std::shared_ptr<const DomainTrie> IncrementalIndex::PrefixTrieAt(
+    int64_t revision) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!dom_valid_ || dom_rev_ != revision) return nullptr;
+  if (prefix_trie_rev_ == revision && prefix_trie_view_ != nullptr) {
+    return prefix_trie_view_;
+  }
+  std::vector<std::string> keys;
+  keys.reserve(prefix_counts_.size());
+  for (const auto& [s, n] : prefix_counts_) {
+    (void)n;
+    keys.push_back(s);
+  }
+  Result<std::shared_ptr<const DomainTrie>> built =
+      DomainTrie::Build(cache_->alphabet(), keys);
+  if (!built.ok()) return nullptr;
+  prefix_trie_view_ = *std::move(built);
+  prefix_trie_rev_ = revision;
+  return prefix_trie_view_;
+}
+
 // ---------------------------------------------------------------------------
 // Answer maintenance
 // ---------------------------------------------------------------------------

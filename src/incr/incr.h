@@ -111,6 +111,12 @@ class IncrementalIndex : public TrieProvider, public DomainProvider {
       int64_t revision) const override;
   std::optional<std::vector<std::string>> PrefixClosureAt(
       int64_t revision) const override;
+  // Trie views over the same refcounted keys, memoized per head revision
+  // (sessions pinned to older snapshots get null and rebuild locally from
+  // their snapshot — the flat accessors degrade the same way).
+  std::shared_ptr<const DomainTrie> AdomTrieAt(int64_t revision) const override;
+  std::shared_ptr<const DomainTrie> PrefixTrieAt(
+      int64_t revision) const override;
 
   // --- Answer maintenance ------------------------------------------------
   // The answer automaton for `f` against `db` (a snapshot of the watched
@@ -221,6 +227,13 @@ class IncrementalIndex : public TrieProvider, public DomainProvider {
   std::map<std::string, int64_t> prefix_counts_;
   static constexpr size_t kMaxDomLog = 128;
   std::deque<DomDelta> dom_log_;
+  // Memoized head-revision trie views of counts_/prefix_counts_ (mu_ held;
+  // stale revisions are dropped, the tries themselves stay alive through
+  // the shared_ptrs pinned sessions already hold).
+  mutable std::shared_ptr<const DomainTrie> adom_trie_view_;
+  mutable int64_t adom_trie_rev_ = -1;
+  mutable std::shared_ptr<const DomainTrie> prefix_trie_view_;
+  mutable int64_t prefix_trie_rev_ = -1;
 
   mutable std::mutex answers_mu_;
   std::map<uint64_t, std::vector<AnswerEntry>> answers_;

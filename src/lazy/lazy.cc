@@ -1,0 +1,407 @@
+#include "lazy/lazy.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <utility>
+
+#include "automata/ops.h"
+#include "base/budget.h"
+#include "obs/trace.h"
+
+namespace strq {
+namespace lazy {
+
+namespace {
+
+// States from which no accepting state is reachable (backward reachability
+// from the accepting set, over condensed classes).
+std::vector<bool> DeadStates(const Dfa& d) {
+  const int n = d.num_states();
+  std::vector<std::vector<int>> preds(n);
+  for (int q = 0; q < n; ++q) {
+    for (int cls = 0; cls < d.num_classes(); ++cls) {
+      preds[d.NextByClass(q, cls)].push_back(q);
+    }
+  }
+  std::vector<bool> live(n, false);
+  std::vector<int> stack;
+  for (int q = 0; q < n; ++q) {
+    if (d.IsAccepting(q)) {
+      live[q] = true;
+      stack.push_back(q);
+    }
+  }
+  while (!stack.empty()) {
+    int q = stack.back();
+    stack.pop_back();
+    for (int p : preds[q]) {
+      if (!live[p]) {
+        live[p] = true;
+        stack.push_back(p);
+      }
+    }
+  }
+  std::vector<bool> dead(n);
+  for (int q = 0; q < n; ++q) dead[q] = !live[q];
+  return dead;
+}
+
+// States from which every reachable state (including the state itself)
+// accepts — the component's language is "true forever" from there. Greatest
+// fixpoint of univ(q) = accepting(q) ∧ ∀cls univ(next(q, cls)).
+std::vector<bool> UnivStates(const Dfa& d) {
+  const int n = d.num_states();
+  std::vector<bool> univ(n);
+  for (int q = 0; q < n; ++q) univ[q] = d.IsAccepting(q);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int q = 0; q < n; ++q) {
+      if (!univ[q]) continue;
+      for (int cls = 0; cls < d.num_classes(); ++cls) {
+        if (!univ[d.NextByClass(q, cls)]) {
+          univ[q] = false;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return univ;
+}
+
+int64_t ElapsedNs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+size_t LazyProduct::SigHash::operator()(const std::vector<int>& sig) const {
+  uint64_t h = 1469598103934665603ULL;
+  for (int v : sig) {
+    h ^= static_cast<uint64_t>(static_cast<uint32_t>(v));
+    h *= 1099511628211ULL;
+  }
+  return static_cast<size_t>(h);
+}
+
+Result<LazyProduct> LazyProduct::Create(Alphabet alphabet, ConvAlphabet conv,
+                                        DfaRef valid,
+                                        std::vector<DfaRef> leaves,
+                                        Skeleton skeleton) {
+  if (!valid) return InvalidArgumentError("lazy: null valid automaton");
+  if (valid->alphabet_size() != conv.num_letters()) {
+    return InvalidArgumentError(
+        "lazy: valid automaton not over the convolution alphabet");
+  }
+  for (const DfaRef& leaf : leaves) {
+    if (!leaf) return InvalidArgumentError("lazy: null leaf automaton");
+    if (leaf->alphabet_size() != conv.num_letters()) {
+      return InvalidArgumentError(
+          "lazy: leaf automaton not over the convolution alphabet");
+    }
+  }
+  const int n = static_cast<int>(skeleton.nodes.size());
+  if (skeleton.root < 0 || skeleton.root >= n) {
+    return InvalidArgumentError("lazy: skeleton root out of range");
+  }
+  for (const Skeleton::Node& node : skeleton.nodes) {
+    switch (node.kind) {
+      case Skeleton::Kind::kLeaf:
+        if (node.leaf < 0 || node.leaf >= static_cast<int>(leaves.size())) {
+          return InvalidArgumentError("lazy: skeleton leaf out of range");
+        }
+        break;
+      case Skeleton::Kind::kNot:
+        if (node.left < 0 || node.left >= n) {
+          return InvalidArgumentError("lazy: skeleton child out of range");
+        }
+        break;
+      case Skeleton::Kind::kAnd:
+      case Skeleton::Kind::kOr:
+      case Skeleton::Kind::kImplies:
+      case Skeleton::Kind::kIff:
+        if (node.left < 0 || node.left >= n || node.right < 0 ||
+            node.right >= n) {
+          return InvalidArgumentError("lazy: skeleton child out of range");
+        }
+        break;
+      case Skeleton::Kind::kConst:
+        break;
+    }
+  }
+  return LazyProduct(std::move(alphabet), conv, std::move(valid),
+                     std::move(leaves), std::move(skeleton));
+}
+
+LazyProduct::LazyProduct(Alphabet alphabet, ConvAlphabet conv, DfaRef valid,
+                         std::vector<DfaRef> leaves, Skeleton skeleton)
+    : alphabet_(std::move(alphabet)),
+      conv_(conv),
+      valid_(std::move(valid)),
+      leaves_(std::move(leaves)),
+      skeleton_(std::move(skeleton)) {
+  components_.push_back(&*valid_);
+  for (const DfaRef& leaf : leaves_) components_.push_back(&*leaf);
+  dead_.reserve(components_.size());
+  univ_.reserve(components_.size());
+  for (const Dfa* d : components_) {
+    dead_.push_back(DeadStates(*d));
+    univ_.push_back(UnivStates(*d));
+  }
+}
+
+bool LazyProduct::EvalAccept(const std::vector<int>& sig) const {
+  if (!components_[0]->IsAccepting(sig[0])) return false;
+  // Bool-evaluate the skeleton over the component accept bits.
+  std::vector<int> memo(skeleton_.nodes.size(), -1);
+  auto eval = [&](auto&& self, int idx) -> bool {
+    if (memo[idx] >= 0) return memo[idx] != 0;
+    const Skeleton::Node& node = skeleton_.nodes[idx];
+    bool v = false;
+    switch (node.kind) {
+      case Skeleton::Kind::kLeaf:
+        v = components_[1 + node.leaf]->IsAccepting(sig[1 + node.leaf]);
+        break;
+      case Skeleton::Kind::kNot:
+        v = !self(self, node.left);
+        break;
+      case Skeleton::Kind::kAnd:
+        v = self(self, node.left) && self(self, node.right);
+        break;
+      case Skeleton::Kind::kOr:
+        v = self(self, node.left) || self(self, node.right);
+        break;
+      case Skeleton::Kind::kImplies:
+        v = !self(self, node.left) || self(self, node.right);
+        break;
+      case Skeleton::Kind::kIff:
+        v = self(self, node.left) == self(self, node.right);
+        break;
+      case Skeleton::Kind::kConst:
+        v = node.value;
+        break;
+    }
+    memo[idx] = v ? 1 : 0;
+    return v;
+  };
+  return eval(eval, skeleton_.root);
+}
+
+LazyProduct::Tri LazyProduct::EvalForever(int idx,
+                                          const std::vector<int>& sig) const {
+  const Skeleton::Node& node = skeleton_.nodes[idx];
+  auto as_int = [](Tri t) { return static_cast<int>(t); };
+  auto from_int = [](int v) { return static_cast<Tri>(v); };
+  switch (node.kind) {
+    case Skeleton::Kind::kLeaf: {
+      const int c = 1 + node.leaf;
+      if (dead_[c][sig[c]]) return Tri::kFalse;
+      if (univ_[c][sig[c]]) return Tri::kTrue;
+      return Tri::kUnknown;
+    }
+    case Skeleton::Kind::kNot:
+      return from_int(2 - as_int(EvalForever(node.left, sig)));
+    case Skeleton::Kind::kAnd:
+      return from_int(std::min(as_int(EvalForever(node.left, sig)),
+                               as_int(EvalForever(node.right, sig))));
+    case Skeleton::Kind::kOr:
+      return from_int(std::max(as_int(EvalForever(node.left, sig)),
+                               as_int(EvalForever(node.right, sig))));
+    case Skeleton::Kind::kImplies:
+      return from_int(std::max(2 - as_int(EvalForever(node.left, sig)),
+                               as_int(EvalForever(node.right, sig))));
+    case Skeleton::Kind::kIff: {
+      Tri l = EvalForever(node.left, sig);
+      Tri r = EvalForever(node.right, sig);
+      if (l == Tri::kUnknown || r == Tri::kUnknown) return Tri::kUnknown;
+      return l == r ? Tri::kTrue : Tri::kFalse;
+    }
+    case Skeleton::Kind::kConst:
+      return node.value ? Tri::kTrue : Tri::kFalse;
+  }
+  return Tri::kUnknown;
+}
+
+Result<int> LazyProduct::GetOrCreate(std::vector<int> sig) {
+  auto it = ids_.find(sig);
+  if (it != ids_.end()) {
+    obs::Count(obs::kLazyCacheHits);
+    return it->second;
+  }
+  // Deadline and budget are polled exactly here: state creation is the unit
+  // of lazy work, so a serving deadline stops the product within one state.
+  STRQ_RETURN_IF_ERROR(CheckDeadline());
+  const int cap = CurrentMaxProductStates(kDefaultMaxProductStates);
+  if (static_cast<int>(states_.size()) >= cap) {
+    return ResourceExhaustedError(
+        "lazy product exceeded the product-state budget (" +
+        std::to_string(cap) + " states)");
+  }
+  State state;
+  state.sig = sig;
+  state.accepting = EvalAccept(state.sig);
+  state.dead = dead_[0][state.sig[0]] ||
+               EvalForever(skeleton_.root, state.sig) == Tri::kFalse;
+  const int id = static_cast<int>(states_.size());
+  states_.push_back(std::move(state));
+  ids_.emplace(std::move(sig), id);
+  obs::Count(obs::kLazyStatesCreated);
+  return id;
+}
+
+Result<int> LazyProduct::StartState() {
+  if (start_ >= 0) return start_;
+  std::vector<int> sig;
+  sig.reserve(components_.size());
+  for (const Dfa* d : components_) sig.push_back(d->start());
+  STRQ_ASSIGN_OR_RETURN(start_, GetOrCreate(std::move(sig)));
+  return start_;
+}
+
+Result<const std::vector<int>*> LazyProduct::Expand(int state) {
+  if (!states_[state].next.empty()) return &states_[state].next;
+  const int letters = conv_.num_letters();
+  std::vector<int> row;
+  row.reserve(letters);
+  std::vector<int> sig(components_.size());
+  for (int letter = 0; letter < letters; ++letter) {
+    const std::vector<int>& src = states_[state].sig;
+    for (size_t c = 0; c < components_.size(); ++c) {
+      sig[c] = components_[c]->Next(src[c], static_cast<Symbol>(letter));
+    }
+    STRQ_ASSIGN_OR_RETURN(int target, GetOrCreate(sig));
+    row.push_back(target);
+  }
+  states_[state].next = std::move(row);
+  return &states_[state].next;
+}
+
+Result<bool> LazyProduct::Contains(const std::vector<std::string>& tuple) {
+  const auto t0 = std::chrono::steady_clock::now();
+  if (static_cast<int>(tuple.size()) != conv_.arity()) {
+    return InvalidArgumentError("lazy Contains: tuple arity mismatch");
+  }
+  STRQ_ASSIGN_OR_RETURN(std::vector<Symbol> word,
+                        conv_.ConvolveStrings(alphabet_, tuple));
+  STRQ_ASSIGN_OR_RETURN(int cur, StartState());
+  for (Symbol letter : word) {
+    if (states_[cur].dead) break;  // no extension accepts; verdict is fixed
+    const std::vector<int>& src = states_[cur].sig;
+    std::vector<int> sig(components_.size());
+    for (size_t c = 0; c < components_.size(); ++c) {
+      sig[c] = components_[c]->Next(src[c], letter);
+    }
+    STRQ_ASSIGN_OR_RETURN(cur, GetOrCreate(std::move(sig)));
+  }
+  const bool accepted = !states_[cur].dead && states_[cur].accepting;
+  obs::Observe(obs::kHistLazyFirstAnswerNs, ElapsedNs(t0));
+  return accepted;
+}
+
+Result<std::optional<std::vector<std::string>>> LazyProduct::ShortestWitness() {
+  const auto t0 = std::chrono::steady_clock::now();
+  STRQ_ASSIGN_OR_RETURN(int start, StartState());
+  auto finish = [&](std::optional<std::vector<std::string>> answer) {
+    obs::Observe(obs::kHistLazyFirstAnswerNs, ElapsedNs(t0));
+    return answer;
+  };
+  if (states_[start].dead) return finish(std::nullopt);
+  if (states_[start].accepting) {
+    obs::Count(obs::kLazyEarlyExits);
+    return finish(conv_.DeconvolveStrings(alphabet_, {}));
+  }
+  // BFS with ascending-letter expansion: the first accepting state found is
+  // reached by a shortest (and among its own paths, lex-least) word.
+  std::unordered_map<int, std::pair<int, Symbol>> parent;
+  std::deque<int> queue = {start};
+  std::vector<bool> visited_hint;  // indexed by dense id, grown on demand
+  auto visited = [&](int id) {
+    return id < static_cast<int>(visited_hint.size()) && visited_hint[id];
+  };
+  auto mark = [&](int id) {
+    if (id >= static_cast<int>(visited_hint.size())) {
+      visited_hint.resize(id + 1, false);
+    }
+    visited_hint[id] = true;
+  };
+  mark(start);
+  int64_t polls = 0;
+  while (!queue.empty()) {
+    if (((++polls) & 255) == 0) STRQ_RETURN_IF_ERROR(CheckDeadline());
+    const int cur = queue.front();
+    queue.pop_front();
+    STRQ_ASSIGN_OR_RETURN(const std::vector<int>* row, Expand(cur));
+    for (int letter = 0; letter < conv_.num_letters(); ++letter) {
+      const int target = (*row)[letter];
+      if (states_[target].dead || visited(target)) continue;
+      mark(target);
+      parent.emplace(target, std::make_pair(cur, static_cast<Symbol>(letter)));
+      if (states_[target].accepting) {
+        std::vector<Symbol> word;
+        for (int at = target; at != start;) {
+          const auto& [prev, via] = parent.at(at);
+          word.push_back(via);
+          at = prev;
+        }
+        std::reverse(word.begin(), word.end());
+        obs::Count(obs::kLazyEarlyExits);
+        return finish(conv_.DeconvolveStrings(alphabet_, word));
+      }
+      queue.push_back(target);
+    }
+  }
+  return finish(std::nullopt);
+}
+
+Result<std::vector<std::vector<std::string>>> LazyProduct::TopK(size_t k,
+                                                                int max_len) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::vector<std::string>> answers;
+  if (k == 0) return answers;
+  const size_t limit = std::min(k, CurrentMaxAnswerTuples(k));
+  STRQ_ASSIGN_OR_RETURN(int start, StartState());
+  // Prefix frontier in shortlex order: pop order equals answer order because
+  // children are pushed with letters ascending and the queue is FIFO.
+  std::deque<std::pair<int, std::vector<Symbol>>> queue;
+  if (!states_[start].dead) queue.emplace_back(start, std::vector<Symbol>{});
+  bool first_answer = true;
+  int64_t polls = 0;
+  while (!queue.empty()) {
+    if (((++polls) & 255) == 0) STRQ_RETURN_IF_ERROR(CheckDeadline());
+    auto [cur, word] = std::move(queue.front());
+    queue.pop_front();
+    if (states_[cur].accepting) {
+      if (first_answer) {
+        obs::Observe(obs::kHistLazyFirstAnswerNs, ElapsedNs(t0));
+        first_answer = false;
+      }
+      answers.push_back(conv_.DeconvolveStrings(alphabet_, word));
+      if (answers.size() >= limit) {
+        if (limit < k && !queue.empty()) {
+          return ResourceExhaustedError(
+              "lazy TopK hit the answer-tuple budget before k answers");
+        }
+        obs::Count(obs::kLazyEarlyExits);
+        return answers;
+      }
+    }
+    if (static_cast<int>(word.size()) >= max_len) continue;
+    STRQ_ASSIGN_OR_RETURN(const std::vector<int>* row, Expand(cur));
+    for (int letter = 0; letter < conv_.num_letters(); ++letter) {
+      const int target = (*row)[letter];
+      if (states_[target].dead) continue;
+      std::vector<Symbol> next = word;
+      next.push_back(static_cast<Symbol>(letter));
+      queue.emplace_back(target, std::move(next));
+    }
+  }
+  if (first_answer) obs::Observe(obs::kHistLazyFirstAnswerNs, ElapsedNs(t0));
+  return answers;
+}
+
+}  // namespace lazy
+}  // namespace strq

@@ -87,6 +87,14 @@ FormulaPtr FLike(TermPtr t, std::string pattern) {
                       .syntax = PatternSyntax::kLikePattern});
 }
 
+FormulaPtr FNear(TermPtr t, std::string word, int distance) {
+  return MakeFormula({.kind = FormulaKind::kPred,
+                      .args = {std::move(t)},
+                      .pred = PredKind::kNear,
+                      .pattern = std::move(word),
+                      .distance = distance});
+}
+
 FormulaPtr FRelation(std::string name, std::vector<TermPtr> args) {
   return MakeFormula({.kind = FormulaKind::kRelation,
                       .args = std::move(args),
@@ -261,8 +269,9 @@ bool StructurallyEqual(const FormulaPtr& a, const FormulaPtr& b) {
   if (a == nullptr || b == nullptr) return false;
   if (a->kind != b->kind || a->pred != b->pred || a->letter != b->letter ||
       a->pattern != b->pattern || a->syntax != b->syntax ||
-      a->relation != b->relation || a->var != b->var ||
-      a->range != b->range || a->args.size() != b->args.size()) {
+      a->distance != b->distance || a->relation != b->relation ||
+      a->var != b->var || a->range != b->range ||
+      a->args.size() != b->args.size()) {
     return false;
   }
   for (size_t i = 0; i < a->args.size(); ++i) {
@@ -311,6 +320,7 @@ uint64_t StructuralHash(const FormulaPtr& f) {
   h = HashMix(h, static_cast<unsigned char>(f->letter));
   h = HashString(h, f->pattern);
   h = HashMix(h, static_cast<uint64_t>(f->syntax));
+  h = HashMix(h, static_cast<uint64_t>(f->distance));
   h = HashString(h, f->relation);
   h = HashString(h, f->var);
   h = HashMix(h, static_cast<uint64_t>(f->range));
@@ -426,6 +436,9 @@ std::string PredToString(const Formula& f) {
              QuoteLiteral(f.pattern) + ", " + SyntaxName(f.syntax) + ")";
     case PredKind::kLike:
       return "like(" + arg(0) + ", " + QuoteLiteral(f.pattern) + ")";
+    case PredKind::kNear:
+      return arg(0) + " ~" + std::to_string(f.distance) + " " +
+             QuoteLiteral(f.pattern);
   }
   return "?";
 }

@@ -69,6 +69,9 @@ enum class PredKind {
   kMember,        // t ∈ L(pattern)
   kSuffixIn,      // P_L(t1, t2): t1 ≼ t2 ∧ t2 − t1 ∈ L(pattern)  (S_reg)
   kLike,          // t LIKE pattern (sugar for kMember with LIKE syntax)
+  kNear,          // t ~k word: edit_distance(t, word) <= distance. The
+                  // neighborhood is a finite language, hence star-free,
+                  // hence in S; compiled via sparse Levenshtein automata.
 };
 
 // How a pattern string attached to kMember/kSuffixIn/kLike is interpreted.
@@ -113,8 +116,9 @@ struct Formula {
   std::vector<TermPtr> args;
   PredKind pred = PredKind::kEq;   // kPred
   char letter = '\0';              // kPred kLast
-  std::string pattern;             // kPred kMember/kSuffixIn/kLike
+  std::string pattern;             // kPred kMember/kSuffixIn/kLike/kNear
   PatternSyntax syntax = PatternSyntax::kRegex;
+  int distance = 0;                // kPred kNear: the edit budget k
   std::string relation;            // kRelation: relation name
 
   // Connectives: kNot uses left only; kAnd/kOr/kImplies/kIff use both.
@@ -134,6 +138,8 @@ FormulaPtr FMember(TermPtr t, std::string pattern, PatternSyntax syntax);
 FormulaPtr FSuffixIn(TermPtr t1, TermPtr t2, std::string pattern,
                      PatternSyntax syntax);
 FormulaPtr FLike(TermPtr t, std::string pattern);
+// t ~distance word (bounded-edit-distance similarity atom).
+FormulaPtr FNear(TermPtr t, std::string word, int distance);
 FormulaPtr FRelation(std::string name, std::vector<TermPtr> args);
 FormulaPtr FNot(FormulaPtr f);
 FormulaPtr FAnd(FormulaPtr a, FormulaPtr b);

@@ -25,6 +25,7 @@ enum class TokKind {
   kNot,      // !
   kImplies,  // ->
   kIff,      // <->
+  kTilde,    // ~k similarity comparator; token text carries the digits
   kEnd,
 };
 
@@ -135,6 +136,22 @@ Result<std::vector<Token>> Lex(const std::string& input) {
                                       std::to_string(pos));
         }
         break;
+      case '~': {
+        // ~k edit-distance comparator: the digits are part of the token.
+        size_t j = i + 1;
+        while (j < input.size() &&
+               std::isdigit(static_cast<unsigned char>(input[j]))) {
+          ++j;
+        }
+        if (j == i + 1) {
+          return InvalidArgumentError(
+              "expected edit budget digits after '~' at position " +
+              std::to_string(pos));
+        }
+        out.push_back({TokKind::kTilde, input.substr(i + 1, j - i - 1), pos});
+        i = j;
+        break;
+      }
       default:
         return InvalidArgumentError(std::string("unexpected character '") + c +
                                     "' at position " + std::to_string(pos));
@@ -315,6 +332,24 @@ class Parser {
       pred = PredKind::kPrefix;
     } else if (Accept(TokKind::kLt)) {
       pred = PredKind::kStrictPrefix;
+    } else if (Peek().kind == TokKind::kTilde) {
+      // t ~k 'word': bounded-edit-distance similarity atom. The right-hand
+      // side must be a literal — the Levenshtein automaton is built from a
+      // fixed word, not from another track.
+      Token tilde = Take();
+      if (tilde.text.size() > 4) {
+        return InvalidArgumentError("edit budget ~" + tilde.text +
+                                    " is out of range");
+      }
+      int distance = 0;
+      for (char c : tilde.text) distance = distance * 10 + (c - '0');
+      if (Peek().kind != TokKind::kLiteral) {
+        return InvalidArgumentError(
+            "expected a quoted word after ~" + tilde.text + " at position " +
+            std::to_string(Peek().pos));
+      }
+      std::string word = Take().text;
+      return FNear(std::move(lhs), std::move(word), distance);
     } else {
       return InvalidArgumentError("expected comparison operator at position " +
                                   std::to_string(Peek().pos));

@@ -182,6 +182,14 @@ class LanguageChecker {
       case PredKind::kLike:
         // LIKE languages are star-free, hence in S already (Section 4).
         return Status::Ok();
+      case PredKind::kNear:
+        // A bounded-edit-distance neighborhood is a finite language, hence
+        // star-free, hence in S. Only the word's letters need checking.
+        for (char c : f.pattern) STRQ_RETURN_IF_ERROR(CheckLetter(c));
+        if (f.distance < 0) {
+          return InvalidArgumentError("~k edit budget must be non-negative");
+        }
+        return Status::Ok();
       case PredKind::kMember:
       case PredKind::kSuffixIn: {
         if (StructureIncludes(structure_, StructureId::kSReg)) {

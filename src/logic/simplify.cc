@@ -74,8 +74,9 @@ bool IsFalse(const FormulaPtr& f) { return f->kind == FormulaKind::kFalse; }
 std::optional<bool> FoldAtom(const Formula& f) {
   if (f.pred == PredKind::kAdom || f.pred == PredKind::kMember ||
       f.pred == PredKind::kSuffixIn || f.pred == PredKind::kLike ||
-      f.pred == PredKind::kLexLeq) {
-    // kLexLeq needs the alphabet order; patterns need compilation.
+      f.pred == PredKind::kLexLeq || f.pred == PredKind::kNear) {
+    // kLexLeq needs the alphabet order; patterns (and ~k words, whose
+    // letters the signature checker validates) need the alphabet.
     return std::nullopt;
   }
   std::vector<std::string> args;

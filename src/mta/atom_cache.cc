@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "automata/levenshtein.h"
 #include "automata/like.h"
 #include "automata/regex.h"
 #include "mta/atoms.h"
@@ -223,6 +224,53 @@ Result<DfaRef> AtomCache::CompiledPattern(const std::string& pattern,
   auto [it, inserted] = patterns_.emplace(key, ref);
   if (inserted) {
     int64_t bytes = kPatternEntryBytes + static_cast<int64_t>(pattern.size());
+    stats_.bytes += bytes;
+    obs::MemAdd(obs::MemCategory::kAtomCache, bytes);
+  }
+  return it->second;
+}
+
+Result<DfaRef> AtomCache::CompiledNear(const std::string& word,
+                                       int max_edits) {
+  // Shares the pattern cache; the synthetic "syntax" discriminant 1000+k
+  // can never collide with a PatternSyntax value.
+  std::pair<std::string, int> key(word, 1000 + max_edits);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      auto it = patterns_.find(key);
+      if (it != patterns_.end()) {
+        ++stats_.pattern_hits;
+        obs::Count(obs::kPatternCacheHits);
+        return it->second;
+      }
+      if (inflight_patterns_.insert(key).second) break;
+      ++stats_.singleflight_waits;
+      obs::Count(obs::kAtomCacheSingleflightWaits);
+      inflight_cv_.wait(lock);
+    }
+  }
+  obs::Span span("compile.near");
+  if (span.active()) {
+    span.set_detail("~" + std::to_string(max_edits) + " '" + word + "'");
+  }
+  Result<Dfa> lang = LevenshteinDfa(alphabet_, word, max_edits);
+  if (!lang.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_patterns_.erase(key);
+    inflight_cv_.notify_all();
+    return lang.status();
+  }
+  DfaRef ref = store_->Intern(*lang);
+  if (span.active()) span.Attr("states", ref->num_states());
+  std::lock_guard<std::mutex> lock(mu_);
+  inflight_patterns_.erase(key);
+  inflight_cv_.notify_all();
+  ++stats_.pattern_misses;
+  obs::Count(obs::kPatternCacheMisses);
+  auto [it, inserted] = patterns_.emplace(key, ref);
+  if (inserted) {
+    int64_t bytes = kPatternEntryBytes + static_cast<int64_t>(word.size());
     stats_.bytes += bytes;
     obs::MemAdd(obs::MemCategory::kAtomCache, bytes);
   }

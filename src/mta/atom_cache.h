@@ -105,6 +105,12 @@ class AtomCache {
   std::optional<DfaRef> PeekPattern(const std::string& pattern,
                                     PatternSyntax syntax) const;
 
+  // Compiles the bounded-edit-distance neighborhood { v : d(v, word) <= k }
+  // (a sparse Levenshtein automaton, determinized on the fly) to an interned
+  // DFA over the base alphabet, memoized per (word, k) in the same
+  // single-flight pattern cache as CompiledPattern.
+  Result<DfaRef> CompiledNear(const std::string& word, int max_edits);
+
   // A finite relation given extensionally (database tables, active-domain
   // and prefix-domain automata). `key` must identify the *content* — the
   // evaluators use "rel:<name>:<revision>" style keys, where revisions are

@@ -133,7 +133,19 @@ inline constexpr char kAlgebraNodesEvaluated[] = "algebra.nodes_evaluated";
 inline constexpr char kAlgebraMemoHits[] = "algebra.memo_hits";
 inline constexpr char kRestrictedCandidates[] =
     "restricted.candidates_enumerated";
+// Candidates the DFA-guided trie traversal skipped without evaluating the
+// quantifier body (dead-subtree pruning against the guard automata). The
+// sum candidates_enumerated + candidates_pruned is the full candidate set.
+inline constexpr char kRestrictedCandidatesPruned[] =
+    "restricted.candidates_pruned";
 inline constexpr char kConcatBoundedRounds[] = "concat.bounded_rounds";
+// Lazy product counters (src/lazy): states materialized on demand by the
+// signature-keyed cache, lookups answered by an already-built state, and
+// queries that returned before exhausting the reachable product (witness
+// found, top-k filled, or membership decided on a single path).
+inline constexpr char kLazyStatesCreated[] = "lazy.states_created";
+inline constexpr char kLazyCacheHits[] = "lazy.cache_hits";
+inline constexpr char kLazyEarlyExits[] = "lazy.early_exits";
 // Planner counters (src/plan): plan-cache traffic, rewrite activity, and the
 // estimated-vs-actual state accounting ExplainAnalyze surfaces.
 inline constexpr char kPlanCacheHits[] = "plan.cache_hits";
@@ -181,6 +193,10 @@ inline constexpr char kHistServeLatencyNs[] = "serve.latency_ns";
 // quantity the patch-vs-recompile heuristic is trying to keep below a
 // fresh compile.
 inline constexpr char kHistIncrPatchNs[] = "incr.patch_ns";
+// Wall time from lazy-query start to the first answer (witness found, first
+// top-k tuple, or membership verdict) — the quantity the lazy layer exists
+// to minimize relative to full materialization.
+inline constexpr char kHistLazyFirstAnswerNs[] = "lazy.first_answer_ns";
 
 // Process-wide registry of named monotonic counters plus log-bucketed
 // latency histograms. Cheap to read, guarded by a mutex on writes; writes

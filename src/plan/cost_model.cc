@@ -109,6 +109,12 @@ double CostModel::LeafEstimate(const FormulaPtr& atom) const {
           if (atom->pred == PredKind::kSuffixIn) base += 2.0;
           break;
         }
+        case PredKind::kNear:
+          // A Levenshtein DFA for word w with budget k has O(|w|·k) states.
+          base = 2.0 * static_cast<double>(atom->pattern.size()) *
+                     (atom->distance + 1) +
+                 2.0;
+          break;
       }
       return Clamp(base * TermOverhead(atom->args));
     }

@@ -228,6 +228,17 @@ bool Planner::AdvisePatch(const FormulaPtr& f, int64_t delta_ops,
   return patch_cost <= *actual + 64;
 }
 
+bool Planner::AdviseLazy(const FormulaPtr& f, double estimated_states) const {
+  // A recorded actual from a prior full compile is the strongest signal:
+  // small answer automata are cheaper to materialize once than to chase
+  // lazily on every request.
+  std::optional<int64_t> actual = LastActualFor(f);
+  if (actual.has_value()) return *actual > 64;
+  // Otherwise trust the cost model's root estimate; a tiny estimate means
+  // the eager pipeline finishes in microseconds anyway.
+  return !(estimated_states > 0 && estimated_states <= 64);
+}
+
 Planner::Stats Planner::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;

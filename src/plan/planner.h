@@ -136,6 +136,15 @@ class Planner {
   bool AdvisePatch(const FormulaPtr& f, int64_t delta_ops,
                    const AutomatonStore::Stats& store) const;
 
+  // Lazy-vs-materialize advice for the early-exit query modes (Contains /
+  // ExistsWitness / TopK): a query whose last full compile produced a small
+  // answer automaton — or, with no recorded actual, whose cost-model
+  // estimate is small — is cheaper to materialize outright (the store
+  // interns it once and every later mode reuses it) than to re-explore
+  // lazily per request. Everything else goes lazy: the on-the-fly product
+  // creates only the states the mode's traversal touches.
+  bool AdviseLazy(const FormulaPtr& f, double estimated_states) const;
+
   Stats stats() const;
 
   // Drops every cached plan and returns Stats.bytes (and the mirrored

@@ -1,0 +1,177 @@
+#include "relational/domain_trie.h"
+
+#include <algorithm>
+#include <deque>
+#include <utility>
+
+namespace strq {
+
+namespace {
+
+// States from which some accepting state is reachable; a guard walk entering
+// a non-live state can never match, which is the subtree-pruning condition.
+std::vector<bool> LiveStates(const Dfa& d) {
+  const int n = d.num_states();
+  std::vector<std::vector<int>> preds(n);
+  for (int q = 0; q < n; ++q) {
+    for (int cls = 0; cls < d.num_classes(); ++cls) {
+      preds[d.NextByClass(q, cls)].push_back(q);
+    }
+  }
+  std::vector<bool> live(n, false);
+  std::vector<int> stack;
+  for (int q = 0; q < n; ++q) {
+    if (d.IsAccepting(q)) {
+      live[q] = true;
+      stack.push_back(q);
+    }
+  }
+  while (!stack.empty()) {
+    int q = stack.back();
+    stack.pop_back();
+    for (int p : preds[q]) {
+      if (!live[p]) {
+        live[p] = true;
+        stack.push_back(p);
+      }
+    }
+  }
+  return live;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const DomainTrie>> DomainTrie::Build(
+    const Alphabet& alphabet, const std::vector<std::string>& sorted) {
+  std::vector<std::vector<Symbol>> encoded;
+  encoded.reserve(sorted.size());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0 && !(sorted[i - 1] < sorted[i])) {
+      return InvalidArgumentError(
+          "DomainTrie::Build input must be sorted and duplicate-free");
+    }
+    STRQ_ASSIGN_OR_RETURN(std::vector<Symbol> w, alphabet.Encode(sorted[i]));
+    encoded.push_back(std::move(w));
+  }
+
+  auto trie = std::shared_ptr<DomainTrie>(new DomainTrie(alphabet));
+  trie->terminal_count_ = static_cast<int64_t>(sorted.size());
+  trie->nodes_.push_back(Node{});
+  trie->nodes_[0].subtree_terminals = trie->terminal_count_;
+
+  // BFS construction keeps each node's children contiguous. A work item is
+  // the (already allocated) node plus the encoded-string range it covers at
+  // the given depth.
+  struct Item {
+    int node;
+    size_t lo, hi;
+    size_t depth;
+  };
+  std::deque<Item> work;
+  if (!encoded.empty()) work.push_back({0, 0, encoded.size(), 0});
+  while (!work.empty()) {
+    Item item = work.front();
+    work.pop_front();
+    size_t lo = item.lo;
+    if (lo < item.hi && encoded[lo].size() == item.depth) {
+      trie->nodes_[item.node].terminal = true;
+      ++lo;
+    }
+    // Group the remaining strings by their symbol at `depth`; groups are
+    // contiguous because the input is sorted.
+    const int first_child = static_cast<int>(trie->nodes_.size());
+    int num_children = 0;
+    size_t at = lo;
+    while (at < item.hi) {
+      const Symbol sym = encoded[at][item.depth];
+      size_t end = at;
+      while (end < item.hi && encoded[end][item.depth] == sym) ++end;
+      Node child;
+      child.symbol = sym;
+      child.subtree_terminals = static_cast<int64_t>(end - at);
+      trie->nodes_.push_back(child);
+      work.push_back({first_child + num_children, at, end, item.depth + 1});
+      ++num_children;
+      at = end;
+    }
+    trie->nodes_[item.node].first_child = first_child;
+    trie->nodes_[item.node].num_children = num_children;
+  }
+  return std::shared_ptr<const DomainTrie>(std::move(trie));
+}
+
+bool DomainTrie::Contains(const std::string& s) const {
+  if (nodes_.empty()) return false;
+  int node = 0;
+  for (char c : s) {
+    if (!alphabet_.Contains(c)) return false;
+    Result<Symbol> sym = alphabet_.SymbolOf(c);
+    if (!sym.ok()) return false;
+    const int first = nodes_[node].first_child;
+    int next = -1;
+    for (int i = 0; i < nodes_[node].num_children; ++i) {
+      if (nodes_[first + i].symbol == *sym) {
+        next = first + i;
+        break;
+      }
+    }
+    if (next < 0) return false;
+    node = next;
+  }
+  return nodes_[node].terminal;
+}
+
+std::vector<std::string> DomainTrie::Matching(
+    const std::vector<const Dfa*>& guards, MatchStats* stats) const {
+  std::vector<std::string> out;
+  if (nodes_.empty()) return out;
+  std::vector<std::vector<bool>> live;
+  live.reserve(guards.size());
+  for (const Dfa* g : guards) live.push_back(LiveStates(*g));
+
+  MatchStats local;
+  std::string prefix;
+  std::vector<int> states;
+  states.reserve(guards.size());
+  for (const Dfa* g : guards) states.push_back(g->start());
+
+  auto dfs = [&](auto&& self, int node, const std::vector<int>& at) -> void {
+    ++local.nodes_visited;
+    if (nodes_[node].terminal) {
+      bool all = true;
+      for (size_t g = 0; g < guards.size(); ++g) {
+        if (!guards[g]->IsAccepting(at[g])) {
+          all = false;
+          break;
+        }
+      }
+      if (all) out.push_back(prefix);
+    }
+    const int first = nodes_[node].first_child;
+    for (int c = 0; c < nodes_[node].num_children; ++c) {
+      const Node& child = nodes_[first + c];
+      std::vector<int> next(guards.size());
+      bool pruned = false;
+      for (size_t g = 0; g < guards.size(); ++g) {
+        next[g] = guards[g]->Next(at[g], child.symbol);
+        if (!live[g][next[g]]) {
+          pruned = true;
+          break;
+        }
+      }
+      if (pruned) {
+        ++local.subtrees_pruned;
+        local.strings_pruned += child.subtree_terminals;
+        continue;
+      }
+      prefix.push_back(alphabet_.CharOf(child.symbol));
+      self(self, first + c, next);
+      prefix.pop_back();
+    }
+  };
+  dfs(dfs, 0, states);
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace strq

@@ -1,0 +1,74 @@
+// A trie over the active domain (or its prefix closure): Engine B's
+// candidate scan becomes DFA-guided traversal of this structure instead of
+// a linear pass over rank-bounded candidates. Walking the trie and one or
+// more guard DFAs in lockstep prunes a whole subtree the moment every
+// string below it is dead in some guard — the DFAFilter pattern from
+// RediSearch's levenshtein.h, applied to the refcounted domain counts
+// src/incr maintains per revision.
+//
+// Tries are immutable once built and shared via shared_ptr: the
+// DomainProvider hands out one trie per (kind, revision) and sessions
+// pinned to old snapshots keep using the trie of their revision while newer
+// commits build fresh ones.
+
+#ifndef STRQ_RELATIONAL_DOMAIN_TRIE_H_
+#define STRQ_RELATIONAL_DOMAIN_TRIE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "automata/dfa.h"
+#include "base/alphabet.h"
+#include "base/status.h"
+
+namespace strq {
+
+class DomainTrie {
+ public:
+  // Builds from a sorted, duplicate-free list of strings over `alphabet`.
+  // Strings with foreign characters are rejected.
+  static Result<std::shared_ptr<const DomainTrie>> Build(
+      const Alphabet& alphabet, const std::vector<std::string>& sorted);
+
+  struct MatchStats {
+    int64_t nodes_visited = 0;
+    int64_t subtrees_pruned = 0;  // cut points, not strings
+    int64_t strings_pruned = 0;   // stored strings skipped via cut subtrees
+  };
+
+  // The stored strings accepted by EVERY guard DFA (each a complete DFA
+  // over the base alphabet), in sorted order. A subtree is pruned as soon
+  // as any guard reaches a state from which no accepting state is
+  // reachable. `stats` is optional.
+  std::vector<std::string> Matching(const std::vector<const Dfa*>& guards,
+                                    MatchStats* stats) const;
+
+  // Whether `s` is one of the stored strings (false for strings with
+  // characters outside the alphabet).
+  bool Contains(const std::string& s) const;
+
+  // Number of stored strings / all stored strings in sorted order.
+  int64_t size() const { return terminal_count_; }
+  const Alphabet& alphabet() const { return alphabet_; }
+
+ private:
+  struct Node {
+    Symbol symbol = 0;        // edge label from the parent (root: unused)
+    bool terminal = false;    // a stored string ends here
+    int64_t subtree_terminals = 0;  // stored strings in this subtree
+    int first_child = -1;     // children are contiguous, sorted by symbol
+    int num_children = 0;
+  };
+
+  explicit DomainTrie(Alphabet alphabet) : alphabet_(std::move(alphabet)) {}
+
+  Alphabet alphabet_;
+  std::vector<Node> nodes_;  // nodes_[0] is the root
+  int64_t terminal_count_ = 0;
+};
+
+}  // namespace strq
+
+#endif  // STRQ_RELATIONAL_DOMAIN_TRIE_H_

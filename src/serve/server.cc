@@ -257,6 +257,25 @@ Result<TrackAutomaton> Session::Compile(const FormulaPtr& f) {
   });
 }
 
+Result<bool> Session::Contains(const FormulaPtr& f,
+                               const std::vector<std::string>& tuple) {
+  return Serve([&]() -> Result<bool> { return eval_->Contains(f, tuple); });
+}
+
+Result<std::optional<std::vector<std::string>>> Session::ExistsWitness(
+    const FormulaPtr& f) {
+  return Serve([&]() -> Result<std::optional<std::vector<std::string>>> {
+    return eval_->ExistsWitness(f);
+  });
+}
+
+Result<std::vector<std::vector<std::string>>> Session::TopK(
+    const FormulaPtr& f, size_t k, int max_len) {
+  return Serve([&]() -> Result<std::vector<std::vector<std::string>>> {
+    return eval_->TopK(f, k, max_len);
+  });
+}
+
 Result<bool> Session::IsSafe(const FormulaPtr& f) {
   return Serve([&]() -> Result<bool> {
     STRQ_ASSIGN_OR_RETURN(TrackAutomaton rel,

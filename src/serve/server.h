@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -25,6 +26,19 @@ namespace strq {
 namespace serve {
 
 class Session;
+
+// How much of the answer a request wants. kMaterialize is the classic
+// full-relation path (Query/Compile, deduped across sessions); the three
+// early-exit modes route through the lazy on-the-fly product when the
+// planner advises it, so a request touches only the product states its
+// traversal explores and the per-request deadline interrupts at
+// state-creation granularity.
+enum class QueryMode {
+  kMaterialize,
+  kContains,
+  kExistsWitness,
+  kTopK,
+};
 
 // Admission control and per-session resource limits for one QueryServer.
 struct ServerOptions {
@@ -237,6 +251,21 @@ class Session {
 
   // Compiles φ to its answer automaton (deduped across sessions).
   Result<TrackAutomaton> Compile(const FormulaPtr& f);
+
+  // Early-exit query modes (QueryMode::kContains / kExistsWitness / kTopK)
+  // against the pinned snapshot. Answers are identical to filtering the
+  // materialized Query() result; the lazy path (Planner::AdviseLazy) just
+  // gets there without building the product. Lazy state caches are
+  // per-request here — cross-session sharing happens at the component
+  // level (leaf automata live in the shared AtomCache/store), so canonical
+  // store ids never depend on which sessions ran which modes.
+  Result<bool> Contains(const FormulaPtr& f,
+                        const std::vector<std::string>& tuple);
+  Result<std::optional<std::vector<std::string>>> ExistsWitness(
+      const FormulaPtr& f);
+  Result<std::vector<std::vector<std::string>>> TopK(const FormulaPtr& f,
+                                                     size_t k,
+                                                     int max_len = 64);
 
   // State-safety of φ on the pinned snapshot.
   Result<bool> IsSafe(const FormulaPtr& f);

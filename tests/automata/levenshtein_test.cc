@@ -1,0 +1,114 @@
+#include "automata/levenshtein.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "base/alphabet.h"
+
+namespace strq {
+namespace {
+
+// All binary strings of length <= max_len, in generation order.
+std::vector<std::string> AllStrings(int max_len) {
+  std::vector<std::string> out = {""};
+  size_t lo = 0;
+  for (int len = 1; len <= max_len; ++len) {
+    size_t hi = out.size();
+    for (size_t i = lo; i < hi; ++i) {
+      out.push_back(out[i] + "0");
+      out.push_back(out[i] + "1");
+    }
+    lo = hi;
+  }
+  return out;
+}
+
+TEST(WithinEditDistanceTest, KnownDistances) {
+  EXPECT_TRUE(WithinEditDistance("", "", 0));
+  EXPECT_TRUE(WithinEditDistance("01", "01", 0));
+  EXPECT_FALSE(WithinEditDistance("01", "10", 0));
+  EXPECT_TRUE(WithinEditDistance("01", "10", 2));   // two substitutions
+  EXPECT_TRUE(WithinEditDistance("01", "1", 1));    // one deletion
+  EXPECT_TRUE(WithinEditDistance("01", "011", 1));  // one insertion
+  EXPECT_FALSE(WithinEditDistance("0000", "1111", 3));
+  EXPECT_TRUE(WithinEditDistance("0000", "1111", 4));
+  // Distance is symmetric.
+  EXPECT_EQ(WithinEditDistance("0101", "11", 2),
+            WithinEditDistance("11", "0101", 2));
+}
+
+TEST(WithinEditDistanceTest, BandedCutoffIsExact) {
+  // The band only prunes: verdicts at budget k agree with the classic full
+  // DP (spot-checked against budget k+1 monotonicity).
+  for (const char* a : {"", "0", "01", "0110", "111000"}) {
+    for (const char* b : {"", "1", "10", "0110", "000111"}) {
+      for (int k = 0; k <= 4; ++k) {
+        if (WithinEditDistance(a, b, k)) {
+          EXPECT_TRUE(WithinEditDistance(a, b, k + 1))
+              << a << " ~" << k << " " << b;
+        }
+      }
+    }
+  }
+}
+
+TEST(LevenshteinDfaTest, AgreesWithDynamicProgram) {
+  Alphabet alphabet = Alphabet::Binary();
+  const std::vector<std::string> universe = AllStrings(6);
+  for (const std::string& word : {std::string("0101"), std::string("11"),
+                                  std::string("")}) {
+    for (int k = 0; k <= 2; ++k) {
+      Result<Dfa> dfa = LevenshteinDfa(alphabet, word, k);
+      ASSERT_TRUE(dfa.ok()) << dfa.status();
+      for (const std::string& v : universe) {
+        EXPECT_EQ(dfa->AcceptsString(alphabet, v),
+                  WithinEditDistance(v, word, k))
+            << "word=" << word << " k=" << k << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(LevenshteinDfaTest, NeighborhoodIsFinite) {
+  // Bounded-edit-distance languages are finite (hence star-free, hence
+  // inside fragment S): the DFA must reject everything long enough.
+  Alphabet alphabet = Alphabet::Binary();
+  Result<Dfa> dfa = LevenshteinDfa(alphabet, "010", 1);
+  ASSERT_TRUE(dfa.ok()) << dfa.status();
+  for (const std::string& v : AllStrings(7)) {
+    if (v.size() >= 5) {
+      EXPECT_FALSE(dfa->AcceptsString(alphabet, v)) << v;
+    }
+  }
+}
+
+TEST(LevenshteinDfaTest, ZeroBudgetIsExactMatch) {
+  Alphabet alphabet = Alphabet::Binary();
+  Result<Dfa> dfa = LevenshteinDfa(alphabet, "0110", 0);
+  ASSERT_TRUE(dfa.ok()) << dfa.status();
+  for (const std::string& v : AllStrings(5)) {
+    EXPECT_EQ(dfa->AcceptsString(alphabet, v), v == "0110") << v;
+  }
+}
+
+TEST(SparseLevenshteinTest, StatesStaySparse) {
+  // The antichain representation never holds more than word_size+1
+  // positions regardless of how many NFA states a subset construction
+  // would track.
+  Alphabet alphabet = Alphabet::Binary();
+  std::vector<Symbol> word;
+  for (char c : std::string("010101")) {
+    word.push_back(*alphabet.SymbolOf(c));
+  }
+  SparseLevenshtein nfa(word, 2);
+  SparseLevenshtein::State state = nfa.Start();
+  for (int step = 0; step < 10; ++step) {
+    state = nfa.Step(state, static_cast<Symbol>(step % 2));
+    EXPECT_LE(state.size(), static_cast<size_t>(nfa.word_size() + 1));
+  }
+}
+
+}  // namespace
+}  // namespace strq

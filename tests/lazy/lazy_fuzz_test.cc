@@ -1,0 +1,297 @@
+// Differential fuzzing for the lazy on-the-fly product: random open
+// formulas evaluated through the early-exit modes must agree with the
+// materialized pipeline on BOTH engines, and an injected deadline or state
+// budget may abort a request but never change a delivered answer.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/budget.h"
+#include "base/rng.h"
+#include "eval/automata_eval.h"
+#include "eval/restricted_eval.h"
+#include "lazy/lazy.h"
+#include "logic/ast.h"
+#include "logic/parser.h"
+
+namespace strq {
+namespace {
+
+// Mirrors the Engine A/B fuzzer in tests/eval/fuzz_test.cc, restricted to
+// the atom set both the lazy skeleton decomposition and Engine B accept.
+class FormulaFuzzer {
+ public:
+  explicit FormulaFuzzer(uint64_t seed) : rng_(seed) {}
+
+  FormulaPtr Open(int depth, std::vector<std::string> free_vars) {
+    return Gen(depth, free_vars);
+  }
+
+ private:
+  TermPtr RandomTerm(const std::vector<std::string>& scope, int depth) {
+    if (depth <= 0 || scope.empty() || rng_.NextBelow(3) == 0) {
+      if (scope.empty() || rng_.NextBelow(4) == 0) {
+        return TConst(rng_.NextString("01", 0, 2));
+      }
+      return TVar(scope[rng_.NextBelow(scope.size())]);
+    }
+    switch (rng_.NextBelow(3)) {
+      case 0:
+        return TAppend(RandomLetter(), RandomTerm(scope, depth - 1));
+      case 1:
+        return TPrepend(RandomLetter(), RandomTerm(scope, depth - 1));
+      default:
+        return TTrim(RandomLetter(), RandomTerm(scope, depth - 1));
+    }
+  }
+
+  char RandomLetter() { return rng_.NextBool() ? '0' : '1'; }
+
+  FormulaPtr Atom(const std::vector<std::string>& scope) {
+    TermPtr t1 = RandomTerm(scope, 1);
+    TermPtr t2 = RandomTerm(scope, 1);
+    switch (rng_.NextBelow(7)) {
+      case 0:
+        return FPred(PredKind::kEq, {t1, t2});
+      case 1:
+        return FPred(PredKind::kPrefix, {t1, t2});
+      case 2:
+        return FPred(PredKind::kStrictPrefix, {t1, t2});
+      case 3:
+        return FLast(RandomLetter(), t1);
+      case 4:
+        return FPred(PredKind::kLexLeq, {t1, t2});
+      case 5:
+        return FNear(t1, rng_.NextString("01", 1, 3),
+                     static_cast<int>(rng_.NextBelow(2)) + 1);
+      default:
+        return rng_.NextBool() ? FRelation("R", {t1})
+                               : FPred(PredKind::kAdom, {t1});
+    }
+  }
+
+  FormulaPtr Quantified(int depth, std::vector<std::string>& scope) {
+    std::string var = "v" + std::to_string(scope.size());
+    QuantRange range =
+        rng_.NextBool() ? QuantRange::kAdom : QuantRange::kPrefixDom;
+    scope.push_back(var);
+    FormulaPtr body = Gen(depth - 1, scope);
+    scope.pop_back();
+    return rng_.NextBool() ? FExists(var, body, range)
+                           : FForall(var, body, range);
+  }
+
+  FormulaPtr Gen(int depth, std::vector<std::string>& scope) {
+    if (depth <= 0 || rng_.NextBelow(3) == 0) return Atom(scope);
+    switch (rng_.NextBelow(6)) {
+      case 0:
+        return FNot(Gen(depth - 1, scope));
+      case 1:
+        return FAnd(Gen(depth - 1, scope), Gen(depth - 1, scope));
+      case 2:
+        return FOr(Gen(depth - 1, scope), Gen(depth - 1, scope));
+      case 3:
+        return FImplies(Gen(depth - 1, scope), Gen(depth - 1, scope));
+      default:
+        return Quantified(depth, scope);
+    }
+  }
+
+  Rng rng_;
+};
+
+Database FuzzDb(uint64_t seed) {
+  Database db(Alphabet::Binary());
+  Rng rng(seed);
+  std::vector<Tuple> tuples;
+  for (const std::string& s : rng.DistinctStrings("01", 0, 3, 5)) {
+    tuples.push_back({s});
+  }
+  Status status = db.AddRelation("R", 1, std::move(tuples));
+  (void)status;
+  return db;
+}
+
+int ConvLength(const std::vector<std::string>& tuple) {
+  size_t len = 0;
+  for (const std::string& s : tuple) len = std::max(len, s.size());
+  return static_cast<int>(len);
+}
+
+bool IsBudgetError(const Status& s) {
+  return s.code() == StatusCode::kDeadlineExceeded ||
+         s.code() == StatusCode::kResourceExhausted;
+}
+
+// 200 random open formulas: the lazy product's three modes vs the
+// materialized TrackAutomaton, exact agreement required.
+class LazyDifferentialFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LazyDifferentialFuzzTest, LazyModesAgreeWithMaterialized) {
+  uint64_t seed = static_cast<uint64_t>(GetParam());
+  FormulaFuzzer fuzzer(seed * 7529 + 3);
+  Database db = FuzzDb(seed * 104729 + 17);
+  AutomataEvaluator eval(&db);
+  Rng probe_rng(seed * 31 + 5);
+  for (int i = 0; i < 25; ++i) {
+    FormulaPtr f = fuzzer.Open(3, {"x", "y"});
+    if (FreeVars(f).empty()) continue;
+    Result<TrackAutomaton> rel = eval.Compile(f);
+    Result<lazy::LazyProduct> lazy = eval.CompileLazy(f);
+    // The eager side may exhaust the default product-state ceiling on
+    // formulas the lazy side handles fine; only hard errors are bugs.
+    if (!rel.ok() || !lazy.ok()) {
+      EXPECT_NE(rel.status().code(), StatusCode::kInternal) << ToString(f);
+      EXPECT_NE(lazy.status().code(), StatusCode::kInternal) << ToString(f);
+      continue;
+    }
+
+    // Contains on random probe tuples.
+    for (int p = 0; p < 4; ++p) {
+      std::vector<std::string> tuple;
+      for (int c = 0; c < rel->arity(); ++c) {
+        tuple.push_back(probe_rng.NextString("01", 0, 4));
+      }
+      Result<bool> eager = rel->Contains(tuple);
+      Result<bool> on_the_fly = lazy->Contains(tuple);
+      ASSERT_TRUE(eager.ok() && on_the_fly.ok()) << ToString(f);
+      EXPECT_EQ(*eager, *on_the_fly) << ToString(f);
+    }
+
+    // Shortest witness: nonempty iff the relation is nonempty, the witness
+    // is a member, and its convolution length matches the shortlex-first
+    // answer's.
+    std::vector<std::vector<std::string>> first =
+        rel->EnumerateTuples(rel->NumStates(), 1);
+    Result<std::optional<std::vector<std::string>>> witness =
+        lazy->ShortestWitness();
+    ASSERT_TRUE(witness.ok()) << ToString(f) << ": " << witness.status();
+    EXPECT_EQ(witness->has_value(), !first.empty()) << ToString(f);
+    if (witness->has_value() && !first.empty()) {
+      Result<bool> member = rel->Contains(**witness);
+      ASSERT_TRUE(member.ok());
+      EXPECT_TRUE(*member) << ToString(f) << " witness not in answer set";
+      EXPECT_EQ(ConvLength(**witness), ConvLength(first[0]))
+          << ToString(f) << " witness is not shortest";
+    }
+
+    // TopK: exact shortlex prefix agreement under a shared length cap.
+    std::vector<std::vector<std::string>> eager = rel->EnumerateTuples(6, 8);
+    Result<std::vector<std::vector<std::string>>> top = lazy->TopK(8, 6);
+    ASSERT_TRUE(top.ok()) << ToString(f) << ": " << top.status();
+    EXPECT_EQ(eager, *top) << ToString(f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LazyDifferentialFuzzTest,
+                         ::testing::Range(1, 9));
+
+// Engine B: the candidate-restricted early-exit modes vs full restricted
+// evaluation over the same candidate universe.
+class RestrictedModesFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RestrictedModesFuzzTest, EarlyExitModesAgreeWithFullEvaluation) {
+  uint64_t seed = static_cast<uint64_t>(GetParam());
+  FormulaFuzzer fuzzer(seed * 6491 + 7);
+  Database db = FuzzDb(seed * 15485863 + 29);
+  RestrictedEvaluator engine_b(&db);
+  std::vector<std::string> candidates = engine_b.PrefixDomCandidates();
+  for (int i = 0; i < 20; ++i) {
+    FormulaPtr f = fuzzer.Open(2, {"x", "y"});
+    if (FreeVars(f).empty()) continue;
+    Result<Relation> full = engine_b.EvaluateOnCandidates(f, candidates);
+    Result<std::optional<Tuple>> witness =
+        engine_b.ExistsWitnessOnCandidates(f, candidates);
+    Result<std::vector<Tuple>> top =
+        engine_b.TopKOnCandidates(f, candidates, 5);
+    ASSERT_EQ(full.ok(), witness.ok()) << ToString(f);
+    ASSERT_EQ(full.ok(), top.ok()) << ToString(f);
+    if (!full.ok()) continue;
+    std::set<Tuple> answers(full->tuples().begin(), full->tuples().end());
+    EXPECT_EQ(witness->has_value(), !answers.empty()) << ToString(f);
+    if (witness->has_value()) {
+      EXPECT_TRUE(answers.count(**witness))
+          << ToString(f) << " witness not in full answer set";
+    }
+    EXPECT_EQ(top->size(), std::min<size_t>(5, answers.size())) << ToString(f);
+    for (const Tuple& t : *top) {
+      EXPECT_TRUE(answers.count(t))
+          << ToString(f) << " top-k tuple not in full answer set";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RestrictedModesFuzzTest,
+                         ::testing::Range(1, 6));
+
+// Budget injection: a deadline or state ceiling may abort a lazy request,
+// but whenever the budgeted run RETURNS an answer it must be the oracle's
+// answer — a partial/truncated result leaking through as success is the bug
+// class this battery exists to catch.
+class LazyBudgetFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LazyBudgetFuzzTest, BudgetAbortsNeverCorruptAnswers) {
+  uint64_t seed = static_cast<uint64_t>(GetParam());
+  FormulaFuzzer fuzzer(seed * 3307 + 11);
+  Database db = FuzzDb(seed * 28657 + 41);
+  AutomataEvaluator eval(&db);
+  Rng budget_rng(seed * 131 + 1);
+  for (int i = 0; i < 20; ++i) {
+    FormulaPtr f = fuzzer.Open(3, {"x", "y"});
+    if (FreeVars(f).empty()) continue;
+    Result<TrackAutomaton> rel = eval.Compile(f);
+    Result<lazy::LazyProduct> lazy = eval.CompileLazy(f);
+    if (!rel.ok() || !lazy.ok()) continue;
+    std::vector<std::vector<std::string>> oracle = rel->EnumerateTuples(6, 5);
+
+    // Tight random deadline (0–20µs): some runs expire mid-traversal.
+    {
+      RequestBudget budget = RequestBudget::WithTimeout(
+          std::chrono::nanoseconds(budget_rng.NextBelow(20000)));
+      ScopedRequestBudget scope(&budget);
+      Result<std::vector<std::vector<std::string>>> top = lazy->TopK(5, 6);
+      if (top.ok()) {
+        EXPECT_EQ(oracle, *top)
+            << ToString(f) << " deadline run returned a wrong answer";
+      } else {
+        EXPECT_TRUE(IsBudgetError(top.status()))
+            << ToString(f) << ": " << top.status();
+      }
+    }
+
+    // Tiny product-state ceiling: aborts are RESOURCE_EXHAUSTED, successes
+    // (small products fitting the ceiling) are exact.
+    {
+      RequestBudget budget;
+      budget.max_product_states =
+          static_cast<int>(budget_rng.NextBelow(30)) + 1;
+      ScopedRequestBudget scope(&budget);
+      Result<std::optional<std::vector<std::string>>> witness =
+          lazy->ShortestWitness();
+      if (witness.ok()) {
+        std::vector<std::vector<std::string>> first =
+            rel->EnumerateTuples(rel->NumStates(), 1);
+        EXPECT_EQ(witness->has_value(), !first.empty()) << ToString(f);
+        if (witness->has_value()) {
+          Result<bool> member = rel->Contains(**witness);
+          ASSERT_TRUE(member.ok());
+          EXPECT_TRUE(*member)
+              << ToString(f) << " budget run returned a non-answer witness";
+        }
+      } else {
+        EXPECT_TRUE(IsBudgetError(witness.status()))
+            << ToString(f) << ": " << witness.status();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LazyBudgetFuzzTest, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace strq
