@@ -1,0 +1,352 @@
+// The sharded coordinator under measurement (src/shard): hash-partitioned
+// relations, per-shard compilation, regular-language merge.
+//
+//   1. Agreement: a fixed battery of open queries, sentences, and safety
+//      checks served at 1/2/4/8 shards — answers, EnumerateTuples order,
+//      canonical merge-store ids, verdicts, and truth values must all be
+//      byte-identical to the unsharded arm (sh.answers_agree,
+//      sh.order_agree, sh.ids_agree, sh.safety_agree).
+//   2. Compile throughput: a decision-heavy workload of DISTINCT true-dense
+//      existential sentences and infinite safety probes, cold-compiled at
+//      each shard count. Each shard holds ~1/N of R, and the serial
+//      deciders stop at the first shard that settles the question, so the
+//      sharded arms do a fraction of the unsharded automaton work — the
+//      speedup does NOT depend on extra cores. Gate scalar:
+//      sh.compile_speedup_4x (floor 2x, asserted by check.sh tier-2g).
+//   3. Serving latency: the materializing path (per-shard compile + interned
+//      union merge) per shard count, p50/p99.
+//   4. Update stream: identical tuple-delta commits fan through every arm's
+//      CommitDeltas; per-commit probe answers must agree across shard
+//      counts (sh.update_agree) and commit+refresh throughput is reported.
+//
+// Exit code gates the SEMANTIC invariants only (agreement scalars); the
+// wall-clock speedup floor is asserted by scripts/check.sh on the regular
+// build, where timing is meaningful (same policy as the tier-2e incr gate).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "bench/bench_util.h"
+#include "logic/parser.h"
+#include "relational/database.h"
+#include "serve/server.h"
+#include "shard/sharded_db.h"
+
+namespace strq {
+namespace {
+
+using bench::BenchReporter;
+using bench::Header;
+using bench::RandomUnaryDb;
+using bench::Row;
+
+constexpr int kShardCounts[] = {1, 2, 4, 8};
+
+FormulaPtr Q(const std::string& text) {
+  Result<FormulaPtr> r = ParseFormula(text);
+  if (!r.ok()) {
+    std::fprintf(stderr, "parse failed: %s\n", r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *std::move(r);
+}
+
+std::unique_ptr<serve::QueryServer> MakeServer(const Database& db,
+                                               int num_shards) {
+  serve::ServerOptions options;
+  options.num_shards = num_shards;
+  return std::make_unique<serve::QueryServer>(db, options);
+}
+
+double Percentile(std::vector<int64_t> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  size_t idx = static_cast<size_t>(p * (values.size() - 1));
+  return static_cast<double>(values[idx]);
+}
+
+// The decision workload: `count` structurally DISTINCT formulas (a fresh
+// literal per formula defeats every plan/atom/op memo, so each arm compiles
+// cold) built from prefixes of strings actually in R — the existential
+// sentences are true-dense, so the serial decider usually stops at shard 0.
+// `salt` makes successive repetitions cold as well.
+struct DecisionWorkload {
+  std::vector<FormulaPtr> sentences;  // exists x. R(x) & 'p' <= x | x = junk
+  std::vector<FormulaPtr> unsafe;     // R(x) | 'junk' <= x  (always infinite)
+};
+
+DecisionWorkload MakeDecisionWorkload(const Database& db, int count,
+                                      uint64_t salt) {
+  DecisionWorkload w;
+  Rng rng(salt * 2654435761 + 97);
+  const std::vector<Tuple>& tuples = db.Find("R")->tuples();
+  for (int i = 0; i < count; ++i) {
+    const std::string& s = tuples[i % tuples.size()][0];
+    std::string prefix = s.substr(0, 1 + (i % 3));
+    std::string junk = rng.NextString("01", 10, 14);
+    w.sentences.push_back(
+        Q("exists x. R(x) & ('" + prefix + "' <= x | x = '" + junk + "')"));
+    w.unsafe.push_back(Q("R(x) | '" + rng.NextString("01", 10, 14) +
+                         "' <= x"));
+  }
+  return w;
+}
+
+int Run(int argc, char** argv) {
+  BenchReporter reporter(argc, argv, "SH",
+                         "sharded coordinator — hash partition, per-shard "
+                         "compilation, regular-language merge");
+  Header("SH", "sharded coordinator — partition, per-shard compile, merge");
+  const bool smoke = reporter.smoke();
+  reporter.set_seed(20260809);
+
+  // Long strings keep the random set SPARSE in Σ*, so the minimal DFA of a
+  // shard's fraction of R is proportionally smaller — dense short-string
+  // sets minimize sublinearly and would flatten the per-shard advantage.
+  const int kDbSize = smoke ? 256 : 512;
+  const int kMaxLen = 24;
+  Database fixture = RandomUnaryDb(20260809, kDbSize, 16, kMaxLen);
+
+  // --- 1. Agreement across shard counts --------------------------------
+  // The hard invariant: a shard count is a deployment knob, not a
+  // semantics knob. Arm 0 (one shard, never routed through the
+  // coordinator) is the oracle for answers, enumeration order, canonical
+  // ids, safety verdicts, and sentence truth.
+  Header("SH1", "shard-count invariance on a fixed battery");
+  const std::vector<FormulaPtr> open_queries = {
+      Q("R(x)"),
+      Q("R(x) & '0' <= x"),
+      Q("R(x) & last[1](x)"),
+      Q("R(x) | x <= '0101'"),
+      Q("exists y. R(y) & x <= y & last[1](x)"),
+      Q("!R(x) & x <= '010'"),     // fallback: negative occurrence
+      Q("R(x) & R(x)"),            // fallback: relations on both sides
+  };
+  const std::vector<FormulaPtr> sentences = {
+      Q("exists x. R(x)"),
+      Q("exists x. R(x) & last[0](x)"),
+      Q("exists x. R(x) & x = '0'"),  // almost surely false
+      Q("forall x in adom. member(x, '(0|1)*')"),
+  };
+  bool answers_agree = true;
+  bool order_agree = true;
+  bool ids_agree = true;
+  bool safety_agree = true;
+  std::vector<std::vector<Tuple>> want_answers;
+  std::vector<std::vector<std::vector<std::string>>> want_order;
+  std::vector<uint64_t> want_ids;
+  std::vector<bool> want_safe;
+  std::vector<bool> want_truth;
+  for (int n : kShardCounts) {
+    std::unique_ptr<serve::QueryServer> server = MakeServer(fixture, n);
+    std::unique_ptr<serve::Session> session = server->OpenSession();
+    size_t qi = 0;
+    for (const FormulaPtr& f : open_queries) {
+      Result<Relation> rel = session->Query(f);
+      Result<TrackAutomaton> compiled = session->Compile(f);
+      Result<bool> safe = session->IsSafe(f);
+      if (!rel.ok() || !compiled.ok() || !safe.ok()) {
+        std::fprintf(stderr, "battery query failed at %d shards: %s\n", n,
+                     rel.status().ToString().c_str());
+        return 1;
+      }
+      std::vector<std::vector<std::string>> order =
+          compiled->EnumerateTuples(kMaxLen, 32);
+      if (n == 1) {
+        want_answers.push_back(rel->tuples());
+        want_order.push_back(order);
+        want_ids.push_back(compiled->dfa_ref().id());
+        want_safe.push_back(*safe);
+      } else {
+        answers_agree &= rel->tuples() == want_answers[qi];
+        order_agree &= order == want_order[qi];
+        ids_agree &= compiled->dfa_ref().id() == want_ids[qi];
+        safety_agree &= *safe == want_safe[qi];
+      }
+      ++qi;
+    }
+    size_t si = 0;
+    for (const FormulaPtr& f : sentences) {
+      Result<bool> truth = session->QuerySentence(f);
+      if (!truth.ok()) {
+        std::fprintf(stderr, "battery sentence failed at %d shards\n", n);
+        return 1;
+      }
+      if (n == 1) {
+        want_truth.push_back(*truth);
+      } else {
+        answers_agree &= *truth == want_truth[si];
+      }
+      ++si;
+    }
+  }
+  Row(std::string("answers ") + (answers_agree ? "agree" : "DISAGREE") +
+      ", order " + (order_agree ? "agree" : "DISAGREE") + ", ids " +
+      (ids_agree ? "agree" : "DISAGREE") + ", safety " +
+      (safety_agree ? "agree" : "DISAGREE") + " across 1/2/4/8 shards");
+  reporter.AddScalar("sh.answers_agree", answers_agree ? 1 : 0);
+  reporter.AddScalar("sh.order_agree", order_agree ? 1 : 0);
+  reporter.AddScalar("sh.ids_agree", ids_agree ? 1 : 0);
+  reporter.AddScalar("sh.safety_agree", safety_agree ? 1 : 0);
+
+  // --- 2. Compile throughput: early-exit work reduction ----------------
+  // Fresh server and fresh (never-seen) formulas per repetition, so every
+  // arm pays full compilation cost; best-of-reps guards against scheduler
+  // noise. The sharded arms win by doing LESS automaton work per decided
+  // question, not by using more threads.
+  Header("SH2", "decider throughput at 1/2/4/8 shards (cold compiles)");
+  const int kQueries = smoke ? 24 : 48;
+  const int kReps = smoke ? 3 : 5;
+  std::vector<double> shard_xs;
+  std::vector<double> qps_series;
+  double qps_at_1 = 0;
+  double qps_at_4 = 0;
+  uint64_t salt = 1;
+  for (int n : kShardCounts) {
+    double best = -1;
+    for (int rep = 0; rep < kReps; ++rep) {
+      DecisionWorkload w = MakeDecisionWorkload(fixture, kQueries, salt++);
+      std::unique_ptr<serve::QueryServer> server = MakeServer(fixture, n);
+      std::unique_ptr<serve::Session> session = server->OpenSession();
+      auto t0 = std::chrono::steady_clock::now();
+      for (const FormulaPtr& f : w.sentences) {
+        Result<bool> truth = session->QuerySentence(f);
+        if (!truth.ok() || !*truth) {
+          std::fprintf(stderr, "throughput sentence not true at %d shards\n",
+                       n);
+          return 1;
+        }
+      }
+      for (const FormulaPtr& f : w.unsafe) {
+        Result<bool> safe = session->IsSafe(f);
+        if (!safe.ok() || *safe) {
+          std::fprintf(stderr, "throughput probe not infinite at %d shards\n",
+                       n);
+          return 1;
+        }
+      }
+      auto t1 = std::chrono::steady_clock::now();
+      double wall = std::chrono::duration<double>(t1 - t0).count();
+      double qps = static_cast<double>(2 * kQueries) / wall;
+      best = std::max(best, qps);
+    }
+    shard_xs.push_back(n);
+    qps_series.push_back(best);
+    if (n == 1) qps_at_1 = best;
+    if (n == 4) qps_at_4 = best;
+    char buffer[96];
+    std::snprintf(buffer, sizeof(buffer),
+                  "%d shard(s): %9.0f decided queries/s", n, best);
+    Row(buffer);
+    reporter.AddScalar("sh.compile_qps_" + std::to_string(n) + "s", best);
+  }
+  reporter.AddSeries("sh.compile_qps_vs_shards", shard_xs, qps_series);
+  double speedup = qps_at_1 > 0 ? qps_at_4 / qps_at_1 : 0;
+  char speedup_row[96];
+  std::snprintf(speedup_row, sizeof(speedup_row),
+                "4-shard speedup over unsharded: %.2fx (floor 2x)", speedup);
+  Row(speedup_row);
+  reporter.AddScalar("sh.compile_speedup_4x", speedup);
+
+  // --- 3. Serving latency: the materializing merge path ----------------
+  // Open distributable queries force per-shard compilation plus the
+  // interned-union merge; p50/p99 per shard count shows what the merge
+  // costs when early exit cannot help.
+  Header("SH3", "materializing latency per shard count");
+  const int kLatencyReps = smoke ? 4 : 12;
+  for (int n : kShardCounts) {
+    std::unique_ptr<serve::QueryServer> server = MakeServer(fixture, n);
+    std::unique_ptr<serve::Session> session = server->OpenSession();
+    std::vector<int64_t> lat;
+    for (int rep = 0; rep < kLatencyReps; ++rep) {
+      for (const FormulaPtr& f : open_queries) {
+        auto t0 = std::chrono::steady_clock::now();
+        Result<Relation> rel = session->Query(f);
+        auto t1 = std::chrono::steady_clock::now();
+        if (!rel.ok()) {
+          std::fprintf(stderr, "latency query failed at %d shards\n", n);
+          return 1;
+        }
+        lat.push_back(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count());
+      }
+    }
+    double p50 = Percentile(lat, 0.5);
+    double p99 = Percentile(lat, 0.99);
+    char buffer[96];
+    std::snprintf(buffer, sizeof(buffer),
+                  "%d shard(s): p50 %9.0fns, p99 %9.0fns", n, p50, p99);
+    Row(buffer);
+    reporter.AddScalar("sh.latency_p50_ns_" + std::to_string(n) + "s", p50);
+    reporter.AddScalar("sh.latency_p99_ns_" + std::to_string(n) + "s", p99);
+  }
+
+  // --- 4. Update stream through the partition --------------------------
+  // The same commit stream against every arm; each commit is followed by a
+  // refresh and a probe answer, compared tuple-for-tuple to the unsharded
+  // arm's. Also times commit+refresh+probe throughput at each count.
+  Header("SH4", "identical update stream at 1/2/4/8 shards");
+  const int kCommits = smoke ? 16 : 64;
+  bool update_agree = true;
+  FormulaPtr probe = Q("R(x) & last[1](x)");
+  std::vector<std::vector<Tuple>> stream_want;
+  for (int n : kShardCounts) {
+    std::unique_ptr<serve::QueryServer> server = MakeServer(fixture, n);
+    std::unique_ptr<serve::Session> session = server->OpenSession();
+    Rng rng(4242);  // same stream for every arm
+    auto t0 = std::chrono::steady_clock::now();
+    for (int k = 0; k < kCommits; ++k) {
+      std::vector<TupleDelta> ops;
+      ops.push_back({"R", {rng.NextString("01", 4, kMaxLen)}, true});
+      if (k % 3 == 2) {
+        ops.push_back({"R", {rng.NextString("01", 4, kMaxLen)}, false});
+      }
+      Result<CommitDelta> c = server->CommitDeltas(ops);
+      if (!c.ok()) {
+        std::fprintf(stderr, "commit failed at %d shards: %s\n", n,
+                     c.status().ToString().c_str());
+        return 1;
+      }
+      session->Refresh();
+      Result<Relation> rel = session->Query(probe);
+      if (!rel.ok()) {
+        std::fprintf(stderr, "probe failed at %d shards\n", n);
+        return 1;
+      }
+      if (n == 1) {
+        stream_want.push_back(rel->tuples());
+      } else {
+        update_agree &= rel->tuples() == stream_want[k];
+      }
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    double wall = std::chrono::duration<double>(t1 - t0).count();
+    char buffer[96];
+    std::snprintf(buffer, sizeof(buffer),
+                  "%d shard(s): %8.0f commit+probe/s", n, kCommits / wall);
+    Row(buffer);
+    reporter.AddScalar("sh.update_qps_" + std::to_string(n) + "s",
+                       kCommits / wall);
+  }
+  Row(std::string("per-commit probe answers ") +
+      (update_agree ? "agree" : "DISAGREE") + " across shard counts");
+  reporter.AddScalar("sh.update_agree", update_agree ? 1 : 0);
+
+  const bool all_ok = answers_agree && order_agree && ids_agree &&
+                      safety_agree && update_agree;
+  Row(all_ok ? "SHARD GATES: all semantic invariants green"
+             : "SHARD GATES: FAILURES above");
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace strq
+
+int main(int argc, char** argv) { return strq::Run(argc, argv); }

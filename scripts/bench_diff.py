@@ -60,13 +60,20 @@ def band(key):
     return ("rel", 0.25)
 
 
-def within(kind, tol, base, cand):
+def interval(kind, tol, base):
+    """The closed [lo, hi] interval a candidate value must land in."""
     if kind == "exact":
-        return cand == base
+        return (base, base)
     if kind == "abs":
-        return abs(cand - base) <= tol
+        return (base - tol, base + tol)
     # Relative, with a unit floor so a zero baseline does not divide out.
-    return abs(cand - base) <= tol * max(abs(base), 1.0)
+    slack = tol * max(abs(base), 1.0)
+    return (base - slack, base + slack)
+
+
+def within(kind, tol, base, cand):
+    lo, hi = interval(kind, tol, base)
+    return lo <= cand <= hi
 
 
 def main(argv):
@@ -80,10 +87,15 @@ def main(argv):
         base_doc = json.load(f)
     with open(args[1]) as f:
         cand_doc = json.load(f)
+    # Check BOTH documents before returning, so one bad file does not mask
+    # the other being bad too (a single run reports everything wrong).
+    bad_schema = False
     for doc, path in ((base_doc, args[0]), (cand_doc, args[1])):
         if doc.get("schema") != "strq.bench.v1":
             print(f"bench_diff: {path}: not a strq.bench.v1 document")
-            return 1
+            bad_schema = True
+    if bad_schema:
+        return 1
 
     base = base_doc.get("scalars", {})
     cand = cand_doc.get("scalars", {})
@@ -101,12 +113,17 @@ def main(argv):
             continue
         if within(kind, tol, b, c):
             continue
+        lo, hi = interval(kind, tol, b)
         if kind == "exact":
             failures.append(f"{key}: {b} -> {c} (exact match required)")
         elif kind == "abs":
-            failures.append(f"{key}: {b} -> {c} (band: +/-{tol})")
+            failures.append(
+                f"{key}: {b} -> {c} (band: +/-{tol}, "
+                f"allowed [{lo:g}, {hi:g}])")
         else:
-            failures.append(f"{key}: {b} -> {c} (band: {tol:.0%} relative)")
+            failures.append(
+                f"{key}: {b} -> {c} (band: {tol:.0%} relative, "
+                f"allowed [{lo:g}, {hi:g}])")
 
     new_keys = sorted(set(cand) - set(base))
     if new_keys:

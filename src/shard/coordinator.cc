@@ -1,0 +1,199 @@
+#include "shard/coordinator.h"
+
+#include <chrono>
+#include <optional>
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace strq {
+namespace shard {
+
+namespace {
+
+int64_t NsSince(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+// One subtree's verdict: `ok` — every relation occurrence below sits on a
+// ∪-distributive path and nothing below reads the active domain; `mentions`
+// — the subtree reads at least one database relation (i.e. it is NOT
+// shard-constant). The polarity walk mirrors incr's AnalyzeFormula, with the
+// extra And rule sharding needs: incr patches ONE relation's delta, sharding
+// re-partitions every relation at once, so a conjunction of two
+// relation-reading sides does not distribute (⋃ᵢ(Aᵢ∧Bᵢ) misses cross-shard
+// pairs).
+struct Dist {
+  bool ok = true;
+  bool mentions = false;
+};
+
+Dist Walk(const FormulaPtr& f, bool positive) {
+  switch (f->kind) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      return {};
+    case FormulaKind::kPred:
+      // kAdom reads the database's active domain, which is not the union of
+      // the shards' pinned-snapshot adoms seen through per-shard compiles of
+      // OTHER subformulas — treat any occurrence as non-distributable.
+      return {f->pred != PredKind::kAdom, false};
+    case FormulaKind::kRelation:
+      return {positive, true};
+    case FormulaKind::kNot: {
+      Dist a = Walk(f->left, false);
+      return {a.ok, a.mentions};
+    }
+    case FormulaKind::kAnd: {
+      Dist a = Walk(f->left, positive);
+      Dist b = Walk(f->right, positive);
+      return {a.ok && b.ok && !(a.mentions && b.mentions),
+              a.mentions || b.mentions};
+    }
+    case FormulaKind::kOr: {
+      Dist a = Walk(f->left, positive);
+      Dist b = Walk(f->right, positive);
+      return {a.ok && b.ok, a.mentions || b.mentions};
+    }
+    case FormulaKind::kImplies: {
+      Dist a = Walk(f->left, false);
+      Dist b = Walk(f->right, positive);
+      return {a.ok && b.ok, a.mentions || b.mentions};
+    }
+    case FormulaKind::kIff: {
+      Dist a = Walk(f->left, false);
+      Dist b = Walk(f->right, false);
+      return {a.ok && b.ok, a.mentions || b.mentions};
+    }
+    case FormulaKind::kExists: {
+      bool all = f->range == QuantRange::kAll;
+      Dist a = Walk(f->left, positive && all);
+      return {a.ok && all, a.mentions};
+    }
+    case FormulaKind::kForall: {
+      bool all = f->range == QuantRange::kAll;
+      Dist a = Walk(f->left, false);
+      return {a.ok && all, a.mentions};
+    }
+  }
+  return {false, false};
+}
+
+}  // namespace
+
+Coordinator::Coordinator(std::shared_ptr<AtomCache> merge_cache,
+                         std::shared_ptr<plan::Planner> merge_planner)
+    : merge_cache_(std::move(merge_cache)),
+      merge_planner_(std::move(merge_planner)) {}
+
+bool Coordinator::Distributable(const FormulaPtr& f) {
+  if (f == nullptr) return false;
+  Dist d = Walk(f, /*positive=*/true);
+  return d.ok && d.mentions;
+}
+
+Result<TrackAutomaton> Coordinator::Adopt(const TrackAutomaton& a) const {
+  const AutomatonStore& merge_store = merge_cache_->store();
+  if (&a.store() == &merge_store) return a;
+  return TrackAutomaton::Create(merge_store, a.alphabet(), a.vars(), a.dfa());
+}
+
+Result<TrackAutomaton> Coordinator::CompileMerged(
+    const FormulaPtr& f, const std::vector<AutomataEvaluator*>& shard_evals,
+    const Database* merge_db, ParallelOptions parallel) const {
+  obs::Count(obs::kShardQueries);
+  int n = static_cast<int>(shard_evals.size());
+  std::vector<Result<TrackAutomaton>> per(n, InternalError("unset"));
+  if (n > 1 && !parallel.serial()) {
+    ThreadPool::ParallelFor(parallel.num_threads, n, [&](int i) {
+      per[i] = shard_evals[i]->Compile(f);
+    });
+  } else {
+    for (int i = 0; i < n; ++i) per[i] = shard_evals[i]->Compile(f);
+  }
+  auto merge_start = std::chrono::steady_clock::now();
+  obs::Span span("shard.merge");
+  span.Attr("shards", n);
+  std::optional<TrackAutomaton> acc;
+  for (int i = 0; i < n; ++i) {
+    STRQ_ASSIGN_OR_RETURN(TrackAutomaton a, std::move(per[i]));
+    STRQ_ASSIGN_OR_RETURN(TrackAutomaton adopted, Adopt(a));
+    if (!acc.has_value()) {
+      acc = std::move(adopted);
+    } else {
+      STRQ_ASSIGN_OR_RETURN(acc, TrackAutomaton::Union(*acc, adopted));
+      obs::Count(obs::kShardMergeUnions);
+    }
+  }
+  span.Attr("answer_states", acc->NumStates());
+  obs::Observe(obs::kHistShardMergeNs, NsSince(merge_start));
+  merge_planner_->RecordActual(f, merge_db, acc->NumStates());
+  return *std::move(acc);
+}
+
+Result<bool> Coordinator::MergedTruth(
+    const FormulaPtr& f, const std::vector<AutomataEvaluator*>& shard_evals,
+    ParallelOptions parallel) const {
+  obs::Count(obs::kShardQueries);
+  int n = static_cast<int>(shard_evals.size());
+  if (n <= 1 || parallel.serial()) {
+    for (int i = 0; i < n; ++i) {
+      STRQ_ASSIGN_OR_RETURN(TrackAutomaton a, shard_evals[i]->Compile(f));
+      STRQ_ASSIGN_OR_RETURN(bool truth, a.TruthValue());
+      if (truth) {
+        // ⋃ of 0-ary languages is OR: the remaining shards cannot flip a
+        // true verdict, so they are never compiled.
+        if (i + 1 < n) obs::Count(obs::kShardEarlyExits, n - 1 - i);
+        return true;
+      }
+    }
+    return false;
+  }
+  // Parallel: all shards compile concurrently; verdicts combine in shard
+  // order with the first error winning, as UnionOfCQsSafe does — identical
+  // to the serial scan on every input where no shard errs.
+  std::vector<Result<bool>> per(n, InternalError("unset"));
+  ThreadPool::ParallelFor(parallel.num_threads, n, [&](int i) {
+    Result<TrackAutomaton> a = shard_evals[i]->Compile(f);
+    per[i] = a.ok() ? a->TruthValue() : Result<bool>(a.status());
+  });
+  for (int i = 0; i < n; ++i) {
+    STRQ_ASSIGN_OR_RETURN(bool truth, std::move(per[i]));
+    if (truth) return true;
+  }
+  return false;
+}
+
+Result<bool> Coordinator::MergedIsFinite(
+    const FormulaPtr& f, const std::vector<AutomataEvaluator*>& shard_evals,
+    ParallelOptions parallel) const {
+  obs::Count(obs::kShardQueries);
+  int n = static_cast<int>(shard_evals.size());
+  if (n <= 1 || parallel.serial()) {
+    for (int i = 0; i < n; ++i) {
+      STRQ_ASSIGN_OR_RETURN(TrackAutomaton a, shard_evals[i]->Compile(f));
+      if (!a.IsFinite()) {
+        // An infinite shard language is a sublanguage of the union: the
+        // union is already known infinite.
+        if (i + 1 < n) obs::Count(obs::kShardEarlyExits, n - 1 - i);
+        return false;
+      }
+    }
+    return true;  // a finite union of finite languages
+  }
+  std::vector<Result<bool>> per(n, InternalError("unset"));
+  ThreadPool::ParallelFor(parallel.num_threads, n, [&](int i) {
+    Result<TrackAutomaton> a = shard_evals[i]->Compile(f);
+    per[i] = a.ok() ? Result<bool>(a->IsFinite()) : Result<bool>(a.status());
+  });
+  for (int i = 0; i < n; ++i) {
+    STRQ_ASSIGN_OR_RETURN(bool finite, std::move(per[i]));
+    if (!finite) return false;
+  }
+  return true;
+}
+
+}  // namespace shard
+}  // namespace strq

@@ -1,0 +1,97 @@
+#ifndef STRQ_SHARD_COORDINATOR_H_
+#define STRQ_SHARD_COORDINATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "base/thread_pool.h"
+#include "eval/automata_eval.h"
+#include "logic/ast.h"
+#include "mta/atom_cache.h"
+#include "plan/planner.h"
+#include "shard/sharded_db.h"
+
+namespace strq {
+namespace shard {
+
+// Compiles one query against every shard of a ShardedDatabase and recombines
+// the per-shard answer automata in the merge store.
+//
+// The whole scheme rests on one identity: for the formulas Distributable()
+// accepts, the answer language over a database D = D₁ ⊎ … ⊎ Dₙ is exactly
+// the union of the per-shard answer languages, Q[D] = ⋃ᵢ Q[Dᵢ]. Because
+// every TrackAutomaton is a canonical minimal DFA interned by language, the
+// merged automaton is THE canonical automaton of Q[D] — byte-identical, same
+// merge-store id, no matter how many shards contributed or in what order
+// their tuples were partitioned. That is the shard-count invariance the
+// serving layer and the differential fuzz gate on.
+//
+// The deciders exploit the same identity without materializing the union:
+// a sentence is true on D iff it is true on SOME shard (⋃ of 0-ary
+// languages is the logical OR), and an answer is finite on D iff it is
+// finite on EVERY shard — so both scan shards in order and stop at the
+// first shard that fixes the verdict (shard.early_exits counts the shards
+// never examined). In parallel mode all shards compile concurrently on the
+// ThreadPool and the verdicts are combined in shard order, first-error-wins,
+// exactly as UnionOfCQsSafe combines its disjuncts.
+//
+// Stateless apart from configuration; safe to share across sessions (the
+// per-call evaluators carry all snapshot state).
+class Coordinator {
+ public:
+  // `merge_cache`/`merge_planner` are the merge stack's: merged answers are
+  // interned in merge_cache->store() and their actual sizes feed
+  // merge_planner->RecordActual (per-shard actuals reach the per-shard
+  // planners through the shard evaluators' own Compile paths).
+  Coordinator(std::shared_ptr<AtomCache> merge_cache,
+              std::shared_ptr<plan::Planner> merge_planner);
+
+  // Is Q[D₁ ⊎ … ⊎ Dₙ] = ⋃ᵢ Q[Dᵢ] guaranteed for this formula? True iff
+  //  * it mentions at least one database relation (otherwise per-shard
+  //    evaluation is pure waste — the merge stack answers it directly),
+  //  * it is adom-free: no kAdom predicate and no restricted quantifier
+  //    range (a shard's active domain is not the database's), and
+  //  * every relation occurrence sits on a ∪-distributive path: no Not,
+  //    Implies-antecedent, Iff or Forall above it, and no And with relation
+  //    occurrences on BOTH sides (∧ distributes over ⋃ only when one side
+  //    is the same on every shard; ∨ and ∃ distribute on both).
+  // Everything else falls back to the merge stack — same answers, one
+  // compile instead of N.
+  static bool Distributable(const FormulaPtr& f);
+
+  // Compiles `f` on every shard evaluator and folds the answers, in shard
+  // order, with the merge store's interned Union. `merge_db` is the pinned
+  // merge snapshot (RecordActual context). In parallel mode the per-shard
+  // compiles run concurrently; the fold order never changes.
+  Result<TrackAutomaton> CompileMerged(
+      const FormulaPtr& f, const std::vector<AutomataEvaluator*>& shard_evals,
+      const Database* merge_db, ParallelOptions parallel) const;
+
+  // Truth of a sentence over the union: true iff true on some shard.
+  // Serial mode stops at the first true shard.
+  Result<bool> MergedTruth(const FormulaPtr& f,
+                           const std::vector<AutomataEvaluator*>& shard_evals,
+                           ParallelOptions parallel) const;
+
+  // Finiteness (state-safety) over the union: finite iff finite on every
+  // shard. Serial mode stops at the first infinite shard.
+  Result<bool> MergedIsFinite(
+      const FormulaPtr& f, const std::vector<AutomataEvaluator*>& shard_evals,
+      ParallelOptions parallel) const;
+
+  const AutomatonStore& merge_store() const { return merge_cache_->store(); }
+
+ private:
+  // Re-interns a per-shard answer in the merge store (no-op when it already
+  // lives there). Canonical minimization makes this pure re-interning: the
+  // language, and therefore the resulting id, is unchanged.
+  Result<TrackAutomaton> Adopt(const TrackAutomaton& a) const;
+
+  std::shared_ptr<AtomCache> merge_cache_;
+  std::shared_ptr<plan::Planner> merge_planner_;
+};
+
+}  // namespace shard
+}  // namespace strq
+
+#endif  // STRQ_SHARD_COORDINATOR_H_

@@ -1,0 +1,171 @@
+#include "shard/sharded_db.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace strq {
+namespace shard {
+
+namespace {
+
+// Splits `head` into `n` databases: tuple t of every relation goes to
+// partition OwnerShard(t). Every shard gets every relation (possibly empty)
+// so schemas agree and per-shard compiles never see an unknown name.
+Result<std::vector<Database>> PartitionHead(const Database& head,
+                                            int partition_track, int n) {
+  std::vector<Database> parts;
+  parts.reserve(n);
+  for (int i = 0; i < n; ++i) parts.emplace_back(head.alphabet());
+  for (const auto& [name, rel] : head.relations()) {
+    std::vector<std::vector<Tuple>> buckets(n);
+    for (const Tuple& t : rel.tuples()) {
+      buckets[ShardedDatabase::OwnerShard(t, partition_track, n)].push_back(t);
+    }
+    for (int i = 0; i < n; ++i) {
+      STRQ_RETURN_IF_ERROR(
+          parts[i].AddRelation(name, rel.arity(), std::move(buckets[i])));
+    }
+  }
+  return parts;
+}
+
+}  // namespace
+
+int ShardedDatabase::OwnerShard(const Tuple& tuple, int partition_track,
+                                int num_shards) {
+  if (num_shards <= 1) return 0;
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  if (!tuple.empty()) {
+    size_t track = partition_track < 0 ? 0 : static_cast<size_t>(partition_track);
+    track = std::min(track, tuple.size() - 1);
+    for (unsigned char c : tuple[track]) {
+      h ^= c;
+      h *= 1099511628211ULL;  // FNV-1a prime
+    }
+  }
+  return static_cast<int>(h % static_cast<uint64_t>(num_shards));
+}
+
+ShardedDatabase::ShardedDatabase(const VersionedDatabase* merge,
+                                 ShardOptions options)
+    : merge_(merge), options_(options) {
+  int n = std::max(1, options_.num_shards);
+  DbSnapshot head = merge_->Snapshot();
+  Result<std::vector<Database>> parts =
+      PartitionHead(head.db(), options_.partition_track, n);
+  // Partitioning the head cannot fail: it only re-adds tuples the merge
+  // database already accepted against the same alphabet and arities.
+  std::vector<Database> initial = std::move(parts).value();
+  stacks_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    Stack s;
+    s.store = std::make_unique<AutomatonStore>();
+    s.db = std::make_unique<VersionedDatabase>(std::move(initial[i]));
+    s.cache = std::make_shared<AtomCache>(head.db().alphabet(), s.store.get());
+    s.planner = std::make_shared<plan::Planner>(options_.planner);
+    if (options_.enable_incremental) {
+      s.incr = std::make_shared<incr::IncrementalIndex>(
+          s.db.get(), s.cache, s.planner, options_.incremental);
+    }
+    stacks_.push_back(std::move(s));
+  }
+  // Hooks are installed after the vector is final so the captured pointers
+  // stay stable. Each shard's commit stream feeds its own index and reclaims
+  // its own dead-snapshot cache entries, mirroring QueryServer's hook.
+  for (int i = 0; i < n; ++i) {
+    incr::IncrementalIndex* incr = stacks_[i].incr.get();
+    AtomCache* cache = stacks_[i].cache.get();
+    VersionedDatabase* db = stacks_[i].db.get();
+    db->SetCommitHook([incr, cache, db](const CommitDelta& delta) {
+      if (incr != nullptr) incr->OnCommit(delta);
+      cache->EvictRevisionEntries(
+          [db](int64_t rev) { return db->IsLive(rev); });
+    });
+  }
+  shard_commits_.assign(n, 0);
+  shard_reseeds_.assign(n, 0);
+  synced_merge_ = std::move(head);
+}
+
+ShardedDatabase::~ShardedDatabase() {
+  for (Stack& s : stacks_) s.db->SetCommitHook(nullptr);
+}
+
+ShardedDatabase::SnapshotVector ShardedDatabase::Snapshots() const {
+  std::lock_guard<std::mutex> lock(sync_mu_);
+  SnapshotVector out;
+  out.merge = synced_merge_;
+  out.shards.reserve(stacks_.size());
+  for (const Stack& s : stacks_) out.shards.push_back(s.db->Snapshot());
+  return out;
+}
+
+Status ShardedDatabase::ReseedLocked(const Database& head) {
+  STRQ_ASSIGN_OR_RETURN(
+      std::vector<Database> parts,
+      PartitionHead(head, options_.partition_track, num_shards()));
+  for (int i = 0; i < num_shards(); ++i) {
+    STRQ_RETURN_IF_ERROR(stacks_[i].db->Update([&](Database& d) -> Status {
+      d = std::move(parts[i]);
+      return Status::Ok();
+    }));
+    ++shard_reseeds_[i];
+  }
+  obs::Count(obs::kShardReseeds);
+  return Status::Ok();
+}
+
+void ShardedDatabase::OnMergeCommit(const CommitDelta& delta) {
+  std::lock_guard<std::mutex> lock(sync_mu_);
+  bool reseed = delta.opaque;
+  if (!reseed && !delta.ops.empty()) {
+    std::vector<std::vector<TupleDelta>> buckets(stacks_.size());
+    for (const TupleDelta& op : delta.ops) buckets[Owner(op.tuple)].push_back(op);
+    for (size_t i = 0; i < stacks_.size(); ++i) {
+      if (buckets[i].empty()) continue;  // untouched shards stay warm
+      Result<CommitDelta> applied = stacks_[i].db->ApplyDeltas(buckets[i]);
+      if (!applied.ok()) {
+        // A shard refused a delta the merge database accepted — the
+        // partition has diverged somehow; rebuild it from the head.
+        reseed = true;
+        break;
+      }
+      ++shard_commits_[i];
+      obs::Count(obs::kShardCommitsFanned);
+    }
+  }
+  if (reseed) {
+    // Opaque commit (AddRelation / arbitrary Update): the delta cannot be
+    // replayed, so re-partition the new head wholesale. Failure is
+    // impossible in practice (see PartitionHead); if it ever happens the
+    // stale synced_merge_ below keeps readers on the last coherent view.
+    if (!ReseedLocked(merge_->Snapshot().db()).ok()) return;
+  }
+  synced_merge_ = merge_->Snapshot();
+}
+
+std::vector<ShardedDatabase::ShardStats> ShardedDatabase::stats() const {
+  std::lock_guard<std::mutex> lock(sync_mu_);
+  std::vector<ShardStats> out;
+  out.reserve(stacks_.size());
+  for (size_t i = 0; i < stacks_.size(); ++i) {
+    const Stack& s = stacks_[i];
+    ShardStats st;
+    DbSnapshot snap = s.db->Snapshot();
+    st.revision = snap.revision();
+    for (const auto& [name, rel] : snap.db().relations()) {
+      st.tuples += static_cast<int64_t>(rel.tuples().size());
+    }
+    st.store_bytes = s.store->stats().bytes;
+    st.live_pins = static_cast<int64_t>(s.db->pinned_revisions());
+    st.commits = shard_commits_[i];
+    st.reseeds = shard_reseeds_[i];
+    out.push_back(st);
+  }
+  return out;
+}
+
+}  // namespace shard
+}  // namespace strq

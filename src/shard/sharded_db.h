@@ -1,0 +1,134 @@
+#ifndef STRQ_SHARD_SHARDED_DB_H_
+#define STRQ_SHARD_SHARDED_DB_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "automata/store.h"
+#include "base/status.h"
+#include "incr/incr.h"
+#include "mta/atom_cache.h"
+#include "plan/planner.h"
+#include "relational/snapshot.h"
+
+namespace strq {
+namespace shard {
+
+// Partitioning and per-shard stack configuration.
+struct ShardOptions {
+  // Number of in-process shards; values <= 1 mean "don't shard" (the owner
+  // should not construct a ShardedDatabase at all — see QueryServer).
+  int num_shards = 1;
+  // Track (column index) whose string value is hashed to pick the owning
+  // shard. Relations narrower than the track fall back to their last track,
+  // so one knob works across mixed arities.
+  int partition_track = 0;
+  // Per-shard incremental maintenance, mirroring ServerOptions: each shard
+  // runs its own IncrementalIndex over its own commit stream, so a tuple
+  // commit patches exactly one shard's tries and answers.
+  bool enable_incremental = true;
+  incr::Options incremental;
+  plan::PlannerOptions planner;
+};
+
+// A hash partition of one VersionedDatabase (the "merge" database, which
+// keeps the full contents) across N in-process shards.
+//
+// Each shard owns a complete compile stack — its own AutomatonStore,
+// VersionedDatabase, AtomCache, Planner, and (optionally) IncrementalIndex —
+// so per-shard compilation never contends on another shard's tables and a
+// shard's canonical ids are meaningless outside it; only the merge store's
+// ids are ever compared or surfaced. Placement is deterministic: a tuple
+// lives on shard FNV1a(tuple[partition_track]) % N, independent of insertion
+// order, process, or shard count history.
+//
+// Synchronization with the merge database is hook-driven: the owner calls
+// OnMergeCommit from the merge database's commit hook (i.e. under the merge
+// writer lock, in revision order). Tuple-level commits fan each op to its
+// owning shard's ApplyDeltas — shards the commit does not touch keep their
+// revision, so their caches and maintained answers stay warm. Opaque commits
+// (AddRelation / arbitrary Update) re-partition the new head wholesale.
+//
+// Readers never see a torn view: Snapshots() returns the merge snapshot
+// stored by the LAST completed sync together with shard snapshots taken
+// under the same mutex that serializes syncs, so the vector is coherent by
+// construction (shard heads cannot move between the two reads).
+class ShardedDatabase {
+ public:
+  // `merge` must outlive this object and must not yet have a commit hook
+  // consumer that bypasses OnMergeCommit. Partitions the current head.
+  ShardedDatabase(const VersionedDatabase* merge, ShardOptions options);
+  ~ShardedDatabase();
+  ShardedDatabase(const ShardedDatabase&) = delete;
+  ShardedDatabase& operator=(const ShardedDatabase&) = delete;
+
+  int num_shards() const { return static_cast<int>(stacks_.size()); }
+  const ShardOptions& options() const { return options_; }
+
+  // Deterministic owner of `tuple`: FNV-1a over the partition track's bytes,
+  // mod num_shards. Exposed for tests and skew diagnostics.
+  static int OwnerShard(const Tuple& tuple, int partition_track,
+                        int num_shards);
+  int Owner(const Tuple& tuple) const {
+    return OwnerShard(tuple, options_.partition_track, num_shards());
+  }
+
+  // One shard's compile stack. The store is per-shard (declared first so it
+  // outlives everything compiled against it).
+  struct Stack {
+    std::unique_ptr<AutomatonStore> store;
+    std::unique_ptr<VersionedDatabase> db;
+    std::shared_ptr<AtomCache> cache;
+    std::shared_ptr<plan::Planner> planner;
+    std::shared_ptr<incr::IncrementalIndex> incr;
+  };
+  const Stack& stack(int i) const { return stacks_[i]; }
+
+  // A coherent cross-shard view: the merge snapshot of the last completed
+  // sync plus one snapshot per shard at exactly that sync point.
+  struct SnapshotVector {
+    DbSnapshot merge;
+    std::vector<DbSnapshot> shards;
+  };
+  SnapshotVector Snapshots() const;
+
+  // Feeds one merge commit to the partition. MUST be called from the merge
+  // database's commit hook (writer lock held): tuple commits fan to owning
+  // shards, opaque commits re-partition the head. Never commits back into
+  // the merge database.
+  void OnMergeCommit(const CommitDelta& delta);
+
+  // Per-shard skew and residency diagnostics (the shell's `stats` rows).
+  struct ShardStats {
+    int64_t revision = 0;
+    int64_t tuples = 0;       // total cardinality across relations
+    int64_t store_bytes = 0;  // the shard store's table bytes
+    int64_t live_pins = 0;    // revisions pinned by live shard snapshots
+    int64_t commits = 0;      // tuple commits fanned to this shard
+    int64_t reseeds = 0;      // opaque re-partitions applied
+  };
+  std::vector<ShardStats> stats() const;
+
+ private:
+  // Partitions `head` and replaces every shard's contents (opaque per-shard
+  // commit). Called with sync_mu_ held.
+  Status ReseedLocked(const Database& head);
+
+  const VersionedDatabase* merge_;
+  ShardOptions options_;
+  std::vector<Stack> stacks_;
+
+  // Serializes syncs against Snapshots() readers; shard heads only move
+  // with this mutex held.
+  mutable std::mutex sync_mu_;
+  DbSnapshot synced_merge_;
+  std::vector<int64_t> shard_commits_;
+  std::vector<int64_t> shard_reseeds_;
+};
+
+}  // namespace shard
+}  // namespace strq
+
+#endif  // STRQ_SHARD_SHARDED_DB_H_

@@ -1,0 +1,316 @@
+// Unit coverage for src/shard: the ∪-distributability analysis, the
+// deterministic hash partition, commit fan-out vs opaque reseed, coherent
+// cross-shard snapshots, and the sharded QueryServer's invariance against
+// the unsharded stack on fixed queries.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "logic/ast.h"
+#include "logic/parser.h"
+#include "obs/trace.h"
+#include "relational/snapshot.h"
+#include "serve/server.h"
+#include "shard/coordinator.h"
+#include "shard/sharded_db.h"
+
+namespace strq {
+namespace {
+
+using shard::Coordinator;
+using shard::ShardedDatabase;
+using shard::ShardOptions;
+
+FormulaPtr Parse(const std::string& text) {
+  Result<FormulaPtr> f = ParseFormula(text);
+  EXPECT_TRUE(f.ok()) << text << ": " << f.status();
+  return *f;
+}
+
+Database TestDb() {
+  Database db(Alphabet::Binary());
+  EXPECT_TRUE(db.AddRelation("R", 1,
+                             {{"0"}, {"1"}, {"00"}, {"01"}, {"10"}, {"11"},
+                              {"010"}, {"111"}})
+                  .ok());
+  EXPECT_TRUE(db.AddRelation("S", 2, {{"0", "1"}, {"10", "01"}}).ok());
+  return db;
+}
+
+TEST(DistributableTest, AcceptsPositiveUnionDistributiveShapes) {
+  EXPECT_TRUE(Coordinator::Distributable(Parse("R(x)")));
+  EXPECT_TRUE(Coordinator::Distributable(Parse("exists x. R(x)")));
+  EXPECT_TRUE(Coordinator::Distributable(Parse("R(x) & x <= '01'")));
+  EXPECT_TRUE(Coordinator::Distributable(Parse("x <= '01' & R(x)")));
+  EXPECT_TRUE(Coordinator::Distributable(Parse("R(x) | S(x, y)")));
+  EXPECT_TRUE(Coordinator::Distributable(Parse("R(x) | x <= '0'")));
+  EXPECT_TRUE(
+      Coordinator::Distributable(Parse("exists y. (S(x, y) & x = y)")));
+  // A negation is fine as long as it closes over no relation.
+  EXPECT_TRUE(Coordinator::Distributable(Parse("R(x) & !(x = '0')")));
+}
+
+TEST(DistributableTest, RejectsNonDistributiveShapes) {
+  // No relation mention: correct per-shard, but pure waste — merge stack.
+  EXPECT_FALSE(Coordinator::Distributable(Parse("x <= '01'")));
+  // Negative relation occurrence: ⋃¬Rᵢ ≠ ¬⋃Rᵢ.
+  EXPECT_FALSE(Coordinator::Distributable(Parse("!R(x)")));
+  EXPECT_FALSE(Coordinator::Distributable(Parse("R(x) -> R(y)")));
+  EXPECT_FALSE(Coordinator::Distributable(Parse("R(x) <-> R(y)")));
+  // Conjunction with relations on BOTH sides misses cross-shard pairs.
+  EXPECT_FALSE(Coordinator::Distributable(Parse("R(x) & S(x, y)")));
+  EXPECT_FALSE(Coordinator::Distributable(Parse("R(x) & R(y)")));
+  // The active domain of a shard is not the database's.
+  EXPECT_FALSE(Coordinator::Distributable(Parse("adom(x)")));
+  EXPECT_FALSE(Coordinator::Distributable(Parse("R(x) & adom(y)")));
+  EXPECT_FALSE(
+      Coordinator::Distributable(Parse("exists y in adom. (R(x) & x = y)")));
+  // Forall over a relation is a negative occurrence.
+  EXPECT_FALSE(Coordinator::Distributable(Parse("forall x. R(x)")));
+}
+
+TEST(OwnerShardTest, DeterministicAndClamped) {
+  Tuple t{"0110", "1"};
+  for (int n : {1, 2, 4, 8}) {
+    int owner = ShardedDatabase::OwnerShard(t, 0, n);
+    EXPECT_GE(owner, 0);
+    EXPECT_LT(owner, n);
+    // Same tuple, same track, same shard — every time.
+    EXPECT_EQ(owner, ShardedDatabase::OwnerShard(t, 0, n));
+  }
+  EXPECT_EQ(ShardedDatabase::OwnerShard(t, 0, 1), 0);
+  // A track past the arity clamps to the last track instead of faulting.
+  EXPECT_EQ(ShardedDatabase::OwnerShard(t, 7, 4),
+            ShardedDatabase::OwnerShard(t, 1, 4));
+  EXPECT_EQ(ShardedDatabase::OwnerShard(Tuple{}, 0, 4),
+            ShardedDatabase::OwnerShard(Tuple{}, 0, 4));
+}
+
+TEST(ShardedDatabaseTest, PartitionIsDisjointAndComplete) {
+  VersionedDatabase merge(TestDb());
+  ShardOptions options;
+  options.num_shards = 4;
+  ShardedDatabase sharded(&merge, options);
+  ASSERT_EQ(sharded.num_shards(), 4);
+
+  ShardedDatabase::SnapshotVector v = sharded.Snapshots();
+  ASSERT_EQ(v.shards.size(), 4u);
+  EXPECT_EQ(v.merge.revision(), merge.head_revision());
+  for (const auto& [name, rel] : v.merge.db().relations()) {
+    size_t total = 0;
+    for (int i = 0; i < 4; ++i) {
+      const Relation* part = v.shards[i].db().Find(name);
+      ASSERT_NE(part, nullptr) << "shard " << i << " missing " << name;
+      EXPECT_EQ(part->arity(), rel.arity());
+      total += part->tuples().size();
+      for (const Tuple& t : part->tuples()) {
+        EXPECT_EQ(sharded.Owner(t), i) << name << " tuple on wrong shard";
+      }
+    }
+    EXPECT_EQ(total, rel.tuples().size()) << name << " lost/duplicated tuples";
+  }
+}
+
+TEST(ShardedDatabaseTest, TupleCommitsFanOnlyToOwners) {
+  VersionedDatabase merge(TestDb());
+  ShardOptions options;
+  options.num_shards = 4;
+  ShardedDatabase sharded(&merge, options);
+  merge.SetCommitHook(
+      [&](const CommitDelta& delta) { sharded.OnMergeCommit(delta); });
+
+  Tuple fresh{"0101010"};
+  int owner = sharded.Owner(fresh);
+  std::vector<int64_t> before;
+  for (int i = 0; i < 4; ++i) {
+    before.push_back(sharded.stack(i).db->head_revision());
+  }
+  ASSERT_TRUE(merge.ApplyDeltas({{"R", fresh, true}}).ok());
+  for (int i = 0; i < 4; ++i) {
+    int64_t after = sharded.stack(i).db->head_revision();
+    if (i == owner) {
+      EXPECT_NE(after, before[i]) << "owner shard did not commit";
+    } else {
+      EXPECT_EQ(after, before[i]) << "non-owner shard churned";
+    }
+  }
+  ShardedDatabase::SnapshotVector v = sharded.Snapshots();
+  const Relation* part = v.shards[owner].db().Find("R");
+  ASSERT_NE(part, nullptr);
+  EXPECT_TRUE(std::count(part->tuples().begin(), part->tuples().end(), fresh));
+  merge.SetCommitHook(nullptr);
+}
+
+TEST(ShardedDatabaseTest, OpaqueCommitsReseedEveryShard) {
+  VersionedDatabase merge(TestDb());
+  ShardOptions options;
+  options.num_shards = 2;
+  ShardedDatabase sharded(&merge, options);
+  merge.SetCommitHook(
+      [&](const CommitDelta& delta) { sharded.OnMergeCommit(delta); });
+
+  ASSERT_TRUE(merge.AddRelation("T", 1, {{"0"}, {"1"}, {"01"}}).ok());
+  ShardedDatabase::SnapshotVector v = sharded.Snapshots();
+  size_t total = 0;
+  for (int i = 0; i < 2; ++i) {
+    const Relation* part = v.shards[i].db().Find("T");
+    ASSERT_NE(part, nullptr) << "new relation missing from shard " << i;
+    total += part->tuples().size();
+  }
+  EXPECT_EQ(total, 3u);
+  std::vector<ShardedDatabase::ShardStats> stats = sharded.stats();
+  for (const auto& s : stats) EXPECT_EQ(s.reseeds, 1);
+  merge.SetCommitHook(nullptr);
+}
+
+// The serving path: a 4-shard server must agree with the unsharded one on
+// answers, enumeration order, safety verdicts, sentence truth, and the
+// canonical id of the compiled answer (both merge stacks intern into the
+// process-wide default store, so equal languages mean equal ids).
+TEST(ShardedServerTest, AgreesWithUnshardedOnFixedQueries) {
+  serve::ServerOptions sharded_options;
+  sharded_options.num_shards = 4;
+  serve::QueryServer plain(TestDb());
+  serve::QueryServer sharded(TestDb(), sharded_options);
+  ASSERT_NE(sharded.sharded(), nullptr);
+  ASSERT_EQ(sharded.sharded()->num_shards(), 4);
+  EXPECT_EQ(plain.sharded(), nullptr);
+
+  auto s1 = plain.OpenSession();
+  auto s4 = sharded.OpenSession();
+  const std::vector<std::string> queries = {
+      "R(x)",
+      "R(x) & '0' <= x",
+      "R(x) | x <= '0'",
+      "exists y. (S(x, y) & x <= y)",
+      "!R(x)",             // not distributable: merge-stack fallback
+      "R(x) & S(x, y)",    // both-sides And: fallback
+      "R(x) & adom(y)",    // adom: fallback
+  };
+  for (const std::string& text : queries) {
+    FormulaPtr f = Parse(text);
+    Result<Relation> a = s1->Query(f);
+    Result<Relation> b = s4->Query(f);
+    ASSERT_EQ(a.ok(), b.ok()) << text << ": " << a.status() << " vs "
+                              << b.status();
+    if (a.ok()) {
+      EXPECT_EQ(a->tuples(), b->tuples()) << text;
+    } else {
+      EXPECT_EQ(a.status().code(), b.status().code()) << text;
+    }
+    Result<bool> safe_a = s1->IsSafe(f);
+    Result<bool> safe_b = s4->IsSafe(f);
+    ASSERT_TRUE(safe_a.ok() && safe_b.ok()) << text;
+    EXPECT_EQ(*safe_a, *safe_b) << text;
+    Result<TrackAutomaton> rel_a = s1->Compile(f);
+    Result<TrackAutomaton> rel_b = s4->Compile(f);
+    ASSERT_TRUE(rel_a.ok() && rel_b.ok()) << text;
+    EXPECT_EQ(rel_a->dfa_ref().id(), rel_b->dfa_ref().id()) << text;
+    EXPECT_EQ(rel_a->EnumerateTuples(6, 16), rel_b->EnumerateTuples(6, 16))
+        << text;
+  }
+  for (const char* text :
+       {"exists x. R(x)", "exists x. (R(x) & '11' <= x)",
+        "exists x. (R(x) & x = '1010')", "forall x. R(x)"}) {
+    FormulaPtr f = Parse(text);
+    Result<bool> a = s1->QuerySentence(f);
+    Result<bool> b = s4->QuerySentence(f);
+    ASSERT_TRUE(a.ok() && b.ok()) << text;
+    EXPECT_EQ(*a, *b) << text;
+  }
+}
+
+// Commits through the sharded server: the session's cross-shard snapshot
+// vector stays coherent, answers track the head after Refresh, and shard
+// stats reflect the fan-out.
+TEST(ShardedServerTest, CommitsFanOutAndSessionsRefreshCoherently) {
+  serve::ServerOptions options;
+  options.num_shards = 4;
+  serve::QueryServer server(TestDb(), options);
+  auto session = server.OpenSession();
+  FormulaPtr f = Parse("R(x)");
+
+  Result<Relation> before = session->Query(f);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(server.CommitDeltas({{"R", {"000111"}, true}}).ok());
+  // Pinned view: unchanged until Refresh.
+  Result<Relation> pinned = session->Query(f);
+  ASSERT_TRUE(pinned.ok());
+  EXPECT_EQ(before->tuples(), pinned->tuples());
+
+  session->Refresh();
+  ASSERT_EQ(session->shard_snapshots().size(), 4u);
+  Result<Relation> after = session->Query(f);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->tuples().size(), before->tuples().size() + 1);
+
+  int64_t commits = 0;
+  for (const auto& s : server.sharded()->stats()) commits += s.commits;
+  EXPECT_EQ(commits, 1);
+}
+
+// Serial decider early exit: a true-everywhere sentence stops at shard 0 and
+// the skipped shards are counted.
+TEST(ShardedServerTest, SentenceShortCircuitCountsSkippedShards) {
+  obs::ScopedEnable tracing(true);
+  serve::ServerOptions options;
+  options.num_shards = 4;
+  serve::QueryServer server(TestDb(), options);
+  auto session = server.OpenSession();
+  int64_t before = obs::MetricsRegistry::Global().Get(obs::kShardEarlyExits);
+  // Every shard holds some R tuple, so shard 0 already proves the sentence.
+  Result<bool> truth = session->QuerySentence(Parse("exists x. R(x)"));
+  ASSERT_TRUE(truth.ok());
+  EXPECT_TRUE(*truth);
+  int64_t after = obs::MetricsRegistry::Global().Get(obs::kShardEarlyExits);
+  EXPECT_EQ(after - before, 3);
+}
+
+// Many sessions read and refresh while a writer streams tuple commits: the
+// snapshot vectors handed out must always be coherent (merge cardinality ==
+// sum of shard cardinalities for every relation). Exercises the sync path
+// under tsan.
+TEST(ShardedServerTest, ConcurrentCommitsKeepSnapshotVectorsCoherent) {
+  serve::ServerOptions options;
+  options.num_shards = 4;
+  serve::QueryServer server(TestDb(), options);
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (int i = 0; i < 40; ++i) {
+      std::string s;
+      for (int b = 0; b < 6; ++b) s.push_back((i >> b) & 1 ? '1' : '0');
+      ASSERT_TRUE(server.CommitDeltas({{"R", {s}, true}}).ok());
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      auto session = server.OpenSession();
+      while (!stop.load()) {
+        session->Refresh();
+        const Database& merge = session->snapshot().db();
+        const std::vector<DbSnapshot>& shards = session->shard_snapshots();
+        ASSERT_EQ(shards.size(), 4u);
+        for (const auto& [name, rel] : merge.relations()) {
+          size_t total = 0;
+          for (const DbSnapshot& snap : shards) {
+            const Relation* part = snap.db().Find(name);
+            ASSERT_NE(part, nullptr);
+            total += part->tuples().size();
+          }
+          ASSERT_EQ(total, rel.tuples().size()) << name;
+        }
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+}
+
+}  // namespace
+}  // namespace strq
